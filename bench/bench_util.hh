@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: trace-scale control,
+ * scheme matrices, and geometric means over the paper's workload groups.
+ *
+ * Every harness accepts DVE_BENCH_SCALE (default varies per experiment)
+ * to trade runtime for statistical weight; results are normalized, so
+ * the paper-shape conclusions are stable across scales.
+ */
+
+#ifndef DVE_BENCH_BENCH_UTIL_HH
+#define DVE_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sys/system.hh"
+
+namespace dve
+{
+namespace bench
+{
+
+/** Trace scale from the environment, with a per-bench default. */
+inline double
+scaleFromEnv(double def)
+{
+    if (const char *s = std::getenv("DVE_BENCH_SCALE")) {
+        const double v = std::atof(s);
+        if (v > 0)
+            return v;
+    }
+    return def;
+}
+
+/** Geometric mean of a vector of positive values. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+/** Geomean of the first @p n entries. */
+inline double
+geomeanTop(const std::vector<double> &v, std::size_t n)
+{
+    std::vector<double> head(v.begin(),
+                             v.begin() + std::min(n, v.size()));
+    return geomean(head);
+}
+
+/** Build a Table II system for one scheme (optionally tweaked). */
+inline SystemConfig
+paperConfig(SchemeKind scheme)
+{
+    SystemConfig cfg;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+/** Run one workload on a fresh system of the given scheme. */
+inline RunResult
+runScheme(SchemeKind scheme, const WorkloadProfile &wl, double scale,
+          const SystemConfig *base = nullptr)
+{
+    SystemConfig cfg = base ? *base : paperConfig(scheme);
+    cfg.scheme = scheme;
+    System sys(cfg);
+    return sys.run(wl, scale);
+}
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n================================================"
+                "====================\n%s\n"
+                "================================================"
+                "====================\n",
+                title);
+}
+
+} // namespace bench
+} // namespace dve
+
+#endif // DVE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig 9: allow-protocol optimizations -- a 4K-entry replica directory,
+ * coarse-grain region tracking, and the oracular (infinite, free)
+ * replica directory ceiling -- all normalized to baseline NUMA.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace dve;
+
+int
+main()
+{
+    const double scale = bench::scaleFromEnv(0.6);
+    bench::printHeader("Fig 9: allow-protocol optimizations "
+                       "(speedup over baseline NUMA)");
+    std::printf("(2 MB LLC and compacted working sets so lines re-miss "
+                "the LLC and the replica-directory reach matters)\n");
+
+    struct Variant
+    {
+        const char *name;
+        DveConfig dve;
+    };
+    DveConfig base_dve;
+    DveConfig big = base_dve;
+    big.replicaDirEntries = 4096;
+    DveConfig coarse = base_dve;
+    coarse.coarseGrain = true;
+    DveConfig oracle = base_dve;
+    oracle.oracular = true;
+
+    const std::vector<Variant> variants = {
+        {"allow-2k", base_dve},
+        {"allow-4k", big},
+        {"allow-coarse", coarse},
+        {"allow-oracle", oracle},
+    };
+
+    TextTable t({"benchmark", "allow-2k", "allow-4k", "allow-coarse",
+                 "allow-oracle"});
+    std::vector<std::vector<double>> speedups(variants.size());
+
+    SystemConfig sens = bench::paperConfig(SchemeKind::DveAllow);
+    sens.engine.llcBytes = 2ULL * 1024 * 1024;
+
+    for (const auto &orig : table3Workloads()) {
+        WorkloadProfile wl = orig;
+        // Directory-capacity sensitivity needs post-LLC-eviction reuse:
+        // compact the working set so the trace revisits lines, while
+        // the (scaled) LLC still cannot hold it.
+        wl.sharedBytes = std::max<std::uint64_t>(wl.sharedBytes / 8,
+                                                 4ULL << 20);
+        const auto base = bench::runScheme(SchemeKind::BaselineNuma, wl,
+                                           scale, &sens);
+        std::vector<std::string> row = {wl.name};
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            SystemConfig cfg = sens;
+            cfg.dve = variants[i].dve;
+            const auto r =
+                bench::runScheme(SchemeKind::DveAllow, wl, scale, &cfg);
+            const double sp = static_cast<double>(base.roiTime)
+                              / static_cast<double>(r.roiTime);
+            speedups[i].push_back(sp);
+            row.push_back(TextTable::num(sp, 3));
+        }
+        t.addRow(std::move(row));
+    }
+    auto g = [&](std::size_t i, std::size_t n) {
+        return TextTable::num(bench::geomeanTop(speedups[i], n), 3);
+    };
+    t.addRow({"geomean-top10", g(0, 10), g(1, 10), g(2, 10), g(3, 10)});
+    t.addRow({"geomean-all", g(0, 20), g(1, 20), g(2, 20), g(3, 20)});
+    t.print(std::cout);
+
+    std::printf("\nPaper reference: the oracle is 18.3%%/10.8%% above "
+                "default allow (top10/all); 4K entries add ~2%%; coarse "
+                "grain helps streaming workloads but loses overall.\n");
+    return 0;
+}

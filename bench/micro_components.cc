@@ -1,0 +1,156 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the performance-critical library
+ * components: GF arithmetic, Reed-Solomon encode/decode, the line codec,
+ * the event queue, mesh routing, cache arrays, and the replica
+ * directory.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/assoc_lru.hh"
+#include "cache/sa_cache.hh"
+#include "common/rng.hh"
+#include "core/replica_directory.hh"
+#include "ecc/line_codec.hh"
+#include "mem/memory_controller.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace dve;
+
+void
+BM_GfMul(benchmark::State &state)
+{
+    const auto &gf = GaloisField::gf256();
+    std::uint32_t a = 37, b = 91;
+    for (auto _ : state) {
+        a = gf.mul(a ? a : 1, b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_GfMul);
+
+void
+BM_RsEncodeChipkill(benchmark::State &state)
+{
+    const ReedSolomon rs(GaloisField::gf256(), 19, 16);
+    std::vector<std::uint32_t> msg(16, 0xA5);
+    for (auto _ : state) {
+        auto cw = rs.encode(msg);
+        benchmark::DoNotOptimize(cw);
+    }
+}
+BENCHMARK(BM_RsEncodeChipkill);
+
+void
+BM_RsDecodeCleanVsCorrupted(benchmark::State &state)
+{
+    const ReedSolomon rs(GaloisField::gf256(), 19, 16);
+    Rng rng(1);
+    std::vector<std::uint32_t> msg(16);
+    for (auto &v : msg)
+        v = static_cast<std::uint32_t>(rng.next(256));
+    auto cw = rs.encode(msg);
+    if (state.range(0))
+        cw[5] ^= 0x42;
+    for (auto _ : state) {
+        auto r = rs.decode(cw, 1);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_RsDecodeCleanVsCorrupted)->Arg(0)->Arg(1);
+
+void
+BM_LineCodecEncode(benchmark::State &state)
+{
+    const LineCodec codec(static_cast<Scheme>(state.range(0)));
+    LineBytes data{};
+    for (unsigned i = 0; i < 64; ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    for (auto _ : state) {
+        auto stored = codec.encode(data);
+        benchmark::DoNotOptimize(stored);
+    }
+}
+BENCHMARK(BM_LineCodecEncode)
+    ->Arg(static_cast<int>(Scheme::SecDed72_64))
+    ->Arg(static_cast<int>(Scheme::ChipkillSscDsd))
+    ->Arg(static_cast<int>(Scheme::TsdDetect));
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        int fired = 0;
+        for (Tick t = 0; t < 1000; ++t)
+            q.schedule(t * 7 % 997, [&] { ++fired; });
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void
+BM_MeshTraverse(benchmark::State &state)
+{
+    Mesh m(4, 2);
+    unsigned i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.traverse(i % 8, (i * 3 + 5) % 8));
+        ++i;
+    }
+}
+BENCHMARK(BM_MeshTraverse);
+
+void
+BM_LlcLookup(benchmark::State &state)
+{
+    auto llc = SetAssocCache<int>::fromCapacity(8ULL << 20, 16);
+    for (Addr l = 0; l < 100000; ++l)
+        llc.insert(l * 3, static_cast<int>(l));
+    Addr probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(llc.find(probe * 3));
+        probe = (probe + 7919) % 100000;
+    }
+}
+BENCHMARK(BM_LlcLookup);
+
+void
+BM_ReplicaDirLookup(benchmark::State &state)
+{
+    ReplicaDirectory rd(0, 2048, false);
+    for (Addr l = 0; l < 4096; ++l)
+        rd.install(l, {RepState::Readable, -1});
+    Addr probe = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rd.lookup(probe));
+        probe = (probe + 613) % 4096;
+    }
+}
+BENCHMARK(BM_ReplicaDirLookup);
+
+void
+BM_MemoryControllerRead(benchmark::State &state)
+{
+    FaultRegistry faults;
+    MemoryController mc("m", 0, DramConfig{}, Scheme::ChipkillSscDsd,
+                        MirrorMode::None, &faults, 1);
+    mc.write(0x1000, 42, 0);
+    Tick t = 0;
+    for (auto _ : state) {
+        const auto r = mc.read(0x1000, t);
+        t = r.readyAt;
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_MemoryControllerRead);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Protocol verification report (Sec. V-C4): exhaustively model-check the
+ * baseline MSI protocol and both replica-directory families across
+ * several configurations, Murphi-style, and print the verdicts.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "protocol_check/checker.hh"
+
+using namespace dve;
+using namespace dve::pcheck;
+
+int
+main()
+{
+    bench::printHeader("Protocol verification (explicit-state, all "
+                       "interleavings, bounded ops per cache)");
+
+    struct Case
+    {
+        CheckProtocol proto;
+        unsigned home;
+        unsigned rep;
+        unsigned budget;
+    };
+    const std::vector<Case> cases = {
+        {CheckProtocol::BaselineMsi, 2, 0, 3},
+        {CheckProtocol::BaselineMsi, 3, 0, 2},
+        {CheckProtocol::Deny, 1, 1, 3},
+        {CheckProtocol::Deny, 1, 1, 4},
+        {CheckProtocol::Deny, 2, 1, 2},
+        {CheckProtocol::Allow, 1, 1, 3},
+        {CheckProtocol::Allow, 1, 1, 4},
+        {CheckProtocol::Allow, 2, 1, 2},
+    };
+
+    TextTable t({"protocol", "caches(home+rep)", "ops/cache", "states",
+                 "transitions", "verdict"});
+    bool all_ok = true;
+    for (const auto &c : cases) {
+        ModelConfig cfg;
+        cfg.protocol = c.proto;
+        cfg.homeCaches = c.home;
+        cfg.replicaCaches = c.rep;
+        cfg.opBudget = c.budget;
+        const auto r = explore(cfg);
+        all_ok = all_ok && r.ok;
+        t.addRow({checkProtocolName(c.proto),
+                  std::to_string(c.home) + "+" + std::to_string(c.rep),
+                  std::to_string(c.budget),
+                  std::to_string(r.statesExplored),
+                  std::to_string(r.transitions),
+                  r.ok ? "PASS" : ("FAIL: " + r.violation)});
+    }
+    t.print(std::cout);
+
+    // Demonstrate detection power on two deliberately broken protocols.
+    bench::printHeader("Mutation checks (the checker must FAIL these)");
+    ModelConfig bug1;
+    bug1.protocol = CheckProtocol::Deny;
+    bug1.bugSkipRmPush = true;
+    const auto r1 = explore(bug1);
+    std::printf("deny without RM push     : %s\n", r1.summary().c_str());
+    if (!r1.ok) {
+        std::printf("  counterexample:");
+        for (const auto &a : r1.trace)
+            std::printf(" [%s]", a.c_str());
+        std::printf("\n");
+    }
+    ModelConfig bug2;
+    bug2.protocol = CheckProtocol::Deny;
+    bug2.bugUnackedRdOwn = true;
+    const auto r2 = explore(bug2);
+    std::printf("unacked ownership grant  : %s\n", r2.summary().c_str());
+
+    return all_ok && !r1.ok && !r2.ok ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fault-injection walkthrough: escalate fault scope from a single cell
+ * to a whole memory controller and watch each protection layer respond.
+ *
+ * Demonstrates the paper's central reliability claim: because Dvé's
+ * second copy lives behind a different controller on a different socket,
+ * it recovers from faults that defeat every ECC-based scheme -- up to
+ * and including memory-controller failure.
+ */
+
+#include <cstdio>
+
+#include "core/dve_engine.hh"
+
+using namespace dve;
+
+namespace
+{
+
+/** Run one load and report what the memory system observed. */
+void
+probe(DveEngine &e, Addr addr, Tick &clock, const char *what)
+{
+    const auto r = e.access(0, 0, addr, false, 0, clock);
+    clock = r.done;
+    std::printf("  read after %-28s -> value %llu | system CE %llu, "
+                "replica recoveries %llu, machine checks %llu, "
+                "degraded lines %llu\n",
+                what, static_cast<unsigned long long>(r.value),
+                static_cast<unsigned long long>(
+                    e.systemCorrectedErrors()),
+                static_cast<unsigned long long>(e.replicaRecoveries()),
+                static_cast<unsigned long long>(
+                    e.machineCheckExceptions()),
+                static_cast<unsigned long long>(e.degradedLines()));
+}
+
+/** Push the cached line out so the next read hits DRAM again. */
+void
+flushLine(DveEngine &e, Addr addr, Tick &clock)
+{
+    // Writing from the other socket steals the line; writing it back
+    // again and evicting via conflicting fills would also work, but for
+    // a demo we simply invalidate through coherence and re-home it.
+    const auto w =
+        e.access(1, 0, addr, true, e.logicalValue(lineNum(addr)), clock);
+    clock = w.done;
+    // Stream conflicting lines through socket 1's LLC set to force the
+    // dirty eviction (writeback updates both memories).
+    for (unsigned i = 1; i <= 40; ++i) {
+        const Addr a = addr + Addr(i) * 16384 * 64;
+        if (lineNum(a) % 256 != lineNum(addr) % 256)
+            continue;
+        clock = e.access(1, 0, a, false, 0, clock).done;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    EngineConfig cfg;
+    cfg.llcBytes = 1024 * 1024; // quicker evictions for the demo
+    cfg.dram = DramConfig::ddr4Replicated();
+    cfg.scheme = Scheme::ChipkillSscDsd;
+    DveConfig dcfg; // deny protocol, fixed full replication
+    DveEngine e(cfg, dcfg);
+
+    const Addr addr = 0x0; // page 0: home socket 0, replica socket 1
+    Tick clock = 0;
+
+    std::printf("Dvé fault-injection demo (Chipkill DIMMs + cross-"
+                "socket replica)\n\n");
+    clock = e.access(0, 0, addr, true, 42, clock).done;
+    flushLine(e, addr, clock);
+    std::printf("wrote 42; line is now resident in both sockets' "
+                "memories (home=%llu replica=%llu)\n\n",
+                static_cast<unsigned long long>(e.memory(0).peek(addr)),
+                static_cast<unsigned long long>(e.memory(1).peek(addr)));
+
+    // --- 1: single chip failure: Chipkill corrects locally. ----------
+    FaultDescriptor chip;
+    chip.scope = FaultScope::Chip;
+    chip.socket = 0;
+    chip.chip = 3;
+    const auto chip_id = e.faultRegistry().inject(chip);
+    std::printf("1) one DRAM chip fails on socket 0:\n");
+    probe(e, addr, clock, "chip failure (Chipkill fixes)");
+    e.faultRegistry().clear(chip_id);
+
+    // --- 2: double chip failure: beyond Chipkill, Dvé diverts. -------
+    std::printf("\n2) two chips fail in the same rank (defeats "
+                "Chipkill):\n");
+    for (unsigned c : {2u, 11u}) {
+        FaultDescriptor f = chip;
+        f.chip = c;
+        f.transient = true; // cured by the recovery rewrite
+        e.faultRegistry().inject(f);
+    }
+    flushLine(e, addr, clock);
+    probe(e, addr, clock, "2-chip failure (replica heals)");
+
+    // --- 3: whole memory-controller failure. -------------------------
+    std::printf("\n3) socket 0's memory controller fails outright:\n");
+    FaultDescriptor mc;
+    mc.scope = FaultScope::Controller;
+    mc.socket = 0;
+    e.faultRegistry().inject(mc);
+    flushLine(e, addr, clock);
+    probe(e, addr, clock, "controller failure (degraded)");
+    probe(e, addr, clock, "second read (funneled copy)");
+
+    // --- 4: and finally the replica dies too: data loss, detected. ---
+    std::printf("\n4) the replica controller fails as well:\n");
+    FaultDescriptor mc2 = mc;
+    mc2.socket = 1;
+    e.faultRegistry().inject(mc2);
+    flushLine(e, addr, clock);
+    probe(e, addr, clock, "both copies gone (DUE)");
+
+    std::printf("\nEvery step was detected; data was lost only when "
+                "both independent\ncontrollers had failed -- the "
+                "machine-check, not silent corruption.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Protocol explorer: drive the embedded model checker interactively-ish.
+ * Verifies a chosen replica protocol exhaustively, then demonstrates a
+ * counterexample trace on a deliberately broken variant -- the workflow
+ * the paper performs with Murphi (Sec. V-C4).
+ *
+ *   $ ./build/examples/protocol_explorer [allow|deny] [budget]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+#include "protocol_check/checker.hh"
+
+using namespace dve::pcheck;
+
+int
+main(int argc, char **argv)
+{
+    CheckProtocol proto = CheckProtocol::Deny;
+    if (argc > 1 && std::strcmp(argv[1], "allow") == 0)
+        proto = CheckProtocol::Allow;
+    const unsigned budget =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 3;
+
+    ModelConfig cfg;
+    cfg.protocol = proto;
+    cfg.homeCaches = 1;
+    cfg.replicaCaches = 1;
+    cfg.opBudget = budget;
+
+    std::printf("exhaustively checking the %s replica protocol "
+                "(1 home cache + 1 replica cache, %u ops each)...\n",
+                checkProtocolName(proto), budget);
+    const auto ok = explore(cfg);
+    std::printf("  %s\n\n", ok.summary().c_str());
+
+    std::printf("now breaking it on purpose (grant completes without "
+                "the replica directory's ack):\n");
+    ModelConfig broken = cfg;
+    broken.bugUnackedRdOwn = true;
+    const auto bad = explore(broken);
+    std::printf("  %s\n", bad.summary().c_str());
+    if (!bad.ok) {
+        std::printf("  counterexample (agent ids: 0=home cache, "
+                    "1=replica cache, 2=home dir, 3=replica dir):\n");
+        for (const auto &step : bad.trace)
+            std::printf("    %s\n", step.c_str());
+    }
+    return ok.ok && !bad.ok ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Trace tooling: generate a workload's synchronization-aware trace,
+ * save it in the binary format, reload it, and print a summary -- the
+ * Prism/SynchroTrace-style workflow of the paper's methodology.
+ *
+ *   $ ./build/examples/trace_tool gen  <workload> <file> [threads] [scale]
+ *   $ ./build/examples/trace_tool info <file>
+ */
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "trace/workloads.hh"
+
+using namespace dve;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: trace_tool gen <workload> <file> [threads] "
+                 "[scale]\n"
+                 "       trace_tool info <file>\n");
+    return 2;
+}
+
+void
+summarize(const ThreadTraces &traces)
+{
+    std::array<std::uint64_t, 6> counts{};
+    std::uint64_t compute_cycles = 0;
+    for (const auto &thread : traces) {
+        for (const auto &op : thread) {
+            ++counts[static_cast<unsigned>(op.type)];
+            if (op.type == OpType::Compute)
+                compute_cycles += op.arg;
+        }
+    }
+    std::printf("threads          : %zu\n", traces.size());
+    std::printf("events           : %llu\n",
+                static_cast<unsigned long long>(totalOps(traces)));
+    for (unsigned t = 0; t < counts.size(); ++t) {
+        std::printf("  %-14s : %llu\n",
+                    opTypeName(static_cast<OpType>(t)),
+                    static_cast<unsigned long long>(counts[t]));
+    }
+    std::printf("compute cycles   : %llu\n",
+                static_cast<unsigned long long>(compute_cycles));
+    const double mem = static_cast<double>(totalMemOps(traces));
+    std::printf("write fraction   : %.1f%%\n",
+                mem > 0 ? 100.0 * double(counts[1]) / mem : 0.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+
+    if (std::strcmp(argv[1], "gen") == 0) {
+        if (argc < 4)
+            return usage();
+        const WorkloadProfile &wl = workloadByName(argv[2]);
+        const unsigned threads =
+            argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 16;
+        const double scale = argc > 5 ? std::atof(argv[5]) : 1.0;
+
+        const auto traces = generateTraces(wl, threads, scale);
+        std::ofstream os(argv[3], std::ios::binary);
+        if (!os)
+            dve_fatal("cannot open '", argv[3], "' for writing");
+        writeTraces(os, traces);
+        std::printf("wrote '%s' (%s/%s)\n", argv[3], wl.suite.c_str(),
+                    wl.name.c_str());
+        summarize(traces);
+        return 0;
+    }
+
+    if (std::strcmp(argv[1], "info") == 0) {
+        std::ifstream is(argv[2], std::ios::binary);
+        if (!is)
+            dve_fatal("cannot open '", argv[2], "'");
+        const auto traces = readTraces(is);
+        std::printf("trace '%s'\n", argv[2]);
+        summarize(traces);
+        return 0;
+    }
+    return usage();
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A fully associative LRU key set with O(1) touch/insert/erase.
+ *
+ * Used to model the on-chip replica-directory cache, which the paper
+ * configures as a fully associative 2K-entry structure. A hash map plus
+ * intrusive recency list keeps simulation cost constant per access.
+ */
+
+#ifndef DVE_CACHE_ASSOC_LRU_HH
+#define DVE_CACHE_ASSOC_LRU_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+/** Fully associative LRU-managed set of keys with attached values. */
+template <typename K, typename V>
+class AssocLru
+{
+  public:
+    explicit AssocLru(std::size_t capacity) : capacity_(capacity)
+    {
+        dve_assert(capacity >= 1, "capacity must be positive");
+    }
+
+    /** Look up a key, refreshing recency. nullptr on miss. */
+    V *
+    find(const K &key)
+    {
+        const auto it = map_.find(key);
+        if (it == map_.end())
+            return nullptr;
+        order_.splice(order_.begin(), order_, it->second);
+        return &it->second->second;
+    }
+
+    /** Look up without touching recency. */
+    const V *
+    peek(const K &key) const
+    {
+        const auto it = map_.find(key);
+        return it == map_.end() ? nullptr : &it->second->second;
+    }
+
+    /**
+     * Insert or overwrite a key, refreshing recency.
+     * @return the evicted (key, value) pair, if capacity forced one out.
+     */
+    std::optional<std::pair<K, V>>
+    insert(const K &key, V value)
+    {
+        const auto it = map_.find(key);
+        if (it != map_.end()) {
+            it->second->second = std::move(value);
+            order_.splice(order_.begin(), order_, it->second);
+            return std::nullopt;
+        }
+        std::optional<std::pair<K, V>> evicted;
+        if (map_.size() >= capacity_) {
+            auto last = std::prev(order_.end());
+            evicted = std::move(*last);
+            map_.erase(last->first);
+            order_.erase(last);
+        }
+        order_.emplace_front(key, std::move(value));
+        map_[key] = order_.begin();
+        return evicted;
+    }
+
+    /** Remove a key if present. @return true when it was present. */
+    bool
+    erase(const K &key)
+    {
+        const auto it = map_.find(key);
+        if (it == map_.end())
+            return false;
+        order_.erase(it->second);
+        map_.erase(it);
+        return true;
+    }
+
+    void
+    clear()
+    {
+        map_.clear();
+        order_.clear();
+    }
+
+    std::size_t size() const { return map_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t capacity_;
+    std::list<std::pair<K, V>> order_; ///< front = most recent
+    std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
+        map_;
+};
+
+} // namespace dve
+
+#endif // DVE_CACHE_ASSOC_LRU_HH

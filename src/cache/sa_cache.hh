@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Generic set-associative cache array with true-LRU replacement.
+ *
+ * The array stores tags plus caller-defined per-line metadata; protocol
+ * logic lives in the coherence engine, keeping this container reusable for
+ * L1s, LLCs and the on-chip replica-directory cache (which the paper
+ * configures fully associative: sets = 1).
+ */
+
+#ifndef DVE_CACHE_SA_CACHE_HH
+#define DVE_CACHE_SA_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dve
+{
+
+/**
+ * @tparam EntryT caller metadata attached to each resident line.
+ *
+ * Lines are identified by line number (address >> 6). The cache maps a
+ * line to a set with a simple modulo; ways within a set use true LRU
+ * driven by a monotonic access stamp.
+ */
+template <typename EntryT>
+class SetAssocCache
+{
+  public:
+    /** A resident line: its number plus caller metadata. */
+    struct Line
+    {
+        Addr lineNum = 0;
+        EntryT entry{};
+    };
+
+    SetAssocCache(unsigned sets, unsigned ways) : sets_(sets), ways_(ways)
+    {
+        dve_assert(sets >= 1 && ways >= 1, "degenerate cache geometry");
+        ways_store_.resize(std::size_t(sets) * ways);
+    }
+
+    /** Construct geometry from capacity in bytes (64 B lines). */
+    static SetAssocCache
+    fromCapacity(std::uint64_t bytes, unsigned ways)
+    {
+        const std::uint64_t lines = bytes / lineBytes;
+        dve_assert(lines % ways == 0, "capacity not divisible by ways");
+        return SetAssocCache(static_cast<unsigned>(lines / ways), ways);
+    }
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+    std::uint64_t capacityLines() const
+    {
+        return std::uint64_t(sets_) * ways_;
+    }
+
+    /** Look up a line, updating LRU on hit. Returns nullptr on miss. */
+    EntryT *
+    find(Addr line_num)
+    {
+        Slot *s = findSlot(line_num);
+        if (!s)
+            return nullptr;
+        s->stamp = ++clock_;
+        return &s->line.entry;
+    }
+
+    /** Look up without disturbing LRU (for inspection/invariants). */
+    const EntryT *
+    peek(Addr line_num) const
+    {
+        const Slot *s = const_cast<SetAssocCache *>(this)
+                            ->findSlot(line_num);
+        return s ? &s->line.entry : nullptr;
+    }
+
+    /**
+     * Insert a line, evicting the LRU way if the set is full.
+     * The line must not already be resident.
+     * @return the evicted line, if any.
+     */
+    std::optional<Line>
+    insert(Addr line_num, EntryT entry)
+    {
+        dve_assert(!findSlot(line_num), "double insert of line ", line_num);
+        const std::size_t base = setBase(line_num);
+
+        Slot *victim = nullptr;
+        for (unsigned w = 0; w < ways_; ++w) {
+            Slot &s = ways_store_[base + w];
+            if (!s.valid) {
+                victim = &s;
+                break;
+            }
+            if (!victim || s.stamp < victim->stamp)
+                victim = &s;
+        }
+
+        std::optional<Line> evicted;
+        if (victim->valid)
+            evicted = victim->line;
+        victim->valid = true;
+        victim->line = Line{line_num, std::move(entry)};
+        victim->stamp = ++clock_;
+        return evicted;
+    }
+
+    /** Remove a line if resident. @return true if it was present. */
+    bool
+    erase(Addr line_num)
+    {
+        Slot *s = findSlot(line_num);
+        if (!s)
+            return false;
+        s->valid = false;
+        return true;
+    }
+
+    /** Number of resident lines (O(capacity); for tests/stats). */
+    std::uint64_t
+    residentLines() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &s : ways_store_)
+            n += s.valid;
+        return n;
+    }
+
+    /** Visit every resident line. */
+    void
+    forEach(const std::function<void(Addr, EntryT &)> &fn)
+    {
+        for (auto &s : ways_store_) {
+            if (s.valid)
+                fn(s.line.lineNum, s.line.entry);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        std::uint64_t stamp = 0;
+        Line line{};
+    };
+
+    std::size_t setBase(Addr line_num) const
+    {
+        return std::size_t(line_num % sets_) * ways_;
+    }
+
+    Slot *
+    findSlot(Addr line_num)
+    {
+        const std::size_t base = setBase(line_num);
+        for (unsigned w = 0; w < ways_; ++w) {
+            Slot &s = ways_store_[base + w];
+            if (s.valid && s.line.lineNum == line_num)
+                return &s;
+        }
+        return nullptr;
+    }
+
+    unsigned sets_;
+    unsigned ways_;
+    std::uint64_t clock_ = 0;
+    std::vector<Slot> ways_store_;
+};
+
+} // namespace dve
+
+#endif // DVE_CACHE_SA_CACHE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The global home directory of one socket.
+ *
+ * Tracks, for every line homed at the socket, the MOSI state at socket
+ * granularity ("coarse-grain sharing vector", Table II) and serializes
+ * concurrent transactions per line with a busy-until clock -- the
+ * latency-composed equivalent of holding the line in an MSHR transient
+ * state (Sec. V-C3 of the paper).
+ */
+
+#ifndef DVE_COHERENCE_DIRECTORY_HH
+#define DVE_COHERENCE_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "coherence/types.hh"
+
+namespace dve
+{
+
+/** Directory entry for one line, at socket granularity. */
+struct DirEntry
+{
+    LineState state = LineState::I;
+    std::uint32_t sharers = 0; ///< bitmask of sockets with a copy
+    int owner = -1;            ///< socket owning dirty data (M/O)
+
+    bool hasSharer(unsigned s) const { return sharers & (1u << s); }
+    void addSharer(unsigned s) { sharers |= (1u << s); }
+    void removeSharer(unsigned s) { sharers &= ~(1u << s); }
+    unsigned sharerCount() const { return __builtin_popcount(sharers); }
+};
+
+/** Home directory of one socket (full directory, absence = I). */
+class HomeDirectory
+{
+  public:
+    explicit HomeDirectory(unsigned socket) : socket_(socket) {}
+
+    /** Entry lookup without creation; nullptr means state I. */
+    DirEntry *
+    find(Addr line)
+    {
+        const auto it = entries_.find(line);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /** Entry lookup, creating an I entry. */
+    DirEntry &lookup(Addr line) { return entries_[line]; }
+
+    /** Drop an entry that returned to I. */
+    void
+    drop(Addr line)
+    {
+        entries_.erase(line);
+    }
+
+    /**
+     * Serialize a transaction: returns the tick at which the transaction
+     * may begin (>= arrival, after any in-flight transaction on the line).
+     */
+    Tick
+    acquire(Addr line, Tick arrival)
+    {
+        const auto it = busyUntil_.find(line);
+        if (it == busyUntil_.end())
+            return arrival;
+        const Tick start = std::max(arrival, it->second);
+        if (it->second <= arrival)
+            busyUntil_.erase(it);
+        return start;
+    }
+
+    /** Mark the line busy until @p until. */
+    void
+    release(Addr line, Tick until)
+    {
+        Tick &t = busyUntil_[line];
+        t = std::max(t, until);
+    }
+
+    unsigned socket() const { return socket_; }
+
+    std::size_t trackedLines() const { return entries_.size(); }
+
+    /** Visit every tracked entry (protocol-switch warmup, invariants). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[line, e] : entries_)
+            fn(line, e);
+    }
+
+  private:
+    unsigned socket_;
+    std::unordered_map<Addr, DirEntry> entries_;
+    std::unordered_map<Addr, Tick> busyUntil_;
+};
+
+} // namespace dve
+
+#endif // DVE_COHERENCE_DIRECTORY_HH

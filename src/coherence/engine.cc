@@ -1,0 +1,573 @@
+#include "coherence/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+const char *
+lineStateName(LineState s)
+{
+    switch (s) {
+      case LineState::I: return "I";
+      case LineState::S: return "S";
+      case LineState::M: return "M";
+      case LineState::O: return "O";
+    }
+    return "?";
+}
+
+const char *
+reqClassName(ReqClass c)
+{
+    switch (c) {
+      case ReqClass::PrivateRead: return "private-read";
+      case ReqClass::ReadOnly: return "read-only";
+      case ReqClass::ReadWrite: return "read-write";
+      case ReqClass::PrivateReadWrite: return "private-read-write";
+    }
+    return "?";
+}
+
+CoherenceEngine::SocketState::SocketState(const EngineConfig &cfg,
+                                          unsigned socket,
+                                          FaultRegistry *faults)
+    : llc(SetAssocCache<LlcEntry>::fromCapacity(cfg.llcBytes, cfg.llcWays)),
+      dir(socket)
+{
+    for (unsigned c = 0; c < cfg.coresPerSocket; ++c) {
+        l1.push_back(
+            SetAssocCache<L1Entry>::fromCapacity(cfg.l1Bytes, cfg.l1Ways));
+    }
+    mc = std::make_unique<MemoryController>(
+        "mem" + std::to_string(socket), socket, cfg.dram, cfg.scheme,
+        cfg.mirror, faults, cfg.seed * 7919 + socket);
+}
+
+namespace
+{
+
+NocConfig
+nocFor(const EngineConfig &cfg)
+{
+    NocConfig noc = cfg.noc;
+    noc.sockets = cfg.sockets;
+    noc.hopLatency = cfg.coreClock().period(); // 1 core cycle per hop
+    return noc;
+}
+
+} // namespace
+
+CoherenceEngine::CoherenceEngine(const EngineConfig &cfg)
+    : cfg_(cfg), clk_(cfg.coreFreqMhz), ic_(nocFor(cfg)), stats_("engine")
+{
+    cfg_.noc = ic_.config();
+    dve_assert(cfg_.sockets >= 1, "need at least one socket");
+    dve_assert(cfg_.coresPerSocket
+                   <= cfg_.noc.meshCols * cfg_.noc.meshRows,
+               "more cores than mesh tiles");
+    sockets_.reserve(cfg_.sockets);
+    for (unsigned s = 0; s < cfg_.sockets; ++s)
+        sockets_.emplace_back(cfg_, s, &faults_);
+
+    stats_.add("reads", reads_);
+    stats_.add("writes", writes_);
+    stats_.add("l1_hits", l1Hits_);
+    stats_.add("llc_hits", llcHits_);
+    stats_.add("llc_misses", llcMisses_);
+    stats_.add("writebacks", writebacks_);
+    stats_.add("machine_checks", due_);
+    stats_.add("system_corrected_errors", sysCe_);
+    stats_.add("sdc_reads", sdcReads_);
+    stats_.add("class_private_read", classCount_[0]);
+    stats_.add("class_read_only", classCount_[1]);
+    stats_.add("class_read_write", classCount_[2]);
+    stats_.add("class_private_read_write", classCount_[3]);
+    stats_.add("miss_latency_sum_ticks", missLatencySum_);
+}
+
+void
+CoherenceEngine::classify(bool is_write, LineState state)
+{
+    ReqClass c;
+    if (!is_write) {
+        c = state == LineState::I   ? ReqClass::PrivateRead
+            : state == LineState::S ? ReqClass::ReadOnly
+                                    : ReqClass::ReadWrite;
+    } else {
+        c = state == LineState::I ? ReqClass::PrivateReadWrite
+                                  : ReqClass::ReadWrite;
+    }
+    ++classCount_[static_cast<unsigned>(c)];
+}
+
+AccessResult
+CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
+                        bool is_write, std::uint64_t write_value, Tick now)
+{
+    dve_assert(socket < cfg_.sockets && core < cfg_.coresPerSocket,
+               "core id out of range");
+    const Addr line = lineNum(addr);
+
+    if (is_write) {
+        ++writes_;
+        // Transactions serialize in processing order, which is also the
+        // order writes gain ownership, so the logical image updates here.
+        logicalMem_[line] = write_value;
+    } else {
+        ++reads_;
+    }
+
+    auto &l1 = sockets_[socket].l1[core];
+    const Tick t_l1 = now + cycles(cfg_.l1Latency);
+
+    if (L1Entry *e = l1.find(line)) {
+        if (!is_write) {
+            ++l1Hits_;
+            if (e->value != logicalValue(line)) {
+                ++sdcReads_;
+                if (cfg_.validateValues) {
+                    dve_panic("L1 read value mismatch on line ", line);
+                }
+            }
+            noteCompletion(t_l1);
+            return {t_l1, e->value};
+        }
+        if (e->writable) {
+            ++l1Hits_;
+            e->value = write_value;
+            e->dirty = true;
+            noteCompletion(t_l1);
+            return {t_l1, write_value};
+        }
+        // Write to a shared copy: upgrade through the LLC path below.
+    }
+
+    AccessResult r = accessLlc(socket, core, line, is_write, write_value,
+                               t_l1);
+    if (!is_write && r.value != logicalValue(line)) {
+        ++sdcReads_;
+        if (cfg_.validateValues)
+            dve_panic("read value mismatch on line ", line);
+    }
+    noteCompletion(r.done);
+    return r;
+}
+
+Tick
+CoherenceEngine::recallL1Owner(unsigned socket, Addr line, LlcEntry &e,
+                               Tick when)
+{
+    if (e.l1Owner < 0)
+        return when;
+    const unsigned owner = static_cast<unsigned>(e.l1Owner);
+    const NodeId sn = sliceNode(socket, line);
+    const NodeId on = coreNode(socket, owner);
+
+    Tick t = when + ic_.send(sn, on, MsgClass::Control);
+    t += cycles(cfg_.l1Latency);
+
+    L1Entry *l1e = sockets_[socket].l1[owner].find(line);
+    dve_assert(l1e, "L1 owner lost its line (inclusion broken)");
+    if (l1e->dirty) {
+        e.value = l1e->value;
+        e.dirty = true;
+    }
+    l1e->writable = false;
+    l1e->dirty = false;
+    e.l1Owner = -1;
+
+    t += ic_.send(on, sn, MsgClass::Data);
+    return t;
+}
+
+void
+CoherenceEngine::fillL1(unsigned socket, unsigned core, Addr line,
+                        bool writable, std::uint64_t value)
+{
+    auto &l1 = sockets_[socket].l1[core];
+    if (L1Entry *e = l1.find(line)) {
+        e->writable = writable;
+        e->dirty = writable;
+        e->value = value;
+        return;
+    }
+    auto evicted = l1.insert(line, L1Entry{writable, writable, value});
+    if (!evicted)
+        return;
+    // L1 victim: fold into the (inclusive) LLC entry.
+    LlcEntry *le = sockets_[socket].llc.find(evicted->lineNum);
+    dve_assert(le, "L1 victim not present in LLC (inclusion broken)");
+    if (evicted->entry.dirty) {
+        le->value = evicted->entry.value;
+        le->dirty = true;
+    }
+    le->l1Sharers &= static_cast<std::uint8_t>(~(1u << core));
+    if (le->l1Owner == static_cast<int>(core))
+        le->l1Owner = -1;
+}
+
+Tick
+CoherenceEngine::invalidateSocketCopy(unsigned socket, Addr line, Tick when)
+{
+    const Tick t = when + cycles(cfg_.llcLatency);
+    auto &sk = sockets_[socket];
+    LlcEntry *e = sk.llc.find(line);
+    if (!e)
+        return t; // stale sharer bit: nothing to do
+    for (unsigned c = 0; c < cfg_.coresPerSocket; ++c) {
+        if (e->l1Sharers & (1u << c))
+            sk.l1[c].erase(line);
+    }
+    sk.llc.erase(line);
+    return t;
+}
+
+void
+CoherenceEngine::evictLlcVictim(unsigned socket, Addr line, LlcEntry entry,
+                                Tick when)
+{
+    auto &sk = sockets_[socket];
+    // Back-invalidate L1 copies (inclusive hierarchy), folding dirty data.
+    for (unsigned c = 0; c < cfg_.coresPerSocket; ++c) {
+        if (!(entry.l1Sharers & (1u << c)))
+            continue;
+        if (L1Entry *l1e = sk.l1[c].find(line)) {
+            if (l1e->dirty) {
+                entry.value = l1e->value;
+                entry.dirty = true;
+            }
+            sk.l1[c].erase(line);
+        }
+    }
+    if (entry.state == LineState::M || entry.state == LineState::O) {
+        ++writebacks_;
+        putM(socket, line, entry.value, when);
+    }
+    // Shared clean lines drop silently; home sharer bits go stale, which
+    // later invalidations tolerate.
+}
+
+void
+CoherenceEngine::putM(unsigned from_socket, Addr line, std::uint64_t value,
+                      Tick t_slice)
+{
+    const unsigned h = homeSocket(line);
+    const Tick arrival =
+        t_slice
+        + ic_.send(sliceNode(from_socket, line), dirNode(h),
+                   MsgClass::Data);
+    auto &dir = sockets_[h].dir;
+    const Tick start = dir.acquire(line, arrival) + cycles(cfg_.dirLatency);
+
+    DirEntry *e = dir.find(line);
+    dve_assert(e && e->owner == static_cast<int>(from_socket),
+               "writeback from non-owner socket for line ", line);
+
+    const Tick wb_done = writebackToMemory(h, line, value, start);
+
+    const bool retain =
+        retainSharerAfterWriteback(h, line, from_socket);
+    if (!retain)
+        e->removeSharer(from_socket);
+    if (!retain && (e->state == LineState::M || e->sharers == 0)) {
+        dir.drop(line);
+    } else {
+        e->state = LineState::S;
+        e->owner = -1;
+    }
+    dir.release(line, wb_done);
+}
+
+CoherenceEngine::MissResult
+CoherenceEngine::homeGets(unsigned req_socket, Addr line, Tick start,
+                          NodeId dest)
+{
+    const unsigned h = homeSocket(line);
+    DirEntry &e = sockets_[h].dir.lookup(line);
+    classify(false, e.state);
+
+    MissResult res;
+    if (e.state == LineState::I || e.state == LineState::S) {
+        const MemRead m = readMemoryChecked(h, line, start);
+        res.value = m.value;
+        res.done = m.ready + ic_.send(dirNode(h), dest, MsgClass::Data);
+        e.state = LineState::S;
+        e.addSharer(req_socket);
+        return res;
+    }
+
+    // M or O: fetch from the owning socket's LLC; owner retains dirty
+    // data in O (MOSI), memory is not updated.
+    dve_assert(e.owner >= 0, "M/O entry without owner");
+    const unsigned o = static_cast<unsigned>(e.owner);
+    dve_assert(o != req_socket, "owner missed its own line");
+
+    const NodeId osn = sliceNode(o, line);
+    Tick t = start + ic_.send(dirNode(h), osn, MsgClass::Control);
+    t += cycles(cfg_.llcLatency);
+    LlcEntry *oe = sockets_[o].llc.find(line);
+    dve_assert(oe, "directory points at socket without the line");
+    t = recallL1Owner(o, line, *oe, t);
+    oe->state = LineState::O;
+
+    res.value = oe->value;
+    res.dirtyData = true;
+    res.done = t + ic_.send(osn, dest, MsgClass::Data);
+
+    e.state = LineState::O;
+    e.addSharer(req_socket);
+    return res;
+}
+
+CoherenceEngine::MissResult
+CoherenceEngine::homeGetx(unsigned req_socket, Addr line, Tick start,
+                          NodeId dest)
+{
+    const unsigned h = homeSocket(line);
+    DirEntry &e = sockets_[h].dir.lookup(line);
+    classify(true, e.state);
+
+    MissResult res;
+    Tick data_path = 0;
+    Tick inval_path = start;
+
+    auto invalidateSharer = [&](unsigned x) {
+        Tick ti = start
+                  + ic_.send(dirNode(h), sliceNode(x, line),
+                             MsgClass::Control);
+        ti = invalidateSocketCopy(x, line, ti);
+        ti += ic_.send(sliceNode(x, line), dest, MsgClass::Control);
+        inval_path = std::max(inval_path, ti);
+    };
+
+    if (e.state == LineState::I) {
+        const MemRead m = readMemoryChecked(h, line, start);
+        res.value = m.value;
+        data_path = m.ready + ic_.send(dirNode(h), dest, MsgClass::Data);
+    } else if (e.state == LineState::S) {
+        for (unsigned x = 0; x < cfg_.sockets; ++x) {
+            if (x != req_socket && e.hasSharer(x))
+                invalidateSharer(x);
+        }
+        LlcEntry *re = sockets_[req_socket].llc.find(line);
+        if (e.hasSharer(req_socket) && re) {
+            // Upgrade: permission grant only, data already local.
+            res.value = re->value;
+            data_path =
+                start + ic_.send(dirNode(h), dest, MsgClass::Control);
+        } else {
+            const MemRead m = readMemoryChecked(h, line, start);
+            res.value = m.value;
+            data_path =
+                m.ready + ic_.send(dirNode(h), dest, MsgClass::Data);
+        }
+    } else {
+        // M or O.
+        dve_assert(e.owner >= 0, "M/O entry without owner");
+        const unsigned o = static_cast<unsigned>(e.owner);
+        if (o == req_socket) {
+            // Upgrade from O: data local, invalidate the other sharers.
+            LlcEntry *re = sockets_[req_socket].llc.find(line);
+            dve_assert(re, "owner socket lost its line");
+            res.value = re->value;
+            res.dirtyData = true;
+            data_path =
+                start + ic_.send(dirNode(h), dest, MsgClass::Control);
+        } else {
+            const NodeId osn = sliceNode(o, line);
+            Tick t = start + ic_.send(dirNode(h), osn, MsgClass::Control);
+            t += cycles(cfg_.llcLatency);
+            LlcEntry *oe = sockets_[o].llc.find(line);
+            dve_assert(oe, "directory points at socket without the line");
+            t = recallL1Owner(o, line, *oe, t);
+            res.value = oe->value;
+            res.dirtyData = oe->dirty;
+            data_path = t + ic_.send(osn, dest, MsgClass::Data);
+            invalidateSocketCopy(o, line, t); // ownership transfers
+        }
+        for (unsigned x = 0; x < cfg_.sockets; ++x) {
+            if (x != req_socket && x != o && e.hasSharer(x))
+                invalidateSharer(x);
+        }
+    }
+
+    const std::uint32_t prev_sharers = e.sharers;
+    e.state = LineState::M;
+    e.sharers = 1u << req_socket;
+    e.owner = static_cast<int>(req_socket);
+
+    const Tick hook_done =
+        grantedExclusive(h, line, req_socket, start, prev_sharers);
+    res.done = std::max({data_path, inval_path, hook_done});
+    return res;
+}
+
+CoherenceEngine::MissResult
+CoherenceEngine::serviceLlcMiss(unsigned socket, Addr line, bool is_write,
+                                Tick t_slice)
+{
+    const unsigned h = homeSocket(line);
+    const NodeId dest = sliceNode(socket, line);
+    const Tick arrival =
+        t_slice + ic_.send(dest, dirNode(h), MsgClass::Control);
+    auto &dir = sockets_[h].dir;
+    const Tick start =
+        dir.acquire(line, arrival) + cycles(cfg_.dirLatency);
+    const MissResult r = is_write ? homeGetx(socket, line, start, dest)
+                                  : homeGets(socket, line, start, dest);
+    dir.release(line, r.done);
+    return r;
+}
+
+AccessResult
+CoherenceEngine::accessLlc(unsigned socket, unsigned core, Addr line,
+                           bool is_write, std::uint64_t write_value,
+                           Tick t0)
+{
+    auto &sk = sockets_[socket];
+    const NodeId cn = coreNode(socket, core);
+    const NodeId sn = sliceNode(socket, line);
+
+    Tick t = t0 + ic_.send(cn, sn, MsgClass::Control)
+             + cycles(cfg_.llcLatency);
+
+    LlcEntry *e = sk.llc.find(line);
+
+    if (e && (!is_write || e->state == LineState::M)) {
+        ++llcHits_;
+        if (e->l1Owner >= 0 && static_cast<unsigned>(e->l1Owner) != core)
+            t = recallL1Owner(socket, line, *e, t);
+
+        if (is_write) {
+            const std::uint8_t others =
+                e->l1Sharers & static_cast<std::uint8_t>(~(1u << core));
+            if (others) {
+                Tick worst = t;
+                for (unsigned x = 0; x < cfg_.coresPerSocket; ++x) {
+                    if (!(others & (1u << x)))
+                        continue;
+                    Tick ti = t
+                              + ic_.send(sn, coreNode(socket, x),
+                                         MsgClass::Control)
+                              + cycles(cfg_.l1Latency);
+                    sk.l1[x].erase(line);
+                    ti += ic_.send(coreNode(socket, x), sn,
+                                   MsgClass::Control);
+                    worst = std::max(worst, ti);
+                }
+                t = worst;
+            }
+            e->l1Sharers = static_cast<std::uint8_t>(1u << core);
+            e->l1Owner = static_cast<int>(core);
+        } else {
+            e->l1Sharers |= static_cast<std::uint8_t>(1u << core);
+        }
+
+        const std::uint64_t value = is_write ? write_value : e->value;
+        fillL1(socket, core, line, is_write, value);
+        const Tick done = t + ic_.send(sn, cn, MsgClass::Data);
+        return {done, value};
+    }
+
+    // LLC miss (no entry) or upgrade (entry without write permission).
+    ++llcMisses_;
+    const bool upgrade = e != nullptr;
+
+    const MissResult m = serviceLlcMiss(socket, line, is_write, t);
+    missLatencySum_ += static_cast<double>(m.done - t0);
+
+    if (upgrade) {
+        e = sk.llc.find(line);
+        dve_assert(e, "upgrade entry vanished mid-transaction");
+        e->state = LineState::M;
+        if (m.dirtyData)
+            e->dirty = true;
+    } else {
+        LlcEntry fresh;
+        fresh.state = is_write ? LineState::M : LineState::S;
+        fresh.dirty = m.dirtyData;
+        fresh.value = m.value;
+        auto evicted = sk.llc.insert(line, fresh);
+        if (evicted)
+            evictLlcVictim(socket, evicted->lineNum, evicted->entry,
+                           m.done);
+        e = sk.llc.find(line);
+    }
+
+    if (is_write) {
+        // Invalidate other local L1 copies (only possible on upgrades;
+        // the invalidations overlap the global GETX, so they add traffic
+        // but not critical-path latency).
+        const std::uint8_t others =
+            e->l1Sharers & static_cast<std::uint8_t>(~(1u << core));
+        for (unsigned x = 0; x < cfg_.coresPerSocket; ++x) {
+            if (!(others & (1u << x)))
+                continue;
+            ic_.send(sn, coreNode(socket, x), MsgClass::Control);
+            sk.l1[x].erase(line);
+            ic_.send(coreNode(socket, x), sn, MsgClass::Control);
+        }
+        e->l1Sharers = static_cast<std::uint8_t>(1u << core);
+        e->l1Owner = static_cast<int>(core);
+    } else {
+        e->l1Sharers |= static_cast<std::uint8_t>(1u << core);
+    }
+
+    const std::uint64_t value = is_write ? write_value : e->value;
+    fillL1(socket, core, line, is_write, value);
+    const Tick done = m.done + ic_.send(sn, cn, MsgClass::Data);
+    return {done, value};
+}
+
+CoherenceEngine::MemRead
+CoherenceEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
+{
+    const auto m = sockets_[home].mc->read(line << lineShift, when);
+    if (m.status == EccStatus::Corrected)
+        ++sysCe_;
+    if (m.failed) {
+        // Baseline has no second copy: detected-uncorrectable error.
+        // Log a machine check and continue with the logical value
+        // (modelling a post-MCE software restore) so runs can proceed.
+        ++due_;
+        return {m.readyAt, logicalValue(line)};
+    }
+    return {m.readyAt, m.value};
+}
+
+Tick
+CoherenceEngine::writebackToMemory(unsigned home, Addr line,
+                                   std::uint64_t value, Tick when)
+{
+    return sockets_[home].mc->write(line << lineShift, value, when);
+}
+
+Tick
+CoherenceEngine::grantedExclusive(unsigned, Addr, unsigned, Tick start,
+                                  std::uint32_t)
+{
+    return start;
+}
+
+bool
+CoherenceEngine::retainSharerAfterWriteback(unsigned, Addr, unsigned)
+{
+    return false;
+}
+
+void
+CoherenceEngine::dumpStats(std::ostream &os) const
+{
+    stats_.dump(os);
+    ic_.stats().dump(os);
+    for (const auto &sk : sockets_) {
+        sk.mc->stats().dump(os);
+        for (unsigned c = 0; c < sk.mc->copies(); ++c)
+            sk.mc->dram(c).stats().dump(os);
+    }
+}
+
+} // namespace dve

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The baseline NUMA coherence engine.
+ *
+ * Models the Table II system: per-core L1s filtered through a shared
+ * per-socket LLC with an embedded fine-grain local directory, a global
+ * MOSI home directory per socket with a socket-grain sharing vector, a
+ * mesh NoC per socket, an inter-socket link, and a DDR4 memory controller
+ * per socket. Pages interleave across sockets round-robin.
+ *
+ * Transactions are latency-composed: each access walks the protocol to
+ * completion at issue time, summing/maxing message, directory, cache and
+ * DRAM latencies, while per-line busy-until clocks at the directories
+ * provide the MSHR serialization of concurrent requests. Virtual hooks
+ * (miss routing, memory read/writeback, exclusive grants) are the points
+ * Dvé's coherent replication extends.
+ */
+
+#ifndef DVE_COHERENCE_ENGINE_HH
+#define DVE_COHERENCE_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/sa_cache.hh"
+#include "coherence/directory.hh"
+#include "coherence/types.hh"
+#include "common/stats.hh"
+#include "mem/memory_controller.hh"
+#include "noc/interconnect.hh"
+
+namespace dve
+{
+
+/** Per-core L1 line metadata. */
+struct L1Entry
+{
+    bool writable = false;
+    bool dirty = false;
+    std::uint64_t value = 0;
+};
+
+/** Per-socket LLC line metadata (global MOSI state + local directory). */
+struct LlcEntry
+{
+    LineState state = LineState::S; ///< I is represented by absence
+    std::uint8_t l1Sharers = 0;     ///< cores holding the line in L1
+    std::int8_t l1Owner = -1;       ///< core holding it writable
+    bool dirty = false;             ///< LLC data differs from home memory
+    std::uint64_t value = 0;
+};
+
+/** Completion information for one core memory access. */
+struct AccessResult
+{
+    Tick done = 0;           ///< tick at which the access completes
+    std::uint64_t value = 0; ///< data observed by a read
+};
+
+/** The coherence engine; Dvé subclasses it (see core/dve_engine.hh). */
+class CoherenceEngine
+{
+  public:
+    explicit CoherenceEngine(const EngineConfig &cfg);
+    virtual ~CoherenceEngine() = default;
+
+    CoherenceEngine(const CoherenceEngine &) = delete;
+    CoherenceEngine &operator=(const CoherenceEngine &) = delete;
+
+    /**
+     * Perform one core load/store. @p now must be monotonically
+     * non-decreasing across calls (the event queue guarantees this).
+     */
+    AccessResult access(unsigned socket, unsigned core, Addr addr,
+                        bool is_write, std::uint64_t write_value,
+                        Tick now);
+
+    /** Home socket of a line (page round-robin interleave). */
+    unsigned
+    homeSocket(Addr line) const
+    {
+        return static_cast<unsigned>((line >> (pageShift - lineShift))
+                                     % cfg_.sockets);
+    }
+
+    const EngineConfig &config() const { return cfg_; }
+    Interconnect &interconnect() { return ic_; }
+    const Interconnect &interconnect() const { return ic_; }
+    MemoryController &memory(unsigned socket) { return *sockets_[socket].mc; }
+    HomeDirectory &directory(unsigned socket)
+    {
+        return sockets_[socket].dir;
+    }
+
+    /** LLC array of a socket (tests and invariant checks). */
+    SetAssocCache<LlcEntry> &llc(unsigned socket)
+    {
+        return sockets_[socket].llc;
+    }
+
+    /** The coherence-ordered "golden" value of a line. */
+    std::uint64_t
+    logicalValue(Addr line) const
+    {
+        const auto it = logicalMem_.find(line);
+        return it == logicalMem_.end() ? 0 : it->second;
+    }
+
+    /** Completion tick of the latest-finishing access so far. */
+    Tick lastCompletion() const { return lastCompletion_; }
+
+    // Aggregate statistics.
+    std::uint64_t l1Hits() const { return l1Hits_.value(); }
+    std::uint64_t llcHits() const { return llcHits_.value(); }
+    std::uint64_t llcMisses() const { return llcMisses_.value(); }
+    std::uint64_t machineCheckExceptions() const { return due_.value(); }
+    std::uint64_t systemCorrectedErrors() const { return sysCe_.value(); }
+    std::uint64_t sdcReadsObserved() const { return sdcReads_.value(); }
+    std::uint64_t classCount(ReqClass c) const
+    {
+        return classCount_[static_cast<unsigned>(c)].value();
+    }
+
+    const StatGroup &stats() const { return stats_; }
+
+    /**
+     * Dump every statistic group in the system (engine, NoC, memory
+     * controllers, DRAM modules) as "group.stat value" lines, gem5
+     * stats-file style.
+     */
+    virtual void dumpStats(std::ostream &os) const;
+
+    /** Scheme short name for reports ("numa", "dve-allow", ...). */
+    virtual const char *schemeName() const { return "numa"; }
+
+  protected:
+    struct SocketState
+    {
+        std::vector<SetAssocCache<L1Entry>> l1;
+        SetAssocCache<LlcEntry> llc;
+        HomeDirectory dir;
+        std::unique_ptr<MemoryController> mc;
+
+        SocketState(const EngineConfig &cfg, unsigned socket,
+                    FaultRegistry *faults);
+    };
+
+    /** Result of a global miss transaction. */
+    struct MissResult
+    {
+        Tick done = 0;             ///< data (or grant) at requester slice
+        std::uint64_t value = 0;   ///< line data
+        bool dirtyData = false;    ///< data came from a dirty owner
+    };
+
+    /** Timed, checked memory read (recovery differs in Dvé). */
+    struct MemRead
+    {
+        Tick ready = 0;
+        std::uint64_t value = 0;
+    };
+
+    // ---- Hook points for Dvé ------------------------------------------
+
+    /** Route and perform an LLC miss/upgrade transaction. */
+    virtual MissResult serviceLlcMiss(unsigned socket, Addr line,
+                                      bool is_write, Tick t_slice);
+
+    /** Read from @p home's memory with error checking + recovery. */
+    virtual MemRead readMemoryChecked(unsigned home, Addr line, Tick when);
+
+    /** Commit a dirty line to memory (Dvé also writes the replica). */
+    virtual Tick writebackToMemory(unsigned home, Addr line,
+                                   std::uint64_t value, Tick when);
+
+    /**
+     * After a writeback from @p from_socket, should the home directory
+     * keep that socket registered as a sharer? Dvé's allow protocol
+     * answers yes for the replica socket: the replica directory retains
+     * a Readable permission, and the sharer bit is what routes a later
+     * GETX invalidation to it.
+     */
+    virtual bool retainSharerAfterWriteback(unsigned home, Addr line,
+                                            unsigned from_socket);
+
+    /**
+     * Called when the home directory grants exclusive ownership of @p
+     * line to @p to_socket (transaction serialized at @p start). Dvé uses
+     * this to invalidate (allow) or deny-mark (deny) the replica
+     * directory. @p prev_sharers is the sharer vector before the grant.
+     * @return absolute tick (>= start) at which the replica-side
+     *         bookkeeping completes; max-ed into the grant critical path.
+     */
+    virtual Tick grantedExclusive(unsigned home, Addr line,
+                                  unsigned to_socket, Tick start,
+                                  std::uint32_t prev_sharers);
+
+    // ---- Shared protocol machinery ------------------------------------
+
+    /** Home-side GETS: state transition + data sourcing. */
+    MissResult homeGets(unsigned req_socket, Addr line, Tick start,
+                        NodeId dest);
+
+    /** Home-side GETX: invalidations + data/grant sourcing. */
+    MissResult homeGetx(unsigned req_socket, Addr line, Tick start,
+                        NodeId dest);
+
+    /** Process a dirty-eviction writeback arriving at the home dir. */
+    void putM(unsigned from_socket, Addr line, std::uint64_t value,
+              Tick t_slice);
+
+    /** Invalidate a line from a socket's LLC and L1s (local work). */
+    Tick invalidateSocketCopy(unsigned socket, Addr line, Tick when);
+
+    /** Recall the dirty L1 copy (if any) into the LLC entry. */
+    Tick recallL1Owner(unsigned socket, Addr line, LlcEntry &e, Tick when);
+
+    // ---- Topology / latency helpers ------------------------------------
+
+    NodeId coreNode(unsigned socket, unsigned core) const
+    {
+        return {socket, core % (cfg_.noc.meshCols * cfg_.noc.meshRows)};
+    }
+
+    NodeId sliceNode(unsigned socket, Addr line) const
+    {
+        return {socket, static_cast<unsigned>(
+                            line % (cfg_.noc.meshCols * cfg_.noc.meshRows))};
+    }
+
+    NodeId dirNode(unsigned socket) const
+    {
+        return {socket, cfg_.noc.gatewayTile};
+    }
+
+    Tick cycles(Cycles c) const { return clk_.cyclesToTicks(c); }
+
+    void classify(bool is_write, LineState state);
+
+    EngineConfig cfg_;
+    ClockDomain clk_;
+    FaultRegistry faults_;
+    Interconnect ic_;
+    std::vector<SocketState> sockets_;
+    std::unordered_map<Addr, std::uint64_t> logicalMem_;
+    Tick lastCompletion_ = 0;
+
+    // Fault access for harnesses.
+  public:
+    FaultRegistry &faultRegistry() { return faults_; }
+
+  protected:
+    // ---- Local (intra-socket) handling ---------------------------------
+
+    AccessResult accessLlc(unsigned socket, unsigned core, Addr line,
+                           bool is_write, std::uint64_t write_value,
+                           Tick t0);
+
+    void fillL1(unsigned socket, unsigned core, Addr line, bool writable,
+                std::uint64_t value);
+
+    void evictLlcVictim(unsigned socket, Addr line, LlcEntry entry,
+                        Tick when);
+
+    void noteCompletion(Tick t)
+    {
+        lastCompletion_ = std::max(lastCompletion_, t);
+    }
+
+    Counter reads_;
+    Counter writes_;
+    Counter l1Hits_;
+    Counter llcHits_;
+    Counter llcMisses_;
+    Counter writebacks_;
+    Counter due_;     ///< machine-check exceptions (data loss)
+    Counter sysCe_;   ///< system-level corrected errors
+    Counter sdcReads_;
+    std::array<Counter, numReqClasses> classCount_;
+    ScalarStat missLatencySum_; ///< ticks summed over LLC misses
+    StatGroup stats_;
+};
+
+} // namespace dve
+
+#endif // DVE_COHERENCE_ENGINE_HH

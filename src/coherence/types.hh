@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared coherence-protocol vocabulary: stable states, request classes
+ * (the Fig 7 taxonomy), and the engine configuration derived from the
+ * paper's Table II.
+ */
+
+#ifndef DVE_COHERENCE_TYPES_HH
+#define DVE_COHERENCE_TYPES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/config.hh"
+#include "ecc/line_codec.hh"
+#include "mem/memory_controller.hh"
+#include "noc/interconnect.hh"
+
+namespace dve
+{
+
+/** Stable MOSI states, used at both the LLC and the directories. */
+enum class LineState : std::uint8_t
+{
+    I, ///< invalid / not present
+    S, ///< shared, clean w.r.t. memory
+    M, ///< modified, single owner
+    O, ///< owned: dirty, owner + other sharers exist
+};
+
+const char *lineStateName(LineState s);
+
+/**
+ * Home-directory request classification (paper Sec. VII, Fig 7):
+ * GETS to I = private-read; GETS to S = read-only; GETS to M/O or GETX to
+ * S = read/write; GETX to I = private-read/write.
+ */
+enum class ReqClass : std::uint8_t
+{
+    PrivateRead,
+    ReadOnly,
+    ReadWrite,
+    PrivateReadWrite,
+};
+
+constexpr unsigned numReqClasses = 4;
+
+const char *reqClassName(ReqClass c);
+
+/** Table II system configuration for the coherence engine. */
+struct EngineConfig
+{
+    unsigned sockets = 2;
+    unsigned coresPerSocket = 8;
+    std::uint64_t coreFreqMhz = 3000;
+
+    std::uint64_t l1Bytes = 64 * 1024;
+    unsigned l1Ways = 8;
+    Cycles l1Latency = 1;
+
+    std::uint64_t llcBytes = 8ULL * 1024 * 1024;
+    unsigned llcWays = 16;
+    Cycles llcLatency = 20;
+
+    Cycles dirLatency = 20;
+
+    NocConfig noc;                     ///< sockets mirrored from above
+    DramConfig dram;                   ///< per-socket memory
+    Scheme scheme = Scheme::ChipkillSscDsd;
+    MirrorMode mirror = MirrorMode::None;
+
+    std::uint64_t seed = 1;
+
+    /**
+     * When true, every read's returned value is checked against the
+     * engine's logical (coherence-ordered) memory image; a mismatch
+     * panics. Disable for fault-injection runs where SDCs are expected
+     * and counted instead.
+     */
+    bool validateValues = true;
+
+    /** Core clock helper. */
+    ClockDomain coreClock() const { return ClockDomain(coreFreqMhz); }
+};
+
+} // namespace dve
+
+#endif // DVE_COHERENCE_TYPES_HH

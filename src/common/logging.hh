@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated; this is a library bug.
+ * fatal()  - the simulation cannot continue due to a user/config error.
+ * warn()   - something is questionable but the run continues.
+ * inform() - plain status output.
+ */
+
+#ifndef DVE_COMMON_LOGGING_HH
+#define DVE_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace dve
+{
+
+namespace detail
+{
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Number of warnings emitted so far (exposed for tests). */
+std::uint64_t warnCount();
+
+} // namespace detail
+
+} // namespace dve
+
+/** Abort with a message: internal invariant violated (library bug). */
+#define dve_panic(...) \
+    ::dve::detail::panicImpl(__FILE__, __LINE__, \
+                             ::dve::detail::concat(__VA_ARGS__))
+
+/** Exit with a message: user/configuration error. */
+#define dve_fatal(...) \
+    ::dve::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::dve::detail::concat(__VA_ARGS__))
+
+/** Emit a warning and continue. */
+#define dve_warn(...) \
+    ::dve::detail::warnImpl(::dve::detail::concat(__VA_ARGS__))
+
+/** Emit an informational message. */
+#define dve_inform(...) \
+    ::dve::detail::informImpl(::dve::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; panics (never compiled out). */
+#define dve_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::dve::detail::panicImpl(__FILE__, __LINE__, \
+                ::dve::detail::concat("assertion failed: " #cond " ", \
+                                      ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // DVE_COMMON_LOGGING_HH

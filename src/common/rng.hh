@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component takes an explicit seed so that a run is a pure
+ * function of its configuration; wall-clock seeding is deliberately absent.
+ */
+
+#ifndef DVE_COMMON_RNG_HH
+#define DVE_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+/**
+ * A thin deterministic wrapper around std::mt19937_64 with the handful of
+ * draw shapes the simulator needs.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    next(std::uint64_t bound)
+    {
+        dve_assert(bound > 0, "Rng::next bound must be positive");
+        return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(
+            engine_);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Geometric-ish run length with mean @p mean (>= 1). */
+    std::uint64_t
+    runLength(double mean)
+    {
+        dve_assert(mean >= 1.0, "run length mean must be >= 1");
+        if (mean == 1.0)
+            return 1;
+        std::geometric_distribution<std::uint64_t> d(1.0 / mean);
+        return 1 + d(engine_);
+    }
+
+    /** Derive an independent child stream (for per-thread generators). */
+    Rng
+    fork(std::uint64_t salt)
+    {
+        // splitmix-style mixing of a fresh draw with the salt
+        std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL * (salt + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return Rng(z ^ (z >> 31));
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace dve
+
+#endif // DVE_COMMON_RNG_HH

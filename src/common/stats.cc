@@ -1,0 +1,69 @@
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+void
+StatGroup::add(const std::string &stat_name, const Counter &c)
+{
+    dve_assert(!has(stat_name), "duplicate stat ", name_, ".", stat_name);
+    entries_.push_back({stat_name, &c, nullptr});
+}
+
+void
+StatGroup::add(const std::string &stat_name, const ScalarStat &s)
+{
+    dve_assert(!has(stat_name), "duplicate stat ", name_, ".", stat_name);
+    entries_.push_back({stat_name, nullptr, &s});
+}
+
+const StatGroup::Entry *
+StatGroup::find(const std::string &stat_name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == stat_name)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+StatGroup::has(const std::string &stat_name) const
+{
+    return find(stat_name) != nullptr;
+}
+
+double
+StatGroup::get(const std::string &stat_name) const
+{
+    const Entry *e = find(stat_name);
+    if (!e)
+        dve_panic("unknown stat ", name_, ".", stat_name);
+    return e->counter ? static_cast<double>(e->counter->value())
+                      : e->scalar->value();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : entries_) {
+        const double v = e.counter ? static_cast<double>(e.counter->value())
+                                   : e.scalar->value();
+        os << name_ << '.' << e.name << ' ' << v << '\n';
+    }
+}
+
+std::map<std::string, double>
+StatGroup::snapshot() const
+{
+    std::map<std::string, double> out;
+    for (const auto &e : entries_) {
+        out[e.name] = e.counter ? static_cast<double>(e.counter->value())
+                                : e.scalar->value();
+    }
+    return out;
+}
+
+} // namespace dve

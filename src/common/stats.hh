@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lightweight named-statistics support.
+ *
+ * Components own Counter/ScalarStat members and register them with a
+ * StatGroup so that harnesses can dump everything uniformly. There is no
+ * global registry: each System owns its groups, keeping runs independent.
+ */
+
+#ifndef DVE_COMMON_STATS_HH
+#define DVE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dve
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+    operator std::uint64_t() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** An accumulating floating-point statistic (e.g. energy in pJ). */
+class ScalarStat
+{
+  public:
+    ScalarStat() = default;
+
+    ScalarStat &operator+=(double v) { value_ += v; return *this; }
+    void set(double v) { value_ = v; }
+    void reset() { value_ = 0.0; }
+
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A named, ordered collection of stat references for dumping.
+ *
+ * Registration stores pointers; the referenced stats must outlive the group
+ * (both are typically members of the same component).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void add(const std::string &stat_name, const Counter &c);
+    void add(const std::string &stat_name, const ScalarStat &s);
+
+    /** Fetch a registered value by name; panics if absent. */
+    double get(const std::string &stat_name) const;
+
+    /** True if @p stat_name was registered. */
+    bool has(const std::string &stat_name) const;
+
+    /** Write "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Flat name -> value snapshot. */
+    std::map<std::string, double> snapshot() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        const Counter *counter = nullptr;
+        const ScalarStat *scalar = nullptr;
+    };
+
+    const Entry *find(const std::string &stat_name) const;
+
+    std::string name_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace dve
+
+#endif // DVE_COMMON_STATS_HH

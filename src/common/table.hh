@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark harnesses.
+ *
+ * Every bench binary prints its paper table/figure as a column-aligned text
+ * table so output diffs cleanly between runs.
+ */
+
+#ifndef DVE_COMMON_TABLE_HH
+#define DVE_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dve
+{
+
+/** A simple left-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column padding and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a double in scientific notation. */
+    static std::string sci(double v, int precision = 2);
+
+    /** Format a ratio as a percentage string like "+17.3%". */
+    static std::string pct(double ratio, int precision = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dve
+
+#endif // DVE_COMMON_TABLE_HH

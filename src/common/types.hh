@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every subsystem.
+ *
+ * The simulator's global time base is the Tick, defined as one picosecond.
+ * All component latencies (core cycles, DRAM timings, link hops) are
+ * converted into Ticks at configuration time so that heterogeneous clock
+ * domains compose without rounding surprises.
+ */
+
+#ifndef DVE_COMMON_TYPES_HH
+#define DVE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dve
+{
+
+/** Global simulation time unit: one picosecond. */
+using Tick = std::uint64_t;
+
+/** A physical (or replica-physical) byte address. */
+using Addr = std::uint64_t;
+
+/** An integral number of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Ticks per common wall-clock units. */
+constexpr Tick ticksPerPs = 1;
+constexpr Tick ticksPerNs = 1000;
+constexpr Tick ticksPerUs = 1000 * ticksPerNs;
+constexpr Tick ticksPerMs = 1000 * ticksPerUs;
+constexpr Tick ticksPerSec = 1000 * ticksPerMs;
+
+/** The largest representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/**
+ * A clock domain converting cycles to ticks.
+ *
+ * Constructed from a frequency in MHz; period is rounded to the nearest
+ * picosecond (3.0 GHz -> 333 ps).
+ */
+class ClockDomain
+{
+  public:
+    explicit constexpr ClockDomain(std::uint64_t freq_mhz)
+        : periodTicks_((1000000 + freq_mhz / 2) / freq_mhz),
+          freqMhz_(freq_mhz)
+    {}
+
+    /** Tick duration of one cycle. */
+    constexpr Tick period() const { return periodTicks_; }
+
+    /** Convert a cycle count in this domain to ticks. */
+    constexpr Tick cyclesToTicks(Cycles c) const { return c * periodTicks_; }
+
+    /** Ticks until the next edge at-or-after @p t, then @p c more cycles. */
+    constexpr Tick
+    nextEdgeAfter(Tick t, Cycles c) const
+    {
+        const Tick rem = t % periodTicks_;
+        const Tick aligned = rem == 0 ? t : t + (periodTicks_ - rem);
+        return aligned + cyclesToTicks(c);
+    }
+
+    constexpr std::uint64_t freqMhz() const { return freqMhz_; }
+
+  private:
+    Tick periodTicks_;
+    std::uint64_t freqMhz_;
+};
+
+/** Convert nanoseconds (possibly fractional) to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(ticksPerNs) + 0.5);
+}
+
+/** Convert ticks to (fractional) nanoseconds, for reporting. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerNs);
+}
+
+/** Cache line size used throughout (bytes). */
+constexpr unsigned lineBytes = 64;
+
+/** log2(lineBytes). */
+constexpr unsigned lineShift = 6;
+
+/** Default OS page size used by the replica mapping (bytes). */
+constexpr unsigned pageBytes = 4096;
+
+/** log2(pageBytes). */
+constexpr unsigned pageShift = 12;
+
+/** Align an address down to its cache-line base. */
+constexpr Addr lineAlign(Addr a) { return a & ~Addr(lineBytes - 1); }
+
+/** Cache-line index of an address. */
+constexpr Addr lineNum(Addr a) { return a >> lineShift; }
+
+/** Align an address down to its page base. */
+constexpr Addr pageAlign(Addr a) { return a & ~Addr(pageBytes - 1); }
+
+/** Page number of an address. */
+constexpr Addr pageNum(Addr a) { return a >> pageShift; }
+
+} // namespace dve
+
+#endif // DVE_COMMON_TYPES_HH

@@ -1,0 +1,791 @@
+#include "core/dve_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+const char *
+dveProtocolName(DveProtocol p)
+{
+    switch (p) {
+      case DveProtocol::Allow: return "allow";
+      case DveProtocol::Deny: return "deny";
+      case DveProtocol::Dynamic: return "dynamic";
+    }
+    return "?";
+}
+
+DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
+    : CoherenceEngine(cfg), dcfg_(dve),
+      rmap_(dve.replicateAll ? ReplicaMap::fixedAll(cfg.sockets)
+                             : ReplicaMap(cfg.sockets)),
+      dveStats_("dve")
+{
+    dve_assert(cfg.sockets >= 2, "Dvé needs at least two sockets");
+    for (unsigned s = 0; s < cfg.sockets; ++s) {
+        rdirs_.push_back(std::make_unique<ReplicaDirectory>(
+            s, dve.replicaDirEntries, dve.oracular, dve.regionLines));
+    }
+    regionGrants_.resize(cfg.sockets);
+
+    dveStats_.add("replica_local_reads", replicaLocalReads_);
+    dveStats_.add("balanced_home_reads", balancedHomeReads_);
+    dveStats_.add("scrubbed_lines", scrubbedLines_);
+    dveStats_.add("permission_pulls", permPulls_);
+    dveStats_.add("rm_pushes", rmPushes_);
+    dveStats_.add("speculation_wins", specWins_);
+    dveStats_.add("speculation_squashes", specSquashes_);
+    dveStats_.add("home_forwards", homeForwards_);
+    dveStats_.add("replica_writes", replicaWrites_);
+    dveStats_.add("replica_recoveries", replicaRecoveries_);
+    dveStats_.add("repaired_copies", repaired_);
+    dveStats_.add("degraded_events", degradedEvents_);
+    dveStats_.add("dynamic_switches", dynamicSwitches_);
+}
+
+void
+DveEngine::dumpStats(std::ostream &os) const
+{
+    CoherenceEngine::dumpStats(os);
+    dveStats_.dump(os);
+    for (const auto &rd : rdirs_)
+        rd->stats().dump(os);
+}
+
+const char *
+DveEngine::schemeName() const
+{
+    switch (dcfg_.protocol) {
+      case DveProtocol::Allow: return "dve-allow";
+      case DveProtocol::Deny: return "dve-deny";
+      case DveProtocol::Dynamic: return "dve-dynamic";
+    }
+    return "dve";
+}
+
+bool
+DveEngine::effectiveDeny(Addr line) const
+{
+    switch (dcfg_.protocol) {
+      case DveProtocol::Allow:
+        return false;
+      case DveProtocol::Deny:
+        return true;
+      case DveProtocol::Dynamic: {
+        const std::uint64_t group = line % dcfg_.sampleGroups;
+        if (group == 0)
+            return false; // allow sample set
+        if (group == 1)
+            return true; // deny sample set
+        return denyWinning_;
+      }
+    }
+    return true;
+}
+
+bool
+DveEngine::regionCleanAtHome(unsigned home, Addr line) const
+{
+    const unsigned n = dcfg_.regionLines;
+    const Addr base = (line / n) * n;
+    auto &dir = const_cast<DveEngine *>(this)->directory(home);
+    for (Addr l = base; l < base + n; ++l) {
+        if (const DirEntry *e = dir.find(l)) {
+            if (e->state == LineState::M || e->state == LineState::O)
+                return false;
+        }
+    }
+    return true;
+}
+
+CoherenceEngine::MemRead
+DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
+                              Tick when)
+{
+    const Addr addr = line << lineShift;
+    auto &replica_mc = memory(rsock);
+
+    const auto m = replica_mc.read(addr, when);
+    if (m.status == EccStatus::Corrected)
+        ++sysCe_;
+    if (!m.failed)
+        return {m.readyAt, m.value};
+
+    // Replica read failed: divert to home memory. This path only runs
+    // when the replica was readable, which implies both memories are in
+    // sync, so the home copy is a valid recovery source.
+    if (degradedHome_.count(line)) {
+        ++due_;
+        return {m.readyAt, logicalValue(line)};
+    }
+    Tick t = m.readyAt
+             + ic_.send(dirNode(rsock), dirNode(home), MsgClass::Control);
+    const auto m2 = memory(home).read(addr, t);
+    if (m2.status == EccStatus::Corrected)
+        ++sysCe_;
+    if (m2.failed) {
+        ++due_; // both copies lost: machine check
+        return {m2.readyAt, logicalValue(line)};
+    }
+    ++replicaRecoveries_;
+    ++sysCe_; // recovery is logged as a corrected error
+    const Tick back =
+        m2.readyAt
+        + ic_.send(dirNode(home), dirNode(rsock), MsgClass::Data);
+
+    // Try to repair the failing replica copy off the critical path.
+    const auto rep = replica_mc.repairAndVerify(addr, m2.value, back);
+    if (rep.failed) {
+        if (degradedReplica_.insert(line).second)
+            ++degradedEvents_;
+    } else {
+        ++repaired_;
+        degradedReplica_.erase(line);
+    }
+    return {back, m2.value};
+}
+
+CoherenceEngine::MemRead
+DveEngine::readReadableCopy(unsigned rsock, unsigned home, Addr line,
+                            Tick when)
+{
+    if (dcfg_.balanceReplicaReads && (balanceCounter_++ & 1)) {
+        // Both copies are current when the line is readable: spread the
+        // activation pressure by reading the home copy this time.
+        ++balancedHomeReads_;
+        const Addr addr = line << lineShift;
+        const Tick t = when
+                       + ic_.send(dirNode(rsock), dirNode(home),
+                                  MsgClass::Control);
+        const auto m = memory(home).read(addr, t);
+        if (m.status == EccStatus::Corrected)
+            ++sysCe_;
+        if (!m.failed) {
+            const Tick back =
+                m.readyAt
+                + ic_.send(dirNode(home), dirNode(rsock),
+                           MsgClass::Data);
+            return {back, m.value};
+        }
+        // Home copy failed: the local replica is the recovery source.
+        return readReplicaChecked(rsock, home, line, m.readyAt);
+    }
+    return readReplicaChecked(rsock, home, line, when);
+}
+
+DveEngine::ScrubReport
+DveEngine::patrolScrub(Tick now, std::size_t max_lines)
+{
+    ScrubReport rep;
+    rep.finishedAt = now;
+    if (logicalMem_.empty())
+        return rep;
+
+    std::vector<Addr> lines;
+    lines.reserve(logicalMem_.size());
+    for (const auto &[line, value] : logicalMem_)
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+
+    const std::uint64_t ce0 = sysCe_.value();
+    const std::uint64_t rec0 = replicaRecoveries_.value();
+    const std::uint64_t due0 = due_.value();
+
+    Tick t = now;
+    const std::size_t n = std::min(max_lines, lines.size());
+
+    // Scrub one copy: a corrected error is rewritten in place (curing
+    // transients before they can pair into a DUE); a detected-
+    // uncorrectable error goes through the cross-copy recovery path.
+    auto scrubCopy = [&](unsigned socket, Addr line, bool is_home) {
+        const Addr addr = line << lineShift;
+        const auto m = memory(socket).read(addr, t);
+        t = m.readyAt;
+        if (m.status == EccStatus::Corrected) {
+            ++sysCe_;
+            const auto rewritten =
+                memory(socket).repairAndVerify(addr, m.value, t);
+            t = rewritten.readyAt;
+        } else if (m.failed) {
+            const unsigned h = homeSocket(line);
+            const MemRead rec = is_home
+                                    ? readMemoryChecked(h, line, t)
+                                    : readReplicaChecked(socket, h,
+                                                         line, t);
+            t = rec.ready;
+        }
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr line = lines[(scrubCursor_ + i) % lines.size()];
+        const unsigned h = homeSocket(line);
+        if (!degradedHome_.count(line))
+            scrubCopy(h, line, true);
+
+        const auto rs = rmap_.replicaSocket(line, h);
+        if (rs && !degradedReplica_.count(line)) {
+            // Skip a known-stale (RM) replica: it is unreadable and the
+            // next writeback refreshes it anyway.
+            const auto backing = rdirs_[*rs]->peekBacking(line);
+            if (!(backing && backing->state == RepState::RM))
+                scrubCopy(*rs, line, false);
+        }
+        ++scrubbedLines_;
+        ++rep.linesScanned;
+    }
+    scrubCursor_ = (scrubCursor_ + n) % lines.size();
+
+    rep.correctedErrors = sysCe_.value() - ce0;
+    rep.replicaRecoveries = replicaRecoveries_.value() - rec0;
+    rep.dataLost = due_.value() - due0;
+    rep.finishedAt = t;
+    return rep;
+}
+
+CoherenceEngine::MemRead
+DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
+{
+    const Addr addr = line << lineShift;
+    const auto rs = rmap_.replicaSocket(line, home);
+
+    // A line already degraded on the home side funnels straight to the
+    // replica (paper Sec. V-E).
+    if (rs && degradedHome_.count(line) && !degradedReplica_.count(line)) {
+        Tick t = when
+                 + ic_.send(dirNode(home), dirNode(*rs),
+                            MsgClass::Control);
+        const auto m = memory(*rs).read(addr, t);
+        if (!m.failed) {
+            const Tick back =
+                m.readyAt
+                + ic_.send(dirNode(*rs), dirNode(home), MsgClass::Data);
+            return {back, m.value};
+        }
+        ++due_;
+        return {m.readyAt, logicalValue(line)};
+    }
+
+    const auto m = memory(home).read(addr, when);
+    if (m.status == EccStatus::Corrected)
+        ++sysCe_;
+    if (!m.failed)
+        return {m.readyAt, m.value};
+
+    if (!rs || degradedReplica_.count(line)) {
+        ++due_;
+        return {m.readyAt, logicalValue(line)};
+    }
+
+    // Divert to the replica memory controller (paper Sec. V-B2). The
+    // home/replica are in sync whenever memory is the data source.
+    Tick t = m.readyAt
+             + ic_.send(dirNode(home), dirNode(*rs), MsgClass::Control);
+    const auto m2 = memory(*rs).read(addr, t);
+    if (m2.status == EccStatus::Corrected)
+        ++sysCe_;
+    if (m2.failed) {
+        ++due_; // data lost in both replicas
+        return {m2.readyAt, logicalValue(line)};
+    }
+    ++replicaRecoveries_;
+    ++sysCe_;
+    const Tick back =
+        m2.readyAt + ic_.send(dirNode(*rs), dirNode(home), MsgClass::Data);
+
+    const auto rep = memory(home).repairAndVerify(addr, m2.value, back);
+    if (rep.failed) {
+        if (degradedHome_.insert(line).second)
+            ++degradedEvents_;
+    } else {
+        ++repaired_;
+        degradedHome_.erase(line);
+    }
+    return {back, m2.value};
+}
+
+Tick
+DveEngine::writebackToMemory(unsigned home, Addr line, std::uint64_t value,
+                             Tick when)
+{
+    const Addr addr = line << lineShift;
+    const Tick t_home = memory(home).write(addr, value, when);
+
+    const auto rs = rmap_.replicaSocket(line, home);
+    if (!rs)
+        return t_home;
+
+    // Synchronous replica update: the writeback completes only after
+    // both copies are written (paper Sec. V-B1).
+    ++replicaWrites_;
+    const Tick arrive =
+        when + ic_.send(dirNode(home), dirNode(*rs), MsgClass::Data);
+    const Tick t_rep = memory(*rs).write(addr, value, arrive);
+
+    // Both memories are now current: clear deny markers / refresh allow
+    // ownership entries.
+    auto &rd = *rdirs_[*rs];
+    if (effectiveDeny(line)) {
+        rd.remove(line);
+    } else if (rd.hasLineEntry(line)) {
+        rd.install(line, {RepState::Readable, -1});
+    }
+    return std::max(t_home, t_rep);
+}
+
+bool
+DveEngine::retainSharerAfterWriteback(unsigned home, Addr line,
+                                      unsigned from_socket)
+{
+    const auto rs = rmap_.replicaSocket(line, home);
+    // Under the allow protocol, the replica directory keeps a Readable
+    // permission after its socket's writeback; the home sharer bit is
+    // what routes a later invalidation to it.
+    return rs && *rs == from_socket && !effectiveDeny(line);
+}
+
+Tick
+DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
+                            Tick start, std::uint32_t prev_sharers)
+{
+    const auto rs = rmap_.replicaSocket(line, home);
+    if (!rs)
+        return start;
+    auto &rd = *rdirs_[*rs];
+
+    if (to_socket == *rs) {
+        // Replica-side writer: the replica directory tracks the owner.
+        rd.install(line, {RepState::M, static_cast<int>(to_socket)});
+        if (dcfg_.coarseGrain)
+            rd.removeRegion(line);
+        return start;
+    }
+
+    if (effectiveDeny(line)) {
+        // Eager deny push: the grant cannot complete until the replica
+        // directory acknowledges the RM marker and local copies are
+        // invalidated (replica-side LLCs may hold copies the home never
+        // learned about, since local replica reads do not register at
+        // the home directory).
+        ++rmPushes_;
+        Tick t = start
+                 + ic_.send(dirNode(home), dirNode(*rs),
+                            MsgClass::Control);
+        t += cycles(cfg_.dirLatency);
+        rd.install(line, {RepState::RM, static_cast<int>(to_socket)});
+        if (dcfg_.coarseGrain)
+            rd.removeRegion(line);
+        t = invalidateSocketCopy(*rs, line, t);
+        t += ic_.send(dirNode(*rs), dirNode(home), MsgClass::Control);
+        return t;
+    }
+
+    // Allow: lazily notify only when the replica directory holds
+    // permissions (it is then registered as a sharer at the home, or a
+    // coarse region grant was ever made -- the home-side region record
+    // is conservative because region-served lines are not individually
+    // registered).
+    const bool was_sharer = (prev_sharers >> *rs) & 1u;
+    const bool region_held =
+        dcfg_.coarseGrain
+        && regionGrants_[*rs].count(rd.region(line)) > 0;
+    if (!was_sharer && !region_held) {
+        // Leftover deny-phase RM/M backing entries are harmless here
+        // (they deny readability); what must never exist without a home
+        // sharer registration is an explicit Readable permission.
+        dve_assert(!rd.hasReadablePermission(line),
+                   "allow permission without home sharer registration");
+        return start;
+    }
+    Tick t = start
+             + ic_.send(dirNode(home), dirNode(*rs), MsgClass::Control);
+    t += cycles(cfg_.dirLatency);
+    rd.remove(line);
+    if (region_held) {
+        // Losing a region permission invalidates the whole region's
+        // readability (the overhead Fig 9 attributes to coarse grain).
+        rd.removeRegion(line);
+        t += cycles(cfg_.dirLatency);
+    }
+    if (!was_sharer) {
+        // Region-served lines were never registered at the home, so
+        // the standard sharer-invalidation loop missed the replica
+        // socket's cached copy: invalidate it here.
+        t = invalidateSocketCopy(*rs, line, t);
+    }
+    t += ic_.send(dirNode(*rs), dirNode(home), MsgClass::Control);
+    return t;
+}
+
+CoherenceEngine::MissResult
+DveEngine::forwardGetsToHome(unsigned req_socket, Addr line, Tick when)
+{
+    ++homeForwards_;
+    const unsigned h = homeSocket(line);
+    const NodeId dest = sliceNode(req_socket, line);
+    const Tick arrival =
+        when
+        + ic_.send(dirNode(req_socket), dirNode(h), MsgClass::Control);
+    auto &dir = directory(h);
+    const Tick start = dir.acquire(line, arrival) + cycles(cfg_.dirLatency);
+    const MissResult r = homeGets(req_socket, line, start, dest);
+    dir.release(line, r.done);
+    return r;
+}
+
+CoherenceEngine::MissResult
+DveEngine::replicaSideGets(unsigned req_socket, unsigned rsock, Addr line,
+                           Tick t_slice)
+{
+    const unsigned h = homeSocket(line);
+    auto &rd = *rdirs_[rsock];
+    const NodeId dest = sliceNode(req_socket, line);
+    const NodeId rdn = dirNode(rsock);
+
+    const Tick arrival =
+        t_slice + ic_.send(dest, rdn, MsgClass::Control);
+    const Tick start = rd.acquire(line, arrival) + cycles(cfg_.dirLatency);
+
+    MissResult res;
+
+    // Degraded replica: funnel to the single working copy (Sec. V-E).
+    if (degradedReplica_.count(line)) {
+        res = forwardGetsToHome(rsock, line, start);
+        rd.release(line, res.done);
+        dynamicObserve(line, res.done - t_slice);
+        return res;
+    }
+
+    auto look = rd.lookup(line);
+    const bool deny = effectiveDeny(line);
+
+    if (deny) {
+        // On-chip miss: fetch the metadata entry from the reserved DRAM
+        // region; speculatively start the data read in parallel.
+        Tick decided = start;
+        bool speculated = false;
+        if (!look.onChipHit) {
+            decided = memory(rsock).metadataAccess(line << lineShift,
+                                                   start);
+            speculated = dcfg_.speculativeReplicaRead;
+        }
+
+        const bool blocked =
+            look.entry
+            && (look.entry->state == RepState::RM
+                || (look.entry->state == RepState::M
+                    && look.entry->owner != static_cast<int>(rsock)));
+        dve_assert(!(look.entry && look.entry->state == RepState::M
+                     && look.entry->owner == static_cast<int>(rsock)),
+                   "M entry owned by the requester that just missed");
+
+        if (!blocked) {
+            // Replica is readable (no entry, or explicit Readable).
+            const Tick issue =
+                (look.onChipHit || speculated) ? start : decided;
+            const MemRead m = readReadableCopy(rsock, h, line, issue);
+            if (speculated)
+                ++specWins_;
+            const Tick data_at = std::max(m.ready, decided);
+            rd.install(line, {RepState::Readable, -1});
+            ++replicaLocalReads_;
+            res.value = m.value;
+            res.done = data_at + ic_.send(rdn, dest, MsgClass::Data);
+        } else {
+            // Remote-modified: the replica is stale; go to home.
+            if (speculated) {
+                ++specSquashes_;
+                memory(rsock).timingRead(line << lineShift, start);
+            }
+            res = forwardGetsToHome(rsock, line, decided);
+        }
+    } else {
+        // Allow protocol.
+        const bool readable =
+            look.regionReadable
+            || (look.entry && look.entry->state == RepState::Readable);
+
+        if (readable) {
+            const MemRead m = readReadableCopy(rsock, h, line, start);
+            ++replicaLocalReads_;
+            res.value = m.value;
+            res.done = m.ready + ic_.send(rdn, dest, MsgClass::Data);
+        } else if (look.entry && look.entry->state == RepState::M
+                   && look.entry->owner != static_cast<int>(rsock)) {
+            // Another replica-side LLC owns it (N > 2 sockets): the home
+            // knows the owner too; route through home for the fetch.
+            res = forwardGetsToHome(rsock, line, start);
+        } else {
+            // No permission: pull from home, speculating on the local
+            // replica meanwhile.
+            ++permPulls_;
+            const Tick ctrl_arrival =
+                start + ic_.send(rdn, dirNode(h), MsgClass::Control);
+            auto &hdir = directory(h);
+            const Tick hstart = hdir.acquire(line, ctrl_arrival)
+                                + cycles(cfg_.dirLatency);
+            DirEntry &e = hdir.lookup(line);
+
+            if (e.state == LineState::I || e.state == LineState::S) {
+                // Memory (and hence the replica) is current: grant.
+                classify(false, e.state);
+                e.state = LineState::S;
+                e.addSharer(rsock);
+                const Tick grant_back =
+                    hstart + ic_.send(dirNode(h), rdn, MsgClass::Control);
+                hdir.release(line, hstart);
+
+                Tick data_at;
+                std::uint64_t value;
+                if (dcfg_.speculativeReplicaRead) {
+                    const MemRead m =
+                        readReplicaChecked(rsock, h, line, start);
+                    ++specWins_;
+                    data_at = std::max(m.ready, grant_back);
+                    value = m.value;
+                } else {
+                    const MemRead m =
+                        readReplicaChecked(rsock, h, line, grant_back);
+                    data_at = m.ready;
+                    value = m.value;
+                }
+                rd.install(line, {RepState::Readable, -1});
+                if (dcfg_.coarseGrain && regionCleanAtHome(h, line)) {
+                    rd.installRegion(line);
+                    regionGrants_[rsock].insert(rd.region(line));
+                }
+                ++replicaLocalReads_;
+                res.value = value;
+                res.done = data_at + ic_.send(rdn, dest, MsgClass::Data);
+            } else {
+                // Dirty at home side: fetch via home (classifies there);
+                // squash any speculative local read.
+                if (dcfg_.speculativeReplicaRead) {
+                    ++specSquashes_;
+                    memory(rsock).timingRead(line << lineShift, start);
+                }
+                ++homeForwards_;
+                const MissResult hr = homeGets(rsock, line, hstart, dest);
+                hdir.release(line, hr.done);
+                // Write the fresh data through to the replica memory and
+                // keep a Readable permission: the home registered us as
+                // a sharer, so a later GETX will invalidate it.
+                memory(rsock).write(line << lineShift, hr.value, hr.done);
+                rd.install(line, {RepState::Readable, -1});
+                res = hr;
+            }
+        }
+    }
+
+    rd.release(line, res.done);
+    dynamicObserve(line, res.done - t_slice);
+    return res;
+}
+
+CoherenceEngine::MissResult
+DveEngine::serviceLlcMiss(unsigned socket, Addr line, bool is_write,
+                          Tick t_slice)
+{
+    const unsigned h = homeSocket(line);
+    const auto rs = rmap_.replicaSocket(line, h);
+
+    if (!rs || socket == h) {
+        // Unreplicated line, or the requester is on the home side: the
+        // baseline path applies (hooks handle replica bookkeeping).
+        const MissResult r = CoherenceEngine::serviceLlcMiss(
+            socket, line, is_write, t_slice);
+        // Home-side transactions still pay protocol-dependent costs
+        // (deny's RM push rides the GETX critical path), so the dynamic
+        // sampler must see them too.
+        if (rs)
+            dynamicObserve(line, r.done - t_slice);
+        return r;
+    }
+
+    if (is_write) {
+        // Writes serialize at the home directory. Route through the
+        // nearest (replica) directory per the Fig 4(c) hierarchy: it
+        // forwards the GETX to home.
+        auto &rd = *rdirs_[*rs];
+        const Tick arrival =
+            t_slice
+            + ic_.send(sliceNode(socket, line), dirNode(*rs),
+                       MsgClass::Control);
+        const Tick start =
+            rd.acquire(line, arrival) + cycles(cfg_.dirLatency);
+        const Tick harr =
+            start + ic_.send(dirNode(*rs), dirNode(h), MsgClass::Control);
+        auto &hdir = directory(h);
+        const Tick hstart =
+            hdir.acquire(line, harr) + cycles(cfg_.dirLatency);
+        const MissResult r =
+            homeGetx(socket, line, hstart, sliceNode(socket, line));
+        hdir.release(line, r.done);
+        rd.release(line, r.done);
+        dynamicObserve(line, r.done - t_slice);
+        return r;
+    }
+
+    if (*rs != socket) {
+        // Neither home nor replica is local (N > 2 sockets): go to the
+        // nearer directory.
+        const Tick to_home =
+            ic_.latency(sliceNode(socket, line), dirNode(h));
+        const Tick to_rep =
+            ic_.latency(sliceNode(socket, line), dirNode(*rs));
+        if (to_home <= to_rep) {
+            return CoherenceEngine::serviceLlcMiss(socket, line, is_write,
+                                                   t_slice);
+        }
+    }
+    return replicaSideGets(socket, *rs, line, t_slice);
+}
+
+void
+DveEngine::dynamicObserve(Addr line, Tick latency)
+{
+    if (dcfg_.protocol != DveProtocol::Dynamic)
+        return;
+    const std::uint64_t group = line % dcfg_.sampleGroups;
+    if (group == 0) {
+        ++allowSampleCount_;
+        allowSampleLatency_ += static_cast<double>(latency);
+    } else if (group == 1) {
+        ++denySampleCount_;
+        denySampleLatency_ += static_cast<double>(latency);
+    }
+
+    if (++epochAccesses_ < dcfg_.epochOps)
+        return;
+    epochAccesses_ = 0;
+
+    if (allowSampleCount_ >= 16 && denySampleCount_ >= 16) {
+        const double allow_avg =
+            allowSampleLatency_ / static_cast<double>(allowSampleCount_);
+        const double deny_avg =
+            denySampleLatency_ / static_cast<double>(denySampleCount_);
+        const bool deny_better = deny_avg <= allow_avg;
+        if (deny_better != denyWinning_) {
+            // Switch: drain permissions and rebuild deny state (the
+            // paper's drain + warmup phases).
+            ++dynamicSwitches_;
+            denyWinning_ = deny_better;
+            for (auto &rd : rdirs_)
+                rd->drainPermissions();
+            if (denyWinning_)
+                rebuildDenyBacking();
+            else
+                flushUntrackedReplicaCopies();
+        }
+    }
+    allowSampleCount_ = denySampleCount_ = 0;
+    allowSampleLatency_ = denySampleLatency_ = 0;
+}
+
+void
+DveEngine::flushUntrackedReplicaCopies()
+{
+    for (unsigned s = 0; s < cfg_.sockets; ++s) {
+        std::vector<Addr> victims;
+        llc(s).forEach([&](Addr line, LlcEntry &e) {
+            if (e.state != LineState::S)
+                return; // M/O lines are registered as owner at home
+            const unsigned h = homeSocket(line);
+            if (h == s)
+                return; // home-side copies are always tracked
+            const auto rs = rmap_.replicaSocket(line, h);
+            if (!rs || *rs != s)
+                return;
+            const DirEntry *de = directory(h).find(line);
+            if (!de || !de->hasSharer(s))
+                victims.push_back(line);
+        });
+        for (Addr line : victims) {
+            LlcEntry *e = llc(s).find(line);
+            if (!e)
+                continue;
+            for (unsigned c = 0; c < cfg_.coresPerSocket; ++c) {
+                if (e->l1Sharers & (1u << c))
+                    sockets_[s].l1[c].erase(line);
+            }
+            llc(s).erase(line);
+        }
+    }
+}
+
+void
+DveEngine::rebuildDenyBacking()
+{
+    // Warmup: bring RM markers au courant for every line that is dirty
+    // in a home-side LLC.
+    for (unsigned h = 0; h < cfg_.sockets; ++h) {
+        directory(h).forEach([&](Addr line, const DirEntry &e) {
+            if (e.state != LineState::M && e.state != LineState::O)
+                return;
+            const auto rs = rmap_.replicaSocket(line, h);
+            if (!rs || !effectiveDeny(line))
+                return;
+            if (e.owner == static_cast<int>(*rs)) {
+                rdirs_[*rs]->install(line, {RepState::M, e.owner});
+            } else {
+                rdirs_[*rs]->install(line, {RepState::RM, e.owner});
+            }
+        });
+    }
+}
+
+void
+DveEngine::enableReplication(Addr page, unsigned replica_socket)
+{
+    dve_assert(!rmap_.coversAll(), "fixed mapping already replicates all");
+    const Addr first = page << (pageShift - lineShift);
+    const Addr last = first + pageBytes / lineBytes;
+    const unsigned h = homeSocket(first);
+    dve_assert(replica_socket != h,
+               "replica must be placed on a non-home socket");
+
+    rmap_.mapPage(page, replica_socket);
+
+    // Seed replica memory with the home memory image; lines dirty in
+    // caches will reach both copies at writeback time.
+    for (Addr line = first; line < last; ++line) {
+        memory(replica_socket)
+            .poke(line << lineShift, memory(h).peek(line << lineShift));
+    }
+    // Seed deny markers for lines currently dirty in home-side LLCs.
+    directory(h).forEach([&](Addr line, const DirEntry &e) {
+        if (line < first || line >= last)
+            return;
+        if (e.state != LineState::M && e.state != LineState::O)
+            return;
+        if (!effectiveDeny(line))
+            return;
+        if (e.owner == static_cast<int>(replica_socket)) {
+            rdirs_[replica_socket]->install(line, {RepState::M, e.owner});
+        } else {
+            rdirs_[replica_socket]->install(line,
+                                            {RepState::RM, e.owner});
+        }
+    });
+}
+
+void
+DveEngine::disableReplication(Addr page)
+{
+    const Addr first = page << (pageShift - lineShift);
+    const Addr last = first + pageBytes / lineBytes;
+    const unsigned h = homeSocket(first);
+    const auto rs = rmap_.replicaSocket(first, h);
+    if (!rs)
+        return;
+    for (Addr line = first; line < last; ++line) {
+        rdirs_[*rs]->remove(line);
+        degradedHome_.erase(line);
+        degradedReplica_.erase(line);
+    }
+    rmap_.unmapPage(page);
+}
+
+} // namespace dve

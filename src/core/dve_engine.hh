@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Dvé: Coherent Replication on top of the baseline NUMA engine.
+ *
+ * This is the paper's primary contribution (Sec. V). Every replicated line
+ * has a home directory and, on another socket, a replica directory. LLC
+ * misses route to the nearest of the two; the replica directory grants
+ * coherent access to the local replica memory under one of two protocol
+ * families:
+ *
+ *  - allow: permissions are pulled lazily from home on first replica read
+ *    (absence of an entry means "ask home").
+ *  - deny: the home eagerly pushes remote-modified (RM) markers; absence
+ *    of an entry means "read the replica".
+ *  - dynamic: a set-dueling sampler picks the better of the two per epoch.
+ *
+ * Reliability: dirty writebacks synchronously update home AND replica
+ * memory; a detected-uncorrectable read on either copy diverts to the
+ * other, logs a corrected error, repairs the failing copy, and degrades
+ * the line to single-copy service if the repair fails (Sec. V-B2).
+ *
+ * Optimizations (Sec. V-C5): speculative replica access, coarse-grain
+ * region permissions, the sampling-based dynamic protocol, and an
+ * oracular replica directory mode for the Fig 9 ceiling study.
+ */
+
+#ifndef DVE_CORE_DVE_ENGINE_HH
+#define DVE_CORE_DVE_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "coherence/engine.hh"
+#include "core/replica_directory.hh"
+#include "core/replica_map.hh"
+
+namespace dve
+{
+
+/** Which replica-access protocol family to run. */
+enum class DveProtocol : std::uint8_t
+{
+    Allow,
+    Deny,
+    Dynamic,
+};
+
+const char *dveProtocolName(DveProtocol p);
+
+/** Dvé-specific configuration (defaults follow Sec. VI). */
+struct DveConfig
+{
+    DveProtocol protocol = DveProtocol::Deny;
+    /** Overlap local replica DRAM access with permission resolution. */
+    bool speculativeReplicaRead = true;
+    /** On-chip replica directory entries (2K default, 4K in Fig 9). */
+    std::size_t replicaDirEntries = 2048;
+    /** Infinite, zero-cost replica directory (Fig 9 oracle). */
+    bool oracular = false;
+    /** Coarse-grain region permissions for the allow protocol. */
+    bool coarseGrain = false;
+    unsigned regionLines = 64; ///< 64 lines = one 4 KB page
+    /** Replicate the whole address space with the fixed mapping. */
+    bool replicateAll = true;
+    /** Dynamic protocol: re-evaluate the winner every this many
+     *  replicated-line directory transactions (the paper profiles 100M
+     *  instructions of every 1B; this default keeps the same ~epoch
+     *  structure at simulation trace lengths). */
+    std::uint64_t epochOps = 15000;
+    /** Set-dueling group count: line % groups == 0 samples allow,
+     *  == 1 samples deny. */
+    std::uint64_t sampleGroups = 64;
+    /**
+     * Row-hammer mitigation (paper Sec. III): alternate fault-free reads
+     * between the local replica and the home copy, halving per-row
+     * activation pressure at the cost of extra inter-socket traffic.
+     */
+    bool balanceReplicaReads = false;
+};
+
+/** The Dvé engine: baseline NUMA + coherent replication. */
+class DveEngine : public CoherenceEngine
+{
+  public:
+    DveEngine(const EngineConfig &cfg, const DveConfig &dve);
+
+    const char *schemeName() const override;
+
+    /** The replica mapping (fixed or RMT). */
+    ReplicaMap &replicaMap() { return rmap_; }
+
+    ReplicaDirectory &replicaDirectory(unsigned socket)
+    {
+        return *rdirs_[socket];
+    }
+
+    /**
+     * On-demand replication (RMT path): replicate @p page onto
+     * @p replica_socket, seeding the replica memory from home memory and
+     * the deny state from the home directory.
+     */
+    void enableReplication(Addr page, unsigned replica_socket);
+
+    /** Reclaim a page's replica capacity (hot-unplug back to the OS). */
+    void disableReplication(Addr page);
+
+    /** Protocol the dynamic sampler currently applies to follower lines. */
+    bool dynamicPrefersDeny() const { return denyWinning_; }
+
+    /** Outcome of one patrol-scrub sweep. */
+    struct ScrubReport
+    {
+        std::uint64_t linesScanned = 0;
+        std::uint64_t correctedErrors = 0;   ///< CE delta (incl. recoveries)
+        std::uint64_t replicaRecoveries = 0; ///< cross-copy repairs
+        std::uint64_t dataLost = 0;          ///< machine-check delta
+        Tick finishedAt = 0;
+    };
+
+    /**
+     * Patrol scrub (the periodic sweep the Table I scrub-interval model
+     * assumes): read every written line's home and replica copies with
+     * full ECC checking, repairing detected errors from the surviving
+     * copy. Latent transient faults are cured before they can pair into
+     * a DUE. @p max_lines bounds one sweep's length.
+     */
+    ScrubReport patrolScrub(Tick now,
+                            std::size_t max_lines = SIZE_MAX);
+
+    // Dvé-specific statistics.
+    std::uint64_t replicaLocalReads() const
+    {
+        return replicaLocalReads_.value();
+    }
+    std::uint64_t permissionPulls() const { return permPulls_.value(); }
+    std::uint64_t rmPushes() const { return rmPushes_.value(); }
+    std::uint64_t speculationWins() const { return specWins_.value(); }
+    std::uint64_t speculationSquashes() const
+    {
+        return specSquashes_.value();
+    }
+    std::uint64_t replicaRecoveries() const
+    {
+        return replicaRecoveries_.value();
+    }
+    std::uint64_t degradedLines() const
+    {
+        return degradedHome_.size() + degradedReplica_.size();
+    }
+    std::uint64_t repairedCopies() const { return repaired_.value(); }
+    std::uint64_t dynamicSwitches() const
+    {
+        return dynamicSwitches_.value();
+    }
+
+    const StatGroup &dveStats() const { return dveStats_; }
+
+    void dumpStats(std::ostream &os) const override;
+
+  protected:
+    MissResult serviceLlcMiss(unsigned socket, Addr line, bool is_write,
+                              Tick t_slice) override;
+    MemRead readMemoryChecked(unsigned home, Addr line, Tick when) override;
+    Tick writebackToMemory(unsigned home, Addr line, std::uint64_t value,
+                           Tick when) override;
+    Tick grantedExclusive(unsigned home, Addr line, unsigned to_socket,
+                          Tick start, std::uint32_t prev_sharers) override;
+    bool retainSharerAfterWriteback(unsigned home, Addr line,
+                                    unsigned from_socket) override;
+
+  private:
+    /** Effective protocol for a line (handles dynamic set dueling). */
+    bool effectiveDeny(Addr line) const;
+
+    /** GETS handled at the replica directory of @p rsock. */
+    MissResult replicaSideGets(unsigned req_socket, unsigned rsock,
+                               Addr line, Tick t_rdir_arrival);
+
+    /** Forward a GETS from the replica directory to the home directory. */
+    MissResult forwardGetsToHome(unsigned req_socket, Addr line,
+                                 Tick when);
+
+    /** Read the replica copy with cross-socket recovery. */
+    MemRead readReplicaChecked(unsigned rsock, unsigned home, Addr line,
+                               Tick when);
+
+    /**
+     * Fault-free read of a readable line, optionally alternating between
+     * the replica and home copies (row-hammer load balancing).
+     */
+    MemRead readReadableCopy(unsigned rsock, unsigned home, Addr line,
+                             Tick when);
+
+    /** True when no line of the region is dirty at the home directory. */
+    bool regionCleanAtHome(unsigned home, Addr line) const;
+
+    /** Dynamic protocol bookkeeping per replica-side transaction. */
+    void dynamicObserve(Addr line, Tick latency);
+
+    /** Rebuild RM backing state after a switch to the deny protocol. */
+    void rebuildDenyBacking();
+
+    /**
+     * Drain-phase flush: invalidate replica-side LLC/L1 copies that the
+     * home directory does not track as sharers (deny-protocol local
+     * replica reads never register there). Required when follower lines
+     * switch to the allow protocol, whose invalidations are routed only
+     * to registered sharers.
+     */
+    void flushUntrackedReplicaCopies();
+
+    DveConfig dcfg_;
+    ReplicaMap rmap_;
+    std::vector<std::unique_ptr<ReplicaDirectory>> rdirs_;
+    std::unordered_set<Addr> degradedHome_;
+    std::unordered_set<Addr> degradedReplica_;
+    /**
+     * Home-side record of coarse-grain region grants per replica
+     * socket (RegionScout-style). Entries persist conservatively: a
+     * region that was ever granted keeps triggering replica-side
+     * invalidation messages on exclusive grants -- the coarse-grain
+     * overhead Fig 9 measures. Without this record, a region entry
+     * evicted from the on-chip replica directory would leave
+     * region-served (home-unregistered) LLC copies un-invalidated.
+     */
+    std::vector<std::unordered_set<Addr>> regionGrants_;
+
+    // Dynamic-protocol sampling state.
+    bool denyWinning_ = true;
+    std::uint64_t epochAccesses_ = 0;
+    std::uint64_t allowSampleCount_ = 0;
+    std::uint64_t denySampleCount_ = 0;
+    double allowSampleLatency_ = 0;
+    double denySampleLatency_ = 0;
+
+    std::uint64_t balanceCounter_ = 0;
+    std::size_t scrubCursor_ = 0;
+
+    Counter replicaLocalReads_;
+    Counter balancedHomeReads_;
+    Counter scrubbedLines_;
+    Counter permPulls_;
+    Counter rmPushes_;
+    Counter specWins_;
+    Counter specSquashes_;
+    Counter homeForwards_;
+    Counter replicaWrites_;
+    Counter replicaRecoveries_;
+    Counter repaired_;
+    Counter degradedEvents_;
+    Counter dynamicSwitches_;
+    StatGroup dveStats_;
+};
+
+} // namespace dve
+
+#endif // DVE_CORE_DVE_ENGINE_HH

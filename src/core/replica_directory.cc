@@ -1,0 +1,143 @@
+#include "core/replica_directory.hh"
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+const char *
+repStateName(RepState s)
+{
+    switch (s) {
+      case RepState::Readable: return "Readable";
+      case RepState::M: return "M";
+      case RepState::RM: return "RM";
+    }
+    return "?";
+}
+
+ReplicaDirectory::ReplicaDirectory(unsigned socket, std::size_t capacity,
+                                   bool oracular, unsigned region_lines)
+    : socket_(socket), oracular_(oracular), regionLines_(region_lines),
+      onChip_(oracular ? (std::size_t(1) << 30) : capacity),
+      stats_("rdir" + std::to_string(socket))
+{
+    dve_assert(region_lines >= 1, "degenerate region size");
+    stats_.add("onchip_hits", hits_);
+    stats_.add("onchip_misses", misses_);
+    stats_.add("installs", installs_);
+    stats_.add("region_installs", regionInstalls_);
+    stats_.add("region_invalidations", regionInvalidations_);
+}
+
+ReplicaDirectory::Lookup
+ReplicaDirectory::lookup(Addr line)
+{
+    Lookup out;
+
+    // Region permission covering the line? (coarse-grain allow entries)
+    if (OnChip *r = onChip_.find(regionKeyBit | region(line))) {
+        dve_assert(r->isRegion, "region key collision");
+        ++hits_;
+        out.onChipHit = true;
+        out.regionReadable = true;
+        out.entry = Entry{RepState::Readable, -1};
+        return out;
+    }
+
+    if (OnChip *c = onChip_.find(line)) {
+        ++hits_;
+        out.onChipHit = true;
+        out.entry = c->entry;
+        return out;
+    }
+
+    ++misses_;
+    const auto it = backing_.find(line);
+    if (it != backing_.end())
+        out.entry = it->second;
+    return out;
+}
+
+void
+ReplicaDirectory::install(Addr line, Entry e)
+{
+    ++installs_;
+    if (e.state == RepState::Readable) {
+        // Readable is the deny-protocol default: authoritative state is
+        // "no entry"; cache the positive knowledge on-chip only.
+        backing_.erase(line);
+    } else {
+        backing_[line] = e;
+    }
+    onChip_.insert(line, OnChip{false, e});
+}
+
+void
+ReplicaDirectory::remove(Addr line)
+{
+    backing_.erase(line);
+    onChip_.erase(line);
+}
+
+void
+ReplicaDirectory::installRegion(Addr line)
+{
+    ++regionInstalls_;
+    onChip_.insert(regionKeyBit | region(line),
+                   OnChip{true, Entry{RepState::Readable, -1}});
+}
+
+bool
+ReplicaDirectory::removeRegion(Addr line)
+{
+    if (onChip_.erase(regionKeyBit | region(line))) {
+        ++regionInvalidations_;
+        return true;
+    }
+    return false;
+}
+
+bool
+ReplicaDirectory::regionCovers(Addr line) const
+{
+    return onChip_.peek(regionKeyBit | region(line)) != nullptr;
+}
+
+bool
+ReplicaDirectory::hasReadablePermission(Addr line) const
+{
+    if (regionCovers(line))
+        return true;
+    const OnChip *c = onChip_.peek(line);
+    return c && c->entry.has_value()
+           && c->entry->state == RepState::Readable;
+}
+
+bool
+ReplicaDirectory::hasLineEntry(Addr line) const
+{
+    if (backing_.count(line))
+        return true;
+    const OnChip *c = onChip_.peek(line);
+    return c && c->entry.has_value();
+}
+
+std::optional<ReplicaDirectory::Entry>
+ReplicaDirectory::peekBacking(Addr line) const
+{
+    const auto it = backing_.find(line);
+    if (it == backing_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ReplicaDirectory::drainPermissions()
+{
+    onChip_.clear();
+    // Authoritative deny entries (RM / M) survive the drain: losing them
+    // would let stale replicas be read after a protocol switch.
+}
+
+} // namespace dve

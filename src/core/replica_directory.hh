@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The replica directory: the metadata structure Coherent Replication adds
+ * to each socket's directory controller (paper Sec. V-C).
+ *
+ * Two protocol families share this structure:
+ *
+ *  - Allow-based: entries are pulled permissions. Readable means the
+ *    local replica may be read; M means a replica-side LLC owns the line.
+ *    State lives only in the finite on-chip structure -- an evicted entry
+ *    simply loses the permission (safe: absence means "ask home").
+ *
+ *  - Deny-based: RM (remote-modified) entries are pushed by the home and
+ *    are authoritative: absence means the replica IS readable. RM/M
+ *    entries are therefore memory-backed, with the on-chip structure
+ *    acting as a cache (negative results included); an on-chip miss costs
+ *    a metadata DRAM access, which the speculative-read optimization
+ *    overlaps with the data access.
+ *
+ * Coarse-grain region entries (paper Sec. V-C5) cover an aligned group of
+ * lines with one Readable permission under the allow protocol.
+ */
+
+#ifndef DVE_CORE_REPLICA_DIRECTORY_HH
+#define DVE_CORE_REPLICA_DIRECTORY_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/assoc_lru.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace dve
+{
+
+/** Replica directory entry states. */
+enum class RepState : std::uint8_t
+{
+    Readable, ///< local replica is current and may be read
+    M,        ///< a replica-side LLC owns the line (writable)
+    RM,       ///< remote (home-side) modified: replica is stale
+};
+
+const char *repStateName(RepState s);
+
+/** Replica directory of one socket. */
+class ReplicaDirectory
+{
+  public:
+    struct Entry
+    {
+        RepState state = RepState::Readable;
+        int owner = -1; ///< owning socket for M
+    };
+
+    struct Lookup
+    {
+        bool onChipHit = false;       ///< no metadata DRAM fetch needed
+        std::optional<Entry> entry;   ///< nullopt = no entry anywhere
+        bool regionReadable = false;  ///< covered by a region permission
+    };
+
+    /**
+     * @param capacity on-chip entries (paper default 2K, 4K variant)
+     * @param oracular infinite on-chip entries, for the Fig 9 ceiling
+     * @param region_lines coarse-grain region size in lines (64 = 4 KB)
+     */
+    ReplicaDirectory(unsigned socket, std::size_t capacity, bool oracular,
+                     unsigned region_lines = 64);
+
+    /** Look up a line; refreshes on-chip recency, counts hit/miss. */
+    Lookup lookup(Addr line);
+
+    /** Install or update a line entry (on-chip + backing state). */
+    void install(Addr line, Entry e);
+
+    /** Remove a line entry everywhere. */
+    void remove(Addr line);
+
+    /** Install a coarse-grain Readable permission for a whole region. */
+    void installRegion(Addr line);
+
+    /** Remove the region permission covering @p line. @return existed. */
+    bool removeRegion(Addr line);
+
+    /** True when a region permission covers @p line (no side effects). */
+    bool regionCovers(Addr line) const;
+
+    /** True when a per-line entry exists anywhere (no side effects). */
+    bool hasLineEntry(Addr line) const;
+
+    /** True when a read would be granted from an explicit permission
+     *  (on-chip Readable entry or covering region); no side effects. */
+    bool hasReadablePermission(Addr line) const;
+
+    /** Peek the authoritative (backing) entry, if any. */
+    std::optional<Entry> peekBacking(Addr line) const;
+
+    /**
+     * Dynamic-protocol drain: forget allow permissions and the on-chip
+     * cache, but preserve the authoritative deny (RM/M) backing state.
+     */
+    void drainPermissions();
+
+    /** Transaction serialization (MSHR-equivalent busy clock). */
+    Tick
+    acquire(Addr line, Tick arrival)
+    {
+        const auto it = busyUntil_.find(line);
+        if (it == busyUntil_.end())
+            return arrival;
+        const Tick start = std::max(arrival, it->second);
+        if (it->second <= arrival)
+            busyUntil_.erase(it);
+        return start;
+    }
+
+    void
+    release(Addr line, Tick until)
+    {
+        Tick &t = busyUntil_[line];
+        t = std::max(t, until);
+    }
+
+    Addr region(Addr line) const { return line / regionLines_; }
+
+    std::uint64_t onChipHits() const { return hits_.value(); }
+    std::uint64_t onChipMisses() const { return misses_.value(); }
+    std::size_t backingEntries() const { return backing_.size(); }
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    /** On-chip tags: a cached view of the entry (nullopt = known-absent),
+     *  or a region permission. */
+    struct OnChip
+    {
+        bool isRegion = false;
+        std::optional<Entry> entry;
+    };
+
+    static constexpr Addr regionKeyBit = Addr(1) << 62;
+
+    unsigned socket_;
+    bool oracular_;
+    unsigned regionLines_;
+    AssocLru<Addr, OnChip> onChip_;
+    /** Authoritative backing state (deny RM/M; allow M for safety). */
+    std::unordered_map<Addr, Entry> backing_;
+    std::unordered_map<Addr, Tick> busyUntil_;
+
+    Counter hits_;
+    Counter misses_;
+    Counter installs_;
+    Counter regionInstalls_;
+    Counter regionInvalidations_;
+    StatGroup stats_;
+};
+
+} // namespace dve
+
+#endif // DVE_CORE_REPLICA_DIRECTORY_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Replica address mapping: the fixed-function scheme and the OS-managed
+ * Replica Map Table (RMT) for on-demand replication (paper Sec. III and
+ * V-D).
+ *
+ * The fixed function replicates every page onto the next socket while
+ * retaining the DRAM-internal mapping (the paper's f(p) = p/L + 1 - 2S for
+ * two sockets); in this model a replica is keyed by the original line
+ * number in the replica socket's memory controller, which is exactly
+ * "same internal mapping, other socket".
+ *
+ * The RMT maps individual pages on demand: pages without an entry fall
+ * back to a single copy, giving the capacity/reliability flexibility the
+ * paper argues for.
+ */
+
+#ifndef DVE_CORE_REPLICA_MAP_HH
+#define DVE_CORE_REPLICA_MAP_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dve
+{
+
+/** Fixed-function or table-based page -> replica-socket mapping. */
+class ReplicaMap
+{
+  public:
+    /** Fixed-function mapping: every page replicated on the next socket. */
+    static ReplicaMap
+    fixedAll(unsigned sockets)
+    {
+        ReplicaMap m(sockets);
+        m.all_ = true;
+        return m;
+    }
+
+    /** Empty RMT for on-demand replication. */
+    explicit ReplicaMap(unsigned sockets) : sockets_(sockets)
+    {
+        dve_assert(sockets >= 1, "need at least one socket");
+    }
+
+    /** True when the whole address space is replicated. */
+    bool coversAll() const { return all_; }
+
+    /**
+     * Map @p page to a replica on @p replica_socket (RMT insert). The OS
+     * guarantees replicas land on a different socket than the home.
+     */
+    void
+    mapPage(Addr page, unsigned replica_socket)
+    {
+        dve_assert(!all_, "fixed mapping covers everything already");
+        dve_assert(replica_socket < sockets_, "socket out of range");
+        pages_[page] = replica_socket;
+    }
+
+    /** Reclaim a page's replica (capacity crunch). @return had mapping. */
+    bool
+    unmapPage(Addr page)
+    {
+        return pages_.erase(page) > 0;
+    }
+
+    /**
+     * Replica socket for the line, or nullopt when the line is not
+     * replicated. Never returns the home socket.
+     */
+    std::optional<unsigned>
+    replicaSocket(Addr line, unsigned home_socket) const
+    {
+        if (sockets_ < 2)
+            return std::nullopt;
+        if (all_)
+            return (home_socket + 1) % sockets_;
+        const auto it = pages_.find(line >> (pageShift - lineShift));
+        if (it == pages_.end())
+            return std::nullopt;
+        dve_assert(it->second != home_socket,
+                   "replica must live on a different socket");
+        return it->second;
+    }
+
+    std::size_t mappedPages() const { return pages_.size(); }
+
+  private:
+    bool all_ = false;
+    unsigned sockets_;
+    std::unordered_map<Addr, unsigned> pages_;
+};
+
+} // namespace dve
+
+#endif // DVE_CORE_REPLICA_MAP_HH

@@ -1,0 +1,201 @@
+#include "cpu/replay.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+namespace
+{
+constexpr Cycles threadApiCycles = 100; // paper Sec. VI
+} // namespace
+
+ReplayEngine::ReplayEngine(CoherenceEngine &engine, double warmup_fraction)
+    : engine_(engine), warmupFraction_(warmup_fraction),
+      clk_(engine.config().coreFreqMhz)
+{
+    dve_assert(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+               "warmup fraction out of range");
+}
+
+void
+ReplayEngine::scheduleStep(unsigned tid)
+{
+    ThreadState &t = threads_[tid];
+    queue_.schedule(t.time, [this, tid] { step(tid); });
+}
+
+ReplayResult
+ReplayEngine::run(const ThreadTraces &traces)
+{
+    const unsigned nthreads = static_cast<unsigned>(traces.size());
+    const unsigned cores_total =
+        engine_.config().sockets * engine_.config().coresPerSocket;
+    dve_assert(nthreads >= 1 && nthreads <= cores_total,
+               "thread count exceeds cores (", nthreads, " > ",
+               cores_total, ")");
+
+    threads_.assign(nthreads, ThreadState{});
+    barriers_.clear();
+    locks_.clear();
+    result_ = ReplayResult{};
+    liveThreads_ = nthreads;
+    warmThreads_ = nthreads;
+
+    for (unsigned tid = 0; tid < nthreads; ++tid) {
+        ThreadState &t = threads_[tid];
+        t.ops = &traces[tid];
+        std::uint64_t mem = 0;
+        for (const auto &op : traces[tid])
+            mem += op.type == OpType::Read || op.type == OpType::Write;
+        t.memOpsWarm = static_cast<std::uint64_t>(
+            static_cast<double>(mem) * warmupFraction_);
+        if (t.memOpsWarm == 0 && warmThreads_ > 0)
+            --warmThreads_; // nothing to warm for this thread
+        scheduleStep(tid);
+    }
+    if (warmThreads_ == 0) {
+        result_.roiStartTick = 0;
+        if (roiCallback_)
+            roiCallback_(0);
+    }
+
+    queue_.run();
+
+    dve_assert(liveThreads_ == 0, "deadlock: ", liveThreads_,
+               " threads never finished");
+    return result_;
+}
+
+void
+ReplayEngine::step(unsigned tid)
+{
+    ThreadState &t = threads_[tid];
+    const unsigned cps = engine_.config().coresPerSocket;
+    const unsigned socket = tid / cps;
+    const unsigned core = tid % cps;
+
+    if (t.pc >= t.ops->size()) {
+        if (!t.finished) {
+            t.finished = true;
+            --liveThreads_;
+            result_.finishTick = std::max(result_.finishTick, t.time);
+        }
+        return;
+    }
+
+    const TraceOp &op = (*t.ops)[t.pc];
+    const bool in_roi = warmThreads_ == 0;
+
+    switch (op.type) {
+      case OpType::Compute: {
+        t.time += clk_.cyclesToTicks(op.arg);
+        if (in_roi) {
+            result_.computeCycles += op.arg;
+            result_.instructionsApprox += op.arg;
+        }
+        ++t.pc;
+        scheduleStep(tid);
+        return;
+      }
+
+      case OpType::Read:
+      case OpType::Write: {
+        const bool is_write = op.type == OpType::Write;
+        const std::uint64_t token =
+            (std::uint64_t(tid) << 48) | (t.memOpsDone + 1);
+        const auto r = engine_.access(socket, core, op.addr, is_write,
+                                      token, t.time);
+        t.time = r.done;
+        ++t.memOpsDone;
+        if (in_roi) {
+            ++result_.memOps;
+            ++result_.instructionsApprox;
+        }
+        // Warmup bookkeeping: the ROI opens when every thread has
+        // replayed its warmup share of memory events.
+        if (warmThreads_ > 0 && t.memOpsDone == t.memOpsWarm) {
+            if (--warmThreads_ == 0) {
+                result_.roiStartTick = queue_.now();
+                if (roiCallback_)
+                    roiCallback_(queue_.now());
+            }
+        }
+        ++t.pc;
+        scheduleStep(tid);
+        return;
+      }
+
+      case OpType::Barrier: {
+        BarrierState &b = barriers_[op.arg];
+        b.arrived++;
+        if (in_roi)
+            ++result_.barrierWaits;
+        if (b.arrived < threads_.size()) {
+            b.waiting.push_back(tid);
+            t.blocked = true;
+            return; // resumed by the last arriver
+        }
+        // Last arrival releases everyone at now + API cost.
+        const Tick release =
+            queue_.now() + clk_.cyclesToTicks(threadApiCycles);
+        for (unsigned w : b.waiting) {
+            ThreadState &wt = threads_[w];
+            wt.blocked = false;
+            wt.time = release;
+            ++wt.pc;
+            scheduleStep(w);
+        }
+        barriers_.erase(op.arg);
+        t.time = release;
+        ++t.pc;
+        scheduleStep(tid);
+        return;
+      }
+
+      case OpType::Lock: {
+        LockState &l = locks_[op.arg];
+        if (l.held) {
+            l.waiters.push_back(tid);
+            t.blocked = true;
+            return; // resumed by the unlocker
+        }
+        l.held = true;
+        t.time += clk_.cyclesToTicks(threadApiCycles);
+        if (in_roi)
+            ++result_.lockAcquisitions;
+        ++t.pc;
+        scheduleStep(tid);
+        return;
+      }
+
+      case OpType::Unlock: {
+        LockState &l = locks_[op.arg];
+        dve_assert(l.held, "unlock of a free lock in trace");
+        t.time += clk_.cyclesToTicks(threadApiCycles);
+        if (l.waiters.empty()) {
+            l.held = false;
+        } else {
+            // FIFO handoff: next waiter acquires at the release time.
+            const unsigned next = l.waiters.front();
+            l.waiters.erase(l.waiters.begin());
+            ThreadState &nt = threads_[next];
+            nt.blocked = false;
+            nt.time = std::max(nt.time, t.time)
+                      + clk_.cyclesToTicks(threadApiCycles);
+            if (in_roi)
+                ++result_.lockAcquisitions;
+            ++nt.pc;
+            scheduleStep(next);
+        }
+        ++t.pc;
+        scheduleStep(tid);
+        return;
+      }
+    }
+    dve_panic("unhandled op type");
+}
+
+} // namespace dve

@@ -1,0 +1,45 @@
+#include "dram/address_map.hh"
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+AddressMap::AddressMap(const DramConfig &cfg) : cfg_(cfg)
+{
+    dve_assert(cfg.rowBufferBytes % lineBytes == 0,
+               "row buffer must hold whole lines");
+    linesPerRow_ = cfg.rowBufferBytes / lineBytes;
+    dve_assert(cfg.channels >= 1 && cfg.banksPerRank >= 1 &&
+               cfg.ranksPerChannel >= 1, "degenerate DRAM organization");
+}
+
+DramCoord
+AddressMap::decode(Addr a) const
+{
+    std::uint64_t n = lineNum(a);
+    DramCoord c;
+    c.channel = static_cast<unsigned>(n % cfg_.channels);
+    n /= cfg_.channels;
+    c.bank = static_cast<unsigned>(n % cfg_.banksPerRank);
+    n /= cfg_.banksPerRank;
+    c.column = static_cast<unsigned>(n % linesPerRow_);
+    n /= linesPerRow_;
+    c.rank = static_cast<unsigned>(n % cfg_.ranksPerChannel);
+    n /= cfg_.ranksPerChannel;
+    c.row = n % cfg_.rowsPerBank();
+    return c;
+}
+
+Addr
+AddressMap::encode(const DramCoord &c) const
+{
+    std::uint64_t n = c.row;
+    n = n * cfg_.ranksPerChannel + c.rank;
+    n = n * linesPerRow_ + c.column;
+    n = n * cfg_.banksPerRank + c.bank;
+    n = n * cfg_.channels + c.channel;
+    return n << lineShift;
+}
+
+} // namespace dve

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate decoding.
+ *
+ * Layout (low to high bits): line offset | channel | bank | column-of-line |
+ * rank | row. Interleaving lines across channels first and banks second
+ * maximizes channel/bank-level parallelism for streaming accesses, matching
+ * common BIOS policy.
+ */
+
+#ifndef DVE_DRAM_ADDRESS_MAP_HH
+#define DVE_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/config.hh"
+
+namespace dve
+{
+
+/** DRAM coordinates of one cache-line access. */
+struct DramCoord
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    unsigned column = 0; ///< line slot within the row buffer
+
+    bool operator==(const DramCoord &) const = default;
+};
+
+/** Decoder from socket-local physical addresses to DRAM coordinates. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const DramConfig &cfg);
+
+    /** Decode a (socket-local) physical address. */
+    DramCoord decode(Addr a) const;
+
+    /** Inverse of decode; useful for constructing targeted test access. */
+    Addr encode(const DramCoord &c) const;
+
+    /** Lines per row buffer. */
+    unsigned linesPerRow() const { return linesPerRow_; }
+
+  private:
+    DramConfig cfg_;
+    unsigned linesPerRow_;
+};
+
+} // namespace dve
+
+#endif // DVE_DRAM_ADDRESS_MAP_HH

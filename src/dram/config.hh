@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DRAM organization and timing configuration.
+ *
+ * Defaults follow Table II of the paper: DDR4-2400, tCL = tRCD = tRP =
+ * 14.16 ns, tRAS = 32 ns, 1 KB row buffer, 16 banks/rank, x8 devices,
+ * one rank of 8 data devices (plus one ECC device) per channel.
+ */
+
+#ifndef DVE_DRAM_CONFIG_HH
+#define DVE_DRAM_CONFIG_HH
+
+#include "common/types.hh"
+
+namespace dve
+{
+
+/** Organization + timing of one socket's DRAM subsystem. */
+struct DramConfig
+{
+    // Organization.
+    unsigned channels = 1;
+    unsigned ranksPerChannel = 1;
+    unsigned banksPerRank = 16;
+    unsigned rowBufferBytes = 1024;
+    unsigned dataDevicesPerRank = 8; ///< x8 devices carrying data
+    unsigned eccDevicesPerRank = 1;  ///< devices carrying check symbols
+    std::uint64_t channelCapacityBytes = 8ULL << 30; ///< 8 GB DIMM
+
+    // Timing (ticks).
+    Tick tCL = nsToTicks(14.16);
+    Tick tRCD = nsToTicks(14.16);
+    Tick tRP = nsToTicks(14.16);
+    Tick tRAS = nsToTicks(32.0);
+    /// Burst of 8 beats at 2400 MT/s on a 64-bit bus = 64 B in ~3.33 ns.
+    Tick tBURST = nsToTicks(3.33);
+    /// Average refresh interval (all-bank refresh per rank).
+    Tick tREFI = nsToTicks(7800.0);
+    /// Refresh cycle time: the rank is unavailable this long (8 Gb).
+    Tick tRFC = nsToTicks(350.0);
+    /// Model refresh blackouts (disable for pure timing unit tests).
+    bool refreshEnabled = true;
+
+    /** Total devices per rank (data + ECC). */
+    unsigned devicesPerRank() const
+    {
+        return dataDevicesPerRank + eccDevicesPerRank;
+    }
+
+    /** Rows per bank implied by capacity and geometry. */
+    std::uint64_t
+    rowsPerBank() const
+    {
+        const std::uint64_t per_rank =
+            channelCapacityBytes / ranksPerChannel;
+        return per_rank / (std::uint64_t(banksPerRank) * rowBufferBytes);
+    }
+
+    /** Table II baseline: one channel per socket. */
+    static DramConfig ddr4Baseline() { return DramConfig{}; }
+
+    /** Table II replicated memory: two channels per socket. */
+    static DramConfig
+    ddr4Replicated()
+    {
+        DramConfig c;
+        c.channels = 2;
+        return c;
+    }
+};
+
+} // namespace dve
+
+#endif // DVE_DRAM_CONFIG_HH

@@ -1,0 +1,138 @@
+#include "dram/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+DramModule::DramModule(std::string name, const DramConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg), map_(cfg), stats_(name_)
+{
+    const std::size_t nbanks = std::size_t(cfg_.channels)
+                               * cfg_.ranksPerChannel * cfg_.banksPerRank;
+    banks_.assign(nbanks, BankState{});
+    busReadyAt_.assign(cfg_.channels, 0);
+    nextRefresh_.assign(
+        std::size_t(cfg_.channels) * cfg_.ranksPerChannel, cfg_.tREFI);
+
+    stats_.add("reads", reads_);
+    stats_.add("writes", writes_);
+    stats_.add("activates", activates_);
+    stats_.add("precharges", precharges_);
+    stats_.add("refreshes", refreshes_);
+    stats_.add("refresh_stall_ticks", refreshStallTicks_);
+    stats_.add("row_hits", rowHits_);
+    stats_.add("row_misses", rowMisses_);
+    stats_.add("row_conflicts", rowConflicts_);
+}
+
+Tick
+DramModule::applyRefresh(const DramCoord &c, Tick start)
+{
+    Tick &next =
+        nextRefresh_[std::size_t(c.channel) * cfg_.ranksPerChannel
+                     + c.rank];
+    if (start < next)
+        return start;
+
+    // One or more refreshes elapsed before this access; only the last
+    // blackout window can still contain it.
+    const Tick periods = (start - next) / cfg_.tREFI + 1;
+    const Tick last = next + (periods - 1) * cfg_.tREFI;
+    refreshes_ += periods;
+    next += periods * cfg_.tREFI;
+
+    // Refresh precharges the whole rank.
+    for (unsigned bk = 0; bk < cfg_.banksPerRank; ++bk) {
+        DramCoord cc = c;
+        cc.bank = bk;
+        bank(cc).openRow = -1;
+    }
+
+    if (start < last + cfg_.tRFC) {
+        refreshStallTicks_ += (last + cfg_.tRFC) - start;
+        start = last + cfg_.tRFC;
+    }
+    return start;
+}
+
+DramAccessResult
+DramModule::access(Addr a, bool is_write, Tick now)
+{
+    DramAccessResult res;
+    res.coord = map_.decode(a);
+    BankState &b = bank(res.coord);
+
+    Tick start = std::max(now, b.readyAt);
+    if (cfg_.refreshEnabled)
+        start = applyRefresh(res.coord, start);
+    Tick cas_issue;
+
+    if (b.openRow == static_cast<std::int64_t>(res.coord.row)) {
+        // Row hit: CAS can issue as soon as the bank is free.
+        res.rowHit = true;
+        ++rowHits_;
+        cas_issue = start;
+    } else if (b.openRow < 0) {
+        // Bank closed: activate then CAS.
+        ++rowMisses_;
+        ++activates_;
+        b.activatedAt = start;
+        cas_issue = start + cfg_.tRCD;
+        b.openRow = static_cast<std::int64_t>(res.coord.row);
+    } else {
+        // Conflict: precharge (no earlier than tRAS after activate),
+        // activate the new row, then CAS.
+        ++rowConflicts_;
+        ++precharges_;
+        ++activates_;
+        const Tick pre_start =
+            std::max(start, b.activatedAt + cfg_.tRAS);
+        const Tick act_start = pre_start + cfg_.tRP;
+        b.activatedAt = act_start;
+        cas_issue = act_start + cfg_.tRCD;
+        b.openRow = static_cast<std::int64_t>(res.coord.row);
+    }
+
+    // Data burst must also win the channel bus.
+    Tick &bus = busReadyAt_[res.coord.channel];
+    const Tick burst_start = std::max(cas_issue + cfg_.tCL, bus);
+    bus = burst_start + cfg_.tBURST;
+    res.readyAt = burst_start + cfg_.tBURST;
+
+    // Bank is command-busy until the CAS completes.
+    b.readyAt = res.readyAt;
+
+    if (is_write)
+        ++writes_;
+    else
+        ++reads_;
+    return res;
+}
+
+double
+DramModule::rowHitRate() const
+{
+    const std::uint64_t total =
+        rowHits_.value() + rowMisses_.value() + rowConflicts_.value();
+    return total == 0 ? 0.0
+                      : static_cast<double>(rowHits_.value()) / total;
+}
+
+void
+DramModule::resetStats()
+{
+    reads_.reset();
+    writes_.reset();
+    activates_.reset();
+    precharges_.reset();
+    refreshes_.reset();
+    refreshStallTicks_.reset();
+    rowHits_.reset();
+    rowMisses_.reset();
+    rowConflicts_.reset();
+}
+
+} // namespace dve

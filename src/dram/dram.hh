@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Open-page DDR4 timing model.
+ *
+ * Each bank tracks its open row and availability; each channel serializes
+ * bursts on its data bus. An access is resolved into a completion tick:
+ *
+ *   row hit      : tCL + tBURST
+ *   closed bank  : tRCD + tCL + tBURST
+ *   row conflict : tRP (respecting tRAS since activate) + tRCD + tCL + tBURST
+ *
+ * All-bank refresh blacks out a rank for tRFC every tREFI; an access
+ * whose start lands in a blackout is pushed past it (refresh closes the
+ * open rows). The model also counts activates/reads/writes/precharges/
+ * refreshes, which feed the energy model, and exposes row-buffer hit
+ * statistics.
+ */
+
+#ifndef DVE_DRAM_DRAM_HH
+#define DVE_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/address_map.hh"
+#include "dram/config.hh"
+
+namespace dve
+{
+
+/** Result of timing one access. */
+struct DramAccessResult
+{
+    Tick readyAt = 0;    ///< tick at which the data burst completes
+    bool rowHit = false; ///< open-row hit
+    DramCoord coord;     ///< decoded coordinates (for fault mapping)
+};
+
+/** One socket's DRAM subsystem: all channels behind one memory port. */
+class DramModule
+{
+  public:
+    DramModule(std::string name, const DramConfig &cfg);
+
+    /**
+     * Time a line read/write starting no earlier than @p now.
+     * Purely functional on the address; mutates bank/bus availability.
+     */
+    DramAccessResult access(Addr a, bool is_write, Tick now);
+
+    const DramConfig &config() const { return cfg_; }
+    const AddressMap &map() const { return map_; }
+
+    // Energy-model inputs.
+    std::uint64_t activates() const { return activates_.value(); }
+    std::uint64_t reads() const { return reads_.value(); }
+    std::uint64_t writes() const { return writes_.value(); }
+    std::uint64_t refreshes() const { return refreshes_.value(); }
+
+    /** Fraction of accesses that hit the open row. */
+    double rowHitRate() const;
+
+    const StatGroup &stats() const { return stats_; }
+
+    /** Clear counters (ROI boundary); bank state is retained. */
+    void resetStats();
+
+  private:
+    struct BankState
+    {
+        std::int64_t openRow = -1; ///< -1 = precharged/closed
+        Tick readyAt = 0;          ///< bank available for a new command
+        Tick activatedAt = 0;      ///< for tRAS enforcement
+    };
+
+    BankState &bank(const DramCoord &c)
+    {
+        return banks_[(std::size_t(c.channel) * cfg_.ranksPerChannel
+                       + c.rank) * cfg_.banksPerRank + c.bank];
+    }
+
+    /** Advance per-rank refresh state; returns the adjusted start. */
+    Tick applyRefresh(const DramCoord &c, Tick start);
+
+    std::string name_;
+    DramConfig cfg_;
+    AddressMap map_;
+    std::vector<BankState> banks_;
+    std::vector<Tick> busReadyAt_;   ///< per channel
+    std::vector<Tick> nextRefresh_;  ///< per (channel, rank)
+
+    Counter reads_;
+    Counter writes_;
+    Counter activates_;
+    Counter precharges_;
+    Counter refreshes_;
+    Counter refreshStallTicks_;
+    Counter rowHits_;
+    Counter rowMisses_;    ///< closed-bank accesses
+    Counter rowConflicts_; ///< open-row mismatch
+    StatGroup stats_;
+};
+
+} // namespace dve
+
+#endif // DVE_DRAM_DRAM_HH

@@ -1,0 +1,62 @@
+#include "ecc/crc.hh"
+
+#include <array>
+
+namespace dve
+{
+
+namespace
+{
+
+constexpr std::array<std::uint16_t, 256>
+buildCrc16Table()
+{
+    std::array<std::uint16_t, 256> t{};
+    for (unsigned i = 0; i < 256; ++i) {
+        std::uint16_t c = static_cast<std::uint16_t>(i << 8);
+        for (int b = 0; b < 8; ++b)
+            c = static_cast<std::uint16_t>((c & 0x8000) ? (c << 1) ^ 0x1021
+                                                        : (c << 1));
+        t[i] = c;
+    }
+    return t;
+}
+
+constexpr std::array<std::uint32_t, 256>
+buildCrc32Table()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int b = 0; b < 8; ++b)
+            c = (c & 1) ? (c >> 1) ^ 0xEDB88320u : (c >> 1);
+        t[i] = c;
+    }
+    return t;
+}
+
+constexpr auto crc16Table = buildCrc16Table();
+constexpr auto crc32Table = buildCrc32Table();
+
+} // namespace
+
+std::uint16_t
+crc16(const std::uint8_t *data, std::size_t len)
+{
+    std::uint16_t c = 0xFFFF;
+    for (std::size_t i = 0; i < len; ++i)
+        c = static_cast<std::uint16_t>((c << 8)
+                                       ^ crc16Table[(c >> 8) ^ data[i]]);
+    return c;
+}
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = (c >> 8) ^ crc32Table[(c ^ data[i]) & 0xFF];
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace dve

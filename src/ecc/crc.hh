@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Table-driven CRC-16 (CCITT) and CRC-32 (IEEE), the bus/link error
+ * detection codes the DDR4 spec layers under Dvé (Sec. III of the paper).
+ */
+
+#ifndef DVE_ECC_CRC_HH
+#define DVE_ECC_CRC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dve
+{
+
+/** CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection. */
+std::uint16_t crc16(const std::uint8_t *data, std::size_t len);
+
+/** CRC-32/IEEE: poly 0xEDB88320 (reflected), init/xorout 0xFFFFFFFF. */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t len);
+
+} // namespace dve
+
+#endif // DVE_ECC_CRC_HH

@@ -1,0 +1,90 @@
+#include "ecc/gf.hh"
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+GaloisField::GaloisField(unsigned symbol_bits, std::uint32_t primitive_poly)
+    : bits_(symbol_bits), size_(1u << symbol_bits)
+{
+    dve_assert(symbol_bits >= 2 && symbol_bits <= 16,
+               "symbol width out of supported range");
+    dve_assert(primitive_poly >> symbol_bits == 1,
+               "polynomial must have degree exactly m");
+
+    const std::uint32_t order = size_ - 1;
+    exp_.assign(std::size_t(2) * order, 0);
+    log_.assign(size_, 0);
+
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < order; ++i) {
+        exp_[i] = x;
+        if (i > 0 && x == 1)
+            dve_panic("polynomial 0x", std::hex, primitive_poly,
+                      " is not primitive (alpha order ", std::dec, i, ")");
+        log_[x] = i;
+        // Multiply by alpha (= x) and reduce.
+        x <<= 1;
+        if (x & size_)
+            x ^= primitive_poly;
+    }
+    dve_assert(x == 1, "alpha^order must return to 1");
+    // Duplicate table so mul can index log a + log b without a modulo.
+    for (std::uint32_t i = 0; i < order; ++i)
+        exp_[order + i] = exp_[i];
+}
+
+std::uint32_t
+GaloisField::div(std::uint32_t a, std::uint32_t b) const
+{
+    dve_assert(b != 0, "division by zero in GF");
+    if (a == 0)
+        return 0;
+    const std::uint32_t order = size_ - 1;
+    return exp_[log_[a] + order - log_[b]];
+}
+
+std::uint32_t
+GaloisField::inv(std::uint32_t a) const
+{
+    dve_assert(a != 0, "zero has no inverse");
+    const std::uint32_t order = size_ - 1;
+    return exp_[order - log_[a]];
+}
+
+std::uint32_t
+GaloisField::pow(std::uint32_t a, std::uint64_t e) const
+{
+    if (e == 0)
+        return 1;
+    if (a == 0)
+        return 0;
+    const std::uint64_t order = size_ - 1;
+    const std::uint64_t le = (static_cast<std::uint64_t>(log_[a]) * e)
+                             % order;
+    return exp_[static_cast<std::size_t>(le)];
+}
+
+std::uint32_t
+GaloisField::logOf(std::uint32_t a) const
+{
+    dve_assert(a != 0 && a < size_, "log of zero/out-of-field element");
+    return log_[a];
+}
+
+const GaloisField &
+GaloisField::gf256()
+{
+    static const GaloisField f(8, 0x11D);
+    return f;
+}
+
+const GaloisField &
+GaloisField::gf65536()
+{
+    static const GaloisField f(16, 0x1100B);
+    return f;
+}
+
+} // namespace dve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Finite (Galois) field arithmetic GF(2^m) via log/antilog tables.
+ *
+ * Dvé's detection codes (DSD over 8-bit symbols, TSD over 16-bit symbols)
+ * and the Chipkill baseline (SSC-DSD Reed-Solomon) are all built on
+ * GF(2^8) / GF(2^16). The constructor verifies the supplied polynomial is
+ * primitive, so table-driven mul/div/inv are exact.
+ */
+
+#ifndef DVE_ECC_GF_HH
+#define DVE_ECC_GF_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dve
+{
+
+/** A Galois field GF(2^m), 2 <= m <= 16. Symbols are stored in uint32_t. */
+class GaloisField
+{
+  public:
+    /**
+     * Construct GF(2^m) with the given primitive polynomial (including the
+     * x^m term, e.g. 0x11D for GF(2^8)). Panics if not primitive.
+     */
+    GaloisField(unsigned symbol_bits, std::uint32_t primitive_poly);
+
+    /** Field size 2^m. */
+    std::uint32_t size() const { return size_; }
+
+    /** Symbol width m in bits. */
+    unsigned bits() const { return bits_; }
+
+    /** Addition (= subtraction) is XOR in characteristic 2. */
+    static std::uint32_t add(std::uint32_t a, std::uint32_t b)
+    {
+        return a ^ b;
+    }
+
+    /** Multiplication via log tables. */
+    std::uint32_t
+    mul(std::uint32_t a, std::uint32_t b) const
+    {
+        if (a == 0 || b == 0)
+            return 0;
+        return exp_[log_[a] + log_[b]];
+    }
+
+    /** Division a / b; panics on division by zero. */
+    std::uint32_t div(std::uint32_t a, std::uint32_t b) const;
+
+    /** Multiplicative inverse; panics on zero. */
+    std::uint32_t inv(std::uint32_t a) const;
+
+    /** a^e with e >= 0 (a may be zero: 0^0 == 1 by convention). */
+    std::uint32_t pow(std::uint32_t a, std::uint64_t e) const;
+
+    /** alpha^i for any integer i (reduced mod 2^m - 1). */
+    std::uint32_t
+    alphaPow(std::int64_t i) const
+    {
+        const std::int64_t order = size_ - 1;
+        std::int64_t r = i % order;
+        if (r < 0)
+            r += order;
+        return exp_[static_cast<std::size_t>(r)];
+    }
+
+    /** Discrete log base alpha of a nonzero element. */
+    std::uint32_t logOf(std::uint32_t a) const;
+
+    /** The canonical GF(2^8) with polynomial 0x11D. */
+    static const GaloisField &gf256();
+
+    /** The canonical GF(2^16) with polynomial 0x1100B. */
+    static const GaloisField &gf65536();
+
+  private:
+    unsigned bits_;
+    std::uint32_t size_;
+    std::vector<std::uint32_t> exp_; ///< 2*(size-1) entries, wrap-free mul
+    std::vector<std::uint32_t> log_; ///< size entries; log_[0] unused
+};
+
+} // namespace dve
+
+#endif // DVE_ECC_GF_HH

@@ -1,0 +1,146 @@
+#include "ecc/hamming.hh"
+
+#include <array>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+namespace
+{
+
+/**
+ * Standard Hamming layout: codeword positions 1..71, where positions that
+ * are powers of two (1,2,4,8,16,32,64) hold the 7 check bits and the other
+ * 64 positions hold data bits in ascending order. An eighth, overall parity
+ * bit extends the code to SEC-DED.
+ */
+constexpr std::array<std::uint8_t, 7> checkPositions =
+    {1, 2, 4, 8, 16, 32, 64};
+
+constexpr bool
+isPowerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Position (1-based) of data bit i. */
+constexpr std::array<std::uint8_t, 64>
+buildDataPositions()
+{
+    std::array<std::uint8_t, 64> pos{};
+    unsigned idx = 0;
+    for (unsigned p = 1; idx < 64; ++p) {
+        if (!isPowerOfTwo(p))
+            pos[idx++] = static_cast<std::uint8_t>(p);
+    }
+    return pos;
+}
+
+constexpr std::array<std::uint8_t, 64> dataPositions = buildDataPositions();
+
+/** Bit of @p data at index i. */
+constexpr unsigned
+dataBit(std::uint64_t data, unsigned i)
+{
+    return static_cast<unsigned>((data >> i) & 1);
+}
+
+} // namespace
+
+HammingSecDed::Codeword
+HammingSecDed::encode(std::uint64_t data)
+{
+    Codeword cw;
+    cw.data = data;
+
+    std::uint8_t check = 0;
+    for (unsigned c = 0; c < 7; ++c) {
+        unsigned parity = 0;
+        for (unsigned i = 0; i < 64; ++i) {
+            if (dataPositions[i] & checkPositions[c])
+                parity ^= dataBit(data, i);
+        }
+        check |= static_cast<std::uint8_t>(parity << c);
+    }
+    // Overall parity (bit 7 of check) covers data + the 7 check bits.
+    unsigned overall = std::popcount(data) & 1;
+    overall ^= std::popcount(static_cast<unsigned>(check & 0x7F)) & 1;
+    check |= static_cast<std::uint8_t>(overall << 7);
+    cw.check = check;
+    return cw;
+}
+
+std::uint8_t
+HammingSecDed::syndromeOf(const Codeword &cw)
+{
+    // Syndrome = XOR of positions whose covered parities mismatch.
+    const Codeword expect = encode(cw.data);
+    std::uint8_t synd = 0;
+    for (unsigned c = 0; c < 7; ++c) {
+        const unsigned got = (cw.check >> c) & 1;
+        const unsigned want = (expect.check >> c) & 1;
+        if (got != want)
+            synd |= checkPositions[c];
+    }
+    return synd;
+}
+
+std::uint8_t
+HammingSecDed::parityOf(std::uint64_t data, std::uint8_t check)
+{
+    unsigned p = std::popcount(data) & 1;
+    p ^= std::popcount(static_cast<unsigned>(check)) & 1;
+    return static_cast<std::uint8_t>(p);
+}
+
+HammingSecDed::Result
+HammingSecDed::decode(const Codeword &received)
+{
+    Result res;
+    res.codeword = received;
+
+    const std::uint8_t synd = syndromeOf(received);
+    // Overall parity of the received word must be even.
+    const bool parity_bad = parityOf(received.data, received.check) != 0;
+
+    if (synd == 0 && !parity_bad) {
+        res.status = EccStatus::Clean;
+        return res;
+    }
+    if (synd == 0 && parity_bad) {
+        // The overall-parity bit itself flipped.
+        res.codeword.check ^= 0x80;
+        res.status = EccStatus::Corrected;
+        return res;
+    }
+    if (!parity_bad) {
+        // Nonzero syndrome with even parity: double-bit error.
+        res.status = EccStatus::Detected;
+        return res;
+    }
+
+    // Single-bit error at position synd.
+    if (isPowerOfTwo(synd)) {
+        for (unsigned c = 0; c < 7; ++c) {
+            if (checkPositions[c] == synd)
+                res.codeword.check ^= static_cast<std::uint8_t>(1u << c);
+        }
+        res.status = EccStatus::Corrected;
+        return res;
+    }
+    for (unsigned i = 0; i < 64; ++i) {
+        if (dataPositions[i] == synd) {
+            res.codeword.data ^= (std::uint64_t(1) << i);
+            res.status = EccStatus::Corrected;
+            return res;
+        }
+    }
+    // Syndrome points outside the codeword: uncorrectable.
+    res.status = EccStatus::Detected;
+    return res;
+}
+
+} // namespace dve

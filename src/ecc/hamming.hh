@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hamming(72,64) SEC-DED: the classic single-error-correct /
+ * double-error-detect code used as the Fig 1 "SEC-DED" comparison point.
+ */
+
+#ifndef DVE_ECC_HAMMING_HH
+#define DVE_ECC_HAMMING_HH
+
+#include <cstdint>
+
+#include "ecc/reed_solomon.hh" // for EccStatus
+
+namespace dve
+{
+
+/** SEC-DED over a 64-bit word with 8 check bits. */
+class HammingSecDed
+{
+  public:
+    /** A 64-bit data word plus its 8 check bits. */
+    struct Codeword
+    {
+        std::uint64_t data = 0;
+        std::uint8_t check = 0;
+
+        bool operator==(const Codeword &) const = default;
+    };
+
+    /** Compute check bits for @p data. */
+    static Codeword encode(std::uint64_t data);
+
+    /** Result of decoding a possibly corrupted codeword. */
+    struct Result
+    {
+        EccStatus status = EccStatus::Clean;
+        Codeword codeword;
+    };
+
+    /**
+     * Decode: single-bit errors (data or check) are corrected, double-bit
+     * errors are detected; >= 3 bit errors may alias (SDC), as in hardware.
+     */
+    static Result decode(const Codeword &received);
+
+  private:
+    static std::uint8_t syndromeOf(const Codeword &cw);
+    static std::uint8_t parityOf(std::uint64_t data, std::uint8_t check);
+};
+
+} // namespace dve
+
+#endif // DVE_ECC_HAMMING_HH

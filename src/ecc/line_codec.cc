@@ -1,0 +1,335 @@
+#include "ecc/line_codec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "ecc/hamming.hh"
+
+namespace dve
+{
+
+namespace
+{
+
+/** Shared codec instances (construction builds generator polynomials). */
+const ReedSolomon &
+sharedRs8()
+{
+    static const ReedSolomon rs(GaloisField::gf256(), 18, 16);
+    return rs;
+}
+
+const ReedSolomon &
+sharedRs8Chipkill()
+{
+    static const ReedSolomon rs(GaloisField::gf256(), 19, 16);
+    return rs;
+}
+
+const ReedSolomon &
+sharedRs16()
+{
+    static const ReedSolomon rs(GaloisField::gf65536(), 19, 16);
+    return rs;
+}
+
+/** Payload byte of data symbol @p sym in 8-bit codeword @p cw (of 4). */
+constexpr unsigned
+dsdPayloadByte(unsigned sym, unsigned cw)
+{
+    return sym * 4 + cw;
+}
+
+std::uint64_t
+loadWord(const LineBytes &b, unsigned w)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= std::uint64_t(b[w * 8 + i]) << (8 * i);
+    return v;
+}
+
+void
+storeWord(LineBytes &b, unsigned w, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        b[w * 8 + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+} // namespace
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::None: return "none";
+      case Scheme::SecDed72_64: return "sec-ded";
+      case Scheme::ChipkillSscDsd: return "chipkill-ssc-dsd";
+      case Scheme::DsdDetect: return "dsd-detect";
+      case Scheme::TsdDetect: return "tsd-detect";
+    }
+    return "?";
+}
+
+LineCodec::LineCodec(Scheme scheme) : scheme_(scheme)
+{
+    switch (scheme_) {
+      case Scheme::ChipkillSscDsd:
+        rs8ck_ = &sharedRs8Chipkill();
+        break;
+      case Scheme::DsdDetect:
+        rs8_ = &sharedRs8();
+        break;
+      case Scheme::TsdDetect:
+        rs16_ = &sharedRs16();
+        break;
+      default:
+        break;
+    }
+}
+
+unsigned
+LineCodec::checkBytes() const
+{
+    switch (scheme_) {
+      case Scheme::None: return 0;
+      case Scheme::SecDed72_64: return 8;  // 1 byte per 64-bit word
+      case Scheme::ChipkillSscDsd: return 12; // 4 codewords x 3 symbols
+      case Scheme::DsdDetect: return 8;    // 4 codewords x 2 symbols
+      case Scheme::TsdDetect: return 12;   // 2 codewords x 3 x 16-bit
+    }
+    return 0;
+}
+
+unsigned
+LineCodec::chips() const
+{
+    switch (scheme_) {
+      case Scheme::None: return 8;
+      case Scheme::SecDed72_64: return 9;  // 8 data + 1 check
+      case Scheme::ChipkillSscDsd: return 19; // 16 data + 3 check
+      case Scheme::DsdDetect: return 18;   // 16 data + 2 check
+      case Scheme::TsdDetect: return 19;   // 16 data + 3 check
+    }
+    return 0;
+}
+
+StoredLine
+LineCodec::encode(const LineBytes &data) const
+{
+    StoredLine line;
+    line.payload = data;
+    line.check.assign(checkBytes(), 0);
+
+    switch (scheme_) {
+      case Scheme::None:
+        break;
+
+      case Scheme::SecDed72_64:
+        for (unsigned w = 0; w < 8; ++w)
+            line.check[w] = HammingSecDed::encode(loadWord(data, w)).check;
+        break;
+
+      case Scheme::ChipkillSscDsd:
+      case Scheme::DsdDetect: {
+        const ReedSolomon *rs =
+            scheme_ == Scheme::ChipkillSscDsd ? rs8ck_ : rs8_;
+        const unsigned p = rs->parity();
+        for (unsigned cw = 0; cw < 4; ++cw) {
+            std::vector<std::uint32_t> msg(16);
+            for (unsigned sym = 0; sym < 16; ++sym)
+                msg[sym] = data[dsdPayloadByte(sym, cw)];
+            const auto enc = rs->encode(msg);
+            for (unsigned s = 0; s < p; ++s)
+                line.check[cw * p + s] = static_cast<std::uint8_t>(enc[s]);
+        }
+        break;
+      }
+
+      case Scheme::TsdDetect:
+        for (unsigned cw = 0; cw < 2; ++cw) {
+            std::vector<std::uint32_t> msg(16);
+            for (unsigned sym = 0; sym < 16; ++sym) {
+                const unsigned base = sym * 4 + cw * 2;
+                msg[sym] = std::uint32_t(data[base])
+                           | (std::uint32_t(data[base + 1]) << 8);
+            }
+            const auto enc = rs16_->encode(msg);
+            for (unsigned s = 0; s < 3; ++s) {
+                line.check[cw * 6 + s * 2 + 0] =
+                    static_cast<std::uint8_t>(enc[s]);
+                line.check[cw * 6 + s * 2 + 1] =
+                    static_cast<std::uint8_t>(enc[s] >> 8);
+            }
+        }
+        break;
+    }
+    return line;
+}
+
+LineCodec::Outcome
+LineCodec::decode(const StoredLine &received) const
+{
+    dve_assert(received.check.size() == checkBytes(),
+               "check-byte count mismatch for ", schemeName(scheme_));
+    Outcome out;
+    out.data = received.payload;
+
+    bool any_corrected = false;
+    bool any_detected = false;
+
+    switch (scheme_) {
+      case Scheme::None:
+        break;
+
+      case Scheme::SecDed72_64:
+        for (unsigned w = 0; w < 8; ++w) {
+            HammingSecDed::Codeword cw{loadWord(received.payload, w),
+                                       received.check[w]};
+            const auto r = HammingSecDed::decode(cw);
+            if (r.status == EccStatus::Corrected) {
+                any_corrected = true;
+                storeWord(out.data, w, r.codeword.data);
+            } else if (r.status == EccStatus::Detected) {
+                any_detected = true;
+            }
+        }
+        break;
+
+      case Scheme::ChipkillSscDsd:
+      case Scheme::DsdDetect: {
+        const ReedSolomon *rs =
+            scheme_ == Scheme::ChipkillSscDsd ? rs8ck_ : rs8_;
+        const unsigned p = rs->parity();
+        const unsigned cap = scheme_ == Scheme::ChipkillSscDsd ? 1 : 0;
+        for (unsigned cw = 0; cw < 4; ++cw) {
+            std::vector<std::uint32_t> word(rs->n());
+            for (unsigned s = 0; s < p; ++s)
+                word[s] = received.check[cw * p + s];
+            for (unsigned sym = 0; sym < 16; ++sym)
+                word[p + sym] = received.payload[dsdPayloadByte(sym, cw)];
+            const auto r = rs->decode(word, cap);
+            if (r.status == EccStatus::Corrected) {
+                any_corrected = true;
+                for (unsigned sym = 0; sym < 16; ++sym) {
+                    out.data[dsdPayloadByte(sym, cw)] =
+                        static_cast<std::uint8_t>(r.codeword[p + sym]);
+                }
+            } else if (r.status == EccStatus::Detected) {
+                any_detected = true;
+            }
+        }
+        break;
+      }
+
+      case Scheme::TsdDetect:
+        for (unsigned cw = 0; cw < 2; ++cw) {
+            std::vector<std::uint32_t> word(19);
+            for (unsigned s = 0; s < 3; ++s) {
+                word[s] = std::uint32_t(received.check[cw * 6 + s * 2])
+                          | (std::uint32_t(
+                                 received.check[cw * 6 + s * 2 + 1])
+                             << 8);
+            }
+            for (unsigned sym = 0; sym < 16; ++sym) {
+                const unsigned base = sym * 4 + cw * 2;
+                word[3 + sym] =
+                    std::uint32_t(received.payload[base])
+                    | (std::uint32_t(received.payload[base + 1]) << 8);
+            }
+            const auto r = rs16_->decode(word, 0);
+            if (r.status == EccStatus::Detected)
+                any_detected = true;
+        }
+        break;
+    }
+
+    out.status = any_detected ? EccStatus::Detected
+                 : any_corrected ? EccStatus::Corrected
+                                 : EccStatus::Clean;
+    return out;
+}
+
+std::vector<unsigned>
+LineCodec::chipBytes(unsigned chip) const
+{
+    dve_assert(chip < chips(), "chip index out of range for ",
+               schemeName(scheme_));
+    std::vector<unsigned> bytes;
+    switch (scheme_) {
+      case Scheme::None:
+      case Scheme::SecDed72_64:
+        if (chip < 8) {
+            // x8 device: byte `chip` of each 8-byte beat.
+            for (unsigned w = 0; w < 8; ++w)
+                bytes.push_back(w * 8 + chip);
+        } else {
+            for (unsigned w = 0; w < 8; ++w)
+                bytes.push_back(64 + w);
+        }
+        break;
+
+      case Scheme::ChipkillSscDsd:
+      case Scheme::DsdDetect: {
+        const unsigned p = scheme_ == Scheme::ChipkillSscDsd ? 3 : 2;
+        if (chip < 16) {
+            for (unsigned cw = 0; cw < 4; ++cw)
+                bytes.push_back(dsdPayloadByte(chip, cw));
+        } else {
+            const unsigned s = chip - 16; // parity chip
+            for (unsigned cw = 0; cw < 4; ++cw)
+                bytes.push_back(64 + cw * p + s);
+        }
+        break;
+      }
+
+      case Scheme::TsdDetect:
+        if (chip < 16) {
+            for (unsigned b = 0; b < 4; ++b)
+                bytes.push_back(chip * 4 + b);
+        } else {
+            const unsigned s = chip - 16; // parity chip 0..2
+            for (unsigned cw = 0; cw < 2; ++cw) {
+                bytes.push_back(64 + cw * 6 + s * 2);
+                bytes.push_back(64 + cw * 6 + s * 2 + 1);
+            }
+        }
+        break;
+    }
+    return bytes;
+}
+
+std::uint8_t &
+LineCodec::flatByte(StoredLine &line, unsigned idx) const
+{
+    if (idx < 64)
+        return line.payload[idx];
+    dve_assert(idx - 64 < line.check.size(), "flat byte out of range");
+    return line.check[idx - 64];
+}
+
+void
+LineCodec::corruptChip(StoredLine &line, unsigned chip, Rng &rng) const
+{
+    for (unsigned idx : chipBytes(chip)) {
+        std::uint8_t &b = flatByte(line, idx);
+        // Guarantee the byte actually changes.
+        b = static_cast<std::uint8_t>(
+            b ^ (1 + rng.next(255)));
+    }
+}
+
+void
+LineCodec::corruptBit(StoredLine &line, unsigned flat_byte, unsigned bit)
+{
+    dve_assert(bit < 8, "bit index out of range");
+    if (flat_byte < 64) {
+        line.payload[flat_byte] ^= static_cast<std::uint8_t>(1u << bit);
+    } else {
+        dve_assert(flat_byte - 64 < line.check.size(),
+                   "byte index out of range");
+        line.check[flat_byte - 64] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+}
+
+} // namespace dve

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cache-line codec: arranges a 64 B line plus check symbols across DRAM
+ * chips and runs the configured detection/correction scheme.
+ *
+ * The chip <-> symbol mapping is the crux of memory reliability design and
+ * is modelled explicitly so fault injection at chip granularity produces
+ * exactly the symbol-error patterns each scheme was designed around:
+ *
+ *  - SecDed72_64    : 8 Hamming(72,64) words; a chip maps to one byte of
+ *                     every word, so a chip failure aliases (not chipkill).
+ *  - ChipkillSscDsd : RS(19,16) over GF(2^8), 4 codewords/line, one symbol
+ *                     per chip per codeword (Virtualized-ECC style layout).
+ *                     Minimum distance 4 = true SSC-DSD: any 1-chip failure
+ *                     is corrected and any 2-chip failure is detected.
+ *  - DsdDetect      : RS(18,16) over GF(2^8) run detect-only (Dvé+DSD);
+ *                     distance 3 guarantees detection of 2 symbol errors.
+ *  - TsdDetect      : RS(19,16) over GF(2^16), 2 codewords/line, one
+ *                     16-bit symbol per chip (Multi-ECC style); guarantees
+ *                     detection of up to 3 simultaneous chip failures
+ *                     (Dvé+TSD).
+ */
+
+#ifndef DVE_ECC_LINE_CODEC_HH
+#define DVE_ECC_LINE_CODEC_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ecc/reed_solomon.hh"
+
+namespace dve
+{
+
+/** The 64 data bytes of one cache line. */
+using LineBytes = std::array<std::uint8_t, 64>;
+
+/** Protection scheme applied by a memory controller. */
+enum class Scheme : std::uint8_t
+{
+    None,           ///< no check symbols: errors are silent
+    SecDed72_64,    ///< Hamming SEC-DED per 64-bit word
+    ChipkillSscDsd, ///< RS(19,16)/GF(2^8), correct 1 symbol, detect 2
+    DsdDetect,      ///< RS(18,16)/GF(2^8), detection only
+    TsdDetect,      ///< RS(19,16)/GF(2^16), detection only (3-symbol)
+};
+
+const char *schemeName(Scheme s);
+
+/** A line as stored in DRAM: data payload plus check bytes. */
+struct StoredLine
+{
+    LineBytes payload{};
+    std::vector<std::uint8_t> check;
+
+    bool operator==(const StoredLine &) const = default;
+};
+
+/** Encoder/decoder for one scheme. Stateless and shareable. */
+class LineCodec
+{
+  public:
+    explicit LineCodec(Scheme scheme);
+
+    Scheme scheme() const { return scheme_; }
+
+    /** Number of check bytes stored alongside the 64 data bytes. */
+    unsigned checkBytes() const;
+
+    /** Total chips the stored line spans (data + check chips). */
+    unsigned chips() const;
+
+    /** Compute check symbols for @p data. */
+    StoredLine encode(const LineBytes &data) const;
+
+    /** Decode outcome. */
+    struct Outcome
+    {
+        EccStatus status = EccStatus::Clean;
+        LineBytes data{}; ///< best-effort (possibly repaired) data
+    };
+
+    /**
+     * Check (and for ChipkillSscDsd repair) a stored line read from DRAM.
+     * A Clean/Corrected status with wrong data is a silent data corruption;
+     * callers with a golden copy can observe it.
+     */
+    Outcome decode(const StoredLine &received) const;
+
+    /** Bytes of @p line owned by chip @p chip (indices into a flat view
+     *  where [0,64) is payload and [64, 64+checkBytes) is check). */
+    std::vector<unsigned> chipBytes(unsigned chip) const;
+
+    /** Corrupt every byte owned by @p chip with random wrong values. */
+    void corruptChip(StoredLine &line, unsigned chip, Rng &rng) const;
+
+    /** Flip a single bit (flat byte index, bit 0-7). */
+    static void corruptBit(StoredLine &line, unsigned flat_byte,
+                           unsigned bit);
+
+  private:
+    std::uint8_t &flatByte(StoredLine &line, unsigned idx) const;
+
+    Scheme scheme_;
+    // Lazily constructed RS codecs (null when unused by the scheme).
+    const ReedSolomon *rs8_ = nullptr;  ///< RS(18,16) over GF(2^8), DSD
+    const ReedSolomon *rs8ck_ = nullptr; ///< RS(19,16) over GF(2^8), SSC-DSD
+    const ReedSolomon *rs16_ = nullptr; ///< RS(19,16) over GF(2^16), TSD
+};
+
+} // namespace dve
+
+#endif // DVE_ECC_LINE_CODEC_HH

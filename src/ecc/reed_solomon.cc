@@ -1,0 +1,221 @@
+#include "ecc/reed_solomon.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+namespace
+{
+
+/** Evaluate poly (coefficient of x^i at index i) at point x. */
+std::uint32_t
+polyEval(const GaloisField &gf, const std::vector<std::uint32_t> &p,
+         std::uint32_t x)
+{
+    std::uint32_t acc = 0;
+    for (std::size_t i = p.size(); i-- > 0;)
+        acc = GaloisField::add(gf.mul(acc, x), p[i]);
+    return acc;
+}
+
+} // namespace
+
+ReedSolomon::ReedSolomon(const GaloisField &gf, unsigned n, unsigned k)
+    : gf_(gf), n_(n), k_(k)
+{
+    dve_assert(k >= 1 && k < n, "need 1 <= k < n");
+    dve_assert(n <= gf.size() - 1, "codeword longer than field order");
+
+    // g(x) = prod_{i=1..n-k} (x - alpha^i), built low-degree-first.
+    generator_.assign(1, 1);
+    for (unsigned i = 1; i <= n - k; ++i) {
+        const std::uint32_t root = gf_.alphaPow(i);
+        std::vector<std::uint32_t> next(generator_.size() + 1, 0);
+        for (std::size_t j = 0; j < generator_.size(); ++j) {
+            // (g(x)) * (x + root): x*g_j goes to next[j+1], root*g_j to j.
+            next[j + 1] = GaloisField::add(next[j + 1], generator_[j]);
+            next[j] = GaloisField::add(next[j],
+                                       gf_.mul(root, generator_[j]));
+        }
+        generator_ = std::move(next);
+    }
+}
+
+std::vector<std::uint32_t>
+ReedSolomon::encode(const std::vector<std::uint32_t> &data) const
+{
+    dve_assert(data.size() == k_, "encode expects k data symbols");
+    const unsigned p = parity();
+
+    // Systematic encoding: remainder of data(x) * x^p divided by g(x).
+    // Synthetic division, processing data from the high-order end.
+    std::vector<std::uint32_t> rem(p, 0);
+    for (unsigned i = k_; i-- > 0;) {
+        const std::uint32_t feedback =
+            GaloisField::add(data[i], rem[p - 1]);
+        for (unsigned j = p; j-- > 1;) {
+            rem[j] = GaloisField::add(rem[j - 1],
+                                      gf_.mul(feedback, generator_[j]));
+        }
+        rem[0] = gf_.mul(feedback, generator_[0]);
+    }
+
+    std::vector<std::uint32_t> cw(n_);
+    std::copy(rem.begin(), rem.end(), cw.begin());
+    std::copy(data.begin(), data.end(), cw.begin() + p);
+    return cw;
+}
+
+std::vector<std::uint32_t>
+ReedSolomon::syndromes(const std::vector<std::uint32_t> &word) const
+{
+    const unsigned p = parity();
+    std::vector<std::uint32_t> s(p);
+    for (unsigned i = 0; i < p; ++i)
+        s[i] = polyEval(gf_, word, gf_.alphaPow(i + 1));
+    return s;
+}
+
+bool
+ReedSolomon::isCodeword(const std::vector<std::uint32_t> &word) const
+{
+    dve_assert(word.size() == n_, "word length mismatch");
+    const auto s = syndromes(word);
+    return std::all_of(s.begin(), s.end(),
+                       [](std::uint32_t v) { return v == 0; });
+}
+
+std::vector<std::uint32_t>
+ReedSolomon::extractData(const std::vector<std::uint32_t> &codeword) const
+{
+    dve_assert(codeword.size() == n_, "codeword length mismatch");
+    return {codeword.begin() + parity(), codeword.end()};
+}
+
+ReedSolomon::Result
+ReedSolomon::decode(const std::vector<std::uint32_t> &received,
+                    unsigned max_correct) const
+{
+    dve_assert(received.size() == n_, "received length mismatch");
+    Result res;
+    res.codeword = received;
+
+    const auto synd = syndromes(received);
+    const bool clean = std::all_of(synd.begin(), synd.end(),
+                                   [](std::uint32_t v) { return v == 0; });
+    if (clean) {
+        res.status = EccStatus::Clean;
+        return res;
+    }
+    const unsigned cap = std::min(max_correct, t());
+    if (cap == 0) {
+        res.status = EccStatus::Detected;
+        return res;
+    }
+
+    // Berlekamp-Massey: find the error locator polynomial sigma(x).
+    const unsigned p = parity();
+    std::vector<std::uint32_t> sigma{1};
+    std::vector<std::uint32_t> prev{1}; // B(x)
+    unsigned L = 0;
+    unsigned m = 1;
+    std::uint32_t b = 1;
+
+    for (unsigned i = 0; i < p; ++i) {
+        std::uint32_t delta = synd[i];
+        for (unsigned j = 1; j <= L && j < sigma.size(); ++j)
+            delta = GaloisField::add(delta,
+                                     gf_.mul(sigma[j], synd[i - j]));
+        if (delta == 0) {
+            ++m;
+            continue;
+        }
+        // candidate = sigma - (delta/b) * x^m * prev
+        const std::uint32_t coef = gf_.div(delta, b);
+        std::vector<std::uint32_t> cand = sigma;
+        if (cand.size() < prev.size() + m)
+            cand.resize(prev.size() + m, 0);
+        for (std::size_t j = 0; j < prev.size(); ++j) {
+            cand[j + m] = GaloisField::add(cand[j + m],
+                                           gf_.mul(coef, prev[j]));
+        }
+        if (2 * L <= i) {
+            prev = sigma;
+            b = delta;
+            L = i + 1 - L;
+            m = 1;
+        } else {
+            ++m;
+        }
+        sigma = std::move(cand);
+    }
+
+    // Trim trailing zero coefficients.
+    while (sigma.size() > 1 && sigma.back() == 0)
+        sigma.pop_back();
+    const unsigned degree = static_cast<unsigned>(sigma.size()) - 1;
+
+    if (L > cap || degree != L) {
+        res.status = EccStatus::Detected;
+        return res;
+    }
+
+    // Chien search: error at position j iff sigma(alpha^-j) == 0.
+    std::vector<unsigned> positions;
+    for (unsigned j = 0; j < n_; ++j) {
+        if (polyEval(gf_, sigma, gf_.alphaPow(-std::int64_t(j))) == 0)
+            positions.push_back(j);
+    }
+    if (positions.size() != L) {
+        // Locator does not split over the field: uncorrectable.
+        res.status = EccStatus::Detected;
+        return res;
+    }
+
+    // Forney: Omega(x) = S(x) * sigma(x) mod x^p, fcr = 1 so
+    // e_j = Omega(Xj^-1) / sigma'(Xj^-1).
+    std::vector<std::uint32_t> omega(p, 0);
+    for (unsigned i = 0; i < p; ++i) {
+        for (std::size_t j = 0; j < sigma.size() && j <= i; ++j) {
+            omega[i] = GaloisField::add(omega[i],
+                                        gf_.mul(synd[i - j], sigma[j]));
+        }
+    }
+    std::vector<std::uint32_t> sigma_deriv;
+    for (std::size_t j = 1; j < sigma.size(); j += 2) {
+        // d/dx x^j = j x^(j-1); in char 2 only odd j survive with coeff 1.
+        sigma_deriv.resize(j, 0);
+        sigma_deriv[j - 1] = sigma[j];
+    }
+    if (sigma_deriv.empty()) {
+        res.status = EccStatus::Detected;
+        return res;
+    }
+
+    for (unsigned j : positions) {
+        const std::uint32_t xinv = gf_.alphaPow(-std::int64_t(j));
+        const std::uint32_t denom = polyEval(gf_, sigma_deriv, xinv);
+        if (denom == 0) {
+            res.status = EccStatus::Detected;
+            return res;
+        }
+        const std::uint32_t mag =
+            gf_.div(polyEval(gf_, omega, xinv), denom);
+        res.codeword[j] = GaloisField::add(res.codeword[j], mag);
+    }
+
+    // Paranoia recheck, as real controllers do before signalling CE.
+    if (!isCodeword(res.codeword)) {
+        res.codeword = received;
+        res.status = EccStatus::Detected;
+        return res;
+    }
+    res.status = EccStatus::Corrected;
+    res.symbolsCorrected = L;
+    return res;
+}
+
+} // namespace dve

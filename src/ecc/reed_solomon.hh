@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Systematic Reed-Solomon encoder/decoder over an arbitrary GF(2^m).
+ *
+ * One class serves every code in the paper:
+ *  - Chipkill SSC-DSD : RS(18,16) over GF(2^8), decode with max_correct = 1
+ *  - Dvé + DSD        : same code, decode with max_correct = 0 (detect only)
+ *  - Dvé + TSD        : RS(n, n-3) over GF(2^16), detect only
+ *
+ * The decoder computes syndromes, then (optionally) Berlekamp-Massey,
+ * Chien search and Forney to correct up to max_correct symbols, declaring
+ * Detected when the error pattern exceeds that budget. Miscorrection on
+ * overweight patterns is possible, exactly as in real hardware — that is
+ * the SDC channel the reliability model quantifies.
+ */
+
+#ifndef DVE_ECC_REED_SOLOMON_HH
+#define DVE_ECC_REED_SOLOMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/gf.hh"
+
+namespace dve
+{
+
+/** Outcome of a decode attempt. */
+enum class EccStatus : std::uint8_t
+{
+    Clean,     ///< syndromes were zero; no error observed
+    Corrected, ///< error found and repaired (CE)
+    Detected,  ///< error found, beyond correction capability (DUE)
+};
+
+/** A systematic RS(n, k) code with first consecutive root alpha^1. */
+class ReedSolomon
+{
+  public:
+    /**
+     * @param gf field to operate in (must outlive this object)
+     * @param n  codeword length in symbols, n <= gf.size() - 1
+     * @param k  data symbols, k < n
+     */
+    ReedSolomon(const GaloisField &gf, unsigned n, unsigned k);
+
+    unsigned n() const { return n_; }
+    unsigned k() const { return k_; }
+
+    /** Parity symbols (n - k). */
+    unsigned parity() const { return n_ - k_; }
+
+    /** Guaranteed correction capability floor((n-k)/2). */
+    unsigned t() const { return (n_ - k_) / 2; }
+
+    /**
+     * Encode @p data (k symbols) into a codeword of n symbols:
+     * positions [0, n-k) hold parity, [n-k, n) hold the data verbatim.
+     */
+    std::vector<std::uint32_t>
+    encode(const std::vector<std::uint32_t> &data) const;
+
+    /** Result of decode(). */
+    struct Result
+    {
+        EccStatus status = EccStatus::Clean;
+        unsigned symbolsCorrected = 0;
+        std::vector<std::uint32_t> codeword; ///< possibly repaired
+    };
+
+    /**
+     * Decode a received word.
+     *
+     * @param received    n symbols
+     * @param max_correct cap on symbols to repair; 0 = detection only.
+     *                    Effective cap is min(max_correct, t()).
+     */
+    Result decode(const std::vector<std::uint32_t> &received,
+                  unsigned max_correct) const;
+
+    /** True iff all syndromes are zero (valid codeword). */
+    bool isCodeword(const std::vector<std::uint32_t> &word) const;
+
+    /** Extract the k data symbols from a codeword. */
+    std::vector<std::uint32_t>
+    extractData(const std::vector<std::uint32_t> &codeword) const;
+
+  private:
+    std::vector<std::uint32_t>
+    syndromes(const std::vector<std::uint32_t> &word) const;
+
+    const GaloisField &gf_;
+    unsigned n_;
+    unsigned k_;
+    std::vector<std::uint32_t> generator_; ///< g(x), degree n-k, monic
+};
+
+} // namespace dve
+
+#endif // DVE_ECC_REED_SOLOMON_HH

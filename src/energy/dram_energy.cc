@@ -1,0 +1,42 @@
+#include "energy/dram_energy.hh"
+
+namespace dve
+{
+
+double
+DramEnergyModel::moduleEnergyNj(const DramModule &m, Tick elapsed) const
+{
+    const double dynamic =
+        p_.actPrechargeNj * static_cast<double>(m.activates())
+        + p_.readBurstNj * static_cast<double>(m.reads())
+        + p_.writeBurstNj * static_cast<double>(m.writes());
+
+    const unsigned ranks =
+        m.config().channels * m.config().ranksPerChannel;
+    const double background_mw =
+        (p_.backgroundMwPerRank + p_.refreshMwPerRank) * ranks;
+    // mW * s = mJ -> nJ.
+    const double background_nj =
+        background_mw * ticksToSeconds(elapsed) * 1e6;
+    return dynamic + background_nj;
+}
+
+double
+DramEnergyModel::systemEdp(double total_memory_nj, Tick elapsed,
+                           double baseline_memory_nj,
+                           Tick baseline_elapsed) const
+{
+    // Baseline memory power anchors the (constant) non-memory power.
+    const double base_secs = ticksToSeconds(baseline_elapsed);
+    const double base_mem_w = baseline_memory_nj * 1e-9 / base_secs;
+    const double non_mem_w =
+        base_mem_w * (1.0 - p_.memoryShareOfSystem)
+        / p_.memoryShareOfSystem;
+
+    const double secs = ticksToSeconds(elapsed);
+    const double mem_w = total_memory_nj * 1e-9 / secs;
+    const double system_w = mem_w + non_mem_w;
+    return system_w * secs * secs; // E*D = P*T^2
+}
+
+} // namespace dve

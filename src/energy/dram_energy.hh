@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DDR4 energy model and EDP computation (paper Sec. VII "Energy").
+ *
+ * Per-operation energies and background power are derived from Micron
+ * DDR4-2400 8 Gb x8 datasheet current profiles (IDD0/IDD2N/IDD3N/IDD4/
+ * IDD5) for a 9-device rank at VDD = 1.2 V:
+ *
+ *   activate+precharge : ~e_act per ACT/PRE pair
+ *   read/write burst   : ~e_rd / e_wr per 64 B transfer
+ *   background         : active-standby power per rank, always on
+ *   refresh            : added per-rank power
+ *
+ * The absolute joules matter less than the proportions (the paper reports
+ * EDP ratios); the defaults keep activate, burst and background energy in
+ * datasheet-typical proportion.
+ *
+ * System EDP uses the paper's observation that memory is ~18% of total
+ * system power in a 2-socket server: non-memory power is held constant at
+ * the baseline's implied level while memory power varies per scheme.
+ */
+
+#ifndef DVE_ENERGY_DRAM_ENERGY_HH
+#define DVE_ENERGY_DRAM_ENERGY_HH
+
+#include "common/types.hh"
+#include "dram/dram.hh"
+
+namespace dve
+{
+
+/** Per-rank DDR4 energy parameters (datasheet-derived defaults). */
+struct DramEnergyParams
+{
+    double actPrechargeNj = 2.6;  ///< nJ per ACT/PRE pair (rank of 9)
+    double readBurstNj = 3.5;     ///< nJ per 64 B read burst
+    double writeBurstNj = 3.7;    ///< nJ per 64 B write burst
+    /** Standby power for a full rank (9 x8 devices at ~70 mW each). */
+    double backgroundMwPerRank = 630.0;
+    double refreshMwPerRank = 75.0; ///< refresh overhead per rank, mW
+    /** Memory share of total system power in the baseline (2-socket). */
+    double memoryShareOfSystem = 0.18;
+};
+
+/** Energy accounting over DRAM module statistics. */
+class DramEnergyModel
+{
+  public:
+    explicit DramEnergyModel(const DramEnergyParams &p = {}) : p_(p) {}
+
+    /** Dynamic + background energy (nJ) of one module over @p elapsed. */
+    double moduleEnergyNj(const DramModule &m, Tick elapsed) const;
+
+    /** Memory energy-delay product: total memory nJ x seconds. */
+    double
+    memoryEdp(double total_memory_nj, Tick elapsed) const
+    {
+        return total_memory_nj * 1e-9 * ticksToSeconds(elapsed);
+    }
+
+    /**
+     * System EDP given this scheme's memory energy and the baseline's
+     * memory power (which anchors the fixed non-memory power).
+     */
+    double systemEdp(double total_memory_nj, Tick elapsed,
+                     double baseline_memory_nj,
+                     Tick baseline_elapsed) const;
+
+    const DramEnergyParams &params() const { return p_; }
+
+    static double
+    ticksToSeconds(Tick t)
+    {
+        return static_cast<double>(t) / static_cast<double>(ticksPerSec);
+    }
+
+  private:
+    DramEnergyParams p_;
+};
+
+} // namespace dve
+
+#endif // DVE_ENERGY_DRAM_ENERGY_HH

@@ -1,0 +1,120 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+
+namespace dve
+{
+
+const char *
+faultScopeName(FaultScope s)
+{
+    switch (s) {
+      case FaultScope::Cell: return "cell";
+      case FaultScope::Row: return "row";
+      case FaultScope::Column: return "column";
+      case FaultScope::Bank: return "bank";
+      case FaultScope::Chip: return "chip";
+      case FaultScope::Channel: return "channel";
+      case FaultScope::Controller: return "controller";
+    }
+    return "?";
+}
+
+std::uint64_t
+FaultRegistry::inject(FaultDescriptor f)
+{
+    f.id = nextId_++;
+    faults_.push_back(f);
+    return f.id;
+}
+
+bool
+FaultRegistry::clear(std::uint64_t id)
+{
+    const auto it = std::find_if(faults_.begin(), faults_.end(),
+                                 [&](const FaultDescriptor &f) {
+                                     return f.id == id;
+                                 });
+    if (it == faults_.end())
+        return false;
+    faults_.erase(it);
+    return true;
+}
+
+bool
+FaultRegistry::matches(const FaultDescriptor &f, unsigned socket,
+                       unsigned channel, const DramCoord &coord)
+{
+    if (f.socket != socket)
+        return false;
+    if (f.scope == FaultScope::Controller)
+        return true;
+    if (f.channel != channel)
+        return false;
+    if (f.scope == FaultScope::Channel)
+        return true;
+    if (f.rank != coord.rank)
+        return false;
+    // Remaining scopes are chip-internal.
+    switch (f.scope) {
+      case FaultScope::Chip:
+        return true;
+      case FaultScope::Bank:
+        return f.bank == coord.bank;
+      case FaultScope::Row:
+        return f.bank == coord.bank && f.row == coord.row;
+      case FaultScope::Column:
+        return f.bank == coord.bank && f.column == coord.column;
+      case FaultScope::Cell:
+        return f.bank == coord.bank && f.row == coord.row
+               && f.column == coord.column;
+      default:
+        return false;
+    }
+}
+
+FaultImpact
+FaultRegistry::impact(unsigned socket, unsigned channel,
+                      const DramCoord &coord) const
+{
+    FaultImpact imp;
+    for (const auto &f : faults_) {
+        if (!matches(f, socket, channel, coord))
+            continue;
+        switch (f.scope) {
+          case FaultScope::Controller:
+          case FaultScope::Channel:
+            imp.pathFailed = true;
+            break;
+          case FaultScope::Cell:
+            imp.bitFlips.emplace_back(f.chip, f.bit);
+            break;
+          default:
+            if (std::find(imp.corruptChips.begin(),
+                          imp.corruptChips.end(), f.chip)
+                == imp.corruptChips.end()) {
+                imp.corruptChips.push_back(f.chip);
+            }
+            break;
+        }
+    }
+    return imp;
+}
+
+unsigned
+FaultRegistry::repairAt(unsigned socket, unsigned channel,
+                        const DramCoord &coord)
+{
+    unsigned cured = 0;
+    for (auto it = faults_.begin(); it != faults_.end();) {
+        if (it->transient && matches(*it, socket, channel, coord)) {
+            it = faults_.erase(it);
+            ++cured;
+        } else {
+            ++it;
+        }
+    }
+    return cured;
+}
+
+} // namespace dve

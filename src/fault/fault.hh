@@ -1,0 +1,114 @@
+/**
+ * @file
+ * DRAM fault descriptors and the system-wide fault registry.
+ *
+ * Faults are expressed at the granularities field studies report (Sec. II
+ * of the paper): cell, row, column, bank, chip, channel, and memory
+ * controller. The registry answers, for one decoded access, which chips
+ * return corrupted data and whether the channel/controller path itself has
+ * failed (hard failures that bus CRC / timeouts detect but cannot correct).
+ */
+
+#ifndef DVE_FAULT_FAULT_HH
+#define DVE_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/address_map.hh"
+
+namespace dve
+{
+
+/** Granularity of a fault. */
+enum class FaultScope : std::uint8_t
+{
+    Cell,       ///< single bit in one chip at (bank, row, column)
+    Row,        ///< a whole row within one chip's bank
+    Column,     ///< a column within one chip's bank
+    Bank,       ///< a whole bank within one chip
+    Chip,       ///< an entire device
+    Channel,    ///< the channel path (bus/shared circuitry)
+    Controller, ///< the whole memory controller of a socket
+};
+
+const char *faultScopeName(FaultScope s);
+
+/** One injected fault. Unused coordinate fields are ignored per scope. */
+struct FaultDescriptor
+{
+    FaultScope scope = FaultScope::Chip;
+    unsigned socket = 0;
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned chip = 0;          ///< device index within the codeword group
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    unsigned column = 0;        ///< line slot within the row
+    unsigned bit = 0;           ///< for Cell scope: bit within the byte
+    bool transient = false;     ///< curable by a repair write
+    std::uint64_t id = 0;       ///< assigned by the registry
+};
+
+/** What a given access sees. */
+struct FaultImpact
+{
+    /** Chips whose bytes are fully corrupted for this access. */
+    std::vector<unsigned> corruptChips;
+    /** (chip, bit) single-bit flips from Cell faults. */
+    std::vector<std::pair<unsigned, unsigned>> bitFlips;
+    /** Channel/controller hard failure: detected, no data. */
+    bool pathFailed = false;
+
+    bool any() const
+    {
+        return pathFailed || !corruptChips.empty() || !bitFlips.empty();
+    }
+};
+
+/** Mutable registry of active faults. */
+class FaultRegistry
+{
+  public:
+    FaultRegistry() = default;
+
+    /** Activate a fault; returns its id. */
+    std::uint64_t inject(FaultDescriptor f);
+
+    /** Deactivate by id. @return true if it was active. */
+    bool clear(std::uint64_t id);
+
+    /** Deactivate everything. */
+    void clearAll() { faults_.clear(); }
+
+    /** Active fault count. */
+    std::size_t activeCount() const { return faults_.size(); }
+
+    /**
+     * Impact on a read of @p coord in @p socket on @p channel
+     * (channel is passed separately so mirrored controllers can remap).
+     */
+    FaultImpact impact(unsigned socket, unsigned channel,
+                       const DramCoord &coord) const;
+
+    /**
+     * A repair write occurred at this location: drop matching transient
+     * faults. @return number of faults cured.
+     */
+    unsigned repairAt(unsigned socket, unsigned channel,
+                      const DramCoord &coord);
+
+    const std::vector<FaultDescriptor> &active() const { return faults_; }
+
+  private:
+    static bool matches(const FaultDescriptor &f, unsigned socket,
+                        unsigned channel, const DramCoord &coord);
+
+    std::vector<FaultDescriptor> faults_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace dve
+
+#endif // DVE_FAULT_FAULT_HH

@@ -1,0 +1,366 @@
+#include "mem/memory_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+namespace
+{
+
+/** splitmix64 hash, used to derive filler words. */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+void
+storeWord(LineBytes &b, unsigned w, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        b[w * 8 + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+loadWord(const LineBytes &b, unsigned w)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= std::uint64_t(b[w * 8 + i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+LineBytes
+materializeLine(Addr line_num, std::uint64_t value)
+{
+    LineBytes bytes{};
+    std::uint64_t fold = value;
+    for (unsigned w = 1; w < 8; ++w) {
+        const std::uint64_t filler = mix(line_num * 8 + w);
+        storeWord(bytes, w, filler);
+        fold ^= filler;
+    }
+    storeWord(bytes, 0, fold); // XOR of all words == value
+    return bytes;
+}
+
+std::uint64_t
+dematerializeLine(Addr, const LineBytes &payload)
+{
+    std::uint64_t fold = 0;
+    for (unsigned w = 0; w < 8; ++w)
+        fold ^= loadWord(payload, w);
+    return fold;
+}
+
+MemoryController::MemoryController(std::string name, unsigned socket,
+                                   const DramConfig &cfg, Scheme scheme,
+                                   MirrorMode mode, FaultRegistry *faults,
+                                   std::uint64_t seed,
+                                   unsigned fault_channel_base)
+    : name_(std::move(name)), socket_(socket), scheme_(scheme), mode_(mode),
+      codec_(scheme), faults_(faults), rng_(seed),
+      faultChannelBase_(fault_channel_base), stats_(name_)
+{
+    const unsigned ncopies = mode_ == MirrorMode::None   ? 1
+                             : mode_ == MirrorMode::Raim ? 5
+                                                         : 2;
+    for (unsigned c = 0; c < ncopies; ++c) {
+        DramConfig copy_cfg = cfg;
+        if (mode_ != MirrorMode::None) {
+            // Mirrored copies each get their own channel.
+            copy_cfg.channels = 1;
+        }
+        modules_.push_back(std::make_unique<DramModule>(
+            name_ + ".dram" + std::to_string(c), copy_cfg));
+        contents_.emplace_back();
+    }
+
+    stats_.add("reads", reads_);
+    stats_.add("writes", writes_);
+    stats_.add("corrected_errors", ce_);
+    stats_.add("detected_failures", detectedFail_);
+    stats_.add("silent_corruptions_observed", sdcObserved_);
+    stats_.add("mirror_failovers", mirrorFailovers_);
+}
+
+std::uint64_t
+MemoryController::storedValue(unsigned copy, Addr addr) const
+{
+    const auto it = contents_[copy].find(lineNum(addr));
+    return it == contents_[copy].end() ? 0 : it->second;
+}
+
+MemoryController::CopyRead
+MemoryController::readCopy(unsigned copy, Addr addr,
+                           const DramCoord &coord)
+{
+    CopyRead out;
+    out.value = storedValue(copy, addr);
+
+    // Global channel id seen by the fault registry: mirrored copies map
+    // copy index -> channel; interleaved modules use the decoded channel.
+    const unsigned global_channel =
+        faultChannelBase_
+        + (mode_ == MirrorMode::None ? coord.channel : copy);
+
+    if (!faults_)
+        return out;
+    const FaultImpact imp = faults_->impact(socket_, global_channel, coord);
+    if (!imp.any())
+        return out;
+    if (imp.pathFailed) {
+        // Bus CRC / controller timeout: detected, no data produced.
+        out.pathFailed = true;
+        out.status = EccStatus::Detected;
+        return out;
+    }
+
+    // Materialize the stored line, corrupt the affected chips, decode.
+    const LineBytes good = materializeLine(lineNum(addr), out.value);
+    StoredLine stored = codec_.encode(good);
+    for (unsigned chip : imp.corruptChips) {
+        if (chip < codec_.chips())
+            codec_.corruptChip(stored, chip, rng_);
+    }
+    for (const auto &[chip, bit] : imp.bitFlips) {
+        if (chip < codec_.chips()) {
+            const auto bytes = codec_.chipBytes(chip);
+            LineCodec::corruptBit(stored, bytes[coord.column
+                                                % bytes.size()],
+                                  bit % 8);
+        }
+    }
+
+    const auto dec = codec_.decode(stored);
+    out.status = dec.status;
+    if (dec.status != EccStatus::Detected) {
+        out.value = dematerializeLine(lineNum(addr), dec.data);
+        out.silentlyWrong = dec.data != good;
+    }
+    return out;
+}
+
+MemReadResult
+MemoryController::raimRead(Addr addr, Tick now)
+{
+    MemReadResult res;
+    const unsigned c = raimChannelOf(addr);
+    const Addr line = lineNum(addr);
+    const Addr base = (line / raimDataChannels) * raimDataChannels;
+
+    // RAID-3 "ganged" channels: every read cycles all five channels
+    // (the 256 B access granularity the paper cites against RAIM).
+    Tick ready = now;
+    for (unsigned m = 0; m < modules_.size(); ++m) {
+        const Addr a = m == raimDataChannels
+                           ? raimParityAddr(addr)
+                           : (base + m) << lineShift;
+        ready = std::max(ready, modules_[m]->access(a, false, now).readyAt);
+    }
+    res.readyAt = ready;
+
+    CopyRead r = readCopy(c, addr, modules_[c]->map().decode(addr));
+
+    if (r.status == EccStatus::Detected) {
+        // Reconstruct the line from its three stripe-mates + parity.
+        bool ok = true;
+        std::uint64_t recon = 0;
+        for (unsigned i = 0; i < raimDataChannels && ok; ++i) {
+            if (i == c)
+                continue;
+            const Addr a = (base + i) << lineShift;
+            const CopyRead rr =
+                readCopy(i, a, modules_[i]->map().decode(a));
+            if (rr.status == EccStatus::Detected)
+                ok = false;
+            else
+                recon ^= rr.value;
+        }
+        if (ok) {
+            const Addr pa = raimParityAddr(addr);
+            const CopyRead pr = readCopy(
+                raimDataChannels, pa,
+                modules_[raimDataChannels]->map().decode(pa));
+            if (pr.status == EccStatus::Detected)
+                ok = false;
+            else
+                recon ^= pr.value;
+        }
+        if (ok) {
+            r.status = EccStatus::Corrected;
+            r.value = recon;
+            r.silentlyWrong = false;
+        }
+    }
+
+    res.status = r.status;
+    res.value = r.value;
+    if (r.status == EccStatus::Corrected)
+        ++ce_;
+    if (r.status == EccStatus::Detected) {
+        ++detectedFail_;
+        res.failed = true;
+    }
+    if (r.silentlyWrong)
+        ++sdcObserved_;
+    return res;
+}
+
+MemReadResult
+MemoryController::read(Addr addr, Tick now)
+{
+    ++reads_;
+    if (mode_ == MirrorMode::Raim)
+        return raimRead(addr, now);
+    MemReadResult res;
+
+    const unsigned first =
+        mode_ == MirrorMode::LoadBalance
+            ? static_cast<unsigned>(nextCopyToRead_++ % modules_.size())
+            : 0;
+
+    const auto timing = modules_[first]->access(addr, false, now);
+    res.readyAt = timing.readyAt;
+
+    CopyRead r = readCopy(first, addr, timing.coord);
+
+    if (r.status == EccStatus::Detected && modules_.size() > 1) {
+        // Intra-controller failover to the other mirrored copy.
+        const unsigned other = first ^ 1u;
+        const auto timing2 =
+            modules_[other]->access(addr, false, res.readyAt);
+        res.readyAt = timing2.readyAt;
+        const CopyRead r2 = readCopy(other, addr, timing2.coord);
+        if (r2.status != EccStatus::Detected) {
+            ++mirrorFailovers_;
+            ++ce_;
+            r = r2;
+            r.status = EccStatus::Corrected;
+        } else {
+            r = r2;
+        }
+    }
+
+    res.status = r.status;
+    res.value = r.value;
+    if (r.status == EccStatus::Corrected)
+        ++ce_;
+    if (r.status == EccStatus::Detected) {
+        ++detectedFail_;
+        res.failed = true;
+    }
+    if (r.silentlyWrong)
+        ++sdcObserved_;
+    return res;
+}
+
+Tick
+MemoryController::write(Addr addr, std::uint64_t value, Tick now)
+{
+    ++writes_;
+    if (mode_ == MirrorMode::Raim) {
+        const unsigned c = raimChannelOf(addr);
+        const Addr line = lineNum(addr);
+        contents_[c][line] = value;
+        // Recompute and rewrite the stripe parity (absent lines are 0).
+        const Addr base = (line / raimDataChannels) * raimDataChannels;
+        std::uint64_t parity = 0;
+        for (unsigned i = 0; i < raimDataChannels; ++i) {
+            const auto it = contents_[i].find(base + i);
+            if (it != contents_[i].end())
+                parity ^= it->second;
+        }
+        const Addr pa = raimParityAddr(addr);
+        contents_[raimDataChannels][lineNum(pa)] = parity;
+        const Tick t1 = modules_[c]->access(addr, true, now).readyAt;
+        const Tick t2 =
+            modules_[raimDataChannels]->access(pa, true, now).readyAt;
+        return std::max(t1, t2);
+    }
+    Tick done = now;
+    for (unsigned c = 0; c < modules_.size(); ++c) {
+        contents_[c][lineNum(addr)] = value;
+        const auto t = modules_[c]->access(addr, true, now);
+        done = std::max(done, t.readyAt);
+    }
+    return done;
+}
+
+MemReadResult
+MemoryController::repairAndVerify(Addr addr, std::uint64_t good_value,
+                                  Tick now)
+{
+    // Overwrite the protected copies with the good data; transient
+    // faults at the location are cured by the write (hard persist).
+    const Tick written = write(addr, good_value, now);
+    if (faults_) {
+        for (unsigned c = 0; c < modules_.size(); ++c) {
+            const Addr probe =
+                mode_ == MirrorMode::Raim && c == raimDataChannels
+                    ? raimParityAddr(addr)
+                    : addr;
+            const auto coord = modules_[c]->map().decode(probe);
+            const unsigned global_channel =
+                faultChannelBase_
+                + (mode_ == MirrorMode::None ? coord.channel : c);
+            faults_->repairAt(socket_, global_channel, coord);
+        }
+    }
+    return read(addr, written);
+}
+
+Tick
+MemoryController::metadataAccess(Addr, Tick now)
+{
+    // Directory metadata lives in a dedicated reserved region (its own
+    // bank group), so a fetch neither disturbs application row buffers
+    // nor queues behind them: model it as a closed-page access.
+    const DramConfig &c = modules_[0]->config();
+    return now + c.tRCD + c.tCL + c.tBURST;
+}
+
+Tick
+MemoryController::timingRead(Addr addr, Tick now)
+{
+    return modules_[0]->access(addr, false, now).readyAt;
+}
+
+std::uint64_t
+MemoryController::peek(Addr addr) const
+{
+    return storedValue(
+        mode_ == MirrorMode::Raim ? raimChannelOf(addr) : 0, addr);
+}
+
+void
+MemoryController::poke(Addr addr, std::uint64_t value)
+{
+    if (mode_ == MirrorMode::Raim) {
+        const unsigned c = raimChannelOf(addr);
+        const Addr line = lineNum(addr);
+        contents_[c][line] = value;
+        const Addr base = (line / raimDataChannels) * raimDataChannels;
+        std::uint64_t parity = 0;
+        for (unsigned i = 0; i < raimDataChannels; ++i) {
+            const auto it = contents_[i].find(base + i);
+            if (it != contents_[i].end())
+                parity ^= it->second;
+        }
+        contents_[raimDataChannels][lineNum(raimParityAddr(addr))] =
+            parity;
+        return;
+    }
+    for (auto &c : contents_)
+        c[lineNum(addr)] = value;
+}
+
+} // namespace dve

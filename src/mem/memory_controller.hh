@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Socket memory controller: DRAM timing + ECC detection/correction +
+ * fault-injection interaction.
+ *
+ * Line contents are tracked as a 64-bit token that expands deterministically
+ * to a full 64 B payload when (and only when) a fault touches the access, so
+ * the common fault-free path stays cheap while the faulty path exercises the
+ * real codec. The controller supports three organizations:
+ *
+ *  - Plain: one DRAM module (1 or 2 channels, per Table II).
+ *  - Mirrored: two single-channel copies inside this controller, Intel
+ *    memory-mirroring style. Reads go to the primary only (base mode) or
+ *    load-balance across copies (the paper's Intel-mirroring++), with
+ *    failover to the other copy on a detected error.
+ *  - RAIM: IBM zEnterprise-style RAID-3 across five single-channel
+ *    modules: line L lives on channel L % 4 and each 4-line stripe's
+ *    XOR parity lives on channel 4. Accesses gang all five channels
+ *    (the 256 B granularity the paper cites as RAIM's performance
+ *    cost); a detected-uncorrectable line is reconstructed from its
+ *    three stripe-mates plus parity. The whole arrangement sits behind
+ *    ONE controller -- its single point of failure, which is exactly
+ *    the contrast with Dvé.
+ */
+
+#ifndef DVE_MEM_MEMORY_CONTROLLER_HH
+#define DVE_MEM_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram.hh"
+#include "ecc/line_codec.hh"
+#include "fault/fault.hh"
+
+namespace dve
+{
+
+/** Redundancy organization inside one controller. */
+enum class MirrorMode : std::uint8_t
+{
+    None,        ///< single copy
+    Primary,     ///< Intel mirroring: read primary, failover only
+    LoadBalance, ///< Intel-mirroring++: alternate reads across copies
+    Raim,        ///< IBM RAIM: RAID-3, 4 data channels + 1 parity
+};
+
+/** Result of a timed line read. */
+struct MemReadResult
+{
+    Tick readyAt = 0;
+    /** Detection outcome after ECC (and intra-controller failover). */
+    EccStatus status = EccStatus::Clean;
+    /** True when no usable data could be produced (caller must recover). */
+    bool failed = false;
+    /** The data token (valid unless failed; may be silently wrong!). */
+    std::uint64_t value = 0;
+};
+
+/** One socket's memory controller. */
+class MemoryController
+{
+  public:
+    /**
+     * @param fault_channel_base global channel number of this controller's
+     *        channel 0, used to key the fault registry.
+     */
+    MemoryController(std::string name, unsigned socket,
+                     const DramConfig &cfg, Scheme scheme, MirrorMode mode,
+                     FaultRegistry *faults, std::uint64_t seed,
+                     unsigned fault_channel_base = 0);
+
+    /** Timed, ECC-checked read of the line containing @p addr. */
+    MemReadResult read(Addr addr, Tick now);
+
+    /** Timed write of a line (encodes check symbols implicitly). */
+    Tick write(Addr addr, std::uint64_t value, Tick now);
+
+    /**
+     * Recovery repair: overwrite with known-good data, cure transient
+     * faults, and re-read to see whether the copy is usable again.
+     */
+    MemReadResult repairAndVerify(Addr addr, std::uint64_t good_value,
+                                  Tick now);
+
+    /**
+     * Timing-only DRAM read in the reserved metadata region (used by the
+     * memory-backed replica directory): contends for banks/bus but does
+     * not touch contents or ECC. @return completion tick.
+     */
+    Tick metadataAccess(Addr addr, Tick now);
+
+    /**
+     * Timing-only read of a data address (models the bandwidth cost of a
+     * squashed speculative read whose value is discarded).
+     */
+    Tick timingRead(Addr addr, Tick now);
+
+    /** Direct content inspection (no timing, no faults). */
+    std::uint64_t peek(Addr addr) const;
+
+    /** Direct content override (tests). */
+    void poke(Addr addr, std::uint64_t value);
+
+    unsigned socket() const { return socket_; }
+    Scheme scheme() const { return scheme_; }
+    MirrorMode mirrorMode() const { return mode_; }
+
+    /** Primary DRAM module (copy 0), e.g. for energy accounting. */
+    const DramModule &dram(unsigned copy = 0) const
+    {
+        return *modules_[copy];
+    }
+
+    unsigned copies() const
+    {
+        return static_cast<unsigned>(modules_.size());
+    }
+
+    // Error accounting (this controller's local view).
+    std::uint64_t correctedErrors() const { return ce_.value(); }
+    std::uint64_t detectedFailures() const { return detectedFail_.value(); }
+    std::uint64_t silentCorruptions() const { return sdcObserved_.value(); }
+
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct CopyRead
+    {
+        EccStatus status = EccStatus::Clean;
+        bool pathFailed = false;
+        std::uint64_t value = 0;
+        bool silentlyWrong = false;
+    };
+
+    /** Apply faults + codec to one copy's stored line. */
+    CopyRead readCopy(unsigned copy, Addr addr, const DramCoord &coord);
+
+    std::uint64_t storedValue(unsigned copy, Addr addr) const;
+
+    std::string name_;
+    unsigned socket_;
+    Scheme scheme_;
+    MirrorMode mode_;
+    LineCodec codec_;
+    FaultRegistry *faults_;
+    mutable Rng rng_;
+    unsigned faultChannelBase_;
+    std::uint64_t nextCopyToRead_ = 0; ///< round-robin for LoadBalance
+
+    /** RAIM read path (always ganged across the five channels). */
+    MemReadResult raimRead(Addr addr, Tick now);
+
+    static constexpr unsigned raimDataChannels = 4;
+
+    unsigned raimChannelOf(Addr addr) const
+    {
+        return static_cast<unsigned>(lineNum(addr) % raimDataChannels);
+    }
+
+    /** Synthetic per-stripe address for the parity module's maps. */
+    Addr raimParityAddr(Addr addr) const
+    {
+        return (lineNum(addr) / raimDataChannels) << lineShift;
+    }
+
+    std::vector<std::unique_ptr<DramModule>> modules_;
+    std::vector<std::unordered_map<Addr, std::uint64_t>> contents_;
+
+    Counter reads_;
+    Counter writes_;
+    Counter ce_;
+    Counter detectedFail_;
+    Counter sdcObserved_;
+    Counter mirrorFailovers_;
+    StatGroup stats_;
+};
+
+/**
+ * Deterministically expand a 64-bit token into a 64 B payload such that the
+ * XOR-fold of the payload's eight words recovers the token (so any byte
+ * corruption perturbs the folded value). Exposed for tests.
+ */
+LineBytes materializeLine(Addr line_num, std::uint64_t value);
+
+/** Inverse fold of materializeLine. */
+std::uint64_t dematerializeLine(Addr line_num, const LineBytes &payload);
+
+} // namespace dve
+
+#endif // DVE_MEM_MEMORY_CONTROLLER_HH

@@ -1,0 +1,78 @@
+#include "noc/interconnect.hh"
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+Interconnect::Interconnect(const NocConfig &cfg)
+    : cfg_(cfg), stats_("noc")
+{
+    dve_assert(cfg_.sockets >= 1, "need at least one socket");
+    dve_assert(cfg_.gatewayTile < cfg_.meshCols * cfg_.meshRows,
+               "gateway tile outside mesh");
+    meshes_.reserve(cfg_.sockets);
+    for (unsigned s = 0; s < cfg_.sockets; ++s)
+        meshes_.emplace_back(cfg_.meshCols, cfg_.meshRows);
+
+    stats_.add("intra_messages", intraMsgs_);
+    stats_.add("intra_hops", intraHops_);
+    stats_.add("inter_socket_messages", interSocketMsgs_);
+    stats_.add("inter_socket_bytes", interSocketBytes_);
+    stats_.add("inter_socket_ctrl_messages", interSocketCtrlMsgs_);
+    stats_.add("inter_socket_data_messages", interSocketDataMsgs_);
+}
+
+Tick
+Interconnect::latency(NodeId src, NodeId dst) const
+{
+    dve_assert(src.socket < cfg_.sockets && dst.socket < cfg_.sockets,
+               "socket out of range");
+    if (src.socket == dst.socket) {
+        return meshes_[src.socket].hops(src.tile, dst.tile)
+               * cfg_.hopLatency;
+    }
+    // src tile -> gateway, one inter-socket traversal, gateway -> dst tile.
+    const Tick head =
+        meshes_[src.socket].hops(src.tile, cfg_.gatewayTile)
+        * cfg_.hopLatency;
+    const Tick tail =
+        meshes_[dst.socket].hops(cfg_.gatewayTile, dst.tile)
+        * cfg_.hopLatency;
+    return head + cfg_.interSocketLatency + tail;
+}
+
+Tick
+Interconnect::send(NodeId src, NodeId dst, MsgClass cls)
+{
+    const Tick lat = latency(src, dst);
+    if (src.socket == dst.socket) {
+        ++intraMsgs_;
+        intraHops_ += meshes_[src.socket].traverse(src.tile, dst.tile);
+    } else {
+        meshes_[src.socket].traverse(src.tile, cfg_.gatewayTile);
+        meshes_[dst.socket].traverse(cfg_.gatewayTile, dst.tile);
+        ++interSocketMsgs_;
+        interSocketBytes_ += bytesFor(cls);
+        if (cls == MsgClass::Data)
+            ++interSocketDataMsgs_;
+        else
+            ++interSocketCtrlMsgs_;
+    }
+    return lat;
+}
+
+void
+Interconnect::resetTraffic()
+{
+    intraMsgs_.reset();
+    intraHops_.reset();
+    interSocketMsgs_.reset();
+    interSocketBytes_.reset();
+    interSocketCtrlMsgs_.reset();
+    interSocketDataMsgs_.reset();
+    for (auto &m : meshes_)
+        m.resetTraffic();
+}
+
+} // namespace dve

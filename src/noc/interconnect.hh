@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Whole-system interconnect: one mesh per socket plus point-to-point
+ * inter-socket links.
+ *
+ * Latency model (Table II): one core-clock cycle per mesh hop inside a
+ * socket; a fixed per-traversal latency (default 50 ns) on the inter-socket
+ * link. Every socket attaches its inter-socket link at a gateway tile.
+ *
+ * The fabric is also the system's traffic meter: Fig 8 of the paper reports
+ * inter-socket traffic, which we account in messages and bytes, split into
+ * control and data classes.
+ */
+
+#ifndef DVE_NOC_INTERCONNECT_HH
+#define DVE_NOC_INTERCONNECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/mesh.hh"
+
+namespace dve
+{
+
+/** A network endpoint: a tile within a socket's mesh. */
+struct NodeId
+{
+    unsigned socket = 0;
+    unsigned tile = 0;
+
+    bool operator==(const NodeId &) const = default;
+};
+
+/** Message size classes used for byte accounting. */
+enum class MsgClass : std::uint8_t
+{
+    Control, ///< requests, acks, invalidations (header only)
+    Data,    ///< carries a full cache line
+};
+
+/** Static configuration of the fabric. */
+struct NocConfig
+{
+    unsigned sockets = 2;
+    unsigned meshCols = 4;
+    unsigned meshRows = 2;
+    Tick hopLatency = 333;                   ///< 1 cycle @ 3 GHz
+    Tick interSocketLatency = 50 * ticksPerNs; ///< each traversal
+    unsigned gatewayTile = 0;                ///< link attach point
+    unsigned controlBytes = 8;
+    unsigned dataBytes = 72;                 ///< 64B line + header
+};
+
+/**
+ * The system fabric. Thread-unsafe by design: the simulator is
+ * single-threaded and deterministic.
+ */
+class Interconnect
+{
+  public:
+    explicit Interconnect(const NocConfig &cfg);
+
+    const NocConfig &config() const { return cfg_; }
+
+    /** Latency from @p src to @p dst without traffic accounting. */
+    Tick latency(NodeId src, NodeId dst) const;
+
+    /**
+     * Account a message from @p src to @p dst and return its latency.
+     * Inter-socket messages bump the Fig 8 counters.
+     */
+    Tick send(NodeId src, NodeId dst, MsgClass cls);
+
+    /** Inter-socket messages sent so far. */
+    std::uint64_t interSocketMessages() const
+    {
+        return interSocketMsgs_.value();
+    }
+
+    /** Inter-socket bytes sent so far (the Fig 8 metric). */
+    std::uint64_t interSocketBytes() const
+    {
+        return interSocketBytes_.value();
+    }
+
+    /** Mesh of socket @p s, for link-load inspection. */
+    const Mesh &mesh(unsigned s) const { return meshes_[s]; }
+
+    /** Reset all traffic counters (used at ROI boundaries). */
+    void resetTraffic();
+
+    /** Stats registered under "noc". */
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    unsigned bytesFor(MsgClass cls) const
+    {
+        return cls == MsgClass::Data ? cfg_.dataBytes : cfg_.controlBytes;
+    }
+
+    NocConfig cfg_;
+    std::vector<Mesh> meshes_;
+
+    Counter intraMsgs_;
+    Counter intraHops_;
+    Counter interSocketMsgs_;
+    Counter interSocketBytes_;
+    Counter interSocketCtrlMsgs_;
+    Counter interSocketDataMsgs_;
+    StatGroup stats_;
+};
+
+} // namespace dve
+
+#endif // DVE_NOC_INTERCONNECT_HH

@@ -1,0 +1,143 @@
+#include "noc/mesh.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+Mesh::Mesh(unsigned cols, unsigned rows) : cols_(cols), rows_(rows)
+{
+    dve_assert(cols >= 1 && rows >= 1, "degenerate mesh");
+    const unsigned n = numNodes();
+    hops_.assign(std::size_t(n) * n, 0);
+    nextHop_.assign(std::size_t(n) * n, 0);
+    linkLoad_.assign(std::size_t(n) * n, 0);
+    computeRoutes();
+}
+
+void
+Mesh::computeRoutes()
+{
+    const unsigned n = numNodes();
+
+    auto neighbors = [&](unsigned v) {
+        std::vector<unsigned> out;
+        const unsigned x = v % cols_;
+        const unsigned y = v / cols_;
+        // Deterministic neighbor order: ascending node id.
+        if (y > 0)
+            out.push_back(v - cols_);
+        if (x > 0)
+            out.push_back(v - 1);
+        if (x + 1 < cols_)
+            out.push_back(v + 1);
+        if (y + 1 < rows_)
+            out.push_back(v + cols_);
+        return out;
+    };
+
+    // BFS from each source; parent chosen as the lowest-id predecessor so
+    // routes are unique and stable (the "static table-based routing" of the
+    // paper). On unit-weight graphs this is exactly Dijkstra SSSP.
+    for (unsigned src = 0; src < n; ++src) {
+        std::vector<int> dist(n, -1);
+        std::vector<unsigned> parent(n, src);
+        std::deque<unsigned> q;
+        dist[src] = 0;
+        q.push_back(src);
+        while (!q.empty()) {
+            const unsigned v = q.front();
+            q.pop_front();
+            for (unsigned w : neighbors(v)) {
+                if (dist[w] < 0) {
+                    dist[w] = dist[v] + 1;
+                    parent[w] = v;
+                    q.push_back(w);
+                }
+            }
+        }
+        for (unsigned dst = 0; dst < n; ++dst) {
+            dve_assert(dist[dst] >= 0, "mesh is connected by construction");
+            hops_[index(src, dst)] = static_cast<std::uint8_t>(dist[dst]);
+            // First hop: walk parents back from dst to src.
+            unsigned v = dst;
+            while (v != src && parent[v] != src)
+                v = parent[v];
+            nextHop_[index(src, dst)] =
+                static_cast<std::uint8_t>(dst == src ? src : v);
+        }
+    }
+}
+
+unsigned
+Mesh::hops(unsigned src, unsigned dst) const
+{
+    dve_assert(src < numNodes() && dst < numNodes(), "node out of range");
+    return hops_[index(src, dst)];
+}
+
+unsigned
+Mesh::nextHop(unsigned src, unsigned dst) const
+{
+    dve_assert(src < numNodes() && dst < numNodes(), "node out of range");
+    return nextHop_[index(src, dst)];
+}
+
+std::vector<unsigned>
+Mesh::route(unsigned src, unsigned dst) const
+{
+    std::vector<unsigned> path;
+    unsigned v = src;
+    while (v != dst) {
+        v = nextHop(v, dst);
+        path.push_back(v);
+    }
+    return path;
+}
+
+unsigned
+Mesh::traverse(unsigned src, unsigned dst)
+{
+    unsigned v = src;
+    unsigned count = 0;
+    while (v != dst) {
+        const unsigned next = nextHop(v, dst);
+        ++linkLoad_[index(v, next)];
+        ++totalTraversals_;
+        v = next;
+        ++count;
+    }
+    return count;
+}
+
+std::uint64_t
+Mesh::linkLoad(unsigned from, unsigned to) const
+{
+    dve_assert(from < numNodes() && to < numNodes(), "node out of range");
+    return linkLoad_[index(from, to)];
+}
+
+double
+Mesh::meanPairwiseHops() const
+{
+    const unsigned n = numNodes();
+    if (n < 2)
+        return 0.0;
+    std::uint64_t total = 0;
+    for (unsigned s = 0; s < n; ++s)
+        for (unsigned d = 0; d < n; ++d)
+            total += hops_[index(s, d)];
+    return static_cast<double>(total) / (double(n) * (n - 1));
+}
+
+void
+Mesh::resetTraffic()
+{
+    std::fill(linkLoad_.begin(), linkLoad_.end(), 0);
+    totalTraversals_ = 0;
+}
+
+} // namespace dve

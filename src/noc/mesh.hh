@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Intra-socket mesh topology with static shortest-path routing.
+ *
+ * The paper's Table II specifies a 2x4 mesh per socket with SSSP routing at
+ * one cycle per hop. We build the adjacency explicitly, run a deterministic
+ * single-source shortest path per node (BFS with lowest-id tie break, which
+ * equals Dijkstra on unit weights), and expose hop counts, next-hop routing
+ * tables, and per-link utilization counters.
+ */
+
+#ifndef DVE_NOC_MESH_HH
+#define DVE_NOC_MESH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dve
+{
+
+/** A rectangular mesh of nodes with XY coordinates. */
+class Mesh
+{
+  public:
+    /** Build a @p cols x @p rows mesh and precompute routing tables. */
+    Mesh(unsigned cols, unsigned rows);
+
+    unsigned numNodes() const { return cols_ * rows_; }
+    unsigned cols() const { return cols_; }
+    unsigned rows() const { return rows_; }
+
+    /** Minimal hop count between two nodes (0 when src == dst). */
+    unsigned hops(unsigned src, unsigned dst) const;
+
+    /** First hop on the deterministic shortest path (src when at dst). */
+    unsigned nextHop(unsigned src, unsigned dst) const;
+
+    /** Full deterministic route, excluding src, including dst. */
+    std::vector<unsigned> route(unsigned src, unsigned dst) const;
+
+    /**
+     * Account one message traversing src -> dst, bumping every link counter
+     * along the deterministic route. @return hop count.
+     */
+    unsigned traverse(unsigned src, unsigned dst);
+
+    /** Messages carried by the directed link @p from -> @p to (adjacent). */
+    std::uint64_t linkLoad(unsigned from, unsigned to) const;
+
+    /** Sum of all link counters (total hop-traversals). */
+    std::uint64_t totalLinkTraversals() const { return totalTraversals_; }
+
+    /** Mean hops over all ordered node pairs (src != dst). */
+    double meanPairwiseHops() const;
+
+    /** Reset link counters. */
+    void resetTraffic();
+
+  private:
+    unsigned index(unsigned src, unsigned dst) const
+    {
+        return src * numNodes() + dst;
+    }
+
+    void computeRoutes();
+
+    unsigned cols_;
+    unsigned rows_;
+    std::vector<std::uint8_t> hops_;      // [src * n + dst]
+    std::vector<std::uint8_t> nextHop_;   // [src * n + dst]
+    std::vector<std::uint64_t> linkLoad_; // [from * n + to], adjacent only
+    std::uint64_t totalTraversals_ = 0;
+};
+
+} // namespace dve
+
+#endif // DVE_NOC_MESH_HH

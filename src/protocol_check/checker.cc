@@ -1,0 +1,118 @@
+#include "protocol_check/checker.hh"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dve
+{
+namespace pcheck
+{
+
+std::string
+CheckResult::summary() const
+{
+    std::ostringstream os;
+    if (ok) {
+        os << "PASS: " << statesExplored << " states, " << transitions
+           << " transitions, " << quiescentStates
+           << " quiescent; SWMR + data-value + deadlock-freedom hold";
+    } else {
+        os << "FAIL: " << violation << " after " << trace.size()
+           << " steps (" << statesExplored << " states explored)";
+    }
+    return os.str();
+}
+
+CheckResult
+explore(const ModelConfig &cfg, std::uint64_t max_states)
+{
+    const Model model(cfg);
+    CheckResult res;
+
+    struct Node
+    {
+        State state;
+        std::int64_t parent;
+        std::string action;
+    };
+
+    std::vector<Node> nodes;
+    std::unordered_map<std::string, std::size_t> seen;
+    std::deque<std::size_t> frontier;
+
+    auto buildTrace = [&](std::size_t idx) {
+        std::vector<std::string> t;
+        for (std::int64_t i = static_cast<std::int64_t>(idx);
+             i > 0; i = nodes[i].parent) {
+            t.push_back(nodes[i].action);
+        }
+        std::reverse(t.begin(), t.end());
+        return t;
+    };
+
+    nodes.push_back({model.initial(), -1, ""});
+    seen.emplace(nodes[0].state.encode(), 0);
+    frontier.push_back(0);
+
+    while (!frontier.empty()) {
+        const std::size_t idx = frontier.front();
+        frontier.pop_front();
+        ++res.statesExplored;
+
+        const State &s = nodes[idx].state;
+
+        if (auto bad = model.checkInvariants(s)) {
+            res.violation = *bad;
+            res.trace = buildTrace(idx);
+            return res;
+        }
+
+        std::vector<Model::Successor> succs;
+        try {
+            succs = model.successors(s);
+        } catch (const std::logic_error &e) {
+            res.violation = std::string("unexpected message: ")
+                            + e.what();
+            res.trace = buildTrace(idx);
+            return res;
+        }
+
+        if (succs.empty()) {
+            if (model.quiescent(s)) {
+                ++res.quiescentStates;
+                continue;
+            }
+            res.violation = "deadlock: pending work but no enabled "
+                            "transition";
+            res.trace = buildTrace(idx);
+            return res;
+        }
+
+        for (auto &suc : succs) {
+            ++res.transitions;
+            auto key = suc.state.encode();
+            const auto it = seen.find(key);
+            if (it != seen.end())
+                continue;
+            const std::size_t nidx = nodes.size();
+            seen.emplace(std::move(key), nidx);
+            nodes.push_back({std::move(suc.state),
+                             static_cast<std::int64_t>(idx),
+                             std::move(suc.action)});
+            frontier.push_back(nidx);
+            if (nodes.size() > max_states) {
+                res.violation = "state-space bound exceeded";
+                return res;
+            }
+        }
+    }
+
+    res.ok = true;
+    return res;
+}
+
+} // namespace pcheck
+} // namespace dve

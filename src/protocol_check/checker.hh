@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Explicit-state BFS explorer over the protocol model: the Murphi-style
+ * verification pass of Sec. V-C4.
+ *
+ * Explores every interleaving of spontaneous cache operations (bounded
+ * per cache) and channel deliveries, deduplicating states by their byte
+ * encoding, and checks on every reachable state:
+ *  - the safety invariants (SWMR, data value, memory/replica currency);
+ *  - deadlock freedom: a non-quiescent state must have a successor.
+ *
+ * On a violation the checker reconstructs and reports the action trace
+ * from the initial state.
+ */
+
+#ifndef DVE_PROTOCOL_CHECK_CHECKER_HH
+#define DVE_PROTOCOL_CHECK_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protocol_check/model.hh"
+
+namespace dve
+{
+namespace pcheck
+{
+
+/** Exploration outcome. */
+struct CheckResult
+{
+    bool ok = false;
+    std::uint64_t statesExplored = 0;
+    std::uint64_t transitions = 0;
+    std::uint64_t quiescentStates = 0;
+    std::string violation;            ///< empty when ok
+    std::vector<std::string> trace;   ///< actions from init to violation
+
+    /** One-line summary for harness output. */
+    std::string summary() const;
+};
+
+/**
+ * Exhaustively explore @p cfg.
+ * @param max_states safety valve against configuration blowups.
+ */
+CheckResult explore(const ModelConfig &cfg,
+                    std::uint64_t max_states = 50'000'000);
+
+} // namespace pcheck
+} // namespace dve
+
+#endif // DVE_PROTOCOL_CHECK_CHECKER_HH

@@ -1,0 +1,815 @@
+#include "protocol_check/model.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+namespace pcheck
+{
+
+const char *
+checkProtocolName(CheckProtocol p)
+{
+    switch (p) {
+      case CheckProtocol::BaselineMsi: return "baseline-msi";
+      case CheckProtocol::Allow: return "allow";
+      case CheckProtocol::Deny: return "deny";
+    }
+    return "?";
+}
+
+const char *
+csName(CS s)
+{
+    switch (s) {
+      case CS::I: return "I";
+      case CS::IS_D: return "IS_D";
+      case CS::IS_D_I: return "IS_D_I";
+      case CS::IM_AD: return "IM_AD";
+      case CS::IM_A: return "IM_A";
+      case CS::S: return "S";
+      case CS::SM_AD: return "SM_AD";
+      case CS::SM_A: return "SM_A";
+      case CS::M: return "M";
+      case CS::MI_A: return "MI_A";
+      case CS::SI_A: return "SI_A";
+      case CS::II_A: return "II_A";
+    }
+    return "?";
+}
+
+const char *
+dsName(DS s)
+{
+    switch (s) {
+      case DS::I: return "I";
+      case DS::S: return "S";
+      case DS::M: return "M";
+      case DS::S_D: return "S_D";
+    }
+    return "?";
+}
+
+const char *
+rsName(RS s)
+{
+    switch (s) {
+      case RS::None: return "None";
+      case RS::Readable: return "Readable";
+      case RS::RM: return "RM";
+      case RS::M_rep: return "M_rep";
+    }
+    return "?";
+}
+
+const char *
+mtName(MT t)
+{
+    switch (t) {
+      case MT::GetS: return "GetS";
+      case MT::GetM: return "GetM";
+      case MT::PutM: return "PutM";
+      case MT::FwdGetS: return "FwdGetS";
+      case MT::FwdGetM: return "FwdGetM";
+      case MT::Inv: return "Inv";
+      case MT::InvAck: return "InvAck";
+      case MT::PutAck: return "PutAck";
+      case MT::Data: return "Data";
+      case MT::DataDir: return "DataDir";
+      case MT::PermReq: return "PermReq";
+      case MT::PermAck: return "PermAck";
+      case MT::RmPush: return "RmPush";
+      case MT::RdOwn: return "RdOwn";
+      case MT::WbRd: return "WbRd";
+    }
+    return "?";
+}
+
+std::string
+State::encode() const
+{
+    std::string out;
+    out.reserve(64 + chan.size() * 4);
+    for (const auto &c : caches) {
+        out.push_back(static_cast<char>(c.state));
+        out.push_back(static_cast<char>(c.value));
+        out.push_back(static_cast<char>(c.acksNeeded + 64));
+        out.push_back(static_cast<char>(c.hasData));
+        out.push_back(static_cast<char>(c.budget));
+    }
+    out.push_back(static_cast<char>(hd.state));
+    out.push_back(static_cast<char>(hd.owner + 1));
+    out.push_back(static_cast<char>(hd.sharers));
+    out.push_back(static_cast<char>(hd.mem));
+    out.push_back(static_cast<char>(hd.pendingReq + 1));
+    out.push_back(static_cast<char>(hd.pendingIsGetM));
+    out.push_back(static_cast<char>(rd.entry));
+    out.push_back(static_cast<char>(rd.owner + 1));
+    out.push_back(static_cast<char>(rd.repSharers));
+    out.push_back(static_cast<char>(rd.mem));
+    out.push_back(static_cast<char>(rd.pendingInvAcks));
+    out.push_back(static_cast<char>(rd.invRequester + 1));
+    out.push_back(static_cast<char>(rd.permPending));
+    out.push_back(static_cast<char>(rd.permRequester + 1));
+    out.push_back(static_cast<char>(lastWrite));
+    for (const auto &q : chan) {
+        out.push_back(static_cast<char>(q.size()));
+        for (const auto &m : q) {
+            out.push_back(static_cast<char>(m.type));
+            out.push_back(static_cast<char>(m.src));
+            out.push_back(static_cast<char>(m.origin));
+            out.push_back(static_cast<char>(m.value));
+            out.push_back(static_cast<char>(m.acks + 64));
+            out.push_back(static_cast<char>(m.grantM));
+        }
+    }
+    return out;
+}
+
+Model::Model(const ModelConfig &cfg) : cfg_(cfg)
+{
+    dve_assert(cfg_.homeCaches >= 1 && cfg_.homeCaches <= 3,
+               "1..3 home caches supported");
+    dve_assert(cfg_.replicaCaches <= 1,
+               "the model supports at most one replica-side cache");
+    nAgents_ = cfg_.caches() + 2; // + HD + RD
+}
+
+State
+Model::initial() const
+{
+    State s;
+    s.caches.assign(cfg_.caches(), State::Cache{});
+    for (auto &c : s.caches)
+        c.budget = static_cast<std::uint8_t>(cfg_.opBudget);
+    s.chan.assign(std::size_t(nAgents_) * nAgents_, {});
+    return s;
+}
+
+void
+Model::send(State &s, Agent src, Agent dst, Message m) const
+{
+    m.src = src;
+    s.chan[std::size_t(src) * nAgents_ + dst].push_back(m);
+}
+
+bool
+Model::quiescent(const State &s) const
+{
+    for (const auto &q : s.chan) {
+        if (!q.empty())
+            return false;
+    }
+    for (const auto &c : s.caches) {
+        if (c.state != CS::I && c.state != CS::S && c.state != CS::M)
+            return false;
+    }
+    return s.hd.state != DS::S_D && s.rd.pendingInvAcks == 0
+           && !s.rd.permPending;
+}
+
+// --------------------------------------------------------------------
+// Cache behaviour
+// --------------------------------------------------------------------
+
+void
+Model::cacheWriteCompletes(State &s, unsigned c) const
+{
+    auto &cc = s.caches[c];
+    cc.state = CS::M;
+    cc.hasData = false;
+    cc.value = ++s.lastWrite; // the store retires with a unique value
+}
+
+void
+Model::maybeFinishGetM(State &s, unsigned c) const
+{
+    auto &cc = s.caches[c];
+    if (cc.hasData && cc.acksNeeded == 0)
+        cacheWriteCompletes(s, c);
+}
+
+bool
+Model::deliverToCache(State &s, unsigned c, const Message &m) const
+{
+    auto &cc = s.caches[c];
+    const Agent me = static_cast<Agent>(c);
+
+    switch (m.type) {
+      case MT::Data:
+        switch (cc.state) {
+          case CS::IS_D:
+            cc.state = CS::S;
+            cc.value = m.value;
+            return true;
+          case CS::IS_D_I:
+            cc.state = CS::I;
+            return true;
+          case CS::IM_AD:
+          case CS::SM_AD:
+            dve_assert(m.grantM, "GetM answered with an S grant");
+            cc.hasData = true;
+            cc.value = m.value;
+            cc.acksNeeded =
+                static_cast<std::int8_t>(cc.acksNeeded + m.acks);
+            if (cc.acksNeeded == 0) {
+                cacheWriteCompletes(s, c);
+            } else {
+                cc.state = cc.state == CS::IM_AD ? CS::IM_A : CS::SM_A;
+            }
+            return true;
+          default:
+            dve_panic("Data in cache state ", csName(cc.state));
+        }
+
+      case MT::InvAck:
+        switch (cc.state) {
+          case CS::IM_AD:
+          case CS::SM_AD:
+          case CS::IM_A:
+          case CS::SM_A:
+            --cc.acksNeeded;
+            maybeFinishGetM(s, c);
+            return true;
+          default:
+            dve_panic("InvAck in cache state ", csName(cc.state));
+        }
+
+      case MT::Inv:
+        // Invalidate a (possibly stale) shared copy; ack the requester.
+        switch (cc.state) {
+          case CS::S:
+            cc.state = CS::I;
+            break;
+          case CS::SM_AD:
+            cc.state = CS::IM_AD;
+            break;
+          case CS::IS_D:
+            cc.state = CS::IS_D_I;
+            break;
+          default:
+            break; // I, IS_D_I, IM_*, M*, *I_A: stale inval, just ack
+        }
+        send(s, me, m.origin, {MT::InvAck, me, me, 0, 0, false});
+        return true;
+
+      case MT::FwdGetS:
+        switch (cc.state) {
+          case CS::M:
+          case CS::MI_A: {
+            send(s, me, m.origin,
+                 {MT::Data, me, me, cc.value, 0, false});
+            send(s, me, hdId(),
+                 {MT::DataDir, me, me, cc.value, 0, false});
+            cc.state = cc.state == CS::M ? CS::S : CS::SI_A;
+            return true;
+          }
+          case CS::IM_AD:
+          case CS::IM_A:
+          case CS::SM_AD:
+          case CS::SM_A:
+            return false; // stall until the write completes
+          default:
+            dve_panic("FwdGetS in cache state ", csName(cc.state));
+        }
+
+      case MT::FwdGetM:
+        switch (cc.state) {
+          case CS::M:
+          case CS::MI_A:
+            send(s, me, m.origin,
+                 {MT::Data, me, me, cc.value, m.acks, true});
+            cc.state = cc.state == CS::M ? CS::I : CS::II_A;
+            return true;
+          case CS::IM_AD:
+          case CS::IM_A:
+          case CS::SM_AD:
+          case CS::SM_A:
+            return false; // stall until the write completes
+          default:
+            dve_panic("FwdGetM in cache state ", csName(cc.state));
+        }
+
+      case MT::PutAck:
+        switch (cc.state) {
+          case CS::MI_A:
+          case CS::SI_A:
+          case CS::II_A:
+            cc.state = CS::I;
+            return true;
+          default:
+            dve_panic("PutAck in cache state ", csName(cc.state));
+        }
+
+      default:
+        dve_panic("cache received ", mtName(m.type));
+    }
+}
+
+// --------------------------------------------------------------------
+// Home directory behaviour
+// --------------------------------------------------------------------
+
+bool
+Model::hdGets(State &s, Agent requester) const
+{
+    auto &hd = s.hd;
+    switch (hd.state) {
+      case DS::I:
+      case DS::S:
+        send(s, hdId(), requester,
+             {MT::Data, hdId(), hdId(), hd.mem, 0, false});
+        hd.sharers |= static_cast<std::uint8_t>(1u << requester);
+        hd.state = DS::S;
+        return true;
+      case DS::M: {
+        dve_assert(hd.owner >= 0, "M without owner");
+        send(s, hdId(), static_cast<Agent>(hd.owner),
+             {MT::FwdGetS, hdId(), requester, 0, 0, false});
+        hd.sharers |= static_cast<std::uint8_t>(1u << requester);
+        hd.sharers |= static_cast<std::uint8_t>(1u << hd.owner);
+        hd.state = DS::S_D;
+        hd.pendingReq = static_cast<std::int8_t>(requester);
+        return true;
+      }
+      case DS::S_D:
+        return false; // blocked: one transaction at a time per line
+    }
+    return false;
+}
+
+void
+Model::hdGrantM(State &s, Agent requester) const
+{
+    auto &hd = s.hd;
+    constexpr std::uint8_t rdBit = 0x80;
+
+    // Deny pushes an RM marker for every home-side exclusive grant; the
+    // replica directory's acknowledgment rides the InvAck channel and is
+    // counted by the requester like any sharer invalidation.
+    const bool deny_push = cfg_.protocol == CheckProtocol::Deny
+                           && !isReplicaSide(requester)
+                           && !cfg_.bugSkipRmPush;
+
+    std::uint8_t targets =
+        hd.sharers
+        & static_cast<std::uint8_t>(~(1u << requester));
+    int acks = 0;
+    for (unsigned c = 0; c < cfg_.caches(); ++c) {
+        if (targets & (1u << c)) {
+            send(s, hdId(), static_cast<Agent>(c),
+                 {MT::Inv, hdId(), requester, 0, 0, false});
+            ++acks;
+        }
+    }
+    if (targets & rdBit) {
+        // Allow: the replica directory is a registered sharer.
+        send(s, hdId(), rdId(),
+             {MT::Inv, hdId(), requester, 0, 0, false});
+        ++acks;
+    }
+    if (deny_push) {
+        send(s, hdId(), rdId(),
+             {MT::RmPush, hdId(), requester, 0, 0, false});
+        ++acks;
+    }
+    if (cfg_.protocol != CheckProtocol::BaselineMsi
+        && isReplicaSide(requester)) {
+        // Replica-side writer: the replica directory must record the
+        // ownership (and invalidate any replica-served sharers) BEFORE
+        // the write completes, so its ack is counted like a sharer
+        // invalidation. Sent on the ordered HD->RD channel so entry
+        // updates serialize in home-transaction order.
+        send(s, hdId(), rdId(),
+             {MT::RdOwn, hdId(), requester, 0, 0, false});
+        if (!cfg_.bugUnackedRdOwn)
+            ++acks;
+    }
+
+    if (hd.state == DS::M) {
+        dve_assert(hd.owner >= 0, "M without owner");
+        send(s, hdId(), static_cast<Agent>(hd.owner),
+             {MT::FwdGetM, hdId(), requester, 0,
+              static_cast<std::int8_t>(acks), false});
+    } else {
+        send(s, hdId(), requester,
+             {MT::Data, hdId(), hdId(), hd.mem,
+              static_cast<std::int8_t>(acks), true});
+    }
+    hd.owner = static_cast<std::int8_t>(requester);
+    hd.sharers = static_cast<std::uint8_t>(1u << requester);
+    hd.state = DS::M;
+}
+
+bool
+Model::hdGetm(State &s, Agent requester) const
+{
+    if (s.hd.state == DS::S_D)
+        return false;
+    hdGrantM(s, requester);
+    return true;
+}
+
+bool
+Model::deliverToHd(State &s, const Message &m) const
+{
+    auto &hd = s.hd;
+    constexpr std::uint8_t rdBit = 0x80;
+
+    switch (m.type) {
+      case MT::GetS:
+        return hdGets(s, m.origin);
+
+      case MT::GetM:
+        return hdGetm(s, m.origin);
+
+      case MT::PermReq:
+        // Allow: the replica directory pulls read permission.
+        switch (hd.state) {
+          case DS::I:
+          case DS::S:
+            hd.sharers |= rdBit;
+            hd.state = DS::S;
+            send(s, hdId(), rdId(),
+                 {MT::PermAck, hdId(), m.origin, hd.mem, 0, false});
+            return true;
+          case DS::M:
+            // Dirty at home side: full fetch. Data goes straight to the
+            // replica cache; the replica memory is refreshed (and the
+            // permission installed) when the owner's data reaches us.
+            dve_assert(hd.owner >= 0, "M without owner");
+            send(s, hdId(), static_cast<Agent>(hd.owner),
+                 {MT::FwdGetS, hdId(), m.origin, 0, 0, false});
+            hd.sharers |= rdBit;
+            hd.sharers |= static_cast<std::uint8_t>(1u << hd.owner);
+            hd.state = DS::S_D;
+            hd.pendingReq = static_cast<std::int8_t>(m.origin);
+            hd.pendingIsGetM = true; // marks "perm pull" completion
+            return true;
+          case DS::S_D:
+            return false;
+        }
+        return false;
+
+      case MT::PutM: {
+        const bool from_owner =
+            hd.state == DS::M
+            && hd.owner == static_cast<std::int8_t>(m.origin);
+        if (from_owner) {
+            hd.mem = m.value;
+            send(s, hdId(), m.origin,
+                 {MT::PutAck, hdId(), hdId(), 0, 0, false});
+            hd.owner = -1;
+            const bool retain_perm =
+                cfg_.protocol == CheckProtocol::Allow
+                && isReplicaSide(m.origin);
+            if (cfg_.protocol != CheckProtocol::BaselineMsi) {
+                // WbRd.acks == 1 asks the RD to keep a Readable
+                // permission (allow retains it after its own cache's
+                // writeback and stays registered as a sharer here).
+                send(s, hdId(), rdId(),
+                     {MT::WbRd, hdId(), hdId(), m.value,
+                      static_cast<std::int8_t>(retain_perm ? 1 : 0),
+                      false});
+            }
+            if (retain_perm) {
+                hd.sharers = rdBit;
+                hd.state = DS::S;
+            } else {
+                hd.sharers = 0;
+                hd.state = DS::I;
+            }
+            return true;
+        }
+        if (hd.state == DS::S_D
+            && hd.owner == static_cast<std::int8_t>(m.origin)) {
+            // Owner's eviction raced our FwdGetS; its Data is still on
+            // the way. Absorb the writeback, keep waiting.
+            hd.mem = m.value;
+            send(s, hdId(), m.origin,
+                 {MT::PutAck, hdId(), hdId(), 0, 0, false});
+            return true;
+        }
+        // Stale PutM from a past owner: just ack.
+        send(s, hdId(), m.origin,
+             {MT::PutAck, hdId(), hdId(), 0, 0, false});
+        return true;
+      }
+
+      case MT::DataDir:
+        dve_assert(hd.state == DS::S_D, "DataDir outside S_D");
+        hd.mem = m.value;
+        if (cfg_.protocol != CheckProtocol::BaselineMsi) {
+            // Refresh the replica copy; when this S_D stemmed from an
+            // allow permission pull, also install the permission and
+            // register the pulling cache at the replica directory.
+            Message wb{MT::WbRd, hdId(),
+                       static_cast<Agent>(
+                           hd.pendingIsGetM && hd.pendingReq >= 0
+                               ? hd.pendingReq
+                               : 0),
+                       m.value, 0,
+                       /*grantM=*/hd.pendingIsGetM};
+            send(s, hdId(), rdId(), wb);
+        }
+        hd.owner = -1;
+        hd.state = DS::S;
+        hd.pendingReq = -1;
+        hd.pendingIsGetM = false;
+        return true;
+
+      default:
+        dve_panic("home directory received ", mtName(m.type));
+    }
+}
+
+// --------------------------------------------------------------------
+// Replica directory behaviour
+// --------------------------------------------------------------------
+
+bool
+Model::deliverToRd(State &s, const Message &m) const
+{
+    auto &rd = s.rd;
+
+    auto beginInvalidation = [&](Agent requester) {
+        // Invalidate every replica-side sharer; aggregate their acks
+        // into one InvAck toward the requester.
+        unsigned pending = 0;
+        for (unsigned c = 0; c < cfg_.caches(); ++c) {
+            if (rd.repSharers & (1u << c)) {
+                send(s, rdId(), static_cast<Agent>(c),
+                     {MT::Inv, rdId(), rdId(), 0, 0, false});
+                ++pending;
+            }
+        }
+        rd.repSharers = 0;
+        if (pending == 0) {
+            send(s, rdId(), requester,
+                 {MT::InvAck, rdId(), rdId(), 0, 0, false});
+        } else {
+            rd.pendingInvAcks = static_cast<std::uint8_t>(pending);
+            rd.invRequester = static_cast<std::int8_t>(requester);
+        }
+    };
+
+    switch (m.type) {
+      case MT::GetS: {
+        const Agent req = m.origin;
+        if (rd.entry == RS::RM || rd.entry == RS::M_rep) {
+            // Replica unreadable (or ownership bookkeeping still in
+            // flight): forward to home, which has the authoritative
+            // state.
+            send(s, rdId(), hdId(),
+                 {MT::GetS, rdId(), req, 0, 0, false});
+            return true;
+        }
+        if (rd.entry == RS::None
+            && cfg_.protocol == CheckProtocol::Allow) {
+            // Pull a permission; serve the data once granted.
+            if (rd.permPending)
+                return false; // one pull at a time
+            rd.permPending = true;
+            rd.permRequester = static_cast<std::int8_t>(req);
+            send(s, rdId(), hdId(),
+                 {MT::PermReq, rdId(), req, 0, 0, false});
+            return true;
+        }
+        // Deny default / explicit Readable: serve from replica memory.
+        send(s, rdId(), req,
+             {MT::Data, rdId(), rdId(), rd.mem, 0, false});
+        rd.entry = RS::Readable;
+        rd.repSharers |= static_cast<std::uint8_t>(1u << req);
+        return true;
+      }
+
+      case MT::GetM:
+        // Writes serialize at home; ownership is recorded when the home
+        // grants (RdOwn on the ordered HD->RD channel), never here --
+        // updating the entry at forward time races in-flight WbRds.
+        rd.repSharers &=
+            static_cast<std::uint8_t>(~(1u << m.origin));
+        send(s, rdId(), hdId(),
+             {MT::GetM, rdId(), m.origin, 0, 0, false});
+        return true;
+
+      case MT::PutM:
+        // Pass through: the home applies it and mirrors the data back
+        // via WbRd, keeping all entry/memory updates home-ordered.
+        send(s, rdId(), hdId(),
+             {MT::PutM, rdId(), m.origin, m.value, 0, false});
+        return true;
+
+      case MT::RdOwn:
+        if (rd.pendingInvAcks > 0)
+            return false; // finish the previous collection first
+        rd.entry = RS::M_rep;
+        rd.owner = static_cast<std::int8_t>(m.origin);
+        if (!cfg_.bugUnackedRdOwn)
+            beginInvalidation(m.origin);
+        return true;
+
+      case MT::RmPush:
+        if (rd.pendingInvAcks > 0)
+            return false; // finish the previous collection first
+        rd.entry = RS::RM;
+        rd.owner = -1;
+        beginInvalidation(m.origin);
+        return true;
+
+      case MT::Inv: // allow: home invalidating our Readable permission
+        if (rd.pendingInvAcks > 0)
+            return false;
+        rd.entry = RS::None;
+        rd.owner = -1;
+        beginInvalidation(m.origin);
+        return true;
+
+      case MT::InvAck:
+        dve_assert(rd.pendingInvAcks > 0, "unexpected InvAck at RD");
+        if (--rd.pendingInvAcks == 0) {
+            send(s, rdId(), static_cast<Agent>(rd.invRequester),
+                 {MT::InvAck, rdId(), rdId(), 0, 0, false});
+            rd.invRequester = -1;
+        }
+        return true;
+
+      case MT::PermAck:
+        dve_assert(rd.permPending, "PermAck without a pull");
+        rd.entry = RS::Readable;
+        rd.mem = m.value; // memories are clean: adopt the home image
+        send(s, rdId(), static_cast<Agent>(rd.permRequester),
+             {MT::Data, rdId(), rdId(), rd.mem, 0, false});
+        rd.repSharers |=
+            static_cast<std::uint8_t>(1u << rd.permRequester);
+        rd.permPending = false;
+        rd.permRequester = -1;
+        return true;
+
+      case MT::WbRd:
+        rd.mem = m.value;
+        if (rd.entry == RS::RM || rd.entry == RS::M_rep) {
+            rd.entry = m.acks != 0 ? RS::Readable : RS::None;
+            rd.owner = -1;
+        }
+        if (m.grantM) {
+            // Allow permission install after a dirty-line pull: the
+            // pulling cache received data straight from the owner.
+            rd.entry = RS::Readable;
+            rd.repSharers |=
+                static_cast<std::uint8_t>(1u << m.origin);
+            rd.permPending = false;
+            rd.permRequester = -1;
+        }
+        return true;
+
+      default:
+        dve_panic("replica directory received ", mtName(m.type));
+    }
+}
+
+// --------------------------------------------------------------------
+// Transition enumeration
+// --------------------------------------------------------------------
+
+std::vector<Model::Successor>
+Model::successors(const State &s) const
+{
+    std::vector<Successor> out;
+
+    // Spontaneous cache operations (budget-limited).
+    for (unsigned c = 0; c < cfg_.caches(); ++c) {
+        const auto &cc = s.caches[c];
+        if (cc.budget == 0)
+            continue;
+        const Agent dir = isReplicaSide(c) ? rdId() : hdId();
+        const Agent me = static_cast<Agent>(c);
+
+        auto spawn = [&](const char *label, auto &&mut) {
+            State next = s;
+            --next.caches[c].budget;
+            mut(next);
+            std::ostringstream os;
+            os << "C" << c << ":" << label;
+            out.push_back({std::move(next), os.str()});
+        };
+
+        if (cc.state == CS::I) {
+            spawn("GetS", [&](State &n) {
+                n.caches[c].state = CS::IS_D;
+                send(n, me, dir, {MT::GetS, me, me, 0, 0, false});
+            });
+            spawn("GetM", [&](State &n) {
+                n.caches[c].state = CS::IM_AD;
+                n.caches[c].acksNeeded = 0;
+                n.caches[c].hasData = false;
+                send(n, me, dir, {MT::GetM, me, me, 0, 0, false});
+            });
+        } else if (cc.state == CS::S) {
+            spawn("Upgrade", [&](State &n) {
+                n.caches[c].state = CS::SM_AD;
+                n.caches[c].acksNeeded = 0;
+                n.caches[c].hasData = false;
+                send(n, me, dir, {MT::GetM, me, me, 0, 0, false});
+            });
+            spawn("EvictS", [&](State &n) {
+                n.caches[c].state = CS::I; // silent clean eviction
+            });
+        } else if (cc.state == CS::M) {
+            spawn("PutM", [&](State &n) {
+                n.caches[c].state = CS::MI_A;
+                send(n, me, dir,
+                     {MT::PutM, me, me, n.caches[c].value, 0, false});
+            });
+        }
+    }
+
+    // Message deliveries: the head of any channel, if consumable.
+    for (unsigned src = 0; src < nAgents_; ++src) {
+        for (unsigned dst = 0; dst < nAgents_; ++dst) {
+            const auto &q = s.chan[std::size_t(src) * nAgents_ + dst];
+            if (q.empty())
+                continue;
+            State next = s;
+            auto &nq = next.chan[std::size_t(src) * nAgents_ + dst];
+            const Message m = nq.front();
+
+            bool consumed;
+            if (dst < cfg_.caches()) {
+                consumed = deliverToCache(next, dst, m);
+            } else if (dst == hdId()) {
+                consumed = deliverToHd(next, m);
+            } else {
+                consumed = deliverToRd(next, m);
+            }
+            if (!consumed)
+                continue; // stalled at the head: not enabled
+            nq.erase(nq.begin());
+
+            std::ostringstream os;
+            os << mtName(m.type) << " " << unsigned(src) << "->"
+               << unsigned(dst);
+            out.push_back({std::move(next), os.str()});
+        }
+    }
+    return out;
+}
+
+// --------------------------------------------------------------------
+// Invariants
+// --------------------------------------------------------------------
+
+std::optional<std::string>
+Model::checkInvariants(const State &s) const
+{
+    // SWMR: at most one M; no S coexists with an M.
+    unsigned writers = 0, readers = 0;
+    for (const auto &c : s.caches) {
+        writers += c.state == CS::M;
+        readers += c.state == CS::S;
+    }
+    if (writers > 1)
+        return "SWMR violated: two caches in M";
+    if (writers == 1 && readers > 0)
+        return "SWMR violated: M coexists with S";
+
+    // Data-value invariant: stable readable/writable copies hold the
+    // last coherence-ordered write.
+    for (unsigned c = 0; c < s.caches.size(); ++c) {
+        const auto &cc = s.caches[c];
+        if ((cc.state == CS::S || cc.state == CS::M)
+            && cc.value != s.lastWrite) {
+            std::ostringstream os;
+            os << "value violated: C" << c << " in " << csName(cc.state)
+               << " holds " << unsigned(cc.value) << " != lastWrite "
+               << unsigned(s.lastWrite);
+            return os.str();
+        }
+    }
+
+    // Memory invariant: with no dirty owner, home memory is current.
+    if ((s.hd.state == DS::I || s.hd.state == DS::S)
+        && s.hd.mem != s.lastWrite) {
+        return "home memory stale in clean directory state";
+    }
+
+    // Replica-readability invariant (the heart of Dvé's safety): when
+    // the replica directory would serve a read right now, the replica
+    // memory must hold the last coherence-ordered write.
+    if (cfg_.protocol != CheckProtocol::BaselineMsi
+        && s.rd.pendingInvAcks == 0) {
+        const bool servable =
+            cfg_.protocol == CheckProtocol::Deny
+                ? (s.rd.entry == RS::None || s.rd.entry == RS::Readable)
+                : s.rd.entry == RS::Readable;
+        if (servable && s.rd.mem != s.lastWrite)
+            return "replica readable but stale";
+    }
+    return std::nullopt;
+}
+
+} // namespace pcheck
+} // namespace dve

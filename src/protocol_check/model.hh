@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Message-level transient-state model of Dvé's coherent-replication
+ * protocols, for exhaustive model checking (the paper verifies its
+ * protocols with Murphi; this module plays that role, Sec. V-C4).
+ *
+ * The base is the classic blocking directory MSI protocol (Sorin, Hill &
+ * Wood, "A Primer on Memory Consistency and Cache Coherence", ch. 8):
+ * caches move through transient states (IS_D, IM_AD, IM_A, SM_AD, SM_A,
+ * MI_A, SI_A, II_A), invalidation acks flow to the requester, dirty data
+ * flows cache-to-cache on forwards, and the home directory blocks
+ * conflicting requests per line.
+ *
+ * On top of it sit the two replica-directory extensions:
+ *
+ *  - Deny: the replica directory serves a replica-side GetS from the
+ *    local replica memory unless an RM entry exists. The home eagerly
+ *    pushes RM (and collects the replica-side invalidations) before
+ *    completing any home-side GetM. Writebacks update both memories and
+ *    clear RM.
+ *
+ *  - Allow: the replica directory serves a GetS only with an explicit
+ *    Readable permission, pulled from home on demand; the home registers
+ *    the replica directory as a sharer and invalidates it like any other
+ *    sharer on a GetM.
+ *
+ * One memory line is modelled. Writes produce globally unique values
+ * (an auxiliary lastWrite counter), so the checker can state the
+ * data-value invariant exactly: any cache holding S or M observes
+ * lastWrite. Exploration is bounded by a per-cache operation budget;
+ * within that bound every interleaving of the ordered point-to-point
+ * channels is explored.
+ */
+
+#ifndef DVE_PROTOCOL_CHECK_MODEL_HH
+#define DVE_PROTOCOL_CHECK_MODEL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dve
+{
+namespace pcheck
+{
+
+/** Which protocol family the replica directory runs. */
+enum class CheckProtocol : std::uint8_t
+{
+    BaselineMsi, ///< no replica directory at all (validates the base)
+    Allow,
+    Deny,
+};
+
+const char *checkProtocolName(CheckProtocol p);
+
+/** Model configuration. */
+struct ModelConfig
+{
+    CheckProtocol protocol = CheckProtocol::Deny;
+    unsigned homeCaches = 1;   ///< caches whose requests go to HD
+    unsigned replicaCaches = 1;///< caches whose requests go to RD (<= 1)
+    unsigned opBudget = 3;     ///< spontaneous ops per cache
+
+    // Deliberate protocol mutations, used to demonstrate that the
+    // checker detects real bugs (each reintroduces a hole the checker
+    // found during development).
+    bool bugSkipRmPush = false;   ///< deny: don't push RM on home GetM
+    bool bugUnackedRdOwn = false; ///< grant before the RD acks RdOwn
+
+    unsigned
+    caches() const
+    {
+        return homeCaches
+               + (protocol == CheckProtocol::BaselineMsi ? 0
+                                                         : replicaCaches);
+    }
+};
+
+/** Cache controller states (Primer ch. 8 naming). */
+enum class CS : std::uint8_t
+{
+    I,
+    IS_D,   ///< GetS issued, waiting Data
+    IS_D_I, ///< ... but an Inv arrived: install then drop
+    IM_AD,  ///< GetM issued, waiting Data and acks
+    IM_A,   ///< GetM: Data received, acks outstanding
+    S,
+    SM_AD,
+    SM_A,
+    M,
+    MI_A, ///< PutM issued, waiting PutAck
+    SI_A, ///< was MI_A, downgraded by FwdGetS
+    II_A, ///< was MI_A, invalidated by FwdGetM
+};
+
+const char *csName(CS s);
+
+/** Home directory stable + transient states. */
+enum class DS : std::uint8_t
+{
+    I,
+    S,
+    M,
+    S_D, ///< FwdGetS outstanding, waiting owner data
+};
+
+const char *dsName(DS s);
+
+/** Replica directory entry states. */
+enum class RS : std::uint8_t
+{
+    None,     ///< deny: readable; allow: must pull
+    Readable, ///< explicit permission (allow) / cached clean (deny)
+    RM,       ///< remote-modified: replica stale
+    M_rep,    ///< a replica-side cache owns the line
+};
+
+const char *rsName(RS s);
+
+/** Message vocabulary. */
+enum class MT : std::uint8_t
+{
+    GetS,
+    GetM,
+    PutM,    ///< carries data
+    FwdGetS,
+    FwdGetM,
+    Inv,
+    InvAck,
+    PutAck,
+    Data,    ///< carries data + ack count + grant state
+    DataDir, ///< owner's copy to the home directory
+    PermReq, ///< allow: RD pulls read permission for a replica cache
+    PermAck, ///< allow: home grants (memories clean)
+    RmPush,  ///< deny: home pushes remote-modified (ack flows as InvAck)
+    RdOwn,   ///< home -> RD: a replica-side cache was granted M
+    WbRd,    ///< home -> RD: replica memory update (+ entry refresh)
+};
+
+const char *mtName(MT t);
+
+/** Network endpoints: caches 0..N-1, then HD, then RD. */
+using Agent = std::uint8_t;
+
+struct Message
+{
+    MT type = MT::GetS;
+    Agent src = 0;
+    Agent origin = 0;   ///< original requester (for forwards)
+    std::uint8_t value = 0;
+    std::int8_t acks = 0; ///< Data: invalidations the requester must await
+    bool grantM = false;  ///< Data grants M (vs S)
+
+    bool operator==(const Message &) const = default;
+};
+
+/** Full system state (value-semantic, hashable via encode()). */
+struct State
+{
+    struct Cache
+    {
+        CS state = CS::I;
+        std::uint8_t value = 0;
+        std::int8_t acksNeeded = 0; ///< may go negative (early acks)
+        bool hasData = false;
+        std::uint8_t budget = 0;
+
+        bool operator==(const Cache &) const = default;
+    };
+
+    struct HomeDir
+    {
+        DS state = DS::I;
+        std::int8_t owner = -1;
+        std::uint8_t sharers = 0; ///< bit per cache; bit 7 = RD
+        std::uint8_t mem = 0;
+        // Transaction context while in a transient state.
+        std::int8_t pendingReq = -1;  ///< requester of the blocked txn
+        bool pendingIsGetM = false;
+
+        bool operator==(const HomeDir &) const = default;
+    };
+
+    struct RepDir
+    {
+        RS entry = RS::None;
+        std::int8_t owner = -1;
+        std::uint8_t repSharers = 0;
+        std::uint8_t mem = 0;
+        // Invalidation-collection context (allow Inv or deny RmPush).
+        std::uint8_t pendingInvAcks = 0;
+        std::int8_t invRequester = -1; ///< aggregated InvAck target
+        // Allow permission-pull context.
+        bool permPending = false;
+        std::int8_t permRequester = -1; ///< replica cache awaiting data
+
+        bool operator==(const RepDir &) const = default;
+    };
+
+    std::vector<Cache> caches;
+    HomeDir hd;
+    RepDir rd;
+    /** Ordered channels, indexed src * agents + dst. */
+    std::vector<std::vector<Message>> chan;
+    std::uint8_t lastWrite = 0;
+
+    bool operator==(const State &) const = default;
+
+    /** Compact byte encoding for hashing/deduplication. */
+    std::string encode() const;
+};
+
+/** The transition system. */
+class Model
+{
+  public:
+    explicit Model(const ModelConfig &cfg);
+
+    const ModelConfig &config() const { return cfg_; }
+
+    /** Number of network endpoints (caches + HD + RD). */
+    unsigned agents() const { return nAgents_; }
+
+    Agent hdId() const { return static_cast<Agent>(cfg_.caches()); }
+    Agent rdId() const { return static_cast<Agent>(cfg_.caches() + 1); }
+
+    /** The initial (all-invalid, quiescent) state. */
+    State initial() const;
+
+    /** A labelled successor state. */
+    struct Successor
+    {
+        State state;
+        std::string action;
+    };
+
+    /** All enabled transitions from @p s. */
+    std::vector<Successor> successors(const State &s) const;
+
+    /** Check all safety invariants; returns a description on violation. */
+    std::optional<std::string> checkInvariants(const State &s) const;
+
+    /** True when nothing is in flight and no cache is transient. */
+    bool quiescent(const State &s) const;
+
+    /** True when @p cache routes its requests to the replica dir. */
+    bool
+    isReplicaSide(unsigned cache) const
+    {
+        return cfg_.protocol != CheckProtocol::BaselineMsi
+               && cache >= cfg_.homeCaches;
+    }
+
+  private:
+    // Message delivery handlers; return false when the head must stall.
+    bool deliverToCache(State &s, unsigned c, const Message &m) const;
+    bool deliverToHd(State &s, const Message &m) const;
+    bool deliverToRd(State &s, const Message &m) const;
+
+    void send(State &s, Agent src, Agent dst, Message m) const;
+
+    void cacheWriteCompletes(State &s, unsigned c) const;
+    void maybeFinishGetM(State &s, unsigned c) const;
+
+    /** Directory-side processing of a (possibly forwarded) GetS/GetM. */
+    bool hdGets(State &s, Agent requester) const;
+    bool hdGetm(State &s, Agent requester) const;
+    void hdGrantM(State &s, Agent requester) const;
+
+    ModelConfig cfg_;
+    unsigned nAgents_;
+};
+
+} // namespace pcheck
+} // namespace dve
+
+#endif // DVE_PROTOCOL_CHECK_MODEL_HH

@@ -1,0 +1,239 @@
+#include "reliability/rates.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+namespace reliability
+{
+
+namespace
+{
+
+/** Sum over ordered pairs (i, j != i) of f_i * f_j. */
+double
+pairSum(const std::vector<double> &f)
+{
+    double total = 0, sq = 0;
+    for (double v : f) {
+        total += v;
+        sq += v * v;
+    }
+    return total * total - sq;
+}
+
+/** Sum over ordered triples of distinct indices of f_i f_j f_k. */
+double
+tripleSum(const std::vector<double> &f)
+{
+    double s = 0;
+    const std::size_t n = f.size();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t k = 0; k < n; ++k)
+                if (i != j && j != k && i != k)
+                    s += f[i] * f[j] * f[k];
+    return s;
+}
+
+/** Sum over ordered 4-tuples of distinct indices. */
+double
+quadSum(const std::vector<double> &f)
+{
+    double s = 0;
+    const std::size_t n = f.size();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t k = 0; k < n; ++k)
+                for (std::size_t l = 0; l < n; ++l)
+                    if (i != j && i != k && i != l && j != k && j != l
+                        && k != l)
+                        s += f[i] * f[j] * f[k] * f[l];
+    return s;
+}
+
+std::vector<double>
+uniformFits(const ModelParams &p)
+{
+    return std::vector<double>(p.chipsPerDimm, p.fitPerChip);
+}
+
+} // namespace
+
+RatePair
+chipkill(const ModelParams &p)
+{
+    return chipkillThermal(p, uniformFits(p));
+}
+
+RatePair
+chipkillThermal(const ModelParams &p, const std::vector<double> &fits)
+{
+    dve_assert(fits.size() == p.chipsPerDimm, "FIT profile size mismatch");
+    RatePair r;
+    // DUE: two chips of one DIMM fail within a scrub window.
+    r.due = pairSum(fits) * p.windowFactor * p.dimms;
+    // SDC: three or more fail AND the DSD code misses (6.9%).
+    r.sdc = tripleSum(fits) * p.windowFactor * p.windowFactor * p.dimms
+            * p.dsdMissProb;
+    return r;
+}
+
+RatePair
+dveDsd(const ModelParams &p)
+{
+    const auto fits = uniformFits(p);
+    RatePair r;
+    // DUE: the same-position chip pair on the two replica DIMMs fails
+    // together: first any of the 9 chips, then specifically its partner.
+    double pair_rate = 0;
+    for (double f : fits)
+        pair_rate += f * f;
+    r.due = pair_rate * p.windowFactor * p.dimms * 2;
+    // SDC: like Chipkill's detection envelope but on twice the DIMMs.
+    r.sdc = chipkill(p).sdc * 2;
+    return r;
+}
+
+RatePair
+dveTsd(const ModelParams &p)
+{
+    RatePair r = dveDsd(p); // DUE depends only on the replica pairing
+    // SDC: detection fails only when 4+ chips of one DIMM fail in a
+    // window, and even then only with the residual miss probability.
+    const auto fits = uniformFits(p);
+    r.sdc = quadSum(fits) * std::pow(p.windowFactor, 3) * p.dimms * 2
+            * p.tsdMissProb;
+    return r;
+}
+
+RatePair
+raim(const ModelParams &p)
+{
+    // RAID-3 across raimChannels: data is striped with a diff-MDS parity
+    // channel, tolerating one full Chipkill-DIMM (or channel) failure.
+    // DUE: a first DIMM suffers a Chipkill-uncorrectable event, and a
+    // corresponding DIMM on one of the other (channels - 1) channels
+    // does too within the window.
+    const auto fits = uniformFits(p);
+    const double dimm_due = pairSum(fits) * p.windowFactor; // per DIMM
+    RatePair r;
+    r.due = (dimm_due * p.raimDimmsPerChannel)
+            * (p.raimChannels - 1.0)
+            * (dimm_due * p.windowFactor)
+            * p.raimChannels;
+    // SDC: limited by the Chipkill DSD miss, over all RAIM DIMMs.
+    ModelParams q = p;
+    q.dimms = p.raimChannels * p.raimDimmsPerChannel;
+    r.sdc = chipkill(q).sdc;
+    return r;
+}
+
+RatePair
+dveChipkill(const ModelParams &p)
+{
+    const auto fits = uniformFits(p);
+    RatePair r;
+    // DUE: a 2-chip Chipkill-defeating failure in one DIMM, together
+    // with the same-position 2-chip failure on the replica DIMM.
+    const double f = p.fitPerChip;
+    const double w = p.windowFactor;
+    r.due = (p.chipsPerDimm * f) * ((p.chipsPerDimm - 1.0) * f * w)
+            * (1.0 * f * w) * (1.0 * f * w) * p.dimms * 2;
+    // SDC: Chipkill detection envelope over 2x the DIMMs.
+    r.sdc = chipkill(p).sdc * 2;
+    return r;
+}
+
+double
+arrheniusFactor(double delta_c, double base_c, double ea_ev)
+{
+    constexpr double boltzmann_ev = 8.617333262e-5;
+    const double t0 = base_c + 273.15;
+    const double t1 = base_c + delta_c + 273.15;
+    return std::exp((ea_ev / boltzmann_ev) * (1.0 / t0 - 1.0 / t1));
+}
+
+std::vector<double>
+thermalFitProfile(const ModelParams &p, double fit_step)
+{
+    // The paper's 10 C gradient across a DIMM produces a linear FIT
+    // ramp: [66.1, 74.3, ..., 131.7].
+    std::vector<double> fits(p.chipsPerDimm);
+    for (unsigned i = 0; i < p.chipsPerDimm; ++i)
+        fits[i] = p.fitPerChip + fit_step * i;
+    return fits;
+}
+
+RatePair
+dveTsdThermal(const ModelParams &p, const std::vector<double> &fits,
+              bool risk_inverse)
+{
+    dve_assert(fits.size() == p.chipsPerDimm, "FIT profile size mismatch");
+    RatePair r;
+    // DUE: position-paired chips fail together. Risk-inverse mapping
+    // pairs chip i with replica chip (n-1-i).
+    double pair_rate = 0;
+    const std::size_t n = fits.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double partner =
+            risk_inverse ? fits[n - 1 - i] : fits[i];
+        pair_rate += fits[i] * partner;
+    }
+    r.due = pair_rate * p.windowFactor * p.dimms * 2;
+    // SDC: 4+ chips of one DIMM fail; TSD residual miss.
+    r.sdc = quadSum(fits) * std::pow(p.windowFactor, 3) * p.dimms * 2
+            * p.tsdMissProb;
+    return r;
+}
+
+double
+effectiveCapacity(unsigned data_bytes, unsigned check_bytes,
+                  unsigned copies)
+{
+    dve_assert(copies >= 1 && data_bytes > 0, "bad capacity query");
+    return static_cast<double>(data_bytes)
+           / (static_cast<double>(data_bytes + check_bytes) * copies);
+}
+
+double
+monteCarloChipkillDue(const ModelParams &p, double p_fail,
+                      std::uint64_t trials, Rng &rng)
+{
+    std::uint64_t due = 0;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        bool any = false;
+        for (unsigned d = 0; d < p.dimms && !any; ++d) {
+            unsigned failed = 0;
+            for (unsigned c = 0; c < p.chipsPerDimm; ++c)
+                failed += rng.chance(p_fail);
+            any = failed >= 2;
+        }
+        due += any;
+    }
+    return static_cast<double>(due) / static_cast<double>(trials);
+}
+
+double
+monteCarloDveDue(const ModelParams &p, double p_fail,
+                 std::uint64_t trials, Rng &rng)
+{
+    std::uint64_t due = 0;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+        bool any = false;
+        // dimms pairs of replicated DIMMs on the two sockets.
+        for (unsigned d = 0; d < p.dimms * 2 / 2 && !any; ++d) {
+            for (unsigned c = 0; c < p.chipsPerDimm && !any; ++c) {
+                // Same-position chips on both replicas must fail.
+                any = rng.chance(p_fail) && rng.chance(p_fail);
+            }
+        }
+        due += any;
+    }
+    return static_cast<double>(due) / static_cast<double>(trials);
+}
+
+} // namespace reliability
+} // namespace dve

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Analytical DUE/SDC rate models reproducing Table I of the paper
+ * (Sec. IV), plus Arrhenius thermal FIT scaling and a Monte-Carlo
+ * cross-check of the closed forms.
+ *
+ * Modelling conventions (matching the paper's arithmetic):
+ *  - Rates are events per billion hours of operation.
+ *  - A first-component failure contributes its FIT directly; each
+ *    additional simultaneous failure contributes FIT x 1e-9 (the
+ *    probability of failing within the scrub window).
+ *  - Chipkill (SSC-DSD) corrects one failed chip per rank and loses data
+ *    when a second chip in the same DIMM fails within the window; it can
+ *    miss detection (SDC) when three or more fail, with probability
+ *    dsdMissProb (6.9%, from Yeleswarapu & Somani [77]).
+ *  - Dvé loses data only when the *same-position* chip pair on the two
+ *    replica DIMMs fails together; stronger detection (TSD) pushes SDC
+ *    to four-or-more simultaneous chip failures.
+ */
+
+#ifndef DVE_RELIABILITY_RATES_HH
+#define DVE_RELIABILITY_RATES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace dve
+{
+namespace reliability
+{
+
+/** A DUE/SDC rate pair, events per 10^9 hours. */
+struct RatePair
+{
+    double due = 0.0;
+    double sdc = 0.0;
+};
+
+/** Model parameters (defaults are the paper's). */
+struct ModelParams
+{
+    double fitPerChip = 66.1;   ///< DRAM device FIT [67]
+    unsigned chipsPerDimm = 9;  ///< x8 ECC DIMM
+    unsigned dimms = 32;        ///< single-rank ECC DIMMs in the system
+    double windowFactor = 1e-9; ///< scrub-window probability conversion
+    double dsdMissProb = 0.069; ///< P(DSD misses a 3-chip failure) [77]
+    double tsdMissProb = 0.069; ///< P(TSD misses a 4-chip failure)
+    unsigned raimChannels = 5;  ///< RAID-3 "ganged" channels
+    unsigned raimDimmsPerChannel = 8;
+};
+
+/** Baseline Chipkill SSC-DSD (32 DIMMs). */
+RatePair chipkill(const ModelParams &p = {});
+
+/** Dvé with detection equal to the baseline (DSD). */
+RatePair dveDsd(const ModelParams &p = {});
+
+/** Dvé with triple-symbol detection (TSD). */
+RatePair dveTsd(const ModelParams &p = {});
+
+/** IBM RAIM: RAID-3 across 5 channels of Chipkill DIMMs. */
+RatePair raim(const ModelParams &p = {});
+
+/** Dvé stacked on Chipkill ECC DIMMs. */
+RatePair dveChipkill(const ModelParams &p = {});
+
+/**
+ * Arrhenius acceleration factor for a temperature increase of
+ * @p delta_c degrees C above @p base_c, with activation energy
+ * @p ea_ev (typical DRAM retention Ea ~ 0.5-0.6 eV).
+ */
+double arrheniusFactor(double delta_c, double base_c = 55.0,
+                       double ea_ev = 0.6);
+
+/**
+ * The paper's per-chip thermal FIT profile: a 10 C gradient across the
+ * 9 chips of a DIMM yields FITs [66.1, 74.3, ..., 131.7].
+ */
+std::vector<double> thermalFitProfile(const ModelParams &p = {},
+                                      double fit_step = 8.2);
+
+/** Chipkill under a per-chip FIT profile. */
+RatePair chipkillThermal(const ModelParams &p,
+                         const std::vector<double> &fits);
+
+/**
+ * Dvé+TSD under a thermal profile. @p risk_inverse pairs the hottest
+ * chip with the coolest replica chip (Dvé's thermal-aware mapping);
+ * without it, chips pair by identical position (Intel-mirroring-like).
+ */
+RatePair dveTsdThermal(const ModelParams &p,
+                       const std::vector<double> &fits,
+                       bool risk_inverse);
+
+/**
+ * Effective capacity (fraction of raw DRAM usable as data) for the
+ * Fig 1 comparison: data bytes / (data + check [+ replica]) bytes.
+ */
+double effectiveCapacity(unsigned data_bytes, unsigned check_bytes,
+                         unsigned copies);
+
+/**
+ * Monte-Carlo cross-check of the pairwise failure model: simulate
+ * @p trials scrub windows with per-window chip failure probability
+ * @p p_fail and count DUE events per scheme.
+ * @return estimated DUE probability per window.
+ */
+double monteCarloChipkillDue(const ModelParams &p, double p_fail,
+                             std::uint64_t trials, Rng &rng);
+
+/** Same for Dvé's same-position pair rule (2x DIMMs). */
+double monteCarloDveDue(const ModelParams &p, double p_fail,
+                        std::uint64_t trials, Rng &rng);
+
+} // namespace reliability
+} // namespace dve
+
+#endif // DVE_RELIABILITY_RATES_HH

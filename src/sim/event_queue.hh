@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue orders callbacks by (tick, insertion sequence) so
+ * same-tick events execute in deterministic FIFO order. All simulator
+ * components schedule through the queue; nothing observes wall-clock time.
+ */
+
+#ifndef DVE_SIM_EVENT_QUEUE_HH
+#define DVE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dve
+{
+
+/**
+ * The global event queue and simulated clock.
+ *
+ * Usage: schedule(when, fn) then run() / runUntil(t). Events scheduled in
+ * the past panic; events scheduled at now() run within the current
+ * processing step (after already-pending same-tick events).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute tick @p when (>= now). */
+    void
+    schedule(Tick when, Callback fn)
+    {
+        dve_assert(when >= now_, "scheduling into the past: ", when,
+                   " < ", now_);
+        heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Tick of the next event; maxTick if none. */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? maxTick : heap_.top().when;
+    }
+
+    /**
+     * Run events until the queue drains or @p limit events executed.
+     * @return number of events executed.
+     */
+    std::uint64_t
+    run(std::uint64_t limit = ~std::uint64_t(0))
+    {
+        std::uint64_t executed = 0;
+        while (!heap_.empty() && executed < limit) {
+            step();
+            ++executed;
+        }
+        return executed;
+    }
+
+    /**
+     * Run events with tick <= @p until; afterwards now() == max(until, now).
+     * @return number of events executed.
+     */
+    std::uint64_t
+    runUntil(Tick until)
+    {
+        std::uint64_t executed = 0;
+        while (!heap_.empty() && heap_.top().when <= until) {
+            step();
+            ++executed;
+        }
+        if (now_ < until)
+            now_ = until;
+        return executed;
+    }
+
+    /** Total events executed since construction. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    void
+    step()
+    {
+        // Move the entry out before invoking: the callback may schedule.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.fn();
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace dve
+
+#endif // DVE_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,192 @@
+#include "sys/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+const char *
+schemeKindName(SchemeKind k)
+{
+    switch (k) {
+      case SchemeKind::BaselineNuma: return "numa";
+      case SchemeKind::IntelMirror: return "intel-mirror";
+      case SchemeKind::IntelMirrorPlus: return "intel-mirror++";
+      case SchemeKind::DveAllow: return "dve-allow";
+      case SchemeKind::DveDeny: return "dve-deny";
+      case SchemeKind::DveDynamic: return "dve-dynamic";
+    }
+    return "?";
+}
+
+EngineConfig
+System::engineConfigFor(const SystemConfig &cfg)
+{
+    EngineConfig e = cfg.engine;
+    switch (cfg.scheme) {
+      case SchemeKind::BaselineNuma:
+        e.dram.channels = 1;
+        e.mirror = MirrorMode::None;
+        break;
+      case SchemeKind::IntelMirror:
+        // Two mirrored single-channel copies inside each controller.
+        e.dram.channels = 1;
+        e.mirror = MirrorMode::Primary;
+        break;
+      case SchemeKind::IntelMirrorPlus:
+        e.dram.channels = 1;
+        e.mirror = MirrorMode::LoadBalance;
+        break;
+      case SchemeKind::DveAllow:
+      case SchemeKind::DveDeny:
+      case SchemeKind::DveDynamic:
+        // Table II "replicated memory": a second channel per socket
+        // houses the replica capacity.
+        e.dram.channels = 2;
+        e.mirror = MirrorMode::None;
+        break;
+    }
+    return e;
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), energyModel_(cfg.energy)
+{
+    const EngineConfig ecfg = engineConfigFor(cfg_);
+    switch (cfg_.scheme) {
+      case SchemeKind::DveAllow:
+      case SchemeKind::DveDeny:
+      case SchemeKind::DveDynamic: {
+        DveConfig d = cfg_.dve;
+        d.protocol = cfg_.scheme == SchemeKind::DveAllow
+                         ? DveProtocol::Allow
+                     : cfg_.scheme == SchemeKind::DveDeny
+                         ? DveProtocol::Deny
+                         : DveProtocol::Dynamic;
+        auto eng = std::make_unique<DveEngine>(ecfg, d);
+        dveEngine_ = eng.get();
+        engine_ = std::move(eng);
+        break;
+      }
+      default:
+        engine_ = std::make_unique<CoherenceEngine>(ecfg);
+        break;
+    }
+}
+
+RunResult
+System::run(const WorkloadProfile &profile, double scale)
+{
+    const auto traces =
+        generateTraces(profile, cfg_.threads, scale);
+
+    ReplayEngine replay(*engine_, cfg_.warmupFraction);
+
+    // ROI snapshots (taken when warmup completes).
+    std::map<std::string, double> engine_snap;
+    std::map<std::string, double> dve_snap;
+    std::uint64_t bytes_snap = 0;
+    std::vector<DramSnapshot> dram_snap;
+
+    auto snapshotDram = [&] {
+        std::vector<DramSnapshot> out;
+        for (unsigned s = 0; s < engine_->config().sockets; ++s) {
+            auto &mc = engine_->memory(s);
+            for (unsigned c = 0; c < mc.copies(); ++c) {
+                const auto &m = mc.dram(c);
+                out.push_back({m.activates(), m.reads(), m.writes()});
+            }
+        }
+        return out;
+    };
+
+    replay.setRoiCallback([&](Tick) {
+        engine_snap = engine_->stats().snapshot();
+        if (dveEngine_)
+            dve_snap = dveEngine_->dveStats().snapshot();
+        bytes_snap = engine_->interconnect().interSocketBytes();
+        dram_snap = snapshotDram();
+    });
+
+    const ReplayResult rr = replay.run(traces);
+
+    RunResult res;
+    res.workload = profile.name;
+    res.scheme = schemeKindName(cfg_.scheme);
+    res.roiTime = rr.roiTime();
+    res.memOps = rr.memOps;
+    res.instructions = rr.instructionsApprox;
+
+    const auto final_stats = engine_->stats().snapshot();
+    auto delta = [&](const char *key) {
+        const auto it = engine_snap.find(key);
+        const double before = it == engine_snap.end() ? 0.0 : it->second;
+        return final_stats.at(key) - before;
+    };
+
+    res.llcMisses = static_cast<std::uint64_t>(delta("llc_misses"));
+    res.interSocketBytes =
+        engine_->interconnect().interSocketBytes() - bytes_snap;
+    res.mpki = res.instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(res.llcMisses)
+                         / static_cast<double>(res.instructions);
+
+    const double class_total = delta("class_private_read")
+                               + delta("class_read_only")
+                               + delta("class_read_write")
+                               + delta("class_private_read_write");
+    if (class_total > 0) {
+        res.classMix[0] = delta("class_private_read") / class_total;
+        res.classMix[1] = delta("class_read_only") / class_total;
+        res.classMix[2] = delta("class_read_write") / class_total;
+        res.classMix[3] =
+            delta("class_private_read_write") / class_total;
+    }
+
+    // Energy over the ROI: per-module dynamic deltas + background.
+    const auto dram_final = snapshotDram();
+    double energy_nj = 0.0;
+    std::size_t idx = 0;
+    for (unsigned s = 0; s < engine_->config().sockets; ++s) {
+        auto &mc = engine_->memory(s);
+        for (unsigned c = 0; c < mc.copies(); ++c, ++idx) {
+            const DramSnapshot before =
+                idx < dram_snap.size() ? dram_snap[idx] : DramSnapshot{};
+            const DramSnapshot after = dram_final[idx];
+            const auto &p = energyModel_.params();
+            energy_nj +=
+                p.actPrechargeNj
+                    * static_cast<double>(after.activates
+                                          - before.activates)
+                + p.readBurstNj
+                      * static_cast<double>(after.reads - before.reads)
+                + p.writeBurstNj
+                      * static_cast<double>(after.writes - before.writes);
+            const unsigned ranks = mc.dram(c).config().channels
+                                   * mc.dram(c).config().ranksPerChannel;
+            energy_nj += (p.backgroundMwPerRank + p.refreshMwPerRank)
+                         * ranks
+                         * DramEnergyModel::ticksToSeconds(res.roiTime)
+                         * 1e6;
+        }
+    }
+    res.memoryEnergyNj = energy_nj;
+
+    if (dveEngine_) {
+        const auto dve_final = dveEngine_->dveStats().snapshot();
+        for (const auto &[k, v] : dve_final) {
+            const auto it = dve_snap.find(k);
+            res.extra[k] = v - (it == dve_snap.end() ? 0.0 : it->second);
+        }
+    }
+    res.extra["machine_checks"] = delta("machine_checks");
+    res.extra["system_corrected_errors"] =
+        delta("system_corrected_errors");
+
+    return res;
+}
+
+} // namespace dve

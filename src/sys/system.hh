@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Top-level system builder and experiment runner.
+ *
+ * A System wires the Table II machine for one protection/replication
+ * scheme and runs workloads against it, reporting the ROI metrics the
+ * paper's figures are built from: runtime, inter-socket traffic, request
+ * classification, LLC MPKI and DRAM energy.
+ */
+
+#ifndef DVE_SYS_SYSTEM_HH
+#define DVE_SYS_SYSTEM_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "coherence/engine.hh"
+#include "core/dve_engine.hh"
+#include "cpu/replay.hh"
+#include "energy/dram_energy.hh"
+#include "trace/workloads.hh"
+
+namespace dve
+{
+
+/** The schemes the paper evaluates against each other. */
+enum class SchemeKind : std::uint8_t
+{
+    BaselineNuma,    ///< no replication (Fig 6 baseline)
+    IntelMirror,     ///< intra-socket mirroring, primary-read only
+    IntelMirrorPlus, ///< the paper's improved Intel-mirroring++ strawman
+    DveAllow,
+    DveDeny,
+    DveDynamic,
+};
+
+const char *schemeKindName(SchemeKind k);
+
+/** Configuration of one simulated system. */
+struct SystemConfig
+{
+    SchemeKind scheme = SchemeKind::BaselineNuma;
+    EngineConfig engine;  ///< Table II defaults
+    DveConfig dve;        ///< used by the Dvé schemes
+    DramEnergyParams energy;
+    double warmupFraction = 0.05;
+    unsigned threads = 16;
+};
+
+/** ROI metrics of one workload run. */
+struct RunResult
+{
+    std::string workload;
+    std::string scheme;
+
+    Tick roiTime = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t interSocketBytes = 0;
+    double mpki = 0.0; ///< LLC misses per kilo-instruction
+    /** Fig 7 request-class mix at the home directories (fractions). */
+    std::array<double, numReqClasses> classMix{};
+    double memoryEnergyNj = 0.0;
+
+    /** Extra scheme-specific counters (replica reads, RM pushes, ...). */
+    std::map<std::string, double> extra;
+};
+
+/** One simulated machine, reusable across workloads. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /** Run a workload; @p scale shrinks/grows its trace length. */
+    RunResult run(const WorkloadProfile &profile, double scale = 1.0);
+
+    CoherenceEngine &engine() { return *engine_; }
+
+    /** Non-null for the Dvé schemes. */
+    DveEngine *dveEngine() { return dveEngine_; }
+
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Build the EngineConfig a scheme implies (exposed for tests). */
+    static EngineConfig engineConfigFor(const SystemConfig &cfg);
+
+  private:
+    struct DramSnapshot
+    {
+        std::uint64_t activates = 0;
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+    };
+
+    SystemConfig cfg_;
+    std::unique_ptr<CoherenceEngine> engine_;
+    DveEngine *dveEngine_ = nullptr;
+    DramEnergyModel energyModel_;
+};
+
+} // namespace dve
+
+#endif // DVE_SYS_SYSTEM_HH

@@ -1,0 +1,112 @@
+#include "trace/trace.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::Read: return "read";
+      case OpType::Write: return "write";
+      case OpType::Compute: return "compute";
+      case OpType::Barrier: return "barrier";
+      case OpType::Lock: return "lock";
+      case OpType::Unlock: return "unlock";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr std::uint32_t traceMagic = 0x44564554; // "DVET"
+
+template <typename T>
+void
+writeRaw(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readRaw(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        dve_fatal("truncated trace stream");
+    return v;
+}
+
+} // namespace
+
+void
+writeTraces(std::ostream &os, const ThreadTraces &traces)
+{
+    writeRaw(os, traceMagic);
+    writeRaw(os, static_cast<std::uint32_t>(traces.size()));
+    for (const auto &thread : traces) {
+        writeRaw(os, static_cast<std::uint64_t>(thread.size()));
+        for (const auto &op : thread) {
+            writeRaw(os, static_cast<std::uint8_t>(op.type));
+            writeRaw(os, op.arg);
+            if (op.type == OpType::Read || op.type == OpType::Write)
+                writeRaw(os, op.addr);
+        }
+    }
+}
+
+ThreadTraces
+readTraces(std::istream &is)
+{
+    if (readRaw<std::uint32_t>(is) != traceMagic)
+        dve_fatal("bad trace magic");
+    const auto nthreads = readRaw<std::uint32_t>(is);
+    ThreadTraces traces(nthreads);
+    for (auto &thread : traces) {
+        const auto nops = readRaw<std::uint64_t>(is);
+        thread.reserve(nops);
+        for (std::uint64_t i = 0; i < nops; ++i) {
+            TraceOp op;
+            const auto t = readRaw<std::uint8_t>(is);
+            if (t > static_cast<std::uint8_t>(OpType::Unlock))
+                dve_fatal("bad op type in trace");
+            op.type = static_cast<OpType>(t);
+            op.arg = readRaw<std::uint32_t>(is);
+            if (op.type == OpType::Read || op.type == OpType::Write)
+                op.addr = readRaw<Addr>(is);
+            thread.push_back(op);
+        }
+    }
+    return traces;
+}
+
+std::uint64_t
+totalOps(const ThreadTraces &traces)
+{
+    std::uint64_t n = 0;
+    for (const auto &t : traces)
+        n += t.size();
+    return n;
+}
+
+std::uint64_t
+totalMemOps(const ThreadTraces &traces)
+{
+    std::uint64_t n = 0;
+    for (const auto &t : traces) {
+        for (const auto &op : t) {
+            n += op.type == OpType::Read || op.type == OpType::Write;
+        }
+    }
+    return n;
+}
+
+} // namespace dve

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Architecture-agnostic multithreaded trace format.
+ *
+ * The paper drives gem5 with Prism/SynchroTrace traces of 20 real
+ * benchmarks -- synchronization-aware streams of compute, memory, and
+ * thread-API events. This module defines the equivalent in-memory (and
+ * binary on-disk) representation; the generator in workloads.hh produces
+ * synthetic traces with per-benchmark calibrated statistics.
+ */
+
+#ifndef DVE_TRACE_TRACE_HH
+#define DVE_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dve
+{
+
+/** Trace event kinds (the Prism event classes the paper lists). */
+enum class OpType : std::uint8_t
+{
+    Read,    ///< 64 B line read at addr
+    Write,   ///< 64 B line write at addr
+    Compute, ///< arg back-to-back 1-cycle integer/FP ops
+    Barrier, ///< synchronization barrier, id = arg (100-cycle API cost)
+    Lock,    ///< mutex acquire, id = arg (100-cycle API cost)
+    Unlock,  ///< mutex release, id = arg (100-cycle API cost)
+};
+
+const char *opTypeName(OpType t);
+
+/** One trace event. */
+struct TraceOp
+{
+    OpType type = OpType::Compute;
+    std::uint32_t arg = 1; ///< compute count / barrier id / lock id
+    Addr addr = 0;         ///< memory ops only
+
+    bool operator==(const TraceOp &) const = default;
+};
+
+/** Per-thread event streams for one workload. */
+using ThreadTraces = std::vector<std::vector<TraceOp>>;
+
+/** Serialize traces to a compact binary stream. */
+void writeTraces(std::ostream &os, const ThreadTraces &traces);
+
+/** Deserialize traces written by writeTraces. Throws on bad input. */
+ThreadTraces readTraces(std::istream &is);
+
+/** Total events across all threads. */
+std::uint64_t totalOps(const ThreadTraces &traces);
+
+/** Total memory events across all threads. */
+std::uint64_t totalMemOps(const ThreadTraces &traces);
+
+} // namespace dve
+
+#endif // DVE_TRACE_TRACE_HH

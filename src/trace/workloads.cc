@@ -1,0 +1,193 @@
+#include "trace/workloads.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace dve
+{
+
+namespace
+{
+
+constexpr Addr sharedBase = 0x1000'0000;  // 256 MB
+constexpr Addr privateBase = 0x8000'0000; // 2 GB
+constexpr Addr privateStride = 0x0400'0000; // 64 MB per thread
+
+/**
+ * Profile table. Parameters are chosen so that:
+ *  - the list is ordered by descending L2 MPKI (shared region size and
+ *    run length dominate);
+ *  - the first ten are shared-read dominated (deny-protocol friendly,
+ *    like the paper's backprop...streamcluster group);
+ *  - the last ten carry > 46% private read/write traffic at the
+ *    directory (allow-protocol friendly, per Fig 7's analysis).
+ */
+std::vector<WorkloadProfile>
+buildTable()
+{
+    std::vector<WorkloadProfile> t;
+    auto add = [&](const char *name, const char *suite,
+                   std::uint64_t shared_mb, std::uint64_t priv_mb,
+                   double shared_frac, double priv_wr, double shared_wr,
+                   double run_len, double compute_per_mem,
+                   std::uint64_t barrier_iv, std::uint64_t lock_iv) {
+        WorkloadProfile p;
+        p.name = name;
+        p.suite = suite;
+        p.sharedBytes = shared_mb << 20;
+        p.privateBytes = priv_mb << 20;
+        p.sharedFraction = shared_frac;
+        p.privateWriteFraction = priv_wr;
+        p.sharedWriteFraction = shared_wr;
+        p.meanRunLength = run_len;
+        p.computePerMem = compute_per_mem;
+        p.barrierInterval = barrier_iv;
+        p.lockInterval = lock_iv;
+        p.seed = 1000 + t.size();
+        t.push_back(p);
+    };
+
+    // --- Top-10: high MPKI, shared-read dominated --------------------
+    //   name          suite      shMB pvMB shFr  pvWr  shWr  run  cpm  bar   lock
+    add("backprop",    "rodinia",  64,  1,  0.92, 0.20, 0.02, 6.0, 1.5, 4000, 0);
+    add("graph500",    "hpc",      96,  1,  0.95, 0.10, 0.03, 1.5, 2.0, 0,    0);
+    add("fft",         "splash2x", 48,  2,  0.85, 0.30, 0.15, 8.0, 2.0, 2500, 0);
+    add("stencil",     "parboil",  48,  2,  0.80, 0.50, 0.10, 12.0, 2.5, 2000, 0);
+    add("xsbench",     "hpc",      64,  1,  0.90, 0.15, 0.01, 1.2, 3.0, 0,    0);
+    add("ocean_cp",    "splash2x", 40,  2,  0.80, 0.40, 0.18, 8.0, 3.0, 1500, 0);
+    add("nw",          "rodinia",  32,  2,  0.82, 0.35, 0.15, 6.0, 3.5, 1000, 0);
+    add("rsbench",     "hpc",      40,  1,  0.88, 0.15, 0.01, 1.2, 5.0, 0,    0);
+    add("bfs",         "rodinia",  32,  1,  0.85, 0.25, 0.08, 1.5, 4.0, 1200, 0);
+    add("streamcluster","parsec",  24,  2,  0.78, 0.30, 0.06, 4.0, 5.0, 800,  4000);
+    // --- Bottom-10: lower MPKI, private read/write heavy -------------
+    // Shared regions are small (largely LLC-resident), so directory
+    // traffic is dominated by private read/write misses from the large
+    // write-heavy private regions -- the > 46% private-rw mix Fig 7
+    // reports for this group, which is what makes allow win there.
+    add("comd",        "hpc",       4,  6,  0.30, 0.60, 0.10, 5.0, 6.0, 1500, 0);
+    add("canneal",     "parsec",    6,  6,  0.35, 0.60, 0.12, 1.5, 6.0, 0,    2500);
+    add("freqmine",    "parsec",    3,  6,  0.25, 0.68, 0.08, 3.0, 7.0, 0,    0);
+    add("barnes",      "splash2x",  4,  5,  0.35, 0.62, 0.15, 2.0, 8.0, 1000, 1500);
+    add("mg",          "nas",       4,  6,  0.30, 0.65, 0.10, 10.0, 8.0, 1200, 0);
+    add("bt",          "nas",       3,  6,  0.25, 0.68, 0.10, 10.0, 10.0, 1000, 0);
+    add("sp",          "nas",       3,  6,  0.25, 0.70, 0.12, 8.0, 11.0, 900,  0);
+    add("lu",          "nas",       3,  5,  0.27, 0.68, 0.12, 8.0, 12.0, 800,  0);
+    add("histo",       "parboil",   2,  5,  0.25, 0.72, 0.20, 2.0, 12.0, 600, 1000);
+    add("lbm",         "spec2017",  4,  8,  0.20, 0.70, 0.05, 16.0, 14.0, 0,   0);
+    return t;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+table3Workloads()
+{
+    static const std::vector<WorkloadProfile> table = buildTable();
+    return table;
+}
+
+const WorkloadProfile &
+workloadByName(const std::string &name)
+{
+    for (const auto &p : table3Workloads()) {
+        if (p.name == name)
+            return p;
+    }
+    dve_fatal("unknown workload '", name, "'");
+}
+
+ThreadTraces
+generateTraces(const WorkloadProfile &p, unsigned threads, double scale)
+{
+    dve_assert(threads >= 1, "need at least one thread");
+    dve_assert(scale > 0.0, "scale must be positive");
+
+    const std::uint64_t mem_ops = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(p.memOpsPerThread) * scale));
+    const Addr shared_lines = std::max<Addr>(1, p.sharedBytes / lineBytes);
+    const Addr private_lines =
+        std::max<Addr>(1, p.privateBytes / lineBytes);
+
+    ThreadTraces traces(threads);
+    Rng master(p.seed);
+
+    std::uint32_t barrier_id = 0; // same sequence for every thread
+
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        Rng rng = master.fork(tid);
+        auto &ops = traces[tid];
+        ops.reserve(mem_ops * 2 + 16);
+
+        const Addr priv_base = privateBase + Addr(tid) * privateStride;
+        Addr shared_cursor = rng.next(shared_lines);
+        Addr priv_cursor = rng.next(private_lines);
+        std::uint64_t run_left = 0;
+        bool run_shared = false;
+
+        auto emitCompute = [&] {
+            const auto batch = static_cast<std::uint32_t>(
+                rng.runLength(std::max(1.0, p.computePerMem)));
+            ops.push_back({OpType::Compute, batch, 0});
+        };
+
+        for (std::uint64_t i = 0; i < mem_ops; ++i) {
+            // Synchronization structure.
+            if (p.barrierInterval && i > 0 && i % p.barrierInterval == 0) {
+                ops.push_back(
+                    {OpType::Barrier,
+                     static_cast<std::uint32_t>(i / p.barrierInterval),
+                     0});
+            }
+            if (p.lockInterval && i > 0 && i % p.lockInterval == 0) {
+                // Migratory critical section: lock, 2 shared RMWs,
+                // unlock. Lock choice is hashed so threads contend.
+                const std::uint32_t lock =
+                    static_cast<std::uint32_t>(rng.next(p.numLocks));
+                const Addr prot =
+                    sharedBase
+                    + (Addr(lock) % shared_lines) * lineBytes;
+                ops.push_back({OpType::Lock, lock, 0});
+                ops.push_back({OpType::Read, 1, prot});
+                ops.push_back({OpType::Write, 1, prot});
+                ops.push_back({OpType::Unlock, lock, 0});
+            }
+
+            emitCompute();
+
+            // Pick region, maintaining sequential runs.
+            if (run_left == 0) {
+                run_shared = rng.chance(p.sharedFraction);
+                run_left = rng.runLength(p.meanRunLength);
+                if (run_shared)
+                    shared_cursor = rng.next(shared_lines);
+                else
+                    priv_cursor = rng.next(private_lines);
+            }
+            --run_left;
+
+            Addr addr;
+            bool is_write;
+            if (run_shared) {
+                shared_cursor = (shared_cursor + 1) % shared_lines;
+                addr = sharedBase + shared_cursor * lineBytes;
+                is_write = rng.chance(p.sharedWriteFraction);
+            } else {
+                priv_cursor = (priv_cursor + 1) % private_lines;
+                addr = priv_base + priv_cursor * lineBytes;
+                is_write = rng.chance(p.privateWriteFraction);
+            }
+            ops.push_back({is_write ? OpType::Write : OpType::Read, 1,
+                           addr});
+        }
+
+        // Final barrier so all threads end together (join semantics).
+        ops.push_back({OpType::Barrier, 0xFFFFFFFF, 0});
+    }
+    (void)barrier_id;
+    return traces;
+}
+
+} // namespace dve

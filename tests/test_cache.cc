@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the set-associative cache array and the fully associative LRU
+ * structure backing the on-chip replica directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/assoc_lru.hh"
+#include "cache/sa_cache.hh"
+
+namespace dve
+{
+namespace
+{
+
+struct Meta
+{
+    int v = 0;
+};
+
+TEST(SaCache, FromCapacityGeometry)
+{
+    auto c = SetAssocCache<Meta>::fromCapacity(64 * 1024, 8);
+    EXPECT_EQ(c.sets(), 128u);
+    EXPECT_EQ(c.ways(), 8u);
+    EXPECT_EQ(c.capacityLines(), 1024u);
+}
+
+TEST(SaCache, InsertFindErase)
+{
+    SetAssocCache<Meta> c(4, 2);
+    EXPECT_EQ(c.find(10), nullptr);
+    c.insert(10, Meta{7});
+    ASSERT_NE(c.find(10), nullptr);
+    EXPECT_EQ(c.find(10)->v, 7);
+    EXPECT_TRUE(c.erase(10));
+    EXPECT_FALSE(c.erase(10));
+    EXPECT_EQ(c.find(10), nullptr);
+}
+
+TEST(SaCache, LruEvictionWithinSet)
+{
+    SetAssocCache<Meta> c(4, 2);
+    // Lines 0, 4, 8 all map to set 0.
+    c.insert(0, Meta{0});
+    c.insert(4, Meta{4});
+    c.find(0); // make 4 the LRU
+    const auto ev = c.insert(8, Meta{8});
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->lineNum, 4u);
+    EXPECT_NE(c.find(0), nullptr);
+    EXPECT_NE(c.find(8), nullptr);
+}
+
+TEST(SaCache, NoEvictionAcrossSets)
+{
+    SetAssocCache<Meta> c(4, 1);
+    EXPECT_FALSE(c.insert(0, Meta{}).has_value());
+    EXPECT_FALSE(c.insert(1, Meta{}).has_value());
+    EXPECT_FALSE(c.insert(2, Meta{}).has_value());
+    EXPECT_FALSE(c.insert(3, Meta{}).has_value());
+    EXPECT_EQ(c.residentLines(), 4u);
+}
+
+TEST(SaCache, DoubleInsertPanics)
+{
+    SetAssocCache<Meta> c(4, 2);
+    c.insert(5, Meta{});
+    EXPECT_THROW(c.insert(5, Meta{}), std::logic_error);
+}
+
+TEST(SaCache, PeekDoesNotDisturbLru)
+{
+    SetAssocCache<Meta> c(1, 2);
+    c.insert(0, Meta{0});
+    c.insert(1, Meta{1});
+    c.peek(0); // 0 stays LRU
+    const auto ev = c.insert(2, Meta{2});
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->lineNum, 0u);
+}
+
+TEST(SaCache, ForEachVisitsResidents)
+{
+    SetAssocCache<Meta> c(8, 2);
+    for (Addr l = 0; l < 10; ++l)
+        c.insert(l, Meta{static_cast<int>(l)});
+    int sum = 0;
+    c.forEach([&](Addr, Meta &m) { sum += m.v; });
+    EXPECT_EQ(sum, 45);
+}
+
+TEST(AssocLru, InsertFindErase)
+{
+    AssocLru<Addr, int> lru(4);
+    EXPECT_EQ(lru.find(1), nullptr);
+    lru.insert(1, 11);
+    ASSERT_NE(lru.find(1), nullptr);
+    EXPECT_EQ(*lru.find(1), 11);
+    EXPECT_TRUE(lru.erase(1));
+    EXPECT_FALSE(lru.erase(1));
+}
+
+TEST(AssocLru, EvictsLeastRecent)
+{
+    AssocLru<Addr, int> lru(3);
+    lru.insert(1, 1);
+    lru.insert(2, 2);
+    lru.insert(3, 3);
+    lru.find(1); // 2 is now LRU
+    const auto ev = lru.insert(4, 4);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->first, 2u);
+    EXPECT_EQ(lru.size(), 3u);
+}
+
+TEST(AssocLru, OverwriteRefreshesRecency)
+{
+    AssocLru<Addr, int> lru(2);
+    lru.insert(1, 1);
+    lru.insert(2, 2);
+    EXPECT_FALSE(lru.insert(1, 10).has_value()); // overwrite, no evict
+    EXPECT_EQ(*lru.find(1), 10);
+    const auto ev = lru.insert(3, 3);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->first, 2u); // 1 was refreshed, 2 evicts
+}
+
+TEST(AssocLru, PeekDoesNotRefresh)
+{
+    AssocLru<Addr, int> lru(2);
+    lru.insert(1, 1);
+    lru.insert(2, 2);
+    lru.peek(1);
+    const auto ev = lru.insert(3, 3);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->first, 1u);
+}
+
+TEST(AssocLru, ClearEmpties)
+{
+    AssocLru<Addr, int> lru(8);
+    for (Addr k = 0; k < 5; ++k)
+        lru.insert(k, 0);
+    lru.clear();
+    EXPECT_EQ(lru.size(), 0u);
+    EXPECT_EQ(lru.find(0), nullptr);
+}
+
+TEST(AssocLru, CapacityOneChurn)
+{
+    AssocLru<Addr, int> lru(1);
+    for (Addr k = 0; k < 100; ++k) {
+        const auto ev = lru.insert(k, static_cast<int>(k));
+        if (k > 0) {
+            ASSERT_TRUE(ev.has_value());
+            EXPECT_EQ(ev->first, k - 1);
+        }
+    }
+    EXPECT_EQ(lru.size(), 1u);
+}
+
+} // namespace
+} // namespace dve

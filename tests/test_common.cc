@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the common substrate: types, logging, rng, stats, table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace dve
+{
+namespace
+{
+
+TEST(Types, TickUnits)
+{
+    EXPECT_EQ(ticksPerNs, 1000u);
+    EXPECT_EQ(nsToTicks(50.0), 50000u);
+    EXPECT_EQ(nsToTicks(14.16), 14160u);
+    EXPECT_DOUBLE_EQ(ticksToNs(32000), 32.0);
+}
+
+TEST(Types, ClockDomainPeriods)
+{
+    const ClockDomain core(3000); // 3 GHz
+    EXPECT_EQ(core.period(), 333u);
+    EXPECT_EQ(core.cyclesToTicks(20), 20u * 333u);
+
+    const ClockDomain mhz1000(1000);
+    EXPECT_EQ(mhz1000.period(), 1000u);
+}
+
+TEST(Types, ClockDomainEdgeAlignment)
+{
+    const ClockDomain c(1000); // 1000 ps period
+    EXPECT_EQ(c.nextEdgeAfter(0, 1), 1000u);
+    EXPECT_EQ(c.nextEdgeAfter(1, 1), 2000u);    // align up to 1000 first
+    EXPECT_EQ(c.nextEdgeAfter(1000, 1), 2000u); // already on edge
+    EXPECT_EQ(c.nextEdgeAfter(999, 0), 1000u);
+}
+
+TEST(Types, LineAndPageHelpers)
+{
+    EXPECT_EQ(lineAlign(0x12345), 0x12340u);
+    EXPECT_EQ(lineNum(0x1000), 0x40u);
+    EXPECT_EQ(pageAlign(0x12345), 0x12000u);
+    EXPECT_EQ(pageNum(0x12345), 0x12u);
+    EXPECT_EQ(lineBytes, 64u);
+    EXPECT_EQ(pageBytes, 4096u);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(dve_panic("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(dve_fatal("bad config"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(dve_assert(1 + 1 == 2, "fine"));
+    EXPECT_THROW(dve_assert(false, "nope"), std::logic_error);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(1000000), b.next(1000000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next(1u << 30) == b.next(1u << 30);
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.next(13), 13u);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(99);
+    Rng c1 = parent.fork(0);
+    Rng c2 = parent.fork(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += c1.next(1u << 30) == c2.next(1u << 30);
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RunLengthMeanRoughlyCorrect)
+{
+    Rng r(3);
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(r.runLength(8.0));
+    const double mean = total / n;
+    EXPECT_NEAR(mean, 8.0, 0.5);
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, GroupDumpAndGet)
+{
+    Counter c;
+    ScalarStat s;
+    c += 7;
+    s += 2.5;
+    StatGroup g("grp");
+    g.add("events", c);
+    g.add("energy", s);
+
+    EXPECT_TRUE(g.has("events"));
+    EXPECT_FALSE(g.has("missing"));
+    EXPECT_DOUBLE_EQ(g.get("events"), 7.0);
+    EXPECT_DOUBLE_EQ(g.get("energy"), 2.5);
+    EXPECT_THROW(g.get("missing"), std::logic_error);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.events 7"), std::string::npos);
+
+    const auto snap = g.snapshot();
+    EXPECT_EQ(snap.at("events"), 7.0);
+}
+
+TEST(Stats, DuplicateRegistrationPanics)
+{
+    Counter c;
+    StatGroup g("grp");
+    g.add("x", c);
+    EXPECT_THROW(g.add("x", c), std::logic_error);
+}
+
+TEST(Table, AlignmentAndFormatting)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", TextTable::num(1.23456, 2)});
+    t.addRow({"b", TextTable::sci(0.000123, 1)});
+    EXPECT_EQ(t.rows(), 2u);
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("1.23"), std::string::npos);
+    EXPECT_NE(s.find("1.2e-04"), std::string::npos);
+
+    EXPECT_EQ(TextTable::pct(1.173), "+17.3%");
+    EXPECT_EQ(TextTable::pct(0.95, 0), "-5%");
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+} // namespace
+} // namespace dve

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for CRC-16/CCITT-FALSE and CRC-32/IEEE against published check
+ * values plus error-detection properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ecc/crc.hh"
+
+namespace dve
+{
+namespace
+{
+
+const std::uint8_t kCheckInput[] = {'1', '2', '3', '4', '5',
+                                    '6', '7', '8', '9'};
+
+TEST(Crc, KnownAnswerVectors)
+{
+    // Standard "123456789" check values.
+    EXPECT_EQ(crc16(kCheckInput, 9), 0x29B1);
+    EXPECT_EQ(crc32(kCheckInput, 9), 0xCBF43926u);
+}
+
+TEST(Crc, EmptyInput)
+{
+    EXPECT_EQ(crc16(nullptr, 0), 0xFFFF);
+    EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+}
+
+TEST(Crc, SingleBitErrorsAlwaysDetected)
+{
+    Rng rng(41);
+    std::vector<std::uint8_t> buf(64);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.next(256));
+    const auto c16 = crc16(buf.data(), buf.size());
+    const auto c32 = crc32(buf.data(), buf.size());
+    for (std::size_t byte = 0; byte < buf.size(); ++byte) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            auto bad = buf;
+            bad[byte] ^= static_cast<std::uint8_t>(1u << bit);
+            EXPECT_NE(crc16(bad.data(), bad.size()), c16);
+            EXPECT_NE(crc32(bad.data(), bad.size()), c32);
+        }
+    }
+}
+
+TEST(Crc, BurstErrorsDetected)
+{
+    // CRC-16 detects any burst shorter than 17 bits; CRC-32 shorter than
+    // 33 bits. Verify on random bursts within one/two bytes.
+    Rng rng(42);
+    std::vector<std::uint8_t> buf(128);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.next(256));
+    const auto c32 = crc32(buf.data(), buf.size());
+    for (int iter = 0; iter < 500; ++iter) {
+        auto bad = buf;
+        const std::size_t at = rng.next(buf.size() - 3);
+        bad[at] ^= static_cast<std::uint8_t>(1 + rng.next(255));
+        bad[at + 1] ^= static_cast<std::uint8_t>(rng.next(256));
+        bad[at + 2] ^= static_cast<std::uint8_t>(rng.next(256));
+        if (std::memcmp(bad.data(), buf.data(), buf.size()) == 0)
+            continue;
+        EXPECT_NE(crc32(bad.data(), bad.size()), c32);
+    }
+}
+
+TEST(Crc, DifferentLengthsDiffer)
+{
+    const std::uint8_t zeros[8] = {};
+    EXPECT_NE(crc32(zeros, 4), crc32(zeros, 5));
+    EXPECT_NE(crc16(zeros, 4), crc16(zeros, 5));
+}
+
+TEST(Crc, Deterministic)
+{
+    Rng rng(43);
+    std::vector<std::uint8_t> buf(256);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.next(256));
+    EXPECT_EQ(crc32(buf.data(), buf.size()), crc32(buf.data(), buf.size()));
+}
+
+} // namespace
+} // namespace dve

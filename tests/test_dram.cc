@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the DRAM address map and timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/address_map.hh"
+#include "dram/dram.hh"
+
+namespace dve
+{
+namespace
+{
+
+TEST(AddressMap, DecodeEncodeRoundTrip)
+{
+    for (unsigned channels : {1u, 2u}) {
+        DramConfig cfg;
+        cfg.channels = channels;
+        const AddressMap map(cfg);
+        for (Addr a = 0; a < (1u << 22); a += 64 * 97) {
+            const auto c = map.decode(a);
+            EXPECT_EQ(map.encode(c), lineAlign(a));
+        }
+    }
+}
+
+TEST(AddressMap, ConsecutiveLinesInterleaveChannels)
+{
+    DramConfig cfg = DramConfig::ddr4Replicated();
+    const AddressMap map(cfg);
+    EXPECT_EQ(map.decode(0).channel, 0u);
+    EXPECT_EQ(map.decode(64).channel, 1u);
+    EXPECT_EQ(map.decode(128).channel, 0u);
+}
+
+TEST(AddressMap, LinesPerRow)
+{
+    DramConfig cfg;
+    const AddressMap map(cfg);
+    EXPECT_EQ(map.linesPerRow(), cfg.rowBufferBytes / lineBytes);
+}
+
+TEST(AddressMap, BankInterleavesBeforeRow)
+{
+    DramConfig cfg;
+    const AddressMap map(cfg);
+    // With 1 channel, consecutive lines hit consecutive banks.
+    EXPECT_EQ(map.decode(0).bank, 0u);
+    EXPECT_EQ(map.decode(64).bank, 1u);
+    EXPECT_EQ(map.decode(64 * 16).bank, 0u);
+    EXPECT_EQ(map.decode(64 * 16).column, 1u);
+}
+
+class DramTimingTest : public ::testing::Test
+{
+  protected:
+    DramConfig cfg;
+    DramModule dram{"mem", DramConfig{}};
+};
+
+TEST_F(DramTimingTest, ClosedBankAccessPaysActivate)
+{
+    const auto r = dram.access(0, false, 0);
+    EXPECT_FALSE(r.rowHit);
+    EXPECT_EQ(r.readyAt, cfg.tRCD + cfg.tCL + cfg.tBURST);
+}
+
+TEST_F(DramTimingTest, RowHitIsCheaper)
+{
+    const auto first = dram.access(0, false, 0);
+    // Same row, next line in the row buffer: skip the channel-interleave
+    // by stepping a full bank rotation (16 lines) to stay in bank 0's row.
+    const auto hit = dram.access(64 * 16, false, first.readyAt);
+    EXPECT_TRUE(hit.rowHit);
+    EXPECT_EQ(hit.readyAt - first.readyAt, cfg.tCL + cfg.tBURST);
+}
+
+TEST_F(DramTimingTest, RowConflictPaysPrechargeRespectingTras)
+{
+    const auto first = dram.access(0, false, 0);
+    // A different row in the same bank: with 16 banks, 1 channel and 16
+    // lines/row, rows advance every 16*16 lines.
+    const Addr conflict_addr = Addr(64) * 16 * 16;
+    ASSERT_EQ(dram.map().decode(conflict_addr).bank, 0u);
+    ASSERT_NE(dram.map().decode(conflict_addr).row,
+              dram.map().decode(0).row);
+
+    const auto conf = dram.access(conflict_addr, false, first.readyAt);
+    EXPECT_FALSE(conf.rowHit);
+    // Precharge may not start before tRAS after the original activate (t=0).
+    const Tick pre_start = std::max(first.readyAt, Tick(cfg.tRAS));
+    EXPECT_EQ(conf.readyAt,
+              pre_start + cfg.tRP + cfg.tRCD + cfg.tCL + cfg.tBURST);
+}
+
+TEST_F(DramTimingTest, BankParallelismOverlaps)
+{
+    // Two accesses to different banks at the same time only serialize on
+    // the data bus (tBURST), not on the full access latency.
+    const auto a = dram.access(0, false, 0);
+    const auto b = dram.access(64, false, 0); // bank 1
+    EXPECT_EQ(b.readyAt - a.readyAt, cfg.tBURST);
+}
+
+TEST_F(DramTimingTest, TwoChannelsDoubleBusThroughput)
+{
+    DramModule two("mem2", DramConfig::ddr4Replicated());
+    const auto a = two.access(0, false, 0);   // channel 0
+    const auto b = two.access(64, false, 0);  // channel 1
+    EXPECT_EQ(a.readyAt, b.readyAt); // fully parallel
+}
+
+TEST_F(DramTimingTest, CountersTrackOutcomes)
+{
+    dram.access(0, false, 0);
+    dram.access(64 * 16, true, 100000);       // row hit, write
+    dram.access(Addr(64) * 16 * 16, false, 200000); // conflict
+    EXPECT_EQ(dram.reads(), 2u);
+    EXPECT_EQ(dram.writes(), 1u);
+    EXPECT_EQ(dram.activates(), 2u);
+    EXPECT_EQ(dram.stats().get("row_hits"), 1.0);
+    EXPECT_EQ(dram.stats().get("row_conflicts"), 1.0);
+    EXPECT_NEAR(dram.rowHitRate(), 1.0 / 3.0, 1e-12);
+
+    dram.resetStats();
+    EXPECT_EQ(dram.reads(), 0u);
+}
+
+TEST_F(DramTimingTest, LateRequestStartsAtNow)
+{
+    const Tick late = 1000 * ticksPerNs;
+    const auto r = dram.access(0, false, late);
+    EXPECT_EQ(r.readyAt, late + cfg.tRCD + cfg.tCL + cfg.tBURST);
+}
+
+TEST(DramConfigTest, RowsPerBankSane)
+{
+    DramConfig cfg;
+    // 8 GB / (16 banks * 1 KB row) = 512 Ki rows.
+    EXPECT_EQ(cfg.rowsPerBank(), (8ULL << 30) / (16 * 1024));
+    EXPECT_EQ(cfg.devicesPerRank(), 9u);
+}
+
+} // namespace
+} // namespace dve

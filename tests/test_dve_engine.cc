@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Tests for Coherent Replication: protocol behaviour of the allow/deny
+ * replica directories, dual-copy writebacks, replica recovery, degraded
+ * mode, on-demand RMT replication, and randomized stress with full value
+ * validation for all protocol variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/dve_engine.hh"
+
+namespace dve
+{
+namespace
+{
+
+EngineConfig
+smallConfig()
+{
+    EngineConfig cfg;
+    cfg.l1Bytes = 1024;
+    cfg.llcBytes = 16 * 1024;
+    cfg.dram = DramConfig::ddr4Replicated();
+    return cfg;
+}
+
+DveConfig
+dveCfg(DveProtocol p)
+{
+    DveConfig d;
+    d.protocol = p;
+    return d;
+}
+
+Addr
+addrAt(unsigned page, unsigned line_in_page = 0)
+{
+    return Addr(page) * pageBytes + Addr(line_in_page) * lineBytes;
+}
+
+TEST(DveEngine, ReplicaSideReadAvoidsInterSocket_Deny)
+{
+    DveEngine e(smallConfig(), dveCfg(DveProtocol::Deny));
+    // Page 0 homes at socket 0; socket 1 is the replica side.
+    const auto r = e.access(1, 0, addrAt(0), false, 0, 0);
+    EXPECT_EQ(r.value, 0u);
+    // Deny: no entry anywhere means readable -> fully local service.
+    EXPECT_EQ(e.interconnect().interSocketMessages(), 0u);
+    EXPECT_EQ(e.replicaLocalReads(), 1u);
+}
+
+TEST(DveEngine, ReplicaReadIsFasterThanBaselineRemoteRead)
+{
+    CoherenceEngine base(smallConfig());
+    DveEngine dve(smallConfig(), dveCfg(DveProtocol::Deny));
+    const Tick base_lat = base.access(1, 0, addrAt(0), false, 0, 0).done;
+    const Tick dve_lat = dve.access(1, 0, addrAt(0), false, 0, 0).done;
+    EXPECT_LT(dve_lat, base_lat);
+    // It should beat it by roughly the inter-socket round trip.
+    EXPECT_GE(base_lat - dve_lat,
+              smallConfig().noc.interSocketLatency);
+}
+
+TEST(DveEngine, AllowPullsPermissionOnceThenLocal)
+{
+    DveEngine e(smallConfig(), dveCfg(DveProtocol::Allow));
+    // First replica-side read pulls permission from home.
+    Tick t = e.access(1, 0, addrAt(0), false, 0, 0).done;
+    EXPECT_EQ(e.permissionPulls(), 1u);
+    const auto msgs_after_pull = e.interconnect().interSocketMessages();
+    EXPECT_GT(msgs_after_pull, 0u);
+
+    // Evict the L1/LLC copy by touching other lines? Simpler: another
+    // line in the same page pulls again, but a repeat of the same line
+    // after LLC eviction uses the retained permission. Here, read a
+    // second line: pulls again (per-line permissions).
+    t = e.access(1, 0, addrAt(0, 1), false, 0, t).done;
+    EXPECT_EQ(e.permissionPulls(), 2u);
+    EXPECT_EQ(e.replicaLocalReads(), 2u);
+}
+
+TEST(DveEngine, DenyPushesRmOnHomeSideWrite)
+{
+    DveEngine e(smallConfig(), dveCfg(DveProtocol::Deny));
+    Tick t = 0;
+    // Replica-side socket 1 reads page 0 (homed at 0): local replica.
+    t = e.access(1, 0, addrAt(0), false, 0, t).done;
+    EXPECT_EQ(e.replicaLocalReads(), 1u);
+
+    // Home-side socket 0 writes: must push RM and invalidate socket 1's
+    // cached copy.
+    t = e.access(0, 0, addrAt(0), true, 99, t).done;
+    EXPECT_EQ(e.rmPushes(), 1u);
+
+    // Socket 1 reads again: RM forces a home forward with fresh data.
+    const auto r = e.access(1, 0, addrAt(0), false, 0, t);
+    EXPECT_EQ(r.value, 99u);
+    EXPECT_GE(e.dveStats().get("home_forwards"), 1.0);
+}
+
+TEST(DveEngine, AllowInvalidatesPulledPermissionOnWrite)
+{
+    DveEngine e(smallConfig(), dveCfg(DveProtocol::Allow));
+    Tick t = 0;
+    t = e.access(1, 0, addrAt(0), false, 0, t).done; // pull + local read
+    t = e.access(0, 0, addrAt(0), true, 7, t).done;  // home-side write
+    // Permission gone: replica dir must not claim Readable.
+    EXPECT_FALSE(e.replicaDirectory(1).hasLineEntry(lineNum(addrAt(0))));
+    const auto r = e.access(1, 0, addrAt(0), false, 0, t);
+    EXPECT_EQ(r.value, 7u);
+}
+
+TEST(DveEngine, WritebackUpdatesBothMemories)
+{
+    EngineConfig cfg = smallConfig();
+    cfg.llcBytes = 4 * 1024; // 64 lines -> evictions come quickly
+    DveEngine e(cfg, dveCfg(DveProtocol::Deny));
+    Tick t = 0;
+    const Addr victim = addrAt(0);
+    t = e.access(0, 0, victim, true, 4242, t).done;
+
+    for (unsigned i = 1; i <= 30; ++i) {
+        const Addr a = addrAt(2 * i, 0);
+        if (lineNum(a) % 4 != lineNum(victim) % 4)
+            continue;
+        t = e.access(0, 0, a, false, 0, t).done;
+    }
+    EXPECT_EQ(e.memory(0).peek(victim), 4242u); // home copy
+    EXPECT_EQ(e.memory(1).peek(victim), 4242u); // replica copy
+    EXPECT_GT(e.dveStats().get("replica_writes"), 0.0);
+}
+
+TEST(DveEngine, RecoversFromHomeMemoryFaultViaReplica)
+{
+    EngineConfig cfg = smallConfig();
+    cfg.llcBytes = 4 * 1024;
+    DveEngine e(cfg, dveCfg(DveProtocol::Deny));
+    Tick t = 0;
+    const Addr a = addrAt(0);
+    t = e.access(0, 0, a, true, 1111, t).done;
+    // Flush it to memory by conflict pressure.
+    for (unsigned i = 1; i <= 30; ++i) {
+        const Addr b = addrAt(2 * i, 0);
+        if (lineNum(b) % 4 != lineNum(a) % 4)
+            continue;
+        t = e.access(0, 0, b, false, 0, t).done;
+    }
+    ASSERT_EQ(e.memory(0).peek(a), 1111u);
+
+    // Double-chip fault at home: Chipkill cannot correct, Dvé diverts.
+    for (unsigned chip : {0u, 9u}) {
+        FaultDescriptor f;
+        f.scope = FaultScope::Chip;
+        f.socket = 0;
+        f.chip = chip;
+        e.faultRegistry().inject(f);
+    }
+    const auto r = e.access(0, 0, a, false, 0, t);
+    EXPECT_EQ(r.value, 1111u);
+    EXPECT_EQ(e.machineCheckExceptions(), 0u);
+    EXPECT_GE(e.replicaRecoveries(), 1u);
+}
+
+TEST(DveEngine, ControllerFaultRecoveredViaOtherSocket)
+{
+    // The headline reliability claim: even a whole memory-controller
+    // failure is survivable because the replica lives behind a different
+    // controller on a different socket.
+    EngineConfig cfg = smallConfig();
+    cfg.llcBytes = 4 * 1024;
+    DveEngine e(cfg, dveCfg(DveProtocol::Deny));
+    Tick t = 0;
+    const Addr a = addrAt(0);
+    t = e.access(0, 0, a, true, 77, t).done;
+    for (unsigned i = 1; i <= 30; ++i) {
+        const Addr b = addrAt(2 * i, 0);
+        if (lineNum(b) % 4 != lineNum(a) % 4)
+            continue;
+        t = e.access(0, 0, b, false, 0, t).done;
+    }
+    FaultDescriptor f;
+    f.scope = FaultScope::Controller;
+    f.socket = 0;
+    e.faultRegistry().inject(f);
+
+    const auto r = e.access(0, 0, a, false, 0, t);
+    EXPECT_EQ(r.value, 77u);
+    EXPECT_EQ(e.machineCheckExceptions(), 0u);
+    EXPECT_GE(e.replicaRecoveries(), 1u);
+    EXPECT_GT(e.degradedLines(), 0u); // hard fault -> degraded copy
+}
+
+TEST(DveEngine, BothCopiesDeadIsDue)
+{
+    EngineConfig cfg = smallConfig();
+    cfg.validateValues = false; // data loss expected
+    DveEngine e(cfg, dveCfg(DveProtocol::Deny));
+    for (unsigned s : {0u, 1u}) {
+        FaultDescriptor f;
+        f.scope = FaultScope::Controller;
+        f.socket = s;
+        e.faultRegistry().inject(f);
+    }
+    e.access(0, 0, addrAt(0), false, 0, 0);
+    EXPECT_GE(e.machineCheckExceptions(), 1u);
+}
+
+TEST(DveEngine, TransientFaultRepairedNotDegraded)
+{
+    EngineConfig cfg = smallConfig();
+    DveEngine e(cfg, dveCfg(DveProtocol::Deny));
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    f.socket = 1; // replica-side memory of page 0... socket 1 memory
+    f.chip = 2;
+    f.transient = true;
+    // DSD-style: make detection fire but not correct: use two chips.
+    FaultDescriptor f2 = f;
+    f2.chip = 10;
+    e.faultRegistry().inject(f);
+    e.faultRegistry().inject(f2);
+
+    // Socket 1 replica-side read of page 0 hits its faulty local copy,
+    // recovers from home, repairs (transient faults cured by rewrite).
+    const auto r = e.access(1, 0, addrAt(0), false, 0, 0);
+    EXPECT_EQ(r.value, 0u);
+    EXPECT_GE(e.replicaRecoveries(), 1u);
+    EXPECT_EQ(e.degradedLines(), 0u);
+    EXPECT_GE(e.repairedCopies(), 1u);
+    EXPECT_EQ(e.faultRegistry().activeCount(), 0u);
+}
+
+TEST(DveEngine, PartialReplicationFallsBackToBaseline)
+{
+    EngineConfig cfg = smallConfig();
+    DveConfig d = dveCfg(DveProtocol::Deny);
+    d.replicateAll = false;
+    DveEngine e(cfg, d);
+
+    // No RMT entries: remote reads behave like baseline NUMA.
+    e.access(1, 0, addrAt(0), false, 0, 0);
+    EXPECT_EQ(e.replicaLocalReads(), 0u);
+    EXPECT_GT(e.interconnect().interSocketMessages(), 0u);
+}
+
+TEST(DveEngine, OnDemandReplicationViaRmt)
+{
+    EngineConfig cfg = smallConfig();
+    DveConfig d = dveCfg(DveProtocol::Deny);
+    d.replicateAll = false;
+    DveEngine e(cfg, d);
+    Tick t = 0;
+
+    // Write some data while unreplicated and push it to memory.
+    t = e.access(0, 0, addrAt(0), true, 555, t).done;
+
+    // Enable replication for page 0 onto socket 1: memory image seeded,
+    // dirty lines marked RM so the replica is never read stale.
+    e.enableReplication(0, 1);
+    ASSERT_TRUE(e.replicaMap().replicaSocket(lineNum(addrAt(0)), 0)
+                    .has_value());
+
+    // Socket 1 read: the line is dirty in socket 0's LLC, so the RM seed
+    // must force a home forward (stale-replica read would return 0).
+    const auto r = e.access(1, 0, addrAt(0), false, 0, t);
+    EXPECT_EQ(r.value, 555u);
+
+    // A clean line of the same page is served from the local replica.
+    const auto r2 = e.access(1, 0, addrAt(0, 2), false, 0, r.done);
+    EXPECT_EQ(r2.value, 0u);
+    EXPECT_GE(e.replicaLocalReads(), 1u);
+
+    e.disableReplication(0);
+    EXPECT_FALSE(e.replicaMap().replicaSocket(lineNum(addrAt(0)), 0)
+                     .has_value());
+}
+
+TEST(DveEngine, SpeculationCountersMove)
+{
+    EngineConfig cfg = smallConfig();
+    DveConfig d = dveCfg(DveProtocol::Deny);
+    d.replicaDirEntries = 4; // tiny on-chip structure -> misses
+    DveEngine e(cfg, d);
+    Tick t = 0;
+    for (unsigned l = 0; l < 32; ++l)
+        t = e.access(1, 0, addrAt(0, l % 16), false, 0, t).done;
+    EXPECT_GT(e.speculationWins(), 0u);
+    EXPECT_GT(e.replicaDirectory(1).onChipMisses(), 0u);
+}
+
+TEST(DveEngine, OracularDirectoryNeverMisses)
+{
+    EngineConfig cfg = smallConfig();
+    DveConfig d = dveCfg(DveProtocol::Allow);
+    d.oracular = true;
+    DveEngine e(cfg, d);
+    Tick t = 0;
+    for (unsigned p = 0; p < 8; ++p)
+        for (unsigned l = 0; l < 16; ++l)
+            t = e.access(1, 0, addrAt(p, l), false, 0, t).done;
+    // Second sweep: every lookup hits on-chip.
+    const auto misses_before = e.replicaDirectory(1).onChipMisses();
+    for (unsigned p = 0; p < 8; ++p)
+        for (unsigned l = 0; l < 16; ++l)
+            t = e.access(1, 0, addrAt(p, l), false, 0, t).done;
+    // (L1/LLC absorb most; force LLC misses with a bigger sweep is not
+    // needed -- just assert misses did not explode.)
+    EXPECT_EQ(e.replicaDirectory(1).onChipMisses(), misses_before);
+}
+
+TEST(DveEngine, CoarseGrainRegionGrantAndInvalidation)
+{
+    EngineConfig cfg = smallConfig();
+    DveConfig d = dveCfg(DveProtocol::Allow);
+    d.coarseGrain = true;
+    DveEngine e(cfg, d);
+    Tick t = 0;
+
+    // Pull for one line of a clean page: grants the whole region.
+    t = e.access(1, 0, addrAt(0, 0), false, 0, t).done;
+    EXPECT_TRUE(e.replicaDirectory(1).regionCovers(lineNum(addrAt(0, 0))));
+
+    // Another line of the region: served locally with no new pull.
+    const auto pulls = e.permissionPulls();
+    t = e.access(1, 0, addrAt(0, 5), false, 0, t).done;
+    EXPECT_EQ(e.permissionPulls(), pulls);
+
+    // Home-side write anywhere in the region kills the region grant.
+    t = e.access(0, 0, addrAt(0, 9), true, 1, t).done;
+    EXPECT_FALSE(
+        e.replicaDirectory(1).regionCovers(lineNum(addrAt(0, 0))));
+
+    // Correctness after the region invalidation.
+    const auto r = e.access(1, 0, addrAt(0, 9), false, 0, t);
+    EXPECT_EQ(r.value, 1u);
+}
+
+class DveStressTest : public ::testing::TestWithParam<DveProtocol>
+{
+};
+
+TEST_P(DveStressTest, RandomTrafficValueValidated)
+{
+    EngineConfig cfg = smallConfig();
+    cfg.validateValues = true;
+    DveConfig d = dveCfg(GetParam());
+    d.epochOps = 2000; // exercise dynamic switching in-stress
+    d.replicaDirEntries = 64; // force permission evictions
+    DveEngine e(cfg, d);
+    Rng rng(777);
+
+    std::vector<Addr> pool;
+    for (unsigned p = 0; p < 8; ++p)
+        for (unsigned l = 0; l < 8; ++l)
+            pool.push_back(addrAt(p, l));
+
+    Tick t = 0;
+    for (int op = 0; op < 40000; ++op) {
+        const unsigned c = static_cast<unsigned>(rng.next(16));
+        const Addr a = pool[rng.next(pool.size())];
+        const bool w = rng.chance(0.35);
+        t = e.access(c / 8, c % 8, a, w, rng.engine()(), t).done;
+    }
+    EXPECT_EQ(e.sdcReadsObserved(), 0u);
+    EXPECT_GT(e.replicaLocalReads(), 0u);
+
+    // Replica-consistency sweep: any line that is clean at the home
+    // directory (absent or S) must have identical home/replica memory.
+    for (const Addr a : pool) {
+        const Addr line = lineNum(a);
+        const unsigned h = e.homeSocket(line);
+        DirEntry *de = e.directory(h).find(line);
+        if (de
+            && (de->state == LineState::M || de->state == LineState::O)) {
+            continue; // dirty in a cache: memories may lag
+        }
+        EXPECT_EQ(e.memory(h).peek(a), e.memory(1 - h).peek(a))
+            << "replica divergence on line " << line;
+    }
+}
+
+TEST_P(DveStressTest, ColdVsWarmDeterminism)
+{
+    auto run = [&] {
+        EngineConfig cfg = smallConfig();
+        DveEngine e(cfg, dveCfg(GetParam()));
+        Rng rng(4);
+        Tick t = 0;
+        for (int op = 0; op < 5000; ++op) {
+            const unsigned c = static_cast<unsigned>(rng.next(16));
+            const Addr a = addrAt(rng.next(6), rng.next(8));
+            t = e.access(c / 8, c % 8, a, rng.chance(0.3), rng.engine()(),
+                         t)
+                    .done;
+        }
+        return std::tuple{t, e.replicaLocalReads(),
+                          e.interconnect().interSocketBytes()};
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, DveStressTest,
+                         ::testing::Values(DveProtocol::Allow,
+                                           DveProtocol::Deny,
+                                           DveProtocol::Dynamic),
+                         [](const auto &info) {
+                             return std::string(
+                                 dveProtocolName(info.param));
+                         });
+
+TEST(DveEngine, ReducesInterSocketTrafficOnReadHeavyWorkload)
+{
+    // The Fig 8 claim in miniature: a read-mostly shared workload sees
+    // large inter-socket traffic reduction under Dvé.
+    auto traffic = [](bool use_dve) {
+        EngineConfig cfg = smallConfig();
+        std::unique_ptr<CoherenceEngine> e;
+        if (use_dve) {
+            e = std::make_unique<DveEngine>(cfg,
+                                            dveCfg(DveProtocol::Deny));
+        } else {
+            e = std::make_unique<CoherenceEngine>(cfg);
+        }
+        Rng rng(9);
+        Tick t = 0;
+        // Memory-resident (4x the LLC) and read-dominated, like the
+        // backprop/graph500 profiles that lead Fig 8.
+        for (int op = 0; op < 40000; ++op) {
+            const unsigned c = static_cast<unsigned>(rng.next(16));
+            const Addr a = addrAt(rng.next(64), rng.next(16));
+            const bool w = rng.chance(0.02);
+            t = e->access(c / 8, c % 8, a, w, 1, t).done;
+        }
+        return e->interconnect().interSocketBytes();
+    };
+    const auto base = traffic(false);
+    const auto dve = traffic(true);
+    EXPECT_LT(dve, base / 2) << "expected >2x inter-socket reduction";
+}
+
+TEST(DveEngine, DynamicSamplerConverges)
+{
+    EngineConfig cfg = smallConfig();
+    DveConfig d = dveCfg(DveProtocol::Dynamic);
+    d.epochOps = 500;
+    DveEngine e(cfg, d);
+    Rng rng(12);
+    Tick t = 0;
+    // Read-only sharing: deny should win (or at least a winner exists).
+    for (int op = 0; op < 20000; ++op) {
+        const unsigned c = static_cast<unsigned>(rng.next(16));
+        t = e.access(c / 8, c % 8, addrAt(rng.next(8), rng.next(16)),
+                     false, 0, t)
+                .done;
+    }
+    EXPECT_TRUE(e.dynamicPrefersDeny());
+}
+
+} // namespace
+} // namespace dve

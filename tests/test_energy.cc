@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the DRAM energy model and EDP computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/dram_energy.hh"
+
+namespace dve
+{
+namespace
+{
+
+TEST(Energy, IdleModuleHasOnlyBackground)
+{
+    DramEnergyModel model;
+    DramModule m("m", DramConfig{});
+    const Tick hour_ish = 1000 * ticksPerUs; // 1 ms
+    const double e = model.moduleEnergyNj(m, hour_ish);
+    const auto &p = model.params();
+    const double expect =
+        (p.backgroundMwPerRank + p.refreshMwPerRank) * 1 /*rank*/
+        * 1e-3 /*s*/ * 1e6; // mW*s -> nJ
+    EXPECT_NEAR(e, expect, expect * 1e-9);
+}
+
+TEST(Energy, DynamicEnergyScalesWithActivity)
+{
+    DramEnergyModel model;
+    DramModule a("a", DramConfig{});
+    DramModule b("b", DramConfig{});
+    Tick t = 0;
+    for (int i = 0; i < 100; ++i)
+        t = b.access(Addr(i) * 64 * 16 * 16, false, t).readyAt; // conflicts
+    const Tick window = t;
+    const double ea = model.moduleEnergyNj(a, window);
+    const double eb = model.moduleEnergyNj(b, window);
+    EXPECT_GT(eb, ea);
+    const auto &p = model.params();
+    EXPECT_NEAR(eb - ea,
+                p.actPrechargeNj * static_cast<double>(b.activates())
+                    + p.readBurstNj * static_cast<double>(b.reads()),
+                1e-6);
+}
+
+TEST(Energy, TwoChannelModuleHasDoubleBackground)
+{
+    DramEnergyModel model;
+    DramModule one("one", DramConfig::ddr4Baseline());
+    DramModule two("two", DramConfig::ddr4Replicated());
+    const Tick w = 1000 * ticksPerUs;
+    EXPECT_NEAR(model.moduleEnergyNj(two, w),
+                2 * model.moduleEnergyNj(one, w), 1e-6);
+}
+
+TEST(Energy, MemoryEdpDefinition)
+{
+    DramEnergyModel model;
+    // 1 J over 1 s -> EDP 1 J*s.
+    EXPECT_NEAR(model.memoryEdp(1e9, ticksPerSec), 1.0, 1e-12);
+    // Halving time quarters EDP at constant power (E halves too).
+    EXPECT_NEAR(model.memoryEdp(0.5e9, ticksPerSec / 2), 0.25, 1e-12);
+}
+
+TEST(Energy, SystemEdpRewardsSpeedupsDespiteHigherMemoryPower)
+{
+    // The paper's energy result in miniature: doubling memory power but
+    // finishing 15% faster lowers *system* EDP because memory is only
+    // ~18% of system power.
+    DramEnergyModel model;
+    const Tick base_t = ticksPerSec;
+    const double base_mem_nj = 1e9; // 1 J over 1 s -> 1 W memory
+
+    const double base_edp =
+        model.systemEdp(base_mem_nj, base_t, base_mem_nj, base_t);
+
+    const Tick fast_t = static_cast<Tick>(0.85 * ticksPerSec);
+    const double fast_mem_nj = 2e9 * 0.85; // 2 W memory for 0.85 s
+    const double fast_edp =
+        model.systemEdp(fast_mem_nj, fast_t, base_mem_nj, base_t);
+
+    EXPECT_LT(fast_edp, base_edp);
+}
+
+TEST(Energy, SystemEdpPenalizesPowerAtEqualTime)
+{
+    DramEnergyModel model;
+    const Tick t = ticksPerSec;
+    const double base = model.systemEdp(1e9, t, 1e9, t);
+    const double hot = model.systemEdp(2e9, t, 1e9, t);
+    EXPECT_GT(hot, base);
+    // Memory is 18% of system power: doubling it adds 18% to power.
+    EXPECT_NEAR(hot / base, 1.18, 1e-9);
+}
+
+} // namespace
+} // namespace dve

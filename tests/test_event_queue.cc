@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace dve
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.scheduleIn(4, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 5u);
+}
+
+TEST(EventQueue, SchedulingIntoPastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_THROW(q.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+
+    // runUntil past all events still advances the clock.
+    EXPECT_EQ(q.runUntil(100), 1u);
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunWithLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(i, [&] { ++fired; });
+    EXPECT_EQ(q.run(3), 3u);
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.pending(), 7u);
+}
+
+TEST(EventQueue, NextEventTick)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventTick(), maxTick);
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.nextEventTick(), 42u);
+}
+
+TEST(EventQueue, ExecutedEventsAccumulates)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(i, [] {});
+    q.run();
+    EXPECT_EQ(q.executedEvents(), 5u);
+}
+
+TEST(EventQueue, HeavyChurnDeterministic)
+{
+    // Two identical runs produce identical execution traces.
+    auto run = [] {
+        EventQueue q;
+        std::vector<Tick> trace;
+        // Self-rescheduling chain plus bulk events.
+        std::function<void()> chain = [&] {
+            trace.push_back(q.now());
+            if (q.now() < 1000)
+                q.scheduleIn(7, chain);
+        };
+        q.schedule(0, chain);
+        for (Tick t = 0; t < 500; t += 13)
+            q.schedule(t, [&trace, &q] { trace.push_back(q.now()); });
+        q.run();
+        return trace;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace dve

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the paper's auxiliary mechanisms: DRAM refresh timing,
+ * patrol scrubbing (the scrub interval Table I's model assumes), and
+ * row-hammer read balancing between the replicas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dve_engine.hh"
+#include "dram/dram.hh"
+
+namespace dve
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Refresh
+// ---------------------------------------------------------------------
+
+TEST(Refresh, NoRefreshBeforeFirstInterval)
+{
+    DramModule m("m", DramConfig{});
+    m.access(0, false, 0);
+    EXPECT_EQ(m.refreshes(), 0u);
+}
+
+TEST(Refresh, ElapsedPeriodsAreCounted)
+{
+    DramConfig cfg;
+    DramModule m("m", cfg);
+    // Access at 10x tREFI: ten refreshes have happened on that rank.
+    m.access(0, false, 10 * cfg.tREFI + 1000);
+    EXPECT_EQ(m.refreshes(), 10u);
+}
+
+TEST(Refresh, AccessInsideBlackoutIsPushedOut)
+{
+    DramConfig cfg;
+    DramModule m("m", cfg);
+    // Land exactly at the refresh instant: stall until tRFC later.
+    const auto r = m.access(0, false, cfg.tREFI);
+    EXPECT_GE(r.readyAt,
+              cfg.tREFI + cfg.tRFC + cfg.tRCD + cfg.tCL + cfg.tBURST);
+    EXPECT_EQ(m.stats().get("refresh_stall_ticks"), double(cfg.tRFC));
+}
+
+TEST(Refresh, RefreshClosesOpenRows)
+{
+    DramConfig cfg;
+    DramModule m("m", cfg);
+    const auto first = m.access(0, false, 0); // opens row 0 in bank 0
+    ASSERT_FALSE(first.rowHit);
+    // Same row long after a refresh: must re-activate (no row hit).
+    const auto later = m.access(0, false, 2 * cfg.tREFI);
+    EXPECT_FALSE(later.rowHit);
+    // Control: without an intervening refresh it would have hit.
+    DramConfig no_ref = cfg;
+    no_ref.refreshEnabled = false;
+    DramModule m2("m2", no_ref);
+    m2.access(0, false, 0);
+    EXPECT_TRUE(m2.access(0, false, 2 * cfg.tREFI).rowHit);
+}
+
+TEST(Refresh, DisabledMeansNoRefreshes)
+{
+    DramConfig cfg;
+    cfg.refreshEnabled = false;
+    DramModule m("m", cfg);
+    m.access(0, false, 100 * cfg.tREFI);
+    EXPECT_EQ(m.refreshes(), 0u);
+}
+
+TEST(Refresh, RanksRefreshIndependently)
+{
+    DramConfig cfg = DramConfig::ddr4Replicated(); // 2 channels
+    DramModule m("m", cfg);
+    m.access(0, false, 3 * cfg.tREFI);  // channel 0
+    EXPECT_EQ(m.refreshes(), 3u);
+    m.access(64, false, 3 * cfg.tREFI); // channel 1: its own counter
+    EXPECT_EQ(m.refreshes(), 6u);
+}
+
+// ---------------------------------------------------------------------
+// Patrol scrub
+// ---------------------------------------------------------------------
+
+class ScrubTest : public ::testing::Test
+{
+  protected:
+    EngineConfig
+    cfg()
+    {
+        EngineConfig c;
+        c.llcBytes = 16 * 1024;
+        c.dram = DramConfig::ddr4Replicated();
+        return c;
+    }
+};
+
+TEST_F(ScrubTest, CleanSweepFindsNothing)
+{
+    DveEngine e(cfg(), DveConfig{});
+    Tick t = 0;
+    for (unsigned p = 0; p < 4; ++p)
+        t = e.access(0, 0, Addr(p) * pageBytes, true, p, t).done;
+    const auto rep = e.patrolScrub(t);
+    EXPECT_EQ(rep.linesScanned, 4u);
+    EXPECT_EQ(rep.correctedErrors, 0u);
+    EXPECT_EQ(rep.dataLost, 0u);
+    EXPECT_GT(rep.finishedAt, t);
+}
+
+TEST_F(ScrubTest, CuresLatentTransientFaults)
+{
+    DveEngine e(cfg(), DveConfig{});
+    Tick t = 0;
+    for (unsigned p = 0; p < 4; ++p)
+        t = e.access(0, 0, Addr(p) * pageBytes, true, p, t).done;
+
+    // A latent 2-chip transient fault on socket 0 defeats Chipkill but
+    // is detected by the scrub and repaired from the replica before a
+    // demand read could hit it.
+    for (unsigned chip : {1u, 7u}) {
+        FaultDescriptor f;
+        f.scope = FaultScope::Chip;
+        f.socket = 0;
+        f.chip = chip;
+        f.transient = true;
+        e.faultRegistry().inject(f);
+    }
+    const auto rep = e.patrolScrub(t);
+    EXPECT_GT(rep.correctedErrors, 0u);
+    EXPECT_GT(rep.replicaRecoveries, 0u);
+    EXPECT_EQ(rep.dataLost, 0u);
+    EXPECT_EQ(e.faultRegistry().activeCount(), 0u) << "transients cured";
+
+    // A second sweep is clean.
+    const auto rep2 = e.patrolScrub(rep.finishedAt);
+    EXPECT_EQ(rep2.correctedErrors, 0u);
+}
+
+TEST_F(ScrubTest, HardFaultDegradesButLosesNothing)
+{
+    DveEngine e(cfg(), DveConfig{});
+    Tick t = 0;
+    t = e.access(0, 0, 0, true, 42, t).done;
+    FaultDescriptor f;
+    f.scope = FaultScope::Channel;
+    f.socket = 0;
+    f.channel = 0; // page 0's lines interleave across both channels
+    e.faultRegistry().inject(f);
+
+    const auto rep = e.patrolScrub(t);
+    EXPECT_EQ(rep.dataLost, 0u);
+    EXPECT_GT(e.degradedLines(), 0u);
+    // The data remains reachable through the surviving copy.
+    const auto r = e.access(0, 1, 0, false, 0, rep.finishedAt);
+    EXPECT_EQ(r.value, 42u);
+}
+
+TEST_F(ScrubTest, MaxLinesBoundsTheSweepAndCursorAdvances)
+{
+    DveEngine e(cfg(), DveConfig{});
+    Tick t = 0;
+    for (unsigned p = 0; p < 8; ++p)
+        t = e.access(0, 0, Addr(p) * pageBytes, true, p, t).done;
+    const auto r1 = e.patrolScrub(t, 3);
+    EXPECT_EQ(r1.linesScanned, 3u);
+    const auto r2 = e.patrolScrub(r1.finishedAt, 5);
+    EXPECT_EQ(r2.linesScanned, 5u);
+}
+
+TEST_F(ScrubTest, EmptyMemoryIsANoop)
+{
+    DveEngine e(cfg(), DveConfig{});
+    const auto rep = e.patrolScrub(1000);
+    EXPECT_EQ(rep.linesScanned, 0u);
+    EXPECT_EQ(rep.finishedAt, 1000u);
+}
+
+// ---------------------------------------------------------------------
+// Row-hammer read balancing
+// ---------------------------------------------------------------------
+
+TEST(ReadBalancing, SpreadsReadsAcrossBothCopies)
+{
+    EngineConfig cfg;
+    cfg.llcBytes = 16 * 1024;
+    cfg.dram = DramConfig::ddr4Replicated();
+
+    auto reads_at = [&](bool balance) {
+        DveConfig d;
+        d.balanceReplicaReads = balance;
+        DveEngine e(cfg, d);
+        Tick t = 0;
+        // Socket 1 repeatedly streams socket-0-homed pages; with tiny
+        // caches every pass misses and reaches the replica directory.
+        for (int iter = 0; iter < 6; ++iter)
+            for (unsigned l = 0; l < 512; ++l)
+                t = e.access(1, 0, Addr(l) * 8192, false, 0, t).done;
+        return std::pair{e.memory(0).dram(0).reads(),
+                         e.dveStats().get("balanced_home_reads")};
+    };
+
+    const auto [home_reads_off, balanced_off] = reads_at(false);
+    const auto [home_reads_on, balanced_on] = reads_at(true);
+    EXPECT_EQ(balanced_off, 0.0);
+    EXPECT_GT(balanced_on, 100.0);
+    // Roughly half of the replica-side reads moved to the home copy.
+    EXPECT_GT(home_reads_on, home_reads_off + 100);
+}
+
+TEST(ReadBalancing, StaysCoherentUnderWrites)
+{
+    EngineConfig cfg;
+    cfg.llcBytes = 16 * 1024;
+    cfg.dram = DramConfig::ddr4Replicated();
+    cfg.validateValues = true;
+    DveConfig d;
+    d.balanceReplicaReads = true;
+    DveEngine e(cfg, d);
+    Rng rng(99);
+    Tick t = 0;
+    for (int op = 0; op < 20000; ++op) {
+        const unsigned c = static_cast<unsigned>(rng.next(16));
+        const Addr a = Addr(rng.next(64)) * pageBytes
+                       + Addr(rng.next(8)) * lineBytes;
+        t = e.access(c / 8, c % 8, a, rng.chance(0.3), rng.engine()(), t)
+                .done;
+    }
+    EXPECT_EQ(e.sdcReadsObserved(), 0u);
+}
+
+} // namespace
+} // namespace dve

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for fault descriptors and registry matching semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.hh"
+
+namespace dve
+{
+namespace
+{
+
+DramCoord
+coord(unsigned ch, unsigned rank, unsigned bank, std::uint64_t row,
+      unsigned col)
+{
+    DramCoord c;
+    c.channel = ch;
+    c.rank = rank;
+    c.bank = bank;
+    c.row = row;
+    c.column = col;
+    return c;
+}
+
+TEST(FaultRegistry, ChipFaultHitsWholeChip)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    f.socket = 0;
+    f.channel = 0;
+    f.rank = 0;
+    f.chip = 3;
+    reg.inject(f);
+
+    const auto imp = reg.impact(0, 0, coord(0, 0, 5, 1234, 7));
+    ASSERT_EQ(imp.corruptChips.size(), 1u);
+    EXPECT_EQ(imp.corruptChips[0], 3u);
+    EXPECT_FALSE(imp.pathFailed);
+
+    // Other socket / channel / rank unaffected.
+    EXPECT_FALSE(reg.impact(1, 0, coord(0, 0, 5, 1234, 7)).any());
+    EXPECT_FALSE(reg.impact(0, 1, coord(0, 0, 5, 1234, 7)).any());
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 1, 5, 1234, 7)).any());
+}
+
+TEST(FaultRegistry, RowFaultOnlyHitsItsRow)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::Row;
+    f.chip = 1;
+    f.bank = 2;
+    f.row = 100;
+    reg.inject(f);
+
+    EXPECT_TRUE(reg.impact(0, 0, coord(0, 0, 2, 100, 0)).any());
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 0, 2, 101, 0)).any());
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 0, 3, 100, 0)).any());
+}
+
+TEST(FaultRegistry, ColumnFaultMatchesAcrossRows)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::Column;
+    f.bank = 1;
+    f.column = 4;
+    reg.inject(f);
+
+    EXPECT_TRUE(reg.impact(0, 0, coord(0, 0, 1, 5, 4)).any());
+    EXPECT_TRUE(reg.impact(0, 0, coord(0, 0, 1, 900, 4)).any());
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 0, 1, 5, 3)).any());
+}
+
+TEST(FaultRegistry, BankFaultMatchesWholeBank)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::Bank;
+    f.bank = 7;
+    f.chip = 0;
+    reg.inject(f);
+    EXPECT_TRUE(reg.impact(0, 0, coord(0, 0, 7, 1, 1)).any());
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 0, 6, 1, 1)).any());
+}
+
+TEST(FaultRegistry, CellFaultIsABitFlip)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::Cell;
+    f.chip = 2;
+    f.bank = 0;
+    f.row = 1;
+    f.column = 2;
+    f.bit = 5;
+    reg.inject(f);
+
+    const auto imp = reg.impact(0, 0, coord(0, 0, 0, 1, 2));
+    EXPECT_TRUE(imp.corruptChips.empty());
+    ASSERT_EQ(imp.bitFlips.size(), 1u);
+    EXPECT_EQ(imp.bitFlips[0].first, 2u);
+    EXPECT_EQ(imp.bitFlips[0].second, 5u);
+}
+
+TEST(FaultRegistry, ChannelAndControllerFailPath)
+{
+    FaultRegistry reg;
+    FaultDescriptor ch;
+    ch.scope = FaultScope::Channel;
+    ch.socket = 0;
+    ch.channel = 1;
+    reg.inject(ch);
+
+    EXPECT_TRUE(reg.impact(0, 1, coord(1, 0, 0, 0, 0)).pathFailed);
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 0, 0, 0, 0)).pathFailed);
+
+    FaultDescriptor mc;
+    mc.scope = FaultScope::Controller;
+    mc.socket = 1;
+    reg.inject(mc);
+    EXPECT_TRUE(reg.impact(1, 0, coord(0, 0, 0, 0, 0)).pathFailed);
+    EXPECT_TRUE(reg.impact(1, 7, coord(3, 0, 0, 0, 0)).pathFailed);
+}
+
+TEST(FaultRegistry, DuplicateChipReportedOnce)
+{
+    FaultRegistry reg;
+    FaultDescriptor a;
+    a.scope = FaultScope::Chip;
+    a.chip = 4;
+    FaultDescriptor b;
+    b.scope = FaultScope::Bank;
+    b.chip = 4;
+    b.bank = 0;
+    reg.inject(a);
+    reg.inject(b);
+    const auto imp = reg.impact(0, 0, coord(0, 0, 0, 0, 0));
+    EXPECT_EQ(imp.corruptChips.size(), 1u);
+}
+
+TEST(FaultRegistry, ClearById)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    const auto id = reg.inject(f);
+    EXPECT_EQ(reg.activeCount(), 1u);
+    EXPECT_TRUE(reg.clear(id));
+    EXPECT_FALSE(reg.clear(id));
+    EXPECT_EQ(reg.activeCount(), 0u);
+}
+
+TEST(FaultRegistry, RepairCuresOnlyTransients)
+{
+    FaultRegistry reg;
+    FaultDescriptor hard;
+    hard.scope = FaultScope::Chip;
+    hard.chip = 0;
+    FaultDescriptor soft = hard;
+    soft.chip = 1;
+    soft.transient = true;
+    reg.inject(hard);
+    reg.inject(soft);
+
+    EXPECT_EQ(reg.repairAt(0, 0, coord(0, 0, 0, 0, 0)), 1u);
+    const auto imp = reg.impact(0, 0, coord(0, 0, 0, 0, 0));
+    ASSERT_EQ(imp.corruptChips.size(), 1u);
+    EXPECT_EQ(imp.corruptChips[0], 0u);
+}
+
+TEST(FaultRegistry, ScopeNames)
+{
+    EXPECT_STREQ(faultScopeName(FaultScope::Chip), "chip");
+    EXPECT_STREQ(faultScopeName(FaultScope::Controller), "controller");
+}
+
+} // namespace
+} // namespace dve

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Property tests for Galois-field arithmetic: field axioms must hold in
+ * both GF(2^8) and GF(2^16).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/gf.hh"
+
+namespace dve
+{
+namespace
+{
+
+class GfParamTest : public ::testing::TestWithParam<const GaloisField *>
+{
+  protected:
+    const GaloisField &gf() const { return *GetParam(); }
+
+    std::uint32_t
+    randNonzero(Rng &rng) const
+    {
+        return 1 + static_cast<std::uint32_t>(rng.next(gf().size() - 1));
+    }
+};
+
+TEST_P(GfParamTest, AdditionIsXor)
+{
+    EXPECT_EQ(GaloisField::add(0x5A, 0xA5), 0xFFu);
+    EXPECT_EQ(GaloisField::add(7, 7), 0u);
+}
+
+TEST_P(GfParamTest, MultiplicativeIdentityAndZero)
+{
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        const auto a = static_cast<std::uint32_t>(rng.next(gf().size()));
+        EXPECT_EQ(gf().mul(a, 1), a);
+        EXPECT_EQ(gf().mul(1, a), a);
+        EXPECT_EQ(gf().mul(a, 0), 0u);
+    }
+}
+
+TEST_P(GfParamTest, MultiplicationCommutesAndAssociates)
+{
+    Rng rng(12);
+    for (int i = 0; i < 500; ++i) {
+        const auto a = static_cast<std::uint32_t>(rng.next(gf().size()));
+        const auto b = static_cast<std::uint32_t>(rng.next(gf().size()));
+        const auto c = static_cast<std::uint32_t>(rng.next(gf().size()));
+        EXPECT_EQ(gf().mul(a, b), gf().mul(b, a));
+        EXPECT_EQ(gf().mul(gf().mul(a, b), c), gf().mul(a, gf().mul(b, c)));
+    }
+}
+
+TEST_P(GfParamTest, DistributesOverAddition)
+{
+    Rng rng(13);
+    for (int i = 0; i < 500; ++i) {
+        const auto a = static_cast<std::uint32_t>(rng.next(gf().size()));
+        const auto b = static_cast<std::uint32_t>(rng.next(gf().size()));
+        const auto c = static_cast<std::uint32_t>(rng.next(gf().size()));
+        EXPECT_EQ(gf().mul(a, GaloisField::add(b, c)),
+                  GaloisField::add(gf().mul(a, b), gf().mul(a, c)));
+    }
+}
+
+TEST_P(GfParamTest, InverseAndDivision)
+{
+    Rng rng(14);
+    for (int i = 0; i < 500; ++i) {
+        const auto a = randNonzero(rng);
+        const auto b = randNonzero(rng);
+        EXPECT_EQ(gf().mul(a, gf().inv(a)), 1u);
+        EXPECT_EQ(gf().mul(gf().div(a, b), b), a);
+        EXPECT_EQ(gf().div(0, b), 0u);
+    }
+    EXPECT_THROW(gf().inv(0), std::logic_error);
+    EXPECT_THROW(gf().div(1, 0), std::logic_error);
+}
+
+TEST_P(GfParamTest, PowMatchesRepeatedMul)
+{
+    Rng rng(15);
+    for (int i = 0; i < 50; ++i) {
+        const auto a = randNonzero(rng);
+        std::uint32_t acc = 1;
+        for (unsigned e = 0; e < 16; ++e) {
+            EXPECT_EQ(gf().pow(a, e), acc);
+            acc = gf().mul(acc, a);
+        }
+    }
+    EXPECT_EQ(gf().pow(0, 0), 1u);
+    EXPECT_EQ(gf().pow(0, 5), 0u);
+}
+
+TEST_P(GfParamTest, AlphaPowWrapsNegativeExponents)
+{
+    const std::int64_t order = gf().size() - 1;
+    EXPECT_EQ(gf().alphaPow(0), 1u);
+    EXPECT_EQ(gf().alphaPow(order), 1u);
+    EXPECT_EQ(gf().alphaPow(-1), gf().inv(gf().alphaPow(1)));
+    EXPECT_EQ(gf().alphaPow(-5), gf().alphaPow(order - 5));
+}
+
+TEST_P(GfParamTest, LogExpRoundTrip)
+{
+    Rng rng(16);
+    for (int i = 0; i < 300; ++i) {
+        const auto a = randNonzero(rng);
+        EXPECT_EQ(gf().alphaPow(gf().logOf(a)), a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothFields, GfParamTest,
+    ::testing::Values(&GaloisField::gf256(), &GaloisField::gf65536()),
+    [](const ::testing::TestParamInfo<const GaloisField *> &info) {
+        return info.param->bits() == 8 ? "GF256" : "GF65536";
+    });
+
+TEST(GfConstruction, GeneratorCoversField)
+{
+    // alpha must generate all nonzero elements: spot-check uniqueness of
+    // the log table by asserting alphaPow is a bijection on exponents.
+    const GaloisField &gf = GaloisField::gf256();
+    std::vector<bool> seen(gf.size(), false);
+    for (std::uint32_t i = 0; i < gf.size() - 1; ++i) {
+        const auto v = gf.alphaPow(i);
+        EXPECT_FALSE(seen[v]) << "repeat at exponent " << i;
+        seen[v] = true;
+    }
+}
+
+TEST(GfConstruction, NonPrimitivePolynomialRejected)
+{
+    // x^8 + x^4 + x^3 + x^2 + 1 (0x11D is primitive; 0x11B -- the AES
+    // polynomial -- is irreducible but NOT primitive, so it must be
+    // rejected by the alpha-order check).
+    EXPECT_THROW(GaloisField(8, 0x11B), std::logic_error);
+}
+
+TEST(GfConstruction, DegreeMismatchRejected)
+{
+    EXPECT_THROW(GaloisField(8, 0x1D), std::logic_error);
+    EXPECT_THROW(GaloisField(8, 0x21D), std::logic_error);
+}
+
+} // namespace
+} // namespace dve

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Cross-module integration tests: full workloads running over every
+ * scheme, fault storms during execution, detection-scheme pairings
+ * (Dvé+DSD / Dvé+TSD / Dvé+Chipkill), 4-socket machines, and
+ * end-to-end determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/system.hh"
+
+namespace dve
+{
+namespace
+{
+
+SystemConfig
+quick(SchemeKind k)
+{
+    SystemConfig cfg;
+    cfg.scheme = k;
+    cfg.engine.l1Bytes = 4 * 1024;
+    cfg.engine.llcBytes = 256 * 1024;
+    return cfg;
+}
+
+class AllSchemesTest : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(AllSchemesTest, WorkloadRunsCleanlyAndValueValidated)
+{
+    System sys(quick(GetParam()));
+    const auto r = sys.run(workloadByName("canneal"), 0.04);
+    EXPECT_GT(r.memOps, 0u);
+    EXPECT_GT(r.roiTime, 0u);
+    EXPECT_EQ(sys.engine().sdcReadsObserved(), 0u);
+    EXPECT_EQ(r.extra.count("machine_checks") ? r.extra.at("machine_checks")
+                                              : 0.0,
+              0.0);
+}
+
+TEST_P(AllSchemesTest, SurvivesSingleChipFaultMidRun)
+{
+    SystemConfig cfg = quick(GetParam());
+    System sys(cfg);
+    // A hard chip fault present for the whole run: Chipkill corrects
+    // locally everywhere, so no scheme may lose data or corrupt values.
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    f.socket = 0;
+    f.chip = 4;
+    sys.engine().faultRegistry().inject(f);
+
+    const auto r = sys.run(workloadByName("bfs"), 0.04);
+    EXPECT_EQ(sys.engine().machineCheckExceptions(), 0u);
+    EXPECT_EQ(sys.engine().sdcReadsObserved(), 0u);
+    EXPECT_GT(r.memOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, AllSchemesTest,
+    ::testing::Values(SchemeKind::BaselineNuma, SchemeKind::IntelMirror,
+                      SchemeKind::IntelMirrorPlus, SchemeKind::DveAllow,
+                      SchemeKind::DveDeny, SchemeKind::DveDynamic),
+    [](const auto &info) {
+        std::string n = schemeKindName(info.param);
+        for (auto &c : n)
+            if (c == '-' || c == '+')
+                c = '_';
+        return n;
+    });
+
+TEST(Integration, DveSurvivesControllerFaultMidRunBaselineDoesNot)
+{
+    // The headline end-to-end contrast: kill socket 0's memory
+    // controller mid-workload.
+    auto run = [](SchemeKind k) {
+        SystemConfig cfg = quick(k);
+        cfg.engine.validateValues = false; // baseline will lose data
+        System sys(cfg);
+        FaultDescriptor f;
+        f.scope = FaultScope::Controller;
+        f.socket = 0;
+        sys.engine().faultRegistry().inject(f);
+        sys.run(workloadByName("mg"), 0.03);
+        return sys.engine().machineCheckExceptions();
+    };
+    EXPECT_GT(run(SchemeKind::BaselineNuma), 0u);
+    EXPECT_EQ(run(SchemeKind::DveDeny), 0u);
+}
+
+TEST(Integration, DveWithDetectOnlyCodesStillRecovers)
+{
+    // Dvé+DSD: detection-only ECC; even a single chip fault is locally
+    // uncorrectable and must heal through the replica.
+    SystemConfig cfg = quick(SchemeKind::DveDeny);
+    cfg.engine.scheme = Scheme::DsdDetect;
+    System sys(cfg);
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    f.socket = 0;
+    f.chip = 2;
+    sys.engine().faultRegistry().inject(f);
+    sys.run(workloadByName("histo"), 0.03);
+    EXPECT_EQ(sys.engine().machineCheckExceptions(), 0u);
+    EXPECT_EQ(sys.engine().sdcReadsObserved(), 0u);
+    EXPECT_GT(sys.dveEngine()->replicaRecoveries(), 0u);
+}
+
+TEST(Integration, DveWithTsdDetection)
+{
+    SystemConfig cfg = quick(SchemeKind::DveDynamic);
+    cfg.engine.scheme = Scheme::TsdDetect;
+    System sys(cfg);
+    // Three simultaneous chip faults: within TSD's guaranteed envelope.
+    for (unsigned chip : {0u, 5u, 12u}) {
+        FaultDescriptor f;
+        f.scope = FaultScope::Chip;
+        f.socket = 1;
+        f.chip = chip;
+        sys.engine().faultRegistry().inject(f);
+    }
+    sys.run(workloadByName("lu"), 0.03);
+    EXPECT_EQ(sys.engine().machineCheckExceptions(), 0u);
+    EXPECT_EQ(sys.engine().sdcReadsObserved(), 0u);
+}
+
+TEST(Integration, FourSocketMachineRunsAllSchemes)
+{
+    for (SchemeKind k :
+         {SchemeKind::BaselineNuma, SchemeKind::DveDeny,
+          SchemeKind::DveAllow}) {
+        SystemConfig cfg = quick(k);
+        cfg.engine.sockets = 4;
+        cfg.threads = 32;
+        System sys(cfg);
+        const auto r = sys.run(workloadByName("stencil"), 0.03);
+        EXPECT_GT(r.memOps, 0u) << schemeKindName(k);
+        EXPECT_EQ(sys.engine().sdcReadsObserved(), 0u)
+            << schemeKindName(k);
+    }
+}
+
+TEST(Integration, IntelMirrorSurvivesOneChannelNotController)
+{
+    SystemConfig cfg = quick(SchemeKind::IntelMirror);
+    cfg.engine.validateValues = false;
+    {
+        System sys(cfg);
+        FaultDescriptor f;
+        f.scope = FaultScope::Channel;
+        f.socket = 0;
+        f.channel = 0; // primary copy's channel
+        sys.engine().faultRegistry().inject(f);
+        sys.run(workloadByName("comd"), 0.03);
+        EXPECT_EQ(sys.engine().machineCheckExceptions(), 0u);
+    }
+    {
+        // But the single controller is its Achilles heel (paper Sec. II).
+        System sys(cfg);
+        FaultDescriptor f;
+        f.scope = FaultScope::Controller;
+        f.socket = 0;
+        sys.engine().faultRegistry().inject(f);
+        sys.run(workloadByName("comd"), 0.03);
+        EXPECT_GT(sys.engine().machineCheckExceptions(), 0u);
+    }
+}
+
+TEST(Integration, ScrubIntervalKeepsTransientStormSurvivable)
+{
+    // Periodic scrubbing between fault arrivals: each transient pair is
+    // repaired before the next can join it (the scrub-interval
+    // assumption behind Table I's rates).
+    SystemConfig cfg = quick(SchemeKind::DveDeny);
+    System sys(cfg);
+    auto *dve = sys.dveEngine();
+    Tick t = 0;
+    for (unsigned p = 0; p < 8; ++p)
+        t = dve->access(0, 0, Addr(p) * pageBytes, true, p, t).done;
+
+    for (unsigned round = 0; round < 4; ++round) {
+        FaultDescriptor f;
+        f.scope = FaultScope::Chip;
+        f.socket = round % 2;
+        f.chip = 1 + round;
+        f.transient = true;
+        dve->faultRegistry().inject(f);
+        const auto rep = dve->patrolScrub(t);
+        t = rep.finishedAt;
+        EXPECT_EQ(rep.dataLost, 0u) << "round " << round;
+        EXPECT_EQ(dve->faultRegistry().activeCount(), 0u);
+    }
+    EXPECT_EQ(dve->machineCheckExceptions(), 0u);
+}
+
+TEST(Integration, RunResultsAreDeterministicPerScheme)
+{
+    for (SchemeKind k : {SchemeKind::BaselineNuma, SchemeKind::DveDeny}) {
+        auto once = [&] {
+            System sys(quick(k));
+            const auto r = sys.run(workloadByName("fft"), 0.03);
+            return std::tuple{r.roiTime, r.llcMisses,
+                              r.interSocketBytes, r.memoryEnergyNj};
+        };
+        EXPECT_EQ(once(), once()) << schemeKindName(k);
+    }
+}
+
+TEST(Integration, MpkiOrderingHoldsEndToEnd)
+{
+    // The Fig 6 x-axis contract: the first workload's measured MPKI
+    // exceeds the last one's by a wide margin.
+    System a(quick(SchemeKind::BaselineNuma));
+    const auto top = a.run(workloadByName("backprop"), 0.04);
+    System b(quick(SchemeKind::BaselineNuma));
+    const auto bottom = b.run(workloadByName("lbm"), 0.04);
+    EXPECT_GT(top.mpki, 2.0 * bottom.mpki);
+}
+
+} // namespace
+} // namespace dve

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the line codec: per-scheme chip-failure envelopes. These encode
+ * the design claims of Sec. III/IV of the paper:
+ *   - Chipkill SSC-DSD corrects any 1-chip failure and detects any 2.
+ *   - DSD (detect-only) detects any 1- or 2-chip failure.
+ *   - TSD detects up to 3 simultaneous chip failures.
+ *   - SEC-DED does NOT survive a chip failure (motivating chipkill).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "ecc/line_codec.hh"
+
+namespace dve
+{
+namespace
+{
+
+LineBytes
+randomLine(Rng &rng)
+{
+    LineBytes b;
+    for (auto &v : b)
+        v = static_cast<std::uint8_t>(rng.next(256));
+    return b;
+}
+
+/** Corrupt @p nchips distinct random chips. */
+std::set<unsigned>
+corruptChips(const LineCodec &codec, StoredLine &line, unsigned nchips,
+             Rng &rng)
+{
+    std::set<unsigned> chips;
+    while (chips.size() < nchips)
+        chips.insert(static_cast<unsigned>(rng.next(codec.chips())));
+    for (unsigned c : chips)
+        codec.corruptChip(line, c, rng);
+    return chips;
+}
+
+class SchemeTest : public ::testing::TestWithParam<Scheme>
+{
+};
+
+TEST_P(SchemeTest, CleanRoundTrip)
+{
+    const LineCodec codec(GetParam());
+    Rng rng(51);
+    for (int i = 0; i < 50; ++i) {
+        const auto data = randomLine(rng);
+        const auto stored = codec.encode(data);
+        EXPECT_EQ(stored.check.size(), codec.checkBytes());
+        const auto out = codec.decode(stored);
+        EXPECT_EQ(out.status, EccStatus::Clean);
+        EXPECT_EQ(out.data, data);
+    }
+}
+
+TEST_P(SchemeTest, ChipByteMapIsAPartitionOfTheStoredLine)
+{
+    const LineCodec codec(GetParam());
+    std::set<unsigned> seen;
+    for (unsigned c = 0; c < codec.chips(); ++c) {
+        for (unsigned b : codec.chipBytes(c)) {
+            EXPECT_TRUE(seen.insert(b).second)
+                << "byte " << b << " owned by two chips";
+        }
+    }
+    EXPECT_EQ(seen.size(), 64u + codec.checkBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeTest,
+    ::testing::Values(Scheme::SecDed72_64, Scheme::ChipkillSscDsd,
+                      Scheme::DsdDetect, Scheme::TsdDetect),
+    [](const ::testing::TestParamInfo<Scheme> &info) {
+        std::string n = schemeName(info.param);
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n;
+    });
+
+TEST(ChipkillCodec, CorrectsAnySingleChipFailure)
+{
+    const LineCodec codec(Scheme::ChipkillSscDsd);
+    Rng rng(52);
+    for (unsigned chip = 0; chip < codec.chips(); ++chip) {
+        const auto data = randomLine(rng);
+        auto stored = codec.encode(data);
+        codec.corruptChip(stored, chip, rng);
+        const auto out = codec.decode(stored);
+        ASSERT_EQ(out.status, EccStatus::Corrected) << "chip " << chip;
+        EXPECT_EQ(out.data, data);
+    }
+}
+
+TEST(ChipkillCodec, DetectsAnyDoubleChipFailure)
+{
+    const LineCodec codec(Scheme::ChipkillSscDsd);
+    Rng rng(53);
+    for (int iter = 0; iter < 300; ++iter) {
+        const auto data = randomLine(rng);
+        auto stored = codec.encode(data);
+        corruptChips(codec, stored, 2, rng);
+        const auto out = codec.decode(stored);
+        ASSERT_EQ(out.status, EccStatus::Detected) << "iter " << iter;
+    }
+}
+
+TEST(DsdCodec, DetectsSingleAndDoubleChipFailures)
+{
+    const LineCodec codec(Scheme::DsdDetect);
+    Rng rng(54);
+    for (unsigned nchips = 1; nchips <= 2; ++nchips) {
+        for (int iter = 0; iter < 200; ++iter) {
+            const auto data = randomLine(rng);
+            auto stored = codec.encode(data);
+            corruptChips(codec, stored, nchips, rng);
+            ASSERT_EQ(codec.decode(stored).status, EccStatus::Detected)
+                << nchips << " chips, iter " << iter;
+        }
+    }
+}
+
+TEST(TsdCodec, DetectsUpToTripleChipFailures)
+{
+    const LineCodec codec(Scheme::TsdDetect);
+    Rng rng(55);
+    for (unsigned nchips = 1; nchips <= 3; ++nchips) {
+        for (int iter = 0; iter < 200; ++iter) {
+            const auto data = randomLine(rng);
+            auto stored = codec.encode(data);
+            corruptChips(codec, stored, nchips, rng);
+            ASSERT_EQ(codec.decode(stored).status, EccStatus::Detected)
+                << nchips << " chips, iter " << iter;
+        }
+    }
+}
+
+TEST(SecDedCodec, ChipFailureFrequentlySilentlyCorrupts)
+{
+    // A whole-chip failure puts 8 bit-flips into each 72-bit word --
+    // far beyond SEC-DED's envelope. Count undetected corruption.
+    const LineCodec codec(Scheme::SecDed72_64);
+    Rng rng(56);
+    int sdc = 0;
+    const int iters = 300;
+    for (int iter = 0; iter < iters; ++iter) {
+        const auto data = randomLine(rng);
+        auto stored = codec.encode(data);
+        codec.corruptChip(stored, rng.next(8), rng);
+        const auto out = codec.decode(stored);
+        if (out.status != EccStatus::Detected && out.data != data)
+            ++sdc;
+    }
+    EXPECT_GT(sdc, 0) << "SEC-DED should not be chip-failure safe";
+}
+
+TEST(SecDedCodec, SingleBitPerWordCorrects)
+{
+    const LineCodec codec(Scheme::SecDed72_64);
+    Rng rng(57);
+    const auto data = randomLine(rng);
+    auto stored = codec.encode(data);
+    LineCodec::corruptBit(stored, 5, 3);   // word 0
+    LineCodec::corruptBit(stored, 13, 0);  // word 1
+    const auto out = codec.decode(stored);
+    EXPECT_EQ(out.status, EccStatus::Corrected);
+    EXPECT_EQ(out.data, data);
+}
+
+TEST(NoneCodec, ErrorsPassSilently)
+{
+    const LineCodec codec(Scheme::None);
+    Rng rng(58);
+    const auto data = randomLine(rng);
+    auto stored = codec.encode(data);
+    EXPECT_EQ(codec.checkBytes(), 0u);
+    codec.corruptChip(stored, 3, rng);
+    const auto out = codec.decode(stored);
+    EXPECT_EQ(out.status, EccStatus::Clean);
+    EXPECT_NE(out.data, data); // the silent corruption
+}
+
+TEST(LineCodec, CorruptChipAlwaysChangesOwnedBytes)
+{
+    const LineCodec codec(Scheme::ChipkillSscDsd);
+    Rng rng(59);
+    const auto data = randomLine(rng);
+    const auto clean = codec.encode(data);
+    for (unsigned chip = 0; chip < codec.chips(); ++chip) {
+        auto bad = clean;
+        codec.corruptChip(bad, chip, rng);
+        EXPECT_NE(bad, clean);
+    }
+}
+
+TEST(LineCodec, CheckBytesPerScheme)
+{
+    EXPECT_EQ(LineCodec(Scheme::None).checkBytes(), 0u);
+    EXPECT_EQ(LineCodec(Scheme::SecDed72_64).checkBytes(), 8u);
+    EXPECT_EQ(LineCodec(Scheme::ChipkillSscDsd).checkBytes(), 12u);
+    EXPECT_EQ(LineCodec(Scheme::DsdDetect).checkBytes(), 8u);
+    EXPECT_EQ(LineCodec(Scheme::TsdDetect).checkBytes(), 12u);
+}
+
+TEST(LineCodec, OutOfRangeChipPanics)
+{
+    const LineCodec codec(Scheme::ChipkillSscDsd);
+    EXPECT_THROW(codec.chipBytes(19), std::logic_error);
+    const LineCodec dsd(Scheme::DsdDetect);
+    EXPECT_THROW(dsd.chipBytes(18), std::logic_error);
+}
+
+} // namespace
+} // namespace dve

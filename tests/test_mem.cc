@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the memory controller: value storage, ECC interaction with
+ * injected faults, mirroring modes, and repair.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_controller.hh"
+
+namespace dve
+{
+namespace
+{
+
+class MemTest : public ::testing::Test
+{
+  protected:
+    FaultRegistry faults;
+
+    MemoryController
+    make(Scheme s, MirrorMode m = MirrorMode::None)
+    {
+        return MemoryController("mc", 0, DramConfig{}, s, m, &faults, 99);
+    }
+};
+
+TEST_F(MemTest, MaterializeRoundTrip)
+{
+    for (Addr line = 0; line < 64; ++line) {
+        const std::uint64_t v = 0x1234'5678'9ABC'DEF0ULL * (line + 1);
+        const auto bytes = materializeLine(line, v);
+        EXPECT_EQ(dematerializeLine(line, bytes), v);
+    }
+}
+
+TEST_F(MemTest, MaterializeSensitiveToAnyByte)
+{
+    const auto bytes = materializeLine(7, 42);
+    for (unsigned i = 0; i < 64; ++i) {
+        auto bad = bytes;
+        bad[i] ^= 0x10;
+        EXPECT_NE(dematerializeLine(7, bad), 42u) << "byte " << i;
+    }
+}
+
+TEST_F(MemTest, WriteThenReadReturnsValue)
+{
+    auto mc = make(Scheme::ChipkillSscDsd);
+    const Tick w = mc.write(0x1000, 0xABCD, 0);
+    const auto r = mc.read(0x1000, w);
+    EXPECT_EQ(r.value, 0xABCDu);
+    EXPECT_EQ(r.status, EccStatus::Clean);
+    EXPECT_FALSE(r.failed);
+    EXPECT_GT(r.readyAt, w);
+}
+
+TEST_F(MemTest, UnwrittenLinesReadZero)
+{
+    auto mc = make(Scheme::ChipkillSscDsd);
+    EXPECT_EQ(mc.read(0x5000, 0).value, 0u);
+}
+
+TEST_F(MemTest, ChipkillCorrectsSingleChipFault)
+{
+    auto mc = make(Scheme::ChipkillSscDsd);
+    mc.write(0x2000, 0x1111, 0);
+
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    f.chip = 5;
+    faults.inject(f);
+
+    const auto r = mc.read(0x2000, 100000);
+    EXPECT_EQ(r.status, EccStatus::Corrected);
+    EXPECT_EQ(r.value, 0x1111u);
+    EXPECT_FALSE(r.failed);
+    EXPECT_EQ(mc.correctedErrors(), 1u);
+}
+
+TEST_F(MemTest, ChipkillDetectsDoubleChipFault)
+{
+    auto mc = make(Scheme::ChipkillSscDsd);
+    mc.write(0x2000, 0x2222, 0);
+    for (unsigned chip : {2u, 9u}) {
+        FaultDescriptor f;
+        f.scope = FaultScope::Chip;
+        f.chip = chip;
+        faults.inject(f);
+    }
+    const auto r = mc.read(0x2000, 100000);
+    EXPECT_EQ(r.status, EccStatus::Detected);
+    EXPECT_TRUE(r.failed);
+    EXPECT_EQ(mc.detectedFailures(), 1u);
+}
+
+TEST_F(MemTest, DsdDetectsButCannotCorrect)
+{
+    auto mc = make(Scheme::DsdDetect);
+    mc.write(0x3000, 0x3333, 0);
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    f.chip = 0;
+    faults.inject(f);
+    const auto r = mc.read(0x3000, 100000);
+    EXPECT_EQ(r.status, EccStatus::Detected);
+    EXPECT_TRUE(r.failed);
+}
+
+TEST_F(MemTest, ChannelFaultFailsDetectably)
+{
+    auto mc = make(Scheme::ChipkillSscDsd);
+    mc.write(0x4000, 0x4444, 0);
+    FaultDescriptor f;
+    f.scope = FaultScope::Channel;
+    f.channel = 0;
+    faults.inject(f);
+    const auto r = mc.read(0x4000, 0);
+    EXPECT_TRUE(r.failed);
+}
+
+TEST_F(MemTest, NoneSchemeSilentlyCorrupts)
+{
+    auto mc = make(Scheme::None);
+    mc.write(0x5000, 0x5555, 0);
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    f.chip = 1;
+    faults.inject(f);
+    const auto r = mc.read(0x5000, 0);
+    EXPECT_FALSE(r.failed);
+    EXPECT_NE(r.value, 0x5555u);
+    EXPECT_EQ(mc.silentCorruptions(), 1u);
+}
+
+TEST_F(MemTest, MirrorPrimaryFailsOverOnFault)
+{
+    auto mc = make(Scheme::ChipkillSscDsd, MirrorMode::Primary);
+    mc.write(0x6000, 0x6666, 0);
+    // Kill the whole primary channel (global channel 0 = copy 0).
+    FaultDescriptor f;
+    f.scope = FaultScope::Channel;
+    f.channel = 0;
+    faults.inject(f);
+
+    const auto r = mc.read(0x6000, 0);
+    EXPECT_FALSE(r.failed);
+    EXPECT_EQ(r.value, 0x6666u);
+    EXPECT_EQ(r.status, EccStatus::Corrected); // intra-MC failover
+    EXPECT_EQ(mc.stats().get("mirror_failovers"), 1.0);
+}
+
+TEST_F(MemTest, MirrorBothCopiesDeadFails)
+{
+    auto mc = make(Scheme::ChipkillSscDsd, MirrorMode::Primary);
+    mc.write(0x6000, 0x6666, 0);
+    for (unsigned ch : {0u, 1u}) {
+        FaultDescriptor f;
+        f.scope = FaultScope::Channel;
+        f.channel = ch;
+        faults.inject(f);
+    }
+    EXPECT_TRUE(mc.read(0x6000, 0).failed);
+}
+
+TEST_F(MemTest, LoadBalanceAlternatesCopies)
+{
+    auto mc = make(Scheme::ChipkillSscDsd, MirrorMode::LoadBalance);
+    mc.write(0x7000, 0x7777, 0);
+    const Tick t0 = 1000000;
+    mc.read(0x7000, t0);
+    mc.read(0x7000, t0);
+    // Both single-channel copies should have been read once each.
+    EXPECT_EQ(mc.dram(0).reads(), 1u);
+    EXPECT_EQ(mc.dram(1).reads(), 1u);
+    // Writes always go to both copies.
+    EXPECT_EQ(mc.dram(0).writes(), 1u);
+    EXPECT_EQ(mc.dram(1).writes(), 1u);
+}
+
+TEST_F(MemTest, RepairCuresTransientFault)
+{
+    auto mc = make(Scheme::DsdDetect);
+    mc.write(0x8000, 0x8888, 0);
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    f.chip = 3;
+    f.transient = true;
+    faults.inject(f);
+
+    EXPECT_TRUE(mc.read(0x8000, 0).failed);
+    const auto r = mc.repairAndVerify(0x8000, 0x8888, 1000000);
+    EXPECT_FALSE(r.failed);
+    EXPECT_EQ(r.value, 0x8888u);
+    EXPECT_EQ(faults.activeCount(), 0u);
+}
+
+TEST_F(MemTest, RepairCannotCureHardFault)
+{
+    auto mc = make(Scheme::DsdDetect);
+    mc.write(0x9000, 0x9999, 0);
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    f.chip = 3;
+    faults.inject(f);
+
+    EXPECT_TRUE(mc.read(0x9000, 0).failed);
+    const auto r = mc.repairAndVerify(0x9000, 0x9999, 1000000);
+    EXPECT_TRUE(r.failed);
+    EXPECT_EQ(faults.activeCount(), 1u);
+}
+
+TEST_F(MemTest, CellFaultCorrectedBySecDed)
+{
+    auto mc = make(Scheme::SecDed72_64);
+    mc.write(0xA000, 0xAAAA, 0);
+    FaultDescriptor f;
+    f.scope = FaultScope::Cell;
+    f.chip = 1;
+    f.bank = 0;
+    // Match the decoded coordinates of 0xA000 (bank for line 0xA000>>6).
+    const auto coord = mc.dram().map().decode(0xA000);
+    f.bank = coord.bank;
+    f.row = coord.row;
+    f.column = coord.column;
+    f.bit = 2;
+    faults.inject(f);
+
+    const auto r = mc.read(0xA000, 0);
+    EXPECT_EQ(r.status, EccStatus::Corrected);
+    EXPECT_EQ(r.value, 0xAAAAu);
+}
+
+TEST_F(MemTest, PeekAndPokeBypassTiming)
+{
+    auto mc = make(Scheme::ChipkillSscDsd);
+    mc.poke(0xB000, 0xB0B0);
+    EXPECT_EQ(mc.peek(0xB000), 0xB0B0u);
+}
+
+} // namespace
+} // namespace dve

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for mesh routing and the system interconnect.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/interconnect.hh"
+#include "noc/mesh.hh"
+
+namespace dve
+{
+namespace
+{
+
+TEST(Mesh, HopCountsMatchManhattanDistance)
+{
+    // On a mesh, shortest-path hops == Manhattan distance.
+    const Mesh m(4, 2);
+    for (unsigned s = 0; s < m.numNodes(); ++s) {
+        for (unsigned d = 0; d < m.numNodes(); ++d) {
+            const int sx = s % 4, sy = s / 4;
+            const int dx = d % 4, dy = d / 4;
+            const unsigned manhattan = std::abs(sx - dx) + std::abs(sy - dy);
+            EXPECT_EQ(m.hops(s, d), manhattan) << s << "->" << d;
+        }
+    }
+}
+
+TEST(Mesh, RoutesAreShortestAndValid)
+{
+    const Mesh m(4, 4);
+    for (unsigned s = 0; s < m.numNodes(); ++s) {
+        for (unsigned d = 0; d < m.numNodes(); ++d) {
+            const auto path = m.route(s, d);
+            EXPECT_EQ(path.size(), m.hops(s, d));
+            unsigned prev = s;
+            for (unsigned v : path) {
+                // Each step is to a mesh neighbor.
+                const int px = prev % 4, py = prev / 4;
+                const int vx = v % 4, vy = v / 4;
+                EXPECT_EQ(std::abs(px - vx) + std::abs(py - vy), 1);
+                prev = v;
+            }
+            if (!path.empty()) {
+                EXPECT_EQ(path.back(), d);
+            }
+        }
+    }
+}
+
+TEST(Mesh, RoutesAreDeterministic)
+{
+    const Mesh a(4, 2), b(4, 2);
+    for (unsigned s = 0; s < a.numNodes(); ++s)
+        for (unsigned d = 0; d < a.numNodes(); ++d)
+            EXPECT_EQ(a.route(s, d), b.route(s, d));
+}
+
+TEST(Mesh, TraverseAccountsLinkLoads)
+{
+    Mesh m(4, 2);
+    EXPECT_EQ(m.traverse(0, 3), 3u);
+    EXPECT_EQ(m.totalLinkTraversals(), 3u);
+    // Route 0->3 is along the top row: links 0-1, 1-2, 2-3.
+    EXPECT_EQ(m.linkLoad(0, 1), 1u);
+    EXPECT_EQ(m.linkLoad(1, 2), 1u);
+    EXPECT_EQ(m.linkLoad(2, 3), 1u);
+    EXPECT_EQ(m.linkLoad(3, 2), 0u); // directed
+
+    m.resetTraffic();
+    EXPECT_EQ(m.totalLinkTraversals(), 0u);
+}
+
+TEST(Mesh, SelfRouteIsEmpty)
+{
+    Mesh m(2, 2);
+    EXPECT_EQ(m.hops(1, 1), 0u);
+    EXPECT_TRUE(m.route(1, 1).empty());
+    EXPECT_EQ(m.traverse(1, 1), 0u);
+}
+
+TEST(Mesh, MeanPairwiseHops2x4)
+{
+    const Mesh m(4, 2);
+    // Exhaustive expectation computed from Manhattan distances.
+    double total = 0;
+    for (unsigned s = 0; s < 8; ++s)
+        for (unsigned d = 0; d < 8; ++d)
+            total += std::abs(int(s % 4) - int(d % 4))
+                     + std::abs(int(s / 4) - int(d / 4));
+    EXPECT_NEAR(m.meanPairwiseHops(), total / (8.0 * 7.0), 1e-12);
+}
+
+TEST(Mesh, DegenerateSingleNode)
+{
+    const Mesh m(1, 1);
+    EXPECT_EQ(m.numNodes(), 1u);
+    EXPECT_EQ(m.hops(0, 0), 0u);
+}
+
+TEST(Interconnect, IntraSocketLatencyIsHopsTimesCycle)
+{
+    NocConfig cfg;
+    Interconnect ic(cfg);
+    const NodeId a{0, 0}, b{0, 7};
+    // 0 -> 7 in a 4x2 mesh is 4 hops (3 x + 1 y).
+    EXPECT_EQ(ic.latency(a, b), 4 * cfg.hopLatency);
+    EXPECT_EQ(ic.latency(a, a), 0u);
+}
+
+TEST(Interconnect, InterSocketLatencyAddsLinkAndGatewayHops)
+{
+    NocConfig cfg;
+    Interconnect ic(cfg);
+    const NodeId a{0, 0}, b{1, 0};
+    // Gateway is tile 0 in both sockets: no mesh hops on either side.
+    EXPECT_EQ(ic.latency(a, b), cfg.interSocketLatency);
+
+    const NodeId c{1, 7};
+    EXPECT_EQ(ic.latency(a, c), cfg.interSocketLatency + 4 * cfg.hopLatency);
+}
+
+TEST(Interconnect, TrafficAccounting)
+{
+    NocConfig cfg;
+    Interconnect ic(cfg);
+    ic.send({0, 1}, {0, 2}, MsgClass::Control);
+    EXPECT_EQ(ic.interSocketMessages(), 0u);
+
+    ic.send({0, 0}, {1, 0}, MsgClass::Control);
+    ic.send({0, 0}, {1, 0}, MsgClass::Data);
+    EXPECT_EQ(ic.interSocketMessages(), 2u);
+    EXPECT_EQ(ic.interSocketBytes(),
+              cfg.controlBytes + cfg.dataBytes);
+
+    ic.resetTraffic();
+    EXPECT_EQ(ic.interSocketMessages(), 0u);
+    EXPECT_EQ(ic.interSocketBytes(), 0u);
+}
+
+TEST(Interconnect, StatsRegistered)
+{
+    Interconnect ic(NocConfig{});
+    EXPECT_TRUE(ic.stats().has("inter_socket_bytes"));
+    EXPECT_TRUE(ic.stats().has("intra_hops"));
+}
+
+TEST(Interconnect, LatencySensitivityKnob)
+{
+    NocConfig cfg;
+    cfg.interSocketLatency = 30 * ticksPerNs;
+    Interconnect fast(cfg);
+    cfg.interSocketLatency = 60 * ticksPerNs;
+    Interconnect slow(cfg);
+    const NodeId a{0, 0}, b{1, 0};
+    EXPECT_EQ(slow.latency(a, b) - fast.latency(a, b), 30 * ticksPerNs);
+}
+
+} // namespace
+} // namespace dve

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the Murphi-style protocol model checker: the baseline MSI
+ * protocol and both Dvé replica-protocol families must verify
+ * exhaustively on small configurations, and deliberately mutated
+ * protocols must be caught with a concrete counterexample trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocol_check/checker.hh"
+
+namespace dve
+{
+namespace pcheck
+{
+namespace
+{
+
+ModelConfig
+cfg(CheckProtocol p, unsigned home, unsigned rep, unsigned budget)
+{
+    ModelConfig c;
+    c.protocol = p;
+    c.homeCaches = home;
+    c.replicaCaches = rep;
+    c.opBudget = budget;
+    return c;
+}
+
+TEST(ProtocolCheck, BaselineMsiVerifies)
+{
+    const auto r = explore(cfg(CheckProtocol::BaselineMsi, 2, 0, 3));
+    EXPECT_TRUE(r.ok) << r.summary();
+    EXPECT_GT(r.statesExplored, 1000u);
+    EXPECT_GT(r.quiescentStates, 0u);
+}
+
+TEST(ProtocolCheck, DenyProtocolVerifies)
+{
+    const auto r = explore(cfg(CheckProtocol::Deny, 1, 1, 3));
+    EXPECT_TRUE(r.ok) << r.summary();
+    EXPECT_GT(r.statesExplored, 10000u);
+}
+
+TEST(ProtocolCheck, AllowProtocolVerifies)
+{
+    const auto r = explore(cfg(CheckProtocol::Allow, 1, 1, 3));
+    EXPECT_TRUE(r.ok) << r.summary();
+    EXPECT_GT(r.statesExplored, 10000u);
+}
+
+TEST(ProtocolCheck, DenyTwoHomeCachesVerifies)
+{
+    const auto r = explore(cfg(CheckProtocol::Deny, 2, 1, 2));
+    EXPECT_TRUE(r.ok) << r.summary();
+    EXPECT_GT(r.statesExplored, 100000u);
+}
+
+TEST(ProtocolCheck, AllowTwoHomeCachesVerifies)
+{
+    const auto r = explore(cfg(CheckProtocol::Allow, 2, 1, 2));
+    EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(ProtocolCheck, MissingRmPushIsCaught)
+{
+    // Without the eager RM push, a home-side write leaves the replica
+    // readable and stale: the checker must produce a counterexample.
+    auto c = cfg(CheckProtocol::Deny, 1, 1, 3);
+    c.bugSkipRmPush = true;
+    const auto r = explore(c);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.violation.find("stale"), std::string::npos)
+        << r.violation;
+    EXPECT_FALSE(r.trace.empty());
+}
+
+TEST(ProtocolCheck, UnackedOwnershipTransferIsCaught)
+{
+    // If the exclusive grant does not wait for the replica directory's
+    // acknowledgment, a window exists where a completed write coexists
+    // with a readable stale replica (the bug the checker found during
+    // this model's development).
+    auto c = cfg(CheckProtocol::Deny, 1, 1, 3);
+    c.bugUnackedRdOwn = true;
+    const auto r = explore(c);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.violation.find("stale"), std::string::npos)
+        << r.violation;
+    // The counterexample is short and replayable.
+    EXPECT_LE(r.trace.size(), 10u);
+}
+
+TEST(ProtocolCheck, QuiescentStatesAreInvariantClean)
+{
+    // Spot property: summary formatting carries the verdict.
+    const auto r = explore(cfg(CheckProtocol::Deny, 1, 1, 2));
+    EXPECT_TRUE(r.ok);
+    EXPECT_NE(r.summary().find("PASS"), std::string::npos);
+}
+
+TEST(ProtocolCheck, StateBoundTriggersGracefully)
+{
+    const auto r = explore(cfg(CheckProtocol::Deny, 1, 1, 3), 100);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.violation.find("bound"), std::string::npos);
+}
+
+TEST(ProtocolCheck, EncodingDistinguishesStates)
+{
+    const Model m(cfg(CheckProtocol::Deny, 1, 1, 2));
+    const State init = m.initial();
+    const auto succs = m.successors(init);
+    ASSERT_FALSE(succs.empty());
+    for (const auto &s : succs)
+        EXPECT_NE(s.state.encode(), init.encode()) << s.action;
+}
+
+TEST(ProtocolCheck, InitialStateIsQuiescentAndClean)
+{
+    const Model m(cfg(CheckProtocol::Allow, 1, 1, 2));
+    const State init = m.initial();
+    EXPECT_TRUE(m.quiescent(init));
+    EXPECT_FALSE(m.checkInvariants(init).has_value());
+}
+
+} // namespace
+} // namespace pcheck
+} // namespace dve

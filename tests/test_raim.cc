@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the operational IBM RAIM (RAID-3) controller mode -- the
+ * paper's premier reliability comparator (Sec. IV-B). RAIM survives a
+ * full channel failure by striping data + XOR parity across five
+ * channels, but every read gangs all five channels (its performance
+ * cost) and everything sits behind one controller (its Achilles heel
+ * versus Dvé).
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/engine.hh"
+#include "mem/memory_controller.hh"
+
+namespace dve
+{
+namespace
+{
+
+class RaimTest : public ::testing::Test
+{
+  protected:
+    FaultRegistry faults;
+
+    MemoryController
+    make()
+    {
+        return MemoryController("raim", 0, DramConfig{},
+                                Scheme::ChipkillSscDsd, MirrorMode::Raim,
+                                &faults, 7);
+    }
+};
+
+TEST_F(RaimTest, FiveChannelsConstructed)
+{
+    auto mc = make();
+    EXPECT_EQ(mc.copies(), 5u);
+    EXPECT_EQ(mc.mirrorMode(), MirrorMode::Raim);
+}
+
+TEST_F(RaimTest, WriteReadRoundTripAcrossStripe)
+{
+    auto mc = make();
+    Tick t = 0;
+    // Four consecutive lines land on the four data channels.
+    for (unsigned i = 0; i < 4; ++i)
+        t = mc.write(Addr(i) * lineBytes, 100 + i, t);
+    for (unsigned i = 0; i < 4; ++i) {
+        const auto r = mc.read(Addr(i) * lineBytes, t);
+        EXPECT_EQ(r.value, 100u + i);
+        EXPECT_FALSE(r.failed);
+        t = r.readyAt;
+    }
+}
+
+TEST_F(RaimTest, EveryReadGangsAllFiveChannels)
+{
+    auto mc = make();
+    mc.write(0, 1, 0);
+    const auto before0 = mc.dram(0).reads();
+    const auto before4 = mc.dram(4).reads();
+    mc.read(0, 1000000);
+    // The 256 B ganged access touched every channel, parity included.
+    EXPECT_EQ(mc.dram(0).reads(), before0 + 1);
+    EXPECT_EQ(mc.dram(4).reads(), before4 + 1);
+    for (unsigned c = 1; c < 4; ++c)
+        EXPECT_GT(mc.dram(c).reads(), 0u);
+}
+
+TEST_F(RaimTest, SurvivesFullChannelFailure)
+{
+    auto mc = make();
+    Tick t = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        t = mc.write(Addr(i) * lineBytes, 0xC0DE + i, t);
+
+    // Kill channel 2 outright (lines 2, 6, ... live there).
+    FaultDescriptor f;
+    f.scope = FaultScope::Channel;
+    f.channel = 2;
+    faults.inject(f);
+
+    const auto r = mc.read(2 * lineBytes, t);
+    EXPECT_FALSE(r.failed);
+    EXPECT_EQ(r.status, EccStatus::Corrected);
+    EXPECT_EQ(r.value, 0xC0DEu + 2);
+    const auto r2 = mc.read(6 * lineBytes, r.readyAt);
+    EXPECT_EQ(r2.value, 0xC0DEu + 6);
+    EXPECT_GE(mc.correctedErrors(), 2u);
+}
+
+TEST_F(RaimTest, SurvivesChannelFailureOfUnwrittenStripeMates)
+{
+    auto mc = make();
+    mc.write(lineBytes, 55, 0); // only line 1 written in its stripe
+    FaultDescriptor f;
+    f.scope = FaultScope::Channel;
+    f.channel = 1;
+    faults.inject(f);
+    const auto r = mc.read(lineBytes, 1000000);
+    EXPECT_FALSE(r.failed);
+    EXPECT_EQ(r.value, 55u); // mates read as 0; parity covers them
+}
+
+TEST_F(RaimTest, ParityChannelFailureHarmlessForReads)
+{
+    auto mc = make();
+    mc.write(0, 9, 0);
+    FaultDescriptor f;
+    f.scope = FaultScope::Channel;
+    f.channel = 4; // the parity channel
+    faults.inject(f);
+    const auto r = mc.read(0, 1000000);
+    EXPECT_FALSE(r.failed);
+    EXPECT_EQ(r.value, 9u);
+}
+
+TEST_F(RaimTest, DoubleChannelFailureIsDue)
+{
+    auto mc = make();
+    mc.write(0, 3, 0);
+    for (unsigned ch : {0u, 1u}) {
+        FaultDescriptor f;
+        f.scope = FaultScope::Channel;
+        f.channel = ch;
+        faults.inject(f);
+    }
+    const auto r = mc.read(0, 1000000);
+    EXPECT_TRUE(r.failed);
+}
+
+TEST_F(RaimTest, SingleControllerIsTheAchillesHeel)
+{
+    // The paper's core argument: RAIM's five channels share one
+    // controller, so a controller fault defeats the whole array --
+    // while Dvé's replica sits behind an independent controller.
+    auto mc = make();
+    mc.write(0, 77, 0);
+    FaultDescriptor f;
+    f.scope = FaultScope::Controller;
+    faults.inject(f);
+    EXPECT_TRUE(mc.read(0, 1000000).failed);
+}
+
+TEST_F(RaimTest, ChipFaultWithinChannelCorrectedByChipkillFirst)
+{
+    // Chipkill handles a single chip locally; RAID-3 is the second tier.
+    auto mc = make();
+    mc.write(0, 11, 0);
+    FaultDescriptor f;
+    f.scope = FaultScope::Chip;
+    f.channel = 0;
+    f.chip = 3;
+    faults.inject(f);
+    const auto r = mc.read(0, 1000000);
+    EXPECT_EQ(r.status, EccStatus::Corrected);
+    EXPECT_EQ(r.value, 11u);
+}
+
+TEST_F(RaimTest, RepairCuresTransientChannelGlitch)
+{
+    auto mc = make();
+    mc.write(0, 21, 0);
+    FaultDescriptor f;
+    f.scope = FaultScope::Channel;
+    f.channel = 0;
+    f.transient = true;
+    faults.inject(f);
+    ASSERT_EQ(mc.read(0, 0).status, EccStatus::Corrected);
+    const auto r = mc.repairAndVerify(0, 21, 1000000);
+    EXPECT_EQ(r.status, EccStatus::Clean);
+    EXPECT_EQ(faults.activeCount(), 0u);
+}
+
+TEST(RaimEngine, FullSystemRunsWithRaimMemory)
+{
+    // RAIM as the per-socket memory of the full coherence engine: runs
+    // value-validated and is slower than plain memory (ganged reads).
+    EngineConfig cfg;
+    cfg.l1Bytes = 1024;
+    cfg.llcBytes = 16 * 1024;
+
+    CoherenceEngine plain(cfg);
+    cfg.mirror = MirrorMode::Raim;
+    CoherenceEngine raim(cfg);
+
+    Rng rng(17);
+    Tick tp = 0, tr = 0;
+    for (int op = 0; op < 4000; ++op) {
+        const unsigned c = static_cast<unsigned>(rng.next(16));
+        const Addr a = Addr(rng.next(16)) * pageBytes
+                       + Addr(rng.next(8)) * lineBytes;
+        const bool w = rng.chance(0.3);
+        const std::uint64_t v = rng.engine()();
+        tp = plain.access(c / 8, c % 8, a, w, v, tp).done;
+        tr = raim.access(c / 8, c % 8, a, w, v, tr).done;
+    }
+    EXPECT_EQ(raim.sdcReadsObserved(), 0u);
+    EXPECT_GT(tr, tp) << "ganged 256B accesses must cost time";
+}
+
+} // namespace
+} // namespace dve

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the analytical reliability models: every Table I cell is
+ * checked against the paper's reported value, the thermal analysis
+ * reproduces the 4.15x / 11% claims, and a Monte-Carlo simulation
+ * cross-checks the closed forms' chipkill-vs-Dvé DUE ratio.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/rates.hh"
+
+namespace dve
+{
+namespace reliability
+{
+namespace
+{
+
+/** Relative-error matcher for order-of-magnitude reliability math. */
+void
+expectNear(double actual, double expected, double rel_tol,
+           const char *what)
+{
+    EXPECT_NEAR(actual, expected, std::abs(expected) * rel_tol) << what;
+}
+
+TEST(TableOne, ChipkillBaseline)
+{
+    const auto r = chipkill();
+    expectNear(r.due, 1.0e-2, 0.05, "chipkill DUE");
+    expectNear(r.sdc, 3.1e-10, 0.08, "chipkill SDC");
+}
+
+TEST(TableOne, DveDsd)
+{
+    const auto r = dveDsd();
+    expectNear(r.due, 2.5e-3, 0.05, "dve+dsd DUE");
+    expectNear(r.sdc, 6.3e-10, 0.08, "dve+dsd SDC");
+    // The 4x headline: DUE improvement over Chipkill.
+    EXPECT_NEAR(chipkill().due / r.due, 4.0, 0.05);
+}
+
+TEST(TableOne, DveTsd)
+{
+    const auto r = dveTsd();
+    expectNear(r.due, 2.5e-3, 0.05, "dve+tsd DUE");
+    expectNear(r.sdc, 2.5e-16, 0.08, "dve+tsd SDC");
+    // ~10^6 x SDC improvement over Chipkill.
+    const double impr = chipkill().sdc / r.sdc;
+    EXPECT_GT(impr, 1e5);
+    EXPECT_LT(impr, 1e7);
+}
+
+TEST(TableOne, Raim)
+{
+    const auto r = raim();
+    expectNear(r.due, 1.5e-14, 0.08, "RAIM DUE");
+    expectNear(r.sdc, 4.0e-10, 0.08, "RAIM SDC");
+}
+
+TEST(TableOne, DveChipkill)
+{
+    const auto r = dveChipkill();
+    expectNear(r.due, 8.79e-17, 0.05, "dve+chipkill DUE");
+    expectNear(r.sdc, 6.3e-10, 0.08, "dve+chipkill SDC");
+    // Two orders of magnitude better DUE than RAIM (paper: 172x).
+    const double impr = raim().due / r.due;
+    EXPECT_GT(impr, 100.0);
+    EXPECT_LT(impr, 300.0);
+}
+
+TEST(TableOne, ThermalProfileMatchesPaper)
+{
+    const auto fits = thermalFitProfile();
+    ASSERT_EQ(fits.size(), 9u);
+    EXPECT_DOUBLE_EQ(fits.front(), 66.1);
+    EXPECT_DOUBLE_EQ(fits.back(), 131.7);
+}
+
+TEST(TableOne, ThermalChipkill)
+{
+    const auto r = chipkillThermal(ModelParams{}, thermalFitProfile());
+    expectNear(r.due, 2.2e-2, 0.05, "chipkill-thermal DUE");
+    expectNear(r.sdc, 1.0e-9, 0.15, "chipkill-thermal SDC");
+}
+
+TEST(TableOne, ThermalDveTsdRiskInverseMapping)
+{
+    const ModelParams p;
+    const auto fits = thermalFitProfile();
+    const auto dve = dveTsdThermal(p, fits, true);
+    const auto intel = dveTsdThermal(p, fits, false);
+
+    expectNear(dve.due, 5.3e-3, 0.05, "dve+tsd thermal DUE");
+    expectNear(intel.due, 5.9e-3, 0.05, "intel+tsd thermal DUE");
+    expectNear(dve.sdc, 1.1e-15, 0.15, "dve+tsd thermal SDC");
+
+    // 4.15x over thermal Chipkill; >= 11% better DUE than Intel-style
+    // same-position mirroring (the thermal risk-inverse benefit).
+    const auto ck = chipkillThermal(p, fits);
+    EXPECT_NEAR(ck.due / dve.due, 4.15, 0.1);
+    EXPECT_GE(intel.due / dve.due, 1.09);
+}
+
+TEST(Rates, ScaleLinearlyWithDimms)
+{
+    ModelParams p;
+    p.dimms = 64;
+    EXPECT_NEAR(chipkill(p).due, 2 * chipkill().due, 1e-12);
+}
+
+TEST(Rates, ScaleQuadraticallyWithFit)
+{
+    ModelParams p;
+    p.fitPerChip = 132.2; // 2x
+    EXPECT_NEAR(chipkill(p).due / chipkill().due, 4.0, 1e-9);
+    // SDC involves three failures: 8x.
+    EXPECT_NEAR(chipkill(p).sdc / chipkill().sdc, 8.0, 1e-9);
+}
+
+TEST(Rates, ArrheniusFactorBehaviour)
+{
+    EXPECT_NEAR(arrheniusFactor(0.0), 1.0, 1e-12);
+    const double f10 = arrheniusFactor(10.0);
+    EXPECT_GT(f10, 1.4); // roughly doubles every ~10-12 C at Ea=0.6
+    EXPECT_LT(f10, 2.5);
+    EXPECT_GT(arrheniusFactor(20.0), f10 * 1.3);
+}
+
+TEST(Rates, EffectiveCapacity)
+{
+    // Chipkill DIMM: 8 data chips of 9.
+    EXPECT_NEAR(effectiveCapacity(64, 8, 1), 64.0 / 72.0, 1e-12);
+    // Dvé+DSD: replicated, so half of the above ~ 44% (paper: 43.75%).
+    EXPECT_NEAR(effectiveCapacity(64, 8, 2), 32.0 / 72.0, 1e-12);
+    EXPECT_NEAR(effectiveCapacity(64, 8, 2), 0.444, 0.01);
+    // No protection: 100%.
+    EXPECT_DOUBLE_EQ(effectiveCapacity(64, 0, 1), 1.0);
+}
+
+TEST(MonteCarlo, CrossChecksTheFourXDueRatio)
+{
+    // At an inflated per-window failure probability the closed forms'
+    // chipkill:dve DUE ratio (36 ordered pairs vs 9 same-position
+    // pairs = 4x) must emerge from brute-force simulation.
+    ModelParams p;
+    Rng rng(31337);
+    const double q = 0.002;
+    const auto trials = 400000ull;
+    const double ck = monteCarloChipkillDue(p, q, trials, rng);
+    const double dv = monteCarloDveDue(p, q, trials, rng);
+
+    // Closed-form per-window probabilities (unordered counting).
+    const double ck_expect = p.dimms * 36.0 * q * q;
+    const double dv_expect = p.dimms * 9.0 * q * q;
+    EXPECT_NEAR(ck, ck_expect, ck_expect * 0.15);
+    EXPECT_NEAR(dv, dv_expect, dv_expect * 0.25);
+    EXPECT_NEAR(ck / dv, 4.0, 1.0);
+}
+
+TEST(MonteCarlo, ZeroFailureProbabilityIsSafe)
+{
+    ModelParams p;
+    Rng rng(1);
+    EXPECT_EQ(monteCarloChipkillDue(p, 0.0, 1000, rng), 0.0);
+    EXPECT_EQ(monteCarloDveDue(p, 0.0, 1000, rng), 0.0);
+}
+
+} // namespace
+} // namespace reliability
+} // namespace dve

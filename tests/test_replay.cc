@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the trace replay engine: timing composition, barrier and
+ * mutex semantics, warmup/ROI accounting, and end-to-end workload runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/engine.hh"
+#include "cpu/replay.hh"
+#include "trace/workloads.hh"
+
+namespace dve
+{
+namespace
+{
+
+EngineConfig
+smallConfig()
+{
+    EngineConfig cfg;
+    cfg.l1Bytes = 1024;
+    cfg.llcBytes = 16 * 1024;
+    return cfg;
+}
+
+TEST(Replay, SingleThreadComputeOnly)
+{
+    CoherenceEngine e(smallConfig());
+    ReplayEngine replay(e, 0.0);
+    ThreadTraces t(1);
+    t[0] = {{OpType::Compute, 100, 0}};
+    const auto r = replay.run(t);
+    // 100 cycles @ 3 GHz = 100 * 333 ps.
+    EXPECT_EQ(r.finishTick, 100u * 333u);
+    EXPECT_EQ(r.computeCycles, 100u);
+    EXPECT_EQ(r.memOps, 0u);
+}
+
+TEST(Replay, MemoryOpsAdvanceTime)
+{
+    CoherenceEngine e(smallConfig());
+    ReplayEngine replay(e, 0.0);
+    ThreadTraces t(1);
+    t[0] = {{OpType::Read, 1, 0x0}, {OpType::Read, 1, 0x0}};
+    const auto r = replay.run(t);
+    EXPECT_EQ(r.memOps, 2u);
+    EXPECT_GT(r.finishTick, 0u);
+}
+
+TEST(Replay, BarrierSynchronizesThreads)
+{
+    CoherenceEngine e(smallConfig());
+    ReplayEngine replay(e, 0.0);
+    ThreadTraces t(2);
+    // Thread 0 computes long; thread 1 reaches the barrier early.
+    t[0] = {{OpType::Compute, 10000, 0},
+            {OpType::Barrier, 1, 0},
+            {OpType::Compute, 1, 0}};
+    t[1] = {{OpType::Barrier, 1, 0}, {OpType::Compute, 1, 0}};
+    const auto r = replay.run(t);
+    // Both threads end after thread 0's long compute + barrier + 1.
+    EXPECT_GE(r.finishTick, 10000u * 333u);
+    EXPECT_EQ(r.barrierWaits, 2u);
+}
+
+TEST(Replay, MutexIsExclusiveAndFifo)
+{
+    CoherenceEngine e(smallConfig());
+    ReplayEngine replay(e, 0.0);
+    ThreadTraces t(2);
+    // Both threads contend for lock 5 around a shared write.
+    t[0] = {{OpType::Lock, 5, 0},
+            {OpType::Compute, 1000, 0},
+            {OpType::Write, 1, 0x100},
+            {OpType::Unlock, 5, 0}};
+    t[1] = {{OpType::Lock, 5, 0},
+            {OpType::Write, 1, 0x100},
+            {OpType::Unlock, 5, 0}};
+    const auto r = replay.run(t);
+    EXPECT_EQ(r.lockAcquisitions, 2u);
+    // Thread 1 must wait for thread 0's critical section.
+    EXPECT_GE(r.finishTick, 1000u * 333u);
+}
+
+TEST(Replay, UnlockWithoutLockPanics)
+{
+    CoherenceEngine e(smallConfig());
+    ReplayEngine replay(e, 0.0);
+    ThreadTraces t(1);
+    t[0] = {{OpType::Unlock, 1, 0}};
+    EXPECT_THROW(replay.run(t), std::logic_error);
+}
+
+TEST(Replay, TooManyThreadsRejected)
+{
+    CoherenceEngine e(smallConfig());
+    ReplayEngine replay(e, 0.0);
+    ThreadTraces t(17); // only 16 cores
+    for (auto &th : t)
+        th = {{OpType::Compute, 1, 0}};
+    EXPECT_THROW(replay.run(t), std::logic_error);
+}
+
+TEST(Replay, WarmupRoiAccounting)
+{
+    CoherenceEngine e(smallConfig());
+    ReplayEngine replay(e, 0.5); // half the mem ops warm up
+    ThreadTraces t(1);
+    for (int i = 0; i < 100; ++i)
+        t[0].push_back({OpType::Read, 1, Addr(i) * 64});
+
+    bool roi_fired = false;
+    Tick roi_tick = 0;
+    replay.setRoiCallback([&](Tick tk) {
+        roi_fired = true;
+        roi_tick = tk;
+    });
+    const auto r = replay.run(t);
+    EXPECT_TRUE(roi_fired);
+    EXPECT_EQ(r.roiStartTick, roi_tick);
+    EXPECT_GT(r.roiStartTick, 0u);
+    EXPECT_EQ(r.memOps, 50u); // only post-warmup ops counted
+    EXPECT_LT(r.roiTime(), r.finishTick);
+}
+
+TEST(Replay, ZeroWarmupFiresCallbackAtStart)
+{
+    CoherenceEngine e(smallConfig());
+    ReplayEngine replay(e, 0.0);
+    bool fired = false;
+    replay.setRoiCallback([&](Tick tk) {
+        fired = true;
+        EXPECT_EQ(tk, 0u);
+    });
+    ThreadTraces t(1);
+    t[0] = {{OpType::Read, 1, 0}};
+    replay.run(t);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Replay, FullWorkloadRunsToCompletion)
+{
+    CoherenceEngine e(smallConfig());
+    ReplayEngine replay(e, 0.05);
+    // Scale must keep memOps/thread above the 4000-op lock interval.
+    const auto traces =
+        generateTraces(workloadByName("streamcluster"), 16, 0.25);
+    const auto r = replay.run(traces);
+    EXPECT_GT(r.memOps, 0u);
+    EXPECT_GT(r.finishTick, r.roiStartTick);
+    EXPECT_GT(r.barrierWaits, 0u);
+    EXPECT_GT(r.lockAcquisitions, 0u);
+    EXPECT_EQ(e.sdcReadsObserved(), 0u); // value-validated end to end
+}
+
+TEST(Replay, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        CoherenceEngine e(smallConfig());
+        ReplayEngine replay(e, 0.05);
+        const auto traces =
+            generateTraces(workloadByName("histo"), 8, 0.05);
+        return replay.run(traces).finishTick;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace dve

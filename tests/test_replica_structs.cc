@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the replica map (fixed + RMT) and the replica directory
+ * structure in isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/replica_directory.hh"
+#include "core/replica_map.hh"
+
+namespace dve
+{
+namespace
+{
+
+TEST(ReplicaMap, FixedMappingCoversEverything)
+{
+    const auto m = ReplicaMap::fixedAll(2);
+    EXPECT_TRUE(m.coversAll());
+    for (Addr line = 0; line < 4096; line += 37) {
+        const unsigned home = static_cast<unsigned>((line >> 6) % 2);
+        const auto rs = m.replicaSocket(line, home);
+        ASSERT_TRUE(rs.has_value());
+        EXPECT_EQ(*rs, 1 - home);
+    }
+}
+
+TEST(ReplicaMap, FixedMappingFourSockets)
+{
+    const auto m = ReplicaMap::fixedAll(4);
+    EXPECT_EQ(*m.replicaSocket(0, 0), 1u);
+    EXPECT_EQ(*m.replicaSocket(0, 3), 0u);
+}
+
+TEST(ReplicaMap, SingleSocketNeverReplicates)
+{
+    const auto m = ReplicaMap::fixedAll(1);
+    EXPECT_FALSE(m.replicaSocket(0, 0).has_value());
+}
+
+TEST(ReplicaMap, RmtMapsIndividualPages)
+{
+    ReplicaMap m(2);
+    EXPECT_FALSE(m.coversAll());
+    EXPECT_FALSE(m.replicaSocket(0, 0).has_value());
+
+    m.mapPage(0, 1);
+    // Line 0 lives in page 0.
+    EXPECT_EQ(*m.replicaSocket(0, 0), 1u);
+    // Line 64 lives in page 1: unmapped.
+    EXPECT_FALSE(m.replicaSocket(64, 1).has_value());
+    EXPECT_EQ(m.mappedPages(), 1u);
+
+    EXPECT_TRUE(m.unmapPage(0));
+    EXPECT_FALSE(m.unmapPage(0));
+    EXPECT_FALSE(m.replicaSocket(0, 0).has_value());
+}
+
+TEST(ReplicaMap, FixedMapRejectsRmtInserts)
+{
+    auto m = ReplicaMap::fixedAll(2);
+    EXPECT_THROW(m.mapPage(0, 1), std::logic_error);
+}
+
+TEST(ReplicaDirectory, LookupMissThenInstallHits)
+{
+    ReplicaDirectory rd(1, 16, false);
+    auto l = rd.lookup(42);
+    EXPECT_FALSE(l.onChipHit);
+    EXPECT_FALSE(l.entry.has_value());
+
+    rd.install(42, {RepState::RM, 0});
+    l = rd.lookup(42);
+    EXPECT_TRUE(l.onChipHit);
+    ASSERT_TRUE(l.entry.has_value());
+    EXPECT_EQ(l.entry->state, RepState::RM);
+    EXPECT_EQ(rd.onChipHits(), 1u);
+    EXPECT_EQ(rd.onChipMisses(), 1u);
+}
+
+TEST(ReplicaDirectory, RmSurvivesOnChipEviction)
+{
+    ReplicaDirectory rd(1, 2, false);
+    rd.install(1, {RepState::RM, 0});
+    rd.install(2, {RepState::Readable, -1});
+    rd.install(3, {RepState::Readable, -1});
+    rd.install(4, {RepState::Readable, -1}); // evicts line 1 on-chip
+
+    const auto l = rd.lookup(1);
+    EXPECT_FALSE(l.onChipHit); // on-chip copy evicted
+    ASSERT_TRUE(l.entry.has_value());
+    EXPECT_EQ(l.entry->state, RepState::RM); // but backing survives
+}
+
+TEST(ReplicaDirectory, ReadableIsNotBacked)
+{
+    ReplicaDirectory rd(1, 2, false);
+    rd.install(1, {RepState::Readable, -1});
+    rd.install(2, {RepState::Readable, -1});
+    rd.install(3, {RepState::Readable, -1}); // evicts 1 on-chip
+    const auto l = rd.lookup(1);
+    EXPECT_FALSE(l.onChipHit);
+    EXPECT_FALSE(l.entry.has_value()); // allow permission is lost
+    EXPECT_EQ(rd.backingEntries(), 0u);
+}
+
+TEST(ReplicaDirectory, RemoveErasesEverywhere)
+{
+    ReplicaDirectory rd(1, 8, false);
+    rd.install(5, {RepState::RM, 0});
+    rd.remove(5);
+    const auto l = rd.lookup(5);
+    EXPECT_FALSE(l.entry.has_value());
+    EXPECT_EQ(rd.backingEntries(), 0u);
+}
+
+TEST(ReplicaDirectory, DrainKeepsDenyBacking)
+{
+    ReplicaDirectory rd(1, 8, false);
+    rd.install(1, {RepState::RM, 0});
+    rd.install(2, {RepState::Readable, -1});
+    rd.drainPermissions();
+
+    auto l1 = rd.lookup(1);
+    EXPECT_FALSE(l1.onChipHit);
+    ASSERT_TRUE(l1.entry.has_value()); // RM retained
+    auto l2 = rd.lookup(2);
+    EXPECT_FALSE(l2.entry.has_value()); // permission dropped
+}
+
+TEST(ReplicaDirectory, RegionPermissions)
+{
+    ReplicaDirectory rd(1, 8, false, 64);
+    EXPECT_FALSE(rd.regionCovers(10));
+    rd.installRegion(10);
+    EXPECT_TRUE(rd.regionCovers(0));
+    EXPECT_TRUE(rd.regionCovers(63));
+    EXPECT_FALSE(rd.regionCovers(64));
+
+    const auto l = rd.lookup(20);
+    EXPECT_TRUE(l.regionReadable);
+    EXPECT_TRUE(l.onChipHit);
+
+    EXPECT_TRUE(rd.removeRegion(5));
+    EXPECT_FALSE(rd.removeRegion(5));
+    EXPECT_FALSE(rd.regionCovers(0));
+}
+
+TEST(ReplicaDirectory, BusySerialization)
+{
+    ReplicaDirectory rd(1, 8, false);
+    EXPECT_EQ(rd.acquire(7, 100), 100u);
+    rd.release(7, 500);
+    EXPECT_EQ(rd.acquire(7, 200), 500u);
+    EXPECT_EQ(rd.acquire(8, 200), 200u); // different line unaffected
+}
+
+TEST(ReplicaDirectory, OracularNeverEvicts)
+{
+    ReplicaDirectory rd(1, 2, true);
+    for (Addr l = 0; l < 10000; ++l)
+        rd.install(l, {RepState::Readable, -1});
+    for (Addr l = 0; l < 10000; ++l)
+        EXPECT_TRUE(rd.lookup(l).onChipHit);
+}
+
+TEST(ReplicaDirectory, StateNames)
+{
+    EXPECT_STREQ(repStateName(RepState::RM), "RM");
+    EXPECT_STREQ(repStateName(RepState::Readable), "Readable");
+    EXPECT_STREQ(repStateName(RepState::M), "M");
+}
+
+} // namespace
+} // namespace dve

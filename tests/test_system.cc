@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the System builder: scheme wiring, ROI metric extraction,
+ * and cross-scheme sanity (the qualitative shape of Fig 6/7/8 on a small
+ * workload sample).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/system.hh"
+
+namespace dve
+{
+namespace
+{
+
+SystemConfig
+quickConfig(SchemeKind k)
+{
+    SystemConfig cfg;
+    cfg.scheme = k;
+    // Scale the machine down so short traces still exercise memory.
+    cfg.engine.l1Bytes = 4 * 1024;
+    cfg.engine.llcBytes = 256 * 1024;
+    cfg.warmupFraction = 0.05;
+    return cfg;
+}
+
+TEST(System, SchemeWiring)
+{
+    EXPECT_EQ(System::engineConfigFor(quickConfig(SchemeKind::BaselineNuma))
+                  .dram.channels,
+              1u);
+    EXPECT_EQ(System::engineConfigFor(quickConfig(SchemeKind::DveDeny))
+                  .dram.channels,
+              2u);
+    EXPECT_EQ(
+        System::engineConfigFor(quickConfig(SchemeKind::IntelMirrorPlus))
+            .mirror,
+        MirrorMode::LoadBalance);
+
+    System numa(quickConfig(SchemeKind::BaselineNuma));
+    EXPECT_EQ(numa.dveEngine(), nullptr);
+    System dve(quickConfig(SchemeKind::DveDynamic));
+    ASSERT_NE(dve.dveEngine(), nullptr);
+    EXPECT_STREQ(dve.engine().schemeName(), "dve-dynamic");
+}
+
+TEST(System, RunProducesRoiMetrics)
+{
+    System sys(quickConfig(SchemeKind::BaselineNuma));
+    const auto r = sys.run(workloadByName("bfs"), 0.05);
+    EXPECT_EQ(r.workload, "bfs");
+    EXPECT_EQ(r.scheme, "numa");
+    EXPECT_GT(r.roiTime, 0u);
+    EXPECT_GT(r.memOps, 0u);
+    EXPECT_GT(r.llcMisses, 0u);
+    EXPECT_GT(r.mpki, 0.0);
+    EXPECT_GT(r.memoryEnergyNj, 0.0);
+    // Class mix is a distribution.
+    double sum = 0;
+    for (double c : r.classMix)
+        sum += c;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(System, DveBeatsBaselineOnTopWorkload)
+{
+    // Fig 6's headline on one high-MPKI, read-shared workload.
+    System numa(quickConfig(SchemeKind::BaselineNuma));
+    System deny(quickConfig(SchemeKind::DveDeny));
+    const auto &wl = workloadByName("backprop");
+    const auto rn = numa.run(wl, 0.08);
+    const auto rd = deny.run(wl, 0.08);
+    const double speedup = static_cast<double>(rn.roiTime)
+                           / static_cast<double>(rd.roiTime);
+    EXPECT_GT(speedup, 1.05) << "expected >5% speedup";
+    // And Fig 8: inter-socket traffic falls.
+    EXPECT_LT(rd.interSocketBytes, rn.interSocketBytes);
+}
+
+TEST(System, IntelMirrorPlusBetweenBaselineAndDve)
+{
+    const auto &wl = workloadByName("graph500");
+    System numa(quickConfig(SchemeKind::BaselineNuma));
+    System intel(quickConfig(SchemeKind::IntelMirrorPlus));
+    System deny(quickConfig(SchemeKind::DveDeny));
+    const auto rn = numa.run(wl, 0.06);
+    const auto ri = intel.run(wl, 0.06);
+    const auto rd = deny.run(wl, 0.06);
+    // Intel-mirroring++ only adds intra-socket read bandwidth; Dvé also
+    // kills the inter-socket latency, so it must be fastest.
+    EXPECT_LE(rd.roiTime, ri.roiTime);
+    EXPECT_LE(rd.roiTime, rn.roiTime);
+}
+
+TEST(System, ReplicaActivityReportedInExtras)
+{
+    System deny(quickConfig(SchemeKind::DveDeny));
+    const auto r = deny.run(workloadByName("xsbench"), 0.05);
+    ASSERT_TRUE(r.extra.count("replica_local_reads"));
+    EXPECT_GT(r.extra.at("replica_local_reads"), 0.0);
+    EXPECT_EQ(r.extra.at("machine_checks"), 0.0);
+}
+
+TEST(System, ClassMixSeparatesWorkloadFamilies)
+{
+    // Fig 7's shape: top-10 profiles are read dominated at the home
+    // directory; bottom-10 carry heavy private read/write.
+    System numa(quickConfig(SchemeKind::BaselineNuma));
+    const auto top = numa.run(workloadByName("xsbench"), 0.05);
+    System numa2(quickConfig(SchemeKind::BaselineNuma));
+    const auto bottom = numa2.run(workloadByName("histo"), 0.05);
+
+    const double top_reads = top.classMix[0] + top.classMix[1];
+    const double bottom_prw = bottom.classMix[3];
+    EXPECT_GT(top_reads, 0.6);
+    EXPECT_GT(bottom_prw, top.classMix[3]);
+}
+
+TEST(System, DeterministicRuns)
+{
+    auto once = [] {
+        System sys(quickConfig(SchemeKind::DveDynamic));
+        const auto r = sys.run(workloadByName("mg"), 0.04);
+        return std::tuple{r.roiTime, r.llcMisses, r.interSocketBytes};
+    };
+    EXPECT_EQ(once(), once());
+}
+
+} // namespace
+} // namespace dve

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the trace format, serialization, the workload profile table,
+ * and statistical properties of generated traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "trace/trace.hh"
+#include "trace/workloads.hh"
+
+namespace dve
+{
+namespace
+{
+
+TEST(TraceIo, RoundTrip)
+{
+    ThreadTraces traces(2);
+    traces[0] = {{OpType::Compute, 5, 0},
+                 {OpType::Read, 1, 0x1000},
+                 {OpType::Write, 1, 0x1040},
+                 {OpType::Barrier, 7, 0}};
+    traces[1] = {{OpType::Lock, 3, 0},
+                 {OpType::Unlock, 3, 0},
+                 {OpType::Barrier, 7, 0}};
+
+    std::stringstream ss;
+    writeTraces(ss, traces);
+    const auto back = readTraces(ss);
+    ASSERT_EQ(back.size(), traces.size());
+    EXPECT_EQ(back[0], traces[0]);
+    EXPECT_EQ(back[1], traces[1]);
+}
+
+TEST(TraceIo, RejectsGarbage)
+{
+    std::stringstream ss("not a trace");
+    EXPECT_THROW(readTraces(ss), std::runtime_error);
+}
+
+TEST(TraceIo, Totals)
+{
+    ThreadTraces traces(1);
+    traces[0] = {{OpType::Read, 1, 0},
+                 {OpType::Compute, 9, 0},
+                 {OpType::Write, 1, 64}};
+    EXPECT_EQ(totalOps(traces), 3u);
+    EXPECT_EQ(totalMemOps(traces), 2u);
+}
+
+TEST(Workloads, TableHasTwentyNamedBenchmarks)
+{
+    const auto &table = table3Workloads();
+    ASSERT_EQ(table.size(), 20u);
+    // Paper's top-10 (Fig 6 order head).
+    EXPECT_EQ(table[0].name, "backprop");
+    EXPECT_EQ(table[1].name, "graph500");
+    EXPECT_EQ(table[9].name, "streamcluster");
+    // One of each remaining suite present.
+    EXPECT_EQ(workloadByName("lbm").suite, "spec2017");
+    EXPECT_EQ(workloadByName("bt").suite, "nas");
+    EXPECT_THROW(workloadByName("nosuch"), std::runtime_error);
+}
+
+TEST(Workloads, Top10AreSharedReadDominated)
+{
+    const auto &table = table3Workloads();
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_GE(table[i].sharedFraction, 0.75) << table[i].name;
+        EXPECT_LE(table[i].sharedWriteFraction, 0.2) << table[i].name;
+    }
+    for (std::size_t i = 10; i < 20; ++i) {
+        // The bottom-10 carry heavy private read/write traffic.
+        EXPECT_LE(table[i].sharedFraction, 0.5) << table[i].name;
+        EXPECT_GE(table[i].privateWriteFraction, 0.5) << table[i].name;
+    }
+}
+
+TEST(Workloads, MpkiProxyIsRoughlyDescending)
+{
+    // Shared-bytes / computePerMem is the dominant MPKI lever; verify the
+    // table is ordered high to low on this proxy (allowing small local
+    // inversions).
+    const auto &table = table3Workloads();
+    const auto proxy = [](const WorkloadProfile &p) {
+        return static_cast<double>(p.sharedBytes) / p.computePerMem;
+    };
+    EXPECT_GT(proxy(table[0]), proxy(table[10]));
+    EXPECT_GT(proxy(table[5]), proxy(table[15]));
+    EXPECT_GT(proxy(table[9]), proxy(table[19]));
+}
+
+TEST(Generator, Deterministic)
+{
+    const auto &p = workloadByName("fft");
+    const auto a = generateTraces(p, 4, 0.1);
+    const auto b = generateTraces(p, 4, 0.1);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Generator, ThreadsDiffer)
+{
+    const auto &p = workloadByName("graph500");
+    const auto t = generateTraces(p, 2, 0.1);
+    EXPECT_NE(t[0], t[1]);
+}
+
+TEST(Generator, ScaleControlsLength)
+{
+    const auto &p = workloadByName("bfs");
+    const auto small = generateTraces(p, 1, 0.01);
+    const auto big = generateTraces(p, 1, 0.1);
+    EXPECT_GT(totalMemOps(big), 5 * totalMemOps(small));
+}
+
+TEST(Generator, WriteFractionRoughlyMatchesProfile)
+{
+    const auto &p = workloadByName("xsbench"); // very read-heavy
+    const auto t = generateTraces(p, 4, 0.5);
+    std::uint64_t reads = 0, writes = 0;
+    for (const auto &th : t) {
+        for (const auto &op : th) {
+            reads += op.type == OpType::Read;
+            writes += op.type == OpType::Write;
+        }
+    }
+    const double wf =
+        static_cast<double>(writes) / static_cast<double>(reads + writes);
+    // Expected: shared 0.9 * 0.01 + private 0.1 * 0.15 ~ 2.4%.
+    EXPECT_LT(wf, 0.06);
+    EXPECT_GT(wf, 0.005);
+}
+
+TEST(Generator, BarrierIdsAlignAcrossThreads)
+{
+    const auto &p = workloadByName("fft"); // has barriers
+    const auto t = generateTraces(p, 4, 1.0);
+    std::vector<std::vector<std::uint32_t>> ids(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        for (const auto &op : t[i]) {
+            if (op.type == OpType::Barrier)
+                ids[i].push_back(op.arg);
+        }
+    }
+    ASSERT_GT(ids[0].size(), 1u);
+    for (std::size_t i = 1; i < ids.size(); ++i)
+        EXPECT_EQ(ids[i], ids[0]) << "thread " << i;
+}
+
+TEST(Generator, LocksComeInBalancedPairs)
+{
+    const auto &p = workloadByName("canneal"); // has locks
+    const auto t = generateTraces(p, 4, 1.0);
+    for (const auto &th : t) {
+        std::map<std::uint32_t, int> depth;
+        for (const auto &op : th) {
+            if (op.type == OpType::Lock) {
+                EXPECT_EQ(depth[op.arg], 0) << "recursive lock";
+                ++depth[op.arg];
+            } else if (op.type == OpType::Unlock) {
+                --depth[op.arg];
+                EXPECT_EQ(depth[op.arg], 0) << "unlock without lock";
+            }
+        }
+        for (const auto &[id, d] : depth)
+            EXPECT_EQ(d, 0) << "lock " << id << " left held";
+    }
+}
+
+TEST(Generator, AddressesRespectRegions)
+{
+    const auto &p = workloadByName("comd");
+    const auto t = generateTraces(p, 2, 0.2);
+    for (std::size_t tid = 0; tid < t.size(); ++tid) {
+        for (const auto &op : t[tid]) {
+            if (op.type != OpType::Read && op.type != OpType::Write)
+                continue;
+            const bool in_shared =
+                op.addr >= 0x1000'0000
+                && op.addr < 0x1000'0000 + p.sharedBytes;
+            const Addr priv_base = 0x8000'0000 + Addr(tid) * 0x0400'0000;
+            const bool in_private = op.addr >= priv_base
+                                    && op.addr < priv_base + p.privateBytes;
+            EXPECT_TRUE(in_shared || in_private)
+                << std::hex << op.addr;
+        }
+    }
+}
+
+TEST(Generator, EndsWithJoinBarrier)
+{
+    const auto t = generateTraces(workloadByName("lbm"), 3, 0.05);
+    for (const auto &th : t) {
+        ASSERT_FALSE(th.empty());
+        EXPECT_EQ(th.back().type, OpType::Barrier);
+        EXPECT_EQ(th.back().arg, 0xFFFFFFFFu);
+    }
+}
+
+} // namespace
+} // namespace dve
