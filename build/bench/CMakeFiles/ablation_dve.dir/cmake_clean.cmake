@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dve.dir/ablation_dve.cc.o"
+  "CMakeFiles/ablation_dve.dir/ablation_dve.cc.o.d"
+  "ablation_dve"
+  "ablation_dve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_edp.dir/energy_edp.cc.o"
+  "CMakeFiles/energy_edp.dir/energy_edp.cc.o.d"
+  "energy_edp"
+  "energy_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_latency_sensitivity.dir/fig10_latency_sensitivity.cc.o"
+  "CMakeFiles/fig10_latency_sensitivity.dir/fig10_latency_sensitivity.cc.o.d"
+  "fig10_latency_sensitivity"
+  "fig10_latency_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_latency_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sharing.dir/fig7_sharing.cc.o"
+  "CMakeFiles/fig7_sharing.dir/fig7_sharing.cc.o.d"
+  "fig7_sharing"
+  "fig7_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

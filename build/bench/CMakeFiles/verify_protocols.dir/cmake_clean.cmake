@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_protocols.dir/verify_protocols.cc.o"
+  "CMakeFiles/verify_protocols.dir/verify_protocols.cc.o.d"
+  "verify_protocols"
+  "verify_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

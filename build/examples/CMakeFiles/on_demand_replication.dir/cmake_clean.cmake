@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/on_demand_replication.dir/on_demand_replication.cpp.o"
+  "CMakeFiles/on_demand_replication.dir/on_demand_replication.cpp.o.d"
+  "on_demand_replication"
+  "on_demand_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/on_demand_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

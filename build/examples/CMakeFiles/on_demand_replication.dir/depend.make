@@ -1,0 +1,2 @@
+# Empty dependencies file for on_demand_replication.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("noc")
+subdirs("dram")
+subdirs("ecc")
+subdirs("fault")
+subdirs("mem")
+subdirs("cache")
+subdirs("coherence")
+subdirs("core")
+subdirs("protocol_check")
+subdirs("reliability")
+subdirs("energy")
+subdirs("trace")
+subdirs("cpu")
+subdirs("sys")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_coherence.dir/engine.cc.o"
+  "CMakeFiles/dve_coherence.dir/engine.cc.o.d"
+  "libdve_coherence.a"
+  "libdve_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

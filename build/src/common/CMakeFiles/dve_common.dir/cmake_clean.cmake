@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_common.dir/logging.cc.o"
+  "CMakeFiles/dve_common.dir/logging.cc.o.d"
+  "CMakeFiles/dve_common.dir/stats.cc.o"
+  "CMakeFiles/dve_common.dir/stats.cc.o.d"
+  "CMakeFiles/dve_common.dir/table.cc.o"
+  "CMakeFiles/dve_common.dir/table.cc.o.d"
+  "libdve_common.a"
+  "libdve_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_core.dir/dve_engine.cc.o"
+  "CMakeFiles/dve_core.dir/dve_engine.cc.o.d"
+  "CMakeFiles/dve_core.dir/replica_directory.cc.o"
+  "CMakeFiles/dve_core.dir/replica_directory.cc.o.d"
+  "libdve_core.a"
+  "libdve_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

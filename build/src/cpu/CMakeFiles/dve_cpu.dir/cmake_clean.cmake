@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_cpu.dir/replay.cc.o"
+  "CMakeFiles/dve_cpu.dir/replay.cc.o.d"
+  "libdve_cpu.a"
+  "libdve_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

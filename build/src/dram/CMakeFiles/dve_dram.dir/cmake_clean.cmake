@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_dram.dir/address_map.cc.o"
+  "CMakeFiles/dve_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/dve_dram.dir/dram.cc.o"
+  "CMakeFiles/dve_dram.dir/dram.cc.o.d"
+  "libdve_dram.a"
+  "libdve_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/crc.cc" "src/ecc/CMakeFiles/dve_ecc.dir/crc.cc.o" "gcc" "src/ecc/CMakeFiles/dve_ecc.dir/crc.cc.o.d"
+  "/root/repo/src/ecc/gf.cc" "src/ecc/CMakeFiles/dve_ecc.dir/gf.cc.o" "gcc" "src/ecc/CMakeFiles/dve_ecc.dir/gf.cc.o.d"
+  "/root/repo/src/ecc/hamming.cc" "src/ecc/CMakeFiles/dve_ecc.dir/hamming.cc.o" "gcc" "src/ecc/CMakeFiles/dve_ecc.dir/hamming.cc.o.d"
+  "/root/repo/src/ecc/line_codec.cc" "src/ecc/CMakeFiles/dve_ecc.dir/line_codec.cc.o" "gcc" "src/ecc/CMakeFiles/dve_ecc.dir/line_codec.cc.o.d"
+  "/root/repo/src/ecc/reed_solomon.cc" "src/ecc/CMakeFiles/dve_ecc.dir/reed_solomon.cc.o" "gcc" "src/ecc/CMakeFiles/dve_ecc.dir/reed_solomon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

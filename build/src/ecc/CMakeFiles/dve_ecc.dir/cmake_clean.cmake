@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_ecc.dir/crc.cc.o"
+  "CMakeFiles/dve_ecc.dir/crc.cc.o.d"
+  "CMakeFiles/dve_ecc.dir/gf.cc.o"
+  "CMakeFiles/dve_ecc.dir/gf.cc.o.d"
+  "CMakeFiles/dve_ecc.dir/hamming.cc.o"
+  "CMakeFiles/dve_ecc.dir/hamming.cc.o.d"
+  "CMakeFiles/dve_ecc.dir/line_codec.cc.o"
+  "CMakeFiles/dve_ecc.dir/line_codec.cc.o.d"
+  "CMakeFiles/dve_ecc.dir/reed_solomon.cc.o"
+  "CMakeFiles/dve_ecc.dir/reed_solomon.cc.o.d"
+  "libdve_ecc.a"
+  "libdve_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_energy.dir/dram_energy.cc.o"
+  "CMakeFiles/dve_energy.dir/dram_energy.cc.o.d"
+  "libdve_energy.a"
+  "libdve_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

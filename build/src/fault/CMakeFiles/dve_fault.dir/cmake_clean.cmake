@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_fault.dir/fault.cc.o"
+  "CMakeFiles/dve_fault.dir/fault.cc.o.d"
+  "libdve_fault.a"
+  "libdve_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/dve_mem.dir/memory_controller.cc.o.d"
+  "libdve_mem.a"
+  "libdve_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_noc.dir/interconnect.cc.o"
+  "CMakeFiles/dve_noc.dir/interconnect.cc.o.d"
+  "CMakeFiles/dve_noc.dir/mesh.cc.o"
+  "CMakeFiles/dve_noc.dir/mesh.cc.o.d"
+  "libdve_noc.a"
+  "libdve_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_protocol_check.dir/checker.cc.o"
+  "CMakeFiles/dve_protocol_check.dir/checker.cc.o.d"
+  "CMakeFiles/dve_protocol_check.dir/model.cc.o"
+  "CMakeFiles/dve_protocol_check.dir/model.cc.o.d"
+  "libdve_protocol_check.a"
+  "libdve_protocol_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_protocol_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

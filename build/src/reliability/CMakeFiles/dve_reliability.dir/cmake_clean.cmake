@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_reliability.dir/rates.cc.o"
+  "CMakeFiles/dve_reliability.dir/rates.cc.o.d"
+  "libdve_reliability.a"
+  "libdve_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

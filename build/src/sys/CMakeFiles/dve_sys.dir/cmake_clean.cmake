@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_sys.dir/system.cc.o"
+  "CMakeFiles/dve_sys.dir/system.cc.o.d"
+  "libdve_sys.a"
+  "libdve_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

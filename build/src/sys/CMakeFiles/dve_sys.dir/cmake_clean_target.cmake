@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdve_sys.a"
+)

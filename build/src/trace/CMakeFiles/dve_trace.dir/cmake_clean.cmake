@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dve_trace.dir/trace.cc.o"
+  "CMakeFiles/dve_trace.dir/trace.cc.o.d"
+  "CMakeFiles/dve_trace.dir/workloads.cc.o"
+  "CMakeFiles/dve_trace.dir/workloads.cc.o.d"
+  "libdve_trace.a"
+  "libdve_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dve_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

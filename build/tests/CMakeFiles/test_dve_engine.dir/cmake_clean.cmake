@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dve_engine.dir/test_dve_engine.cc.o"
+  "CMakeFiles/test_dve_engine.dir/test_dve_engine.cc.o.d"
+  "test_dve_engine"
+  "test_dve_engine.pdb"
+  "test_dve_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dve_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

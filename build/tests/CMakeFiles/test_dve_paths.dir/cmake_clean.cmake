@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dve_paths.dir/test_dve_paths.cc.o"
+  "CMakeFiles/test_dve_paths.dir/test_dve_paths.cc.o.d"
+  "test_dve_paths"
+  "test_dve_paths.pdb"
+  "test_dve_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dve_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line_codec.dir/test_line_codec.cc.o"
+  "CMakeFiles/test_line_codec.dir/test_line_codec.cc.o.d"
+  "test_line_codec"
+  "test_line_codec.pdb"
+  "test_line_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_check.dir/test_protocol_check.cc.o"
+  "CMakeFiles/test_protocol_check.dir/test_protocol_check.cc.o.d"
+  "test_protocol_check"
+  "test_protocol_check.pdb"
+  "test_protocol_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

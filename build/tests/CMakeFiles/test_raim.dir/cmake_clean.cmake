@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raim.dir/test_raim.cc.o"
+  "CMakeFiles/test_raim.dir/test_raim.cc.o.d"
+  "test_raim"
+  "test_raim.pdb"
+  "test_raim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

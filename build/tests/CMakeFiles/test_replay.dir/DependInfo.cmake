@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_replay.cc" "tests/CMakeFiles/test_replay.dir/test_replay.cc.o" "gcc" "tests/CMakeFiles/test_replay.dir/test_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol_check/CMakeFiles/dve_protocol_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/dve_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/dve_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dve_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/dve_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dve_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dve_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dve_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dve_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/dve_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dve_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dve_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dve_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dve_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replica_structs.dir/test_replica_structs.cc.o"
+  "CMakeFiles/test_replica_structs.dir/test_replica_structs.cc.o.d"
+  "test_replica_structs"
+  "test_replica_structs.pdb"
+  "test_replica_structs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replica_structs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
