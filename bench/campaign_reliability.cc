@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Reliability campaign: seeded fault-injection trials comparing
+ * baseline ECC configurations against Dvé's coherent replication, with
+ * outcomes judged by the SDC oracle.
+ *
+ * The headline expectation (paper Sec. IV): a detection-only baseline
+ * turns every uncorrectable fault into a DUE and an unprotected
+ * baseline into silent corruption, while Dvé recovers from the replica
+ * -- zero SDC, (almost) zero DUE -- and its self-healing pipeline
+ * returns degraded lines to dual-copy service.
+ *
+ * Usage:
+ *   campaign_reliability [--trials N] [--seed S] [--ops N]
+ *                        [--json FILE] [--quiet]
+ *
+ * The JSON report is deterministic: same flags -> byte-identical bytes.
+ * A human-readable summary (including the Table I analytic cross-check)
+ * prints to stdout unless --quiet is given.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "fault/campaign.hh"
+#include "reliability/rates.hh"
+
+using namespace dve;
+
+int
+main(int argc, char **argv)
+{
+    CampaignConfig cfg = CampaignConfig::quickDefaults();
+    cfg.trials = 100;
+    const char *json_path = nullptr;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const auto num = [&](const char *what) -> std::uint64_t {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", what);
+                std::exit(1);
+            }
+            return std::strtoull(argv[++i], nullptr, 0);
+        };
+        if (std::strcmp(argv[i], "--trials") == 0) {
+            cfg.trials = static_cast<unsigned>(num("--trials"));
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            cfg.seed = num("--seed");
+        } else if (std::strcmp(argv[i], "--ops") == 0) {
+            cfg.opsPerTrial = num("--ops");
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json needs a path\n");
+                return 1;
+            }
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return 1;
+        }
+    }
+
+    const std::vector<CampaignScheme> schemes = {
+        CampaignScheme::BaselineNone,
+        CampaignScheme::BaselineSecDed,
+        CampaignScheme::BaselineDetect,
+        CampaignScheme::DveAllow,
+        CampaignScheme::DveDeny,
+    };
+
+    const CampaignRunner runner(cfg);
+    const CampaignReport report = runner.run(schemes);
+
+    std::ostringstream json;
+    writeJsonReport(report, json);
+    if (json_path) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+            return 1;
+        }
+        out << json.str();
+    }
+
+    if (!quiet) {
+        std::printf("Reliability campaign: %u trials x %llu ops, "
+                    "seed %llu\n\n",
+                    cfg.trials,
+                    static_cast<unsigned long long>(cfg.opsPerTrial),
+                    static_cast<unsigned long long>(cfg.seed));
+        std::printf("%-20s %10s %10s %10s %10s %8s %8s\n", "scheme",
+                    "corrected", "due", "sdc", "recovered", "re-repl",
+                    "degr-end");
+        for (const auto &sr : report.schemes) {
+            const auto &t = sr.totals;
+            std::printf("%-20s %10llu %10llu %10llu %10llu %8llu %8llu\n",
+                        campaignSchemeName(sr.scheme),
+                        static_cast<unsigned long long>(t.corrected),
+                        static_cast<unsigned long long>(t.due),
+                        static_cast<unsigned long long>(t.sdc),
+                        static_cast<unsigned long long>(
+                            t.replicaRecoveries),
+                        static_cast<unsigned long long>(t.reReplications),
+                        static_cast<unsigned long long>(
+                            t.degradedLinesEnd));
+        }
+
+        // Cross-check against Table I's closed forms: the analytic model
+        // predicts the same ordering the simulated campaign shows --
+        // Dvé's DUE/SDC rates sit orders of magnitude below any
+        // single-copy scheme's.
+        const auto ck = reliability::chipkill();
+        const auto dsd = reliability::dveDsd();
+        const auto tsd = reliability::dveTsd();
+        std::printf("\nTable I analytic rates (events per 1e9 hours):\n");
+        std::printf("  %-18s due %12.6g  sdc %12.6g\n", "chipkill",
+                    ck.due, ck.sdc);
+        std::printf("  %-18s due %12.6g  sdc %12.6g\n", "dve+dsd",
+                    dsd.due, dsd.sdc);
+        std::printf("  %-18s due %12.6g  sdc %12.6g\n", "dve+tsd",
+                    tsd.due, tsd.sdc);
+        std::printf("\nThe campaign reproduces the ordering: baseline "
+                    "detection turns faults\ninto DUEs (or, unprotected, "
+                    "into SDCs); Dvé recovers via the replica\nand "
+                    "re-replicates degraded lines back to dual-copy "
+                    "service.\n");
+        if (json_path)
+            std::printf("\nJSON report written to %s\n", json_path);
+    }
+
+    if (!json_path && quiet)
+        std::fputs(json.str().c_str(), stdout);
+    return 0;
+}

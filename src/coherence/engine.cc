@@ -20,6 +20,18 @@ lineStateName(LineState s)
 }
 
 const char *
+readOutcomeName(ReadOutcome o)
+{
+    switch (o) {
+      case ReadOutcome::Clean: return "clean";
+      case ReadOutcome::Corrected: return "corrected";
+      case ReadOutcome::Due: return "due";
+      case ReadOutcome::Sdc: return "sdc";
+    }
+    return "?";
+}
+
+const char *
 reqClassName(ReqClass c)
 {
     switch (c) {
@@ -68,6 +80,18 @@ CoherenceEngine::CoherenceEngine(const EngineConfig &cfg)
     dve_assert(cfg_.coresPerSocket
                    <= cfg_.noc.meshCols * cfg_.noc.meshRows,
                "more cores than mesh tiles");
+
+    // Injected faults are validated against the DRAM organization; the
+    // global channel-id space covers mirrored/RAIM copies, and the chip
+    // bound is the symbol span of the configured line codec.
+    const unsigned channels = cfg_.mirror == MirrorMode::Raim ? 5
+                              : cfg_.mirror != MirrorMode::None
+                                  ? 2
+                                  : cfg_.dram.channels;
+    faults_.setGeometry(FaultGeometry::from(
+        cfg_.sockets, channels, LineCodec(cfg_.scheme).chips(),
+        cfg_.dram));
+
     sockets_.reserve(cfg_.sockets);
     for (unsigned s = 0; s < cfg_.sockets; ++s)
         sockets_.emplace_back(cfg_, s, &faults_);
@@ -81,6 +105,10 @@ CoherenceEngine::CoherenceEngine(const EngineConfig &cfg)
     stats_.add("machine_checks", due_);
     stats_.add("system_corrected_errors", sysCe_);
     stats_.add("sdc_reads", sdcReads_);
+    stats_.add("oracle_clean", outcomeCount_[0]);
+    stats_.add("oracle_corrected", outcomeCount_[1]);
+    stats_.add("oracle_due", outcomeCount_[2]);
+    stats_.add("oracle_sdc", outcomeCount_[3]);
     stats_.add("class_private_read", classCount_[0]);
     stats_.add("class_read_only", classCount_[1]);
     stats_.add("class_read_write", classCount_[2]);
@@ -123,24 +151,33 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
     auto &l1 = sockets_[socket].l1[core];
     const Tick t_l1 = now + cycles(cfg_.l1Latency);
 
+    // Oracle baselines: any CE / machine check raised while servicing
+    // this access shows up as a counter delta and classifies the outcome.
+    const std::uint64_t ce0 = sysCe_.value();
+    const std::uint64_t due0 = due_.value();
+
     if (L1Entry *e = l1.find(line)) {
         if (!is_write) {
             ++l1Hits_;
+            ReadOutcome out = ReadOutcome::Clean;
             if (e->value != logicalValue(line)) {
+                out = ReadOutcome::Sdc;
                 ++sdcReads_;
                 if (cfg_.validateValues) {
                     dve_panic("L1 read value mismatch on line ", line);
                 }
             }
+            ++outcomeCount_[static_cast<unsigned>(out)];
             noteCompletion(t_l1);
-            return {t_l1, e->value};
+            return {t_l1, e->value, out};
         }
         if (e->writable) {
             ++l1Hits_;
             e->value = write_value;
             e->dirty = true;
+            ++outcomeCount_[static_cast<unsigned>(ReadOutcome::Clean)];
             noteCompletion(t_l1);
-            return {t_l1, write_value};
+            return {t_l1, write_value, ReadOutcome::Clean};
         }
         // Write to a shared copy: upgrade through the LLC path below.
     }
@@ -148,10 +185,16 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
     AccessResult r = accessLlc(socket, core, line, is_write, write_value,
                                t_l1);
     if (!is_write && r.value != logicalValue(line)) {
+        r.outcome = ReadOutcome::Sdc;
         ++sdcReads_;
         if (cfg_.validateValues)
             dve_panic("read value mismatch on line ", line);
+    } else if (due_.value() > due0) {
+        r.outcome = ReadOutcome::Due;
+    } else if (sysCe_.value() > ce0) {
+        r.outcome = ReadOutcome::Corrected;
     }
+    ++outcomeCount_[static_cast<unsigned>(r.outcome)];
     noteCompletion(r.done);
     return r;
 }

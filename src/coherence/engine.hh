@@ -53,11 +53,30 @@ struct LlcEntry
     std::uint64_t value = 0;
 };
 
+/**
+ * Oracle classification of one access, judged against the golden shadow
+ * image of last-written values (logicalMem_). Every returned read is
+ * checked; the interesting distinction is the last two: a DUE is an
+ * honest machine check, an SDC is the memory system lying to software.
+ */
+enum class ReadOutcome : std::uint8_t
+{
+    Clean,     ///< correct data, no error signalled
+    Corrected, ///< correct data after CE / replica recovery
+    Due,       ///< detected-uncorrectable: machine check raised
+    Sdc,       ///< silent data corruption: wrong data, no error raised
+};
+
+constexpr unsigned numReadOutcomes = 4;
+
+const char *readOutcomeName(ReadOutcome o);
+
 /** Completion information for one core memory access. */
 struct AccessResult
 {
     Tick done = 0;           ///< tick at which the access completes
     std::uint64_t value = 0; ///< data observed by a read
+    ReadOutcome outcome = ReadOutcome::Clean; ///< oracle verdict
 };
 
 /** The coherence engine; Dvé subclasses it (see core/dve_engine.hh). */
@@ -119,6 +138,10 @@ class CoherenceEngine
     std::uint64_t machineCheckExceptions() const { return due_.value(); }
     std::uint64_t systemCorrectedErrors() const { return sysCe_.value(); }
     std::uint64_t sdcReadsObserved() const { return sdcReads_.value(); }
+    std::uint64_t readOutcomeCount(ReadOutcome o) const
+    {
+        return outcomeCount_[static_cast<unsigned>(o)].value();
+    }
     std::uint64_t classCount(ReqClass c) const
     {
         return classCount_[static_cast<unsigned>(c)].value();
@@ -279,6 +302,7 @@ class CoherenceEngine
     Counter due_;     ///< machine-check exceptions (data loss)
     Counter sysCe_;   ///< system-level corrected errors
     Counter sdcReads_;
+    std::array<Counter, numReadOutcomes> outcomeCount_;
     std::array<Counter, numReqClasses> classCount_;
     ScalarStat missLatencySum_; ///< ticks summed over LLC misses
     StatGroup stats_;

@@ -30,6 +30,8 @@ DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
             s, dve.replicaDirEntries, dve.oracular, dve.regionLines));
     }
     regionGrants_.resize(cfg.sockets);
+    frameRemap_.resize(cfg.sockets);
+    nextSparePage_ = dve.sparePageBase;
 
     dveStats_.add("replica_local_reads", replicaLocalReads_);
     dveStats_.add("balanced_home_reads", balancedHomeReads_);
@@ -43,6 +45,10 @@ DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
     dveStats_.add("replica_recoveries", replicaRecoveries_);
     dveStats_.add("repaired_copies", repaired_);
     dveStats_.add("degraded_events", degradedEvents_);
+    dveStats_.add("re_replications", reReplications_);
+    dveStats_.add("retired_pages", retiredPages_);
+    dveStats_.add("repair_retries", repairRetries_);
+    dveStats_.add("degraded_ticks", degradedTicks_);
     dveStats_.add("dynamic_switches", dynamicSwitches_);
 }
 
@@ -101,14 +107,71 @@ DveEngine::regionCleanAtHome(unsigned home, Addr line) const
     return true;
 }
 
+Addr
+DveEngine::dataAddr(unsigned socket, Addr line) const
+{
+    const auto &remap = frameRemap_[socket];
+    if (!remap.empty()) {
+        const auto it = remap.find(line >> (pageShift - lineShift));
+        if (it != remap.end()) {
+            return (it->second << pageShift)
+                   | ((line << lineShift) & Addr(pageBytes - 1));
+        }
+    }
+    return line << lineShift;
+}
+
+void
+DveEngine::markDegraded(bool home_side, Addr line, Tick now)
+{
+    auto &dmap = home_side ? degradedHome_ : degradedReplica_;
+    if (!dmap.emplace(line, now).second)
+        return; // already degraded: keep the original timestamp
+    ++degradedEvents_;
+    if (!dcfg_.selfHeal)
+        return;
+    for (const auto &task : repairQueue_) {
+        if (task.line == line && task.homeSide == home_side)
+            return; // already queued
+    }
+    repairQueue_.push_back(
+        {line, home_side, 0, now + dcfg_.repairRetryBackoff});
+}
+
+void
+DveEngine::clearDegraded(bool home_side, Addr line, Tick now)
+{
+    auto &dmap = home_side ? degradedHome_ : degradedReplica_;
+    const auto it = dmap.find(line);
+    if (it == dmap.end())
+        return;
+    if (now > it->second)
+        degradedTicks_ += static_cast<double>(now - it->second);
+    dmap.erase(it);
+}
+
+double
+DveEngine::degradedResidency(Tick now) const
+{
+    double open = 0.0;
+    for (const auto &[line, since] : degradedHome_) {
+        if (now > since)
+            open += static_cast<double>(now - since);
+    }
+    for (const auto &[line, since] : degradedReplica_) {
+        if (now > since)
+            open += static_cast<double>(now - since);
+    }
+    return degradedTicks_.value() + open;
+}
+
 CoherenceEngine::MemRead
 DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
                               Tick when)
 {
-    const Addr addr = line << lineShift;
     auto &replica_mc = memory(rsock);
 
-    const auto m = replica_mc.read(addr, when);
+    const auto m = replica_mc.read(dataAddr(rsock, line), when);
     if (m.status == EccStatus::Corrected)
         ++sysCe_;
     if (!m.failed)
@@ -123,7 +186,7 @@ DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
     }
     Tick t = m.readyAt
              + ic_.send(dirNode(rsock), dirNode(home), MsgClass::Control);
-    const auto m2 = memory(home).read(addr, t);
+    const auto m2 = memory(home).read(dataAddr(home, line), t);
     if (m2.status == EccStatus::Corrected)
         ++sysCe_;
     if (m2.failed) {
@@ -135,15 +198,16 @@ DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
     const Tick back =
         m2.readyAt
         + ic_.send(dirNode(home), dirNode(rsock), MsgClass::Data);
+    recoveryLatencies_.push_back(back - when);
 
     // Try to repair the failing replica copy off the critical path.
-    const auto rep = replica_mc.repairAndVerify(addr, m2.value, back);
+    const auto rep =
+        replica_mc.repairAndVerify(dataAddr(rsock, line), m2.value, back);
     if (rep.failed) {
-        if (degradedReplica_.insert(line).second)
-            ++degradedEvents_;
+        markDegraded(false, line, back);
     } else {
         ++repaired_;
-        degradedReplica_.erase(line);
+        clearDegraded(false, line, back);
     }
     return {back, m2.value};
 }
@@ -156,11 +220,10 @@ DveEngine::readReadableCopy(unsigned rsock, unsigned home, Addr line,
         // Both copies are current when the line is readable: spread the
         // activation pressure by reading the home copy this time.
         ++balancedHomeReads_;
-        const Addr addr = line << lineShift;
         const Tick t = when
                        + ic_.send(dirNode(rsock), dirNode(home),
                                   MsgClass::Control);
-        const auto m = memory(home).read(addr, t);
+        const auto m = memory(home).read(dataAddr(home, line), t);
         if (m.status == EccStatus::Corrected)
             ++sysCe_;
         if (!m.failed) {
@@ -201,7 +264,7 @@ DveEngine::patrolScrub(Tick now, std::size_t max_lines)
     // transients before they can pair into a DUE); a detected-
     // uncorrectable error goes through the cross-copy recovery path.
     auto scrubCopy = [&](unsigned socket, Addr line, bool is_home) {
-        const Addr addr = line << lineShift;
+        const Addr addr = dataAddr(socket, line);
         const auto m = memory(socket).read(addr, t);
         t = m.readyAt;
         if (m.status == EccStatus::Corrected) {
@@ -245,10 +308,159 @@ DveEngine::patrolScrub(Tick now, std::size_t max_lines)
     return rep;
 }
 
+DveEngine::MaintenanceReport
+DveEngine::runMaintenance(Tick now)
+{
+    MaintenanceReport rep;
+    rep.finishedAt = now;
+    if (!dcfg_.selfHeal || repairQueue_.empty())
+        return rep;
+
+    Tick t = now;
+    // One pass over the tasks present at entry; retries requeued by this
+    // pass wait for the next maintenance window.
+    const std::size_t n = repairQueue_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const RepairTask task = repairQueue_.front();
+        repairQueue_.pop_front();
+        runRepairTask(task, now, t, rep);
+    }
+    rep.finishedAt = t;
+    return rep;
+}
+
+void
+DveEngine::runRepairTask(RepairTask task, Tick now, Tick &t,
+                         MaintenanceReport &rep)
+{
+    auto &dmap = task.homeSide ? degradedHome_ : degradedReplica_;
+    const auto &other = task.homeSide ? degradedReplica_ : degradedHome_;
+    if (!dmap.count(task.line))
+        return; // healed through the demand path in the meantime
+    if (task.notBefore > now) {
+        repairQueue_.push_back(task); // backoff deadline not reached
+        return;
+    }
+
+    const unsigned h = homeSocket(task.line);
+    const auto rs = rmap_.replicaSocket(task.line, h);
+    if (!rs) {
+        // Replication was unplugged under the task: nothing to heal
+        // against; forget the degraded state.
+        clearDegraded(task.homeSide, task.line, now);
+        return;
+    }
+    const unsigned fail_sock = task.homeSide ? h : *rs;
+    const unsigned surv_sock = task.homeSide ? *rs : h;
+
+    ++rep.tasksRun;
+    ++repairRetries_;
+
+    // Source known-good data from the surviving copy, then rewrite the
+    // failed copy with a verifying read-back.
+    bool healed = false;
+    if (!other.count(task.line)) {
+        const auto src =
+            memory(surv_sock).read(dataAddr(surv_sock, task.line), t);
+        t = src.readyAt;
+        if (!src.failed) {
+            const auto fixed = memory(fail_sock).repairAndVerify(
+                dataAddr(fail_sock, task.line), src.value, t);
+            t = fixed.readyAt;
+            healed = !fixed.failed;
+        }
+    }
+
+    if (healed) {
+        clearDegraded(task.homeSide, task.line, t);
+        ++reReplications_;
+        ++repaired_;
+        ++rep.healed;
+        return;
+    }
+
+    ++task.attempts;
+    if (task.attempts <= dcfg_.repairMaxRetries) {
+        // Bounded exponential backoff before the next attempt.
+        task.notBefore =
+            now + (dcfg_.repairRetryBackoff << task.attempts);
+        repairQueue_.push_back(task);
+        return;
+    }
+
+    // Retries exhausted: the frame is permanently bad. Retire it to a
+    // spare and re-replicate the page onto the spare frame.
+    retireFrame(fail_sock, task.line, task.homeSide, t);
+    ++rep.retired;
+    if (!dmap.count(task.line))
+        ++rep.healed;
+}
+
+void
+DveEngine::retireFrame(unsigned socket, Addr line, bool home_side, Tick &t)
+{
+    const Addr page = line >> (pageShift - lineShift);
+    const unsigned h = homeSocket(line);
+    const auto rs = rmap_.replicaSocket(line, h);
+    dve_assert(rs, "retiring a frame of an unreplicated line");
+    const unsigned other_sock = socket == h ? *rs : h;
+
+    // Map the page to a spare frame that demonstrably escapes the fault.
+    // Row indices recur modulo rowsPerBank, so a candidate spare can alias
+    // the faulty row (a page occupies one row stripe; consecutive spare
+    // pages cross a row boundary every few pages): probe the triggering
+    // line on each candidate and keep taking spares until one reads
+    // cleanly. A fault wider than the frame (chip/channel/controller
+    // scope) fails every candidate; keep the last one -- the line stays
+    // degraded either way and the bound keeps retirement cheap.
+    const Addr in_page = (line << lineShift) & (pageBytes - 1);
+    Addr spare = nextSparePage_++;
+    for (unsigned cand = 0; cand < 32; ++cand) {
+        const Addr probe = (spare << pageShift) | in_page;
+        memory(socket).poke(probe,
+                            memory(other_sock).peek(
+                                dataAddr(other_sock, line)));
+        const auto m = memory(socket).read(probe, t);
+        t = m.readyAt;
+        if (!m.failed)
+            break;
+        spare = nextSparePage_++;
+    }
+    frameRemap_[socket][page] = spare;
+    ++retiredPages_;
+
+    // Background re-replication: copy every written line of the page
+    // from the surviving copy onto the spare frame.
+    const Addr first = page << (pageShift - lineShift);
+    const Addr last = first + pageBytes / lineBytes;
+    for (Addr l = first; l < last; ++l) {
+        if (!logicalMem_.count(l))
+            continue;
+        memory(socket).poke(dataAddr(socket, l),
+                            memory(other_sock).peek(
+                                dataAddr(other_sock, l)));
+    }
+
+    // Verify: degraded lines of this page that now read cleanly from the
+    // spare return to dual-copy service. Lines still failing are hit by
+    // faults wider than the frame (channel/controller scope) and remain
+    // in single-copy service.
+    auto &dmap = home_side ? degradedHome_ : degradedReplica_;
+    for (Addr l = first; l < last; ++l) {
+        if (!dmap.count(l))
+            continue;
+        const auto m = memory(socket).read(dataAddr(socket, l), t);
+        t = m.readyAt;
+        if (m.failed)
+            continue;
+        clearDegraded(home_side, l, t);
+        ++reReplications_;
+    }
+}
+
 CoherenceEngine::MemRead
 DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
 {
-    const Addr addr = line << lineShift;
     const auto rs = rmap_.replicaSocket(line, home);
 
     // A line already degraded on the home side funnels straight to the
@@ -257,7 +469,7 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
         Tick t = when
                  + ic_.send(dirNode(home), dirNode(*rs),
                             MsgClass::Control);
-        const auto m = memory(*rs).read(addr, t);
+        const auto m = memory(*rs).read(dataAddr(*rs, line), t);
         if (!m.failed) {
             const Tick back =
                 m.readyAt
@@ -268,7 +480,7 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
         return {m.readyAt, logicalValue(line)};
     }
 
-    const auto m = memory(home).read(addr, when);
+    const auto m = memory(home).read(dataAddr(home, line), when);
     if (m.status == EccStatus::Corrected)
         ++sysCe_;
     if (!m.failed)
@@ -283,7 +495,7 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
     // home/replica are in sync whenever memory is the data source.
     Tick t = m.readyAt
              + ic_.send(dirNode(home), dirNode(*rs), MsgClass::Control);
-    const auto m2 = memory(*rs).read(addr, t);
+    const auto m2 = memory(*rs).read(dataAddr(*rs, line), t);
     if (m2.status == EccStatus::Corrected)
         ++sysCe_;
     if (m2.failed) {
@@ -294,14 +506,15 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
     ++sysCe_;
     const Tick back =
         m2.readyAt + ic_.send(dirNode(*rs), dirNode(home), MsgClass::Data);
+    recoveryLatencies_.push_back(back - when);
 
-    const auto rep = memory(home).repairAndVerify(addr, m2.value, back);
+    const auto rep =
+        memory(home).repairAndVerify(dataAddr(home, line), m2.value, back);
     if (rep.failed) {
-        if (degradedHome_.insert(line).second)
-            ++degradedEvents_;
+        markDegraded(true, line, back);
     } else {
         ++repaired_;
-        degradedHome_.erase(line);
+        clearDegraded(true, line, back);
     }
     return {back, m2.value};
 }
@@ -310,8 +523,8 @@ Tick
 DveEngine::writebackToMemory(unsigned home, Addr line, std::uint64_t value,
                              Tick when)
 {
-    const Addr addr = line << lineShift;
-    const Tick t_home = memory(home).write(addr, value, when);
+    const Tick t_home =
+        memory(home).write(dataAddr(home, line), value, when);
 
     const auto rs = rmap_.replicaSocket(line, home);
     if (!rs)
@@ -322,7 +535,8 @@ DveEngine::writebackToMemory(unsigned home, Addr line, std::uint64_t value,
     ++replicaWrites_;
     const Tick arrive =
         when + ic_.send(dirNode(home), dirNode(*rs), MsgClass::Data);
-    const Tick t_rep = memory(*rs).write(addr, value, arrive);
+    const Tick t_rep =
+        memory(*rs).write(dataAddr(*rs, line), value, arrive);
 
     // Both memories are now current: clear deny markers / refresh allow
     // ownership entries.
@@ -572,7 +786,8 @@ DveEngine::replicaSideGets(unsigned req_socket, unsigned rsock, Addr line,
                 // Write the fresh data through to the replica memory and
                 // keep a Readable permission: the home registered us as
                 // a sharer, so a later GETX will invalidate it.
-                memory(rsock).write(line << lineShift, hr.value, hr.done);
+                memory(rsock).write(dataAddr(rsock, line), hr.value,
+                                    hr.done);
                 rd.install(line, {RepState::Readable, -1});
                 res = hr;
             }
@@ -752,7 +967,8 @@ DveEngine::enableReplication(Addr page, unsigned replica_socket)
     // caches will reach both copies at writeback time.
     for (Addr line = first; line < last; ++line) {
         memory(replica_socket)
-            .poke(line << lineShift, memory(h).peek(line << lineShift));
+            .poke(dataAddr(replica_socket, line), memory(h).peek(
+                      dataAddr(h, line)));
     }
     // Seed deny markers for lines currently dirty in home-side LLCs.
     directory(h).forEach([&](Addr line, const DirEntry &e) {
@@ -782,9 +998,12 @@ DveEngine::disableReplication(Addr page)
         return;
     for (Addr line = first; line < last; ++line) {
         rdirs_[*rs]->remove(line);
+        // Unplugging the replica forfeits its degraded bookkeeping
+        // outright (no heal event; residency intervals are dropped).
         degradedHome_.erase(line);
         degradedReplica_.erase(line);
     }
+    frameRemap_[*rs].erase(page);
     rmap_.unmapPage(page);
 }
 

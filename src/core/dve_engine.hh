@@ -28,7 +28,9 @@
 #define DVE_CORE_DVE_ENGINE_HH
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -78,6 +80,18 @@ struct DveConfig
      * activation pressure at the cost of extra inter-socket traffic.
      */
     bool balanceReplicaReads = false;
+
+    // ---- Self-healing (Sec. V-E extension) -----------------------------
+    /** Run the background repair pipeline on degraded lines. */
+    bool selfHeal = true;
+    /** Repair attempts per degraded line before retiring its frame. */
+    unsigned repairMaxRetries = 3;
+    /** Delay before the first retry of a failed repair; doubles each
+     *  subsequent attempt (bounded exponential backoff). */
+    Tick repairRetryBackoff = 2 * ticksPerUs;
+    /** First page number of the spare-frame pool retirement remaps onto.
+     *  Far above any workload footprint by default. */
+    Addr sparePageBase = Addr(1) << 26;
 };
 
 /** The Dvé engine: baseline NUMA + coherent replication. */
@@ -129,6 +143,36 @@ class DveEngine : public CoherenceEngine
     ScrubReport patrolScrub(Tick now,
                             std::size_t max_lines = SIZE_MAX);
 
+    /** Outcome of one background-maintenance pass. */
+    struct MaintenanceReport
+    {
+        std::uint64_t tasksRun = 0; ///< repair attempts processed
+        std::uint64_t healed = 0;   ///< lines restored to dual-copy
+        std::uint64_t retired = 0;  ///< frames remapped to spares
+        Tick finishedAt = 0;
+    };
+
+    /**
+     * Background self-healing pass (the re-replication campaign's
+     * maintenance hook). Processes the repair queue: each degraded line
+     * whose backoff deadline has passed is re-read from its surviving
+     * copy and rewritten-with-verify on the failed side. Success returns
+     * the line to dual-copy service; failure requeues with doubled
+     * backoff; exhausting the retry budget retires the failing frame to
+     * a spare page and re-replicates the page's contents onto it.
+     */
+    MaintenanceReport runMaintenance(Tick now);
+
+    /** Degraded-repair tasks awaiting a maintenance pass. */
+    std::size_t pendingRepairs() const { return repairQueue_.size(); }
+
+    /** Has @p socket's frame for @p page been retired onto a spare? */
+    bool
+    pageRetired(unsigned socket, Addr page) const
+    {
+        return frameRemap_[socket].count(page) > 0;
+    }
+
     // Dvé-specific statistics.
     std::uint64_t replicaLocalReads() const
     {
@@ -150,6 +194,22 @@ class DveEngine : public CoherenceEngine
         return degradedHome_.size() + degradedReplica_.size();
     }
     std::uint64_t repairedCopies() const { return repaired_.value(); }
+    std::uint64_t reReplications() const { return reReplications_.value(); }
+    std::uint64_t retiredPages() const { return retiredPages_.value(); }
+    std::uint64_t repairRetries() const { return repairRetries_.value(); }
+
+    /** Per-recovery latencies (ticks) of cross-copy read diversions. */
+    const std::vector<Tick> &recoveryLatencies() const
+    {
+        return recoveryLatencies_;
+    }
+
+    /**
+     * Total ticks lines have spent in degraded single-copy service:
+     * closed intervals plus, for still-degraded lines, time up to @p now.
+     */
+    double degradedResidency(Tick now) const;
+
     std::uint64_t dynamicSwitches() const
     {
         return dynamicSwitches_.value();
@@ -196,6 +256,42 @@ class DveEngine : public CoherenceEngine
     /** True when no line of the region is dirty at the home directory. */
     bool regionCleanAtHome(unsigned home, Addr line) const;
 
+    // ---- Self-healing machinery ----------------------------------------
+
+    /** One pending repair of a degraded copy. */
+    struct RepairTask
+    {
+        Addr line = 0;
+        bool homeSide = false; ///< which copy is degraded
+        unsigned attempts = 0;
+        Tick notBefore = 0; ///< backoff deadline
+    };
+
+    /**
+     * Byte address of @p line's data in @p socket's memory, honouring
+     * frame retirement: lines of a retired page read/write the spare
+     * frame instead of the faulty physical one.
+     */
+    Addr dataAddr(unsigned socket, Addr line) const;
+
+    /** Record a copy as degraded and (selfHeal) queue its repair. */
+    void markDegraded(bool home_side, Addr line, Tick now);
+
+    /** Close a line's degraded interval (no-op when not degraded). */
+    void clearDegraded(bool home_side, Addr line, Tick now);
+
+    /** Process one repair task; advances @p t past any memory work. */
+    void runRepairTask(RepairTask task, Tick now, Tick &t,
+                       MaintenanceReport &rep);
+
+    /**
+     * Retire @p socket's frame under @p line's page onto a fresh spare
+     * frame and re-replicate the page's written lines onto it from the
+     * other copy. Lines that still fail afterwards (faults wider than
+     * the frame) stay degraded.
+     */
+    void retireFrame(unsigned socket, Addr line, bool home_side, Tick &t);
+
     /** Dynamic protocol bookkeeping per replica-side transaction. */
     void dynamicObserve(Addr line, Tick latency);
 
@@ -214,8 +310,14 @@ class DveEngine : public CoherenceEngine
     DveConfig dcfg_;
     ReplicaMap rmap_;
     std::vector<std::unique_ptr<ReplicaDirectory>> rdirs_;
-    std::unordered_set<Addr> degradedHome_;
-    std::unordered_set<Addr> degradedReplica_;
+    /** Degraded copies, keyed by line; value is when it degraded. */
+    std::unordered_map<Addr, Tick> degradedHome_;
+    std::unordered_map<Addr, Tick> degradedReplica_;
+    std::deque<RepairTask> repairQueue_;
+    /** Per-socket retired-frame remap: page -> spare page. */
+    std::vector<std::unordered_map<Addr, Addr>> frameRemap_;
+    Addr nextSparePage_ = 0;
+    std::vector<Tick> recoveryLatencies_;
     /**
      * Home-side record of coarse-grain region grants per replica
      * socket (RegionScout-style). Entries persist conservatively: a
@@ -250,7 +352,11 @@ class DveEngine : public CoherenceEngine
     Counter replicaRecoveries_;
     Counter repaired_;
     Counter degradedEvents_;
+    Counter reReplications_;
+    Counter retiredPages_;
+    Counter repairRetries_;
     Counter dynamicSwitches_;
+    ScalarStat degradedTicks_; ///< closed degraded intervals only
     StatGroup dveStats_;
 };
 

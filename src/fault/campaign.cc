@@ -1,0 +1,353 @@
+#include "fault/campaign.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.hh"
+#include "ecc/line_codec.hh"
+
+namespace dve
+{
+
+const char *
+campaignSchemeName(CampaignScheme s)
+{
+    switch (s) {
+      case CampaignScheme::BaselineNone: return "baseline-none";
+      case CampaignScheme::BaselineSecDed: return "baseline-secded";
+      case CampaignScheme::BaselineDetect: return "baseline-dsd-detect";
+      case CampaignScheme::DveAllow: return "dve-allow";
+      case CampaignScheme::DveDeny: return "dve-deny";
+    }
+    return "?";
+}
+
+CampaignConfig
+CampaignConfig::quickDefaults()
+{
+    CampaignConfig c;
+    c.engine.dram = DramConfig::ddr4Replicated();
+    // Caches much smaller than the footprint so the trial keeps going
+    // back to DRAM -- faults must be observable to be counted.
+    c.engine.l1Bytes = 4 * 1024;
+    c.engine.llcBytes = 64 * 1024;
+    c.engine.validateValues = false; // SDCs are counted, not fatal
+    c.footprintPages = 32;
+    c.lifecycle = LifecycleConfig::fieldDefaults();
+    // ~3 arrivals over a ~100 us trial at the fieldDefaults() FIT mix.
+    c.lifecycle.acceleration = 2.5e15;
+    c.lifecycle.meanActive = 30 * ticksPerUs;
+    c.lifecycle.meanInactive = 20 * ticksPerUs;
+    c.dve.repairRetryBackoff = 10 * ticksPerUs;
+    return c;
+}
+
+void
+TrialStats::accumulate(const TrialStats &t)
+{
+    reads += t.reads;
+    writes += t.writes;
+    clean += t.clean;
+    corrected += t.corrected;
+    due += t.due;
+    sdc += t.sdc;
+    faultArrivals += t.faultArrivals;
+    transientFaults += t.transientFaults;
+    intermittentFaults += t.intermittentFaults;
+    permanentFaults += t.permanentFaults;
+    replicaRecoveries += t.replicaRecoveries;
+    repairedCopies += t.repairedCopies;
+    reReplications += t.reReplications;
+    retiredPages += t.retiredPages;
+    repairRetries += t.repairRetries;
+    degradedEvents += t.degradedEvents;
+    degradedLinesEnd += t.degradedLinesEnd;
+    scrubCorrected += t.scrubCorrected;
+    degradedResidencyTicks += t.degradedResidencyTicks;
+    recoveryLatencies.insert(recoveryLatencies.end(),
+                             t.recoveryLatencies.begin(),
+                             t.recoveryLatencies.end());
+}
+
+LatencySummary
+summarizeLatencies(std::vector<Tick> v)
+{
+    LatencySummary s;
+    if (v.empty())
+        return s;
+    std::sort(v.begin(), v.end());
+    s.count = v.size();
+    s.p50 = v[(v.size() - 1) / 2];
+    s.p95 = v[(v.size() - 1) * 95 / 100];
+    s.max = v.back();
+    return s;
+}
+
+namespace
+{
+
+bool
+isDve(CampaignScheme s)
+{
+    return s == CampaignScheme::DveAllow || s == CampaignScheme::DveDeny;
+}
+
+Scheme
+codecFor(CampaignScheme s)
+{
+    switch (s) {
+      case CampaignScheme::BaselineNone: return Scheme::None;
+      case CampaignScheme::BaselineSecDed: return Scheme::SecDed72_64;
+      case CampaignScheme::BaselineDetect: return Scheme::DsdDetect;
+      // Dvé pairs detection-only codes with cross-copy recovery; TSD is
+      // the paper's Dvé+TSD configuration (detects 3-chip failures).
+      case CampaignScheme::DveAllow:
+      case CampaignScheme::DveDeny: return Scheme::TsdDetect;
+    }
+    return Scheme::ChipkillSscDsd;
+}
+
+} // namespace
+
+TrialStats
+CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
+{
+    EngineConfig ecfg = cfg_.engine;
+    ecfg.scheme = codecFor(s);
+    ecfg.validateValues = false;
+    ecfg.seed = cfg_.seed * 1000003 + trial;
+
+    std::unique_ptr<CoherenceEngine> owner;
+    DveEngine *dve = nullptr;
+    if (isDve(s)) {
+        DveConfig d = cfg_.dve;
+        d.protocol = s == CampaignScheme::DveAllow ? DveProtocol::Allow
+                                                   : DveProtocol::Deny;
+        auto e = std::make_unique<DveEngine>(ecfg, d);
+        dve = e.get();
+        owner = std::move(e);
+    } else {
+        owner = std::make_unique<CoherenceEngine>(ecfg);
+    }
+    CoherenceEngine &eng = *owner;
+
+    // The fault process is a function of (campaign seed, trial) only:
+    // every scheme faces the same arrival times, scopes and locations.
+    LifecycleConfig lc = cfg_.lifecycle;
+    lc.sockets = ecfg.sockets;
+    lc.dram = ecfg.dram;
+    lc.chips = LineCodec(ecfg.scheme).chips();
+    lc.footprintLines =
+        Addr(cfg_.footprintPages) * (pageBytes / lineBytes);
+    lc.seed = cfg_.seed * 7919 + trial;
+    FaultLifecycleEngine flc(lc, eng.faultRegistry());
+
+    // Workload stream, likewise scheme-independent.
+    Rng wl(cfg_.seed * 31 + trial + 1);
+    const unsigned linesPerPage = pageBytes / lineBytes;
+    const unsigned actors = ecfg.sockets * ecfg.coresPerSocket;
+
+    TrialStats t;
+    Tick clock = 0;
+    Tick next_scrub = cfg_.scrubInterval;
+    Tick next_maint = cfg_.maintenanceInterval;
+
+    for (std::uint64_t op = 0; op < cfg_.opsPerTrial; ++op) {
+        flc.advanceTo(clock);
+
+        const unsigned actor = static_cast<unsigned>(wl.next(actors));
+        const Addr page = wl.next(cfg_.footprintPages);
+        const Addr addr = page * pageBytes
+                          + wl.next(linesPerPage) * lineBytes;
+        const bool is_write = wl.chance(cfg_.writeFraction);
+        const std::uint64_t value = wl.engine()();
+
+        const auto r =
+            eng.access(actor / ecfg.coresPerSocket,
+                       actor % ecfg.coresPerSocket, addr, is_write,
+                       value, clock);
+        clock = r.done;
+        if (is_write)
+            ++t.writes;
+        else
+            ++t.reads;
+        switch (r.outcome) {
+          case ReadOutcome::Clean: ++t.clean; break;
+          case ReadOutcome::Corrected: ++t.corrected; break;
+          case ReadOutcome::Due: ++t.due; break;
+          case ReadOutcome::Sdc: ++t.sdc; break;
+        }
+
+        if (dve && clock >= next_scrub) {
+            const auto rep = dve->patrolScrub(clock);
+            t.scrubCorrected += rep.correctedErrors;
+            clock = rep.finishedAt;
+            next_scrub = clock + cfg_.scrubInterval;
+        }
+        if (dve && clock >= next_maint) {
+            clock = dve->runMaintenance(clock).finishedAt;
+            next_maint = clock + cfg_.maintenanceInterval;
+        }
+    }
+
+    // Drain: stop new arrivals (the workload is over), then give already-
+    // present faults time to play out -- intermittents flap off within
+    // their bounded episode budgets and repair backoffs expire -- so the
+    // self-healing pipeline can return every healable line to dual copy.
+    if (dve) {
+        flc.stopArrivals();
+        for (unsigned round = 0; round < cfg_.drainRounds; ++round) {
+            if (dve->degradedLines() == 0 && dve->pendingRepairs() == 0)
+                break;
+            clock += cfg_.maintenanceInterval;
+            flc.advanceTo(clock);
+            const auto rep = dve->patrolScrub(clock);
+            t.scrubCorrected += rep.correctedErrors;
+            clock = dve->runMaintenance(rep.finishedAt).finishedAt;
+        }
+    }
+
+    t.faultArrivals = flc.stats().arrivals;
+    t.transientFaults =
+        flc.stats().byKind[unsigned(FaultKind::Transient)];
+    t.intermittentFaults =
+        flc.stats().byKind[unsigned(FaultKind::Intermittent)];
+    t.permanentFaults =
+        flc.stats().byKind[unsigned(FaultKind::Permanent)];
+    if (dve) {
+        t.replicaRecoveries = dve->replicaRecoveries();
+        t.repairedCopies = dve->repairedCopies();
+        t.reReplications = dve->reReplications();
+        t.retiredPages = dve->retiredPages();
+        t.repairRetries = dve->repairRetries();
+        t.degradedEvents = dve->dveStats().has("degraded_events")
+                               ? static_cast<std::uint64_t>(
+                                     dve->dveStats().get(
+                                         "degraded_events"))
+                               : 0;
+        t.degradedLinesEnd = dve->degradedLines();
+        t.degradedResidencyTicks = dve->degradedResidency(clock);
+        t.recoveryLatencies = dve->recoveryLatencies();
+    }
+    return t;
+}
+
+SchemeResult
+CampaignRunner::runScheme(CampaignScheme s) const
+{
+    SchemeResult r;
+    r.scheme = s;
+    r.trials.reserve(cfg_.trials);
+    for (unsigned i = 0; i < cfg_.trials; ++i) {
+        r.trials.push_back(runTrial(s, i));
+        r.totals.accumulate(r.trials.back());
+    }
+    r.recovery = summarizeLatencies(r.totals.recoveryLatencies);
+    return r;
+}
+
+CampaignReport
+CampaignRunner::run(const std::vector<CampaignScheme> &schemes) const
+{
+    CampaignReport rep;
+    rep.cfg = cfg_;
+    rep.schemes.reserve(schemes.size());
+    for (const auto s : schemes)
+        rep.schemes.push_back(runScheme(s));
+    return rep;
+}
+
+namespace
+{
+
+/** Deterministic double formatting (residency ticks are integral). */
+std::string
+fmtTicks(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+}
+
+void
+writeTotals(const TrialStats &t, const char *indent, std::ostream &os)
+{
+    os << indent << "\"reads\": " << t.reads << ",\n"
+       << indent << "\"writes\": " << t.writes << ",\n"
+       << indent << "\"clean\": " << t.clean << ",\n"
+       << indent << "\"corrected\": " << t.corrected << ",\n"
+       << indent << "\"due\": " << t.due << ",\n"
+       << indent << "\"sdc\": " << t.sdc << ",\n"
+       << indent << "\"fault_arrivals\": " << t.faultArrivals << ",\n"
+       << indent << "\"transient_faults\": " << t.transientFaults << ",\n"
+       << indent << "\"intermittent_faults\": " << t.intermittentFaults
+       << ",\n"
+       << indent << "\"permanent_faults\": " << t.permanentFaults << ",\n"
+       << indent << "\"replica_recoveries\": " << t.replicaRecoveries
+       << ",\n"
+       << indent << "\"repaired_copies\": " << t.repairedCopies << ",\n"
+       << indent << "\"re_replications\": " << t.reReplications << ",\n"
+       << indent << "\"retired_pages\": " << t.retiredPages << ",\n"
+       << indent << "\"repair_retries\": " << t.repairRetries << ",\n"
+       << indent << "\"degraded_events\": " << t.degradedEvents << ",\n"
+       << indent << "\"scrub_corrected\": " << t.scrubCorrected << ",\n"
+       << indent << "\"degraded_lines_end\": " << t.degradedLinesEnd
+       << ",\n"
+       << indent << "\"degraded_residency_ticks\": "
+       << fmtTicks(t.degradedResidencyTicks) << "\n";
+}
+
+} // namespace
+
+void
+writeJsonReport(const CampaignReport &report, std::ostream &os)
+{
+    const auto &c = report.cfg;
+    os << "{\n"
+       << "  \"campaign\": {\n"
+       << "    \"trials\": " << c.trials << ",\n"
+       << "    \"seed\": " << c.seed << ",\n"
+       << "    \"ops_per_trial\": " << c.opsPerTrial << ",\n"
+       << "    \"footprint_pages\": " << c.footprintPages << ",\n"
+       << "    \"scrub_interval_ticks\": " << c.scrubInterval << ",\n"
+       << "    \"maintenance_interval_ticks\": " << c.maintenanceInterval
+       << ",\n"
+       << "    \"acceleration\": "
+       << fmtTicks(c.lifecycle.acceleration) << "\n"
+       << "  },\n"
+       << "  \"schemes\": [\n";
+    for (std::size_t i = 0; i < report.schemes.size(); ++i) {
+        const auto &sr = report.schemes[i];
+        os << "    {\n"
+           << "      \"scheme\": \"" << campaignSchemeName(sr.scheme)
+           << "\",\n"
+           << "      \"totals\": {\n";
+        writeTotals(sr.totals, "        ", os);
+        os << "      },\n"
+           << "      \"recovery_latency\": {\n"
+           << "        \"count\": " << sr.recovery.count << ",\n"
+           << "        \"p50_ticks\": " << sr.recovery.p50 << ",\n"
+           << "        \"p95_ticks\": " << sr.recovery.p95 << ",\n"
+           << "        \"max_ticks\": " << sr.recovery.max << "\n"
+           << "      },\n"
+           << "      \"trials\": [\n";
+        for (std::size_t j = 0; j < sr.trials.size(); ++j) {
+            const auto &t = sr.trials[j];
+            os << "        {\"due\": " << t.due << ", \"sdc\": " << t.sdc
+               << ", \"corrected\": " << t.corrected
+               << ", \"faults\": " << t.faultArrivals
+               << ", \"re_replications\": " << t.reReplications
+               << ", \"degraded_end\": " << t.degradedLinesEnd << "}"
+               << (j + 1 < sr.trials.size() ? "," : "") << "\n";
+        }
+        os << "      ]\n"
+           << "    }" << (i + 1 < report.schemes.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n"
+       << "}\n";
+}
+
+} // namespace dve

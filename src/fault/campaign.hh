@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Seeded reliability-campaign harness.
+ *
+ * A campaign runs N independent trials per protection scheme. Each trial
+ * builds a fresh engine, drives a seeded random workload over a small
+ * footprint while a FaultLifecycleEngine injects faults on the same
+ * timeline, periodically patrol-scrubs and runs the self-healing
+ * maintenance pass (Dvé schemes), and finally drains the repair queue.
+ * Per-access outcomes come from the SDC oracle (ReadOutcome): the trial
+ * records how often the memory system returned clean, corrected, DUE or
+ * silently corrupted data.
+ *
+ * Workload and fault seeds depend only on (campaign seed, trial index),
+ * never on the scheme, so schemes face the same access pattern and the
+ * same fault process; reports are deterministic byte-for-byte.
+ */
+
+#ifndef DVE_FAULT_CAMPAIGN_HH
+#define DVE_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "coherence/types.hh"
+#include "core/dve_engine.hh"
+#include "fault/lifecycle.hh"
+
+namespace dve
+{
+
+/** Protection configurations a campaign compares. */
+enum class CampaignScheme : std::uint8_t
+{
+    BaselineNone,   ///< no ECC: faults corrupt silently
+    BaselineSecDed, ///< SEC-DED DIMMs, no replication
+    BaselineDetect, ///< detection-only DSD, no replication: DUEs
+    DveAllow,       ///< Dvé allow protocol on detection-only TSD
+    DveDeny,        ///< Dvé deny protocol on detection-only TSD
+};
+
+constexpr unsigned numCampaignSchemes = 5;
+
+const char *campaignSchemeName(CampaignScheme s);
+
+/** Campaign shape. */
+struct CampaignConfig
+{
+    unsigned trials = 100;
+    std::uint64_t seed = 1;
+    std::uint64_t opsPerTrial = 1500;
+    unsigned footprintPages = 8;
+    double writeFraction = 0.35;
+    Tick scrubInterval = 150 * ticksPerUs;       ///< Dvé patrol scrub
+    Tick maintenanceInterval = 60 * ticksPerUs;  ///< self-heal pass
+    /** End-of-trial drain: maintenance windows run after the last op so
+     *  backoffs expire and intermittents flap off before accounting. */
+    unsigned drainRounds = 12;
+    LifecycleConfig lifecycle; ///< rates/shape; geometry + seed per trial
+    EngineConfig engine;       ///< base system; scheme set per campaign
+    DveConfig dve;             ///< Dvé knobs; protocol set per scheme
+
+    /** Small, fast, high-fault-pressure shape for tests and CI. */
+    static CampaignConfig quickDefaults();
+};
+
+/** Everything one trial observed. */
+struct TrialStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    // SDC-oracle outcome counts over all accesses.
+    std::uint64_t clean = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t due = 0;
+    std::uint64_t sdc = 0;
+    // Fault process.
+    std::uint64_t faultArrivals = 0;
+    std::uint64_t transientFaults = 0;
+    std::uint64_t intermittentFaults = 0;
+    std::uint64_t permanentFaults = 0;
+    // Dvé recovery pipeline (zero for baselines).
+    std::uint64_t replicaRecoveries = 0;
+    std::uint64_t repairedCopies = 0;
+    std::uint64_t reReplications = 0;
+    std::uint64_t retiredPages = 0;
+    std::uint64_t repairRetries = 0;
+    std::uint64_t degradedEvents = 0;
+    std::uint64_t degradedLinesEnd = 0;
+    std::uint64_t scrubCorrected = 0;
+    double degradedResidencyTicks = 0.0;
+    std::vector<Tick> recoveryLatencies;
+
+    /** Element-wise accumulate (latencies are concatenated). */
+    void accumulate(const TrialStats &t);
+};
+
+/** Order statistics of a latency sample. */
+struct LatencySummary
+{
+    std::uint64_t count = 0;
+    Tick p50 = 0;
+    Tick p95 = 0;
+    Tick max = 0;
+};
+
+LatencySummary summarizeLatencies(std::vector<Tick> v);
+
+/** All trials of one scheme plus aggregates. */
+struct SchemeResult
+{
+    CampaignScheme scheme = CampaignScheme::BaselineNone;
+    std::vector<TrialStats> trials;
+    TrialStats totals;
+    LatencySummary recovery;
+};
+
+/** A full campaign run. */
+struct CampaignReport
+{
+    CampaignConfig cfg;
+    std::vector<SchemeResult> schemes;
+};
+
+/** Executes trials; every public method is deterministic in the seed. */
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(const CampaignConfig &cfg) : cfg_(cfg) {}
+
+    TrialStats runTrial(CampaignScheme s, unsigned trial) const;
+    SchemeResult runScheme(CampaignScheme s) const;
+    CampaignReport run(const std::vector<CampaignScheme> &schemes) const;
+
+  private:
+    CampaignConfig cfg_;
+};
+
+/** Emit the report as deterministic JSON (stable key order, no floats
+ *  formatted locale-dependently). */
+void writeJsonReport(const CampaignReport &report, std::ostream &os);
+
+} // namespace dve
+
+#endif // DVE_FAULT_CAMPAIGN_HH

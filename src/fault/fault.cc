@@ -1,6 +1,9 @@
 #include "fault/fault.hh"
 
 #include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
 
 namespace dve
 {
@@ -20,9 +23,120 @@ faultScopeName(FaultScope s)
     return "?";
 }
 
+std::optional<FaultScope>
+parseFaultScope(const char *name)
+{
+    if (!name)
+        return std::nullopt;
+    for (unsigned i = 0; i < numFaultScopes; ++i) {
+        const auto s = static_cast<FaultScope>(i);
+        if (std::strcmp(name, faultScopeName(s)) == 0)
+            return s;
+    }
+    return std::nullopt;
+}
+
+FaultGeometry
+FaultGeometry::from(unsigned sockets, unsigned channels, unsigned chips,
+                    const DramConfig &cfg)
+{
+    FaultGeometry g;
+    g.sockets = sockets;
+    g.channels = channels;
+    g.ranks = cfg.ranksPerChannel;
+    g.chips = chips;
+    g.banks = cfg.banksPerRank;
+    g.rows = cfg.rowsPerBank();
+    g.columns = cfg.rowBufferBytes / lineBytes;
+    return g;
+}
+
+FaultDescriptor
+FaultRegistry::normalized(FaultDescriptor f)
+{
+    // Zero every field broader scopes ignore so that duplicate detection
+    // compares only the coordinates that actually participate in matching.
+    switch (f.scope) {
+      case FaultScope::Controller:
+        f.channel = 0;
+        [[fallthrough]];
+      case FaultScope::Channel:
+        f.rank = 0;
+        f.chip = 0;
+        [[fallthrough]];
+      case FaultScope::Chip:
+        f.bank = 0;
+        [[fallthrough]];
+      case FaultScope::Bank:
+        f.row = 0;
+        f.column = 0;
+        break;
+      case FaultScope::Row:
+        f.column = 0;
+        break;
+      case FaultScope::Column:
+        f.row = 0;
+        break;
+      case FaultScope::Cell:
+        break;
+    }
+    if (f.scope != FaultScope::Cell)
+        f.bit = 0;
+    return f;
+}
+
+bool
+FaultRegistry::inBounds(const FaultDescriptor &f) const
+{
+    if (geom_.sockets == 0)
+        return true; // no geometry configured: accept anything
+    if (f.socket >= geom_.sockets)
+        return false;
+    if (f.scope == FaultScope::Controller)
+        return true;
+    if (f.channel >= geom_.channels)
+        return false;
+    if (f.scope == FaultScope::Channel)
+        return true;
+    if (f.rank >= geom_.ranks || f.chip >= geom_.chips)
+        return false;
+    switch (f.scope) {
+      case FaultScope::Chip:
+        return true;
+      case FaultScope::Bank:
+        return f.bank < geom_.banks;
+      case FaultScope::Row:
+        return f.bank < geom_.banks && f.row < geom_.rows;
+      case FaultScope::Column:
+        return f.bank < geom_.banks && f.column < geom_.columns;
+      case FaultScope::Cell:
+        return f.bank < geom_.banks && f.row < geom_.rows
+               && f.column < geom_.columns && f.bit < 8;
+      default:
+        return false;
+    }
+}
+
 std::uint64_t
 FaultRegistry::inject(FaultDescriptor f)
 {
+    f = normalized(f);
+    if (!inBounds(f)) {
+        dve_warn("rejecting out-of-range ", faultScopeName(f.scope),
+                 " fault (socket ", f.socket, " channel ", f.channel,
+                 " rank ", f.rank, " chip ", f.chip, " bank ", f.bank,
+                 " row ", f.row, " column ", f.column, ")");
+        return 0;
+    }
+    for (const auto &a : faults_) {
+        if (a.scope == f.scope && a.socket == f.socket
+            && a.channel == f.channel && a.rank == f.rank
+            && a.chip == f.chip && a.bank == f.bank && a.row == f.row
+            && a.column == f.column && a.bit == f.bit
+            && a.transient == f.transient) {
+            return a.id; // exact duplicate: keep the existing fault
+        }
+    }
     f.id = nextId_++;
     faults_.push_back(f);
     return f.id;

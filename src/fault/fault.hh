@@ -13,6 +13,7 @@
 #define DVE_FAULT_FAULT_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/types.hh"
@@ -33,7 +34,12 @@ enum class FaultScope : std::uint8_t
     Controller, ///< the whole memory controller of a socket
 };
 
+constexpr unsigned numFaultScopes = 7;
+
 const char *faultScopeName(FaultScope s);
+
+/** Inverse of faultScopeName; nullopt for unrecognized names. */
+std::optional<FaultScope> parseFaultScope(const char *name);
 
 /** One injected fault. Unused coordinate fields are ignored per scope. */
 struct FaultDescriptor
@@ -67,13 +73,43 @@ struct FaultImpact
     }
 };
 
+/**
+ * Coordinate bounds the registry validates injected descriptors against.
+ * All-zero (the default) means "no validation" -- standalone registries
+ * used by unit tests accept anything, while registries embedded in an
+ * engine are configured from the engine's DramConfig.
+ */
+struct FaultGeometry
+{
+    unsigned sockets = 0;
+    unsigned channels = 0; ///< global channel ids (mirrored copies count)
+    unsigned ranks = 0;
+    unsigned chips = 0;    ///< symbol positions the line codec spans
+    unsigned banks = 0;
+    std::uint64_t rows = 0;
+    unsigned columns = 0;  ///< line slots per row buffer
+
+    /** Derive the chip-internal bounds from a DramConfig. */
+    static FaultGeometry from(unsigned sockets, unsigned channels,
+                              unsigned chips, const DramConfig &cfg);
+};
+
 /** Mutable registry of active faults. */
 class FaultRegistry
 {
   public:
     FaultRegistry() = default;
 
-    /** Activate a fault; returns its id. */
+    /** Enable coordinate validation for subsequent inject() calls. */
+    void setGeometry(const FaultGeometry &g) { geom_ = g; }
+
+    /**
+     * Activate a fault; returns its id. A descriptor identical (in the
+     * fields its scope uses) to an already-active fault is not duplicated:
+     * the existing id is returned. With a geometry configured, descriptors
+     * with out-of-range coordinates are rejected with a warning and id 0
+     * (never a valid id).
+     */
     std::uint64_t inject(FaultDescriptor f);
 
     /** Deactivate by id. @return true if it was active. */
@@ -105,8 +141,14 @@ class FaultRegistry
     static bool matches(const FaultDescriptor &f, unsigned socket,
                         unsigned channel, const DramCoord &coord);
 
+    /** Zero the coordinate fields @p f's scope ignores (canonical form). */
+    static FaultDescriptor normalized(FaultDescriptor f);
+
+    bool inBounds(const FaultDescriptor &f) const;
+
     std::vector<FaultDescriptor> faults_;
     std::uint64_t nextId_ = 1;
+    FaultGeometry geom_;
 };
 
 } // namespace dve

@@ -1,0 +1,204 @@
+#include "fault/lifecycle.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::Transient: return "transient";
+      case FaultKind::Intermittent: return "intermittent";
+      case FaultKind::Permanent: return "permanent";
+    }
+    return "?";
+}
+
+LifecycleConfig
+LifecycleConfig::fieldDefaults()
+{
+    // Relative magnitudes follow the field-study shape the paper cites
+    // (Sec. II): small-granularity faults dominate arrivals, and the
+    // larger the scope the likelier the fault is hard. Absolute values
+    // are per-device FIT; campaigns multiply by `acceleration`.
+    LifecycleConfig c;
+    c.rates[unsigned(FaultScope::Cell)] = {20.0, 0.70, 0.20};
+    c.rates[unsigned(FaultScope::Row)] = {8.0, 0.25, 0.45};
+    c.rates[unsigned(FaultScope::Column)] = {6.0, 0.25, 0.45};
+    c.rates[unsigned(FaultScope::Bank)] = {10.0, 0.20, 0.40};
+    c.rates[unsigned(FaultScope::Chip)] = {2.0, 0.10, 0.20};
+    c.rates[unsigned(FaultScope::Channel)] = {0.6, 0.05, 0.15};
+    c.rates[unsigned(FaultScope::Controller)] = {0.3, 0.0, 0.0};
+    return c;
+}
+
+FaultLifecycleEngine::FaultLifecycleEngine(const LifecycleConfig &cfg,
+                                           FaultRegistry &reg)
+    : cfg_(cfg), reg_(reg), map_(cfg.dram), rng_(cfg.seed)
+{
+    dve_assert(cfg_.sockets > 0, "lifecycle needs at least one socket");
+    dve_assert(cfg_.footprintLines > 0, "lifecycle footprint is empty");
+    // Seed one arrival process per scope, in scope order so the draw
+    // sequence (and thus the whole run) is reproducible from the seed.
+    for (unsigned s = 0; s < numFaultScopes; ++s)
+        scheduleArrival(static_cast<FaultScope>(s), 0);
+}
+
+double
+FaultLifecycleEngine::ratePerTick(FaultScope s) const
+{
+    // FIT = arrivals per 1e9 device-hours; one hour is 3.6e15 ticks.
+    constexpr double ticks_per_fit_interval = 1e9 * 3.6e15;
+    return cfg_.rates[unsigned(s)].fit * cfg_.acceleration
+           / ticks_per_fit_interval;
+}
+
+Tick
+FaultLifecycleEngine::expDraw(double mean_ticks)
+{
+    const double u = rng_.uniform();
+    const double d = -std::log1p(-u) * mean_ticks;
+    if (d >= static_cast<double>(maxTick) / 2)
+        return maxTick / 2;
+    return d < 1.0 ? 1 : static_cast<Tick>(d);
+}
+
+void
+FaultLifecycleEngine::push(Pending p)
+{
+    p.seq = nextSeq_++;
+    queue_.push(p);
+}
+
+void
+FaultLifecycleEngine::scheduleArrival(FaultScope s, Tick after)
+{
+    const double rate = ratePerTick(s);
+    if (rate <= 0.0)
+        return; // process disabled for this scope
+    Pending p;
+    p.at = after + expDraw(1.0 / rate);
+    if (p.at < after) // overflow: effectively never
+        return;
+    p.type = Event::Type::Arrive;
+    p.scope = s;
+    push(p);
+}
+
+void
+FaultLifecycleEngine::advanceTo(Tick now)
+{
+    dve_assert(now >= now_, "lifecycle time must not run backwards");
+    now_ = now;
+    while (!queue_.empty() && queue_.top().at <= now) {
+        const Pending p = queue_.top();
+        queue_.pop();
+        if (p.type == Event::Type::Arrive) {
+            if (!arrivalsStopped_)
+                processArrival(p);
+        } else {
+            processFlap(p);
+        }
+    }
+}
+
+Tick
+FaultLifecycleEngine::nextEventAt() const
+{
+    return queue_.empty() ? maxTick : queue_.top().at;
+}
+
+void
+FaultLifecycleEngine::processArrival(const Pending &p)
+{
+    // Keep the scope's Poisson process running regardless of what this
+    // arrival turns into.
+    scheduleArrival(p.scope, p.at);
+
+    const ScopeRate &mix = cfg_.rates[unsigned(p.scope)];
+    const double u = rng_.uniform();
+    const FaultKind kind = u < mix.transient ? FaultKind::Transient
+                           : u < mix.transient + mix.intermittent
+                               ? FaultKind::Intermittent
+                               : FaultKind::Permanent;
+
+    // Place the fault at coordinates a workload line actually decodes to,
+    // so campaign footprints observe the faults they are charged for.
+    FaultDescriptor f;
+    f.scope = p.scope;
+    f.socket = static_cast<unsigned>(rng_.next(cfg_.sockets));
+    const Addr line = rng_.next(cfg_.footprintLines);
+    const DramCoord c = map_.decode(line << lineShift);
+    f.channel = c.channel;
+    f.rank = c.rank;
+    f.bank = c.bank;
+    f.row = c.row;
+    f.column = c.column;
+    f.chip = static_cast<unsigned>(rng_.next(cfg_.chips));
+    f.bit = static_cast<unsigned>(rng_.next(8));
+    f.transient = kind == FaultKind::Transient;
+
+    const std::uint64_t id = reg_.inject(f);
+    if (id == 0)
+        return; // out of the configured geometry: drop silently
+
+    ++stats_.arrivals;
+    ++stats_.byKind[unsigned(kind)];
+    ++stats_.byScope[unsigned(p.scope)];
+    log_.push_back({p.at, Event::Type::Arrive, kind, p.scope, id});
+
+    if (kind == FaultKind::Intermittent) {
+        Pending off;
+        off.at = p.at + expDraw(static_cast<double>(cfg_.meanActive));
+        off.type = Event::Type::Deactivate;
+        off.scope = p.scope;
+        off.kind = kind;
+        off.desc = f;
+        off.faultId = id;
+        off.flapsLeft =
+            cfg_.maxFlaps == 0
+                ? 0
+                : static_cast<unsigned>(rng_.next(cfg_.maxFlaps));
+        push(off);
+    }
+}
+
+void
+FaultLifecycleEngine::processFlap(const Pending &p)
+{
+    if (p.type == Event::Type::Deactivate) {
+        // The episode ends: the component reads clean again for a while.
+        // clear() may fail if a repair write already cured the entry; the
+        // dormancy/reactivation schedule is unaffected either way.
+        reg_.clear(p.faultId);
+        ++stats_.deactivations;
+        log_.push_back(
+            {p.at, Event::Type::Deactivate, p.kind, p.scope, p.faultId});
+        if (p.flapsLeft == 0)
+            return; // dormant for good
+        Pending on = p;
+        on.at = p.at + expDraw(static_cast<double>(cfg_.meanInactive));
+        on.type = Event::Type::Reactivate;
+        on.flapsLeft = p.flapsLeft - 1;
+        push(on);
+        return;
+    }
+
+    // Reactivate: the same marginal component fails again.
+    Pending off = p;
+    off.faultId = reg_.inject(p.desc);
+    if (off.faultId == 0)
+        return;
+    ++stats_.reactivations;
+    log_.push_back(
+        {p.at, Event::Type::Reactivate, p.kind, p.scope, off.faultId});
+    off.at = p.at + expDraw(static_cast<double>(cfg_.meanActive));
+    off.type = Event::Type::Deactivate;
+    push(off);
+}
+
+} // namespace dve

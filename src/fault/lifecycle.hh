@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Stochastic fault-lifecycle engine: seeded, deterministic fault arrival
+ * processes layered on the simulation timeline.
+ *
+ * Field studies (Sridharan et al., and the replication-aware protection
+ * line of work in PAPERS.md) report DRAM fault arrivals per scope as
+ * FIT-style rates and distinguish three lifecycles:
+ *
+ *  - transient:    a one-shot upset that persists latently until the next
+ *                  write of the location cures it (descriptor.transient);
+ *  - intermittent: a marginal component that flaps between active and
+ *                  inactive episodes a bounded number of times;
+ *  - permanent:    a hard failure that persists until the affected frame
+ *                  is retired (the registry entry is never cured).
+ *
+ * The engine pre-schedules arrivals per scope from exponential
+ * inter-arrival draws, places each fault at coordinates decoded from a
+ * uniformly drawn line of the configured footprint (so faults land where
+ * a workload can actually observe them), and injects/clears descriptors
+ * in a FaultRegistry as simulated time advances. Every draw comes from
+ * one seeded Rng, so a run is a pure function of its configuration.
+ */
+
+#ifndef DVE_FAULT_LIFECYCLE_HH
+#define DVE_FAULT_LIFECYCLE_HH
+
+#include <array>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "dram/address_map.hh"
+#include "fault/fault.hh"
+
+namespace dve
+{
+
+/** Temporal behaviour of a fault (field-study taxonomy). */
+enum class FaultKind : std::uint8_t
+{
+    Transient,
+    Intermittent,
+    Permanent,
+};
+
+constexpr unsigned numFaultKinds = 3;
+
+const char *faultKindName(FaultKind k);
+
+/** Arrival rate and lifecycle mix for one fault scope. */
+struct ScopeRate
+{
+    /** Failures-in-time: expected arrivals per 10^9 device-hours. */
+    double fit = 0.0;
+    /** Fraction of arrivals that are transient (write-curable). */
+    double transient = 0.55;
+    /** Fraction that are intermittent (flapping); rest are permanent. */
+    double intermittent = 0.30;
+};
+
+/** Configuration of the stochastic fault process. */
+struct LifecycleConfig
+{
+    unsigned sockets = 2;
+    DramConfig dram;
+    /** Symbol positions the line codec spans (chip-coordinate bound). */
+    unsigned chips = 19;
+    /** Arrival coordinates are decoded from lines in [0, footprintLines). */
+    Addr footprintLines = Addr(1) << 12;
+    /**
+     * Time-compression factor applied to every FIT rate. Real FIT rates
+     * produce one fault per millennia of simulated microseconds; campaigns
+     * accelerate time so that trials of ~10^3-10^6 ops observe realistic
+     * fault *mixes* at observable frequencies.
+     */
+    double acceleration = 1.0;
+    /** Per-scope rates, indexed by FaultScope. */
+    std::array<ScopeRate, numFaultScopes> rates{};
+
+    // Intermittent-fault shape.
+    Tick meanActive = 50 * ticksPerUs;   ///< mean active-episode length
+    Tick meanInactive = 50 * ticksPerUs; ///< mean dormancy between episodes
+    unsigned maxFlaps = 3; ///< active episodes before going dormant for good
+
+    std::uint64_t seed = 1;
+
+    /**
+     * Field-study flavoured defaults: cell faults dominate, most faults
+     * are transient, channel/controller faults are rare and permanent.
+     * Rates are in FIT; scale with @p acceleration for campaign use.
+     */
+    static LifecycleConfig fieldDefaults();
+};
+
+/** The seeded fault process driving a FaultRegistry over simulated time. */
+class FaultLifecycleEngine
+{
+  public:
+    /** One lifecycle transition, kept for reports and determinism tests. */
+    struct Event
+    {
+        enum class Type : std::uint8_t
+        {
+            Arrive,
+            Deactivate, ///< intermittent episode ended (fault cleared)
+            Reactivate, ///< intermittent episode began again
+        };
+        Tick at = 0;
+        Type type = Type::Arrive;
+        FaultKind kind = FaultKind::Transient;
+        FaultScope scope = FaultScope::Cell;
+        std::uint64_t faultId = 0;
+    };
+
+    struct Stats
+    {
+        std::uint64_t arrivals = 0;
+        std::array<std::uint64_t, numFaultKinds> byKind{};
+        std::array<std::uint64_t, numFaultScopes> byScope{};
+        std::uint64_t deactivations = 0;
+        std::uint64_t reactivations = 0;
+    };
+
+    FaultLifecycleEngine(const LifecycleConfig &cfg, FaultRegistry &reg);
+
+    /** Apply every scheduled transition with timestamp <= @p now. */
+    void advanceTo(Tick now);
+
+    /** Timestamp of the next pending transition (maxTick when idle). */
+    Tick nextEventAt() const;
+
+    /**
+     * Stop generating new arrivals; transitions of faults already present
+     * (intermittent deactivation/reactivation) still run. Campaigns call
+     * this when the workload ends so the drain phase can quiesce: every
+     * remaining intermittent flaps off within its bounded episode budget
+     * instead of being replaced by fresh arrivals forever.
+     */
+    void stopArrivals() { arrivalsStopped_ = true; }
+
+    const Stats &stats() const { return stats_; }
+    const std::vector<Event> &log() const { return log_; }
+
+  private:
+    struct Pending
+    {
+        Tick at = 0;
+        std::uint64_t seq = 0; ///< FIFO tiebreak for equal timestamps
+        Event::Type type = Event::Type::Arrive;
+        FaultScope scope = FaultScope::Cell; ///< Arrive: which process fired
+        FaultKind kind = FaultKind::Transient;
+        FaultDescriptor desc;  ///< flap events re-inject this descriptor
+        std::uint64_t faultId = 0;
+        unsigned flapsLeft = 0;
+
+        bool operator>(const Pending &o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+    };
+
+    /** Events per tick for one scope (0 disables the process). */
+    double ratePerTick(FaultScope s) const;
+
+    /** Exponential draw with the given mean (>= 1 tick). */
+    Tick expDraw(double mean_ticks);
+
+    void scheduleArrival(FaultScope s, Tick after);
+    void push(Pending p);
+    void processArrival(const Pending &p);
+    void processFlap(const Pending &p);
+
+    LifecycleConfig cfg_;
+    FaultRegistry &reg_;
+    AddressMap map_;
+    Rng rng_;
+    std::priority_queue<Pending, std::vector<Pending>,
+                        std::greater<Pending>>
+        queue_;
+    std::uint64_t nextSeq_ = 0;
+    Tick now_ = 0;
+    bool arrivalsStopped_ = false;
+    Stats stats_;
+    std::vector<Event> log_;
+};
+
+} // namespace dve
+
+#endif // DVE_FAULT_LIFECYCLE_HH

@@ -212,6 +212,180 @@ TEST(DvePaths, DisableReplicationClearsDegradedState)
     EXPECT_EQ(e.degradedLines(), 0u);
 }
 
+TEST(DvePaths, PatrolScrubUnderChannelScopeFault)
+{
+    DveEngine e(smallConfig(), DveConfig{});
+    Tick t = 0;
+
+    // Populate one page from the replica socket (so the replica directory
+    // holds M, not RM, and the scrub sweeps both copies of every line).
+    for (unsigned i = 0; i < 16; ++i)
+        t = e.access(1, 0, addrAt(0, i), true, 100 + i, t).done;
+
+    // Hard-kill channel 0 of the replica socket: with two channels, every
+    // even line slot of the page loses its replica copy.
+    FaultDescriptor f;
+    f.scope = FaultScope::Channel;
+    f.socket = 1;
+    f.channel = 0;
+    const auto id = e.faultRegistry().inject(f);
+
+    const auto rep = e.patrolScrub(t);
+    EXPECT_EQ(rep.linesScanned, 16u);
+    EXPECT_EQ(rep.replicaRecoveries, 8u); // half the lines map to channel 0
+    EXPECT_EQ(rep.dataLost, 0u);          // home copies cover every loss
+    EXPECT_EQ(e.degradedLines(), 8u);     // hard fault: repairs fail
+    EXPECT_EQ(e.pendingRepairs(), 8u);
+
+    // A second sweep skips the degraded replica copies instead of
+    // re-recovering them.
+    const auto rep2 = e.patrolScrub(rep.finishedAt);
+    EXPECT_EQ(rep2.replicaRecoveries, 0u);
+    EXPECT_EQ(rep2.dataLost, 0u);
+
+    // Once the channel comes back, one maintenance pass re-replicates
+    // every degraded line.
+    e.faultRegistry().clear(id);
+    const auto m =
+        e.runMaintenance(rep2.finishedAt + 1000 * ticksPerUs);
+    EXPECT_EQ(m.healed, 8u);
+    EXPECT_EQ(m.retired, 0u);
+    EXPECT_EQ(e.degradedLines(), 0u);
+    EXPECT_EQ(e.reReplications(), 8u);
+}
+
+TEST(DvePaths, PatrolScrubUnderControllerScopeFault)
+{
+    DveEngine e(smallConfig(), DveConfig{});
+    Tick t = 0;
+
+    // Page 0 homes at socket 0; page 1's replica lives at socket 0. A
+    // controller-scope fault on socket 0 therefore degrades home copies
+    // of page 0 and replica copies of page 1.
+    for (unsigned i = 0; i < 4; ++i)
+        t = e.access(0, 0, addrAt(0, i), true, 10 + i, t).done;
+    for (unsigned i = 0; i < 4; ++i)
+        t = e.access(0, 0, addrAt(1, i), true, 20 + i, t).done;
+
+    FaultDescriptor f;
+    f.scope = FaultScope::Controller;
+    f.socket = 0;
+    const auto id = e.faultRegistry().inject(f);
+
+    const auto rep = e.patrolScrub(t);
+    EXPECT_EQ(rep.linesScanned, 8u);
+    EXPECT_GT(rep.replicaRecoveries, 0u);
+    EXPECT_EQ(rep.dataLost, 0u); // the surviving socket covers every line
+    EXPECT_GT(e.degradedLines(), 0u);
+
+    // Clearing the fault and running maintenance restores dual-copy
+    // service everywhere.
+    e.faultRegistry().clear(id);
+    e.runMaintenance(rep.finishedAt + 1000 * ticksPerUs);
+    EXPECT_EQ(e.degradedLines(), 0u);
+    EXPECT_EQ(e.retiredPages(), 0u);
+}
+
+TEST(DvePaths, MaintenanceBackoffThenHeal)
+{
+    DveEngine e(smallConfig(), DveConfig{});
+
+    FaultDescriptor f;
+    f.scope = FaultScope::Controller;
+    f.socket = 1;
+    const auto id = e.faultRegistry().inject(f);
+    const auto r1 = e.access(1, 0, addrAt(0), false, 0, 0);
+    ASSERT_EQ(e.degradedLines(), 1u);
+    ASSERT_EQ(e.pendingRepairs(), 1u);
+    ASSERT_EQ(e.recoveryLatencies().size(), 1u);
+
+    // Before the backoff deadline the task is deferred, not attempted.
+    const auto m0 = e.runMaintenance(r1.done);
+    EXPECT_EQ(m0.tasksRun, 0u);
+    EXPECT_EQ(e.pendingRepairs(), 1u);
+
+    // Past the deadline but with the fault still active: one failed
+    // attempt, requeued with doubled backoff.
+    const auto m1 = e.runMaintenance(r1.done + 3 * ticksPerUs);
+    EXPECT_EQ(m1.tasksRun, 1u);
+    EXPECT_EQ(m1.healed, 0u);
+    EXPECT_EQ(e.repairRetries(), 1u);
+    EXPECT_EQ(e.pendingRepairs(), 1u);
+
+    // Fault cleared: the next attempt re-replicates the line.
+    e.faultRegistry().clear(id);
+    const auto m2 = e.runMaintenance(r1.done + 100 * ticksPerUs);
+    EXPECT_EQ(m2.tasksRun, 1u);
+    EXPECT_EQ(m2.healed, 1u);
+    EXPECT_EQ(e.degradedLines(), 0u);
+    EXPECT_EQ(e.pendingRepairs(), 0u);
+    EXPECT_EQ(e.reReplications(), 1u);
+    EXPECT_EQ(e.retiredPages(), 0u);
+    EXPECT_GT(e.degradedResidency(r1.done + 100 * ticksPerUs), 0.0);
+}
+
+TEST(DvePaths, ExhaustedRetriesRetireTheFrame)
+{
+    DveEngine e(smallConfig(), DveConfig{});
+
+    // Two permanent row faults in different chips at the row line 0 of
+    // page 0 decodes to: a detected-uncorrectable home copy that no
+    // in-place repair can fix, but that a spare frame (different row)
+    // escapes.
+    for (unsigned chip : {2u, 3u}) {
+        FaultDescriptor f;
+        f.scope = FaultScope::Row;
+        f.socket = 0;
+        f.chip = chip;
+        const auto fid = e.faultRegistry().inject(f);
+        EXPECT_NE(fid, 0u);
+    }
+
+    const auto r1 = e.access(0, 0, addrAt(0), false, 0, 0);
+    ASSERT_EQ(e.degradedLines(), 1u);
+    EXPECT_GT(e.replicaRecoveries(), 0u);
+
+    // Drive maintenance until the retry budget (default 3) is exhausted;
+    // the fourth attempt retires the frame to a spare page.
+    Tick now = r1.done;
+    for (int pass = 0; pass < 5; ++pass) {
+        now += 1000 * ticksPerUs;
+        e.runMaintenance(now);
+    }
+    EXPECT_TRUE(e.pageRetired(0, 0));
+    EXPECT_FALSE(e.pageRetired(1, 0));
+    EXPECT_EQ(e.retiredPages(), 1u);
+    EXPECT_EQ(e.degradedLines(), 0u); // the spare frame dodges the rows
+    EXPECT_GE(e.reReplications(), 1u);
+
+    // The retired frame serves reads and writes through the spare.
+    Tick t = e.access(1, 0, addrAt(0), true, 77, now).done;
+    const auto r2 = e.access(0, 1, addrAt(0), false, 0, t);
+    EXPECT_EQ(r2.value, 77u);
+    EXPECT_EQ(e.degradedLines(), 0u);
+}
+
+TEST(DvePaths, SelfHealDisabledLeavesLinesDegraded)
+{
+    DveConfig d;
+    d.selfHeal = false;
+    DveEngine e(smallConfig(), d);
+
+    FaultDescriptor f;
+    f.scope = FaultScope::Controller;
+    f.socket = 1;
+    const auto id = e.faultRegistry().inject(f);
+    const auto r1 = e.access(1, 0, addrAt(0), false, 0, 0);
+    EXPECT_EQ(e.degradedLines(), 1u);
+    EXPECT_EQ(e.pendingRepairs(), 0u);
+    e.faultRegistry().clear(id);
+
+    const auto m = e.runMaintenance(r1.done + 1000 * ticksPerUs);
+    EXPECT_EQ(m.tasksRun, 0u);
+    EXPECT_EQ(e.degradedLines(), 1u);
+    EXPECT_EQ(e.reReplications(), 0u);
+}
+
 TEST(DvePaths, DumpStatsCoversAllGroups)
 {
     DveEngine e(smallConfig(), DveConfig{});

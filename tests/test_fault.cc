@@ -179,5 +179,98 @@ TEST(FaultRegistry, ScopeNames)
     EXPECT_STREQ(faultScopeName(FaultScope::Controller), "controller");
 }
 
+TEST(FaultRegistry, ParseFaultScopeRoundTrips)
+{
+    for (unsigned i = 0; i < numFaultScopes; ++i) {
+        const auto s = static_cast<FaultScope>(i);
+        const auto parsed = parseFaultScope(faultScopeName(s));
+        ASSERT_TRUE(parsed.has_value()) << faultScopeName(s);
+        EXPECT_EQ(*parsed, s);
+    }
+    EXPECT_FALSE(parseFaultScope("dimm").has_value());
+    EXPECT_FALSE(parseFaultScope("").has_value());
+    EXPECT_FALSE(parseFaultScope(nullptr).has_value());
+}
+
+TEST(FaultRegistry, DuplicateInjectionReturnsExistingId)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::Bank;
+    f.socket = 1;
+    f.chip = 3;
+    f.bank = 2;
+
+    const auto id1 = reg.inject(f);
+    ASSERT_NE(id1, 0u);
+    EXPECT_EQ(reg.inject(f), id1);
+    EXPECT_EQ(reg.activeCount(), 1u);
+
+    // Fields the scope ignores don't defeat deduplication: a bank fault
+    // doesn't care about row/column/bit.
+    FaultDescriptor same = f;
+    same.row = 99;
+    same.column = 7;
+    same.bit = 5;
+    EXPECT_EQ(reg.inject(same), id1);
+    EXPECT_EQ(reg.activeCount(), 1u);
+
+    // A genuinely different fault gets its own id; clearing the original
+    // allows re-injection under a fresh id.
+    FaultDescriptor other = f;
+    other.bank = 3;
+    const auto id2 = reg.inject(other);
+    EXPECT_NE(id2, id1);
+    EXPECT_EQ(reg.activeCount(), 2u);
+    EXPECT_TRUE(reg.clear(id1));
+    const auto id3 = reg.inject(f);
+    EXPECT_NE(id3, 0u);
+    EXPECT_NE(id3, id1);
+}
+
+TEST(FaultRegistry, TransienceDistinguishesFaults)
+{
+    FaultRegistry reg;
+    FaultDescriptor hard;
+    hard.scope = FaultScope::Chip;
+    hard.chip = 4;
+    FaultDescriptor soft = hard;
+    soft.transient = true;
+    EXPECT_NE(reg.inject(hard), reg.inject(soft));
+    EXPECT_EQ(reg.activeCount(), 2u);
+}
+
+TEST(FaultRegistry, GeometryRejectsOutOfRangeCoordinates)
+{
+    FaultRegistry reg;
+    reg.setGeometry(
+        FaultGeometry::from(2, 2, 19, DramConfig::ddr4Baseline()));
+
+    FaultDescriptor f;
+    f.scope = FaultScope::Cell;
+    f.socket = 1;
+    f.channel = 1;
+    f.chip = 18;
+    f.bit = 7;
+    EXPECT_NE(reg.inject(f), 0u); // at every upper bound: accepted
+
+    const auto reject = [&](auto &&mutate) {
+        FaultDescriptor bad = f;
+        mutate(bad);
+        EXPECT_EQ(reg.inject(bad), 0u);
+    };
+    reject([](FaultDescriptor &d) { d.socket = 2; });
+    reject([](FaultDescriptor &d) { d.channel = 2; });
+    reject([](FaultDescriptor &d) { d.chip = 19; });
+    reject([](FaultDescriptor &d) { d.bit = 8; });
+    EXPECT_EQ(reg.activeCount(), 1u);
+
+    // Without a geometry (standalone unit-test registries), anything goes.
+    FaultRegistry unchecked;
+    FaultDescriptor wild = f;
+    wild.socket = 99;
+    EXPECT_NE(unchecked.inject(wild), 0u);
+}
+
 } // namespace
 } // namespace dve

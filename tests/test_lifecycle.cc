@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the stochastic fault-lifecycle engine: determinism, rate
+ * scaling, kind mix, intermittent flapping, and coordinate bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/lifecycle.hh"
+
+namespace dve
+{
+namespace
+{
+
+LifecycleConfig
+pressureCfg(double acceleration = 1e15)
+{
+    LifecycleConfig c = LifecycleConfig::fieldDefaults();
+    c.sockets = 2;
+    c.dram = DramConfig::ddr4Replicated();
+    c.chips = 19;
+    c.footprintLines = 512;
+    c.acceleration = acceleration;
+    c.seed = 42;
+    return c;
+}
+
+TEST(Lifecycle, DeterministicInSeed)
+{
+    const LifecycleConfig cfg = pressureCfg();
+    FaultRegistry ra, rb;
+    FaultLifecycleEngine a(cfg, ra), b(cfg, rb);
+
+    a.advanceTo(10 * ticksPerMs);
+    b.advanceTo(10 * ticksPerMs);
+
+    ASSERT_GT(a.stats().arrivals, 0u);
+    EXPECT_EQ(a.stats().arrivals, b.stats().arrivals);
+    EXPECT_EQ(a.stats().deactivations, b.stats().deactivations);
+    EXPECT_EQ(a.stats().reactivations, b.stats().reactivations);
+    ASSERT_EQ(a.log().size(), b.log().size());
+    for (std::size_t i = 0; i < a.log().size(); ++i) {
+        EXPECT_EQ(a.log()[i].at, b.log()[i].at);
+        EXPECT_EQ(a.log()[i].type, b.log()[i].type);
+        EXPECT_EQ(a.log()[i].kind, b.log()[i].kind);
+        EXPECT_EQ(a.log()[i].scope, b.log()[i].scope);
+    }
+    EXPECT_EQ(ra.activeCount(), rb.activeCount());
+}
+
+TEST(Lifecycle, DifferentSeedsDiverge)
+{
+    LifecycleConfig cfg = pressureCfg();
+    FaultRegistry ra, rb;
+    FaultLifecycleEngine a(cfg, ra);
+    cfg.seed = 43;
+    FaultLifecycleEngine b(cfg, rb);
+    a.advanceTo(10 * ticksPerMs);
+    b.advanceTo(10 * ticksPerMs);
+    // Arrival counts may coincide, but the exact event timing cannot.
+    ASSERT_FALSE(a.log().empty());
+    ASSERT_FALSE(b.log().empty());
+    EXPECT_NE(a.log().front().at, b.log().front().at);
+}
+
+TEST(Lifecycle, ArrivalsScaleWithAcceleration)
+{
+    FaultRegistry ra, rb;
+    FaultLifecycleEngine slow(pressureCfg(3e14), ra);
+    FaultLifecycleEngine fast(pressureCfg(3e15), rb);
+    slow.advanceTo(20 * ticksPerMs);
+    fast.advanceTo(20 * ticksPerMs);
+    ASSERT_GT(slow.stats().arrivals, 0u);
+    EXPECT_GT(fast.stats().arrivals, 2 * slow.stats().arrivals);
+}
+
+TEST(Lifecycle, ZeroRatesProduceNothing)
+{
+    LifecycleConfig cfg = pressureCfg();
+    cfg.rates = {}; // every scope disabled
+    FaultRegistry reg;
+    FaultLifecycleEngine e(cfg, reg);
+    EXPECT_EQ(e.nextEventAt(), maxTick);
+    e.advanceTo(100 * ticksPerMs);
+    EXPECT_EQ(e.stats().arrivals, 0u);
+    EXPECT_EQ(reg.activeCount(), 0u);
+}
+
+TEST(Lifecycle, TransientOnlyMixSetsCurableFlag)
+{
+    LifecycleConfig cfg = pressureCfg();
+    for (auto &r : cfg.rates) {
+        r.transient = 1.0;
+        r.intermittent = 0.0;
+    }
+    FaultRegistry reg;
+    FaultLifecycleEngine e(cfg, reg);
+    e.advanceTo(10 * ticksPerMs);
+    ASSERT_GT(e.stats().arrivals, 0u);
+    EXPECT_EQ(e.stats().byKind[unsigned(FaultKind::Transient)],
+              e.stats().arrivals);
+    for (const auto &f : reg.active())
+        EXPECT_TRUE(f.transient);
+}
+
+TEST(Lifecycle, IntermittentsFlapAndGoDormant)
+{
+    LifecycleConfig cfg = pressureCfg();
+    for (auto &r : cfg.rates) {
+        r.transient = 0.0;
+        r.intermittent = 1.0;
+    }
+    cfg.meanActive = 10 * ticksPerUs;
+    cfg.meanInactive = 10 * ticksPerUs;
+    cfg.maxFlaps = 2;
+    FaultRegistry reg;
+    FaultLifecycleEngine e(cfg, reg);
+
+    e.advanceTo(10 * ticksPerMs);
+    ASSERT_GT(e.stats().arrivals, 0u);
+    EXPECT_EQ(e.stats().byKind[unsigned(FaultKind::Intermittent)],
+              e.stats().arrivals);
+    EXPECT_GT(e.stats().deactivations, 0u);
+
+    // Every episode is bounded; long after the last arrival's flap
+    // schedule, everything must have deactivated for good.
+    e.advanceTo(ticksPerSec);
+    EXPECT_EQ(e.stats().deactivations,
+              e.stats().arrivals + e.stats().reactivations);
+}
+
+TEST(Lifecycle, CoordinatesRespectGeometry)
+{
+    const LifecycleConfig cfg = pressureCfg();
+    FaultRegistry reg;
+    reg.setGeometry(FaultGeometry::from(cfg.sockets, cfg.dram.channels,
+                                       cfg.chips, cfg.dram));
+    FaultLifecycleEngine e(cfg, reg);
+    e.advanceTo(10 * ticksPerMs);
+
+    // Every arrival passed the registry's bounds check (none dropped).
+    std::uint64_t arrive_logs = 0;
+    for (const auto &ev : e.log()) {
+        if (ev.type == FaultLifecycleEngine::Event::Type::Arrive)
+            ++arrive_logs;
+    }
+    ASSERT_GT(arrive_logs, 0u);
+    EXPECT_EQ(arrive_logs, e.stats().arrivals);
+    for (const auto &f : reg.active()) {
+        EXPECT_LT(f.socket, cfg.sockets);
+        EXPECT_LT(f.chip, cfg.chips);
+        EXPECT_LT(f.channel, cfg.dram.channels);
+    }
+}
+
+TEST(Lifecycle, EventTimesAreMonotonic)
+{
+    const LifecycleConfig cfg = pressureCfg();
+    FaultRegistry reg;
+    FaultLifecycleEngine e(cfg, reg);
+    e.advanceTo(5 * ticksPerMs);
+    e.advanceTo(10 * ticksPerMs);
+    Tick prev = 0;
+    for (const auto &ev : e.log()) {
+        EXPECT_GE(ev.at, prev);
+        prev = ev.at;
+    }
+    EXPECT_GE(e.nextEventAt(), prev);
+}
+
+} // namespace
+} // namespace dve
