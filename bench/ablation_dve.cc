@@ -25,26 +25,27 @@ speculationAblation(double scale)
     TextTable t({"benchmark", "deny+spec", "deny-no-spec",
                  "spec benefit"});
     std::vector<double> on, off;
-    // The four most memory-intensive workloads show the effect best.
-    for (std::size_t i = 0; i < 4; ++i) {
-        const auto &wl = table3Workloads()[i];
-        const auto base =
-            bench::runScheme(SchemeKind::BaselineNuma, wl, scale);
-        SystemConfig with = bench::paperConfig(SchemeKind::DveDeny);
-        with.dve.speculativeReplicaRead = true;
-        SystemConfig without = with;
-        without.dve.speculativeReplicaRead = false;
-
-        const auto r1 =
-            bench::runScheme(SchemeKind::DveDeny, wl, scale, &with);
-        const auto r0 =
-            bench::runScheme(SchemeKind::DveDeny, wl, scale, &without);
+    // The four most memory-intensive workloads show the effect best;
+    // three sweep points each: baseline, deny+spec, deny-no-spec.
+    constexpr std::size_t n_wl = 4;
+    const auto runs = bench::runMatrix(n_wl * 3, [&](std::size_t p) {
+        const auto &wl = table3Workloads()[p / 3];
+        if (p % 3 == 0)
+            return bench::runScheme(SchemeKind::BaselineNuma, wl, scale);
+        SystemConfig cfg = bench::paperConfig(SchemeKind::DveDeny);
+        cfg.dve.speculativeReplicaRead = p % 3 == 1;
+        return bench::runScheme(SchemeKind::DveDeny, wl, scale, &cfg);
+    });
+    for (std::size_t i = 0; i < n_wl; ++i) {
+        const auto &base = runs[i * 3];
+        const auto &r1 = runs[i * 3 + 1];
+        const auto &r0 = runs[i * 3 + 2];
         const double s1 = double(base.roiTime) / double(r1.roiTime);
         const double s0 = double(base.roiTime) / double(r0.roiTime);
         on.push_back(s1);
         off.push_back(s0);
-        t.addRow({wl.name, TextTable::num(s1, 3), TextTable::num(s0, 3),
-                  TextTable::pct(s1 / s0)});
+        t.addRow({table3Workloads()[i].name, TextTable::num(s1, 3),
+                  TextTable::num(s0, 3), TextTable::pct(s1 / s0)});
     }
     t.addRow({"geomean", TextTable::num(bench::geomean(on), 3),
               TextTable::num(bench::geomean(off), 3),
@@ -58,27 +59,40 @@ rmtCoverageSweep(double scale)
     bench::printHeader("Ablation (b): on-demand replication coverage "
                        "(fraction of pages replicated via the RMT)");
     const auto &wl = workloadByName("xsbench");
-    const auto base =
-        bench::runScheme(SchemeKind::BaselineNuma, wl, scale);
+    const std::vector<double> covers = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+    // Point 0 is the NUMA baseline; points 1..N the coverage fractions.
+    const auto runs =
+        bench::runMatrix(1 + covers.size(), [&](std::size_t p) {
+            if (p == 0)
+                return bench::runScheme(SchemeKind::BaselineNuma, wl,
+                                        scale);
+            const double cover = covers[p - 1];
+            SystemConfig cfg = bench::paperConfig(SchemeKind::DveDeny);
+            cfg.dve.replicateAll = false;
+            System sys(cfg);
+            // Replicate the leading fraction of the shared region's
+            // pages.
+            const Addr shared_base_page = 0x1000'0000 / pageBytes;
+            const Addr total_pages = wl.sharedBytes / pageBytes;
+            const Addr n =
+                static_cast<Addr>(cover * double(total_pages));
+            auto *dve = sys.dveEngine();
+            for (Addr pg = 0; pg < n; ++pg) {
+                const Addr page = shared_base_page + pg;
+                const Addr line = page << (pageShift - lineShift);
+                const unsigned home = dve->homeSocket(line);
+                dve->enableReplication(page, 1 - home);
+            }
+            return sys.run(wl, scale);
+        });
+    const auto &base = runs[0];
 
     TextTable t({"coverage", "speedup vs NUMA", "replica reads",
                  "extra capacity used"});
-    for (double cover : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-        SystemConfig cfg = bench::paperConfig(SchemeKind::DveDeny);
-        cfg.dve.replicateAll = false;
-        System sys(cfg);
-        // Replicate the leading fraction of the shared region's pages.
-        const Addr shared_base_page = 0x1000'0000 / pageBytes;
-        const Addr total_pages = wl.sharedBytes / pageBytes;
-        const Addr n = static_cast<Addr>(cover * double(total_pages));
-        auto *dve = sys.dveEngine();
-        for (Addr p = 0; p < n; ++p) {
-            const Addr page = shared_base_page + p;
-            const Addr line = page << (pageShift - lineShift);
-            const unsigned home = dve->homeSocket(line);
-            dve->enableReplication(page, 1 - home);
-        }
-        const auto r = sys.run(wl, scale);
+    for (std::size_t ci = 0; ci < covers.size(); ++ci) {
+        const double cover = covers[ci];
+        const auto &r = runs[1 + ci];
         t.addRow({TextTable::num(cover * 100, 0) + "%",
                   TextTable::num(double(base.roiTime)
                                      / double(r.roiTime),
@@ -101,17 +115,26 @@ fourSocketScaling(double scale)
     bench::printHeader("Ablation (c): 4-socket NUMA scaling");
     TextTable t({"benchmark", "2-socket deny speedup",
                  "4-socket deny speedup"});
-    for (const char *name : {"backprop", "graph500", "xsbench"}) {
-        const auto &wl = workloadByName(name);
-        std::vector<std::string> row = {name};
-        for (unsigned sockets : {2u, 4u}) {
-            SystemConfig cfg = bench::paperConfig(SchemeKind::BaselineNuma);
+    const std::vector<const char *> names = {"backprop", "graph500",
+                                             "xsbench"};
+    // Four points per workload: (2,4 sockets) x (baseline, deny).
+    const auto runs =
+        bench::runMatrix(names.size() * 4, [&](std::size_t p) {
+            const auto &wl = workloadByName(names[p / 4]);
+            const unsigned sockets = (p / 2) % 2 ? 4u : 2u;
+            SystemConfig cfg =
+                bench::paperConfig(SchemeKind::BaselineNuma);
             cfg.engine.sockets = sockets;
             cfg.threads = sockets * 8;
-            const auto base = bench::runScheme(SchemeKind::BaselineNuma,
-                                               wl, scale, &cfg);
-            const auto dve =
-                bench::runScheme(SchemeKind::DveDeny, wl, scale, &cfg);
+            return bench::runScheme(p % 2 ? SchemeKind::DveDeny
+                                          : SchemeKind::BaselineNuma,
+                                    wl, scale, &cfg);
+        });
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
+        for (unsigned s = 0; s < 2; ++s) {
+            const auto &base = runs[w * 4 + s * 2];
+            const auto &dve = runs[w * 4 + s * 2 + 1];
             row.push_back(TextTable::num(
                 double(base.roiTime) / double(dve.roiTime), 3));
         }

@@ -1,22 +1,30 @@
 /**
  * @file
  * Shared helpers for the experiment harnesses: trace-scale control,
- * scheme matrices, and geometric means over the paper's workload groups.
+ * parallel scheme x workload sweeps, and geometric means over the
+ * paper's workload groups.
  *
  * Every harness accepts DVE_BENCH_SCALE (default varies per experiment)
  * to trade runtime for statistical weight; results are normalized, so
- * the paper-shape conclusions are stable across scales.
+ * the paper-shape conclusions are stable across scales. DVE_BENCH_JOBS
+ * fans the sweep points out over worker threads (default: hardware
+ * concurrency; 1 = serial): each point builds its own System, and
+ * results come back ordered by point index, so the printed tables are
+ * identical at any job count.
  */
 
 #ifndef DVE_BENCH_BENCH_UTIL_HH
 #define DVE_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
+#include "common/parallel.hh"
 #include "sys/system.hh"
 
 namespace dve
@@ -24,31 +32,58 @@ namespace dve
 namespace bench
 {
 
-/** Trace scale from the environment, with a per-bench default. */
+/**
+ * Trace scale from the environment, with a per-bench default.
+ *
+ * DVE_BENCH_SCALE must be a positive number with no trailing garbage:
+ * "0.5" parses, "2x" or "fast" warn and fall back to the default
+ * (std::atof used to silently read "2x" as 2 and map garbage to 0).
+ */
 inline double
 scaleFromEnv(double def)
 {
-    if (const char *s = std::getenv("DVE_BENCH_SCALE")) {
-        const double v = std::atof(s);
-        if (v > 0)
-            return v;
+    const char *s = std::getenv("DVE_BENCH_SCALE");
+    if (!s || !*s)
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || !std::isfinite(v) || v <= 0) {
+        dve_warn("DVE_BENCH_SCALE='", s,
+                 "' is not a positive number; using ", def);
+        return def;
     }
-    return def;
+    return v;
 }
 
-/** Geometric mean of a vector of positive values. */
+/**
+ * Geometric mean of a vector of positive values.
+ *
+ * Input contract: entries must be positive (they are ratios -- speedups,
+ * normalized traffic, EDP). Non-positive entries would silently turn
+ * the whole mean into NaN/-inf via std::log, poisoning every normalized
+ * figure downstream; instead they are skipped with a warning. An empty
+ * (or fully skipped) input returns 0.0 -- a recognizable "no data"
+ * sentinel, since no genuine ratio geomean is 0.
+ */
 inline double
 geomean(const std::vector<double> &v)
 {
-    if (v.empty())
-        return 0.0;
     double log_sum = 0;
-    for (double x : v)
+    std::size_t n = 0;
+    for (double x : v) {
+        if (!(x > 0) || !std::isfinite(x)) {
+            dve_warn("geomean: skipping non-positive entry ", x);
+            continue;
+        }
         log_sum += std::log(x);
-    return std::exp(log_sum / static_cast<double>(v.size()));
+        ++n;
+    }
+    if (n == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(n));
 }
 
-/** Geomean of the first @p n entries. */
+/** Geomean of the first @p n entries (same input contract). */
 inline double
 geomeanTop(const std::vector<double> &v, std::size_t n)
 {
@@ -75,6 +110,26 @@ runScheme(SchemeKind scheme, const WorkloadProfile &wl, double scale,
     cfg.scheme = scheme;
     System sys(cfg);
     return sys.run(wl, scale);
+}
+
+/**
+ * Evaluate @p n independent sweep points -- typically a flattened
+ * scheme x workload matrix -- in parallel, returning results ordered by
+ * point index.
+ *
+ * @p point is called with indices 0..n-1 and must be safe to run
+ * concurrently: build a fresh System per call (runScheme() does) and
+ * derive any randomness from the index alone. DVE_BENCH_JOBS picks the
+ * worker count; jobs=1 reproduces the legacy serial loop exactly, and
+ * because results are merged by index, the harness output is identical
+ * either way.
+ */
+template <typename Fn>
+auto
+runMatrix(std::size_t n, Fn &&point)
+    -> std::vector<decltype(point(std::size_t{0}))>
+{
+    return parallelMap(n, std::forward<Fn>(point), jobsFromEnv());
 }
 
 inline void

@@ -12,7 +12,11 @@
  *
  * Usage:
  *   campaign_reliability [--trials N] [--seed S] [--ops N]
- *                        [--json FILE] [--quiet]
+ *                        [--jobs N] [--json FILE] [--quiet]
+ *
+ * Trials fan out over worker threads (--jobs, else DVE_BENCH_JOBS,
+ * else hardware concurrency; 1 = serial) and are merged in trial
+ * order, so the job count never changes the report bytes.
  *
  * The JSON report is deterministic: same flags -> byte-identical bytes.
  * A human-readable summary (including the Table I analytic cross-check)
@@ -25,6 +29,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/parallel.hh"
 #include "fault/campaign.hh"
 #include "reliability/rates.hh"
 
@@ -52,6 +57,12 @@ main(int argc, char **argv)
             cfg.seed = num("--seed");
         } else if (std::strcmp(argv[i], "--ops") == 0) {
             cfg.opsPerTrial = num("--ops");
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            cfg.jobs = static_cast<unsigned>(num("--jobs"));
+            if (cfg.jobs < 1) {
+                std::fprintf(stderr, "--jobs must be >= 1\n");
+                return 1;
+            }
         } else if (std::strcmp(argv[i], "--json") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--json needs a path\n");
@@ -90,10 +101,11 @@ main(int argc, char **argv)
 
     if (!quiet) {
         std::printf("Reliability campaign: %u trials x %llu ops, "
-                    "seed %llu\n\n",
+                    "seed %llu, %u jobs\n\n",
                     cfg.trials,
                     static_cast<unsigned long long>(cfg.opsPerTrial),
-                    static_cast<unsigned long long>(cfg.seed));
+                    static_cast<unsigned long long>(cfg.seed),
+                    cfg.jobs ? cfg.jobs : jobsFromEnv());
         std::printf("%-20s %10s %10s %10s %10s %8s %8s\n", "scheme",
                     "corrected", "due", "sdc", "recovered", "re-repl",
                     "degr-end");

@@ -24,19 +24,31 @@ main()
 
     TextTable t({"latency", "geomean-top10", "geomean-top15",
                  "geomean-all"});
-    for (unsigned ns : latencies_ns) {
-        std::vector<double> speedups;
-        for (const auto &wl : table3Workloads()) {
-            SystemConfig cfg = bench::paperConfig(SchemeKind::BaselineNuma);
+
+    // Sweep the full latency x workload x {baseline, deny} cube at once.
+    const auto &workloads = table3Workloads();
+    const std::size_t per_lat = workloads.size() * 2;
+    const auto runs = bench::runMatrix(
+        latencies_ns.size() * per_lat, [&](std::size_t p) {
+            const unsigned ns = latencies_ns[p / per_lat];
+            const auto &wl = workloads[(p % per_lat) / 2];
+            SystemConfig cfg =
+                bench::paperConfig(SchemeKind::BaselineNuma);
             cfg.engine.noc.interSocketLatency = ns * ticksPerNs;
-            const auto base = bench::runScheme(SchemeKind::BaselineNuma,
-                                               wl, scale, &cfg);
-            const auto dve =
-                bench::runScheme(SchemeKind::DveDeny, wl, scale, &cfg);
+            return bench::runScheme(p % 2 ? SchemeKind::DveDeny
+                                          : SchemeKind::BaselineNuma,
+                                    wl, scale, &cfg);
+        });
+
+    for (std::size_t li = 0; li < latencies_ns.size(); ++li) {
+        std::vector<double> speedups;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const auto &base = runs[li * per_lat + w * 2];
+            const auto &dve = runs[li * per_lat + w * 2 + 1];
             speedups.push_back(static_cast<double>(base.roiTime)
                                / static_cast<double>(dve.roiTime));
         }
-        t.addRow({std::to_string(ns) + " ns",
+        t.addRow({std::to_string(latencies_ns[li]) + " ns",
                   TextTable::num(bench::geomeanTop(speedups, 10), 3),
                   TextTable::num(bench::geomeanTop(speedups, 15), 3),
                   TextTable::num(bench::geomean(speedups), 3)});

@@ -31,15 +31,27 @@ main()
 
     std::vector<std::vector<double>> speedups(schemes.size());
 
-    for (const auto &wl : table3Workloads()) {
-        const auto base =
-            bench::runScheme(SchemeKind::BaselineNuma, wl, scale);
+    // One sweep point per (workload, column); column 0 is the baseline.
+    const auto &workloads = table3Workloads();
+    const std::size_t cols = 1 + schemes.size();
+    const auto runs = bench::runMatrix(
+        workloads.size() * cols, [&](std::size_t p) {
+            const auto &wl = workloads[p / cols];
+            const std::size_t c = p % cols;
+            return bench::runScheme(
+                c == 0 ? SchemeKind::BaselineNuma : schemes[c - 1], wl,
+                scale);
+        });
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &wl = workloads[w];
+        const auto &base = runs[w * cols];
         std::vector<std::string> row = {wl.name,
                                         TextTable::num(base.mpki, 1)};
         double best = 0;
         std::size_t best_idx = 0;
         for (std::size_t i = 0; i < schemes.size(); ++i) {
-            const auto r = bench::runScheme(schemes[i], wl, scale);
+            const auto &r = runs[w * cols + 1 + i];
             const double sp = static_cast<double>(base.roiTime)
                               / static_cast<double>(r.roiTime);
             speedups[i].push_back(sp);

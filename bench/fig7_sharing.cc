@@ -21,9 +21,15 @@ main()
 
     TextTable t({"benchmark", "private-read", "read-only", "read-write",
                  "private-rw", "allow-friendly?"});
-    for (const auto &wl : table3Workloads()) {
-        const auto r =
-            bench::runScheme(SchemeKind::BaselineNuma, wl, scale);
+    const auto &workloads = table3Workloads();
+    const auto runs =
+        bench::runMatrix(workloads.size(), [&](std::size_t p) {
+            return bench::runScheme(SchemeKind::BaselineNuma,
+                                    workloads[p], scale);
+        });
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &wl = workloads[w];
+        const auto &r = runs[w];
         const double prw = r.classMix[3];
         auto share = [](double f) {
             return TextTable::num(f * 100.0, 1) + "%";

@@ -21,13 +21,22 @@ main()
     TextTable t({"benchmark", "dve-allow", "dve-deny"});
     std::vector<double> allow_ratio, deny_ratio;
 
-    for (const auto &wl : table3Workloads()) {
-        const auto base =
-            bench::runScheme(SchemeKind::BaselineNuma, wl, scale);
-        const auto allow =
-            bench::runScheme(SchemeKind::DveAllow, wl, scale);
-        const auto deny =
-            bench::runScheme(SchemeKind::DveDeny, wl, scale);
+    // Three sweep points per workload: baseline, allow, deny.
+    const std::vector<SchemeKind> cols = {SchemeKind::BaselineNuma,
+                                          SchemeKind::DveAllow,
+                                          SchemeKind::DveDeny};
+    const auto &workloads = table3Workloads();
+    const auto runs = bench::runMatrix(
+        workloads.size() * cols.size(), [&](std::size_t p) {
+            return bench::runScheme(cols[p % cols.size()],
+                                    workloads[p / cols.size()], scale);
+        });
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &wl = workloads[w];
+        const auto &base = runs[w * cols.size()];
+        const auto &allow = runs[w * cols.size() + 1];
+        const auto &deny = runs[w * cols.size() + 2];
         const double ra =
             static_cast<double>(allow.interSocketBytes)
             / static_cast<double>(std::max<std::uint64_t>(

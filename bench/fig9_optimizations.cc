@@ -48,21 +48,33 @@ main()
     SystemConfig sens = bench::paperConfig(SchemeKind::DveAllow);
     sens.engine.llcBytes = 2ULL * 1024 * 1024;
 
-    for (const auto &orig : table3Workloads()) {
-        WorkloadProfile wl = orig;
-        // Directory-capacity sensitivity needs post-LLC-eviction reuse:
-        // compact the working set so the trace revisits lines, while
-        // the (scaled) LLC still cannot hold it.
-        wl.sharedBytes = std::max<std::uint64_t>(wl.sharedBytes / 8,
-                                                 4ULL << 20);
-        const auto base = bench::runScheme(SchemeKind::BaselineNuma, wl,
-                                           scale, &sens);
-        std::vector<std::string> row = {wl.name};
-        for (std::size_t i = 0; i < variants.size(); ++i) {
+    // One sweep point per (workload, column); column 0 is the baseline,
+    // columns 1..N the allow-protocol variants.
+    const auto &workloads = table3Workloads();
+    const std::size_t cols = 1 + variants.size();
+    const auto runs = bench::runMatrix(
+        workloads.size() * cols, [&](std::size_t p) {
+            WorkloadProfile wl = workloads[p / cols];
+            // Directory-capacity sensitivity needs post-LLC-eviction
+            // reuse: compact the working set so the trace revisits
+            // lines, while the (scaled) LLC still cannot hold it.
+            wl.sharedBytes = std::max<std::uint64_t>(wl.sharedBytes / 8,
+                                                     4ULL << 20);
+            const std::size_t c = p % cols;
+            if (c == 0)
+                return bench::runScheme(SchemeKind::BaselineNuma, wl,
+                                        scale, &sens);
             SystemConfig cfg = sens;
-            cfg.dve = variants[i].dve;
-            const auto r =
-                bench::runScheme(SchemeKind::DveAllow, wl, scale, &cfg);
+            cfg.dve = variants[c - 1].dve;
+            return bench::runScheme(SchemeKind::DveAllow, wl, scale,
+                                    &cfg);
+        });
+
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &base = runs[w * cols];
+        std::vector<std::string> row = {workloads[w].name};
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            const auto &r = runs[w * cols + 1 + i];
             const double sp = static_cast<double>(base.roiTime)
                               / static_cast<double>(r.roiTime);
             speedups[i].push_back(sp);

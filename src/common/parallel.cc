@@ -1,0 +1,109 @@
+#include "common/parallel.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+namespace
+{
+
+unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace
+
+unsigned
+jobsFromEnv()
+{
+    const char *s = std::getenv("DVE_BENCH_JOBS");
+    if (!s || !*s)
+        return defaultJobs();
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    // Full-string validation: "4" parses, "4x" / "3.5" / "-2" do not
+    // (strtoul would silently accept the first and wrap the last).
+    if (end == s || *end != '\0' || std::isspace(
+            static_cast<unsigned char>(*s)) || s[0] == '-' || v < 1) {
+        dve_warn("DVE_BENCH_JOBS='", s, "' is not a whole number >= 1; ",
+                 "using ", defaultJobs());
+        return defaultJobs();
+    }
+    return static_cast<unsigned>(v);
+}
+
+ThreadPool::ThreadPool(unsigned jobs, std::size_t max_queued)
+    : max_queued_(max_queued ? max_queued : 1)
+{
+    if (jobs < 1)
+        jobs = 1;
+    workers_.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lk(mutex_);
+        space_ready_.wait(lk,
+                          [this] { return queue_.size() < max_queued_; });
+        queue_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mutex_);
+    idle_.wait(lk, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            task_ready_.wait(
+                lk, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_, nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        space_ready_.notify_one();
+        task();
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            --running_;
+            if (queue_.empty() && running_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace dve

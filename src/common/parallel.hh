@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Deterministic thread-pool experiment runner.
+ *
+ * Campaigns and figure harnesses sweep matrices of independent, seeded
+ * experiments (trial x scheme, scheme x workload): each point builds its
+ * own simulator, derives its RNG streams only from (seed, index), and
+ * never shares state with its neighbours. That makes the sweeps
+ * embarrassingly parallel -- but the reports must stay byte-identical to
+ * the serial run, so results are collected *by task index* and merged in
+ * submission order, never in completion order.
+ *
+ * Two layers:
+ *  - ThreadPool: fixed-size worker pool over a bounded queue of opaque
+ *    jobs. submit() blocks when the queue is full (backpressure instead
+ *    of unbounded buffering); wait() drains to idle.
+ *  - parallelMap(n, fn, jobs): run fn(0..n-1), return the results as a
+ *    vector indexed by task id. Exceptions thrown by tasks are captured
+ *    and the lowest-indexed one is rethrown after the pool drains --
+ *    exactly what a serial loop would have surfaced first. jobs <= 1
+ *    runs the legacy serial path inline on the calling thread.
+ *
+ * Job count policy lives here too: jobsFromEnv() reads DVE_BENCH_JOBS
+ * (strictly validated; 1 forces serial, unset/empty means hardware
+ * concurrency).
+ */
+
+#ifndef DVE_COMMON_PARALLEL_HH
+#define DVE_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dve
+{
+
+/**
+ * Worker-thread job count from DVE_BENCH_JOBS.
+ *
+ * Unset or empty -> hardware concurrency (at least 1). A set value must
+ * be a whole number >= 1 with no trailing garbage ("4", not "4x" or
+ * "3.5"); anything else warns and falls back to the default. 1 selects
+ * the legacy serial path (no pool, no worker threads).
+ */
+unsigned jobsFromEnv();
+
+/** Default queue bound: enough to keep workers fed without buffering
+ *  the whole sweep. */
+constexpr std::size_t defaultQueueBound = 256;
+
+/** Fixed-size worker pool over a bounded task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawns @p jobs workers (clamped to >= 1). The queue holds at
+     *  most @p max_queued not-yet-claimed tasks; submit() blocks past
+     *  that. */
+    explicit ThreadPool(unsigned jobs,
+                        std::size_t max_queued = defaultQueueBound);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; blocks while the queue is at capacity. The task
+     *  must not throw (wrap with captureInto() for exception-safe
+     *  fan-out). */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished executing. */
+    void wait();
+
+    unsigned jobs() const { return static_cast<unsigned>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable task_ready_;  ///< queue became non-empty
+    std::condition_variable space_ready_; ///< queue dropped below bound
+    std::condition_variable idle_;        ///< no queued or running tasks
+    std::deque<std::function<void()>> queue_;
+    std::size_t max_queued_;
+    std::size_t running_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+namespace detail
+{
+
+/** Wrap a task so a throw lands in @p slot instead of std::terminate. */
+template <typename Fn>
+std::function<void()>
+captureInto(std::exception_ptr &slot, Fn &&fn)
+{
+    return [&slot, fn = std::forward<Fn>(fn)]() mutable {
+        try {
+            fn();
+        } catch (...) {
+            slot = std::current_exception();
+        }
+    };
+}
+
+} // namespace detail
+
+/**
+ * Run @p fn(0), ..., @p fn(n-1) on @p jobs workers and return the
+ * results ordered by task index.
+ *
+ * Determinism contract: each task writes only its own result slot, so
+ * the returned vector -- and anything merged from it in order -- is
+ * identical to the serial run regardless of completion order or jobs.
+ * If any task throws, the exception from the lowest task index is
+ * rethrown once all tasks have settled (matching what a serial loop
+ * would have thrown first); results are discarded.
+ *
+ * jobs <= 1 (or n <= 1) executes inline on the calling thread with no
+ * pool at all -- the legacy serial path, bit-for-bit.
+ */
+template <typename Fn>
+auto
+parallelMap(std::size_t n, Fn &&fn, unsigned jobs)
+    -> std::vector<decltype(fn(std::size_t{0}))>
+{
+    using R = decltype(fn(std::size_t{0}));
+    std::vector<R> out;
+    out.reserve(n);
+
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(fn(i));
+        return out;
+    }
+
+    std::vector<std::optional<R>> slots(n);
+    std::vector<std::exception_ptr> errors(n);
+    {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit(detail::captureInto(errors[i], [&, i] {
+                slots[i].emplace(fn(i));
+            }));
+        }
+        pool.wait();
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(std::move(*slots[i]));
+    return out;
+}
+
+/** parallelMap() with the job count from DVE_BENCH_JOBS. */
+template <typename Fn>
+auto
+parallelMap(std::size_t n, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{0}))>
+{
+    return parallelMap(n, std::forward<Fn>(fn), jobsFromEnv());
+}
+
+} // namespace dve
+
+#endif // DVE_COMMON_PARALLEL_HH

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "ecc/line_codec.hh"
 
 namespace dve
@@ -234,18 +235,35 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
     return t;
 }
 
+unsigned
+CampaignRunner::effectiveJobs() const
+{
+    return cfg_.jobs ? cfg_.jobs : jobsFromEnv();
+}
+
 SchemeResult
-CampaignRunner::runScheme(CampaignScheme s) const
+CampaignRunner::assemble(CampaignScheme s,
+                         std::vector<TrialStats> &&trials) const
 {
     SchemeResult r;
     r.scheme = s;
-    r.trials.reserve(cfg_.trials);
-    for (unsigned i = 0; i < cfg_.trials; ++i) {
-        r.trials.push_back(runTrial(s, i));
-        r.totals.accumulate(r.trials.back());
-    }
+    r.trials = std::move(trials);
+    for (const auto &t : r.trials)
+        r.totals.accumulate(t);
     r.recovery = summarizeLatencies(r.totals.recoveryLatencies);
     return r;
+}
+
+SchemeResult
+CampaignRunner::runScheme(CampaignScheme s) const
+{
+    auto trials = parallelMap(
+        cfg_.trials,
+        [&](std::size_t i) {
+            return runTrial(s, static_cast<unsigned>(i));
+        },
+        effectiveJobs());
+    return assemble(s, std::move(trials));
 }
 
 CampaignReport
@@ -254,8 +272,32 @@ CampaignRunner::run(const std::vector<CampaignScheme> &schemes) const
     CampaignReport rep;
     rep.cfg = cfg_;
     rep.schemes.reserve(schemes.size());
-    for (const auto s : schemes)
-        rep.schemes.push_back(runScheme(s));
+    if (cfg_.trials == 0 || schemes.empty()) {
+        for (const auto s : schemes)
+            rep.schemes.push_back(assemble(s, {}));
+        return rep;
+    }
+
+    // Flatten the scheme x trial matrix into one task list so the pool
+    // stays saturated across scheme boundaries (the last trials of one
+    // scheme overlap the first of the next). Task ids enumerate trials
+    // within a scheme, then schemes -- the serial nesting order -- and
+    // the ordered merge below reproduces the serial report exactly.
+    const std::size_t per = cfg_.trials;
+    auto flat = parallelMap(
+        schemes.size() * per,
+        [&](std::size_t task) {
+            return runTrial(schemes[task / per],
+                            static_cast<unsigned>(task % per));
+        },
+        effectiveJobs());
+
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        auto first = std::make_move_iterator(flat.begin() + si * per);
+        rep.schemes.push_back(assemble(
+            schemes[si],
+            std::vector<TrialStats>(first, first + per)));
+    }
     return rep;
 }
 

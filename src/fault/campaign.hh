@@ -58,6 +58,11 @@ struct CampaignConfig
     /** End-of-trial drain: maintenance windows run after the last op so
      *  backoffs expire and intermittents flap off before accounting. */
     unsigned drainRounds = 12;
+    /** Worker threads for trial fan-out; 0 = DVE_BENCH_JOBS (which in
+     *  turn defaults to hardware concurrency), 1 = legacy serial path.
+     *  Never serialized into reports: results are merged in trial order,
+     *  so the JSON is byte-identical at any job count. */
+    unsigned jobs = 0;
     LifecycleConfig lifecycle; ///< rates/shape; geometry + seed per trial
     EngineConfig engine;       ///< base system; scheme set per campaign
     DveConfig dve;             ///< Dvé knobs; protocol set per scheme
@@ -124,7 +129,15 @@ struct CampaignReport
     std::vector<SchemeResult> schemes;
 };
 
-/** Executes trials; every public method is deterministic in the seed. */
+/**
+ * Executes trials; every public method is deterministic in the seed.
+ *
+ * Trials are independent -- each builds a fresh engine and derives its
+ * RNG streams only from (campaign seed, trial index) -- so runScheme()
+ * and run() fan them out over cfg.jobs worker threads and merge the
+ * results in trial order. The report bytes never depend on the job
+ * count or on completion order.
+ */
 class CampaignRunner
 {
   public:
@@ -135,6 +148,13 @@ class CampaignRunner
     CampaignReport run(const std::vector<CampaignScheme> &schemes) const;
 
   private:
+    /** Resolved worker count (cfg.jobs, or DVE_BENCH_JOBS when 0). */
+    unsigned effectiveJobs() const;
+
+    /** Aggregate ordered per-trial results into a SchemeResult. */
+    SchemeResult assemble(CampaignScheme s,
+                          std::vector<TrialStats> &&trials) const;
+
     CampaignConfig cfg_;
 };
 

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the bench helpers' math and environment parsing: the
+ * geomean input contract (non-positive entries are skipped with a
+ * warning instead of poisoning the mean with NaN/-inf), geomeanTop
+ * bounds, and strict DVE_BENCH_SCALE validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+
+namespace dve
+{
+namespace
+{
+
+TEST(Geomean, PositiveEntries)
+{
+    EXPECT_DOUBLE_EQ(bench::geomean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(bench::geomean({2.0, 8.0}), 4.0);
+    EXPECT_NEAR(bench::geomean({1.0, 10.0, 100.0}), 10.0, 1e-12);
+}
+
+TEST(Geomean, EmptyInputIsZeroNotNan)
+{
+    EXPECT_DOUBLE_EQ(bench::geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(bench::geomeanTop({}, 10), 0.0);
+}
+
+TEST(Geomean, NonPositiveEntriesAreSkippedWithWarning)
+{
+    // std::log(0) = -inf and std::log(-1) = NaN used to flow straight
+    // into the mean; now the offending entries are dropped.
+    const auto warns_before = detail::warnCount();
+    EXPECT_DOUBLE_EQ(bench::geomean({2.0, 0.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(bench::geomean({2.0, -3.0, 8.0}), 4.0);
+    EXPECT_GT(detail::warnCount(), warns_before);
+
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DOUBLE_EQ(bench::geomean({2.0, nan, 8.0, inf}), 4.0);
+}
+
+TEST(Geomean, FullySkippedInputIsZero)
+{
+    EXPECT_DOUBLE_EQ(bench::geomean({0.0, -1.0}), 0.0);
+    EXPECT_FALSE(std::isnan(bench::geomean({0.0})));
+}
+
+TEST(Geomean, TopNRespectsBounds)
+{
+    const std::vector<double> v = {2.0, 8.0, 1000.0};
+    EXPECT_DOUBLE_EQ(bench::geomeanTop(v, 2), 4.0);
+    // n past the end means "all of them", not UB.
+    EXPECT_DOUBLE_EQ(bench::geomeanTop(v, 99), bench::geomean(v));
+    EXPECT_DOUBLE_EQ(bench::geomeanTop(v, 0), 0.0);
+}
+
+class ScaleEnv : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ::unsetenv("DVE_BENCH_SCALE"); }
+    void TearDown() override { ::unsetenv("DVE_BENCH_SCALE"); }
+};
+
+TEST_F(ScaleEnv, UnsetUsesTheDefault)
+{
+    EXPECT_DOUBLE_EQ(bench::scaleFromEnv(0.5), 0.5);
+    ::setenv("DVE_BENCH_SCALE", "", 1);
+    EXPECT_DOUBLE_EQ(bench::scaleFromEnv(0.5), 0.5);
+}
+
+TEST_F(ScaleEnv, AcceptsPositiveNumbers)
+{
+    ::setenv("DVE_BENCH_SCALE", "2", 1);
+    EXPECT_DOUBLE_EQ(bench::scaleFromEnv(0.5), 2.0);
+    ::setenv("DVE_BENCH_SCALE", "0.25", 1);
+    EXPECT_DOUBLE_EQ(bench::scaleFromEnv(0.5), 0.25);
+    ::setenv("DVE_BENCH_SCALE", "1e-2", 1);
+    EXPECT_DOUBLE_EQ(bench::scaleFromEnv(0.5), 0.01);
+}
+
+TEST_F(ScaleEnv, RejectsTrailingGarbageAndNonPositives)
+{
+    // std::atof silently read "2x" as 2 and "junk"/"-1" as "use 0 or
+    // the default with no diagnostic"; strtod full-string validation
+    // warns and falls back instead.
+    for (const char *bad : {"2x", "junk", "-1", "0", "nan", "inf"}) {
+        ::setenv("DVE_BENCH_SCALE", bad, 1);
+        const auto warns_before = detail::warnCount();
+        EXPECT_DOUBLE_EQ(bench::scaleFromEnv(0.5), 0.5)
+            << "value '" << bad << "'";
+        EXPECT_GT(detail::warnCount(), warns_before)
+            << "no warning for '" << bad << "'";
+    }
+}
+
+} // namespace
+} // namespace dve

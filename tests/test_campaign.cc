@@ -119,6 +119,47 @@ TEST(Campaign, ReportIsByteIdenticalAcrossRuns)
     EXPECT_NE(a.str(), c.str());
 }
 
+TEST(Campaign, ReportIsByteIdenticalAcrossJobCounts)
+{
+    // The parallel trial runner merges results in trial order, so the
+    // JSON report must not depend on the worker count (or, with >1
+    // worker, on completion order). 10 trials, serial vs 4 jobs.
+    CampaignConfig cfg = tinyCampaign();
+    cfg.trials = 10;
+    const std::vector<CampaignScheme> schemes = {
+        CampaignScheme::BaselineNone,
+        CampaignScheme::BaselineDetect,
+        CampaignScheme::DveDeny,
+    };
+
+    cfg.jobs = 1;
+    std::ostringstream serial;
+    writeJsonReport(CampaignRunner(cfg).run(schemes), serial);
+
+    cfg.jobs = 4;
+    std::ostringstream parallel;
+    writeJsonReport(CampaignRunner(cfg).run(schemes), parallel);
+
+    EXPECT_FALSE(serial.str().empty());
+    EXPECT_EQ(serial.str(), parallel.str());
+
+    // runScheme() fans out the same way; spot-check per-trial equality.
+    cfg.jobs = 1;
+    const auto s1 = CampaignRunner(cfg).runScheme(CampaignScheme::DveDeny);
+    cfg.jobs = 4;
+    const auto s4 = CampaignRunner(cfg).runScheme(CampaignScheme::DveDeny);
+    ASSERT_EQ(s1.trials.size(), s4.trials.size());
+    for (std::size_t i = 0; i < s1.trials.size(); ++i) {
+        EXPECT_EQ(s1.trials[i].due, s4.trials[i].due) << "trial " << i;
+        EXPECT_EQ(s1.trials[i].sdc, s4.trials[i].sdc) << "trial " << i;
+        EXPECT_EQ(s1.trials[i].faultArrivals, s4.trials[i].faultArrivals)
+            << "trial " << i;
+        EXPECT_EQ(s1.trials[i].recoveryLatencies,
+                  s4.trials[i].recoveryLatencies)
+            << "trial " << i;
+    }
+}
+
 TEST(Campaign, TransientOnlyCampaignSelfHealsToDualCopy)
 {
     // With no permanent faults, every degraded line must eventually heal:

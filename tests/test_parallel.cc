@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the deterministic parallel experiment runner: ordered
+ * result collection, exception capture and rethrow, the jobs=1 serial
+ * path, queue backpressure, and DVE_BENCH_JOBS parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace dve
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+
+    // The pool is reusable after a wait().
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 101);
+}
+
+TEST(ThreadPool, BoundedQueueAppliesBackpressure)
+{
+    // With a queue bound of 2 and workers parked on a slow first task,
+    // submit() must block rather than buffer unboundedly -- observable
+    // as the producer not racing ahead of the consumers.
+    ThreadPool pool(1, 2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            done.fetch_add(1);
+        });
+        // Queued-but-unfinished work never exceeds bound + in-flight.
+        EXPECT_LE(i + 1 - done.load(), 2 + 1 + 1);
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+        // No wait(): the destructor must finish the queue, not drop it.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelMap, ResultsAreOrderedByTaskIndex)
+{
+    // Early tasks sleep longest, so completion order is roughly the
+    // reverse of submission order -- the output must not care.
+    const std::size_t n = 32;
+    const auto out = parallelMap(
+        n,
+        [&](std::size_t i) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200 * (n - i)));
+            return i * i;
+        },
+        8);
+    ASSERT_EQ(out.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, SerialAndParallelResultsMatch)
+{
+    auto task = [](std::size_t i) {
+        // Seeded per-index arithmetic, as campaign trials derive their
+        // RNG streams from (seed, index).
+        std::uint64_t h = 0x9E3779B97F4A7C15ull * (i + 1);
+        h ^= h >> 31;
+        return h;
+    };
+    const auto serial = parallelMap(64, task, 1);
+    const auto parallel = parallelMap(64, task, 6);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelMap, LowestIndexExceptionIsRethrown)
+{
+    // Both index 7 and index 3 throw; the serial loop would have died
+    // on 3 first, so the parallel run must surface 3's exception even
+    // if 7's task happens to finish first.
+    auto task = [](std::size_t i) -> int {
+        if (i == 3)
+            throw std::runtime_error("boom@3");
+        if (i == 7)
+            throw std::runtime_error("boom@7");
+        return static_cast<int>(i);
+    };
+    for (unsigned jobs : {1u, 4u}) {
+        try {
+            parallelMap(16, task, jobs);
+            FAIL() << "expected an exception at jobs=" << jobs;
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom@3") << "jobs=" << jobs;
+        }
+    }
+}
+
+TEST(ParallelMap, ExceptionDoesNotAbortSiblingTasks)
+{
+    std::atomic<int> ran{0};
+    EXPECT_THROW(parallelMap(
+                     20,
+                     [&](std::size_t i) -> int {
+                         ran.fetch_add(1);
+                         if (i == 0)
+                             throw std::runtime_error("first");
+                         return 0;
+                     },
+                     4),
+                 std::runtime_error);
+    // All tasks settled (ran) before the rethrow.
+    EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ParallelMap, HandlesEmptyAndSingleInputs)
+{
+    const auto none =
+        parallelMap(0, [](std::size_t i) { return i; }, 4);
+    EXPECT_TRUE(none.empty());
+    const auto one =
+        parallelMap(1, [](std::size_t i) { return i + 41; }, 4);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 41u);
+}
+
+TEST(ParallelMap, MoveOnlyResultsAreSupported)
+{
+    const auto out = parallelMap(
+        8,
+        [](std::size_t i) {
+            return std::make_unique<std::size_t>(i);
+        },
+        4);
+    ASSERT_EQ(out.size(), 8u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(*out[i], i);
+}
+
+class JobsEnv : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ::unsetenv("DVE_BENCH_JOBS"); }
+    void TearDown() override { ::unsetenv("DVE_BENCH_JOBS"); }
+};
+
+TEST_F(JobsEnv, UnsetDefaultsToHardwareConcurrency)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    EXPECT_EQ(jobsFromEnv(), hw ? hw : 1u);
+}
+
+TEST_F(JobsEnv, AcceptsWholeNumbers)
+{
+    ::setenv("DVE_BENCH_JOBS", "1", 1);
+    EXPECT_EQ(jobsFromEnv(), 1u);
+    ::setenv("DVE_BENCH_JOBS", "8", 1);
+    EXPECT_EQ(jobsFromEnv(), 8u);
+}
+
+TEST_F(JobsEnv, RejectsGarbageWithAWarning)
+{
+    const unsigned def = jobsFromEnv(); // unset -> default
+    for (const char *bad : {"4x", "3.5", "0", "-2", " 4", "jobs"}) {
+        ::setenv("DVE_BENCH_JOBS", bad, 1);
+        const auto warns_before = detail::warnCount();
+        EXPECT_EQ(jobsFromEnv(), def) << "value '" << bad << "'";
+        EXPECT_GT(detail::warnCount(), warns_before)
+            << "no warning for '" << bad << "'";
+    }
+}
+
+} // namespace
+} // namespace dve
