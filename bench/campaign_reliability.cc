@@ -12,7 +12,11 @@
  *
  * Usage:
  *   campaign_reliability [--trials N] [--seed S] [--ops N]
- *                        [--jobs N] [--json FILE] [--quiet]
+ *                        [--jobs N] [--scenario NAME] [--json FILE]
+ *                        [--quiet]
+ *
+ * --scenario layers a fabric-fault process on top of the DRAM mix:
+ *   none (default), link-flap, lossy-link, socket-offline.
  *
  * Trials fan out over worker threads (--jobs, else DVE_BENCH_JOBS,
  * else hardware concurrency; 1 = serial) and are merged in trial
@@ -63,6 +67,20 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "--jobs must be >= 1\n");
                 return 1;
             }
+        } else if (std::strcmp(argv[i], "--scenario") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--scenario needs a name\n");
+                return 1;
+            }
+            const auto sc = parseFabricScenario(argv[++i]);
+            if (!sc) {
+                std::fprintf(stderr,
+                             "unknown scenario '%s' (expected none, "
+                             "link-flap, lossy-link or socket-offline)\n",
+                             argv[i]);
+                return 1;
+            }
+            cfg.scenario = *sc;
         } else if (std::strcmp(argv[i], "--json") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--json needs a path\n");
@@ -101,17 +119,19 @@ main(int argc, char **argv)
 
     if (!quiet) {
         std::printf("Reliability campaign: %u trials x %llu ops, "
-                    "seed %llu, %u jobs\n\n",
+                    "seed %llu, scenario %s, %u jobs\n\n",
                     cfg.trials,
                     static_cast<unsigned long long>(cfg.opsPerTrial),
                     static_cast<unsigned long long>(cfg.seed),
+                    fabricScenarioName(cfg.scenario),
                     cfg.jobs ? cfg.jobs : jobsFromEnv());
-        std::printf("%-20s %10s %10s %10s %10s %8s %8s\n", "scheme",
+        std::printf("%-20s %10s %10s %10s %10s %8s %8s %8s\n", "scheme",
                     "corrected", "due", "sdc", "recovered", "re-repl",
-                    "degr-end");
+                    "degr-end", "unavail");
         for (const auto &sr : report.schemes) {
             const auto &t = sr.totals;
-            std::printf("%-20s %10llu %10llu %10llu %10llu %8llu %8llu\n",
+            std::printf("%-20s %10llu %10llu %10llu %10llu %8llu %8llu "
+                        "%8llu\n",
                         campaignSchemeName(sr.scheme),
                         static_cast<unsigned long long>(t.corrected),
                         static_cast<unsigned long long>(t.due),
@@ -120,7 +140,9 @@ main(int argc, char **argv)
                             t.replicaRecoveries),
                         static_cast<unsigned long long>(t.reReplications),
                         static_cast<unsigned long long>(
-                            t.degradedLinesEnd));
+                            t.degradedLinesEnd),
+                        static_cast<unsigned long long>(
+                            t.unavailableRequests));
         }
 
         // Cross-check against Table I's closed forms: the analytic model

@@ -56,6 +56,19 @@ main()
                   std::to_string(r.statesExplored),
                   std::to_string(r.transitions),
                   r.ok ? "PASS" : ("FAIL: " + r.violation)});
+        if (!r.ok) {
+            // A violation in a shipping protocol is a bug in this repo:
+            // dump the reconstructed action trace so the failure is
+            // diagnosable straight from the CI log, then exit nonzero.
+            std::fprintf(stderr,
+                         "VIOLATION %s %u+%u budget %u: %s\n"
+                         "  counterexample:",
+                         checkProtocolName(c.proto), c.home, c.rep,
+                         c.budget, r.violation.c_str());
+            for (const auto &a : r.trace)
+                std::fprintf(stderr, " [%s]", a.c_str());
+            std::fprintf(stderr, "\n");
+        }
     }
     t.print(std::cout);
 
@@ -77,6 +90,12 @@ main()
     bug2.bugUnackedRdOwn = true;
     const auto r2 = explore(bug2);
     std::printf("unacked ownership grant  : %s\n", r2.summary().c_str());
+    if (!r2.ok) {
+        std::printf("  counterexample:");
+        for (const auto &a : r2.trace)
+            std::printf(" [%s]", a.c_str());
+        std::printf("\n");
+    }
 
     return all_ok && !r1.ok && !r2.ok ? 0 : 1;
 }

@@ -15,9 +15,15 @@
  *   fault_injection scope=chip,socket=0,chip=3 \
  *                   scope=cell,socket=1,row=12,column=3,bit=5,transient=1
  *
- * Keys: scope (cell|row|column|bank|chip|channel|controller), socket,
- * channel, rank, chip, bank, row, column, bit, transient. Each spec is
- * injected in turn and a read of line 0 reports what the system observed.
+ * Keys: scope (cell|row|column|bank|chip|channel|controller|link-down|
+ * link-lossy|socket-offline), socket, peer, channel, rank, chip, bank,
+ * row, column, bit, transient, drop, delay. Fabric faults also accept
+ * the shorthands
+ *
+ *   fault_injection link:0-1 lossy:0-1,drop=0.5 socket:1
+ *
+ * Each spec is injected in turn and a read of line 0 reports what the
+ * system observed. Malformed specs are rejected with a diagnostic.
  */
 
 #include <cstdio>
@@ -70,71 +76,6 @@ flushLine(DveEngine &e, Addr addr, Tick &clock)
     }
 }
 
-/** Parse one scope=...,k=v,... spec; exits with a message on bad input. */
-FaultDescriptor
-parseFaultSpec(const char *arg)
-{
-    FaultDescriptor f;
-    bool have_scope = false;
-    std::string spec(arg);
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-        std::size_t comma = spec.find(',', pos);
-        if (comma == std::string::npos)
-            comma = spec.size();
-        const std::string field = spec.substr(pos, comma - pos);
-        pos = comma + 1;
-        const std::size_t eq = field.find('=');
-        if (eq == std::string::npos) {
-            std::fprintf(stderr, "bad fault field '%s' (want key=value)\n",
-                         field.c_str());
-            std::exit(1);
-        }
-        const std::string key = field.substr(0, eq);
-        const std::string val = field.substr(eq + 1);
-        const auto num = [&] {
-            return static_cast<std::uint64_t>(
-                std::strtoull(val.c_str(), nullptr, 0));
-        };
-        if (key == "scope") {
-            const auto s = parseFaultScope(val.c_str());
-            if (!s) {
-                std::fprintf(stderr, "unknown fault scope '%s'\n",
-                             val.c_str());
-                std::exit(1);
-            }
-            f.scope = *s;
-            have_scope = true;
-        } else if (key == "socket") {
-            f.socket = static_cast<unsigned>(num());
-        } else if (key == "channel") {
-            f.channel = static_cast<unsigned>(num());
-        } else if (key == "rank") {
-            f.rank = static_cast<unsigned>(num());
-        } else if (key == "chip") {
-            f.chip = static_cast<unsigned>(num());
-        } else if (key == "bank") {
-            f.bank = static_cast<unsigned>(num());
-        } else if (key == "row") {
-            f.row = num();
-        } else if (key == "column") {
-            f.column = static_cast<unsigned>(num());
-        } else if (key == "bit") {
-            f.bit = static_cast<unsigned>(num());
-        } else if (key == "transient") {
-            f.transient = num() != 0;
-        } else {
-            std::fprintf(stderr, "unknown fault key '%s'\n", key.c_str());
-            std::exit(1);
-        }
-    }
-    if (!have_scope) {
-        std::fprintf(stderr, "fault spec '%s' is missing scope=\n", arg);
-        std::exit(1);
-    }
-    return f;
-}
-
 /** CLI mode: inject the given fault specs one by one against line 0. */
 int
 runCliFaults(int argc, char **argv)
@@ -151,20 +92,28 @@ runCliFaults(int argc, char **argv)
     flushLine(e, addr, clock);
     std::printf("wrote 42 to line 0 (home socket 0, replica socket 1)\n");
 
+    int rc = 0;
     for (int i = 1; i < argc; ++i) {
-        const FaultDescriptor f = parseFaultSpec(argv[i]);
-        const auto id = e.faultRegistry().inject(f);
+        std::string err;
+        const auto f = parseFaultSpec(argv[i], &err);
+        if (!f) {
+            std::fprintf(stderr, "bad fault spec '%s': %s\n", argv[i],
+                         err.c_str());
+            rc = 1;
+            continue;
+        }
+        const auto id = e.faultRegistry().inject(*f);
         if (id == 0) {
             std::printf("%-40s -> rejected (out of range)\n", argv[i]);
             continue;
         }
         std::printf("injected %s fault (id %llu)\n",
-                    faultScopeName(f.scope),
+                    faultScopeName(f->scope),
                     static_cast<unsigned long long>(id));
         flushLine(e, addr, clock);
         probe(e, addr, clock, argv[i]);
     }
-    return 0;
+    return rc;
 }
 
 } // namespace

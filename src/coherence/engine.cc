@@ -92,6 +92,10 @@ CoherenceEngine::CoherenceEngine(const EngineConfig &cfg)
         cfg_.sockets, channels, LineCodec(cfg_.scheme).chips(),
         cfg_.dram));
 
+    // Fabric faults: trySend consults the registry per inter-socket
+    // message; the lossy-link RNG stream is derived from the run seed.
+    ic_.attachFaults(&faults_, cfg_.seed * 1000003 + 77);
+
     sockets_.reserve(cfg_.sockets);
     for (unsigned s = 0; s < cfg_.sockets; ++s)
         sockets_.emplace_back(cfg_, s, &faults_);

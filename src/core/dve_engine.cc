@@ -48,8 +48,60 @@ DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
     dveStats_.add("re_replications", reReplications_);
     dveStats_.add("retired_pages", retiredPages_);
     dveStats_.add("repair_retries", repairRetries_);
+    dveStats_.add("unavailable_requests", unavailableReqs_);
+    dveStats_.add("link_retries", linkRetries_);
+    dveStats_.add("fabric_demotions", fabricDemotions_);
+    dveStats_.add("repair_deferrals", repairDeferrals_);
+    dveStats_.add("slow_control_messages", slowControlMsgs_);
+    dveStats_.add("fenced_fast_fails", fencedFastFails_);
     dveStats_.add("degraded_ticks", degradedTicks_);
     dveStats_.add("dynamic_switches", dynamicSwitches_);
+}
+
+DveEngine::FabricOutcome
+DveEngine::fabricSend(NodeId src, NodeId dst, MsgClass cls, Tick when)
+{
+    if (src.socket == dst.socket)
+        return {true, when + ic_.send(src, dst, cls)};
+
+    const std::uint64_t key = fenceKey(src.socket, dst.socket);
+    Tick t = when;
+    const auto fence = fenceUntil_.find(key);
+    if (fence != fenceUntil_.end() && t < fence->second) {
+        // Circuit breaker open: fail fast instead of paying the full
+        // retry ladder on every access to an unreachable socket.
+        ++fencedFastFails_;
+        return {false, t};
+    }
+
+    for (unsigned attempt = 0;; ++attempt) {
+        const SendResult r = ic_.trySend(src, dst, cls);
+        if (r.ok()) {
+            fenceUntil_.erase(key);
+            return {true, t + r.latency};
+        }
+        // Lost message: the sender only learns by timeout.
+        t += dcfg_.linkTimeout;
+        if (attempt >= dcfg_.linkRetryMax)
+            break;
+        ++linkRetries_;
+        t += dcfg_.linkRetryBackoff << attempt;
+    }
+
+    fenceUntil_[key] = t + dcfg_.fenceProbeInterval;
+    return {false, t};
+}
+
+Tick
+DveEngine::controlSend(NodeId src, NodeId dst, Tick when)
+{
+    const FabricOutcome r = fabricSend(src, dst, MsgClass::Control, when);
+    if (r.delivered)
+        return r.at;
+    // Coherence metadata is never lost: once the direct link gives up,
+    // the message completes over the resilient software-routed path.
+    ++slowControlMsgs_;
+    return r.at + dcfg_.linkTimeout;
 }
 
 void
@@ -184,20 +236,36 @@ DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
         ++due_;
         return {m.readyAt, logicalValue(line)};
     }
-    Tick t = m.readyAt
-             + ic_.send(dirNode(rsock), dirNode(home), MsgClass::Control);
-    const auto m2 = memory(home).read(dataAddr(home, line), t);
+    const FabricOutcome go = fabricSend(dirNode(rsock), dirNode(home),
+                                        MsgClass::Control, m.readyAt);
+    if (!go.delivered) {
+        // Replica copy failed and home is unreachable: the request is
+        // unavailable. Demote to single-copy service and queue a repair
+        // for when the fabric heals.
+        ++due_;
+        ++unavailableReqs_;
+        markDegraded(false, line, go.at);
+        return {go.at, logicalValue(line)};
+    }
+    const auto m2 = memory(home).read(dataAddr(home, line), go.at);
     if (m2.status == EccStatus::Corrected)
         ++sysCe_;
     if (m2.failed) {
         ++due_; // both copies lost: machine check
         return {m2.readyAt, logicalValue(line)};
     }
+    const FabricOutcome ret = fabricSend(dirNode(home), dirNode(rsock),
+                                         MsgClass::Data, m2.readyAt);
+    if (!ret.delivered) {
+        // The recovery data was lost on the way back.
+        ++due_;
+        ++unavailableReqs_;
+        markDegraded(false, line, ret.at);
+        return {ret.at, logicalValue(line)};
+    }
     ++replicaRecoveries_;
     ++sysCe_; // recovery is logged as a corrected error
-    const Tick back =
-        m2.readyAt
-        + ic_.send(dirNode(home), dirNode(rsock), MsgClass::Data);
+    const Tick back = ret.at;
     recoveryLatencies_.push_back(back - when);
 
     // Try to repair the failing replica copy off the critical path.
@@ -219,19 +287,24 @@ DveEngine::readReadableCopy(unsigned rsock, unsigned home, Addr line,
     if (dcfg_.balanceReplicaReads && (balanceCounter_++ & 1)) {
         // Both copies are current when the line is readable: spread the
         // activation pressure by reading the home copy this time.
+        const FabricOutcome go = fabricSend(dirNode(rsock), dirNode(home),
+                                            MsgClass::Control, when);
+        if (!go.delivered) {
+            // Home unreachable: the local replica serves.
+            return readReplicaChecked(rsock, home, line, go.at);
+        }
         ++balancedHomeReads_;
-        const Tick t = when
-                       + ic_.send(dirNode(rsock), dirNode(home),
-                                  MsgClass::Control);
-        const auto m = memory(home).read(dataAddr(home, line), t);
+        const auto m = memory(home).read(dataAddr(home, line), go.at);
         if (m.status == EccStatus::Corrected)
             ++sysCe_;
         if (!m.failed) {
-            const Tick back =
-                m.readyAt
-                + ic_.send(dirNode(home), dirNode(rsock),
-                           MsgClass::Data);
-            return {back, m.value};
+            const FabricOutcome ret =
+                fabricSend(dirNode(home), dirNode(rsock), MsgClass::Data,
+                           m.readyAt);
+            if (ret.delivered)
+                return {ret.at, m.value};
+            // Line lost on the way back: re-read the local replica.
+            return readReplicaChecked(rsock, home, line, ret.at);
         }
         // Home copy failed: the local replica is the recovery source.
         return readReplicaChecked(rsock, home, line, m.readyAt);
@@ -353,6 +426,19 @@ DveEngine::runRepairTask(RepairTask task, Tick now, Tick &t,
     const unsigned fail_sock = task.homeSide ? h : *rs;
     const unsigned surv_sock = task.homeSide ? *rs : h;
 
+    // Fabric-aware deferral: while the surviving copy is behind a dead
+    // link, or the failing side's whole socket is offline, a repair
+    // attempt cannot succeed. Requeue WITHOUT consuming a retry -- fabric
+    // faults must never retire frames -- so the line heals back to
+    // dual-copy as soon as the lifecycle heals the path.
+    if (!ic_.pathUp(h, *rs) || faults_.socketOffline(fail_sock)
+        || faults_.socketOffline(surv_sock)) {
+        ++repairDeferrals_;
+        task.notBefore = now + dcfg_.repairRetryBackoff;
+        repairQueue_.push_back(task);
+        return;
+    }
+
     ++rep.tasksRun;
     ++repairRetries_;
 
@@ -466,15 +552,24 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
     // A line already degraded on the home side funnels straight to the
     // replica (paper Sec. V-E).
     if (rs && degradedHome_.count(line) && !degradedReplica_.count(line)) {
-        Tick t = when
-                 + ic_.send(dirNode(home), dirNode(*rs),
-                            MsgClass::Control);
-        const auto m = memory(*rs).read(dataAddr(*rs, line), t);
+        const FabricOutcome go = fabricSend(dirNode(home), dirNode(*rs),
+                                            MsgClass::Control, when);
+        if (!go.delivered) {
+            // Single-copy service and the surviving copy is unreachable.
+            ++due_;
+            ++unavailableReqs_;
+            return {go.at, logicalValue(line)};
+        }
+        const auto m = memory(*rs).read(dataAddr(*rs, line), go.at);
         if (!m.failed) {
-            const Tick back =
-                m.readyAt
-                + ic_.send(dirNode(*rs), dirNode(home), MsgClass::Data);
-            return {back, m.value};
+            const FabricOutcome ret =
+                fabricSend(dirNode(*rs), dirNode(home), MsgClass::Data,
+                           m.readyAt);
+            if (ret.delivered)
+                return {ret.at, m.value};
+            ++due_;
+            ++unavailableReqs_;
+            return {ret.at, logicalValue(line)};
         }
         ++due_;
         return {m.readyAt, logicalValue(line)};
@@ -493,19 +588,35 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
 
     // Divert to the replica memory controller (paper Sec. V-B2). The
     // home/replica are in sync whenever memory is the data source.
-    Tick t = m.readyAt
-             + ic_.send(dirNode(home), dirNode(*rs), MsgClass::Control);
-    const auto m2 = memory(*rs).read(dataAddr(*rs, line), t);
+    const FabricOutcome go = fabricSend(dirNode(home), dirNode(*rs),
+                                        MsgClass::Control, m.readyAt);
+    if (!go.delivered) {
+        // Home copy failed and the replica is unreachable: unavailable.
+        // Demote to single-copy and queue a repair of the home side for
+        // when the fabric heals.
+        ++due_;
+        ++unavailableReqs_;
+        markDegraded(true, line, go.at);
+        return {go.at, logicalValue(line)};
+    }
+    const auto m2 = memory(*rs).read(dataAddr(*rs, line), go.at);
     if (m2.status == EccStatus::Corrected)
         ++sysCe_;
     if (m2.failed) {
         ++due_; // data lost in both replicas
         return {m2.readyAt, logicalValue(line)};
     }
+    const FabricOutcome ret = fabricSend(dirNode(*rs), dirNode(home),
+                                         MsgClass::Data, m2.readyAt);
+    if (!ret.delivered) {
+        ++due_;
+        ++unavailableReqs_;
+        markDegraded(true, line, ret.at);
+        return {ret.at, logicalValue(line)};
+    }
     ++replicaRecoveries_;
     ++sysCe_;
-    const Tick back =
-        m2.readyAt + ic_.send(dirNode(*rs), dirNode(home), MsgClass::Data);
+    const Tick back = ret.at;
     recoveryLatencies_.push_back(back - when);
 
     const auto rep =
@@ -533,18 +644,42 @@ DveEngine::writebackToMemory(unsigned home, Addr line, std::uint64_t value,
     // Synchronous replica update: the writeback completes only after
     // both copies are written (paper Sec. V-B1).
     ++replicaWrites_;
-    const Tick arrive =
-        when + ic_.send(dirNode(home), dirNode(*rs), MsgClass::Data);
+    const FabricOutcome arrive = fabricSend(dirNode(home), dirNode(*rs),
+                                            MsgClass::Data, when);
+    auto &rd = *rdirs_[*rs];
+    if (!arrive.delivered) {
+        // The replica missed this update and is now stale: fence it
+        // (single-copy mode) before any read could observe it, and let
+        // the background repair re-replicate once the fabric heals.
+        ++fabricDemotions_;
+        rd.remove(line);
+        markDegraded(false, line, arrive.at);
+        return std::max(t_home, arrive.at);
+    }
     const Tick t_rep =
-        memory(*rs).write(dataAddr(*rs, line), value, arrive);
+        memory(*rs).write(dataAddr(*rs, line), value, arrive.at);
 
     // Both memories are now current: clear deny markers / refresh allow
     // ownership entries.
-    auto &rd = *rdirs_[*rs];
     if (effectiveDeny(line)) {
         rd.remove(line);
     } else if (rd.hasLineEntry(line)) {
-        rd.install(line, {RepState::Readable, -1});
+        // Refresh to Readable only when the home can still route an
+        // invalidation here: a replica-side ownership entry (the home
+        // sharer bit is retained at writeback) or an existing on-chip
+        // Readable permission. Under the dynamic protocol the entry may
+        // instead be a leftover deny-phase RM / remote-owned M marker
+        // whose reads never registered at the home -- upgrading those
+        // would mint a permission no exclusive grant can revoke.
+        const auto backing = rd.peekBacking(line);
+        const bool invalidatable =
+            !backing
+            || (backing->state == RepState::M
+                && backing->owner == static_cast<int>(*rs));
+        if (invalidatable)
+            rd.install(line, {RepState::Readable, -1});
+        else
+            rd.remove(line);
     }
     return std::max(t_home, t_rep);
 }
@@ -584,16 +719,13 @@ DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
         // learned about, since local replica reads do not register at
         // the home directory).
         ++rmPushes_;
-        Tick t = start
-                 + ic_.send(dirNode(home), dirNode(*rs),
-                            MsgClass::Control);
+        Tick t = controlSend(dirNode(home), dirNode(*rs), start);
         t += cycles(cfg_.dirLatency);
         rd.install(line, {RepState::RM, static_cast<int>(to_socket)});
         if (dcfg_.coarseGrain)
             rd.removeRegion(line);
         t = invalidateSocketCopy(*rs, line, t);
-        t += ic_.send(dirNode(*rs), dirNode(home), MsgClass::Control);
-        return t;
+        return controlSend(dirNode(*rs), dirNode(home), t);
     }
 
     // Allow: lazily notify only when the replica directory holds
@@ -613,8 +745,7 @@ DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
                    "allow permission without home sharer registration");
         return start;
     }
-    Tick t = start
-             + ic_.send(dirNode(home), dirNode(*rs), MsgClass::Control);
+    Tick t = controlSend(dirNode(home), dirNode(*rs), start);
     t += cycles(cfg_.dirLatency);
     rd.remove(line);
     if (region_held) {
@@ -629,8 +760,7 @@ DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
         // socket's cached copy: invalidate it here.
         t = invalidateSocketCopy(*rs, line, t);
     }
-    t += ic_.send(dirNode(*rs), dirNode(home), MsgClass::Control);
-    return t;
+    return controlSend(dirNode(*rs), dirNode(home), t);
 }
 
 CoherenceEngine::MissResult
@@ -640,12 +770,20 @@ DveEngine::forwardGetsToHome(unsigned req_socket, Addr line, Tick when)
     const unsigned h = homeSocket(line);
     const NodeId dest = sliceNode(req_socket, line);
     const Tick arrival =
-        when
-        + ic_.send(dirNode(req_socket), dirNode(h), MsgClass::Control);
+        controlSend(dirNode(req_socket), dirNode(h), when);
     auto &dir = directory(h);
     const Tick start = dir.acquire(line, arrival) + cycles(cfg_.dirLatency);
     const MissResult r = homeGets(req_socket, line, start, dest);
     dir.release(line, r.done);
+    if (req_socket != h && !ic_.pathUp(req_socket, h)) {
+        // The directory transaction completed over the resilient control
+        // path (so the copy stays coherence-tracked), but the line itself
+        // cannot cross the dead link: the request completes as a machine
+        // check after the timeout instead of wedging.
+        ++due_;
+        ++unavailableReqs_;
+        return {r.done + dcfg_.linkTimeout, r.value, r.dirtyData};
+    }
     return r;
 }
 
@@ -736,7 +874,7 @@ DveEngine::replicaSideGets(unsigned req_socket, unsigned rsock, Addr line,
             // replica meanwhile.
             ++permPulls_;
             const Tick ctrl_arrival =
-                start + ic_.send(rdn, dirNode(h), MsgClass::Control);
+                controlSend(rdn, dirNode(h), start);
             auto &hdir = directory(h);
             const Tick hstart = hdir.acquire(line, ctrl_arrival)
                                 + cycles(cfg_.dirLatency);
@@ -748,7 +886,7 @@ DveEngine::replicaSideGets(unsigned req_socket, unsigned rsock, Addr line,
                 e.state = LineState::S;
                 e.addSharer(rsock);
                 const Tick grant_back =
-                    hstart + ic_.send(dirNode(h), rdn, MsgClass::Control);
+                    controlSend(dirNode(h), rdn, hstart);
                 hdir.release(line, hstart);
 
                 Tick data_at;
@@ -825,13 +963,11 @@ DveEngine::serviceLlcMiss(unsigned socket, Addr line, bool is_write,
         // forwards the GETX to home.
         auto &rd = *rdirs_[*rs];
         const Tick arrival =
-            t_slice
-            + ic_.send(sliceNode(socket, line), dirNode(*rs),
-                       MsgClass::Control);
+            controlSend(sliceNode(socket, line), dirNode(*rs), t_slice);
         const Tick start =
             rd.acquire(line, arrival) + cycles(cfg_.dirLatency);
         const Tick harr =
-            start + ic_.send(dirNode(*rs), dirNode(h), MsgClass::Control);
+            controlSend(dirNode(*rs), dirNode(h), start);
         auto &hdir = directory(h);
         const Tick hstart =
             hdir.acquire(line, harr) + cycles(cfg_.dirLatency);

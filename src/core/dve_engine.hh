@@ -92,6 +92,19 @@ struct DveConfig
     /** First page number of the spare-frame pool retirement remaps onto.
      *  Far above any workload footprint by default. */
     Addr sparePageBase = Addr(1) << 26;
+
+    // ---- Fabric-fault escalation (link/socket failures) ----------------
+    /** Timeout charged when a cross-socket message is lost in the fabric. */
+    Tick linkTimeout = 2 * ticksPerUs;
+    /** Retries of a lost cross-socket transfer before escalating. */
+    unsigned linkRetryMax = 3;
+    /** Delay before the first retry of a lost transfer; doubles each
+     *  subsequent attempt (bounded exponential backoff). */
+    Tick linkRetryBackoff = 1 * ticksPerUs;
+    /** After retry exhaustion the socket pair is fenced: sends fail fast
+     *  until this probe interval elapses and one retry ladder re-tests
+     *  the link (circuit breaker). */
+    Tick fenceProbeInterval = 25 * ticksPerUs;
 };
 
 /** The Dvé engine: baseline NUMA + coherent replication. */
@@ -197,6 +210,23 @@ class DveEngine : public CoherenceEngine
     std::uint64_t reReplications() const { return reReplications_.value(); }
     std::uint64_t retiredPages() const { return retiredPages_.value(); }
     std::uint64_t repairRetries() const { return repairRetries_.value(); }
+    std::uint64_t unavailableRequests() const
+    {
+        return unavailableReqs_.value();
+    }
+    std::uint64_t linkRetries() const { return linkRetries_.value(); }
+    std::uint64_t fabricDemotions() const
+    {
+        return fabricDemotions_.value();
+    }
+    std::uint64_t repairDeferrals() const
+    {
+        return repairDeferrals_.value();
+    }
+    std::uint64_t slowControlMessages() const
+    {
+        return slowControlMsgs_.value();
+    }
 
     /** Per-recovery latencies (ticks) of cross-copy read diversions. */
     const std::vector<Tick> &recoveryLatencies() const
@@ -230,6 +260,32 @@ class DveEngine : public CoherenceEngine
     bool retainSharerAfterWriteback(unsigned home, Addr line,
                                     unsigned from_socket) override;
 
+    // ---- Fabric-fault escalation ---------------------------------------
+
+    /** Outcome of a fault-aware cross-socket transfer attempt. */
+    struct FabricOutcome
+    {
+        bool delivered = false;
+        Tick at = 0; ///< delivery tick, or when the sender gave up
+    };
+
+    /**
+     * Data-plane transfer with timeout-retry-bounded-exponential-backoff.
+     * A lost message costs linkTimeout, then retries up to linkRetryMax
+     * times with doubling backoff. Exhaustion fences the socket pair
+     * (subsequent sends fail fast until fenceProbeInterval elapses).
+     * Fault-free paths behave exactly like Interconnect::send.
+     */
+    FabricOutcome fabricSend(NodeId src, NodeId dst, MsgClass cls,
+                             Tick when);
+
+    /**
+     * Control-plane transfer: coherence metadata is never lost. When the
+     * direct link gives up, the message reaches its destination over the
+     * resilient (software-routed) slow path at one extra linkTimeout.
+     */
+    Tick controlSend(NodeId src, NodeId dst, Tick when);
+
   private:
     /** Effective protocol for a line (handles dynamic set dueling). */
     bool effectiveDeny(Addr line) const;
@@ -255,6 +311,14 @@ class DveEngine : public CoherenceEngine
 
     /** True when no line of the region is dirty at the home directory. */
     bool regionCleanAtHome(unsigned home, Addr line) const;
+
+    /** Fence key for an unordered socket pair. */
+    static std::uint64_t
+    fenceKey(unsigned a, unsigned b)
+    {
+        return a < b ? (std::uint64_t(a) << 32) | b
+                     : (std::uint64_t(b) << 32) | a;
+    }
 
     // ---- Self-healing machinery ----------------------------------------
 
@@ -317,6 +381,8 @@ class DveEngine : public CoherenceEngine
     /** Per-socket retired-frame remap: page -> spare page. */
     std::vector<std::unordered_map<Addr, Addr>> frameRemap_;
     Addr nextSparePage_ = 0;
+    /** Open circuit breakers: socket-pair key -> next probe tick. */
+    std::unordered_map<std::uint64_t, Tick> fenceUntil_;
     std::vector<Tick> recoveryLatencies_;
     /**
      * Home-side record of coarse-grain region grants per replica
@@ -355,6 +421,12 @@ class DveEngine : public CoherenceEngine
     Counter reReplications_;
     Counter retiredPages_;
     Counter repairRetries_;
+    Counter unavailableReqs_; ///< served as DUE: no reachable valid copy
+    Counter linkRetries_;
+    Counter fabricDemotions_; ///< replicas fenced by a missed update
+    Counter repairDeferrals_; ///< repairs requeued while the path is down
+    Counter slowControlMsgs_; ///< metadata routed around a fenced link
+    Counter fencedFastFails_;
     Counter dynamicSwitches_;
     ScalarStat degradedTicks_; ///< closed degraded intervals only
     StatGroup dveStats_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "common/logging.hh"
@@ -23,6 +24,29 @@ campaignSchemeName(CampaignScheme s)
       case CampaignScheme::DveDeny: return "dve-deny";
     }
     return "?";
+}
+
+const char *
+fabricScenarioName(FabricScenario s)
+{
+    switch (s) {
+      case FabricScenario::None: return "none";
+      case FabricScenario::LinkFlap: return "link-flap";
+      case FabricScenario::LossyLink: return "lossy-link";
+      case FabricScenario::SocketOffline: return "socket-offline";
+    }
+    return "?";
+}
+
+std::optional<FabricScenario>
+parseFabricScenario(const char *name)
+{
+    for (unsigned i = 0; i < numFabricScenarios; ++i) {
+        const auto s = static_cast<FabricScenario>(i);
+        if (std::strcmp(name, fabricScenarioName(s)) == 0)
+            return s;
+    }
+    return std::nullopt;
 }
 
 CampaignConfig
@@ -67,6 +91,14 @@ TrialStats::accumulate(const TrialStats &t)
     degradedLinesEnd += t.degradedLinesEnd;
     scrubCorrected += t.scrubCorrected;
     degradedResidencyTicks += t.degradedResidencyTicks;
+    unavailableRequests += t.unavailableRequests;
+    linkRetries += t.linkRetries;
+    fabricDemotions += t.fabricDemotions;
+    repairDeferrals += t.repairDeferrals;
+    droppedMessages += t.droppedMessages;
+    failedSends += t.failedSends;
+    // engineSeed/faultSeed/workloadSeed/faultLogDigest identify one
+    // trial; they are deliberately not summed into totals.
     recoveryLatencies.insert(recoveryLatencies.end(),
                              t.recoveryLatencies.begin(),
                              t.recoveryLatencies.end());
@@ -110,6 +142,54 @@ codecFor(CampaignScheme s)
     return Scheme::ChipkillSscDsd;
 }
 
+/**
+ * Layer the fabric-fault scenario onto the lifecycle rates. FITs are
+ * chosen so that at CampaignConfig::quickDefaults() acceleration each
+ * trial sees roughly one to a few fabric episodes alongside the DRAM
+ * mix. LinkFlap/LossyLink are pure-intermittent processes (episodes
+ * end: the link heals); SocketOffline is pure-permanent (a socket that
+ * dies stays dead for the rest of the trial).
+ */
+void
+applyScenario(LifecycleConfig &lc, FabricScenario sc)
+{
+    switch (sc) {
+      case FabricScenario::None:
+        break;
+      case FabricScenario::LinkFlap:
+        lc.rates[unsigned(FaultScope::LinkDown)] = {12.0, 0.0, 1.0};
+        break;
+      case FabricScenario::LossyLink:
+        lc.rates[unsigned(FaultScope::LinkLossy)] = {12.0, 0.0, 1.0};
+        break;
+      case FabricScenario::SocketOffline:
+        lc.rates[unsigned(FaultScope::SocketOffline)] = {6.0, 0.0, 0.0};
+        break;
+    }
+}
+
+/** FNV-1a over the lifecycle event log: one value identifies the whole
+ *  fault history of a trial, so a replay can be checked cheaply. */
+std::uint64_t
+digestFaultLog(const std::vector<FaultLifecycleEngine::Event> &log)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const auto &e : log) {
+        mix(e.at);
+        mix(static_cast<std::uint64_t>(e.type));
+        mix(static_cast<std::uint64_t>(e.kind));
+        mix(static_cast<std::uint64_t>(e.scope));
+        mix(e.faultId);
+    }
+    return h;
+}
+
 } // namespace
 
 TrialStats
@@ -143,6 +223,7 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
     lc.footprintLines =
         Addr(cfg_.footprintPages) * (pageBytes / lineBytes);
     lc.seed = cfg_.seed * 7919 + trial;
+    applyScenario(lc, cfg_.scenario);
     FaultLifecycleEngine flc(lc, eng.faultRegistry());
 
     // Workload stream, likewise scheme-independent.
@@ -217,7 +298,17 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
         flc.stats().byKind[unsigned(FaultKind::Intermittent)];
     t.permanentFaults =
         flc.stats().byKind[unsigned(FaultKind::Permanent)];
+    t.droppedMessages = eng.interconnect().droppedMessages();
+    t.failedSends = eng.interconnect().failedSends();
+    t.engineSeed = ecfg.seed;
+    t.faultSeed = lc.seed;
+    t.workloadSeed = cfg_.seed * 31 + trial + 1;
+    t.faultLogDigest = digestFaultLog(flc.log());
     if (dve) {
+        t.unavailableRequests = dve->unavailableRequests();
+        t.linkRetries = dve->linkRetries();
+        t.fabricDemotions = dve->fabricDemotions();
+        t.repairDeferrals = dve->repairDeferrals();
         t.replicaRecoveries = dve->replicaRecoveries();
         t.repairedCopies = dve->repairedCopies();
         t.reReplications = dve->reReplications();
@@ -338,7 +429,29 @@ writeTotals(const TrialStats &t, const char *indent, std::ostream &os)
        << indent << "\"degraded_lines_end\": " << t.degradedLinesEnd
        << ",\n"
        << indent << "\"degraded_residency_ticks\": "
-       << fmtTicks(t.degradedResidencyTicks) << "\n";
+       << fmtTicks(t.degradedResidencyTicks) << ",\n"
+       << indent << "\"mean_time_degraded_ticks\": "
+       << fmtTicks(t.degradedEvents
+                       ? t.degradedResidencyTicks
+                             / static_cast<double>(t.degradedEvents)
+                       : 0.0)
+       << ",\n"
+       << indent << "\"unavailable_requests\": " << t.unavailableRequests
+       << ",\n"
+       << indent << "\"link_retries\": " << t.linkRetries << ",\n"
+       << indent << "\"fabric_demotions\": " << t.fabricDemotions << ",\n"
+       << indent << "\"repair_deferrals\": " << t.repairDeferrals << ",\n"
+       << indent << "\"dropped_messages\": " << t.droppedMessages << ",\n"
+       << indent << "\"failed_sends\": " << t.failedSends << "\n";
+}
+
+/** Fixed-width hex so digests line up and never parse as JSON floats. */
+std::string
+fmtDigest(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+    return buf;
 }
 
 } // namespace
@@ -351,6 +464,8 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
        << "  \"campaign\": {\n"
        << "    \"trials\": " << c.trials << ",\n"
        << "    \"seed\": " << c.seed << ",\n"
+       << "    \"scenario\": \"" << fabricScenarioName(c.scenario)
+       << "\",\n"
        << "    \"ops_per_trial\": " << c.opsPerTrial << ",\n"
        << "    \"footprint_pages\": " << c.footprintPages << ",\n"
        << "    \"scrub_interval_ticks\": " << c.scrubInterval << ",\n"
@@ -381,7 +496,13 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
                << ", \"corrected\": " << t.corrected
                << ", \"faults\": " << t.faultArrivals
                << ", \"re_replications\": " << t.reReplications
-               << ", \"degraded_end\": " << t.degradedLinesEnd << "}"
+               << ", \"degraded_end\": " << t.degradedLinesEnd
+               << ", \"unavailable\": " << t.unavailableRequests
+               << ",\n         \"engine_seed\": " << t.engineSeed
+               << ", \"fault_seed\": " << t.faultSeed
+               << ", \"workload_seed\": " << t.workloadSeed
+               << ", \"fault_log_digest\": \""
+               << fmtDigest(t.faultLogDigest) << "\"}"
                << (j + 1 < sr.trials.size() ? "," : "") << "\n";
         }
         os << "      ]\n"

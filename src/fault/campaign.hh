@@ -20,6 +20,7 @@
 #define DVE_FAULT_CAMPAIGN_HH
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -45,6 +46,28 @@ constexpr unsigned numCampaignSchemes = 5;
 
 const char *campaignSchemeName(CampaignScheme s);
 
+/**
+ * Fabric-fault scenario layered on top of the DRAM-scope fault mix.
+ * Each preset turns on one fabric arrival process in the lifecycle:
+ * flapping links exercise retry + heal-back, lossy links exercise the
+ * per-message drop/delay path, and socket-offline exercises permanent
+ * degradation to single-copy service.
+ */
+enum class FabricScenario : std::uint8_t
+{
+    None,          ///< DRAM-scope faults only (PR 1 behaviour)
+    LinkFlap,      ///< intermittent LinkDown episodes (link heals back)
+    LossyLink,     ///< intermittent LinkLossy episodes (drops + delays)
+    SocketOffline, ///< permanent whole-socket loss mid-campaign
+};
+
+constexpr unsigned numFabricScenarios = 4;
+
+const char *fabricScenarioName(FabricScenario s);
+
+/** Inverse of fabricScenarioName; nullopt for unrecognized names. */
+std::optional<FabricScenario> parseFabricScenario(const char *name);
+
 /** Campaign shape. */
 struct CampaignConfig
 {
@@ -63,6 +86,8 @@ struct CampaignConfig
      *  Never serialized into reports: results are merged in trial order,
      *  so the JSON is byte-identical at any job count. */
     unsigned jobs = 0;
+    /** Fabric-fault scenario layered on the lifecycle rates per trial. */
+    FabricScenario scenario = FabricScenario::None;
     LifecycleConfig lifecycle; ///< rates/shape; geometry + seed per trial
     EngineConfig engine;       ///< base system; scheme set per campaign
     DveConfig dve;             ///< Dvé knobs; protocol set per scheme
@@ -96,6 +121,21 @@ struct TrialStats
     std::uint64_t degradedLinesEnd = 0;
     std::uint64_t scrubCorrected = 0;
     double degradedResidencyTicks = 0.0;
+    // Fabric escalation (zero for baselines and fault-free fabrics).
+    std::uint64_t unavailableRequests = 0;
+    std::uint64_t linkRetries = 0;
+    std::uint64_t fabricDemotions = 0;
+    std::uint64_t repairDeferrals = 0;
+    std::uint64_t droppedMessages = 0;
+    std::uint64_t failedSends = 0;
+    // Replay identity: the derived seeds this trial ran with and a digest
+    // of the fault-event log. Together with the campaign config block the
+    // trial is reproducible standalone from the report alone. Not
+    // accumulated into totals.
+    std::uint64_t engineSeed = 0;
+    std::uint64_t faultSeed = 0;
+    std::uint64_t workloadSeed = 0;
+    std::uint64_t faultLogDigest = 0;
     std::vector<Tick> recoveryLatencies;
 
     /** Element-wise accumulate (latencies are concatenated). */

@@ -1,6 +1,7 @@
 #include "fault/fault.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -19,6 +20,9 @@ faultScopeName(FaultScope s)
       case FaultScope::Chip: return "chip";
       case FaultScope::Channel: return "channel";
       case FaultScope::Controller: return "controller";
+      case FaultScope::LinkDown: return "link-down";
+      case FaultScope::LinkLossy: return "link-lossy";
+      case FaultScope::SocketOffline: return "socket-offline";
     }
     return "?";
 }
@@ -34,6 +38,176 @@ parseFaultScope(const char *name)
             return s;
     }
     return std::nullopt;
+}
+
+namespace
+{
+
+void
+setErr(std::string *err, std::string msg)
+{
+    if (err)
+        *err = std::move(msg);
+}
+
+bool
+parseU64(const std::string &v, std::uint64_t &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(v.c_str(), &end, 0);
+    return end && *end == '\0';
+}
+
+bool
+parseUnsigned(const std::string &v, unsigned &out)
+{
+    std::uint64_t x;
+    if (!parseU64(v, x) || x > 0xffffffffu)
+        return false;
+    out = static_cast<unsigned>(x);
+    return true;
+}
+
+bool
+parseDouble(const std::string &v, double &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(v.c_str(), &end);
+    return end && *end == '\0';
+}
+
+/// Parse the "A-B" socket pair of a link shorthand into f.socket/f.peer.
+bool
+parseLinkPair(const std::string &v, FaultDescriptor &f)
+{
+    const auto dash = v.find('-');
+    if (dash == std::string::npos)
+        return false;
+    return parseUnsigned(v.substr(0, dash), f.socket)
+           && parseUnsigned(v.substr(dash + 1), f.peer)
+           && f.socket != f.peer;
+}
+
+} // namespace
+
+std::optional<FaultDescriptor>
+parseFaultSpec(const std::string &spec, std::string *err)
+{
+    FaultDescriptor f;
+    std::string rest = spec;
+    bool scopeSet = false;
+
+    // Fabric shorthands: "link:A-B", "socket:S", "lossy:A-B[,drop=P,...]".
+    const auto colon = spec.find(':');
+    if (colon != std::string::npos && spec.find('=') > colon) {
+        const std::string head = spec.substr(0, colon);
+        std::string arg = spec.substr(colon + 1);
+        const auto comma = arg.find(',');
+        rest = comma == std::string::npos ? "" : arg.substr(comma + 1);
+        arg = arg.substr(0, comma);
+        if (head == "link" || head == "lossy") {
+            f.scope = head == "link" ? FaultScope::LinkDown
+                                     : FaultScope::LinkLossy;
+            if (!parseLinkPair(arg, f)) {
+                setErr(err, "bad link pair '" + arg
+                            + "' (want A-B with A != B)");
+                return std::nullopt;
+            }
+        } else if (head == "socket") {
+            f.scope = FaultScope::SocketOffline;
+            if (!parseUnsigned(arg, f.socket)) {
+                setErr(err, "bad socket id '" + arg + "'");
+                return std::nullopt;
+            }
+        } else {
+            setErr(err, "unknown fault shorthand '" + head + ":'");
+            return std::nullopt;
+        }
+        scopeSet = true;
+    }
+
+    while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const std::string tok = rest.substr(0, comma);
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos) {
+            setErr(err, "expected key=value, got '" + tok + "'");
+            return std::nullopt;
+        }
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        bool ok = true;
+        if (key == "scope") {
+            const auto s = parseFaultScope(val.c_str());
+            if (!s) {
+                setErr(err, "unknown fault scope '" + val + "'");
+                return std::nullopt;
+            }
+            f.scope = *s;
+            scopeSet = true;
+        } else if (key == "socket") {
+            ok = parseUnsigned(val, f.socket);
+        } else if (key == "peer") {
+            ok = parseUnsigned(val, f.peer);
+        } else if (key == "channel") {
+            ok = parseUnsigned(val, f.channel);
+        } else if (key == "rank") {
+            ok = parseUnsigned(val, f.rank);
+        } else if (key == "chip") {
+            ok = parseUnsigned(val, f.chip);
+        } else if (key == "bank") {
+            ok = parseUnsigned(val, f.bank);
+        } else if (key == "row") {
+            ok = parseU64(val, f.row);
+        } else if (key == "column") {
+            ok = parseUnsigned(val, f.column);
+        } else if (key == "bit") {
+            ok = parseUnsigned(val, f.bit);
+        } else if (key == "transient") {
+            if (val == "1" || val == "true") {
+                f.transient = true;
+            } else if (val == "0" || val == "false") {
+                f.transient = false;
+            } else {
+                ok = false;
+            }
+        } else if (key == "drop") {
+            ok = parseDouble(val, f.dropProb)
+                 && f.dropProb >= 0.0 && f.dropProb <= 1.0;
+        } else if (key == "delay") {
+            std::uint64_t t = 0;
+            ok = parseU64(val, t);
+            f.delayTicks = static_cast<Tick>(t);
+        } else {
+            setErr(err, "unknown fault-spec key '" + key + "'");
+            return std::nullopt;
+        }
+        if (!ok) {
+            setErr(err, "bad value '" + val + "' for key '" + key + "'");
+            return std::nullopt;
+        }
+    }
+
+    if (!scopeSet) {
+        setErr(err, "fault spec '" + spec + "' does not set a scope");
+        return std::nullopt;
+    }
+    if (f.scope == FaultScope::LinkDown || f.scope == FaultScope::LinkLossy) {
+        if (f.peer == f.socket) {
+            setErr(err, "link fault needs two distinct sockets");
+            return std::nullopt;
+        }
+        // Canonical unordered-pair form, matching what the registry
+        // stores: socket < peer.
+        if (f.peer < f.socket)
+            std::swap(f.socket, f.peer);
+    }
+    return f;
 }
 
 FaultGeometry
@@ -56,6 +230,23 @@ FaultRegistry::normalized(FaultDescriptor f)
 {
     // Zero every field broader scopes ignore so that duplicate detection
     // compares only the coordinates that actually participate in matching.
+    if (isFabricScope(f.scope)) {
+        f.channel = f.rank = f.chip = f.bank = f.column = f.bit = 0;
+        f.row = 0;
+        if (f.scope == FaultScope::SocketOffline) {
+            f.peer = 0;
+        } else if (f.peer < f.socket) {
+            std::swap(f.socket, f.peer); // links are unordered pairs
+        }
+        if (f.scope != FaultScope::LinkLossy) {
+            f.dropProb = 0.0;
+            f.delayTicks = 0;
+        }
+        return f;
+    }
+    f.peer = 0;
+    f.dropProb = 0.0;
+    f.delayTicks = 0;
     switch (f.scope) {
       case FaultScope::Controller:
         f.channel = 0;
@@ -79,6 +270,10 @@ FaultRegistry::normalized(FaultDescriptor f)
         break;
       case FaultScope::Cell:
         break;
+      case FaultScope::LinkDown:
+      case FaultScope::LinkLossy:
+      case FaultScope::SocketOffline:
+        break; // fabric scopes returned above
     }
     if (f.scope != FaultScope::Cell)
         f.bit = 0;
@@ -92,6 +287,16 @@ FaultRegistry::inBounds(const FaultDescriptor &f) const
         return true; // no geometry configured: accept anything
     if (f.socket >= geom_.sockets)
         return false;
+    if (isFabricScope(f.scope)) {
+        if (f.scope == FaultScope::SocketOffline)
+            return true;
+        // Link scopes name an unordered socket pair.
+        if (f.peer >= geom_.sockets || f.peer == f.socket)
+            return false;
+        if (f.scope == FaultScope::LinkLossy)
+            return f.dropProb >= 0.0 && f.dropProb <= 1.0;
+        return true;
+    }
     if (f.scope == FaultScope::Controller)
         return true;
     if (f.channel >= geom_.channels)
@@ -133,7 +338,8 @@ FaultRegistry::inject(FaultDescriptor f)
             && a.channel == f.channel && a.rank == f.rank
             && a.chip == f.chip && a.bank == f.bank && a.row == f.row
             && a.column == f.column && a.bit == f.bit
-            && a.transient == f.transient) {
+            && a.transient == f.transient && a.peer == f.peer
+            && a.dropProb == f.dropProb && a.delayTicks == f.delayTicks) {
             return a.id; // exact duplicate: keep the existing fault
         }
     }
@@ -159,8 +365,14 @@ bool
 FaultRegistry::matches(const FaultDescriptor &f, unsigned socket,
                        unsigned channel, const DramCoord &coord)
 {
+    // Link faults never touch the DRAM path; an offline socket behaves
+    // like a controller failure for every access it would have served.
+    if (f.scope == FaultScope::LinkDown || f.scope == FaultScope::LinkLossy)
+        return false;
     if (f.socket != socket)
         return false;
+    if (f.scope == FaultScope::SocketOffline)
+        return true;
     if (f.scope == FaultScope::Controller)
         return true;
     if (f.channel != channel)
@@ -198,6 +410,7 @@ FaultRegistry::impact(unsigned socket, unsigned channel,
         switch (f.scope) {
           case FaultScope::Controller:
           case FaultScope::Channel:
+          case FaultScope::SocketOffline:
             imp.pathFailed = true;
             break;
           case FaultScope::Cell:
@@ -215,13 +428,55 @@ FaultRegistry::impact(unsigned socket, unsigned channel,
     return imp;
 }
 
+bool
+FaultRegistry::socketOffline(unsigned socket) const
+{
+    for (const auto &f : faults_) {
+        if (f.scope == FaultScope::SocketOffline && f.socket == socket)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultRegistry::linkDown(unsigned a, unsigned b) const
+{
+    if (a > b)
+        std::swap(a, b);
+    for (const auto &f : faults_) {
+        if (f.scope == FaultScope::LinkDown && f.socket == a && f.peer == b)
+            return true;
+        // An offline socket takes its link endpoint with it.
+        if (f.scope == FaultScope::SocketOffline
+            && (f.socket == a || f.socket == b)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+const FaultDescriptor *
+FaultRegistry::lossyLink(unsigned a, unsigned b) const
+{
+    if (a > b)
+        std::swap(a, b);
+    for (const auto &f : faults_) {
+        if (f.scope == FaultScope::LinkLossy && f.socket == a && f.peer == b)
+            return &f;
+    }
+    return nullptr;
+}
+
 unsigned
 FaultRegistry::repairAt(unsigned socket, unsigned channel,
                         const DramCoord &coord)
 {
     unsigned cured = 0;
     for (auto it = faults_.begin(); it != faults_.end();) {
-        if (it->transient && matches(*it, socket, channel, coord)) {
+        // Fabric faults are cured by the lifecycle (link heals), never by
+        // a DRAM repair write.
+        if (it->transient && !isFabricScope(it->scope)
+            && matches(*it, socket, channel, coord)) {
             it = faults_.erase(it);
             ++cured;
         } else {

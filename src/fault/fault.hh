@@ -7,6 +7,11 @@
  * controller. The registry answers, for one decoded access, which chips
  * return corrupted data and whether the channel/controller path itself has
  * failed (hard failures that bus CRC / timeouts detect but cannot correct).
+ *
+ * Beyond the DRAM path, the registry also tracks fabric-domain faults --
+ * a downed or lossy inter-socket link and a whole socket dropping off the
+ * coherence fabric -- which the interconnect consults per message and the
+ * Dvé engine escalates into single-copy degraded service.
  */
 
 #ifndef DVE_FAULT_FAULT_HH
@@ -14,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -25,16 +31,27 @@ namespace dve
 /** Granularity of a fault. */
 enum class FaultScope : std::uint8_t
 {
-    Cell,       ///< single bit in one chip at (bank, row, column)
-    Row,        ///< a whole row within one chip's bank
-    Column,     ///< a column within one chip's bank
-    Bank,       ///< a whole bank within one chip
-    Chip,       ///< an entire device
-    Channel,    ///< the channel path (bus/shared circuitry)
-    Controller, ///< the whole memory controller of a socket
+    Cell,          ///< single bit in one chip at (bank, row, column)
+    Row,           ///< a whole row within one chip's bank
+    Column,        ///< a column within one chip's bank
+    Bank,          ///< a whole bank within one chip
+    Chip,          ///< an entire device
+    Channel,       ///< the channel path (bus/shared circuitry)
+    Controller,    ///< the whole memory controller of a socket
+    LinkDown,      ///< inter-socket link (socket, peer) delivers nothing
+    LinkLossy,     ///< inter-socket link drops/delays messages
+    SocketOffline, ///< socket's memory domain + link endpoint are gone
 };
 
-constexpr unsigned numFaultScopes = 7;
+constexpr unsigned numFaultScopes = 10;
+
+/** First fabric-domain scope (everything below is a DRAM-path scope). */
+constexpr bool
+isFabricScope(FaultScope s)
+{
+    return s == FaultScope::LinkDown || s == FaultScope::LinkLossy
+           || s == FaultScope::SocketOffline;
+}
 
 const char *faultScopeName(FaultScope s);
 
@@ -54,8 +71,22 @@ struct FaultDescriptor
     unsigned column = 0;        ///< line slot within the row
     unsigned bit = 0;           ///< for Cell scope: bit within the byte
     bool transient = false;     ///< curable by a repair write
+    // Fabric-scope coordinates/shape (link scopes only).
+    unsigned peer = 0;          ///< other endpoint of the link
+    double dropProb = 0.0;      ///< LinkLossy: per-message drop chance
+    Tick delayTicks = 0;        ///< LinkLossy: extra delay per delivery
     std::uint64_t id = 0;       ///< assigned by the registry
 };
+
+/**
+ * Parse a comma-separated key=value fault spec, e.g.
+ * "scope=chip,socket=0,chip=3". Also accepts the fabric shorthands
+ * "link:A-B" (LinkDown), "socket:S" (SocketOffline) and
+ * "lossy:A-B,drop=P[,delay=T]" (LinkLossy; T in ticks).
+ * On failure returns nullopt and, when @p err is non-null, a message.
+ */
+std::optional<FaultDescriptor> parseFaultSpec(const std::string &spec,
+                                              std::string *err = nullptr);
 
 /** What a given access sees. */
 struct FaultImpact
@@ -127,6 +158,17 @@ class FaultRegistry
      */
     FaultImpact impact(unsigned socket, unsigned channel,
                        const DramCoord &coord) const;
+
+    // ---- Fabric-domain queries (consulted per interconnect message) ----
+
+    /** Is the whole socket's memory domain + link endpoint offline? */
+    bool socketOffline(unsigned socket) const;
+
+    /** Is the inter-socket link between @p a and @p b hard-down? */
+    bool linkDown(unsigned a, unsigned b) const;
+
+    /** Lossy-link fault on (a, b), or nullptr when the link is clean. */
+    const FaultDescriptor *lossyLink(unsigned a, unsigned b) const;
 
     /**
      * A repair write occurred at this location: drop matching transient

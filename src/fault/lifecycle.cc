@@ -126,21 +126,39 @@ FaultLifecycleEngine::processArrival(const Pending &p)
                                ? FaultKind::Intermittent
                                : FaultKind::Permanent;
 
-    // Place the fault at coordinates a workload line actually decodes to,
-    // so campaign footprints observe the faults they are charged for.
     FaultDescriptor f;
     f.scope = p.scope;
     f.socket = static_cast<unsigned>(rng_.next(cfg_.sockets));
-    const Addr line = rng_.next(cfg_.footprintLines);
-    const DramCoord c = map_.decode(line << lineShift);
-    f.channel = c.channel;
-    f.rank = c.rank;
-    f.bank = c.bank;
-    f.row = c.row;
-    f.column = c.column;
-    f.chip = static_cast<unsigned>(rng_.next(cfg_.chips));
-    f.bit = static_cast<unsigned>(rng_.next(8));
-    f.transient = kind == FaultKind::Transient;
+    if (isFabricScope(p.scope)) {
+        // Fabric faults are placed on sockets/links, not DRAM coordinates.
+        // Writes cannot cure a link, so none of them is marked transient;
+        // flapping links are modeled as intermittent arrivals.
+        if (p.scope != FaultScope::SocketOffline) {
+            if (cfg_.sockets < 2)
+                return; // no inter-socket link to fail
+            f.peer = (f.socket + 1
+                      + static_cast<unsigned>(rng_.next(cfg_.sockets - 1)))
+                     % cfg_.sockets;
+            if (p.scope == FaultScope::LinkLossy) {
+                f.dropProb = cfg_.lossyDropProb;
+                f.delayTicks = cfg_.lossyExtraDelay;
+            }
+        }
+    } else {
+        // Place the fault at coordinates a workload line actually decodes
+        // to, so campaign footprints observe the faults they're charged
+        // for.
+        const Addr line = rng_.next(cfg_.footprintLines);
+        const DramCoord c = map_.decode(line << lineShift);
+        f.channel = c.channel;
+        f.rank = c.rank;
+        f.bank = c.bank;
+        f.row = c.row;
+        f.column = c.column;
+        f.chip = static_cast<unsigned>(rng_.next(cfg_.chips));
+        f.bit = static_cast<unsigned>(rng_.next(8));
+        f.transient = kind == FaultKind::Transient;
+    }
 
     const std::uint64_t id = reg_.inject(f);
     if (id == 0)

@@ -85,6 +85,10 @@ struct LifecycleConfig
     Tick meanInactive = 50 * ticksPerUs; ///< mean dormancy between episodes
     unsigned maxFlaps = 3; ///< active episodes before going dormant for good
 
+    // Shape of LinkLossy arrivals (applied to every lossy descriptor).
+    double lossyDropProb = 0.25;              ///< per-message drop chance
+    Tick lossyExtraDelay = 200 * ticksPerNs;  ///< added delivery latency
+
     std::uint64_t seed = 1;
 
     /**

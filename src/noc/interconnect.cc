@@ -21,6 +21,24 @@ Interconnect::Interconnect(const NocConfig &cfg)
     stats_.add("inter_socket_bytes", interSocketBytes_);
     stats_.add("inter_socket_ctrl_messages", interSocketCtrlMsgs_);
     stats_.add("inter_socket_data_messages", interSocketDataMsgs_);
+    stats_.add("dropped_messages", droppedMsgs_);
+    stats_.add("failed_sends", failedSends_);
+    stats_.add("delayed_messages", delayedMsgs_);
+}
+
+void
+Interconnect::attachFaults(const FaultRegistry *reg, std::uint64_t seed)
+{
+    faults_ = reg;
+    lossyRng_ = Rng(seed);
+}
+
+bool
+Interconnect::pathUp(unsigned a, unsigned b) const
+{
+    if (!faults_ || a == b)
+        return true;
+    return !faults_->linkDown(a, b);
 }
 
 Tick
@@ -62,9 +80,36 @@ Interconnect::send(NodeId src, NodeId dst, MsgClass cls)
     return lat;
 }
 
+SendResult
+Interconnect::trySend(NodeId src, NodeId dst, MsgClass cls)
+{
+    if (src.socket == dst.socket || !faults_)
+        return {SendStatus::Ok, send(src, dst, cls)};
+    // linkDown also covers an offline endpoint socket.
+    if (faults_->linkDown(src.socket, dst.socket)) {
+        ++failedSends_;
+        return {SendStatus::LinkFailed, 0};
+    }
+    const FaultDescriptor *lossy =
+        faults_->lossyLink(src.socket, dst.socket);
+    if (lossy && lossyRng_.chance(lossy->dropProb)) {
+        ++droppedMsgs_;
+        return {SendStatus::Dropped, 0};
+    }
+    Tick lat = send(src, dst, cls);
+    if (lossy && lossy->delayTicks > 0) {
+        lat += lossy->delayTicks;
+        ++delayedMsgs_;
+    }
+    return {SendStatus::Ok, lat};
+}
+
 void
 Interconnect::resetTraffic()
 {
+    droppedMsgs_.reset();
+    failedSends_.reset();
+    delayedMsgs_.reset();
     intraMsgs_.reset();
     intraHops_.reset();
     interSocketMsgs_.reset();

@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "noc/mesh.hh"
 
 namespace dve
@@ -39,6 +41,23 @@ enum class MsgClass : std::uint8_t
 {
     Control, ///< requests, acks, invalidations (header only)
     Data,    ///< carries a full cache line
+};
+
+/** Outcome of a fault-aware send attempt. */
+enum class SendStatus : std::uint8_t
+{
+    Ok,         ///< delivered; latency is valid
+    Dropped,    ///< lossy link ate the message (sender sees a timeout)
+    LinkFailed, ///< link hard-down or an endpoint socket is offline
+};
+
+/** Result of Interconnect::trySend. */
+struct SendResult
+{
+    SendStatus status = SendStatus::Ok;
+    Tick latency = 0; ///< delivery latency; 0 unless status == Ok
+
+    bool ok() const { return status == SendStatus::Ok; }
 };
 
 /** Static configuration of the fabric. */
@@ -70,9 +89,30 @@ class Interconnect
 
     /**
      * Account a message from @p src to @p dst and return its latency.
-     * Inter-socket messages bump the Fig 8 counters.
+     * Inter-socket messages bump the Fig 8 counters. Fault-blind: use
+     * trySend for paths that must observe fabric faults.
      */
     Tick send(NodeId src, NodeId dst, MsgClass cls);
+
+    /**
+     * Attach a fault registry (and seed the lossy-link RNG): subsequent
+     * trySend calls consult it per inter-socket message. The RNG is only
+     * drawn while a lossy fault is active on the traversed link, so
+     * fault-free runs stay byte-identical to the unattached fabric.
+     */
+    void attachFaults(const FaultRegistry *reg, std::uint64_t seed);
+
+    /**
+     * Fault-aware send. Intra-socket messages never fail. An inter-socket
+     * message fails fast (LinkFailed, no traffic accounted) when the link
+     * is down or either endpoint socket is offline, and may be Dropped by
+     * an active lossy fault (deterministic from the attached seed). A
+     * delivery over a lossy link pays the fault's extra delay.
+     */
+    SendResult trySend(NodeId src, NodeId dst, MsgClass cls);
+
+    /** Is the (possibly degraded) path between two sockets usable? */
+    bool pathUp(unsigned a, unsigned b) const;
 
     /** Inter-socket messages sent so far. */
     std::uint64_t interSocketMessages() const
@@ -89,6 +129,15 @@ class Interconnect
     /** Mesh of socket @p s, for link-load inspection. */
     const Mesh &mesh(unsigned s) const { return meshes_[s]; }
 
+    /** Messages eaten by a lossy link so far. */
+    std::uint64_t droppedMessages() const { return droppedMsgs_.value(); }
+
+    /** Sends that failed fast on a dead link/socket so far. */
+    std::uint64_t failedSends() const { return failedSends_.value(); }
+
+    /** Deliveries that paid a lossy link's extra delay so far. */
+    std::uint64_t delayedMessages() const { return delayedMsgs_.value(); }
+
     /** Reset all traffic counters (used at ROI boundaries). */
     void resetTraffic();
 
@@ -103,6 +152,8 @@ class Interconnect
 
     NocConfig cfg_;
     std::vector<Mesh> meshes_;
+    const FaultRegistry *faults_ = nullptr;
+    Rng lossyRng_{0};
 
     Counter intraMsgs_;
     Counter intraHops_;
@@ -110,6 +161,9 @@ class Interconnect
     Counter interSocketBytes_;
     Counter interSocketCtrlMsgs_;
     Counter interSocketDataMsgs_;
+    Counter droppedMsgs_;
+    Counter failedSends_;
+    Counter delayedMsgs_;
     StatGroup stats_;
 };
 

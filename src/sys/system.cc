@@ -102,11 +102,18 @@ System::run(const WorkloadProfile &profile, double scale)
         return out;
     };
 
+    std::uint64_t dropped_snap = 0;
+    std::uint64_t failed_snap = 0;
+    std::uint64_t delayed_snap = 0;
+
     replay.setRoiCallback([&](Tick) {
         engine_snap = engine_->stats().snapshot();
         if (dveEngine_)
             dve_snap = dveEngine_->dveStats().snapshot();
         bytes_snap = engine_->interconnect().interSocketBytes();
+        dropped_snap = engine_->interconnect().droppedMessages();
+        failed_snap = engine_->interconnect().failedSends();
+        delayed_snap = engine_->interconnect().delayedMessages();
         dram_snap = snapshotDram();
     });
 
@@ -185,6 +192,17 @@ System::run(const WorkloadProfile &profile, double scale)
     res.extra["machine_checks"] = delta("machine_checks");
     res.extra["system_corrected_errors"] =
         delta("system_corrected_errors");
+
+    // Fabric availability over the ROI (nonzero only when link/socket
+    // faults are injected; Dvé schemes additionally export the
+    // escalation counters through the dveStats() loop above).
+    const auto &ic = engine_->interconnect();
+    res.extra["fabric_dropped_messages"] =
+        static_cast<double>(ic.droppedMessages() - dropped_snap);
+    res.extra["fabric_failed_sends"] =
+        static_cast<double>(ic.failedSends() - failed_snap);
+    res.extra["fabric_delayed_messages"] =
+        static_cast<double>(ic.delayedMessages() - delayed_snap);
 
     return res;
 }

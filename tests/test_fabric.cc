@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Fabric-fault escalation tests: the timeout/retry/backoff ladder and
+ * circuit breaker in DveEngine::fabricSend, graceful degradation to
+ * single-copy service under link and socket failures, heal-back once
+ * the fabric recovers, and the campaign-level acceptance properties
+ * (zero SDC, honest unavailability, byte-deterministic reports).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fault/campaign.hh"
+
+namespace dve
+{
+namespace
+{
+
+/** Exposes the protected fabric plumbing for direct timing checks. */
+struct FabricProbe : DveEngine
+{
+    FabricProbe(const EngineConfig &cfg, const DveConfig &d)
+        : DveEngine(cfg, d)
+    {
+    }
+    using DveEngine::controlSend;
+    using DveEngine::fabricSend;
+};
+
+EngineConfig
+smallEngine()
+{
+    EngineConfig cfg;
+    cfg.llcBytes = 1024 * 1024;
+    cfg.dram = DramConfig::ddr4Replicated();
+    cfg.scheme = Scheme::ChipkillSscDsd;
+    return cfg;
+}
+
+std::uint64_t
+injectLinkDown(FaultRegistry &reg, unsigned a, unsigned b)
+{
+    FaultDescriptor f;
+    f.scope = FaultScope::LinkDown;
+    f.socket = a;
+    f.peer = b;
+    return reg.inject(f);
+}
+
+TEST(FabricSend, RetryLadderTimingIsDeterministic)
+{
+    DveConfig d;
+    d.linkTimeout = 2 * ticksPerUs;
+    d.linkRetryMax = 3;
+    d.linkRetryBackoff = 1 * ticksPerUs;
+    d.fenceProbeInterval = 25 * ticksPerUs;
+    FabricProbe e(smallEngine(), d);
+    injectLinkDown(e.faultRegistry(), 0, 1);
+
+    // Each lost message costs one timeout; between attempts the sender
+    // backs off exponentially: 4 sends, 3 retries.
+    //   t = 4*linkTimeout + (1+2+4)*backoff = 8us + 7us = 15us.
+    const Tick t0 = 1000;
+    const auto r = e.fabricSend({0, 0}, {1, 0}, MsgClass::Data, t0);
+    EXPECT_FALSE(r.delivered);
+    EXPECT_EQ(r.at, t0 + 4 * d.linkTimeout + 7 * d.linkRetryBackoff);
+    EXPECT_EQ(e.linkRetries(), 3u);
+
+    // The circuit breaker is now open: sends inside the fence window
+    // fail fast at zero latency instead of re-running the ladder.
+    const Tick t1 = r.at + 1;
+    const auto fast = e.fabricSend({0, 0}, {1, 0}, MsgClass::Data, t1);
+    EXPECT_FALSE(fast.delivered);
+    EXPECT_EQ(fast.at, t1);
+    EXPECT_EQ(e.linkRetries(), 3u); // no new retries burned
+}
+
+TEST(FabricSend, FenceClosesAfterProbeIntervalAndHeal)
+{
+    DveConfig d;
+    d.linkTimeout = 2 * ticksPerUs;
+    d.linkRetryMax = 1;
+    d.linkRetryBackoff = 1 * ticksPerUs;
+    d.fenceProbeInterval = 10 * ticksPerUs;
+    FabricProbe e(smallEngine(), d);
+    const auto id = injectLinkDown(e.faultRegistry(), 0, 1);
+
+    const auto fail = e.fabricSend({0, 0}, {1, 0}, MsgClass::Data, 0);
+    ASSERT_FALSE(fail.delivered);
+
+    // Heal the link; a probe after the fence window succeeds and closes
+    // the breaker with the plain fault-free latency.
+    e.faultRegistry().clear(id);
+    const Tick probe_at = fail.at + d.fenceProbeInterval + 1;
+    const auto ok = e.fabricSend({0, 0}, {1, 0}, MsgClass::Data, probe_at);
+    EXPECT_TRUE(ok.delivered);
+    EXPECT_GT(ok.at, probe_at);
+
+    // Breaker closed: the next send is ordinary again.
+    EXPECT_TRUE(
+        e.fabricSend({0, 0}, {1, 0}, MsgClass::Data, ok.at).delivered);
+}
+
+TEST(FabricSend, SameSocketTrafficIgnoresFabricFaults)
+{
+    FabricProbe e(smallEngine(), DveConfig{});
+    FaultDescriptor off;
+    off.scope = FaultScope::SocketOffline;
+    off.socket = 1;
+    e.faultRegistry().inject(off);
+
+    // Cores and directories of the offline socket still talk locally:
+    // only the inter-socket link endpoint and memory domain are dead.
+    EXPECT_TRUE(
+        e.fabricSend({1, 0}, {1, 5}, MsgClass::Data, 0).delivered);
+}
+
+TEST(FabricSend, ControlPlaneIsReliableButSlow)
+{
+    DveConfig d;
+    d.linkTimeout = 2 * ticksPerUs;
+    d.linkRetryMax = 2;
+    d.linkRetryBackoff = 1 * ticksPerUs;
+    FabricProbe e(smallEngine(), d);
+    injectLinkDown(e.faultRegistry(), 0, 1);
+
+    // Coherence metadata always completes -- over the software-routed
+    // path at one extra timeout past the failed ladder -- so directory
+    // state can never diverge from a lost message.
+    // Ladder: 3 sends, 2 retries = 3*2us + (1+2)*1us = 9us; +2us slow path.
+    const Tick done = e.controlSend({0, 0}, {1, 0}, 0);
+    EXPECT_EQ(done, 3 * d.linkTimeout + 3 * d.linkRetryBackoff
+                        + d.linkTimeout);
+    EXPECT_EQ(e.slowControlMessages(), 1u);
+}
+
+/** Push the cached line out so the next access hits DRAM again. */
+void
+flushLine(DveEngine &e, Addr addr, Tick &clock)
+{
+    const auto w =
+        e.access(1, 0, addr, true, e.logicalValue(lineNum(addr)), clock);
+    clock = w.done;
+    for (unsigned i = 1; i <= 40; ++i) {
+        const Addr a = addr + Addr(i) * 16384 * 64;
+        if (lineNum(a) % 256 != lineNum(addr) % 256)
+            continue;
+        clock = e.access(1, 0, a, false, 0, clock).done;
+    }
+}
+
+TEST(FabricEscalation, LinkDownDemotesToSingleCopyThenHealsBack)
+{
+    DveConfig d;
+    d.linkTimeout = 1 * ticksPerUs;
+    d.repairRetryBackoff = 1 * ticksPerUs;
+    DveEngine e(smallEngine(), d);
+
+    const Addr addr = 0x0; // page 0: home socket 0, replica socket 1
+    Tick clock = 0;
+    clock = e.access(0, 0, addr, true, 42, clock).done;
+    flushLine(e, addr, clock);
+    ASSERT_EQ(e.degradedLines(), 0u);
+
+    // Down the link, then force a dirty writeback across it: the replica
+    // copy misses the update and must be fenced (demoted), never read.
+    const auto id = injectLinkDown(e.faultRegistry(), 0, 1);
+    flushLine(e, addr, clock);
+    EXPECT_GT(e.degradedLines(), 0u);
+    EXPECT_GT(e.fabricDemotions(), 0u);
+
+    // Single-copy service: reads still return the correct value.
+    const auto r = e.access(0, 0, addr, false, 0, clock);
+    clock = r.done;
+    EXPECT_EQ(r.value, 42u);
+
+    // While the link is down, repairs are deferred, never retired --
+    // fabric faults must not consume the frame's retry budget.
+    for (int i = 0; i < 4; ++i) {
+        clock += 10 * ticksPerUs;
+        clock = e.runMaintenance(clock).finishedAt;
+    }
+    EXPECT_GT(e.repairDeferrals(), 0u);
+    EXPECT_GT(e.degradedLines(), 0u);
+    EXPECT_EQ(e.retiredPages(), 0u);
+
+    // Heal the link: the next maintenance pass re-replicates and the
+    // line returns to dual-copy service.
+    e.faultRegistry().clear(id);
+    for (int i = 0; i < 4 && e.degradedLines() > 0; ++i) {
+        clock += 10 * ticksPerUs;
+        clock = e.runMaintenance(clock).finishedAt;
+    }
+    EXPECT_EQ(e.degradedLines(), 0u);
+    EXPECT_GT(e.reReplications(), 0u);
+}
+
+/** Campaign with the DRAM-scope processes silenced: every observed
+ *  event comes from the fabric scenario under test. */
+CampaignConfig
+fabricOnlyCampaign(FabricScenario sc)
+{
+    CampaignConfig c = CampaignConfig::quickDefaults();
+    c.trials = 6;
+    c.opsPerTrial = 600;
+    c.scenario = sc;
+    for (auto &r : c.lifecycle.rates)
+        r.fit = 0.0; // the scenario re-enables exactly one fabric scope
+    // Short trials need eviction pressure: dirty writebacks are the main
+    // data-plane traffic a downed link can hit.
+    c.engine.llcBytes = 16 * 1024;
+    c.dve.repairRetryBackoff = 2 * ticksPerUs;
+    return c;
+}
+
+TEST(FabricCampaign, SocketOfflineDegradesGracefully)
+{
+    // Acceptance: a campaign with permanent socket loss completes with
+    // zero SDC and zero wedged requests; Dvé keeps serving from the
+    // surviving copy, charging honest DUEs (unavailability) and degraded
+    // residency instead of corrupting or hanging.
+    const CampaignRunner runner(
+        fabricOnlyCampaign(FabricScenario::SocketOffline));
+    for (const auto scheme :
+         {CampaignScheme::DveAllow, CampaignScheme::DveDeny}) {
+        const auto res = runner.runScheme(scheme);
+        const auto &t = res.totals;
+        EXPECT_EQ(t.sdc, 0u) << campaignSchemeName(scheme);
+        // Every op completed: nothing wedged.
+        EXPECT_EQ(t.reads + t.writes,
+                  6u * 600u) << campaignSchemeName(scheme);
+        EXPECT_GT(t.permanentFaults, 0u) << campaignSchemeName(scheme);
+        EXPECT_GT(t.unavailableRequests, 0u)
+            << campaignSchemeName(scheme);
+        EXPECT_GT(t.degradedResidencyTicks, 0.0)
+            << campaignSchemeName(scheme);
+        EXPECT_GT(t.degradedEvents, 0u) << campaignSchemeName(scheme);
+        // A dead socket cannot heal: deferrals accumulate, frames are
+        // never retired on account of the fabric.
+        EXPECT_GT(t.repairDeferrals, 0u) << campaignSchemeName(scheme);
+    }
+}
+
+TEST(FabricCampaign, LinkFlapFullyHealsBack)
+{
+    // Acceptance: flapping links degrade lines transiently; once the
+    // episodes end, self-healing re-replicates every line -- zero SDC
+    // and zero lines still degraded at drain.
+    CampaignConfig c = fabricOnlyCampaign(FabricScenario::LinkFlap);
+    c.drainRounds = 60;
+    // Enough fault pressure that short trials see several episodes.
+    c.lifecycle.acceleration *= 4;
+    const CampaignRunner runner(c);
+    const auto res = runner.runScheme(CampaignScheme::DveDeny);
+    const auto &t = res.totals;
+    EXPECT_GT(t.faultArrivals, 0u);
+    EXPECT_EQ(t.permanentFaults, 0u); // flaps are intermittent
+    EXPECT_EQ(t.sdc, 0u);
+    EXPECT_GT(t.degradedEvents, 0u);
+    EXPECT_GT(t.reReplications, 0u);
+    EXPECT_EQ(t.degradedLinesEnd, 0u); // full heal-back
+}
+
+TEST(FabricCampaign, LossyLinkDropsAreDetectedNotSilent)
+{
+    const CampaignRunner runner(
+        fabricOnlyCampaign(FabricScenario::LossyLink));
+    const auto res = runner.runScheme(CampaignScheme::DveDeny);
+    const auto &t = res.totals;
+    EXPECT_GT(t.faultArrivals, 0u);
+    EXPECT_EQ(t.sdc, 0u);
+    // Dropped messages showed up (and were paid for via retries).
+    EXPECT_GT(t.droppedMessages + t.linkRetries, 0u);
+}
+
+TEST(FabricCampaign, ScenarioReportsByteIdenticalAcrossJobCounts)
+{
+    CampaignConfig c = fabricOnlyCampaign(FabricScenario::SocketOffline);
+    const std::vector<CampaignScheme> schemes = {
+        CampaignScheme::BaselineDetect,
+        CampaignScheme::DveAllow,
+    };
+
+    c.jobs = 1;
+    std::ostringstream serial;
+    writeJsonReport(CampaignRunner(c).run(schemes), serial);
+
+    c.jobs = 4;
+    std::ostringstream parallel;
+    writeJsonReport(CampaignRunner(c).run(schemes), parallel);
+
+    EXPECT_FALSE(serial.str().empty());
+    EXPECT_EQ(serial.str(), parallel.str());
+}
+
+TEST(FabricCampaign, TrialsAreReplayableFromRecordedSeeds)
+{
+    // The report records, per trial, the derived seeds and a digest of
+    // the fault-event log: re-running any single trial standalone must
+    // reproduce both the seeds and the observations.
+    CampaignConfig c = fabricOnlyCampaign(FabricScenario::LinkFlap);
+    const CampaignRunner runner(c);
+    const auto res = runner.runScheme(CampaignScheme::DveDeny);
+
+    for (unsigned i = 0; i < c.trials; ++i) {
+        const auto &t = res.trials[i];
+        EXPECT_EQ(t.engineSeed, c.seed * 1000003 + i);
+        EXPECT_EQ(t.faultSeed, c.seed * 7919 + i);
+        EXPECT_EQ(t.workloadSeed, c.seed * 31 + i + 1);
+
+        const auto replay = runner.runTrial(CampaignScheme::DveDeny, i);
+        EXPECT_EQ(replay.faultLogDigest, t.faultLogDigest) << i;
+        EXPECT_EQ(replay.due, t.due) << i;
+        EXPECT_EQ(replay.sdc, t.sdc) << i;
+        EXPECT_EQ(replay.unavailableRequests, t.unavailableRequests)
+            << i;
+    }
+
+    // Different trials see different fault histories (digests differ
+    // somewhere across the set as long as any events occurred).
+    ASSERT_GT(res.totals.faultArrivals, 0u);
+    bool distinct = false;
+    for (unsigned i = 1; i < c.trials; ++i)
+        distinct = distinct
+                   || res.trials[i].faultLogDigest
+                          != res.trials[0].faultLogDigest;
+    EXPECT_TRUE(distinct);
+}
+
+TEST(FabricCampaign, ScenarioNamesRoundTrip)
+{
+    EXPECT_STREQ(fabricScenarioName(FabricScenario::None), "none");
+    EXPECT_STREQ(fabricScenarioName(FabricScenario::LinkFlap),
+                 "link-flap");
+    EXPECT_STREQ(fabricScenarioName(FabricScenario::LossyLink),
+                 "lossy-link");
+    EXPECT_STREQ(fabricScenarioName(FabricScenario::SocketOffline),
+                 "socket-offline");
+    for (unsigned i = 0; i < numFabricScenarios; ++i) {
+        const auto s = static_cast<FabricScenario>(i);
+        const auto parsed = parseFabricScenario(fabricScenarioName(s));
+        ASSERT_TRUE(parsed);
+        EXPECT_EQ(*parsed, s);
+    }
+    EXPECT_FALSE(parseFabricScenario("half-duplex"));
+}
+
+TEST(FabricCampaign, JsonCarriesScenarioAndFabricTotals)
+{
+    CampaignConfig c = fabricOnlyCampaign(FabricScenario::SocketOffline);
+    c.trials = 2;
+    std::ostringstream os;
+    writeJsonReport(
+        CampaignRunner(c).run({CampaignScheme::DveDeny}), os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"scenario\": \"socket-offline\""),
+              std::string::npos);
+    EXPECT_NE(s.find("\"unavailable_requests\""), std::string::npos);
+    EXPECT_NE(s.find("\"mean_time_degraded_ticks\""), std::string::npos);
+    EXPECT_NE(s.find("\"fault_log_digest\""), std::string::npos);
+    EXPECT_NE(s.find("\"repair_deferrals\""), std::string::npos);
+}
+
+} // namespace
+} // namespace dve

@@ -272,5 +272,170 @@ TEST(FaultRegistry, GeometryRejectsOutOfRangeCoordinates)
     EXPECT_NE(unchecked.inject(wild), 0u);
 }
 
+TEST(FaultRegistry, LinkDownIsUnorderedAndSocketScoped)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::LinkDown;
+    f.socket = 1;
+    f.peer = 0; // injected reversed: the registry canonicalizes the pair
+    const auto id = reg.inject(f);
+    ASSERT_NE(id, 0u);
+
+    EXPECT_TRUE(reg.linkDown(0, 1));
+    EXPECT_TRUE(reg.linkDown(1, 0));
+    EXPECT_FALSE(reg.linkDown(0, 2));
+    EXPECT_FALSE(reg.socketOffline(0));
+    EXPECT_FALSE(reg.socketOffline(1));
+    // Fabric faults never corrupt DRAM reads.
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 0, 0, 0, 0)).any());
+
+    reg.clear(id);
+    EXPECT_FALSE(reg.linkDown(0, 1));
+}
+
+TEST(FaultRegistry, LinkPairDeduplicatesAcrossOrientation)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::LinkDown;
+    f.socket = 0;
+    f.peer = 1;
+    const auto a = reg.inject(f);
+    std::swap(f.socket, f.peer);
+    const auto b = reg.inject(f);
+    EXPECT_EQ(a, b); // same (unordered) link: one active fault
+    EXPECT_EQ(reg.activeCount(), 1u);
+}
+
+TEST(FaultRegistry, SocketOfflineDownsLinksAndMemoryPath)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::SocketOffline;
+    f.socket = 1;
+    reg.inject(f);
+
+    EXPECT_TRUE(reg.socketOffline(1));
+    EXPECT_FALSE(reg.socketOffline(0));
+    // Any link adjacent to the dead socket is down.
+    EXPECT_TRUE(reg.linkDown(0, 1));
+    EXPECT_TRUE(reg.linkDown(1, 3));
+    EXPECT_FALSE(reg.linkDown(0, 2));
+    // The socket's memory path fails detectably (machine check), on every
+    // channel and coordinate.
+    EXPECT_TRUE(reg.impact(1, 0, coord(0, 0, 0, 0, 0)).pathFailed);
+    EXPECT_TRUE(reg.impact(1, 1, coord(1, 1, 2, 99, 3)).pathFailed);
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 0, 0, 0, 0)).any());
+}
+
+TEST(FaultRegistry, LossyLinkQueryReturnsShape)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::LinkLossy;
+    f.socket = 0;
+    f.peer = 1;
+    f.dropProb = 0.25;
+    f.delayTicks = 77;
+    reg.inject(f);
+
+    const auto *d = reg.lossyLink(1, 0); // unordered
+    ASSERT_NE(d, nullptr);
+    EXPECT_DOUBLE_EQ(d->dropProb, 0.25);
+    EXPECT_EQ(d->delayTicks, 77u);
+    EXPECT_EQ(reg.lossyLink(0, 2), nullptr);
+    // Lossy is not down.
+    EXPECT_FALSE(reg.linkDown(0, 1));
+}
+
+TEST(FaultRegistry, FabricBoundsChecked)
+{
+    FaultRegistry reg;
+    reg.setGeometry(
+        FaultGeometry::from(2, 2, 19, DramConfig::ddr4Baseline()));
+
+    FaultDescriptor f;
+    f.scope = FaultScope::LinkDown;
+    f.socket = 0;
+    f.peer = 1;
+    EXPECT_NE(reg.inject(f), 0u);
+
+    f.peer = 2;
+    EXPECT_EQ(reg.inject(f), 0u); // peer out of range
+    f.peer = 0;
+    EXPECT_EQ(reg.inject(f), 0u); // self-link is meaningless
+
+    FaultDescriptor lossy;
+    lossy.scope = FaultScope::LinkLossy;
+    lossy.socket = 0;
+    lossy.peer = 1;
+    lossy.dropProb = 1.5;
+    EXPECT_EQ(reg.inject(lossy), 0u); // probability out of [0,1]
+
+    FaultDescriptor off;
+    off.scope = FaultScope::SocketOffline;
+    off.socket = 2;
+    EXPECT_EQ(reg.inject(off), 0u);
+}
+
+TEST(ParseFaultSpec, KeyValueAndShorthandsAccepted)
+{
+    const auto kv = parseFaultSpec("scope=chip,socket=1,chip=3");
+    ASSERT_TRUE(kv);
+    EXPECT_EQ(kv->scope, FaultScope::Chip);
+    EXPECT_EQ(kv->socket, 1u);
+    EXPECT_EQ(kv->chip, 3u);
+
+    const auto link = parseFaultSpec("link:1-0");
+    ASSERT_TRUE(link);
+    EXPECT_EQ(link->scope, FaultScope::LinkDown);
+    // Canonical pair order: socket < peer.
+    EXPECT_EQ(link->socket, 0u);
+    EXPECT_EQ(link->peer, 1u);
+
+    const auto off = parseFaultSpec("socket:1");
+    ASSERT_TRUE(off);
+    EXPECT_EQ(off->scope, FaultScope::SocketOffline);
+    EXPECT_EQ(off->socket, 1u);
+
+    const auto lossy = parseFaultSpec("lossy:0-1,drop=0.5,delay=200");
+    ASSERT_TRUE(lossy);
+    EXPECT_EQ(lossy->scope, FaultScope::LinkLossy);
+    EXPECT_DOUBLE_EQ(lossy->dropProb, 0.5);
+    EXPECT_EQ(lossy->delayTicks, 200u);
+
+    const auto fabric_kv =
+        parseFaultSpec("scope=link-down,socket=0,peer=1");
+    ASSERT_TRUE(fabric_kv);
+    EXPECT_EQ(fabric_kv->scope, FaultScope::LinkDown);
+    EXPECT_EQ(fabric_kv->peer, 1u);
+
+    const auto trans = parseFaultSpec("scope=cell,row=5,bit=2,transient=1");
+    ASSERT_TRUE(trans);
+    EXPECT_TRUE(trans->transient);
+}
+
+TEST(ParseFaultSpec, MalformedSpecsRejectedWithDiagnostic)
+{
+    const auto expect_reject = [](const char *spec) {
+        std::string err;
+        EXPECT_FALSE(parseFaultSpec(spec, &err)) << spec;
+        EXPECT_FALSE(err.empty()) << spec;
+    };
+    expect_reject("");
+    expect_reject("socket=1");              // missing scope
+    expect_reject("scope=warp-core");       // unknown scope
+    expect_reject("scope=cell,flux=3");     // unknown key
+    expect_reject("scope=cell,row");        // not key=value
+    expect_reject("link:0");                // not a pair
+    expect_reject("link:0-0");              // self-link
+    expect_reject("link:0-x");              // non-numeric endpoint
+    expect_reject("socket:");               // empty socket id
+    expect_reject("lossy:0-1,drop=1.5");    // probability out of range
+    expect_reject("lossy:0-1,drop=nope");   // non-numeric probability
+    expect_reject("scope=link-down,socket=0,peer=0"); // self-link via kv
+}
+
 } // namespace
 } // namespace dve

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hh"
 #include "noc/interconnect.hh"
 #include "noc/mesh.hh"
 
@@ -155,6 +156,174 @@ TEST(Interconnect, LatencySensitivityKnob)
     Interconnect slow(cfg);
     const NodeId a{0, 0}, b{1, 0};
     EXPECT_EQ(slow.latency(a, b) - fast.latency(a, b), 30 * ticksPerNs);
+}
+
+TEST(Interconnect, ControlVsDataByteSplit)
+{
+    NocConfig cfg;
+    Interconnect ic(cfg);
+    // 3 control + 2 data messages across sockets: the byte counter must
+    // reflect the class mix exactly, and messages count class-blind.
+    for (int i = 0; i < 3; ++i)
+        ic.send({0, 0}, {1, 0}, MsgClass::Control);
+    for (int i = 0; i < 2; ++i)
+        ic.send({1, 0}, {0, 0}, MsgClass::Data);
+    EXPECT_EQ(ic.interSocketMessages(), 5u);
+    EXPECT_EQ(ic.interSocketBytes(),
+              3 * cfg.controlBytes + 2 * cfg.dataBytes);
+}
+
+TEST(Interconnect, TrySendWithoutFaultsMatchesSend)
+{
+    NocConfig cfg;
+    Interconnect plain(cfg), faulty(cfg);
+    FaultRegistry reg;
+    faulty.attachFaults(&reg, 42);
+
+    // A fault-free trySend must be indistinguishable from send(): same
+    // latency, same traffic accounting, Ok status.
+    const NodeId a{0, 3}, b{1, 5};
+    const Tick ref = plain.send(a, b, MsgClass::Data);
+    const auto r = faulty.trySend(a, b, MsgClass::Data);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.latency, ref);
+    EXPECT_EQ(faulty.interSocketMessages(), plain.interSocketMessages());
+    EXPECT_EQ(faulty.interSocketBytes(), plain.interSocketBytes());
+    EXPECT_EQ(faulty.droppedMessages(), 0u);
+    EXPECT_EQ(faulty.failedSends(), 0u);
+}
+
+TEST(Interconnect, TrySendOverDownedLinkFailsWithoutTraffic)
+{
+    Interconnect ic(NocConfig{});
+    FaultRegistry reg;
+    ic.attachFaults(&reg, 1);
+
+    FaultDescriptor f;
+    f.scope = FaultScope::LinkDown;
+    f.socket = 0;
+    f.peer = 1;
+    reg.inject(f);
+
+    EXPECT_FALSE(ic.pathUp(0, 1));
+    EXPECT_FALSE(ic.pathUp(1, 0)); // links are unordered
+    const auto r = ic.trySend({0, 0}, {1, 0}, MsgClass::Data);
+    EXPECT_EQ(r.status, SendStatus::LinkFailed);
+    EXPECT_EQ(r.latency, 0u);
+    EXPECT_EQ(ic.failedSends(), 1u);
+    // Nothing crossed the fabric: no bytes, no messages.
+    EXPECT_EQ(ic.interSocketMessages(), 0u);
+    EXPECT_EQ(ic.interSocketBytes(), 0u);
+
+    // Intra-socket traffic never touches the inter-socket link.
+    EXPECT_TRUE(ic.trySend({0, 0}, {0, 5}, MsgClass::Data).ok());
+}
+
+TEST(Interconnect, SocketOfflineDownsEveryAdjacentLink)
+{
+    Interconnect ic(NocConfig{});
+    FaultRegistry reg;
+    ic.attachFaults(&reg, 1);
+
+    FaultDescriptor f;
+    f.scope = FaultScope::SocketOffline;
+    f.socket = 1;
+    reg.inject(f);
+
+    EXPECT_FALSE(ic.pathUp(0, 1));
+    EXPECT_FALSE(ic.trySend({0, 0}, {1, 0}, MsgClass::Control).ok());
+    EXPECT_EQ(ic.failedSends(), 1u);
+}
+
+TEST(Interconnect, LossyLinkDropsAndDelaysDeterministically)
+{
+    NocConfig cfg;
+    Interconnect a(cfg), b(cfg);
+    FaultRegistry ra, rb;
+    a.attachFaults(&ra, 7);
+    b.attachFaults(&rb, 7);
+
+    FaultDescriptor f;
+    f.scope = FaultScope::LinkLossy;
+    f.socket = 0;
+    f.peer = 1;
+    f.dropProb = 0.5;
+    f.delayTicks = 123;
+    ra.inject(f);
+    rb.inject(f);
+
+    // Same seed, same fault -> identical drop/delay sequences.
+    unsigned drops = 0, delivered = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto x = a.trySend({0, 0}, {1, 0}, MsgClass::Data);
+        const auto y = b.trySend({0, 0}, {1, 0}, MsgClass::Data);
+        EXPECT_EQ(x.status, y.status);
+        EXPECT_EQ(x.latency, y.latency);
+        if (x.status == SendStatus::Dropped) {
+            ++drops;
+        } else {
+            ++delivered;
+            // Delivered messages pay the configured extra delay.
+            EXPECT_EQ(x.latency,
+                      a.latency({0, 0}, {1, 0}) + f.delayTicks);
+        }
+    }
+    // p=0.5 over 200 draws: both outcomes must occur.
+    EXPECT_GT(drops, 0u);
+    EXPECT_GT(delivered, 0u);
+    EXPECT_EQ(a.droppedMessages(), drops);
+    EXPECT_EQ(a.delayedMessages(), delivered);
+    // The link is lossy, not down.
+    EXPECT_TRUE(a.pathUp(0, 1));
+    EXPECT_EQ(a.failedSends(), 0u);
+}
+
+TEST(Interconnect, LossyRngNotConsumedOnCleanPaths)
+{
+    // Intra-socket and fault-free sends must not advance the lossy RNG,
+    // so adding traffic elsewhere never perturbs the drop sequence.
+    NocConfig cfg;
+    Interconnect a(cfg), b(cfg);
+    FaultRegistry ra, rb;
+    a.attachFaults(&ra, 9);
+    b.attachFaults(&rb, 9);
+
+    FaultDescriptor f;
+    f.scope = FaultScope::LinkLossy;
+    f.socket = 0;
+    f.peer = 1;
+    f.dropProb = 0.3;
+    ra.inject(f);
+    rb.inject(f);
+
+    for (int i = 0; i < 50; ++i)
+        b.trySend({0, 0}, {0, 3}, MsgClass::Data); // clean: no draw
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(a.trySend({0, 0}, {1, 0}, MsgClass::Data).status,
+                  b.trySend({0, 0}, {1, 0}, MsgClass::Data).status);
+    }
+}
+
+TEST(Interconnect, FabricStatsRegisteredAndReset)
+{
+    Interconnect ic(NocConfig{});
+    EXPECT_TRUE(ic.stats().has("dropped_messages"));
+    EXPECT_TRUE(ic.stats().has("failed_sends"));
+    EXPECT_TRUE(ic.stats().has("delayed_messages"));
+
+    FaultRegistry reg;
+    ic.attachFaults(&reg, 1);
+    FaultDescriptor f;
+    f.scope = FaultScope::LinkDown;
+    f.socket = 0;
+    f.peer = 1;
+    reg.inject(f);
+    ic.trySend({0, 0}, {1, 0}, MsgClass::Data);
+    EXPECT_EQ(ic.failedSends(), 1u);
+    ic.resetTraffic();
+    EXPECT_EQ(ic.failedSends(), 0u);
+    EXPECT_EQ(ic.droppedMessages(), 0u);
+    EXPECT_EQ(ic.delayedMessages(), 0u);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bench/bench_util.hh"
 #include "sys/system.hh"
 
 namespace dve
@@ -126,6 +127,19 @@ TEST(System, DeterministicRuns)
         return std::tuple{r.roiTime, r.llcMisses, r.interSocketBytes};
     };
     EXPECT_EQ(once(), once());
+}
+
+// Regression: a dynamic-protocol epoch switch (deny -> allow) used to
+// leave deny-phase RM markers that the next writeback upgraded to a
+// Readable permission the home never registered, tripping the
+// grantedExclusive invariant on the Fig 6 workloads (comd at trace
+// scale 0.5 reproduced it deterministically).
+TEST(System, DynamicSwitchSurvivesWritebackOfDenyPhaseMarkers)
+{
+    const auto r =
+        bench::runScheme(SchemeKind::DveDynamic, workloadByName("comd"),
+                         0.5);
+    EXPECT_GT(r.roiTime, 0u);
 }
 
 } // namespace
