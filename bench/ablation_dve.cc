@@ -18,7 +18,7 @@ using namespace dve;
 namespace
 {
 
-void
+std::vector<RunResult>
 speculationAblation(double scale)
 {
     bench::printHeader("Ablation (a): speculative replica access");
@@ -51,9 +51,10 @@ speculationAblation(double scale)
               TextTable::num(bench::geomean(off), 3),
               TextTable::pct(bench::geomean(on) / bench::geomean(off))});
     t.print(std::cout);
+    return runs;
 }
 
-void
+std::vector<RunResult>
 rmtCoverageSweep(double scale)
 {
     bench::printHeader("Ablation (b): on-demand replication coverage "
@@ -107,9 +108,10 @@ rmtCoverageSweep(double scale)
     std::printf("\nPartial coverage gives proportional benefit: "
                 "reliability/performance are bought page-by-page with "
                 "idle capacity.\n");
+    return runs;
 }
 
-void
+std::vector<RunResult>
 fourSocketScaling(double scale)
 {
     bench::printHeader("Ablation (c): 4-socket NUMA scaling");
@@ -147,6 +149,7 @@ fourSocketScaling(double scale)
                 "2), so per-page replication degree or topology-aware "
                 "placement becomes the scaling lever -- the future-work "
                 "direction the paper sketches.\n");
+    return runs;
 }
 
 } // namespace
@@ -155,8 +158,11 @@ int
 main()
 {
     const double scale = bench::scaleFromEnv(0.3);
-    speculationAblation(scale);
-    rmtCoverageSweep(scale);
-    fourSocketScaling(scale);
+    std::vector<RunResult> all = speculationAblation(scale);
+    for (auto &&r : rmtCoverageSweep(scale))
+        all.push_back(std::move(r));
+    for (auto &&r : fourSocketScaling(scale))
+        all.push_back(std::move(r));
+    bench::writeRunsJson("ablation_dve", all);
     return 0;
 }

@@ -101,6 +101,29 @@ paperConfig(SchemeKind scheme)
     return cfg;
 }
 
+/**
+ * Event-tracer ring capacity from DVE_TRACE_CAPACITY (records).
+ *
+ * Unset/empty/0 disables tracing (the default); a set value must be a
+ * whole number with no trailing garbage or it warns and disables. Safe
+ * to call from worker threads (pure getenv read).
+ */
+inline std::size_t
+traceCapacityFromEnv()
+{
+    const char *s = std::getenv("DVE_TRACE_CAPACITY");
+    if (!s || !*s)
+        return 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0') {
+        dve_warn("DVE_TRACE_CAPACITY='", s,
+                 "' is not a whole number; tracing disabled");
+        return 0;
+    }
+    return static_cast<std::size_t>(v);
+}
+
 /** Run one workload on a fresh system of the given scheme. */
 inline RunResult
 runScheme(SchemeKind scheme, const WorkloadProfile &wl, double scale,
@@ -108,8 +131,64 @@ runScheme(SchemeKind scheme, const WorkloadProfile &wl, double scale,
 {
     SystemConfig cfg = base ? *base : paperConfig(scheme);
     cfg.scheme = scheme;
+    cfg.engine.traceCapacity = traceCapacityFromEnv();
     System sys(cfg);
     return sys.run(wl, scale);
+}
+
+/** Serialize a harness's runs as one deterministic JSON document. */
+inline std::string
+runsToJson(const std::string &bench_name,
+           const std::vector<RunResult> &runs)
+{
+    std::string out =
+        "{\"bench\": \"" + bench_name + "\",\n\"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        out += runs[i].toJson();
+        out += i + 1 < runs.size() ? ",\n" : "\n";
+    }
+    out += "]}\n";
+    return out;
+}
+
+/**
+ * Write BENCH_<name>.json (and, when tracing is on, one
+ * TRACE_<name>_<index>.json per run) into DVE_BENCH_JSON_DIR (default:
+ * the working directory). File output only -- stdout is untouched, so
+ * the printed tables stay byte-identical whether or not artifacts are
+ * written. Runs arrive ordered by sweep-point index, making the
+ * document byte-identical at any DVE_BENCH_JOBS.
+ */
+inline void
+writeRunsJson(const std::string &bench_name,
+              const std::vector<RunResult> &runs)
+{
+    const char *dir = std::getenv("DVE_BENCH_JSON_DIR");
+    const std::string prefix =
+        dir && *dir ? std::string(dir) + "/" : std::string();
+
+    const std::string doc = runsToJson(bench_name, runs);
+    const std::string path = prefix + "BENCH_" + bench_name + ".json";
+    if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+    } else {
+        dve_warn("cannot write ", path);
+    }
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].traceJson.empty())
+            continue;
+        const std::string tpath = prefix + "TRACE_" + bench_name + "_"
+                                  + std::to_string(i) + ".json";
+        if (std::FILE *f = std::fopen(tpath.c_str(), "w")) {
+            std::fwrite(runs[i].traceJson.data(), 1,
+                        runs[i].traceJson.size(), f);
+            std::fclose(f);
+        } else {
+            dve_warn("cannot write ", tpath);
+        }
+    }
 }
 
 /**

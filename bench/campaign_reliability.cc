@@ -13,10 +13,18 @@
  * Usage:
  *   campaign_reliability [--trials N] [--seed S] [--ops N]
  *                        [--jobs N] [--scenario NAME] [--json FILE]
+ *                        [--trace SCHEME:TRIAL] [--trace-out FILE]
  *                        [--quiet]
  *
  * --scenario layers a fabric-fault process on top of the DRAM mix:
  *   none (default), link-flap, lossy-link, socket-offline.
+ *
+ * --trace replays ONE trial serially with the event tracer enabled and
+ * writes a Chrome trace_event JSON timeline (viewable in
+ * chrome://tracing or Perfetto) instead of running the campaign. The
+ * trial is identified as scheme-name:trial-index (e.g. dve-deny:3);
+ * seeds derive only from (--seed, trial), so the same flags always
+ * replay to byte-identical trace bytes.
  *
  * Trials fan out over worker threads (--jobs, else DVE_BENCH_JOBS,
  * else hardware concurrency; 1 = serial) and are merged in trial
@@ -45,6 +53,8 @@ main(int argc, char **argv)
     CampaignConfig cfg = CampaignConfig::quickDefaults();
     cfg.trials = 100;
     const char *json_path = nullptr;
+    const char *trace_spec = nullptr;
+    const char *trace_path = nullptr;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -87,12 +97,73 @@ main(int argc, char **argv)
                 return 1;
             }
             json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--trace needs SCHEME:TRIAL\n");
+                return 1;
+            }
+            trace_spec = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--trace-out needs a path\n");
+                return 1;
+            }
+            trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
             return 1;
         }
+    }
+
+    if (trace_spec) {
+        // Replay one trial serially with the tracer on. The spec is
+        // scheme-name:trial-index; seeds derive from (--seed, trial)
+        // only, so this reproduces exactly what the campaign trial did.
+        const char *colon = std::strchr(trace_spec, ':');
+        if (!colon || colon == trace_spec) {
+            std::fprintf(stderr,
+                         "--trace expects SCHEME:TRIAL, e.g. "
+                         "dve-deny:3\n");
+            return 1;
+        }
+        const std::string scheme_name(trace_spec, colon - trace_spec);
+        int scheme_idx = -1;
+        for (unsigned s = 0; s < numCampaignSchemes; ++s) {
+            if (scheme_name
+                == campaignSchemeName(static_cast<CampaignScheme>(s)))
+                scheme_idx = static_cast<int>(s);
+        }
+        if (scheme_idx < 0) {
+            std::fprintf(stderr, "unknown scheme '%s' in --trace\n",
+                         scheme_name.c_str());
+            return 1;
+        }
+        const unsigned trial =
+            static_cast<unsigned>(std::strtoul(colon + 1, nullptr, 0));
+        CampaignConfig tcfg = cfg;
+        tcfg.engine.traceCapacity = 1u << 16;
+        const CampaignRunner replayer(tcfg);
+        const TrialStats t = replayer.runTrial(
+            static_cast<CampaignScheme>(scheme_idx), trial);
+        const char *out = trace_path ? trace_path : "TRACE_campaign.json";
+        std::ofstream os(out);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", out);
+            return 1;
+        }
+        os << t.traceJson;
+        if (!quiet) {
+            std::printf("traced %s trial %u: %llu accesses, %llu fault "
+                        "arrivals -> %s\n",
+                        scheme_name.c_str(), trial,
+                        static_cast<unsigned long long>(t.reads
+                                                        + t.writes),
+                        static_cast<unsigned long long>(t.faultArrivals),
+                        out);
+        }
+        return 0;
     }
 
     const std::vector<CampaignScheme> schemes = {

@@ -77,5 +77,6 @@ main()
     std::printf("\nPaper reference: memory-EDP geomean rises ~43%%/37%% "
                 "(allow/deny) from the doubled capacity, while system-"
                 "EDP falls ~6%%/12%% thanks to shorter runtimes.\n");
+    bench::writeRunsJson("energy_edp", runs);
     return 0;
 }

@@ -57,5 +57,6 @@ main()
     std::printf("\nPaper reference: even at 30 ns deny wins 19%%/12%%/"
                 "10%% (top10/15/all); gains grow with latency (60 ns "
                 "models CCIX/OpenCAPI/Gen-Z-class links).\n");
+    bench::writeRunsJson("fig10", runs);
     return 0;
 }

@@ -79,5 +79,7 @@ main()
     std::printf("\nPaper reference points: deny 1.28/1.18/1.15, allow "
                 "1.17/1.14/1.12, dynamic 1.29/1.22/1.18 (top10/15/all); "
                 "dve beats intel-mirroring++ by 9-13%% geomean.\n");
+
+    bench::writeRunsJson("fig6", runs);
     return 0;
 }

@@ -42,5 +42,6 @@ main()
     std::printf("\nPaper: workloads with > 46%% private read/write "
                 "favour the allow protocol; the shared-read dominated "
                 "top-10 favour deny.\n");
+    bench::writeRunsJson("fig7", runs);
     return 0;
 }

@@ -56,5 +56,6 @@ main()
     std::printf("\nPaper reference: allow/deny cut inter-socket traffic "
                 "by ~38%%/35%% on average; backprop and graph500 by "
                 "86%%/84%%.\n");
+    bench::writeRunsJson("fig8", runs);
     return 0;
 }

@@ -92,5 +92,6 @@ main()
     std::printf("\nPaper reference: the oracle is 18.3%%/10.8%% above "
                 "default allow (top10/all); 4K entries add ~2%%; coarse "
                 "grain helps streaming workloads but loses overall.\n");
+    bench::writeRunsJson("fig9", runs);
     return 0;
 }

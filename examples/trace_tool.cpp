@@ -2,10 +2,14 @@
  * @file
  * Trace tooling: generate a workload's synchronization-aware trace,
  * save it in the binary format, reload it, and print a summary -- the
- * Prism/SynchroTrace-style workflow of the paper's methodology.
+ * Prism/SynchroTrace-style workflow of the paper's methodology. The
+ * `run` subcommand executes a workload with the event tracer enabled
+ * and writes a Chrome trace_event JSON timeline (open it in
+ * chrome://tracing or https://ui.perfetto.dev).
  *
  *   $ ./build/examples/trace_tool gen  <workload> <file> [threads] [scale]
  *   $ ./build/examples/trace_tool info <file>
+ *   $ ./build/examples/trace_tool run  <workload> <out.json> [scheme] [scale]
  */
 
 #include <array>
@@ -15,6 +19,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "sys/system.hh"
 #include "trace/workloads.hh"
 
 using namespace dve;
@@ -28,7 +33,9 @@ usage()
     std::fprintf(stderr,
                  "usage: trace_tool gen <workload> <file> [threads] "
                  "[scale]\n"
-                 "       trace_tool info <file>\n");
+                 "       trace_tool info <file>\n"
+                 "       trace_tool run <workload> <out.json> [scheme] "
+                 "[scale]\n");
     return 2;
 }
 
@@ -93,6 +100,47 @@ main(int argc, char **argv)
         const auto traces = readTraces(is);
         std::printf("trace '%s'\n", argv[2]);
         summarize(traces);
+        return 0;
+    }
+
+    if (std::strcmp(argv[1], "run") == 0) {
+        const WorkloadProfile &wl = workloadByName(argv[2]);
+        SystemConfig cfg;
+        cfg.scheme = SchemeKind::DveDynamic;
+        if (argc > 4) {
+            bool found = false;
+            for (unsigned k = 0; k < 6 && !found; ++k) {
+                const auto s = static_cast<SchemeKind>(k);
+                if (std::strcmp(argv[4], schemeKindName(s)) == 0) {
+                    cfg.scheme = s;
+                    found = true;
+                }
+            }
+            if (!found)
+                dve_fatal("unknown scheme '", argv[4], "'");
+        }
+        const double scale = argc > 5 ? std::atof(argv[5]) : 0.1;
+        cfg.engine.traceCapacity = 1u << 16;
+
+        System sys(cfg);
+        const RunResult res = sys.run(wl, scale);
+        std::ofstream os(argv[3]);
+        if (!os)
+            dve_fatal("cannot open '", argv[3], "' for writing");
+        os << res.traceJson;
+        std::printf("ran '%s' on %s: %llu mem ops, ROI %.1f us\n",
+                    wl.name.c_str(), schemeKindName(cfg.scheme),
+                    static_cast<unsigned long long>(res.memOps),
+                    ticksToNs(res.roiTime) / 1000.0);
+        std::printf("request latency p50/p99/max: %llu/%llu/%llu "
+                    "ticks over %llu requests\n",
+                    static_cast<unsigned long long>(res.reqLatency.p50),
+                    static_cast<unsigned long long>(res.reqLatency.p99),
+                    static_cast<unsigned long long>(res.reqLatency.max),
+                    static_cast<unsigned long long>(
+                        res.reqLatency.count));
+        std::printf("wrote Chrome trace to '%s' (open in "
+                    "chrome://tracing or ui.perfetto.dev)\n", argv[3]);
         return 0;
     }
     return usage();

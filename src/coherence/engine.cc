@@ -73,7 +73,8 @@ nocFor(const EngineConfig &cfg)
 } // namespace
 
 CoherenceEngine::CoherenceEngine(const EngineConfig &cfg)
-    : cfg_(cfg), clk_(cfg.coreFreqMhz), ic_(nocFor(cfg)), stats_("engine")
+    : cfg_(cfg), clk_(cfg.coreFreqMhz), ic_(nocFor(cfg)), stats_("engine"),
+      tracer_(cfg.traceCapacity)
 {
     cfg_.noc = ic_.config();
     dve_assert(cfg_.sockets >= 1, "need at least one socket");
@@ -118,6 +119,7 @@ CoherenceEngine::CoherenceEngine(const EngineConfig &cfg)
     stats_.add("class_read_write", classCount_[2]);
     stats_.add("class_private_read_write", classCount_[3]);
     stats_.add("miss_latency_sum_ticks", missLatencySum_);
+    stats_.add("req_latency", reqLatency_);
 }
 
 void
@@ -173,6 +175,10 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
             }
             ++outcomeCount_[static_cast<unsigned>(out)];
             noteCompletion(t_l1);
+            reqLatency_.record(t_l1 - now);
+            tracer_.record({now, t_l1 - now, TraceKind::Request,
+                            TraceComp::Core,
+                            static_cast<std::uint8_t>(socket), line, 0});
             return {t_l1, e->value, out};
         }
         if (e->writable) {
@@ -181,6 +187,10 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
             e->dirty = true;
             ++outcomeCount_[static_cast<unsigned>(ReadOutcome::Clean)];
             noteCompletion(t_l1);
+            reqLatency_.record(t_l1 - now);
+            tracer_.record({now, t_l1 - now, TraceKind::Request,
+                            TraceComp::Core,
+                            static_cast<std::uint8_t>(socket), line, 1});
             return {t_l1, write_value, ReadOutcome::Clean};
         }
         // Write to a shared copy: upgrade through the LLC path below.
@@ -200,6 +210,10 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
     }
     ++outcomeCount_[static_cast<unsigned>(r.outcome)];
     noteCompletion(r.done);
+    reqLatency_.record(r.done - now);
+    tracer_.record({now, r.done - now, TraceKind::Request, TraceComp::Core,
+                    static_cast<std::uint8_t>(socket), line,
+                    is_write ? 1u : 0u});
     return r;
 }
 

@@ -29,6 +29,7 @@
 #include "coherence/directory.hh"
 #include "coherence/types.hh"
 #include "common/stats.hh"
+#include "common/tracer.hh"
 #include "mem/memory_controller.hh"
 #include "noc/interconnect.hh"
 
@@ -148,6 +149,13 @@ class CoherenceEngine
     }
 
     const StatGroup &stats() const { return stats_; }
+
+    /** End-to-end request latency distribution (ticks). */
+    const Histogram &requestLatency() const { return reqLatency_; }
+
+    /** Event tracer (enabled iff EngineConfig::traceCapacity > 0). */
+    EventTracer &tracer() { return tracer_; }
+    const EventTracer &tracer() const { return tracer_; }
 
     /**
      * Dump every statistic group in the system (engine, NoC, memory
@@ -305,7 +313,9 @@ class CoherenceEngine
     std::array<Counter, numReadOutcomes> outcomeCount_;
     std::array<Counter, numReqClasses> classCount_;
     ScalarStat missLatencySum_; ///< ticks summed over LLC misses
+    Histogram reqLatency_;      ///< end-to-end latency of every access
     StatGroup stats_;
+    EventTracer tracer_;
 };
 
 } // namespace dve

@@ -8,6 +8,7 @@
 #ifndef DVE_COHERENCE_TYPES_HH
 #define DVE_COHERENCE_TYPES_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hh"
@@ -78,6 +79,14 @@ struct EngineConfig
      * and counted instead.
      */
     bool validateValues = true;
+
+    /**
+     * Event-tracer ring capacity (records). 0 (the default) disables
+     * tracing entirely: record() early-outs and no trace memory is
+     * allocated, so untraced runs are bit-for-bit what they were before
+     * the tracer existed.
+     */
+    std::size_t traceCapacity = 0;
 
     /** Core clock helper. */
     ClockDomain coreClock() const { return ClockDomain(coreFreqMhz); }

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Log-bucketed latency histogram (HdrHistogram-style).
+ *
+ * The bucket layout is FIXED at compile time: 16 linear sub-buckets per
+ * power-of-two octave (precision bits = 4, relative error <= 1/16).
+ * Because every histogram shares the same layout, two histograms merge
+ * (or diff) bucket-by-bucket with no resampling, which is what keeps the
+ * parallel trial runner byte-deterministic: per-trial histograms are
+ * merged in trial order, and the merged counts never depend on the
+ * worker count or completion order.
+ *
+ * Percentiles are reported as the lower bound of the bucket containing
+ * the requested rank -- a deterministic, integral value with bounded
+ * relative error, never an interpolation that could pick up
+ * floating-point noise.
+ */
+
+#ifndef DVE_COMMON_HISTOGRAM_HH
+#define DVE_COMMON_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+/** A mergeable log-bucketed histogram of 64-bit values (ticks). */
+class Histogram
+{
+  public:
+    /** Linear sub-bucket resolution within one octave. */
+    static constexpr unsigned precisionBits = 4;
+    static constexpr unsigned subBuckets = 1u << precisionBits; // 16
+    /** Fixed bucket count covering the full 64-bit value range. */
+    static constexpr unsigned numBuckets =
+        (65 - precisionBits) * subBuckets; // 976
+
+    /** Bucket index of @p v (total order, contiguous from 0). */
+    static unsigned
+    bucketIndex(std::uint64_t v)
+    {
+        if (v < subBuckets)
+            return static_cast<unsigned>(v);
+        const unsigned msb = std::bit_width(v) - 1; // >= precisionBits
+        const unsigned shift = msb - precisionBits;
+        const unsigned sub =
+            static_cast<unsigned>((v >> shift) & (subBuckets - 1));
+        return (msb - precisionBits) * subBuckets + subBuckets + sub;
+    }
+
+    /** Smallest value mapping to bucket @p index (its reported value). */
+    static std::uint64_t
+    bucketFloor(unsigned index)
+    {
+        dve_assert(index < numBuckets, "histogram bucket out of range");
+        if (index < 2 * subBuckets)
+            return index;
+        const unsigned block = index / subBuckets - 1;
+        const unsigned msb = block + precisionBits;
+        const unsigned sub = index % subBuckets;
+        return static_cast<std::uint64_t>(subBuckets + sub)
+               << (msb - precisionBits);
+    }
+
+    void
+    record(std::uint64_t v)
+    {
+        ++buckets_[bucketIndex(v)];
+        ++count_;
+        sum_ += v;
+    }
+
+    /** Bucket-wise accumulate (layouts are identical by construction). */
+    void
+    merge(const Histogram &other)
+    {
+        for (unsigned i = 0; i < numBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+    }
+
+    /**
+     * Bucket-wise difference against an earlier snapshot of THIS
+     * histogram (ROI deltas). @p since must be a prefix of the recorded
+     * history: every bucket count >= the snapshot's.
+     */
+    Histogram
+    diff(const Histogram &since) const
+    {
+        Histogram d;
+        for (unsigned i = 0; i < numBuckets; ++i) {
+            dve_assert(buckets_[i] >= since.buckets_[i],
+                       "histogram diff against a non-prefix snapshot");
+            d.buckets_[i] = buckets_[i] - since.buckets_[i];
+        }
+        d.count_ = count_ - since.count_;
+        d.sum_ = sum_ - since.sum_;
+        return d;
+    }
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = 0;
+        sum_ = 0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+
+    double
+    mean() const
+    {
+        return count_ == 0
+                   ? 0.0
+                   : static_cast<double>(sum_) / static_cast<double>(count_);
+    }
+
+    /**
+     * Value at percentile @p pct (integer 0..100): the floor of the
+     * bucket holding the ceil(pct/100 * count)-th smallest sample.
+     * pct=100 reports the floor of the highest occupied bucket; an empty
+     * histogram reports 0.
+     */
+    std::uint64_t
+    percentile(unsigned pct) const
+    {
+        dve_assert(pct <= 100, "percentile must be in [0, 100]");
+        if (count_ == 0)
+            return 0;
+        std::uint64_t rank = (count_ * pct + 99) / 100;
+        if (rank == 0)
+            rank = 1;
+        std::uint64_t cum = 0;
+        for (unsigned i = 0; i < numBuckets; ++i) {
+            cum += buckets_[i];
+            if (cum >= rank)
+                return bucketFloor(i);
+        }
+        return bucketFloor(numBuckets - 1); // unreachable
+    }
+
+    std::uint64_t bucketCount(unsigned i) const { return buckets_[i]; }
+
+  private:
+    std::array<std::uint64_t, numBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/** Order statistics of one histogram, as surfaced in RunResult/JSON. */
+struct LatencyDigest
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t max = 0; ///< floor of the highest occupied bucket
+};
+
+inline LatencyDigest
+digestOf(const Histogram &h)
+{
+    LatencyDigest d;
+    d.count = h.count();
+    d.mean = h.mean();
+    d.p50 = h.percentile(50);
+    d.p90 = h.percentile(90);
+    d.p95 = h.percentile(95);
+    d.p99 = h.percentile(99);
+    d.max = h.percentile(100);
+    return d;
+}
+
+} // namespace dve
+
+#endif // DVE_COMMON_HISTOGRAM_HH

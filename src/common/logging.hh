@@ -11,6 +11,7 @@
 #ifndef DVE_COMMON_LOGGING_HH
 #define DVE_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 

@@ -6,27 +6,36 @@ namespace dve
 {
 
 void
+StatGroup::addEntry(Entry e)
+{
+    dve_assert(!has(e.name), "duplicate stat ", name_, ".", e.name);
+    index_.emplace(e.name, entries_.size());
+    entries_.push_back(std::move(e));
+}
+
+void
 StatGroup::add(const std::string &stat_name, const Counter &c)
 {
-    dve_assert(!has(stat_name), "duplicate stat ", name_, ".", stat_name);
-    entries_.push_back({stat_name, &c, nullptr});
+    addEntry({stat_name, &c, nullptr, nullptr});
 }
 
 void
 StatGroup::add(const std::string &stat_name, const ScalarStat &s)
 {
-    dve_assert(!has(stat_name), "duplicate stat ", name_, ".", stat_name);
-    entries_.push_back({stat_name, nullptr, &s});
+    addEntry({stat_name, nullptr, &s, nullptr});
+}
+
+void
+StatGroup::add(const std::string &stat_name, const Histogram &h)
+{
+    addEntry({stat_name, nullptr, nullptr, &h});
 }
 
 const StatGroup::Entry *
 StatGroup::find(const std::string &stat_name) const
 {
-    for (const auto &e : entries_) {
-        if (e.name == stat_name)
-            return &e;
-    }
-    return nullptr;
+    auto it = index_.find(stat_name);
+    return it == index_.end() ? nullptr : &entries_[it->second];
 }
 
 bool
@@ -35,12 +44,22 @@ StatGroup::has(const std::string &stat_name) const
     return find(stat_name) != nullptr;
 }
 
+const Histogram *
+StatGroup::histogram(const std::string &stat_name) const
+{
+    const Entry *e = find(stat_name);
+    return e ? e->histogram : nullptr;
+}
+
 double
 StatGroup::get(const std::string &stat_name) const
 {
     const Entry *e = find(stat_name);
     if (!e)
         dve_panic("unknown stat ", name_, ".", stat_name);
+    if (e->histogram)
+        dve_panic("stat ", name_, ".", stat_name,
+                  " is a histogram; use histogram()");
     return e->counter ? static_cast<double>(e->counter->value())
                       : e->scalar->value();
 }
@@ -49,6 +68,17 @@ void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &e : entries_) {
+        if (e.histogram) {
+            const LatencyDigest d = digestOf(*e.histogram);
+            os << name_ << '.' << e.name << "_count " << d.count << '\n';
+            os << name_ << '.' << e.name << "_mean " << d.mean << '\n';
+            os << name_ << '.' << e.name << "_p50 " << d.p50 << '\n';
+            os << name_ << '.' << e.name << "_p90 " << d.p90 << '\n';
+            os << name_ << '.' << e.name << "_p95 " << d.p95 << '\n';
+            os << name_ << '.' << e.name << "_p99 " << d.p99 << '\n';
+            os << name_ << '.' << e.name << "_max " << d.max << '\n';
+            continue;
+        }
         const double v = e.counter ? static_cast<double>(e.counter->value())
                                    : e.scalar->value();
         os << name_ << '.' << e.name << ' ' << v << '\n';
@@ -60,6 +90,8 @@ StatGroup::snapshot() const
 {
     std::map<std::string, double> out;
     for (const auto &e : entries_) {
+        if (e.histogram)
+            continue;
         out[e.name] = e.counter ? static_cast<double>(e.counter->value())
                                 : e.scalar->value();
     }

@@ -2,19 +2,24 @@
  * @file
  * Lightweight named-statistics support.
  *
- * Components own Counter/ScalarStat members and register them with a
- * StatGroup so that harnesses can dump everything uniformly. There is no
- * global registry: each System owns its groups, keeping runs independent.
+ * Components own Counter/ScalarStat/Histogram members and register them
+ * with a StatGroup so that harnesses can dump everything uniformly. There
+ * is no global registry: each System owns its groups, keeping runs
+ * independent.
  */
 
 #ifndef DVE_COMMON_STATS_HH
 #define DVE_COMMON_STATS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
+
+#include "common/histogram.hh"
 
 namespace dve
 {
@@ -30,7 +35,14 @@ class Counter
     void reset() { value_ = 0; }
 
     std::uint64_t value() const { return value_; }
-    operator std::uint64_t() const { return value_; }
+
+    /**
+     * Explicit only: an implicit conversion let stat objects silently
+     * participate in integer arithmetic and narrowing ("counter - 1"
+     * compiling to a uint64 instead of a diagnostic). Call value() or
+     * cast deliberately.
+     */
+    explicit operator std::uint64_t() const { return value_; }
 
   private:
     std::uint64_t value_ = 0;
@@ -57,6 +69,9 @@ class ScalarStat
  *
  * Registration stores pointers; the referenced stats must outlive the group
  * (both are typically members of the same component).
+ *
+ * Lookup is backed by a name -> slot index so get()/has() are O(1) and a
+ * whole-group snapshot is O(n); dump order remains registration order.
  */
 class StatGroup
 {
@@ -65,17 +80,26 @@ class StatGroup
 
     void add(const std::string &stat_name, const Counter &c);
     void add(const std::string &stat_name, const ScalarStat &s);
+    void add(const std::string &stat_name, const Histogram &h);
 
-    /** Fetch a registered value by name; panics if absent. */
+    /** Fetch a registered scalar value by name; panics if absent. */
     double get(const std::string &stat_name) const;
 
     /** True if @p stat_name was registered. */
     bool has(const std::string &stat_name) const;
 
-    /** Write "group.stat value" lines. */
+    /** Registered histogram by name, or nullptr. */
+    const Histogram *histogram(const std::string &stat_name) const;
+
+    /** Write "group.stat value" lines (histograms expand to digests). */
     void dump(std::ostream &os) const;
 
-    /** Flat name -> value snapshot. */
+    /**
+     * Flat name -> value snapshot of counters and scalars. Histograms
+     * are deliberately excluded: snapshots feed ROI delta arithmetic
+     * (after - before), and percentiles do not subtract -- diff the
+     * Histogram objects instead.
+     */
     std::map<std::string, double> snapshot() const;
 
     const std::string &name() const { return name_; }
@@ -86,12 +110,15 @@ class StatGroup
         std::string name;
         const Counter *counter = nullptr;
         const ScalarStat *scalar = nullptr;
+        const Histogram *histogram = nullptr;
     };
 
     const Entry *find(const std::string &stat_name) const;
+    void addEntry(Entry e);
 
     std::string name_;
     std::vector<Entry> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
 };
 
 } // namespace dve

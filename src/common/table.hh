@@ -9,6 +9,7 @@
 #ifndef DVE_COMMON_TABLE_HH
 #define DVE_COMMON_TABLE_HH
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <vector>

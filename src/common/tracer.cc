@@ -1,0 +1,101 @@
+#include "common/tracer.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dve
+{
+
+namespace
+{
+
+const char *
+kindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::Request: return "request";
+      case TraceKind::Divert: return "divert";
+      case TraceKind::Retry: return "retry";
+      case TraceKind::Fence: return "fence";
+      case TraceKind::EpochSwitch: return "epoch-switch";
+      case TraceKind::FaultArrive: return "fault-arrive";
+      case TraceKind::FaultHeal: return "fault-heal";
+      case TraceKind::RepairBegin: return "repair-begin";
+      case TraceKind::RepairEnd: return "repair-end";
+    }
+    return "unknown";
+}
+
+const char *
+compName(TraceComp c)
+{
+    switch (c) {
+      case TraceComp::Core: return "core";
+      case TraceComp::Dve: return "dve";
+      case TraceComp::Fabric: return "fabric";
+      case TraceComp::Fault: return "fault";
+    }
+    return "unknown";
+}
+
+/** Ticks (ps) -> trace_event microseconds, fixed 6-digit format. */
+std::string
+fmtUs(Tick t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64,
+                  t / 1000000, t % 1000000);
+    return buf;
+}
+
+} // namespace
+
+std::vector<TraceRecord>
+EventTracer::ordered() const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    if (head_ <= ring_.size()) {
+        out = ring_;
+    } else {
+        const std::size_t start = head_ % capacity_;
+        for (std::size_t i = 0; i < ring_.size(); ++i)
+            out.push_back(ring_[(start + i) % capacity_]);
+    }
+    return out;
+}
+
+void
+EventTracer::exportChromeTrace(std::ostream &os) const
+{
+    std::vector<TraceRecord> recs = ordered();
+    // Stable: simultaneous events keep per-component emission order.
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const TraceRecord &x, const TraceRecord &y) {
+                         return x.at < y.at;
+                     });
+
+    os << "{\n\"traceEvents\": [\n";
+    bool first = true;
+    for (const auto &r : recs) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"name\": \"" << kindName(r.kind) << "\", \"cat\": \""
+           << compName(r.comp) << "\", \"ph\": \""
+           << (r.dur > 0 ? 'X' : 'i') << "\", \"ts\": " << fmtUs(r.at);
+        if (r.dur > 0)
+            os << ", \"dur\": " << fmtUs(r.dur);
+        else
+            os << ", \"s\": \"t\"";
+        os << ", \"pid\": " << unsigned(r.socket) << ", \"tid\": \""
+           << compName(r.comp) << "\", \"args\": {\"a\": " << r.a
+           << ", \"b\": " << r.b << "}}";
+    }
+    os << "\n],\n\"displayTimeUnit\": \"ns\",\n\"metadata\": {\"tool\": "
+          "\"dve-tracer\", \"dropped_records\": "
+       << dropped() << "}\n}\n";
+}
+
+} // namespace dve

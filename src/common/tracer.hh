@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Structured event tracer with Chrome trace_event export.
+ *
+ * Components emit typed, fixed-width records (request issue / recovery
+ * divert / fabric retry / fence trip, epoch switch, fault arrive / heal,
+ * repair begin / end) into a bounded ring buffer. The tracer is
+ * ctor-gated: a capacity of zero disables it, and every record() call
+ * then reduces to a single branch on a bool -- no allocation, no
+ * formatting, no time queries -- so instrumented hot paths cost nothing
+ * in ordinary (untraced) runs.
+ *
+ * Export is Chrome trace_event JSON ("chrome://tracing" / Perfetto):
+ * records become complete ("X") or instant ("i") events, pid = socket,
+ * tid = emitting component. Determinism: records are kept in emission
+ * order, exported after a stable sort by timestamp (ties keep emission
+ * order), and timestamps are formatted with a fixed "%.6f" microsecond
+ * format (ticks are picoseconds, so the conversion is exact). Two runs
+ * of the same seeded, single-threaded simulation therefore produce
+ * byte-identical JSON.
+ */
+
+#ifndef DVE_COMMON_TRACER_HH
+#define DVE_COMMON_TRACER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dve
+{
+
+/** What happened. Values are stable; they appear in exported JSON. */
+enum class TraceKind : std::uint8_t
+{
+    Request,     ///< memory request serviced end-to-end (dur = latency)
+    Divert,      ///< read diverted to the remote replica for recovery
+    Retry,       ///< fabric send retry after a timeout (dur = wait)
+    Fence,       ///< retry budget exhausted; link pair fenced
+    EpochSwitch, ///< dynamic protocol switched allow/deny
+    FaultArrive, ///< fault became active (arrival or reactivation)
+    FaultHeal,   ///< fault deactivated (transient decay / repair)
+    RepairBegin, ///< repair task admitted to the queue
+    RepairEnd,   ///< repair task retired (healed or abandoned)
+};
+
+/** Which component emitted the record (Chrome tid). */
+enum class TraceComp : std::uint8_t
+{
+    Core,    ///< request path (CoherenceEngine access)
+    Dve,     ///< replication engine (diverts, epochs, repairs)
+    Fabric,  ///< inter-socket links (retries, fences)
+    Fault,   ///< fault-lifecycle engine
+};
+
+/** One fixed-width trace record; meaning of a/b depends on kind. */
+struct TraceRecord
+{
+    Tick at = 0;       ///< event start, ticks (ps)
+    Tick dur = 0;      ///< duration in ticks; 0 -> instant event
+    TraceKind kind = TraceKind::Request;
+    TraceComp comp = TraceComp::Core;
+    std::uint8_t socket = 0;
+    std::uint64_t a = 0; ///< usually the line/frame address
+    std::uint64_t b = 0; ///< kind-specific detail (see exporter)
+};
+
+/** Bounded ring buffer of TraceRecords; disabled at capacity 0. */
+class EventTracer
+{
+  public:
+    explicit EventTracer(std::size_t capacity = 0) : capacity_(capacity)
+    {
+        if (capacity_ > 0)
+            ring_.reserve(capacity_);
+    }
+
+    bool enabled() const { return capacity_ > 0; }
+
+    /** Append a record, evicting the oldest once full. */
+    void
+    record(const TraceRecord &r)
+    {
+        if (capacity_ == 0)
+            return;
+        if (ring_.size() < capacity_)
+            ring_.push_back(r);
+        else
+            ring_[head_ % capacity_] = r;
+        ++head_;
+    }
+
+    /** Records currently retained (<= capacity). */
+    std::size_t size() const { return ring_.size(); }
+
+    /** Records evicted because the ring wrapped. */
+    std::uint64_t dropped() const
+    {
+        return head_ > ring_.size() ? head_ - ring_.size() : 0;
+    }
+
+    void
+    clear()
+    {
+        ring_.clear();
+        head_ = 0;
+    }
+
+    /** Retained records, oldest first (unwraps the ring). */
+    std::vector<TraceRecord> ordered() const;
+
+    /** Write the full Chrome trace_event JSON document. */
+    void exportChromeTrace(std::ostream &os) const;
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t head_ = 0; ///< total records ever emitted
+    std::vector<TraceRecord> ring_;
+};
+
+} // namespace dve
+
+#endif // DVE_COMMON_TRACER_HH

@@ -56,6 +56,8 @@ DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
     dveStats_.add("fenced_fast_fails", fencedFastFails_);
     dveStats_.add("degraded_ticks", degradedTicks_);
     dveStats_.add("dynamic_switches", dynamicSwitches_);
+    dveStats_.add("retry_wait", retryWait_);
+    dveStats_.add("repair_sojourn", repairSojourn_);
 }
 
 DveEngine::FabricOutcome
@@ -78,6 +80,13 @@ DveEngine::fabricSend(NodeId src, NodeId dst, MsgClass cls, Tick when)
         const SendResult r = ic_.trySend(src, dst, cls);
         if (r.ok()) {
             fenceUntil_.erase(key);
+            if (t > when) {
+                retryWait_.record(t - when);
+                tracer_.record({when, t - when, TraceKind::Retry,
+                                TraceComp::Fabric,
+                                static_cast<std::uint8_t>(src.socket),
+                                dst.socket, attempt});
+            }
             return {true, t + r.latency};
         }
         // Lost message: the sender only learns by timeout.
@@ -89,6 +98,10 @@ DveEngine::fabricSend(NodeId src, NodeId dst, MsgClass cls, Tick when)
     }
 
     fenceUntil_[key] = t + dcfg_.fenceProbeInterval;
+    retryWait_.record(t - when);
+    tracer_.record({t, 0, TraceKind::Fence, TraceComp::Fabric,
+                    static_cast<std::uint8_t>(src.socket), dst.socket,
+                    dcfg_.linkRetryMax});
     return {false, t};
 }
 
@@ -187,7 +200,10 @@ DveEngine::markDegraded(bool home_side, Addr line, Tick now)
             return; // already queued
     }
     repairQueue_.push_back(
-        {line, home_side, 0, now + dcfg_.repairRetryBackoff});
+        {line, home_side, 0, now + dcfg_.repairRetryBackoff, now});
+    tracer_.record({now, 0, TraceKind::RepairBegin, TraceComp::Dve,
+                    static_cast<std::uint8_t>(homeSocket(line)), line,
+                    home_side ? 1u : 0u});
 }
 
 void
@@ -267,6 +283,8 @@ DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
     ++sysCe_; // recovery is logged as a corrected error
     const Tick back = ret.at;
     recoveryLatencies_.push_back(back - when);
+    tracer_.record({when, back - when, TraceKind::Divert, TraceComp::Dve,
+                    static_cast<std::uint8_t>(rsock), line, 0});
 
     // Try to repair the failing replica copy off the critical path.
     const auto rep =
@@ -408,8 +426,11 @@ DveEngine::runRepairTask(RepairTask task, Tick now, Tick &t,
 {
     auto &dmap = task.homeSide ? degradedHome_ : degradedReplica_;
     const auto &other = task.homeSide ? degradedReplica_ : degradedHome_;
-    if (!dmap.count(task.line))
-        return; // healed through the demand path in the meantime
+    if (!dmap.count(task.line)) {
+        // Healed through the demand path in the meantime.
+        noteRepairDone(task, now, 0);
+        return;
+    }
     if (task.notBefore > now) {
         repairQueue_.push_back(task); // backoff deadline not reached
         return;
@@ -421,6 +442,7 @@ DveEngine::runRepairTask(RepairTask task, Tick now, Tick &t,
         // Replication was unplugged under the task: nothing to heal
         // against; forget the degraded state.
         clearDegraded(task.homeSide, task.line, now);
+        noteRepairDone(task, now, 0);
         return;
     }
     const unsigned fail_sock = task.homeSide ? h : *rs;
@@ -462,6 +484,7 @@ DveEngine::runRepairTask(RepairTask task, Tick now, Tick &t,
         ++reReplications_;
         ++repaired_;
         ++rep.healed;
+        noteRepairDone(task, t, 1);
         return;
     }
 
@@ -480,6 +503,18 @@ DveEngine::runRepairTask(RepairTask task, Tick now, Tick &t,
     ++rep.retired;
     if (!dmap.count(task.line))
         ++rep.healed;
+    noteRepairDone(task, t, 2);
+}
+
+void
+DveEngine::noteRepairDone(const RepairTask &task, Tick at,
+                          std::uint64_t outcome)
+{
+    const Tick sojourn = at > task.enqueuedAt ? at - task.enqueuedAt : 0;
+    repairSojourn_.record(sojourn);
+    tracer_.record({at, 0, TraceKind::RepairEnd, TraceComp::Dve,
+                    static_cast<std::uint8_t>(homeSocket(task.line)),
+                    task.line, outcome});
 }
 
 void
@@ -618,6 +653,8 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
     ++sysCe_;
     const Tick back = ret.at;
     recoveryLatencies_.push_back(back - when);
+    tracer_.record({when, back - when, TraceKind::Divert, TraceComp::Dve,
+                    static_cast<std::uint8_t>(home), line, 1});
 
     const auto rep =
         memory(home).repairAndVerify(dataAddr(home, line), m2.value, back);
@@ -1023,6 +1060,9 @@ DveEngine::dynamicObserve(Addr line, Tick latency)
             // paper's drain + warmup phases).
             ++dynamicSwitches_;
             denyWinning_ = deny_better;
+            tracer_.record({lastCompletion_, 0, TraceKind::EpochSwitch,
+                            TraceComp::Dve, 0, deny_better ? 1u : 0u,
+                            dynamicSwitches_.value()});
             for (auto &rd : rdirs_)
                 rd->drainPermissions();
             if (denyWinning_)

@@ -247,6 +247,12 @@ class DveEngine : public CoherenceEngine
 
     const StatGroup &dveStats() const { return dveStats_; }
 
+    /** Retry-ladder wait distribution (ticks lost to lost messages). */
+    const Histogram &retryWait() const { return retryWait_; }
+
+    /** Repair-queue sojourn distribution (enqueue to retirement). */
+    const Histogram &repairSojourn() const { return repairSojourn_; }
+
     void dumpStats(std::ostream &os) const override;
 
   protected:
@@ -328,7 +334,8 @@ class DveEngine : public CoherenceEngine
         Addr line = 0;
         bool homeSide = false; ///< which copy is degraded
         unsigned attempts = 0;
-        Tick notBefore = 0; ///< backoff deadline
+        Tick notBefore = 0;  ///< backoff deadline
+        Tick enqueuedAt = 0; ///< when the task entered the queue
     };
 
     /**
@@ -429,7 +436,13 @@ class DveEngine : public CoherenceEngine
     Counter fencedFastFails_;
     Counter dynamicSwitches_;
     ScalarStat degradedTicks_; ///< closed degraded intervals only
+    Histogram retryWait_;      ///< per-ladder wait on lost transfers
+    Histogram repairSojourn_;  ///< repair-task queue residency
     StatGroup dveStats_;
+
+    /** Record one finished repair task in the sojourn histogram. */
+    void noteRepairDone(const RepairTask &task, Tick at,
+                        std::uint64_t outcome);
 };
 
 } // namespace dve

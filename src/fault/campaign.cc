@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
@@ -97,11 +98,12 @@ TrialStats::accumulate(const TrialStats &t)
     repairDeferrals += t.repairDeferrals;
     droppedMessages += t.droppedMessages;
     failedSends += t.failedSends;
-    // engineSeed/faultSeed/workloadSeed/faultLogDigest identify one
-    // trial; they are deliberately not summed into totals.
+    // engineSeed/faultSeed/workloadSeed/faultLogDigest/traceJson
+    // identify one trial; they are deliberately not summed into totals.
     recoveryLatencies.insert(recoveryLatencies.end(),
                              t.recoveryLatencies.begin(),
                              t.recoveryLatencies.end());
+    reqLatency.merge(t.reqLatency);
 }
 
 LatencySummary
@@ -225,6 +227,10 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
     lc.seed = cfg_.seed * 7919 + trial;
     applyScenario(lc, cfg_.scenario);
     FaultLifecycleEngine flc(lc, eng.faultRegistry());
+    // When the campaign config enabled tracing, fault arrivals/heals
+    // land on the same timeline as the engine's request records.
+    if (eng.tracer().enabled())
+        flc.setTracer(&eng.tracer());
 
     // Workload stream, likewise scheme-independent.
     Rng wl(cfg_.seed * 31 + trial + 1);
@@ -323,6 +329,12 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
         t.degradedResidencyTicks = dve->degradedResidency(clock);
         t.recoveryLatencies = dve->recoveryLatencies();
     }
+    t.reqLatency = eng.requestLatency();
+    if (eng.tracer().enabled()) {
+        std::ostringstream os;
+        eng.tracer().exportChromeTrace(os);
+        t.traceJson = os.str();
+    }
     return t;
 }
 
@@ -342,6 +354,7 @@ CampaignRunner::assemble(CampaignScheme s,
     for (const auto &t : r.trials)
         r.totals.accumulate(t);
     r.recovery = summarizeLatencies(r.totals.recoveryLatencies);
+    r.reqLatencyDigest = digestOf(r.totals.reqLatency);
     return r;
 }
 
@@ -489,15 +502,29 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
            << "        \"p95_ticks\": " << sr.recovery.p95 << ",\n"
            << "        \"max_ticks\": " << sr.recovery.max << "\n"
            << "      },\n"
+           << "      \"request_latency\": {\n"
+           << "        \"count\": " << sr.reqLatencyDigest.count << ",\n"
+           << "        \"p50_ticks\": " << sr.reqLatencyDigest.p50
+           << ",\n"
+           << "        \"p95_ticks\": " << sr.reqLatencyDigest.p95
+           << ",\n"
+           << "        \"p99_ticks\": " << sr.reqLatencyDigest.p99
+           << ",\n"
+           << "        \"max_ticks\": " << sr.reqLatencyDigest.max << "\n"
+           << "      },\n"
            << "      \"trials\": [\n";
         for (std::size_t j = 0; j < sr.trials.size(); ++j) {
             const auto &t = sr.trials[j];
+            const LatencyDigest lat = digestOf(t.reqLatency);
             os << "        {\"due\": " << t.due << ", \"sdc\": " << t.sdc
                << ", \"corrected\": " << t.corrected
                << ", \"faults\": " << t.faultArrivals
                << ", \"re_replications\": " << t.reReplications
                << ", \"degraded_end\": " << t.degradedLinesEnd
                << ", \"unavailable\": " << t.unavailableRequests
+               << ",\n         \"req_p50\": " << lat.p50
+               << ", \"req_p95\": " << lat.p95
+               << ", \"req_p99\": " << lat.p99
                << ",\n         \"engine_seed\": " << t.engineSeed
                << ", \"fault_seed\": " << t.faultSeed
                << ", \"workload_seed\": " << t.workloadSeed

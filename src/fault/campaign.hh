@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "coherence/types.hh"
+#include "common/histogram.hh"
 #include "core/dve_engine.hh"
 #include "fault/lifecycle.hh"
 
@@ -137,6 +138,14 @@ struct TrialStats
     std::uint64_t workloadSeed = 0;
     std::uint64_t faultLogDigest = 0;
     std::vector<Tick> recoveryLatencies;
+    /** End-to-end request latencies of every access the trial issued.
+     *  Bucket counts merge exactly, so scheme totals are byte-identical
+     *  at any job count. */
+    Histogram reqLatency;
+    /** Chrome trace_event JSON; non-empty only when the campaign's
+     *  engine config enabled tracing (traceCapacity > 0). Per-trial
+     *  replay identity, never accumulated. */
+    std::string traceJson;
 
     /** Element-wise accumulate (latencies are concatenated). */
     void accumulate(const TrialStats &t);
@@ -160,6 +169,8 @@ struct SchemeResult
     std::vector<TrialStats> trials;
     TrialStats totals;
     LatencySummary recovery;
+    /** Digest of totals.reqLatency (all trials' accesses merged). */
+    LatencyDigest reqLatencyDigest;
 };
 
 /** A full campaign run. */

@@ -168,6 +168,11 @@ FaultLifecycleEngine::processArrival(const Pending &p)
     ++stats_.byKind[unsigned(kind)];
     ++stats_.byScope[unsigned(p.scope)];
     log_.push_back({p.at, Event::Type::Arrive, kind, p.scope, id});
+    if (tracer_) {
+        tracer_->record({p.at, 0, TraceKind::FaultArrive, TraceComp::Fault,
+                         static_cast<std::uint8_t>(f.socket), id,
+                         static_cast<std::uint64_t>(p.scope)});
+    }
 
     if (kind == FaultKind::Intermittent) {
         Pending off;
@@ -196,6 +201,13 @@ FaultLifecycleEngine::processFlap(const Pending &p)
         ++stats_.deactivations;
         log_.push_back(
             {p.at, Event::Type::Deactivate, p.kind, p.scope, p.faultId});
+        if (tracer_) {
+            tracer_->record({p.at, 0, TraceKind::FaultHeal,
+                             TraceComp::Fault,
+                             static_cast<std::uint8_t>(p.desc.socket),
+                             p.faultId,
+                             static_cast<std::uint64_t>(p.scope)});
+        }
         if (p.flapsLeft == 0)
             return; // dormant for good
         Pending on = p;
@@ -214,6 +226,12 @@ FaultLifecycleEngine::processFlap(const Pending &p)
     ++stats_.reactivations;
     log_.push_back(
         {p.at, Event::Type::Reactivate, p.kind, p.scope, off.faultId});
+    if (tracer_) {
+        tracer_->record({p.at, 0, TraceKind::FaultArrive, TraceComp::Fault,
+                         static_cast<std::uint8_t>(p.desc.socket),
+                         off.faultId,
+                         static_cast<std::uint64_t>(p.scope)});
+    }
     off.at = p.at + expDraw(static_cast<double>(cfg_.meanActive));
     off.type = Event::Type::Deactivate;
     push(off);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/tracer.hh"
 #include "common/types.hh"
 #include "dram/address_map.hh"
 #include "fault/fault.hh"
@@ -148,6 +149,13 @@ class FaultLifecycleEngine
     const Stats &stats() const { return stats_; }
     const std::vector<Event> &log() const { return log_; }
 
+    /**
+     * Mirror lifecycle transitions into an event tracer (arrivals and
+     * reactivations as fault-arrive, deactivations as fault-heal).
+     * Pass nullptr to detach; the tracer must outlive this engine.
+     */
+    void setTracer(EventTracer *t) { tracer_ = t; }
+
   private:
     struct Pending
     {
@@ -189,6 +197,7 @@ class FaultLifecycleEngine
     bool arrivalsStopped_ = false;
     Stats stats_;
     std::vector<Event> log_;
+    EventTracer *tracer_ = nullptr;
 };
 
 } // namespace dve

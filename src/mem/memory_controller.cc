@@ -90,6 +90,7 @@ MemoryController::MemoryController(std::string name, unsigned socket,
     stats_.add("detected_failures", detectedFail_);
     stats_.add("silent_corruptions_observed", sdcObserved_);
     stats_.add("mirror_failovers", mirrorFailovers_);
+    stats_.add("read_latency", readLatency_);
 }
 
 std::uint64_t
@@ -219,8 +220,11 @@ MemReadResult
 MemoryController::read(Addr addr, Tick now)
 {
     ++reads_;
-    if (mode_ == MirrorMode::Raim)
-        return raimRead(addr, now);
+    if (mode_ == MirrorMode::Raim) {
+        MemReadResult rr = raimRead(addr, now);
+        readLatency_.record(rr.readyAt - now);
+        return rr;
+    }
     MemReadResult res;
 
     const unsigned first =
@@ -260,6 +264,7 @@ MemoryController::read(Addr addr, Tick now)
     }
     if (r.silentlyWrong)
         ++sdcObserved_;
+    readLatency_.record(res.readyAt - now);
     return res;
 }
 

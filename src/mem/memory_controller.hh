@@ -130,6 +130,9 @@ class MemoryController
 
     const StatGroup &stats() const { return stats_; }
 
+    /** Distribution of read() service latencies (ticks). */
+    const Histogram &readLatency() const { return readLatency_; }
+
   private:
     struct CopyRead
     {
@@ -179,6 +182,7 @@ class MemoryController
     Counter detectedFail_;
     Counter sdcObserved_;
     Counter mirrorFailovers_;
+    Histogram readLatency_;
     StatGroup stats_;
 };
 

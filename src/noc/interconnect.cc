@@ -24,6 +24,7 @@ Interconnect::Interconnect(const NocConfig &cfg)
     stats_.add("dropped_messages", droppedMsgs_);
     stats_.add("failed_sends", failedSends_);
     stats_.add("delayed_messages", delayedMsgs_);
+    stats_.add("hop_latency", hopLatency_);
 }
 
 void
@@ -77,6 +78,7 @@ Interconnect::send(NodeId src, NodeId dst, MsgClass cls)
         else
             ++interSocketCtrlMsgs_;
     }
+    hopLatency_.record(lat);
     return lat;
 }
 
@@ -116,6 +118,7 @@ Interconnect::resetTraffic()
     interSocketBytes_.reset();
     interSocketCtrlMsgs_.reset();
     interSocketDataMsgs_.reset();
+    hopLatency_.reset();
     for (auto &m : meshes_)
         m.resetTraffic();
 }

@@ -144,6 +144,9 @@ class Interconnect
     /** Stats registered under "noc". */
     const StatGroup &stats() const { return stats_; }
 
+    /** Per-message delivery latency distribution (ticks). */
+    const Histogram &hopLatency() const { return hopLatency_; }
+
   private:
     unsigned bytesFor(MsgClass cls) const
     {
@@ -164,6 +167,7 @@ class Interconnect
     Counter droppedMsgs_;
     Counter failedSends_;
     Counter delayedMsgs_;
+    Histogram hopLatency_;
     StatGroup stats_;
 };
 

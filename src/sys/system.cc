@@ -1,11 +1,75 @@
 #include "sys/system.hh"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
 
 #include "common/logging.hh"
 
 namespace dve
 {
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+digestJson(std::ostringstream &os, const char *key, const LatencyDigest &d)
+{
+    os << "\"" << key << "\": {\"count\": " << d.count << ", \"mean\": "
+       << fmtDouble(d.mean) << ", \"p50\": " << d.p50 << ", \"p90\": "
+       << d.p90 << ", \"p95\": " << d.p95 << ", \"p99\": " << d.p99
+       << ", \"max\": " << d.max << "}";
+}
+
+} // namespace
+
+std::string
+RunResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"workload\": \"" << workload << "\", \"scheme\": \"" << scheme
+       << "\", \"roi_time_ticks\": " << roiTime << ", \"mem_ops\": "
+       << memOps << ", \"instructions\": " << instructions
+       << ", \"llc_misses\": " << llcMisses << ", \"inter_socket_bytes\": "
+       << interSocketBytes << ", \"mpki\": " << fmtDouble(mpki)
+       << ", \"memory_energy_nj\": " << fmtDouble(memoryEnergyNj)
+       << ", \"class_mix\": {";
+    for (unsigned c = 0; c < numReqClasses; ++c) {
+        if (c)
+            os << ", ";
+        os << "\"" << reqClassName(static_cast<ReqClass>(c))
+           << "\": " << fmtDouble(classMix[c]);
+    }
+    os << "}, \"latency\": {";
+    digestJson(os, "request", reqLatency);
+    os << ", ";
+    digestJson(os, "noc_hop", hopLatency);
+    os << ", ";
+    digestJson(os, "mem_read", memReadLatency);
+    os << ", ";
+    digestJson(os, "retry_wait", retryWait);
+    os << ", ";
+    digestJson(os, "repair_sojourn", repairSojourn);
+    os << "}, \"extra\": {";
+    bool first = true;
+    for (const auto &[k, v] : extra) { // std::map: sorted, stable order
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << k << "\": " << fmtDouble(v);
+    }
+    os << "}}";
+    return os.str();
+}
 
 const char *
 schemeKindName(SchemeKind k)
@@ -106,6 +170,17 @@ System::run(const WorkloadProfile &profile, double scale)
     std::uint64_t failed_snap = 0;
     std::uint64_t delayed_snap = 0;
 
+    // Latency-histogram snapshots: percentiles do not subtract, so the
+    // ROI window is obtained by diffing whole histograms (bucket-wise).
+    Histogram req_snap, hop_snap, memread_snap, retry_snap, repair_snap;
+
+    auto mergedMemRead = [&] {
+        Histogram h;
+        for (unsigned s = 0; s < engine_->config().sockets; ++s)
+            h.merge(engine_->memory(s).readLatency());
+        return h;
+    };
+
     replay.setRoiCallback([&](Tick) {
         engine_snap = engine_->stats().snapshot();
         if (dveEngine_)
@@ -115,6 +190,13 @@ System::run(const WorkloadProfile &profile, double scale)
         failed_snap = engine_->interconnect().failedSends();
         delayed_snap = engine_->interconnect().delayedMessages();
         dram_snap = snapshotDram();
+        req_snap = engine_->requestLatency();
+        hop_snap = engine_->interconnect().hopLatency();
+        memread_snap = mergedMemRead();
+        if (dveEngine_) {
+            retry_snap = dveEngine_->retryWait();
+            repair_snap = dveEngine_->repairSojourn();
+        }
     });
 
     const ReplayResult rr = replay.run(traces);
@@ -203,6 +285,23 @@ System::run(const WorkloadProfile &profile, double scale)
         static_cast<double>(ic.failedSends() - failed_snap);
     res.extra["fabric_delayed_messages"] =
         static_cast<double>(ic.delayedMessages() - delayed_snap);
+
+    // ROI latency distributions.
+    res.reqLatencyHist = engine_->requestLatency().diff(req_snap);
+    res.reqLatency = digestOf(res.reqLatencyHist);
+    res.hopLatency = digestOf(ic.hopLatency().diff(hop_snap));
+    res.memReadLatency = digestOf(mergedMemRead().diff(memread_snap));
+    if (dveEngine_) {
+        res.retryWait = digestOf(dveEngine_->retryWait().diff(retry_snap));
+        res.repairSojourn =
+            digestOf(dveEngine_->repairSojourn().diff(repair_snap));
+    }
+
+    if (engine_->tracer().enabled()) {
+        std::ostringstream trace;
+        engine_->tracer().exportChromeTrace(trace);
+        res.traceJson = trace.str();
+    }
 
     return res;
 }

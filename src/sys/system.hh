@@ -18,6 +18,7 @@
 #include <string>
 
 #include "coherence/engine.hh"
+#include "common/histogram.hh"
 #include "core/dve_engine.hh"
 #include "cpu/replay.hh"
 #include "energy/dram_energy.hh"
@@ -68,6 +69,34 @@ struct RunResult
 
     /** Extra scheme-specific counters (replica reads, RM pushes, ...). */
     std::map<std::string, double> extra;
+
+    // ---- Observability (ROI-windowed latency distributions) ------------
+    /** End-to-end request latency over the ROI (ticks). */
+    LatencyDigest reqLatency;
+    /** Per-message fabric delivery latency over the ROI (ticks). */
+    LatencyDigest hopLatency;
+    /** Memory-controller read service latency over the ROI (ticks). */
+    LatencyDigest memReadLatency;
+    /** Fabric retry-ladder wait over the ROI (Dvé schemes; ticks). */
+    LatencyDigest retryWait;
+    /** Repair-queue sojourn over the ROI (Dvé schemes; ticks). */
+    LatencyDigest repairSojourn;
+
+    /** Raw ROI request-latency histogram (bucket-wise mergeable). */
+    Histogram reqLatencyHist;
+
+    /**
+     * Chrome trace_event JSON of the run, non-empty only when the engine
+     * was built with EngineConfig::traceCapacity > 0.
+     */
+    std::string traceJson;
+
+    /**
+     * Deterministic machine-readable export: fixed key order, integral
+     * tick values, fixed float formatting. Byte-identical across
+     * DVE_BENCH_JOBS settings for the same run.
+     */
+    std::string toJson() const;
 };
 
 /** One simulated machine, reusable across workloads. */

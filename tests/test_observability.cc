@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Observability layer: log-bucketed histograms, the event tracer, and
+ * the machine-readable stats export -- including the determinism
+ * properties the parallel harnesses depend on (bucket-wise merge,
+ * tick-ordered trace export, job-count-invariant JSON).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/histogram.hh"
+#include "common/parallel.hh"
+#include "common/stats.hh"
+#include "common/tracer.hh"
+#include "sys/system.hh"
+
+namespace dve
+{
+namespace
+{
+
+// The named regression: an implicit Counter -> uint64 conversion let
+// "counter - 1" style arithmetic compile silently. Explicit conversion
+// keeps deliberate casts working while rejecting implicit ones.
+static_assert(!std::is_convertible_v<Counter, std::uint64_t>,
+              "Counter must not convert to uint64_t implicitly");
+static_assert(std::is_constructible_v<std::uint64_t, Counter>,
+              "explicit Counter -> uint64_t casts must keep working");
+
+TEST(Histogram, BucketBoundariesAtOctaveEdges)
+{
+    // Below 2*subBuckets every value is its own bucket.
+    for (std::uint64_t v = 0; v < 32; ++v)
+        EXPECT_EQ(Histogram::bucketIndex(v), v) << "v=" << v;
+    // First coalescing octave: [32, 64) maps to 16 two-wide buckets.
+    EXPECT_EQ(Histogram::bucketIndex(32), 32u);
+    EXPECT_EQ(Histogram::bucketIndex(33), 32u);
+    EXPECT_EQ(Histogram::bucketIndex(34), 33u);
+    EXPECT_EQ(Histogram::bucketIndex(63), 47u);
+    EXPECT_EQ(Histogram::bucketIndex(64), 48u);
+    // Octave starts land on multiples of subBuckets forever after.
+    EXPECT_EQ(Histogram::bucketIndex(128), 64u);
+    EXPECT_EQ(Histogram::bucketIndex(1u << 20), 16u * 17);
+    EXPECT_EQ(Histogram::bucketIndex(~std::uint64_t(0)),
+              Histogram::numBuckets - 1);
+}
+
+TEST(Histogram, BucketFloorRoundTrips)
+{
+    // floor(index(v)) <= v, and the floor maps back to the same bucket.
+    const std::vector<std::uint64_t> samples = {
+        0,  1,   15,        16,        17,         31,       32,
+        33, 100, 1000,      4096,      4097,       12345678, 1ull << 40,
+        (1ull << 40) + 999, ~std::uint64_t(0) >> 1, ~std::uint64_t(0)};
+    for (const std::uint64_t v : samples) {
+        const unsigned idx = Histogram::bucketIndex(v);
+        const std::uint64_t floor = Histogram::bucketFloor(idx);
+        EXPECT_LE(floor, v) << "v=" << v;
+        EXPECT_EQ(Histogram::bucketIndex(floor), idx) << "v=" << v;
+    }
+    // Every bucket's floor round-trips to its own index.
+    for (unsigned i = 0; i < Histogram::numBuckets; ++i)
+        EXPECT_EQ(Histogram::bucketIndex(Histogram::bucketFloor(i)), i);
+}
+
+TEST(Histogram, PercentilesAreBucketFloors)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 5050u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    // Values up to 31 are exact; above that percentiles report the
+    // floor of the containing bucket (<= 1/16 relative error).
+    EXPECT_EQ(h.percentile(0), 1u);
+    EXPECT_EQ(h.percentile(25), 25u);
+    EXPECT_EQ(h.percentile(50), 50u);
+    EXPECT_EQ(h.percentile(99), 96u); // 99 lives in bucket [96, 100)
+    EXPECT_EQ(h.percentile(100), 100u);
+
+    Histogram empty;
+    EXPECT_EQ(empty.percentile(50), 0u);
+    EXPECT_EQ(digestOf(empty).max, 0u);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording)
+{
+    Histogram a, b, combined;
+    for (std::uint64_t v = 0; v < 500; v += 3) {
+        a.record(v * v);
+        combined.record(v * v);
+    }
+    for (std::uint64_t v = 1; v < 300; v += 7) {
+        b.record(v * 1000);
+        combined.record(v * 1000);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.sum(), combined.sum());
+    for (unsigned i = 0; i < Histogram::numBuckets; ++i)
+        EXPECT_EQ(a.bucketCount(i), combined.bucketCount(i));
+    EXPECT_EQ(a.percentile(95), combined.percentile(95));
+}
+
+TEST(Histogram, DiffIsTheRoiDelta)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.record(7); // warmup noise
+    const Histogram snap = h;
+    h.record(1000);
+    h.record(2000);
+    h.record(3000);
+    const Histogram roi = h.diff(snap);
+    EXPECT_EQ(roi.count(), 3u);
+    EXPECT_EQ(roi.sum(), 6000u);
+    EXPECT_EQ(roi.percentile(0), Histogram::bucketFloor(
+                                     Histogram::bucketIndex(1000)));
+    EXPECT_EQ(roi.percentile(100), Histogram::bucketFloor(
+                                       Histogram::bucketIndex(3000)));
+}
+
+TEST(Stats, HistogramRegistrationAndLookup)
+{
+    Counter c;
+    Histogram h;
+    h.record(42);
+    StatGroup g("grp");
+    g.add("ops", c);
+    g.add("lat", h);
+
+    ++c;
+    EXPECT_TRUE(g.has("lat"));
+    EXPECT_DOUBLE_EQ(g.get("ops"), 1.0);
+    // Scalars come out of get(); histograms only via histogram().
+    EXPECT_THROW(g.get("lat"), std::logic_error);
+    ASSERT_NE(g.histogram("lat"), nullptr);
+    EXPECT_EQ(g.histogram("lat")->count(), 1u);
+    EXPECT_EQ(g.histogram("ops"), nullptr);
+    EXPECT_EQ(g.histogram("nope"), nullptr);
+
+    // A snapshot carries scalars only (it feeds ROI delta arithmetic).
+    const auto snap = g.snapshot();
+    EXPECT_EQ(snap.count("ops"), 1u);
+    EXPECT_EQ(snap.count("lat"), 0u);
+
+    // The dump expands the histogram into digest lines, in
+    // registration order.
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("grp.ops 1"), std::string::npos);
+    EXPECT_NE(out.find("grp.lat_count 1"), std::string::npos);
+    EXPECT_NE(out.find("grp.lat_p99 42"), std::string::npos);
+    EXPECT_LT(out.find("grp.ops"), out.find("grp.lat_count"));
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing)
+{
+    EventTracer t; // capacity 0
+    EXPECT_FALSE(t.enabled());
+    t.record({100, 5, TraceKind::Request, TraceComp::Core, 0, 1, 2});
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RingEvictsOldestAndCountsDrops)
+{
+    EventTracer t(4);
+    ASSERT_TRUE(t.enabled());
+    for (std::uint64_t i = 0; i < 6; ++i)
+        t.record({i * 10, 0, TraceKind::Request, TraceComp::Core, 0, i,
+                  0});
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.dropped(), 2u);
+    const auto recs = t.ordered();
+    ASSERT_EQ(recs.size(), 4u);
+    EXPECT_EQ(recs.front().a, 2u); // two oldest evicted
+    EXPECT_EQ(recs.back().a, 5u);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, ExportIsDeterministicAndTickOrdered)
+{
+    const auto build = [] {
+        EventTracer t(16);
+        // Emit out of tick order, with a tie at t=500.
+        t.record({500, 0, TraceKind::FaultArrive, TraceComp::Fault, 1,
+                  11, 0});
+        t.record({100, 20, TraceKind::Request, TraceComp::Core, 0, 7,
+                  0});
+        t.record({500, 0, TraceKind::Divert, TraceComp::Dve, 1, 22, 0});
+        t.record({300, 0, TraceKind::EpochSwitch, TraceComp::Dve, 0, 1,
+                  3});
+        return t;
+    };
+    std::ostringstream a, b;
+    build().exportChromeTrace(a);
+    build().exportChromeTrace(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    const std::string out = a.str();
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+    // Sorted by tick; the t=500 tie keeps emission order
+    // (fault-arrive before divert).
+    const auto p_req = out.find("\"request\"");
+    const auto p_epoch = out.find("\"epoch-switch\"");
+    const auto p_fault = out.find("\"fault-arrive\"");
+    const auto p_divert = out.find("\"divert\"");
+    ASSERT_NE(p_req, std::string::npos);
+    ASSERT_NE(p_divert, std::string::npos);
+    EXPECT_LT(p_req, p_epoch);
+    EXPECT_LT(p_epoch, p_fault);
+    EXPECT_LT(p_fault, p_divert);
+}
+
+TEST(Observability, SameSeedRunsExportIdenticalTraces)
+{
+    const WorkloadProfile &wl = workloadByName("xsbench");
+    const auto once = [&wl] {
+        SystemConfig cfg;
+        cfg.scheme = SchemeKind::DveDeny;
+        cfg.engine.traceCapacity = 4096;
+        System sys(cfg);
+        return sys.run(wl, 0.02);
+    };
+    const RunResult r1 = once();
+    const RunResult r2 = once();
+    ASSERT_FALSE(r1.traceJson.empty());
+    EXPECT_EQ(r1.traceJson, r2.traceJson);
+    EXPECT_EQ(r1.toJson(), r2.toJson());
+
+    // ROI latency digests are populated and ordered.
+    EXPECT_GT(r1.reqLatency.count, 0u);
+    EXPECT_LE(r1.reqLatency.p50, r1.reqLatency.p99);
+    EXPECT_LE(r1.reqLatency.p99, r1.reqLatency.max);
+    EXPECT_GT(r1.hopLatency.count, 0u);
+    EXPECT_GT(r1.memReadLatency.count, 0u);
+}
+
+TEST(Observability, UntracedRunsCarryNoTraceJson)
+{
+    const WorkloadProfile &wl = workloadByName("xsbench");
+    SystemConfig cfg;
+    cfg.scheme = SchemeKind::BaselineNuma;
+    System sys(cfg);
+    const RunResult r = sys.run(wl, 0.02);
+    EXPECT_TRUE(r.traceJson.empty());
+    EXPECT_GT(r.reqLatency.count, 0u);
+}
+
+TEST(Observability, BenchJsonIsJobCountInvariant)
+{
+    // The same four sweep points, fanned out serially and over four
+    // workers: the exported document must be byte-identical (results
+    // merge by point index; histograms merge bucket-wise).
+    const auto point = [](std::size_t p) {
+        const WorkloadProfile &wl =
+            workloadByName(p % 2 ? "xsbench" : "graph500");
+        return bench::runScheme(p / 2 ? SchemeKind::DveDeny
+                                      : SchemeKind::BaselineNuma,
+                                wl, 0.02);
+    };
+    const auto serial = parallelMap(4, point, 1);
+    const auto fanned = parallelMap(4, point, 4);
+    EXPECT_EQ(bench::runsToJson("probe", serial),
+              bench::runsToJson("probe", fanned));
+    EXPECT_NE(bench::runsToJson("probe", serial).find("\"p99\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace dve
