@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Chaos-fuzz campaign: run N seeded adversarial scenarios through the
+ * deterministic parallel runner with live invariant monitors armed, and
+ * emit one machine-readable summary.
+ *
+ * Usage:
+ *   fuzz_campaign [--scenarios N] [--seed S] [--ops N] [--jobs N]
+ *                 [--bug NAME] [--json FILE] [--repro-dir DIR]
+ *                 [--skip-protocol-checks] [--quiet]
+ *
+ * Scenario i rotates the protocol family (allow/deny/dynamic by i % 3)
+ * and derives its generator seed only from (--seed, i), so the campaign
+ * is a pure function of its flags: same flags -> byte-identical JSON at
+ * any --jobs / DVE_BENCH_JOBS value (results merge by scenario index).
+ *
+ * --bug arms a seeded protocol bug (rm-marker-refresh or
+ * skip-deny-invalidate) in every scenario -- the self-test mode CI uses
+ * to prove the monitors catch a real bug within the smoke budget.
+ *
+ * Failing scenarios are delta-debugged to locally-minimal repros and
+ * written to --repro-dir as fuzz_repro_<i>.scn with an `expect` header,
+ * ready to land in tests/corpus/ and replay via `fuzz_tool replay`.
+ *
+ * The summary also embeds the abstract-model protocol checker's verdicts
+ * (the same JSON objects `verify_protocols --json` emits) so one
+ * artifact answers both "did the concrete stack hold its invariants" and
+ * "does the abstract model still verify". --skip-protocol-checks drops
+ * that section for quick iterations.
+ *
+ * Exit status: 0 when the run matches expectations -- no violations
+ * without --bug, at least one violation with --bug; 1 otherwise.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/minimizer.hh"
+#include "fuzz/runner.hh"
+#include "protocol_check/checker.hh"
+
+using namespace dve;
+
+namespace
+{
+
+struct ScenarioOutcome
+{
+    std::uint64_t seed = 0;
+    DveProtocol protocol = DveProtocol::Dynamic;
+    bool violated = false;
+    InvariantMonitor monitor = InvariantMonitor::Swmr;
+    std::uint64_t violationTick = 0;
+    Addr violationLine = 0;
+    std::uint64_t stepsRun = 0;
+    std::uint64_t due = 0;
+    std::uint64_t sdc = 0;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t digest = 0;
+    FuzzScenario scenario; ///< kept for shrinking when violated
+};
+
+GeneratorConfig
+scenarioConfig(std::uint64_t base_seed, std::size_t index,
+               std::uint64_t ops, const GeneratorConfig &bugs)
+{
+    GeneratorConfig gc;
+    // Same derivation family as the reliability campaign: streams depend
+    // only on (seed, index), never on job count or completion order.
+    gc.seed = base_seed * 1000003 + index;
+    gc.ops = ops;
+    switch (index % 3) {
+      case 0: gc.protocol = DveProtocol::Allow; break;
+      case 1: gc.protocol = DveProtocol::Deny; break;
+      default: gc.protocol = DveProtocol::Dynamic; break;
+    }
+    gc.bugRmMarkerRefresh = bugs.bugRmMarkerRefresh;
+    gc.bugSkipDenyInvalidate = bugs.bugSkipDenyInvalidate;
+    return gc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t scenarios = 50;
+    std::uint64_t base_seed = 1;
+    std::uint64_t ops = 400;
+    unsigned jobs = 0; // 0 = DVE_BENCH_JOBS / hardware concurrency
+    GeneratorConfig bugs;
+    bool bug_armed = false;
+    const char *json_path = nullptr;
+    const char *repro_dir = nullptr;
+    bool protocol_checks = true;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const auto num = [&](const char *what) -> std::uint64_t {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", what);
+                std::exit(1);
+            }
+            return std::strtoull(argv[++i], nullptr, 0);
+        };
+        if (std::strcmp(argv[i], "--scenarios") == 0) {
+            scenarios = num("--scenarios");
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            base_seed = num("--seed");
+        } else if (std::strcmp(argv[i], "--ops") == 0) {
+            ops = num("--ops");
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            jobs = static_cast<unsigned>(num("--jobs"));
+        } else if (std::strcmp(argv[i], "--bug") == 0 && i + 1 < argc) {
+            const char *v = argv[++i];
+            if (std::strcmp(v, "rm-marker-refresh") == 0) {
+                bugs.bugRmMarkerRefresh = true;
+            } else if (std::strcmp(v, "skip-deny-invalidate") == 0) {
+                bugs.bugSkipDenyInvalidate = true;
+            } else {
+                std::fprintf(stderr,
+                             "--bug wants rm-marker-refresh or "
+                             "skip-deny-invalidate\n");
+                return 1;
+            }
+            bug_armed = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--repro-dir") == 0
+                   && i + 1 < argc) {
+            repro_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--skip-protocol-checks") == 0) {
+            protocol_checks = false;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return 1;
+        }
+    }
+    if (scenarios == 0) {
+        std::fprintf(stderr, "--scenarios must be >= 1\n");
+        return 1;
+    }
+
+    const auto results = parallelMap(
+        static_cast<std::size_t>(scenarios),
+        [&](std::size_t i) {
+            const GeneratorConfig gc =
+                scenarioConfig(base_seed, i, ops, bugs);
+            const FuzzScenario sc = generateScenario(gc);
+            FuzzRunOptions opt; // checks on, stop at first violation
+            const FuzzRunResult r = runScenario(sc, opt);
+            ScenarioOutcome out;
+            out.seed = gc.seed;
+            out.protocol = gc.protocol;
+            out.violated = r.violated;
+            if (r.violated) {
+                out.monitor = r.violations.front().monitor;
+                out.violationTick = r.violations.front().at;
+                out.violationLine = r.violations.front().line;
+                out.scenario = sc;
+            }
+            out.stepsRun = r.stepsRun;
+            out.due = r.due;
+            out.sdc = r.sdc;
+            out.faultsInjected = r.faultsInjected;
+            out.digest = r.digest;
+            return out;
+        },
+        jobs ? jobs : jobsFromEnv());
+
+    // Tally (merge order = scenario index, so everything below is
+    // deterministic regardless of the job count).
+    std::uint64_t violated = 0;
+    std::map<std::string, std::uint64_t> byMonitor;
+    std::vector<std::size_t> failing;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].violated)
+            continue;
+        ++violated;
+        ++byMonitor[invariantMonitorName(results[i].monitor)];
+        failing.push_back(i);
+    }
+
+    // Shrink failing scenarios to minimal repros (serial: ddmin runs are
+    // short once the campaign has already narrowed to failures).
+    struct Repro
+    {
+        std::size_t index;
+        std::size_t fromSteps;
+        std::size_t toSteps;
+        std::string path;
+    };
+    std::vector<Repro> repros;
+    if (repro_dir) {
+        for (const std::size_t i : failing) {
+            const auto res = shrinkScenario(results[i].scenario);
+            if (!res.reproduced)
+                continue; // raced budget cap; keep going
+            const std::string path = std::string(repro_dir)
+                                     + "/fuzz_repro_"
+                                     + std::to_string(i) + ".scn";
+            std::ofstream out(path);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+                return 1;
+            }
+            out << res.minimized.serialize();
+            repros.push_back(
+                {i, res.initialSteps, res.finalSteps, path});
+        }
+    }
+
+    // Abstract-model cross-check: the same objects verify_protocols
+    // --json emits, so one campaign artifact carries both layers.
+    std::vector<std::pair<std::string, pcheck::CheckResult>> pchecks;
+    if (protocol_checks) {
+        for (const auto proto :
+             {pcheck::CheckProtocol::Deny, pcheck::CheckProtocol::Allow}) {
+            pcheck::ModelConfig cfg;
+            cfg.protocol = proto;
+            cfg.homeCaches = 1;
+            cfg.replicaCaches = 1;
+            cfg.opBudget = 3;
+            pchecks.emplace_back(pcheck::checkProtocolName(proto),
+                                 pcheck::explore(cfg));
+        }
+    }
+
+    std::ostringstream json;
+    json << "{\"bench\": \"fuzz_campaign\",\n\"scenarios\": " << scenarios
+         << ",\n\"seed\": " << base_seed << ",\n\"ops\": " << ops
+         << ",\n\"bug_rm_marker_refresh\": "
+         << (bugs.bugRmMarkerRefresh ? "true" : "false")
+         << ",\n\"bug_skip_deny_invalidate\": "
+         << (bugs.bugSkipDenyInvalidate ? "true" : "false")
+         << ",\n\"violated\": " << violated
+         << ",\n\"violations_by_monitor\": {";
+    bool firstMon = true;
+    for (const auto &[name, count] : byMonitor) {
+        json << (firstMon ? "" : ", ") << "\"" << name << "\": " << count;
+        firstMon = false;
+    }
+    json << "},\n\"failing\": [\n";
+    for (std::size_t k = 0; k < failing.size(); ++k) {
+        const auto &r = results[failing[k]];
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%016" PRIx64, r.digest);
+        json << "{\"index\": " << failing[k] << ", \"seed\": " << r.seed
+             << ", \"protocol\": \"" << dveProtocolName(r.protocol)
+             << "\", \"monitor\": \""
+             << invariantMonitorName(r.monitor)
+             << "\", \"at\": " << r.violationTick << ", \"line\": "
+             << r.violationLine << ", \"steps_run\": " << r.stepsRun
+             << ", \"digest\": \"" << buf << "\"}"
+             << (k + 1 < failing.size() ? ",\n" : "\n");
+    }
+    json << "],\n\"repros\": [\n";
+    for (std::size_t k = 0; k < repros.size(); ++k) {
+        json << "{\"index\": " << repros[k].index << ", \"from_steps\": "
+             << repros[k].fromSteps << ", \"to_steps\": "
+             << repros[k].toSteps << ", \"path\": \"" << repros[k].path
+             << "\"}" << (k + 1 < repros.size() ? ",\n" : "\n");
+    }
+    json << "],\n\"protocol_checks\": [\n";
+    for (std::size_t k = 0; k < pchecks.size(); ++k) {
+        json << "{\"protocol\": \"" << pchecks[k].first
+             << "\", \"result\": " << pchecks[k].second.toJson() << "}"
+             << (k + 1 < pchecks.size() ? ",\n" : "\n");
+    }
+    const bool pchecks_ok = [&] {
+        for (const auto &[name, r] : pchecks) {
+            if (!r.ok)
+                return false;
+        }
+        return true;
+    }();
+    const bool expectation_met =
+        pchecks_ok && (bug_armed ? violated > 0 : violated == 0);
+    json << "],\n\"protocol_checks_ok\": "
+         << (pchecks_ok ? "true" : "false")
+         << ",\n\"expectation_met\": "
+         << (expectation_met ? "true" : "false") << "}\n";
+
+    if (json_path) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", json_path);
+            return 1;
+        }
+        out << json.str();
+    }
+
+    if (!quiet) {
+        std::printf("Fuzz campaign: %llu scenarios x %llu ops, seed "
+                    "%llu%s\n",
+                    static_cast<unsigned long long>(scenarios),
+                    static_cast<unsigned long long>(ops),
+                    static_cast<unsigned long long>(base_seed),
+                    bug_armed ? " (seeded bug armed)" : "");
+        std::printf("violations: %llu/%llu\n",
+                    static_cast<unsigned long long>(violated),
+                    static_cast<unsigned long long>(scenarios));
+        for (const auto &[name, count] : byMonitor) {
+            std::printf("  %-18s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(count));
+        }
+        for (const auto &r : repros) {
+            std::printf("repro: scenario %zu shrunk %zu -> %zu steps -> "
+                        "%s\n",
+                        r.index, r.fromSteps, r.toSteps, r.path.c_str());
+        }
+        for (const auto &[name, r] : pchecks) {
+            std::printf("protocol-check %-6s: %s\n", name.c_str(),
+                        r.summary().c_str());
+        }
+        std::printf("expectation %s\n",
+                    expectation_met ? "met" : "NOT MET");
+    }
+    if (!json_path && quiet)
+        std::fputs(json.str().c_str(), stdout);
+
+    return expectation_met ? 0 : 1;
+}

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Chaos-fuzz workbench: generate, run, shrink and replay scenarios.
+ *
+ *   $ fuzz_tool gen [--seed N] [--ops N] [--protocol P] [--pages N]
+ *                   [--bug NAME] [--out FILE]
+ *   $ fuzz_tool run FILE [--checks 0|1] [--trace FILE] [--log]
+ *   $ fuzz_tool shrink FILE --out FILE
+ *   $ fuzz_tool replay FILE
+ *
+ * `run` exits 1 when a monitor fired (0 clean, 2 on usage/parse errors)
+ * and prints the structured violation report with the tracer tail.
+ *
+ * `shrink` delta-debugs a failing scenario to a locally-minimal repro,
+ * stamps the expected monitor into its `expect` header, writes it to
+ * --out, and prints the replay command line.
+ *
+ * `replay` is the corpus contract used by ctest: exit 0 iff the run
+ * matches the scenario's `expect` header -- the named monitor fired
+ * (for `expect violation M`), or no monitor fired (for `expect clean` /
+ * no header). Minimized repros in tests/corpus/ replay this way.
+ *
+ * Environment knobs (flags win over the environment):
+ *   DVE_FUZZ_SEED    default --seed for gen
+ *   DVE_FUZZ_OPS     default --ops for gen
+ *   DVE_FUZZ_CHECKS  default --checks for run (0 disables monitors)
+ *   DVE_FUZZ_TRACE   tracer ring capacity for run/shrink/replay
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/generator.hh"
+#include "fuzz/minimizer.hh"
+#include "fuzz/runner.hh"
+#include "fuzz/scenario.hh"
+
+using namespace dve;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fuzz_tool gen [--seed N] [--ops N] [--protocol P]\n"
+        "                     [--pages N] [--bug NAME] [--out FILE]\n"
+        "       fuzz_tool run FILE [--checks 0|1] [--trace FILE] "
+        "[--log]\n"
+        "       fuzz_tool shrink FILE --out FILE\n"
+        "       fuzz_tool replay FILE\n");
+    return 2;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const std::uint64_t x = std::strtoull(v, &end, 0);
+    if (!end || *end != '\0') {
+        std::fprintf(stderr, "fuzz_tool: ignoring malformed %s='%s'\n",
+                     name, v);
+        return fallback;
+    }
+    return x;
+}
+
+bool
+loadScenario(const char *path, FuzzScenario &sc)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "fuzz_tool: cannot open '%s'\n", path);
+        return false;
+    }
+    std::string err;
+    const auto parsed = FuzzScenario::parse(in, &err);
+    if (!parsed) {
+        std::fprintf(stderr, "fuzz_tool: %s: %s\n", path, err.c_str());
+        return false;
+    }
+    sc = *parsed;
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "fuzz_tool: cannot write '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+void
+printSummary(const FuzzRunResult &r)
+{
+    std::printf("steps=%llu reads=%llu writes=%llu clean=%llu "
+                "corrected=%llu due=%llu sdc=%llu\n",
+                static_cast<unsigned long long>(r.stepsRun),
+                static_cast<unsigned long long>(r.reads),
+                static_cast<unsigned long long>(r.writes),
+                static_cast<unsigned long long>(r.clean),
+                static_cast<unsigned long long>(r.corrected),
+                static_cast<unsigned long long>(r.due),
+                static_cast<unsigned long long>(r.sdc));
+    std::printf("faults injected=%llu healed=%llu end-tick=%llu "
+                "digest=%016llx\n",
+                static_cast<unsigned long long>(r.faultsInjected),
+                static_cast<unsigned long long>(r.faultsHealed),
+                static_cast<unsigned long long>(r.endTick),
+                static_cast<unsigned long long>(r.digest));
+}
+
+int
+cmdGen(int argc, char **argv)
+{
+    GeneratorConfig gc;
+    gc.seed = envU64("DVE_FUZZ_SEED", gc.seed);
+    gc.ops = envU64("DVE_FUZZ_OPS", gc.ops);
+    std::string out;
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto val = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--seed") {
+            const char *v = val();
+            if (!v)
+                return usage();
+            gc.seed = std::strtoull(v, nullptr, 0);
+        } else if (a == "--ops") {
+            const char *v = val();
+            if (!v)
+                return usage();
+            gc.ops = std::strtoull(v, nullptr, 0);
+        } else if (a == "--pages") {
+            const char *v = val();
+            if (!v)
+                return usage();
+            gc.footprintPages =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+        } else if (a == "--protocol") {
+            const char *v = val();
+            const auto p = v ? parseDveProtocol(v) : std::nullopt;
+            if (!p) {
+                std::fprintf(stderr, "fuzz_tool: bad --protocol\n");
+                return 2;
+            }
+            gc.protocol = *p;
+        } else if (a == "--bug") {
+            const char *v = val();
+            if (v && std::strcmp(v, "rm-marker-refresh") == 0) {
+                gc.bugRmMarkerRefresh = true;
+            } else if (v
+                       && std::strcmp(v, "skip-deny-invalidate") == 0) {
+                gc.bugSkipDenyInvalidate = true;
+            } else {
+                std::fprintf(stderr,
+                             "fuzz_tool: --bug wants rm-marker-refresh "
+                             "or skip-deny-invalidate\n");
+                return 2;
+            }
+        } else if (a == "--out") {
+            const char *v = val();
+            if (!v)
+                return usage();
+            out = v;
+        } else {
+            return usage();
+        }
+    }
+    const FuzzScenario sc = generateScenario(gc);
+    const std::string text = sc.serialize();
+    if (out.empty()) {
+        std::fputs(text.c_str(), stdout);
+        return 0;
+    }
+    return writeFile(out, text) ? 0 : 2;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    FuzzScenario sc;
+    if (!loadScenario(argv[2], sc))
+        return 2;
+    FuzzRunOptions opt;
+    opt.invariantChecks = envU64("DVE_FUZZ_CHECKS", 1) != 0;
+    opt.traceCapacity =
+        static_cast<std::size_t>(envU64("DVE_FUZZ_TRACE", 4096));
+    std::string tracePath;
+    bool dumpLog = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--checks" && i + 1 < argc) {
+            opt.invariantChecks = std::strtoul(argv[++i], nullptr, 0) != 0;
+        } else if (a == "--trace" && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else if (a == "--log") {
+            dumpLog = true;
+        } else {
+            return usage();
+        }
+    }
+    const auto r = runScenario(sc, opt);
+    if (dumpLog)
+        std::fputs(r.log.c_str(), stdout);
+    printSummary(r);
+    if (!tracePath.empty() && !r.traceJson.empty()
+        && !writeFile(tracePath, r.traceJson)) {
+        return 2;
+    }
+    if (r.violated) {
+        std::fputs(formatViolation(r.violations.front()).c_str(),
+                   stdout);
+        return 1;
+    }
+    std::printf("no invariant violations\n");
+    return 0;
+}
+
+int
+cmdShrink(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    FuzzScenario sc;
+    if (!loadScenario(argv[2], sc))
+        return 2;
+    std::string out;
+    for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc)
+            out = argv[++i];
+        else
+            return usage();
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "fuzz_tool: shrink needs --out FILE\n");
+        return 2;
+    }
+    const auto res = shrinkScenario(sc);
+    if (!res.reproduced) {
+        std::fprintf(stderr,
+                     "fuzz_tool: scenario does not fail; nothing to "
+                     "shrink\n");
+        return 1;
+    }
+    if (!writeFile(out, res.minimized.serialize()))
+        return 2;
+    std::printf("shrunk %zu -> %zu steps in %u probes "
+                "(monitor %s)\n",
+                res.initialSteps, res.finalSteps, res.probes,
+                invariantMonitorName(res.monitor));
+    std::printf("replay: fuzz_tool replay %s\n", out.c_str());
+    return 0;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    FuzzScenario sc;
+    if (!loadScenario(argv[2], sc))
+        return 2;
+    FuzzRunOptions opt;
+    opt.traceCapacity =
+        static_cast<std::size_t>(envU64("DVE_FUZZ_TRACE", 4096));
+    const auto r = runScenario(sc, opt);
+    printSummary(r);
+    if (sc.expect.monitor) {
+        if (r.violated
+            && r.violations.front().monitor == *sc.expect.monitor) {
+            std::printf("replay ok: expected monitor %s fired\n",
+                        invariantMonitorName(*sc.expect.monitor));
+            return 0;
+        }
+        if (r.violated) {
+            std::fputs(formatViolation(r.violations.front()).c_str(),
+                       stdout);
+            std::fprintf(stderr,
+                         "replay FAILED: expected monitor %s, got %s\n",
+                         invariantMonitorName(*sc.expect.monitor),
+                         invariantMonitorName(
+                             r.violations.front().monitor));
+        } else {
+            std::fprintf(stderr,
+                         "replay FAILED: expected monitor %s, run was "
+                         "clean\n",
+                         invariantMonitorName(*sc.expect.monitor));
+        }
+        return 1;
+    }
+    if (r.violated) {
+        std::fputs(formatViolation(r.violations.front()).c_str(),
+                   stdout);
+        std::fprintf(stderr,
+                     "replay FAILED: expected clean run, monitor %s "
+                     "fired\n",
+                     invariantMonitorName(r.violations.front().monitor));
+        return 1;
+    }
+    std::printf("replay ok: clean run as expected\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    if (std::strcmp(argv[1], "gen") == 0)
+        return cmdGen(argc, argv);
+    if (std::strcmp(argv[1], "run") == 0)
+        return cmdRun(argc, argv);
+    if (std::strcmp(argv[1], "shrink") == 0)
+        return cmdShrink(argc, argv);
+    if (std::strcmp(argv[1], "replay") == 0)
+        return cmdReplay(argc, argv);
+    return usage();
+}

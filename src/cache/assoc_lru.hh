@@ -96,6 +96,18 @@ class AssocLru
     std::size_t size() const { return map_.size(); }
     std::size_t capacity() const { return capacity_; }
 
+    /**
+     * Visit every (key, value) pair, most recent first. Iterates the
+     * recency list, so visit order is deterministic across runs.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &kv : order_)
+            fn(kv.first, kv.second);
+    }
+
   private:
     std::size_t capacity_;
     std::list<std::pair<K, V>> order_; ///< front = most recent

@@ -1,6 +1,8 @@
 #include "coherence/engine.hh"
 
 #include <algorithm>
+#include <cstring>
+#include <map>
 
 #include "common/logging.hh"
 
@@ -29,6 +31,32 @@ readOutcomeName(ReadOutcome o)
       case ReadOutcome::Sdc: return "sdc";
     }
     return "?";
+}
+
+const char *
+invariantMonitorName(InvariantMonitor m)
+{
+    switch (m) {
+      case InvariantMonitor::Swmr: return "swmr";
+      case InvariantMonitor::DataValue: return "data-value";
+      case InvariantMonitor::ReplicaDir: return "replica-dir";
+      case InvariantMonitor::DegradedHonesty: return "degraded-honesty";
+      case InvariantMonitor::Liveness: return "liveness";
+    }
+    return "?";
+}
+
+std::optional<InvariantMonitor>
+parseInvariantMonitor(const char *name)
+{
+    if (!name)
+        return std::nullopt;
+    for (unsigned i = 0; i < numInvariantMonitors; ++i) {
+        const auto m = static_cast<InvariantMonitor>(i);
+        if (std::strcmp(name, invariantMonitorName(m)) == 0)
+            return m;
+    }
+    return std::nullopt;
 }
 
 const char *
@@ -137,6 +165,118 @@ CoherenceEngine::classify(bool is_write, LineState state)
     ++classCount_[static_cast<unsigned>(c)];
 }
 
+void
+CoherenceEngine::reportViolation(InvariantMonitor m, Tick at, Addr line,
+                                 std::string detail)
+{
+    InvariantViolation v;
+    v.monitor = m;
+    v.at = at;
+    v.line = line;
+    v.detail = std::move(detail);
+    // Attach the tracer tail BEFORE mirroring the violation itself, so
+    // the report shows what led up to the firing.
+    constexpr std::size_t tail = 16;
+    v.recentEvents = tracer_.ordered();
+    if (v.recentEvents.size() > tail) {
+        v.recentEvents.erase(v.recentEvents.begin(),
+                             v.recentEvents.end() - tail);
+    }
+    tracer_.record({at, 0, TraceKind::InvariantViolation, TraceComp::Core,
+                    static_cast<std::uint8_t>(homeSocket(line)), line,
+                    static_cast<std::uint64_t>(m)});
+    violations_.push_back(std::move(v));
+}
+
+bool
+CoherenceEngine::dueHasCause(Addr) const
+{
+    // The baseline has no second copy: any active fault legitimizes a
+    // machine check. A DUE on a fault-free system is a bookkeeping bug.
+    return faults_.activeCount() > 0;
+}
+
+void
+CoherenceEngine::checkInvariants(Tick now)
+{
+    // Home-directory entry sanity: M/O needs a registered owner; M is
+    // exclusive by definition.
+    for (unsigned h = 0; h < cfg_.sockets; ++h) {
+        sockets_[h].dir.forEach([&](Addr line, const DirEntry &e) {
+            if ((e.state == LineState::M || e.state == LineState::O)
+                && (e.owner < 0
+                    || !e.hasSharer(static_cast<unsigned>(e.owner)))) {
+                reportViolation(InvariantMonitor::Swmr, now, line,
+                                "M/O home entry without registered owner");
+            }
+            if (e.state == LineState::M && e.sharerCount() > 1) {
+                reportViolation(InvariantMonitor::Swmr, now, line,
+                                "exclusive home entry with multiple "
+                                "sharers");
+            }
+        });
+    }
+
+    // One writable copy system-wide, and LLC/L1 inclusion bookkeeping.
+    // std::map keeps the violation order deterministic across runs.
+    std::map<Addr, unsigned> modifiedCopies;
+    for (unsigned s = 0; s < cfg_.sockets; ++s) {
+        auto &sk = sockets_[s];
+        sk.llc.forEach([&](Addr line, LlcEntry &e) {
+            if (e.state == LineState::M)
+                ++modifiedCopies[line];
+            for (unsigned c = 0; c < cfg_.coresPerSocket; ++c) {
+                const bool tracked = e.l1Sharers & (1u << c);
+                const L1Entry *l1e = sk.l1[c].peek(line);
+                if (tracked && !l1e) {
+                    reportViolation(InvariantMonitor::Swmr, now, line,
+                                    "LLC tracks an absent L1 copy");
+                }
+                if (l1e && l1e->writable
+                    && e.l1Owner != static_cast<int>(c)) {
+                    reportViolation(InvariantMonitor::Swmr, now, line,
+                                    "writable L1 copy is not the "
+                                    "registered L1 owner");
+                }
+            }
+            if (e.l1Owner >= 0) {
+                const L1Entry *oe =
+                    sk.l1[static_cast<unsigned>(e.l1Owner)].peek(line);
+                if (!oe || !oe->writable) {
+                    reportViolation(InvariantMonitor::Swmr, now, line,
+                                    "registered L1 owner lost its "
+                                    "writable copy");
+                }
+            }
+        });
+    }
+    for (const auto &[line, n] : modifiedCopies) {
+        if (n > 1) {
+            reportViolation(InvariantMonitor::Swmr, now, line,
+                            "multiple modified LLC copies system-wide");
+        }
+    }
+}
+
+void
+CoherenceEngine::auditAccess(Addr line, const AccessResult &r, Tick now)
+{
+    if (r.outcome == ReadOutcome::Sdc) {
+        reportViolation(InvariantMonitor::DataValue, r.done, line,
+                        "read committed a value differing from the "
+                        "golden image");
+    } else if (r.outcome == ReadOutcome::Due && !dueHasCause(line)) {
+        reportViolation(InvariantMonitor::DegradedHonesty, r.done, line,
+                        "machine check raised with no active fault, "
+                        "degraded copy or fenced link");
+    }
+    if (r.done - now > cfg_.watchdogBudget) {
+        reportViolation(InvariantMonitor::Liveness, r.done, line,
+                        "access exceeded the no-wedge watchdog budget");
+    }
+    checkInvariants(r.done);
+}
+
 AccessResult
 CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
                         bool is_write, std::uint64_t write_value, Tick now)
@@ -179,7 +319,10 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
             tracer_.record({now, t_l1 - now, TraceKind::Request,
                             TraceComp::Core,
                             static_cast<std::uint8_t>(socket), line, 0});
-            return {t_l1, e->value, out};
+            const AccessResult res{t_l1, e->value, out};
+            if (cfg_.invariantChecks)
+                auditAccess(line, res, now);
+            return res;
         }
         if (e->writable) {
             ++l1Hits_;
@@ -191,7 +334,10 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
             tracer_.record({now, t_l1 - now, TraceKind::Request,
                             TraceComp::Core,
                             static_cast<std::uint8_t>(socket), line, 1});
-            return {t_l1, write_value, ReadOutcome::Clean};
+            const AccessResult res{t_l1, write_value, ReadOutcome::Clean};
+            if (cfg_.invariantChecks)
+                auditAccess(line, res, now);
+            return res;
         }
         // Write to a shared copy: upgrade through the LLC path below.
     }
@@ -214,6 +360,8 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
     tracer_.record({now, r.done - now, TraceKind::Request, TraceComp::Core,
                     static_cast<std::uint8_t>(socket), line,
                     is_write ? 1u : 0u});
+    if (cfg_.invariantChecks)
+        auditAccess(line, r, now);
     return r;
 }
 

@@ -22,6 +22,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -78,6 +80,39 @@ struct AccessResult
     Tick done = 0;           ///< tick at which the access completes
     std::uint64_t value = 0; ///< data observed by a read
     ReadOutcome outcome = ReadOutcome::Clean; ///< oracle verdict
+};
+
+/**
+ * The live invariant monitors compiled into the concrete engines behind
+ * EngineConfig::invariantChecks (the chaos-fuzz harness, Sec. V-C4
+ * discharged on the real stack instead of the abstract model).
+ */
+enum class InvariantMonitor : std::uint8_t
+{
+    Swmr,            ///< single writer / multiple readers over all caches
+    DataValue,       ///< read commit vs. the golden (logical) memory image
+    ReplicaDir,      ///< replica-directory coherence vs. home permissions
+    DegradedHonesty, ///< no SDC ever; DUE only with an actual cause
+    Liveness,        ///< no-wedge watchdog on per-access latency
+};
+
+constexpr unsigned numInvariantMonitors = 5;
+
+const char *invariantMonitorName(InvariantMonitor m);
+
+/** Inverse of invariantMonitorName; nullopt for unrecognized names. */
+std::optional<InvariantMonitor> parseInvariantMonitor(const char *name);
+
+/** One monitor firing, with the tracer's most recent events attached. */
+struct InvariantViolation
+{
+    InvariantMonitor monitor = InvariantMonitor::Swmr;
+    Tick at = 0;
+    Addr line = 0;
+    std::string detail;
+    /** Tail of the event-trace ring at the moment the monitor fired
+     *  (empty when tracing is disabled). */
+    std::vector<TraceRecord> recentEvents;
 };
 
 /** The coherence engine; Dvé subclasses it (see core/dve_engine.hh). */
@@ -157,6 +192,14 @@ class CoherenceEngine
     EventTracer &tracer() { return tracer_; }
     const EventTracer &tracer() const { return tracer_; }
 
+    /** Monitor firings collected so far (invariantChecks only). */
+    const std::vector<InvariantViolation> &invariantViolations() const
+    {
+        return violations_;
+    }
+
+    void clearInvariantViolations() { violations_.clear(); }
+
     /**
      * Dump every statistic group in the system (engine, NoC, memory
      * controllers, DRAM modules) as "group.stat value" lines, gem5
@@ -216,6 +259,34 @@ class CoherenceEngine
      */
     virtual bool retainSharerAfterWriteback(unsigned home, Addr line,
                                             unsigned from_socket);
+
+    // ---- Live invariant monitors (EngineConfig::invariantChecks) -------
+
+    /**
+     * Sweep the global structural invariants after one access: SWMR
+     * over home-directory entries, LLC states and L1 ownership.
+     * DveEngine extends the sweep with replica-directory coherence.
+     * Only called when invariantChecks is on.
+     */
+    virtual void checkInvariants(Tick now);
+
+    /**
+     * Is there a legitimate cause for a DUE on @p line right now? The
+     * degraded-honesty monitor flags causeless machine checks. The
+     * baseline accepts any active fault; Dvé adds degraded lines and
+     * fenced links.
+     */
+    virtual bool dueHasCause(Addr line) const;
+
+    /**
+     * Record one monitor firing: capture the tracer tail, mirror the
+     * violation into the trace, and append the structured report.
+     */
+    void reportViolation(InvariantMonitor m, Tick at, Addr line,
+                         std::string detail);
+
+    /** Post-access monitor entry point (outcome + watchdog + sweep). */
+    void auditAccess(Addr line, const AccessResult &r, Tick now);
 
     /**
      * Called when the home directory grants exclusive ownership of @p
@@ -316,6 +387,7 @@ class CoherenceEngine
     Histogram reqLatency_;      ///< end-to-end latency of every access
     StatGroup stats_;
     EventTracer tracer_;
+    std::vector<InvariantViolation> violations_;
 };
 
 } // namespace dve

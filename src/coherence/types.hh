@@ -88,6 +88,26 @@ struct EngineConfig
      */
     std::size_t traceCapacity = 0;
 
+    /**
+     * Compile-in live invariant monitors (the chaos-fuzz harness): SWMR
+     * over sharer/owner sets, data-value at every read commit,
+     * replica-directory coherence, degraded-mode honesty, and a
+     * no-wedge liveness watchdog. Violations are collected as
+     * structured reports (CoherenceEngine::invariantViolations) and
+     * mirrored into the event tracer. Default off; disabled runs take a
+     * single branch per access and are byte-identical to builds without
+     * the monitors.
+     */
+    bool invariantChecks = false;
+
+    /**
+     * No-wedge watchdog budget: the liveness monitor flags any single
+     * access whose end-to-end latency exceeds this many ticks (only
+     * consulted when invariantChecks is on). Generous default: far
+     * above a full retry/fence ladder plus recovery DRAM work.
+     */
+    Tick watchdogBudget = 2 * ticksPerMs;
+
     /** Core clock helper. */
     ClockDomain coreClock() const { return ClockDomain(coreFreqMhz); }
 };

@@ -23,6 +23,7 @@ kindName(TraceKind k)
       case TraceKind::FaultHeal: return "fault-heal";
       case TraceKind::RepairBegin: return "repair-begin";
       case TraceKind::RepairEnd: return "repair-end";
+      case TraceKind::InvariantViolation: return "invariant-violation";
     }
     return "unknown";
 }

@@ -45,6 +45,9 @@ enum class TraceKind : std::uint8_t
     FaultHeal,   ///< fault deactivated (transient decay / repair)
     RepairBegin, ///< repair task admitted to the queue
     RepairEnd,   ///< repair task retired (healed or abandoned)
+    /** Live invariant monitor fired: a = line address, b = monitor id
+     *  (see InvariantMonitor in coherence/engine.hh). */
+    InvariantViolation,
 };
 
 /** Which component emitted the record (Chrome tid). */

@@ -710,7 +710,7 @@ DveEngine::writebackToMemory(unsigned home, Addr line, std::uint64_t value,
         // would mint a permission no exclusive grant can revoke.
         const auto backing = rd.peekBacking(line);
         const bool invalidatable =
-            !backing
+            dcfg_.bugRmMarkerRefresh || !backing
             || (backing->state == RepState::M
                 && backing->owner == static_cast<int>(*rs));
         if (invalidatable)
@@ -761,7 +761,8 @@ DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
         rd.install(line, {RepState::RM, static_cast<int>(to_socket)});
         if (dcfg_.coarseGrain)
             rd.removeRegion(line);
-        t = invalidateSocketCopy(*rs, line, t);
+        if (!dcfg_.bugSkipDenyInvalidate)
+            t = invalidateSocketCopy(*rs, line, t);
         return controlSend(dirNode(*rs), dirNode(home), t);
     }
 
@@ -778,6 +779,16 @@ DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
         // Leftover deny-phase RM/M backing entries are harmless here
         // (they deny readability); what must never exist without a home
         // sharer registration is an explicit Readable permission.
+        if (cfg_.invariantChecks && rd.hasReadablePermission(line)) {
+            // Structured report instead of the panic below, then cure
+            // the stray permission so the run stays well-defined past
+            // the detection point.
+            reportViolation(InvariantMonitor::ReplicaDir, start, line,
+                            "exclusive grant found a Readable replica "
+                            "permission the home never registered");
+            rd.remove(line);
+            return start;
+        }
         dve_assert(!rd.hasReadablePermission(line),
                    "allow permission without home sharer registration");
         return start;
@@ -798,6 +809,81 @@ DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
         t = invalidateSocketCopy(*rs, line, t);
     }
     return controlSend(dirNode(*rs), dirNode(home), t);
+}
+
+void
+DveEngine::checkInvariants(Tick now)
+{
+    CoherenceEngine::checkInvariants(now);
+
+    // Allow soundness: an explicit Readable permission must be revocable,
+    // i.e. the home directory still tracks the replica socket as a
+    // sharer. A permission the home cannot route an invalidation to
+    // survives the next exclusive grant and then reads stale data.
+    for (unsigned rs = 0; rs < cfg_.sockets; ++rs) {
+        std::vector<Addr> bad;
+        rdirs_[rs]->forEachOnChipLine(
+            [&](Addr line, const ReplicaDirectory::Entry &e) {
+                if (e.state != RepState::Readable)
+                    return;
+                // Deny-mode lines cache Readable outcomes on-chip
+                // without registering at the home (absence-means-
+                // readable); the invariant only binds allow-mode lines.
+                // A dynamic flip to allow drains all on-chip entries
+                // first, so checking effectiveDeny at sweep time is
+                // sound.
+                if (effectiveDeny(line))
+                    return;
+                if (degradedReplica_.count(line)
+                    || degradedHome_.count(line))
+                    return;
+                const DirEntry *de =
+                    directory(homeSocket(line)).find(line);
+                if (!de || !de->hasSharer(rs))
+                    bad.push_back(line);
+            });
+        std::sort(bad.begin(), bad.end());
+        for (Addr line : bad)
+            reportViolation(InvariantMonitor::ReplicaDir, now, line,
+                            "Readable replica permission without a home "
+                            "sharer registration");
+    }
+
+    // Deny exhaustiveness: a replicated line dirty at a remote
+    // (non-replica) owner must carry an RM marker in the replica's
+    // backing state, or a deny-protocol local read would return the
+    // stale replica copy.
+    for (unsigned h = 0; h < cfg_.sockets; ++h) {
+        std::vector<Addr> bad;
+        directory(h).forEach([&](Addr line, const DirEntry &de) {
+            if (de.state != LineState::M && de.state != LineState::O)
+                return;
+            const auto rs = rmap_.replicaSocket(line, h);
+            if (!rs || de.owner < 0
+                || de.owner == static_cast<int>(*rs))
+                return;
+            if (!effectiveDeny(line))
+                return;
+            if (degradedReplica_.count(line) || degradedHome_.count(line))
+                return;
+            const auto backing = rdirs_[*rs]->peekBacking(line);
+            if (!backing || backing->state == RepState::Readable)
+                bad.push_back(line);
+        });
+        std::sort(bad.begin(), bad.end());
+        for (Addr line : bad)
+            reportViolation(InvariantMonitor::ReplicaDir, now, line,
+                            "remotely modified line without a deny (RM) "
+                            "marker at the replica directory");
+    }
+}
+
+bool
+DveEngine::dueHasCause(Addr line) const
+{
+    return CoherenceEngine::dueHasCause(line)
+           || degradedHome_.count(line) > 0
+           || degradedReplica_.count(line) > 0 || !fenceUntil_.empty();
 }
 
 CoherenceEngine::MissResult

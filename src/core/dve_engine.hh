@@ -105,6 +105,30 @@ struct DveConfig
      *  until this probe interval elapses and one retry ladder re-tests
      *  the link (circuit breaker). */
     Tick fenceProbeInterval = 25 * ticksPerUs;
+
+    // ---- Seeded-bug switches (chaos-fuzz harness only) -----------------
+    /**
+     * Re-introduce the pre-fix writeback-refresh bug: a dirty eviction's
+     * replica update upgrades ANY leftover replica-directory entry to a
+     * Readable permission -- including deny-phase RM / remote-owned M
+     * markers whose local reads never registered the replica socket as a
+     * sharer at the home directory. The minted permission can never be
+     * revoked by a later exclusive grant, so a subsequent local replica
+     * read returns stale data (an SDC) under the dynamic protocol.
+     * Exists so the fuzz harness can prove the live invariant monitors
+     * catch a real, once-shipped protocol bug; never enable otherwise.
+     */
+    bool bugRmMarkerRefresh = false;
+    /**
+     * Skip the local-copy invalidation that rides the deny protocol's
+     * eager RM push. Replica-side reads do not register at the home
+     * directory, so that push is the ONLY mechanism that scrubs the
+     * replica socket's cached copies on a remote exclusive grant;
+     * without it the next replica-side read hits the stale cache line
+     * and commits wrong data (an SDC). Same caveat as above: fuzz
+     * harness only.
+     */
+    bool bugSkipDenyInvalidate = false;
 };
 
 /** The Dvé engine: baseline NUMA + coherent replication. */
@@ -265,6 +289,20 @@ class DveEngine : public CoherenceEngine
                           Tick start, std::uint32_t prev_sharers) override;
     bool retainSharerAfterWriteback(unsigned home, Addr line,
                                     unsigned from_socket) override;
+
+    /**
+     * Base sweeps (SWMR, LLC/L1 tracking) plus the replica-directory
+     * coherence monitors: every explicit Readable permission must have a
+     * home sharer registration behind it (allow soundness), and every
+     * remotely modified replicated line must carry an RM marker under the
+     * deny protocol (deny exhaustiveness). Degraded lines are exempt --
+     * their replica state is intentionally fenced off.
+     */
+    void checkInvariants(Tick now) override;
+
+    /** A DUE is honest when faults are active, the line is degraded, or
+     *  a fabric fence is (or recently was) open. */
+    bool dueHasCause(Addr line) const override;
 
     // ---- Fabric-fault escalation ---------------------------------------
 

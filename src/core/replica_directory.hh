@@ -99,6 +99,33 @@ class ReplicaDirectory
     std::optional<Entry> peekBacking(Addr line) const;
 
     /**
+     * Visit every cached per-line entry (skips region permissions and
+     * cached negative results). Deterministic recency order; intended
+     * for the live invariant monitors.
+     */
+    template <typename Fn>
+    void
+    forEachOnChipLine(Fn &&fn) const
+    {
+        onChip_.forEach([&](Addr key, const OnChip &oc) {
+            if (!(key & regionKeyBit) && !oc.isRegion && oc.entry)
+                fn(key, *oc.entry);
+        });
+    }
+
+    /**
+     * Visit every authoritative backing entry. Unordered-map order:
+     * callers that need determinism must sort what they collect.
+     */
+    template <typename Fn>
+    void
+    forEachBacking(Fn &&fn) const
+    {
+        for (const auto &kv : backing_)
+            fn(kv.first, kv.second);
+    }
+
+    /**
      * Dynamic-protocol drain: forget allow permissions and the on-chip
      * cache, but preserve the authoritative deny (RM/M) backing state.
      */

@@ -1,6 +1,7 @@
 #include "fault/fault.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -107,6 +108,10 @@ parseFaultSpec(const std::string &spec, std::string *err)
         const std::string head = spec.substr(0, colon);
         std::string arg = spec.substr(colon + 1);
         const auto comma = arg.find(',');
+        if (comma != std::string::npos && comma + 1 == arg.size()) {
+            setErr(err, "trailing comma in fault spec '" + spec + "'");
+            return std::nullopt;
+        }
         rest = comma == std::string::npos ? "" : arg.substr(comma + 1);
         arg = arg.substr(0, comma);
         if (head == "link" || head == "lossy") {
@@ -132,6 +137,10 @@ parseFaultSpec(const std::string &spec, std::string *err)
 
     while (!rest.empty()) {
         const auto comma = rest.find(',');
+        if (comma != std::string::npos && comma + 1 == rest.size()) {
+            setErr(err, "trailing comma in fault spec '" + spec + "'");
+            return std::nullopt;
+        }
         const std::string tok = rest.substr(0, comma);
         rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
         const auto eq = tok.find('=');
@@ -143,6 +152,12 @@ parseFaultSpec(const std::string &spec, std::string *err)
         const std::string val = tok.substr(eq + 1);
         bool ok = true;
         if (key == "scope") {
+            if (scopeSet) {
+                setErr(err, "duplicate scope in fault spec '" + spec
+                            + "' (already " + faultScopeName(f.scope)
+                            + ")");
+                return std::nullopt;
+            }
             const auto s = parseFaultScope(val.c_str());
             if (!s) {
                 setErr(err, "unknown fault scope '" + val + "'");
@@ -208,6 +223,80 @@ parseFaultSpec(const std::string &spec, std::string *err)
             std::swap(f.socket, f.peer);
     }
     return f;
+}
+
+std::string
+formatFaultSpec(const FaultDescriptor &in)
+{
+    const FaultDescriptor f = FaultRegistry::normalized(in);
+    std::string s = "scope=";
+    s += faultScopeName(f.scope);
+    const auto field = [&s](const char *key, std::uint64_t v) {
+        s += ',';
+        s += key;
+        s += '=';
+        s += std::to_string(v);
+    };
+    field("socket", f.socket);
+    switch (f.scope) {
+      case FaultScope::Cell:
+        field("channel", f.channel);
+        field("rank", f.rank);
+        field("chip", f.chip);
+        field("bank", f.bank);
+        field("row", f.row);
+        field("column", f.column);
+        field("bit", f.bit);
+        break;
+      case FaultScope::Row:
+        field("channel", f.channel);
+        field("rank", f.rank);
+        field("chip", f.chip);
+        field("bank", f.bank);
+        field("row", f.row);
+        break;
+      case FaultScope::Column:
+        field("channel", f.channel);
+        field("rank", f.rank);
+        field("chip", f.chip);
+        field("bank", f.bank);
+        field("column", f.column);
+        break;
+      case FaultScope::Bank:
+        field("channel", f.channel);
+        field("rank", f.rank);
+        field("chip", f.chip);
+        field("bank", f.bank);
+        break;
+      case FaultScope::Chip:
+        field("channel", f.channel);
+        field("rank", f.rank);
+        field("chip", f.chip);
+        break;
+      case FaultScope::Channel:
+        field("channel", f.channel);
+        break;
+      case FaultScope::Controller:
+      case FaultScope::SocketOffline:
+        break;
+      case FaultScope::LinkDown:
+        field("peer", f.peer);
+        break;
+      case FaultScope::LinkLossy:
+        field("peer", f.peer);
+        {
+            // Fixed %.17g: shortest form that round-trips any double.
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", f.dropProb);
+            s += ",drop=";
+            s += buf;
+        }
+        field("delay", f.delayTicks);
+        break;
+    }
+    if (f.transient)
+        s += ",transient=1";
+    return s;
 }
 
 FaultGeometry

@@ -88,6 +88,15 @@ struct FaultDescriptor
 std::optional<FaultDescriptor> parseFaultSpec(const std::string &spec,
                                               std::string *err = nullptr);
 
+/**
+ * Serialize a descriptor as a "scope=...,key=value" spec that
+ * parseFaultSpec round-trips to the same normalized descriptor. Only the
+ * coordinate fields the scope uses are emitted (the registry's canonical
+ * form), so the output is stable and deterministic -- scenario files and
+ * repro reports embed it verbatim.
+ */
+std::string formatFaultSpec(const FaultDescriptor &f);
+
 /** What a given access sees. */
 struct FaultImpact
 {
@@ -179,12 +188,13 @@ class FaultRegistry
 
     const std::vector<FaultDescriptor> &active() const { return faults_; }
 
+    /** Zero the coordinate fields @p f's scope ignores (canonical form);
+     *  duplicate detection and formatFaultSpec compare/emit this form. */
+    static FaultDescriptor normalized(FaultDescriptor f);
+
   private:
     static bool matches(const FaultDescriptor &f, unsigned socket,
                         unsigned channel, const DramCoord &coord);
-
-    /** Zero the coordinate fields @p f's scope ignores (canonical form). */
-    static FaultDescriptor normalized(FaultDescriptor f);
 
     bool inBounds(const FaultDescriptor &f) const;
 

@@ -1,0 +1,186 @@
+#include "fuzz/generator.hh"
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "dram/address_map.hh"
+#include "ecc/line_codec.hh"
+
+namespace dve
+{
+
+namespace
+{
+
+/** Concurrent-fault bookkeeping the safety bound needs. */
+struct ActiveFault
+{
+    FaultDescriptor desc;
+    bool fabric = false;
+};
+
+} // namespace
+
+FuzzScenario
+generateScenario(const GeneratorConfig &cfg)
+{
+    FuzzScenario sc;
+    sc.seed = cfg.seed;
+    sc.protocol = cfg.protocol;
+    sc.footprintPages = cfg.footprintPages;
+    sc.epochOps = cfg.epochOps;
+    sc.sampleGroups = cfg.sampleGroups;
+    sc.bugRmMarkerRefresh = cfg.bugRmMarkerRefresh;
+    sc.bugSkipDenyInvalidate = cfg.bugSkipDenyInvalidate;
+
+    Rng rng(cfg.seed);
+    const unsigned linesPerPage = pageBytes / lineBytes;
+    const Addr footprintLines =
+        Addr(cfg.footprintPages) * linesPerPage;
+
+    // The runner builds its engine with the campaign's replicated DDR4
+    // shape and the Dvé TSD codec; decode fault coordinates against the
+    // same geometry so they are observable and in-bounds.
+    const DramConfig dram = DramConfig::ddr4Replicated();
+    const AddressMap amap(dram);
+    const unsigned chips = LineCodec(Scheme::TsdDetect).chips();
+
+    // Conflict set: a handful of lines everyone fights over. Seed it
+    // across the dynamic sample groups (line % sampleGroups: 0 = allow
+    // sample, 1 = deny sample, >= 2 followers) so the set-dueling
+    // epochs see enough samples of both policies to flip -- the
+    // epoch-boundary protocol switches are where the deepest
+    // dynamic-mode interleavings hide. Uniformly random hot lines
+    // almost never reach the duel's per-epoch sample threshold.
+    std::vector<Addr> hot;
+    const unsigned sg = cfg.sampleGroups < 2 ? 2 : cfg.sampleGroups;
+    const unsigned cycle = sg < 3 ? sg : 3;
+    for (unsigned i = 0; i < cfg.hotLines; ++i) {
+        const Addr group = i % cycle;
+        Addr line = rng.next(footprintLines);
+        line = line - (line % sg) + group;
+        if (line >= footprintLines)
+            line -= sg;
+        hot.push_back(line * lineBytes);
+    }
+
+    // Safety bound state: at most 2 concurrent DRAM faults per socket,
+    // at most 1 fabric fault system-wide (see file comment).
+    std::vector<unsigned> dramActive(cfg.sockets, 0);
+    std::vector<ActiveFault> outstanding;
+
+    const auto removeOutstanding = [&](std::size_t idx) {
+        const ActiveFault f = outstanding[idx];
+        if (!f.fabric)
+            --dramActive[f.desc.socket];
+        outstanding.erase(outstanding.begin()
+                          + static_cast<std::ptrdiff_t>(idx));
+        return f;
+    };
+
+    for (std::uint64_t op = 0; op < cfg.ops; ++op) {
+        const double roll = rng.uniform();
+        FuzzStep st;
+
+        if (roll < cfg.faultFraction) {
+            const bool heal = !outstanding.empty()
+                              && rng.chance(cfg.healShare);
+            if (heal) {
+                st.op = FuzzOp::Heal;
+                st.fault =
+                    removeOutstanding(rng.next(outstanding.size())).desc;
+            } else {
+                const bool fabric =
+                    rng.chance(cfg.fabricShare) && cfg.sockets >= 2;
+                FaultDescriptor d;
+                bool ok = false;
+                if (fabric) {
+                    // One fabric episode at a time: a second link/socket
+                    // fault would leave no service path at all.
+                    bool fabricActive = false;
+                    for (const auto &a : outstanding)
+                        fabricActive |= a.fabric;
+                    if (!fabricActive) {
+                        const unsigned a = static_cast<unsigned>(
+                            rng.next(cfg.sockets));
+                        const unsigned b = (a + 1) % cfg.sockets;
+                        if (rng.chance(0.25)) {
+                            d.scope = FaultScope::SocketOffline;
+                            d.socket = a;
+                        } else {
+                            d.scope = FaultScope::LinkDown;
+                            d.socket = a < b ? a : b;
+                            d.peer = a < b ? b : a;
+                        }
+                        ok = true;
+                    }
+                } else {
+                    const unsigned socket = static_cast<unsigned>(
+                        rng.next(cfg.sockets));
+                    if (dramActive[socket] < 2) {
+                        const Addr line = rng.next(footprintLines);
+                        const DramCoord c =
+                            amap.decode(line << lineShift);
+                        d.socket = socket;
+                        d.channel = c.channel;
+                        d.rank = c.rank;
+                        d.bank = c.bank;
+                        d.row = c.row;
+                        d.column = c.column;
+                        d.chip =
+                            static_cast<unsigned>(rng.next(chips));
+                        const double shape = rng.uniform();
+                        if (shape < 0.4) {
+                            d.scope = FaultScope::Cell;
+                            d.bit = static_cast<unsigned>(rng.next(8));
+                        } else if (shape < 0.7) {
+                            d.scope = FaultScope::Row;
+                        } else {
+                            d.scope = FaultScope::Chip;
+                        }
+                        d.transient = rng.chance(0.5);
+                        ok = true;
+                    }
+                }
+                if (!ok) {
+                    // Bound hit: degrade to a plain access below.
+                    st.op = FuzzOp::Read;
+                } else {
+                    st.op = FuzzOp::Inject;
+                    st.fault = FaultRegistry::normalized(d);
+                    const bool isFabric = isFabricScope(st.fault.scope);
+                    if (!isFabric)
+                        ++dramActive[st.fault.socket];
+                    outstanding.push_back({st.fault, isFabric});
+                }
+            }
+        } else if (roll < cfg.faultFraction + cfg.scrubFraction) {
+            st.op = FuzzOp::Scrub;
+        } else if (roll
+                   < cfg.faultFraction + cfg.scrubFraction
+                         + cfg.maintFraction) {
+            st.op = FuzzOp::Maintain;
+        } else {
+            st.op = FuzzOp::Read;
+        }
+
+        if (st.op == FuzzOp::Read) {
+            // Access: conflict-heavy by construction.
+            if (rng.chance(cfg.writeFraction))
+                st.op = FuzzOp::Write;
+            st.socket =
+                static_cast<unsigned>(rng.next(cfg.sockets));
+            st.core =
+                static_cast<unsigned>(rng.next(cfg.coresPerSocket));
+            st.addr = rng.chance(cfg.hotFraction) && !hot.empty()
+                          ? hot[rng.next(hot.size())]
+                          : rng.next(footprintLines) * lineBytes;
+            if (st.op == FuzzOp::Write)
+                st.value = rng.engine()();
+        }
+        sc.steps.push_back(st);
+    }
+    return sc;
+}
+
+} // namespace dve

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Seeded adversarial scenario generator.
+ *
+ * Emits interleaved op streams shaped to stress exactly the protocol
+ * corners where coherence bugs hide:
+ *
+ *  - conflict-heavy sharing: most accesses land on a small hot set of
+ *    lines touched from every socket (same-line read/write races), with
+ *    caches far smaller than the footprint so dirty evictions -- the
+ *    writeback storms that drive replica updates -- happen constantly;
+ *  - epoch-boundary flips: under dve-dynamic the scenario's tiny epoch
+ *    length forces frequent allow/deny switches mid-stream, the exact
+ *    transition the once-shipped RM-marker-refresh bug needed;
+ *  - lifecycle chaos woven into the same stream: DUE bursts (chip/row
+ *    faults on the footprint), link-flap and socket-offline episodes,
+ *    heals, and scrub/maintenance passes that run repair while lines are
+ *    still degraded.
+ *
+ * Safety bound: at most two concurrent DRAM-scope faults per socket.
+ * The Dvé campaign codec (TSD) detects up to three failed chips per
+ * codeword; beyond that corruption could alias into a valid word and
+ * produce a *legitimate* SDC, which would falsely trip the data-value
+ * monitor. The generator stays strictly inside detection capability so
+ * every monitor firing is a real protocol bug.
+ *
+ * Generation is a pure function of GeneratorConfig (one seeded Rng), so
+ * a scenario can always be regenerated from (seed, knobs) alone.
+ */
+
+#ifndef DVE_FUZZ_GENERATOR_HH
+#define DVE_FUZZ_GENERATOR_HH
+
+#include <cstdint>
+
+#include "fuzz/scenario.hh"
+
+namespace dve
+{
+
+/** Shape of one generated scenario. */
+struct GeneratorConfig
+{
+    std::uint64_t seed = 1;
+    std::uint64_t ops = 400;     ///< total steps to emit
+    unsigned sockets = 2;
+    unsigned coresPerSocket = 8;
+    unsigned footprintPages = 8;
+    DveProtocol protocol = DveProtocol::Dynamic;
+    std::uint64_t epochOps = 64;     ///< small: frequent epoch flips
+    std::uint64_t sampleGroups = 4;
+    double writeFraction = 0.45;     ///< of accesses
+    unsigned hotLines = 6;           ///< conflict-set size
+    double hotFraction = 0.75;       ///< accesses landing on the hot set
+    double faultFraction = 0.04;     ///< steps that are inject/heal
+    double healShare = 0.45;         ///< of fault steps that heal
+    double fabricShare = 0.25;       ///< of injects that are fabric-scope
+    double scrubFraction = 0.01;     ///< steps that patrol-scrub
+    double maintFraction = 0.02;     ///< steps that run maintenance
+    bool bugRmMarkerRefresh = false;     ///< arm the deep seeded bug
+    bool bugSkipDenyInvalidate = false;  ///< arm the shallow seeded bug
+};
+
+/** Generate one scenario (deterministic in @p cfg). */
+FuzzScenario generateScenario(const GeneratorConfig &cfg);
+
+} // namespace dve
+
+#endif // DVE_FUZZ_GENERATOR_HH

@@ -1,0 +1,108 @@
+#include "fuzz/minimizer.hh"
+
+#include <algorithm>
+
+namespace dve
+{
+
+namespace
+{
+
+FuzzScenario
+withSteps(const FuzzScenario &base, std::vector<FuzzStep> steps)
+{
+    FuzzScenario sc = base;
+    sc.steps = std::move(steps);
+    return sc;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkScenario(const FuzzScenario &sc, unsigned maxProbes)
+{
+    ShrinkResult out;
+    out.minimized = sc;
+    out.initialSteps = sc.steps.size();
+    out.finalSteps = sc.steps.size();
+
+    const FuzzRunOptions opt; // checks on, stop at first violation
+
+    const auto firstRun = runScenario(sc, opt);
+    ++out.probes;
+    if (!firstRun.violated)
+        return out;
+    out.reproduced = true;
+    out.monitor = firstRun.violations.front().monitor;
+
+    // The predicate: does the candidate fire the same monitor?
+    const auto fails = [&](const std::vector<FuzzStep> &steps) {
+        if (out.probes >= maxProbes)
+            return false; // budget exhausted: treat as "passes"
+        ++out.probes;
+        const auto r = runScenario(withSteps(sc, steps), opt);
+        return r.violated
+               && r.violations.front().monitor == out.monitor;
+    };
+
+    // Steps after the first firing are dead weight: the runner stops at
+    // the violation, so truncate to what actually executed.
+    std::vector<FuzzStep> cur(
+        sc.steps.begin(),
+        sc.steps.begin()
+            + static_cast<std::ptrdiff_t>(std::min<std::uint64_t>(
+                  firstRun.stepsRun, sc.steps.size())));
+
+    // Classic ddmin: try dropping complements at granularity n.
+    std::size_t n = 2;
+    while (cur.size() >= 2 && n <= cur.size()
+           && out.probes < maxProbes) {
+        const std::size_t chunk = (cur.size() + n - 1) / n;
+        bool reduced = false;
+        for (std::size_t start = 0;
+             start < cur.size() && out.probes < maxProbes;
+             start += chunk) {
+            // Complement of [start, start+chunk).
+            std::vector<FuzzStep> cand;
+            cand.reserve(cur.size());
+            for (std::size_t i = 0; i < cur.size(); ++i) {
+                if (i < start || i >= start + chunk)
+                    cand.push_back(cur[i]);
+            }
+            if (cand.size() < cur.size() && fails(cand)) {
+                cur = std::move(cand);
+                n = std::max<std::size_t>(2, n - 1);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (n >= cur.size())
+                break;
+            n = std::min(cur.size(), n * 2);
+        }
+    }
+
+    // Local-minimality sweep: no single remaining step is removable.
+    bool removed = true;
+    while (removed && out.probes < maxProbes) {
+        removed = false;
+        for (std::size_t i = cur.size(); i-- > 0;) {
+            if (out.probes >= maxProbes)
+                break;
+            std::vector<FuzzStep> cand = cur;
+            cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+            if (fails(cand)) {
+                cur = std::move(cand);
+                removed = true;
+            }
+        }
+    }
+
+    out.minimized = withSteps(sc, std::move(cur));
+    out.minimized.expect.monitor = out.monitor;
+    out.finalSteps = out.minimized.steps.size();
+    return out;
+}
+
+} // namespace dve

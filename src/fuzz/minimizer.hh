@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Delta-debugging repro minimizer (Zeller's ddmin over scenario steps).
+ *
+ * Given a failing scenario, finds a locally-minimal subsequence of its
+ * steps that still makes the SAME monitor fire: first classic ddmin
+ * (drop complements at increasing granularity), then a one-at-a-time
+ * sweep so no single remaining step can be removed. Heal steps carry
+ * their full fault descriptor, so any subsequence is a well-formed,
+ * self-contained scenario -- removal never leaves dangling references.
+ *
+ * The predicate replays the candidate through the deterministic runner,
+ * so minimization is itself deterministic: the same failing input always
+ * shrinks to the same repro. Probe count is bounded; the minimizer
+ * returns the best scenario found when the budget runs out.
+ */
+
+#ifndef DVE_FUZZ_MINIMIZER_HH
+#define DVE_FUZZ_MINIMIZER_HH
+
+#include "fuzz/runner.hh"
+#include "fuzz/scenario.hh"
+
+namespace dve
+{
+
+/** Outcome of one shrink. */
+struct ShrinkResult
+{
+    /** Did the input fail at all? When false, `minimized` is the input
+     *  unchanged and nothing was probed beyond the first run. */
+    bool reproduced = false;
+    /** The monitor the repro fires (stamped into expect.monitor). */
+    InvariantMonitor monitor = InvariantMonitor::Swmr;
+    FuzzScenario minimized;
+    unsigned probes = 0;      ///< runner invocations spent
+    std::size_t initialSteps = 0;
+    std::size_t finalSteps = 0;
+};
+
+/** Shrink @p sc to a locally-minimal repro (<= @p maxProbes replays). */
+ShrinkResult shrinkScenario(const FuzzScenario &sc,
+                            unsigned maxProbes = 2000);
+
+} // namespace dve
+
+#endif // DVE_FUZZ_MINIMIZER_HH

@@ -1,0 +1,250 @@
+#include "fuzz/runner.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "core/dve_engine.hh"
+#include "fault/fault.hh"
+
+namespace dve
+{
+
+namespace
+{
+
+/** FNV-1a accumulator (same constants as the campaign digests). */
+struct Fnv
+{
+    std::uint64_t h = 1469598103934665603ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+const char *
+traceKindLabel(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::Request: return "request";
+      case TraceKind::Divert: return "divert";
+      case TraceKind::Retry: return "retry";
+      case TraceKind::Fence: return "fence";
+      case TraceKind::EpochSwitch: return "epoch-switch";
+      case TraceKind::FaultArrive: return "fault-arrive";
+      case TraceKind::FaultHeal: return "fault-heal";
+      case TraceKind::RepairBegin: return "repair-begin";
+      case TraceKind::RepairEnd: return "repair-end";
+      case TraceKind::InvariantViolation: return "invariant-violation";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+formatViolation(const InvariantViolation &v)
+{
+    std::ostringstream os;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "violation monitor=%s at=%" PRIu64 " line=0x%" PRIx64,
+                  invariantMonitorName(v.monitor), v.at, v.line);
+    os << buf << '\n';
+    os << "  detail: " << v.detail << '\n';
+    if (!v.recentEvents.empty()) {
+        os << "  recent events (" << v.recentEvents.size() << "):\n";
+        for (const auto &e : v.recentEvents) {
+            std::snprintf(buf, sizeof(buf),
+                          "    %-19s at=%" PRIu64 " socket=%u a=0x%" PRIx64
+                          " b=%" PRIu64,
+                          traceKindLabel(e.kind), e.at,
+                          unsigned(e.socket), e.a, e.b);
+            os << buf << '\n';
+        }
+    }
+    return os.str();
+}
+
+FuzzRunResult
+runScenario(const FuzzScenario &sc, const FuzzRunOptions &opt)
+{
+    // Campaign quick-shape: faults must be observable, so the caches are
+    // far smaller than the footprint and value validation is replaced by
+    // the SDC oracle + monitors.
+    EngineConfig ecfg;
+    ecfg.dram = DramConfig::ddr4Replicated();
+    ecfg.scheme = Scheme::TsdDetect;
+    ecfg.l1Bytes = 4 * 1024;
+    // Tiny on purpose: a few hundred fuzz steps only touch ~100
+    // distinct lines, and dirty LLC evictions plus their memory
+    // writebacks are where replica metadata is reconciled. The LLC must
+    // be small enough that capacity pressure shows up within one
+    // scenario or that whole protocol surface goes untested.
+    ecfg.llcBytes = 2 * 1024;
+    ecfg.validateValues = false;
+    ecfg.seed = sc.seed * 1000003 + 1;
+    ecfg.invariantChecks = opt.invariantChecks;
+    ecfg.traceCapacity = opt.traceCapacity;
+    if (sc.watchdogBudget > 0)
+        ecfg.watchdogBudget = sc.watchdogBudget;
+
+    DveConfig dcfg;
+    dcfg.protocol = sc.protocol;
+    dcfg.epochOps = sc.epochOps;
+    dcfg.sampleGroups = sc.sampleGroups;
+    dcfg.bugRmMarkerRefresh = sc.bugRmMarkerRefresh;
+    dcfg.bugSkipDenyInvalidate = sc.bugSkipDenyInvalidate;
+    dcfg.repairRetryBackoff = 10 * ticksPerUs;
+
+    DveEngine eng(ecfg, dcfg);
+    auto &reg = eng.faultRegistry();
+
+    const Addr footprintBytes = Addr(sc.footprintPages) * pageBytes;
+    const unsigned cores = ecfg.coresPerSocket;
+
+    FuzzRunResult res;
+    Fnv digest;
+    std::ostringstream log;
+    char buf[160];
+    Tick clock = 0;
+
+    for (const auto &st : sc.steps) {
+        switch (st.op) {
+          case FuzzOp::Read:
+          case FuzzOp::Write: {
+            // Clamp so shrunk / hand-edited scenarios stay valid.
+            const unsigned socket = st.socket % ecfg.sockets;
+            const unsigned core = st.core % cores;
+            const Addr addr =
+                (st.addr % footprintBytes) / lineBytes * lineBytes;
+            const bool is_write = st.op == FuzzOp::Write;
+            const auto r = eng.access(socket, core, addr, is_write,
+                                      st.value, clock);
+            clock = r.done;
+            if (is_write)
+                ++res.writes;
+            else
+                ++res.reads;
+            switch (r.outcome) {
+              case ReadOutcome::Clean: ++res.clean; break;
+              case ReadOutcome::Corrected: ++res.corrected; break;
+              case ReadOutcome::Due: ++res.due; break;
+              case ReadOutcome::Sdc: ++res.sdc; break;
+            }
+            digest.mix(r.done);
+            digest.mix(r.value);
+            digest.mix(static_cast<std::uint64_t>(r.outcome));
+            std::snprintf(buf, sizeof(buf),
+                          "%" PRIu64 " %s s%u c%u 0x%" PRIx64
+                          " -> 0x%" PRIx64 " %s done=%" PRIu64 "\n",
+                          res.stepsRun, is_write ? "w" : "r", socket,
+                          core, addr, r.value,
+                          readOutcomeName(r.outcome), r.done);
+            log << buf;
+            break;
+          }
+          case FuzzOp::Inject: {
+            const std::uint64_t id = reg.inject(st.fault);
+            if (id)
+                ++res.faultsInjected;
+            digest.mix(id);
+            std::snprintf(buf, sizeof(buf),
+                          "%" PRIu64 " inject id=%" PRIu64 " %s\n",
+                          res.stepsRun, id,
+                          formatFaultSpec(st.fault).c_str());
+            log << buf;
+            break;
+          }
+          case FuzzOp::Heal: {
+            // Map the descriptor back onto the live registry entry: the
+            // scenario stays self-contained under shrinking (no step
+            // indices or registry ids to keep in sync).
+            const FaultDescriptor want =
+                FaultRegistry::normalized(st.fault);
+            std::uint64_t id = 0;
+            for (const auto &a : reg.active()) {
+                const FaultDescriptor &c = a;
+                if (c.scope == want.scope && c.socket == want.socket
+                    && c.channel == want.channel && c.rank == want.rank
+                    && c.chip == want.chip && c.bank == want.bank
+                    && c.row == want.row && c.column == want.column
+                    && c.bit == want.bit && c.transient == want.transient
+                    && c.peer == want.peer) {
+                    id = a.id;
+                    break;
+                }
+            }
+            const bool cleared = id != 0 && reg.clear(id);
+            if (cleared)
+                ++res.faultsHealed;
+            digest.mix(cleared ? id : 0);
+            std::snprintf(buf, sizeof(buf),
+                          "%" PRIu64 " heal %s %s\n", res.stepsRun,
+                          cleared ? "ok" : "noop",
+                          formatFaultSpec(st.fault).c_str());
+            log << buf;
+            break;
+          }
+          case FuzzOp::Scrub: {
+            const auto rep = eng.patrolScrub(clock);
+            clock = rep.finishedAt;
+            digest.mix(rep.linesScanned);
+            digest.mix(rep.correctedErrors);
+            digest.mix(rep.finishedAt);
+            std::snprintf(buf, sizeof(buf),
+                          "%" PRIu64 " scrub scanned=%" PRIu64
+                          " corrected=%" PRIu64 " done=%" PRIu64 "\n",
+                          res.stepsRun, rep.linesScanned,
+                          rep.correctedErrors, rep.finishedAt);
+            log << buf;
+            break;
+          }
+          case FuzzOp::Maintain: {
+            const auto rep = eng.runMaintenance(clock);
+            clock = rep.finishedAt;
+            digest.mix(rep.tasksRun);
+            digest.mix(rep.healed);
+            digest.mix(rep.finishedAt);
+            std::snprintf(buf, sizeof(buf),
+                          "%" PRIu64 " maintain tasks=%" PRIu64
+                          " healed=%" PRIu64 " done=%" PRIu64 "\n",
+                          res.stepsRun, rep.tasksRun, rep.healed,
+                          rep.finishedAt);
+            log << buf;
+            break;
+          }
+        }
+        ++res.stepsRun;
+        if (opt.stopOnViolation && !eng.invariantViolations().empty())
+            break;
+    }
+
+    res.violations = eng.invariantViolations();
+    res.violated = !res.violations.empty();
+    res.endTick = clock;
+    digest.mix(res.reads);
+    digest.mix(res.writes);
+    digest.mix(res.clean);
+    digest.mix(res.corrected);
+    digest.mix(res.due);
+    digest.mix(res.sdc);
+    digest.mix(res.endTick);
+    digest.mix(res.violated ? 1 : 0);
+    res.digest = digest.h;
+    res.log = log.str();
+    if (eng.tracer().enabled()) {
+        std::ostringstream os;
+        eng.tracer().exportChromeTrace(os);
+        res.traceJson = os.str();
+    }
+    return res;
+}
+
+} // namespace dve

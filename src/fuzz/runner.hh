@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic scenario executor.
+ *
+ * Builds a fresh Dvé engine per run (campaign quick-shape: replicated
+ * DDR4 with the TSD detection codec, caches far smaller than the
+ * footprint), arms the live invariant monitors, and plays the scenario's
+ * steps on one timeline: accesses advance the clock to their completion
+ * tick, injects/heals mutate the fault registry in place, scrub and
+ * maintenance run the recovery pipeline mid-stream.
+ *
+ * Determinism: the run is a pure function of (scenario, options). The
+ * result carries an FNV-1a digest over every step's observation plus a
+ * line-per-step text log and the trace JSON; two runs of the same
+ * scenario are byte-identical in all three at any job count (runs are
+ * single-threaded; the campaign parallelizes across scenarios only).
+ *
+ * The run stops at the first monitor firing (the violation report with
+ * the tracer tail is the product); with monitors off it plays to the end
+ * and is byte-identical to a build without the fuzz subsystem.
+ */
+
+#ifndef DVE_FUZZ_RUNNER_HH
+#define DVE_FUZZ_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coherence/engine.hh"
+#include "fuzz/scenario.hh"
+
+namespace dve
+{
+
+/** Runner knobs (what the tool flags / env knobs map onto). */
+struct FuzzRunOptions
+{
+    bool invariantChecks = true;
+    /** Stop at the first violation (minimizer predicate); false plays
+     *  every step and collects all firings. */
+    bool stopOnViolation = true;
+    /** Event-tracer ring capacity; 0 disables tracing. */
+    std::size_t traceCapacity = 0;
+};
+
+/** Everything one scenario run observed. */
+struct FuzzRunResult
+{
+    bool violated = false;
+    std::vector<InvariantViolation> violations;
+    std::uint64_t stepsRun = 0; ///< steps executed before stopping
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t clean = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t due = 0;
+    std::uint64_t sdc = 0;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsHealed = 0;
+    Tick endTick = 0;
+    /** FNV-1a over per-step observations + final counters. */
+    std::uint64_t digest = 0;
+    /** One line per executed step (deterministic replay log). */
+    std::string log;
+    /** Chrome trace JSON (empty when tracing is off). */
+    std::string traceJson;
+};
+
+/** Execute @p sc; deterministic in (sc, opt). */
+FuzzRunResult runScenario(const FuzzScenario &sc,
+                          const FuzzRunOptions &opt = {});
+
+/** Render a violation (monitor, tick, line, detail, tracer tail) as a
+ *  deterministic multi-line report. */
+std::string formatViolation(const InvariantViolation &v);
+
+} // namespace dve
+
+#endif // DVE_FUZZ_RUNNER_HH

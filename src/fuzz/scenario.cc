@@ -1,0 +1,262 @@
+#include "fuzz/scenario.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <sstream>
+
+namespace dve
+{
+
+const char *
+fuzzOpName(FuzzOp op)
+{
+    switch (op) {
+      case FuzzOp::Read: return "r";
+      case FuzzOp::Write: return "w";
+      case FuzzOp::Inject: return "f";
+      case FuzzOp::Heal: return "h";
+      case FuzzOp::Scrub: return "s";
+      case FuzzOp::Maintain: return "m";
+    }
+    return "?";
+}
+
+std::optional<DveProtocol>
+parseDveProtocol(const char *name)
+{
+    if (!name)
+        return std::nullopt;
+    for (const auto p :
+         {DveProtocol::Allow, DveProtocol::Deny, DveProtocol::Dynamic}) {
+        if (std::strcmp(name, dveProtocolName(p)) == 0)
+            return p;
+    }
+    return std::nullopt;
+}
+
+namespace
+{
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+setErr(std::string *err, std::string msg)
+{
+    if (err)
+        *err = std::move(msg);
+}
+
+bool
+parseU64(const std::string &v, std::uint64_t &out)
+{
+    if (v.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(v.c_str(), &end, 0);
+    return end && *end == '\0';
+}
+
+/** Split a line on single spaces (the canonical serializer emits exactly
+ *  one space between fields; parsing tolerates runs of whitespace). */
+std::vector<std::string>
+fields(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+} // namespace
+
+std::string
+FuzzScenario::serialize() const
+{
+    std::ostringstream os;
+    os << "# dve chaos-fuzz scenario\n";
+    os << "version " << version << '\n';
+    os << "seed " << seed << '\n';
+    os << "protocol " << dveProtocolName(protocol) << '\n';
+    os << "pages " << footprintPages << '\n';
+    os << "epoch-ops " << epochOps << '\n';
+    os << "sample-groups " << sampleGroups << '\n';
+    if (bugRmMarkerRefresh)
+        os << "bug rm-marker-refresh\n";
+    if (bugSkipDenyInvalidate)
+        os << "bug skip-deny-invalidate\n";
+    if (watchdogBudget > 0)
+        os << "watchdog " << watchdogBudget << '\n';
+    if (expect.monitor) {
+        os << "expect violation " << invariantMonitorName(*expect.monitor)
+           << '\n';
+    }
+    for (const auto &s : steps) {
+        os << "step " << fuzzOpName(s.op);
+        switch (s.op) {
+          case FuzzOp::Read:
+            os << ' ' << s.socket << ' ' << s.core << ' ' << hex(s.addr);
+            break;
+          case FuzzOp::Write:
+            os << ' ' << s.socket << ' ' << s.core << ' ' << hex(s.addr)
+               << ' ' << hex(s.value);
+            break;
+          case FuzzOp::Inject:
+          case FuzzOp::Heal:
+            os << ' ' << formatFaultSpec(s.fault);
+            break;
+          case FuzzOp::Scrub:
+          case FuzzOp::Maintain:
+            break;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::optional<FuzzScenario>
+FuzzScenario::parse(std::istream &in, std::string *err)
+{
+    FuzzScenario sc;
+    sc.steps.clear();
+    std::string line;
+    unsigned lineno = 0;
+    bool sawVersion = false;
+
+    const auto fail = [&](const std::string &msg)
+        -> std::optional<FuzzScenario> {
+        setErr(err, "line " + std::to_string(lineno) + ": " + msg);
+        return std::nullopt;
+    };
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        const auto f = fields(line);
+        if (f.empty())
+            continue;
+        const std::string &key = f[0];
+
+        if (key == "version") {
+            std::uint64_t v = 0;
+            if (f.size() != 2 || !parseU64(f[1], v) || v != 1)
+                return fail("unsupported scenario version");
+            sc.version = static_cast<unsigned>(v);
+            sawVersion = true;
+        } else if (key == "seed") {
+            if (f.size() != 2 || !parseU64(f[1], sc.seed))
+                return fail("bad seed");
+        } else if (key == "protocol") {
+            const auto p =
+                f.size() == 2 ? parseDveProtocol(f[1].c_str())
+                              : std::nullopt;
+            if (!p)
+                return fail("bad protocol (want allow|deny|dynamic)");
+            sc.protocol = *p;
+        } else if (key == "pages") {
+            std::uint64_t v = 0;
+            if (f.size() != 2 || !parseU64(f[1], v) || v == 0
+                || v > 4096) {
+                return fail("bad pages (want 1..4096)");
+            }
+            sc.footprintPages = static_cast<unsigned>(v);
+        } else if (key == "epoch-ops") {
+            if (f.size() != 2 || !parseU64(f[1], sc.epochOps)
+                || sc.epochOps == 0) {
+                return fail("bad epoch-ops");
+            }
+        } else if (key == "sample-groups") {
+            if (f.size() != 2 || !parseU64(f[1], sc.sampleGroups)
+                || sc.sampleGroups < 2) {
+                return fail("bad sample-groups (want >= 2)");
+            }
+        } else if (key == "bug") {
+            if (f.size() == 2 && f[1] == "rm-marker-refresh")
+                sc.bugRmMarkerRefresh = true;
+            else if (f.size() == 2 && f[1] == "skip-deny-invalidate")
+                sc.bugSkipDenyInvalidate = true;
+            else
+                return fail("unknown bug name");
+        } else if (key == "watchdog") {
+            std::uint64_t v = 0;
+            if (f.size() != 2 || !parseU64(f[1], v) || v == 0)
+                return fail("bad watchdog budget");
+            sc.watchdogBudget = static_cast<Tick>(v);
+        } else if (key == "expect") {
+            if (f.size() == 3 && f[1] == "violation") {
+                const auto m = parseInvariantMonitor(f[2].c_str());
+                if (!m)
+                    return fail("unknown monitor '" + f[2] + "'");
+                sc.expect.monitor = *m;
+            } else if (f.size() == 2 && f[1] == "clean") {
+                sc.expect.monitor = std::nullopt;
+            } else {
+                return fail("bad expect (want 'clean' or "
+                            "'violation <monitor>')");
+            }
+        } else if (key == "step") {
+            if (f.size() < 2)
+                return fail("step without an op");
+            FuzzStep st;
+            const std::string &op = f[1];
+            if (op == "r" || op == "w") {
+                st.op = op == "r" ? FuzzOp::Read : FuzzOp::Write;
+                const std::size_t want = op == "r" ? 5u : 6u;
+                std::uint64_t sock = 0, core = 0;
+                if (f.size() != want || !parseU64(f[2], sock)
+                    || !parseU64(f[3], core) || !parseU64(f[4], st.addr)) {
+                    return fail("bad access step");
+                }
+                if (st.op == FuzzOp::Write && !parseU64(f[5], st.value))
+                    return fail("bad write value");
+                st.socket = static_cast<unsigned>(sock);
+                st.core = static_cast<unsigned>(core);
+            } else if (op == "f" || op == "h") {
+                st.op = op == "f" ? FuzzOp::Inject : FuzzOp::Heal;
+                if (f.size() != 3)
+                    return fail("fault step wants one spec token");
+                std::string ferr;
+                const auto d = parseFaultSpec(f[2], &ferr);
+                if (!d)
+                    return fail("bad fault spec: " + ferr);
+                st.fault = *d;
+            } else if (op == "s" || op == "m") {
+                st.op = op == "s" ? FuzzOp::Scrub : FuzzOp::Maintain;
+                if (f.size() != 2)
+                    return fail("scrub/maintenance step takes no args");
+            } else {
+                return fail("unknown step op '" + op + "'");
+            }
+            sc.steps.push_back(st);
+        } else {
+            return fail("unknown scenario key '" + key + "'");
+        }
+    }
+
+    if (!sawVersion) {
+        setErr(err, "scenario has no version header");
+        return std::nullopt;
+    }
+    return sc;
+}
+
+std::optional<FuzzScenario>
+FuzzScenario::parse(const std::string &text, std::string *err)
+{
+    std::istringstream is(text);
+    return parse(is, err);
+}
+
+} // namespace dve

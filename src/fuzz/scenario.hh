@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Chaos-fuzz scenarios: serialized adversarial interleavings of workload
+ * operations and fault-lifecycle actions.
+ *
+ * A scenario is the unit of fuzzing: a fully explicit, seeded script of
+ * core accesses (conflict-heavy sharing over a small footprint), fault
+ * injections/heals, patrol scrubs and maintenance passes, plus the engine
+ * shape knobs that matter for protocol coverage (protocol family, epoch
+ * length, set-dueling groups, the seeded-bug switch). Scenario + seed is
+ * a pure function: replaying the same file produces a byte-identical run
+ * log, digest and event trace.
+ *
+ * The on-disk form is a line-oriented text format ('#' comments, blank
+ * lines ignored):
+ *
+ *     version 1
+ *     seed 42
+ *     protocol dynamic          # allow | deny | dynamic
+ *     pages 8                   # footprint, 4 KB pages
+ *     epoch-ops 40              # dynamic-protocol epoch length
+ *     sample-groups 4           # set-dueling groups
+ *     bug rm-marker-refresh     # optional: arm a seeded protocol bug
+ *     bug skip-deny-invalidate  # (one line per armed bug)
+ *     expect violation replica-dir  # optional: replay must fire this
+ *     watchdog 2000000          # optional: liveness budget override
+ *     step r 0 3 0x1040         # read:  socket core addr
+ *     step w 1 2 0x2080 0xbeef  # write: socket core addr value
+ *     step f scope=chip,...     # inject (parseFaultSpec syntax)
+ *     step h scope=chip,...     # heal the matching active fault
+ *     step s                    # patrol scrub
+ *     step m                    # maintenance (self-heal) pass
+ *
+ * Minimized repros in tests/corpus/ use exactly this format, with an
+ * `expect` header recording the monitor the replay must reproduce.
+ */
+
+#ifndef DVE_FUZZ_SCENARIO_HH
+#define DVE_FUZZ_SCENARIO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coherence/engine.hh"
+#include "common/types.hh"
+#include "core/dve_engine.hh"
+#include "fault/fault.hh"
+
+namespace dve
+{
+
+/** One scripted action of a fuzz scenario. */
+enum class FuzzOp : std::uint8_t
+{
+    Read,     ///< core load
+    Write,    ///< core store
+    Inject,   ///< activate a fault descriptor
+    Heal,     ///< deactivate the matching active fault
+    Scrub,    ///< Dvé patrol-scrub sweep
+    Maintain, ///< Dvé self-healing maintenance pass
+};
+
+const char *fuzzOpName(FuzzOp op);
+
+/** One step; unused fields are zero for the op's kind. */
+struct FuzzStep
+{
+    FuzzOp op = FuzzOp::Read;
+    unsigned socket = 0;       ///< Read/Write actor socket
+    unsigned core = 0;         ///< Read/Write actor core
+    Addr addr = 0;             ///< Read/Write byte address
+    std::uint64_t value = 0;   ///< Write payload
+    FaultDescriptor fault;     ///< Inject/Heal descriptor
+};
+
+/** What a corpus replay must observe. */
+struct FuzzExpectation
+{
+    /** nullopt = clean completion; set = this monitor must fire. */
+    std::optional<InvariantMonitor> monitor;
+};
+
+/** A complete, self-contained fuzz scenario. */
+struct FuzzScenario
+{
+    unsigned version = 1;
+    std::uint64_t seed = 1;
+    DveProtocol protocol = DveProtocol::Dynamic;
+    unsigned footprintPages = 8;
+    std::uint64_t epochOps = 40;
+    std::uint64_t sampleGroups = 4;
+    /** Arm DveConfig::bugRmMarkerRefresh (seeded-bug experiments). */
+    bool bugRmMarkerRefresh = false;
+    /** Arm DveConfig::bugSkipDenyInvalidate (seeded-bug experiments). */
+    bool bugSkipDenyInvalidate = false;
+    /** Liveness watchdog budget override; 0 keeps the engine default. */
+    Tick watchdogBudget = 0;
+    FuzzExpectation expect;
+    std::vector<FuzzStep> steps;
+
+    /** Canonical text form (parse() round-trips it byte-identically). */
+    std::string serialize() const;
+
+    /** Parse the text form; nullopt + @p err message on failure. */
+    static std::optional<FuzzScenario> parse(std::istream &in,
+                                             std::string *err = nullptr);
+
+    /** parse() from a string buffer. */
+    static std::optional<FuzzScenario> parse(const std::string &text,
+                                             std::string *err = nullptr);
+};
+
+/** Inverse of dveProtocolName; nullopt for unrecognized names. */
+std::optional<DveProtocol> parseDveProtocol(const char *name);
+
+} // namespace dve
+
+#endif // DVE_FUZZ_SCENARIO_HH

@@ -19,10 +19,35 @@ CheckResult::summary() const
         os << "PASS: " << statesExplored << " states, " << transitions
            << " transitions, " << quiescentStates
            << " quiescent; SWMR + data-value + deadlock-freedom hold";
+    } else if (capped) {
+        os << "CAPPED: " << violation << " (" << statesExplored
+           << " states explored; nothing proven)";
     } else {
         os << "FAIL: " << violation << " after " << trace.size()
            << " steps (" << statesExplored << " states explored)";
     }
+    return os.str();
+}
+
+std::string
+CheckResult::toJson() const
+{
+    // violation strings are checker-generated ASCII, but escape the JSON
+    // metacharacters anyway so the document always parses.
+    std::string esc;
+    for (const char c : violation) {
+        if (c == '"' || c == '\\')
+            esc += '\\';
+        esc += c;
+    }
+    std::ostringstream os;
+    os << "{\"ok\": " << (ok ? "true" : "false")
+       << ", \"capped\": " << (capped ? "true" : "false")
+       << ", \"states\": " << statesExplored
+       << ", \"transitions\": " << transitions
+       << ", \"quiescent\": " << quiescentStates
+       << ", \"trace_steps\": " << trace.size()
+       << ", \"violation\": \"" << esc << "\"}";
     return os.str();
 }
 
@@ -104,6 +129,7 @@ explore(const ModelConfig &cfg, std::uint64_t max_states)
                              std::move(suc.action)});
             frontier.push_back(nidx);
             if (nodes.size() > max_states) {
+                res.capped = true;
                 res.violation = "state-space bound exceeded";
                 return res;
             }

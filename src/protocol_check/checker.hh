@@ -31,6 +31,11 @@ namespace pcheck
 struct CheckResult
 {
     bool ok = false;
+    /** The max_states safety valve stopped exploration: the run proved
+     *  nothing either way. Distinct from a violation -- a capped
+     *  mutation check must NOT count as "bug detected", and a capped
+     *  shipping-protocol check must NOT count as a pass. */
+    bool capped = false;
     std::uint64_t statesExplored = 0;
     std::uint64_t transitions = 0;
     std::uint64_t quiescentStates = 0;
@@ -39,6 +44,9 @@ struct CheckResult
 
     /** One-line summary for harness output. */
     std::string summary() const;
+
+    /** Deterministic JSON object (one line, no trailing newline). */
+    std::string toJson() const;
 };
 
 /**

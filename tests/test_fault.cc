@@ -437,5 +437,68 @@ TEST(ParseFaultSpec, MalformedSpecsRejectedWithDiagnostic)
     expect_reject("scope=link-down,socket=0,peer=0"); // self-link via kv
 }
 
+TEST(ParseFaultSpec, DuplicateScopeAndTrailingGarbageRejected)
+{
+    // The named regressions: a second scope token used to silently
+    // overwrite the first, and a trailing comma (shell quoting slip,
+    // e.g. "--fault scope=chip,") parsed as if clean. Both must fail
+    // with a diagnostic that names the problem.
+    std::string err;
+    EXPECT_FALSE(parseFaultSpec("scope=chip,scope=bank", &err));
+    EXPECT_NE(err.find("duplicate scope"), std::string::npos) << err;
+    // ...including when the first scope came from a shorthand head.
+    err.clear();
+    EXPECT_FALSE(parseFaultSpec("link:0-1,scope=chip", &err));
+    EXPECT_NE(err.find("duplicate scope"), std::string::npos) << err;
+    err.clear();
+    EXPECT_FALSE(parseFaultSpec("socket:1,scope=socket-offline", &err));
+    EXPECT_NE(err.find("duplicate scope"), std::string::npos) << err;
+
+    err.clear();
+    EXPECT_FALSE(parseFaultSpec("scope=chip,", &err));
+    EXPECT_NE(err.find("trailing comma"), std::string::npos) << err;
+    err.clear();
+    EXPECT_FALSE(parseFaultSpec("scope=cell,row=5,", &err));
+    EXPECT_NE(err.find("trailing comma"), std::string::npos) << err;
+    err.clear();
+    EXPECT_FALSE(parseFaultSpec("lossy:0-1,", &err));
+    EXPECT_NE(err.find("trailing comma"), std::string::npos) << err;
+}
+
+TEST(ParseFaultSpec, FormatRoundTrips)
+{
+    // formatFaultSpec output must parse back to the same normalized
+    // descriptor -- this is how repro scenario files serialize faults.
+    const std::vector<const char *> specs = {
+        "scope=chip,socket=1,chip=3",
+        "scope=cell,row=5,column=2,bit=7,transient=1",
+        "link:1-0",
+        "socket:1",
+        "lossy:0-1,drop=0.5,delay=200",
+    };
+    for (const char *spec : specs) {
+        const auto f = parseFaultSpec(spec);
+        ASSERT_TRUE(f) << spec;
+        const std::string formatted = formatFaultSpec(*f);
+        const auto back = parseFaultSpec(formatted.c_str());
+        ASSERT_TRUE(back) << formatted;
+        const auto a = FaultRegistry::normalized(*f);
+        const auto b = FaultRegistry::normalized(*back);
+        EXPECT_EQ(a.scope, b.scope) << spec;
+        EXPECT_EQ(a.socket, b.socket) << spec;
+        EXPECT_EQ(a.channel, b.channel) << spec;
+        EXPECT_EQ(a.rank, b.rank) << spec;
+        EXPECT_EQ(a.chip, b.chip) << spec;
+        EXPECT_EQ(a.bank, b.bank) << spec;
+        EXPECT_EQ(a.row, b.row) << spec;
+        EXPECT_EQ(a.column, b.column) << spec;
+        EXPECT_EQ(a.bit, b.bit) << spec;
+        EXPECT_EQ(a.peer, b.peer) << spec;
+        EXPECT_EQ(a.transient, b.transient) << spec;
+        EXPECT_DOUBLE_EQ(a.dropProb, b.dropProb) << spec;
+        EXPECT_EQ(a.delayTicks, b.delayTicks) << spec;
+    }
+}
+
 } // namespace
 } // namespace dve

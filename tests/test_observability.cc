@@ -90,6 +90,50 @@ TEST(Histogram, PercentilesAreBucketFloors)
     EXPECT_EQ(digestOf(empty).max, 0u);
 }
 
+TEST(Histogram, SingleSamplePercentilesReturnTheSample)
+{
+    // The named regression: with one sample, rank computation for p0
+    // truncated to 0 and every percentile read as 0. All percentiles of
+    // a single-sample histogram must report that sample's bucket floor
+    // -- including values whose bucket floor is itself nonzero.
+    for (const std::uint64_t v : {1ull, 31ull, 1000ull, 1ull << 40}) {
+        Histogram h;
+        h.record(v);
+        const std::uint64_t floor =
+            Histogram::bucketFloor(Histogram::bucketIndex(v));
+        for (const unsigned pct : {0u, 1u, 50u, 99u, 100u})
+            EXPECT_EQ(h.percentile(pct), floor)
+                << "v=" << v << " pct=" << pct;
+    }
+
+    // A sample of 0 is a real observation, not "empty": count
+    // distinguishes the two even though the percentiles agree.
+    Histogram zero;
+    zero.record(0);
+    EXPECT_EQ(zero.count(), 1u);
+    EXPECT_EQ(zero.percentile(0), 0u);
+    EXPECT_EQ(zero.percentile(100), 0u);
+}
+
+TEST(Histogram, ExtremePercentilesAreOccupiedBucketFloors)
+{
+    // p0 is the lowest occupied bucket's floor and p100 the highest's,
+    // never 0-because-rank-underflowed.
+    Histogram h;
+    h.record(500);
+    h.record(70000);
+    EXPECT_EQ(h.percentile(0), Histogram::bucketFloor(
+                                   Histogram::bucketIndex(500)));
+    EXPECT_EQ(h.percentile(100), Histogram::bucketFloor(
+                                     Histogram::bucketIndex(70000)));
+    // Percentiles are monotone in pct.
+    std::uint64_t prev = 0;
+    for (unsigned pct = 0; pct <= 100; ++pct) {
+        EXPECT_GE(h.percentile(pct), prev) << "pct=" << pct;
+        prev = h.percentile(pct);
+    }
+}
+
 TEST(Histogram, MergeMatchesCombinedRecording)
 {
     Histogram a, b, combined;
