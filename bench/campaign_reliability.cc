@@ -18,6 +18,10 @@
  *
  * --scenario layers a fabric-fault process on top of the DRAM mix:
  *   none (default), link-flap, lossy-link, socket-offline.
+ * Hammer names select a read-disturbance preset instead (aggressor
+ * workload + activation counters, ambient fault rates zeroed, and a
+ * sixth scheme -- baseline-preventive -- joins the comparison):
+ *   hammer-single, hammer-manysided, hammer-under-refresh-pressure.
  *
  * --trace replays ONE trial serially with the event tracer enabled and
  * writes a Chrome trace_event JSON timeline (viewable in
@@ -83,14 +87,22 @@ main(int argc, char **argv)
                 return 1;
             }
             const auto sc = parseFabricScenario(argv[++i]);
-            if (!sc) {
+            std::optional<DisturbScenario> dsc;
+            if (!sc)
+                dsc = parseDisturbScenario(argv[i]);
+            if (!sc && !dsc) {
                 std::fprintf(stderr,
                              "unknown scenario '%s' (expected none, "
-                             "link-flap, lossy-link or socket-offline)\n",
+                             "link-flap, lossy-link, socket-offline, "
+                             "hammer-single, hammer-manysided or "
+                             "hammer-under-refresh-pressure)\n",
                              argv[i]);
                 return 1;
             }
-            cfg.scenario = *sc;
+            if (sc)
+                cfg.scenario = *sc;
+            else
+                applyDisturbPreset(cfg, *dsc);
         } else if (std::strcmp(argv[i], "--json") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--json needs a path\n");
@@ -166,13 +178,16 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const std::vector<CampaignScheme> schemes = {
-        CampaignScheme::BaselineNone,
-        CampaignScheme::BaselineSecDed,
-        CampaignScheme::BaselineDetect,
-        CampaignScheme::DveAllow,
-        CampaignScheme::DveDeny,
-    };
+    const bool hammer = cfg.disturb != DisturbScenario::None;
+    const std::vector<CampaignScheme> schemes =
+        hammer ? disturbSchemes()
+               : std::vector<CampaignScheme>{
+                     CampaignScheme::BaselineNone,
+                     CampaignScheme::BaselineSecDed,
+                     CampaignScheme::BaselineDetect,
+                     CampaignScheme::DveAllow,
+                     CampaignScheme::DveDeny,
+                 };
 
     const CampaignRunner runner(cfg);
     const CampaignReport report = runner.run(schemes);
@@ -194,26 +209,51 @@ main(int argc, char **argv)
                     cfg.trials,
                     static_cast<unsigned long long>(cfg.opsPerTrial),
                     static_cast<unsigned long long>(cfg.seed),
-                    fabricScenarioName(cfg.scenario),
+                    hammer ? disturbScenarioName(cfg.disturb)
+                           : fabricScenarioName(cfg.scenario),
                     cfg.jobs ? cfg.jobs : jobsFromEnv());
-        std::printf("%-20s %10s %10s %10s %10s %8s %8s %8s\n", "scheme",
-                    "corrected", "due", "sdc", "recovered", "re-repl",
-                    "degr-end", "unavail");
-        for (const auto &sr : report.schemes) {
-            const auto &t = sr.totals;
-            std::printf("%-20s %10llu %10llu %10llu %10llu %8llu %8llu "
-                        "%8llu\n",
-                        campaignSchemeName(sr.scheme),
-                        static_cast<unsigned long long>(t.corrected),
-                        static_cast<unsigned long long>(t.due),
-                        static_cast<unsigned long long>(t.sdc),
-                        static_cast<unsigned long long>(
-                            t.replicaRecoveries),
-                        static_cast<unsigned long long>(t.reReplications),
-                        static_cast<unsigned long long>(
-                            t.degradedLinesEnd),
-                        static_cast<unsigned long long>(
-                            t.unavailableRequests));
+        if (hammer) {
+            std::printf("%-20s %10s %10s %10s %10s %9s %9s %8s\n",
+                        "scheme", "corrected", "due", "sdc", "recovered",
+                        "crossings", "prev-ref", "retired");
+            for (const auto &sr : report.schemes) {
+                const auto &t = sr.totals;
+                std::printf("%-20s %10llu %10llu %10llu %10llu %9llu "
+                            "%9llu %8llu\n",
+                            campaignSchemeName(sr.scheme),
+                            static_cast<unsigned long long>(t.corrected),
+                            static_cast<unsigned long long>(t.due),
+                            static_cast<unsigned long long>(t.sdc),
+                            static_cast<unsigned long long>(
+                                t.replicaRecoveries),
+                            static_cast<unsigned long long>(
+                                t.disturbCrossings),
+                            static_cast<unsigned long long>(
+                                t.preventiveRefreshes),
+                            static_cast<unsigned long long>(
+                                t.disturbRetirements));
+            }
+        } else {
+            std::printf("%-20s %10s %10s %10s %10s %8s %8s %8s\n",
+                        "scheme", "corrected", "due", "sdc", "recovered",
+                        "re-repl", "degr-end", "unavail");
+            for (const auto &sr : report.schemes) {
+                const auto &t = sr.totals;
+                std::printf("%-20s %10llu %10llu %10llu %10llu %8llu "
+                            "%8llu %8llu\n",
+                            campaignSchemeName(sr.scheme),
+                            static_cast<unsigned long long>(t.corrected),
+                            static_cast<unsigned long long>(t.due),
+                            static_cast<unsigned long long>(t.sdc),
+                            static_cast<unsigned long long>(
+                                t.replicaRecoveries),
+                            static_cast<unsigned long long>(
+                                t.reReplications),
+                            static_cast<unsigned long long>(
+                                t.degradedLinesEnd),
+                            static_cast<unsigned long long>(
+                                t.unavailableRequests));
+            }
         }
 
         // Cross-check against Table I's closed forms: the analytic model

@@ -6,8 +6,8 @@
  *
  * Usage:
  *   fuzz_campaign [--scenarios N] [--seed S] [--ops N] [--jobs N]
- *                 [--bug NAME] [--json FILE] [--repro-dir DIR]
- *                 [--skip-protocol-checks] [--quiet]
+ *                 [--bug NAME] [--hammer] [--json FILE]
+ *                 [--repro-dir DIR] [--skip-protocol-checks] [--quiet]
  *
  * Scenario i rotates the protocol family (allow/deny/dynamic by i % 3)
  * and derives its generator seed only from (--seed, i), so the campaign
@@ -17,6 +17,13 @@
  * --bug arms a seeded protocol bug (rm-marker-refresh or
  * skip-deny-invalidate) in every scenario -- the self-test mode CI uses
  * to prove the monitors catch a real bug within the smoke budget.
+ *
+ * --hammer switches every scenario to the generator's aggressor-pattern
+ * mode: accesses hammer one bank's aggressor rows, faults become
+ * scripted RowDisturb injections on the victim rows, and the footprint
+ * widens to 32 pages so the victim rows stay observable. The monitors
+ * must hold under a read-disturbance attack exactly as they do under
+ * the classical chaos mix.
  *
  * Failing scenarios are delta-debugged to locally-minimal repros and
  * written to --repro-dir as fuzz_repro_<i>.scn with an `expect` header,
@@ -71,7 +78,8 @@ struct ScenarioOutcome
 
 GeneratorConfig
 scenarioConfig(std::uint64_t base_seed, std::size_t index,
-               std::uint64_t ops, const GeneratorConfig &bugs)
+               std::uint64_t ops, const GeneratorConfig &bugs,
+               bool hammer)
 {
     GeneratorConfig gc;
     // Same derivation family as the reliability campaign: streams depend
@@ -85,6 +93,11 @@ scenarioConfig(std::uint64_t base_seed, std::size_t index,
     }
     gc.bugRmMarkerRefresh = bugs.bugRmMarkerRefresh;
     gc.bugSkipDenyInvalidate = bugs.bugSkipDenyInvalidate;
+    if (hammer) {
+        gc.hammerMode = true;
+        // Victim rows 0..3 need 32 pages to sit inside the footprint.
+        gc.footprintPages = 32;
+    }
     return gc;
 }
 
@@ -99,6 +112,7 @@ main(int argc, char **argv)
     unsigned jobs = 0; // 0 = DVE_BENCH_JOBS / hardware concurrency
     GeneratorConfig bugs;
     bool bug_armed = false;
+    bool hammer = false;
     const char *json_path = nullptr;
     const char *repro_dir = nullptr;
     bool protocol_checks = true;
@@ -133,6 +147,8 @@ main(int argc, char **argv)
                 return 1;
             }
             bug_armed = true;
+        } else if (std::strcmp(argv[i], "--hammer") == 0) {
+            hammer = true;
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
         } else if (std::strcmp(argv[i], "--repro-dir") == 0
@@ -156,7 +172,7 @@ main(int argc, char **argv)
         static_cast<std::size_t>(scenarios),
         [&](std::size_t i) {
             const GeneratorConfig gc =
-                scenarioConfig(base_seed, i, ops, bugs);
+                scenarioConfig(base_seed, i, ops, bugs, hammer);
             const FuzzScenario sc = generateScenario(gc);
             FuzzRunOptions opt; // checks on, stop at first violation
             const FuzzRunResult r = runScenario(sc, opt);
@@ -243,8 +259,12 @@ main(int argc, char **argv)
          << ",\n\"bug_rm_marker_refresh\": "
          << (bugs.bugRmMarkerRefresh ? "true" : "false")
          << ",\n\"bug_skip_deny_invalidate\": "
-         << (bugs.bugSkipDenyInvalidate ? "true" : "false")
-         << ",\n\"violated\": " << violated
+         << (bugs.bugSkipDenyInvalidate ? "true" : "false");
+    // Emitted only when armed so hammer-free reports stay byte-identical
+    // to earlier versions.
+    if (hammer)
+        json << ",\n\"hammer\": true";
+    json << ",\n\"violated\": " << violated
          << ",\n\"violations_by_monitor\": {";
     bool firstMon = true;
     for (const auto &[name, count] : byMonitor) {
@@ -303,11 +323,12 @@ main(int argc, char **argv)
 
     if (!quiet) {
         std::printf("Fuzz campaign: %llu scenarios x %llu ops, seed "
-                    "%llu%s\n",
+                    "%llu%s%s\n",
                     static_cast<unsigned long long>(scenarios),
                     static_cast<unsigned long long>(ops),
                     static_cast<unsigned long long>(base_seed),
-                    bug_armed ? " (seeded bug armed)" : "");
+                    bug_armed ? " (seeded bug armed)" : "",
+                    hammer ? " (hammer mode)" : "");
         std::printf("violations: %llu/%llu\n",
                     static_cast<unsigned long long>(violated),
                     static_cast<unsigned long long>(scenarios));

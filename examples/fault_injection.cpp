@@ -15,10 +15,13 @@
  *   fault_injection scope=chip,socket=0,chip=3 \
  *                   scope=cell,socket=1,row=12,column=3,bit=5,transient=1
  *
- * Keys: scope (cell|row|column|bank|chip|channel|controller|link-down|
- * link-lossy|socket-offline), socket, peer, channel, rank, chip, bank,
- * row, column, bit, transient, drop, delay. Fabric faults also accept
- * the shorthands
+ * Keys: scope (cell|row|column|bank|chip|channel|controller|row-disturb|
+ * link-down|link-lossy|socket-offline), socket, peer, channel, rank,
+ * chip, bank, row, column, bit, transient, drop, delay. A row-disturb
+ * spec names the *victim* row: it behaves like a row-wide single-bit
+ * flip, the shape the DRAM disturbance model injects when an aggressor
+ * row's activation count crosses its HCfirst threshold. Fabric faults
+ * also accept the shorthands
  *
  *   fault_injection link:0-1 lossy:0-1,drop=0.5 socket:1
  *

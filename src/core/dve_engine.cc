@@ -52,6 +52,8 @@ DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
     dveStats_.add("link_retries", linkRetries_);
     dveStats_.add("fabric_demotions", fabricDemotions_);
     dveStats_.add("repair_deferrals", repairDeferrals_);
+    if (dcfg_.disturbRetireAfter > 0)
+        dveStats_.add("disturb_retirements", disturbRetirements_);
     dveStats_.add("slow_control_messages", slowControlMsgs_);
     dveStats_.add("fenced_fast_fails", fencedFastFails_);
     dveStats_.add("degraded_ticks", degradedTicks_);
@@ -250,6 +252,8 @@ DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
     // sync, so the home copy is a valid recovery source.
     if (degradedHome_.count(line)) {
         ++due_;
+        if (dcfg_.disturbRetireAfter > 0)
+            markDegraded(false, line, m.readyAt);
         return {m.readyAt, logicalValue(line)};
     }
     const FabricOutcome go = fabricSend(dirNode(rsock), dirNode(home),
@@ -268,6 +272,13 @@ DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
         ++sysCe_;
     if (m2.failed) {
         ++due_; // both copies lost: machine check
+        // Under a disturbance-aware config, hand both frames to the
+        // self-heal pipeline: repeated failed repairs of a hammered
+        // frame are what drives aggressor-aware retirement.
+        if (dcfg_.disturbRetireAfter > 0) {
+            markDegraded(false, line, m2.readyAt);
+            markDegraded(true, line, m2.readyAt);
+        }
         return {m2.readyAt, logicalValue(line)};
     }
     const FabricOutcome ret = fabricSend(dirNode(home), dirNode(rsock),
@@ -287,6 +298,12 @@ DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
                     static_cast<std::uint8_t>(rsock), line, 0});
 
     // Try to repair the failing replica copy off the critical path.
+    // Sample the disturbance state first: the rewrite heals the
+    // transient victim fault, but an in-place rewrite of a hammered
+    // frame counts toward aggressor-aware retirement.
+    const bool disturbed =
+        dcfg_.disturbRetireAfter > 0
+        && replica_mc.rowDisturbedAt(dataAddr(rsock, line));
     const auto rep =
         replica_mc.repairAndVerify(dataAddr(rsock, line), m2.value, back);
     if (rep.failed) {
@@ -294,6 +311,8 @@ DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
     } else {
         ++repaired_;
         clearDegraded(false, line, back);
+        Tick bg = back; // retirement runs off the critical path
+        noteDisturbRepair(rsock, line, false, disturbed, bg);
     }
     return {back, m2.value};
 }
@@ -461,6 +480,26 @@ DveEngine::runRepairTask(RepairTask task, Tick now, Tick &t,
         return;
     }
 
+    // Aggressor-aware retirement: a line that keeps needing repair while
+    // a read-disturbance fault sits on its frame is being actively
+    // hammered. In-place rewrites only last until the next HCfirst
+    // crossing, so after a few such repairs move the page to a spare
+    // frame whose rows escape the aggressors.
+    if (dcfg_.disturbRetireAfter > 0
+        && memory(fail_sock).rowDisturbedAt(
+               dataAddr(fail_sock, task.line))
+        && ++disturbRepairs_[task.line] >= dcfg_.disturbRetireAfter) {
+        disturbRepairs_.erase(task.line);
+        ++rep.tasksRun;
+        retireFrame(fail_sock, task.line, task.homeSide, t);
+        ++disturbRetirements_;
+        ++rep.retired;
+        if (!dmap.count(task.line))
+            ++rep.healed;
+        noteRepairDone(task, t, 2);
+        return;
+    }
+
     ++rep.tasksRun;
     ++repairRetries_;
 
@@ -579,6 +618,21 @@ DveEngine::retireFrame(unsigned socket, Addr line, bool home_side, Tick &t)
     }
 }
 
+void
+DveEngine::noteDisturbRepair(unsigned fail_sock, Addr line,
+                             bool home_side, bool was_disturbed, Tick &t)
+{
+    if (!was_disturbed || dcfg_.disturbRetireAfter == 0)
+        return;
+    if (++disturbRepairs_[line] < dcfg_.disturbRetireAfter)
+        return;
+    // In-place rewrites only last until the next HCfirst crossing: the
+    // frame is under active attack, so move the page off it.
+    disturbRepairs_.erase(line);
+    retireFrame(fail_sock, line, home_side, t);
+    ++disturbRetirements_;
+}
+
 CoherenceEngine::MemRead
 DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
 {
@@ -607,6 +661,8 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
             return {ret.at, logicalValue(line)};
         }
         ++due_;
+        if (dcfg_.disturbRetireAfter > 0)
+            markDegraded(false, line, m.readyAt);
         return {m.readyAt, logicalValue(line)};
     }
 
@@ -639,6 +695,12 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
         ++sysCe_;
     if (m2.failed) {
         ++due_; // data lost in both replicas
+        // See readReplicaChecked: feed hammered frames to self-heal so
+        // repeated repair failures can retire them.
+        if (dcfg_.disturbRetireAfter > 0) {
+            markDegraded(true, line, m2.readyAt);
+            markDegraded(false, line, m2.readyAt);
+        }
         return {m2.readyAt, logicalValue(line)};
     }
     const FabricOutcome ret = fabricSend(dirNode(*rs), dirNode(home),
@@ -656,6 +718,9 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
     tracer_.record({when, back - when, TraceKind::Divert, TraceComp::Dve,
                     static_cast<std::uint8_t>(home), line, 1});
 
+    const bool disturbed =
+        dcfg_.disturbRetireAfter > 0
+        && memory(home).rowDisturbedAt(dataAddr(home, line));
     const auto rep =
         memory(home).repairAndVerify(dataAddr(home, line), m2.value, back);
     if (rep.failed) {
@@ -663,6 +728,8 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
     } else {
         ++repaired_;
         clearDegraded(true, line, back);
+        Tick bg = back; // retirement runs off the critical path
+        noteDisturbRepair(home, line, true, disturbed, bg);
     }
     return {back, m2.value};
 }

@@ -92,6 +92,10 @@ struct DveConfig
     /** First page number of the spare-frame pool retirement remaps onto.
      *  Far above any workload footprint by default. */
     Addr sparePageBase = Addr(1) << 26;
+    /** Aggressor-aware retirement: retire a line's frame once it needed
+     *  this many repairs while a read-disturbance fault sat on it (the
+     *  spare frame escapes the hammered rows). 0 = disabled. */
+    unsigned disturbRetireAfter = 0;
 
     // ---- Fabric-fault escalation (link/socket failures) ----------------
     /** Timeout charged when a cross-socket message is lost in the fabric. */
@@ -247,6 +251,11 @@ class DveEngine : public CoherenceEngine
     {
         return repairDeferrals_.value();
     }
+    /** Frames retired because hammering kept re-degrading them. */
+    std::uint64_t disturbRetirements() const
+    {
+        return disturbRetirements_.value();
+    }
     std::uint64_t slowControlMessages() const
     {
         return slowControlMsgs_.value();
@@ -401,6 +410,16 @@ class DveEngine : public CoherenceEngine
      */
     void retireFrame(unsigned socket, Addr line, bool home_side, Tick &t);
 
+    /**
+     * Aggressor-aware retirement accounting for a just-repaired line
+     * whose frame carried a read-disturbance fault (@p was_disturbed is
+     * sampled *before* the repair, which heals the transient). After
+     * disturbRetireAfter such in-place rewrites the page moves to a
+     * spare frame whose rows escape the aggressors.
+     */
+    void noteDisturbRepair(unsigned fail_sock, Addr line, bool home_side,
+                           bool was_disturbed, Tick &t);
+
     /** Dynamic protocol bookkeeping per replica-side transaction. */
     void dynamicObserve(Addr line, Tick latency);
 
@@ -423,6 +442,8 @@ class DveEngine : public CoherenceEngine
     std::unordered_map<Addr, Tick> degradedHome_;
     std::unordered_map<Addr, Tick> degradedReplica_;
     std::deque<RepairTask> repairQueue_;
+    /** Repairs attributed to read disturbance, per line (retirement). */
+    std::unordered_map<Addr, unsigned> disturbRepairs_;
     /** Per-socket retired-frame remap: page -> spare page. */
     std::vector<std::unordered_map<Addr, Addr>> frameRemap_;
     Addr nextSparePage_ = 0;
@@ -470,6 +491,7 @@ class DveEngine : public CoherenceEngine
     Counter linkRetries_;
     Counter fabricDemotions_; ///< replicas fenced by a missed update
     Counter repairDeferrals_; ///< repairs requeued while the path is down
+    Counter disturbRetirements_; ///< frames retired under hammering
     Counter slowControlMsgs_; ///< metadata routed around a fenced link
     Counter fencedFastFails_;
     Counter dynamicSwitches_;

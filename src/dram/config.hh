@@ -38,8 +38,29 @@ struct DramConfig
     Tick tREFI = nsToTicks(7800.0);
     /// Refresh cycle time: the rank is unavailable this long (8 Gb).
     Tick tRFC = nsToTicks(350.0);
+    /// Write CAS latency; 0 means "use tCL" (the historical behavior).
+    Tick tCWL = 0;
+    /// Four-activate window per rank; 0 disables the constraint.
+    Tick tFAW = 0;
     /// Model refresh blackouts (disable for pure timing unit tests).
     bool refreshEnabled = true;
+
+    // Read-disturbance (RowHammer) model. Off by default: with
+    // disturbEnabled == false the module does no activation tracking and
+    // its timing/stat output is identical to a build without the feature.
+    bool disturbEnabled = false;
+    /// Graphene-style top-K counter entries per bank.
+    unsigned disturbTableEntries = 4;
+    /// Base HCfirst: estimated activations at which a row's neighbors flip.
+    std::uint64_t disturbThreshold = 32;
+    /// Seeded per-row HCfirst variation: threshold + [0, spread].
+    std::uint64_t disturbThresholdSpread = 8;
+    /// Seed for per-row HCfirst values and victim bit-flip placement.
+    std::uint64_t disturbSeed = 1;
+    /// Issue neighbor refreshes when a tracked row gets hot (mitigation).
+    bool preventiveRefreshEnabled = false;
+    /// Estimated activation count that triggers a preventive refresh.
+    std::uint64_t preventiveRefreshThreshold = 16;
 
     /** Total devices per rank (data + ECC). */
     unsigned devicesPerRank() const

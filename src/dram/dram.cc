@@ -7,6 +7,21 @@
 namespace dve
 {
 
+namespace
+{
+
+/** splitmix64: seeds the per-row HCfirst thresholds. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
 DramModule::DramModule(std::string name, const DramConfig &cfg)
     : name_(std::move(name)), cfg_(cfg), map_(cfg), stats_(name_)
 {
@@ -16,6 +31,12 @@ DramModule::DramModule(std::string name, const DramConfig &cfg)
     busReadyAt_.assign(cfg_.channels, 0);
     nextRefresh_.assign(
         std::size_t(cfg_.channels) * cfg_.ranksPerChannel, cfg_.tREFI);
+    actWindow_.assign(std::size_t(cfg_.channels) * cfg_.ranksPerChannel,
+                      {});
+    actWindowPos_.assign(
+        std::size_t(cfg_.channels) * cfg_.ranksPerChannel, 0);
+    if (cfg_.disturbEnabled)
+        disturbTables_.assign(nbanks, BankCounters{});
 
     stats_.add("reads", reads_);
     stats_.add("writes", writes_);
@@ -26,6 +47,15 @@ DramModule::DramModule(std::string name, const DramConfig &cfg)
     stats_.add("row_hits", rowHits_);
     stats_.add("row_misses", rowMisses_);
     stats_.add("row_conflicts", rowConflicts_);
+    if (cfg_.disturbEnabled) {
+        // Registered only when the model is armed so stat dumps of
+        // disturbance-free configurations are unchanged.
+        stats_.add("disturb_crossings", disturbCrossings_);
+        stats_.add("preventive_refreshes", preventiveRefreshes_);
+        stats_.add("preventive_refresh_stall_ticks",
+                   preventiveStallTicks_);
+        stats_.add("preventive_refresh_stall", preventiveStall_);
+    }
 }
 
 Tick
@@ -55,7 +85,105 @@ DramModule::applyRefresh(const DramCoord &c, Tick start)
         refreshStallTicks_ += (last + cfg_.tRFC) - start;
         start = last + cfg_.tRFC;
     }
+
+    // Refresh restores the charge of the rows it covers: model the
+    // activation-counter tables as resetting each refresh interval.
+    if (cfg_.disturbEnabled) {
+        for (unsigned bk = 0; bk < cfg_.banksPerRank; ++bk) {
+            DramCoord cc = c;
+            cc.bank = bk;
+            BankCounters &t = disturbTables_[bankIndex(cc)];
+            t.entries.clear();
+            t.spill = 0;
+        }
+    }
     return start;
+}
+
+Tick
+DramModule::applyFaw(const DramCoord &c, Tick act_start)
+{
+    // Each slot stores the earliest tick the activate four commands later
+    // may issue; zero-initialized slots never delay the first window.
+    const std::size_t r =
+        std::size_t(c.channel) * cfg_.ranksPerChannel + c.rank;
+    auto &w = actWindow_[r];
+    unsigned &pos = actWindowPos_[r];
+    if (w[pos] > act_start)
+        act_start = w[pos];
+    w[pos] = act_start + cfg_.tFAW;
+    pos = (pos + 1) & 3;
+    return act_start;
+}
+
+std::uint64_t
+DramModule::disturbThresholdFor(const DramCoord &c) const
+{
+    if (cfg_.disturbThresholdSpread == 0)
+        return cfg_.disturbThreshold;
+    const std::uint64_t key =
+        (std::uint64_t(bankIndex(c)) << 40) ^ c.row;
+    return cfg_.disturbThreshold
+           + mix64(cfg_.disturbSeed ^ mix64(key))
+                 % (cfg_.disturbThresholdSpread + 1);
+}
+
+void
+DramModule::noteActivate(const DramCoord &c, BankState &b)
+{
+    BankCounters &t = disturbTables_[bankIndex(c)];
+    auto it = std::find_if(t.entries.begin(), t.entries.end(),
+                           [&](const CounterEntry &e) {
+                               return e.row == c.row;
+                           });
+    if (it != t.entries.end()) {
+        ++it->count;
+    } else if (t.entries.size() < cfg_.disturbTableEntries) {
+        t.entries.push_back({c.row, t.spill + 1});
+        it = t.entries.end() - 1;
+    } else {
+        // Graphene/Misra-Gries: a row at the spillover floor yields its
+        // entry to the newcomer; otherwise the floor itself rises.
+        it = std::min_element(t.entries.begin(), t.entries.end(),
+                              [](const CounterEntry &a,
+                                 const CounterEntry &e) {
+                                  return a.count < e.count;
+                              });
+        if (it->count > t.spill) {
+            ++t.spill;
+            return; // untracked rows are bounded by the floor
+        }
+        it->row = c.row;
+        it->count = t.spill + 1;
+    }
+
+    const std::uint64_t cnt = it->count;
+    if (cfg_.preventiveRefreshEnabled
+        && cnt >= cfg_.preventiveRefreshThreshold) {
+        // Refresh the two neighbors before they can flip: the bank is
+        // blacked out for two extra row cycles, contending with demand.
+        const Tick blackout = 2 * (cfg_.tRAS + cfg_.tRP);
+        b.readyAt += blackout;
+        preventiveRefreshes_ += 2;
+        preventiveStallTicks_ += blackout;
+        preventiveStall_.record(blackout);
+        it->count = t.spill; // aggressor pressure is relieved
+        return;
+    }
+    if (cnt >= disturbThresholdFor(c)) {
+        ++disturbCrossings_;
+        ++disturbOrdinal_;
+        disturbEvents_.push_back({c, cnt, disturbOrdinal_});
+        it->count = t.spill; // victims flipped; charge pressure restarts
+    }
+}
+
+std::vector<DisturbEvent>
+DramModule::drainDisturbEvents()
+{
+    std::vector<DisturbEvent> out;
+    out.swap(disturbEvents_);
+    return out;
 }
 
 DramAccessResult
@@ -69,6 +197,7 @@ DramModule::access(Addr a, bool is_write, Tick now)
     if (cfg_.refreshEnabled)
         start = applyRefresh(res.coord, start);
     Tick cas_issue;
+    bool activated = false;
 
     if (b.openRow == static_cast<std::int64_t>(res.coord.row)) {
         // Row hit: CAS can issue as soon as the bank is free.
@@ -79,9 +208,13 @@ DramModule::access(Addr a, bool is_write, Tick now)
         // Bank closed: activate then CAS.
         ++rowMisses_;
         ++activates_;
-        b.activatedAt = start;
-        cas_issue = start + cfg_.tRCD;
+        Tick act_start = start;
+        if (cfg_.tFAW)
+            act_start = applyFaw(res.coord, act_start);
+        b.activatedAt = act_start;
+        cas_issue = act_start + cfg_.tRCD;
         b.openRow = static_cast<std::int64_t>(res.coord.row);
+        activated = true;
     } else {
         // Conflict: precharge (no earlier than tRAS after activate),
         // activate the new row, then CAS.
@@ -90,20 +223,28 @@ DramModule::access(Addr a, bool is_write, Tick now)
         ++activates_;
         const Tick pre_start =
             std::max(start, b.activatedAt + cfg_.tRAS);
-        const Tick act_start = pre_start + cfg_.tRP;
+        Tick act_start = pre_start + cfg_.tRP;
+        if (cfg_.tFAW)
+            act_start = applyFaw(res.coord, act_start);
         b.activatedAt = act_start;
         cas_issue = act_start + cfg_.tRCD;
         b.openRow = static_cast<std::int64_t>(res.coord.row);
+        activated = true;
     }
 
     // Data burst must also win the channel bus.
     Tick &bus = busReadyAt_[res.coord.channel];
-    const Tick burst_start = std::max(cas_issue + cfg_.tCL, bus);
+    const Tick cas_latency =
+        is_write && cfg_.tCWL ? cfg_.tCWL : cfg_.tCL;
+    const Tick burst_start = std::max(cas_issue + cas_latency, bus);
     bus = burst_start + cfg_.tBURST;
     res.readyAt = burst_start + cfg_.tBURST;
 
     // Bank is command-busy until the CAS completes.
     b.readyAt = res.readyAt;
+
+    if (activated && cfg_.disturbEnabled)
+        noteActivate(res.coord, b);
 
     if (is_write)
         ++writes_;
@@ -133,6 +274,10 @@ DramModule::resetStats()
     rowHits_.reset();
     rowMisses_.reset();
     rowConflicts_.reset();
+    disturbCrossings_.reset();
+    preventiveRefreshes_.reset();
+    preventiveStallTicks_.reset();
+    preventiveStall_.reset();
 }
 
 } // namespace dve

@@ -13,12 +13,23 @@
  * whose start lands in a blackout is pushed past it (refresh closes the
  * open rows). The model also counts activates/reads/writes/precharges/
  * refreshes, which feed the energy model, and exposes row-buffer hit
- * statistics.
+ * statistics. Writes use tCWL when configured (tCL otherwise), and a
+ * nonzero tFAW rate-limits activates per rank.
+ *
+ * With cfg.disturbEnabled, each bank additionally tracks activation
+ * counts between refreshes in a Graphene-style top-K table (exact counts
+ * for the K hottest rows, a shared spillover floor for the rest). When a
+ * row's estimated count crosses its seeded per-row HCfirst threshold the
+ * module emits a DisturbEvent naming the aggressor -- the memory
+ * controller turns those into victim-row faults. An optional preventive
+ * refresh mitigation instead refreshes the neighbors at a lower
+ * threshold, blacking out the bank like real mitigation commands do.
  */
 
 #ifndef DVE_DRAM_DRAM_HH
 #define DVE_DRAM_DRAM_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -37,6 +48,14 @@ struct DramAccessResult
     Tick readyAt = 0;    ///< tick at which the data burst completes
     bool rowHit = false; ///< open-row hit
     DramCoord coord;     ///< decoded coordinates (for fault mapping)
+};
+
+/** An aggressor row crossed its HCfirst threshold (disturbance pressure). */
+struct DisturbEvent
+{
+    DramCoord coord;            ///< aggressor coordinates (column unused)
+    std::uint64_t count = 0;    ///< estimated activation count at crossing
+    std::uint64_t ordinal = 0;  ///< module-wide crossing sequence number
 };
 
 /** One socket's DRAM subsystem: all channels behind one memory port. */
@@ -60,6 +79,32 @@ class DramModule
     std::uint64_t writes() const { return writes_.value(); }
     std::uint64_t refreshes() const { return refreshes_.value(); }
 
+    // Read-disturbance interface (all trivial when disturbance is off).
+    bool disturbActive() const { return cfg_.disturbEnabled; }
+    bool disturbPending() const { return !disturbEvents_.empty(); }
+
+    /** Take ownership of the queued HCfirst-crossing events. */
+    std::vector<DisturbEvent> drainDisturbEvents();
+
+    /** Per-row HCfirst threshold (seeded; exposed for tests). */
+    std::uint64_t disturbThresholdFor(const DramCoord &c) const;
+
+    std::uint64_t disturbCrossings() const
+    {
+        return disturbCrossings_.value();
+    }
+    std::uint64_t preventiveRefreshes() const
+    {
+        return preventiveRefreshes_.value();
+    }
+    std::uint64_t preventiveStallTicks() const
+    {
+        return preventiveStallTicks_.value();
+    }
+
+    /** Distribution of preventive-refresh bank blackout lengths. */
+    const Histogram &preventiveStall() const { return preventiveStall_; }
+
     /** Fraction of accesses that hit the open row. */
     double rowHitRate() const;
 
@@ -76,14 +121,35 @@ class DramModule
         Tick activatedAt = 0;      ///< for tRAS enforcement
     };
 
-    BankState &bank(const DramCoord &c)
+    BankState &bank(const DramCoord &c) { return banks_[bankIndex(c)]; }
+
+    /** Graphene-style activation tracking for one bank. */
+    struct CounterEntry
     {
-        return banks_[(std::size_t(c.channel) * cfg_.ranksPerChannel
-                       + c.rank) * cfg_.banksPerRank + c.bank];
-    }
+        std::uint64_t row = 0;
+        std::uint64_t count = 0;
+    };
+    struct BankCounters
+    {
+        std::vector<CounterEntry> entries;
+        std::uint64_t spill = 0; ///< count floor for untracked rows
+    };
 
     /** Advance per-rank refresh state; returns the adjusted start. */
     Tick applyRefresh(const DramCoord &c, Tick start);
+
+    /** Delay an activate so at most 4 land per rank per tFAW window. */
+    Tick applyFaw(const DramCoord &c, Tick act_start);
+
+    /** Count an activate of the row in @p c; emit events / mitigate. */
+    void noteActivate(const DramCoord &c, BankState &b);
+
+    std::size_t bankIndex(const DramCoord &c) const
+    {
+        return (std::size_t(c.channel) * cfg_.ranksPerChannel + c.rank)
+                   * cfg_.banksPerRank
+               + c.bank;
+    }
 
     std::string name_;
     DramConfig cfg_;
@@ -91,6 +157,13 @@ class DramModule
     std::vector<BankState> banks_;
     std::vector<Tick> busReadyAt_;   ///< per channel
     std::vector<Tick> nextRefresh_;  ///< per (channel, rank)
+    /// Last four activate times per (channel, rank), oldest at cursor.
+    std::vector<std::array<Tick, 4>> actWindow_;
+    std::vector<unsigned> actWindowPos_;
+
+    std::vector<BankCounters> disturbTables_; ///< per bank (if enabled)
+    std::vector<DisturbEvent> disturbEvents_;
+    std::uint64_t disturbOrdinal_ = 0;
 
     Counter reads_;
     Counter writes_;
@@ -101,6 +174,10 @@ class DramModule
     Counter rowHits_;
     Counter rowMisses_;    ///< closed-bank accesses
     Counter rowConflicts_; ///< open-row mismatch
+    Counter disturbCrossings_;
+    Counter preventiveRefreshes_;     ///< victim rows refreshed
+    Counter preventiveStallTicks_;    ///< bank-blackout ticks added
+    Histogram preventiveStall_;
     StatGroup stats_;
 };
 

@@ -23,6 +23,8 @@ campaignSchemeName(CampaignScheme s)
       case CampaignScheme::BaselineDetect: return "baseline-dsd-detect";
       case CampaignScheme::DveAllow: return "dve-allow";
       case CampaignScheme::DveDeny: return "dve-deny";
+      case CampaignScheme::BaselinePreventive:
+        return "baseline-preventive";
     }
     return "?";
 }
@@ -48,6 +50,75 @@ parseFabricScenario(const char *name)
             return s;
     }
     return std::nullopt;
+}
+
+const char *
+disturbScenarioName(DisturbScenario s)
+{
+    switch (s) {
+      case DisturbScenario::None: return "none";
+      case DisturbScenario::HammerSingle: return "hammer-single";
+      case DisturbScenario::HammerManySided: return "hammer-manysided";
+      case DisturbScenario::HammerUnderRefreshPressure:
+        return "hammer-under-refresh-pressure";
+    }
+    return "?";
+}
+
+std::optional<DisturbScenario>
+parseDisturbScenario(const char *name)
+{
+    for (unsigned i = 0; i < numDisturbScenarios; ++i) {
+        const auto s = static_cast<DisturbScenario>(i);
+        if (std::strcmp(name, disturbScenarioName(s)) == 0)
+            return s;
+    }
+    return std::nullopt;
+}
+
+void
+applyDisturbPreset(CampaignConfig &cfg, DisturbScenario sc)
+{
+    cfg.disturb = sc;
+    if (sc == DisturbScenario::None)
+        return;
+    // The attack must reach DRAM: caches far smaller than the hammer
+    // working set, footprint wide enough to cover the aggressor bank's
+    // first rows and their victims (64 pages = rows 0..7 of bank 0).
+    cfg.engine.l1Bytes = 1024;
+    cfg.engine.llcBytes = 2048;
+    cfg.footprintPages = 64;
+    // Measure the disturbance story in isolation: no ambient classical
+    // arrivals, so every corruption observed comes from victim rows.
+    for (auto &r : cfg.lifecycle.rates)
+        r.fit = 0.0;
+    cfg.engine.dram.disturbEnabled = true;
+    // Scaled-down HCfirst so attacks land inside one refresh interval
+    // (activation counters reset every tREFI) within CI-sized trials;
+    // the preventive threshold sits below the weakest per-row HCfirst.
+    // tREFI is stretched in the same spirit: real HCfirst is defined
+    // over a 64 ms refresh window holding tens of thousands of ACTs,
+    // so the scaled window must hold many activations too.
+    cfg.engine.dram.tREFI *= 8;
+    cfg.engine.dram.disturbThreshold = 24;
+    cfg.engine.dram.disturbThresholdSpread = 8;
+    cfg.engine.dram.preventiveRefreshThreshold = 12;
+    cfg.engine.dram.tFAW = nsToTicks(30.0);
+    cfg.dve.disturbRetireAfter = 3;
+    // Refresh pressure: halving tREFI doubles both the ambient blackout
+    // load and the counter-reset rate, so crossings still happen but
+    // cost the attacker twice the activations.
+    if (sc == DisturbScenario::HammerUnderRefreshPressure)
+        cfg.engine.dram.tREFI /= 2;
+}
+
+std::vector<CampaignScheme>
+disturbSchemes()
+{
+    return {CampaignScheme::BaselineNone, CampaignScheme::BaselineSecDed,
+            CampaignScheme::BaselineDetect,
+            CampaignScheme::BaselinePreventive, CampaignScheme::DveAllow,
+            CampaignScheme::DveDeny};
 }
 
 CampaignConfig
@@ -98,6 +169,11 @@ TrialStats::accumulate(const TrialStats &t)
     repairDeferrals += t.repairDeferrals;
     droppedMessages += t.droppedMessages;
     failedSends += t.failedSends;
+    disturbCrossings += t.disturbCrossings;
+    preventiveRefreshes += t.preventiveRefreshes;
+    preventiveStallTicks += t.preventiveStallTicks;
+    disturbFaults += t.disturbFaults;
+    disturbRetirements += t.disturbRetirements;
     // engineSeed/faultSeed/workloadSeed/faultLogDigest/traceJson
     // identify one trial; they are deliberately not summed into totals.
     recoveryLatencies.insert(recoveryLatencies.end(),
@@ -135,6 +211,7 @@ codecFor(CampaignScheme s)
     switch (s) {
       case CampaignScheme::BaselineNone: return Scheme::None;
       case CampaignScheme::BaselineSecDed: return Scheme::SecDed72_64;
+      case CampaignScheme::BaselinePreventive: return Scheme::SecDed72_64;
       case CampaignScheme::BaselineDetect: return Scheme::DsdDetect;
       // Dvé pairs detection-only codes with cross-copy recovery; TSD is
       // the paper's Dvé+TSD configuration (detects 3-chip failures).
@@ -202,6 +279,17 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
     ecfg.validateValues = false;
     ecfg.seed = cfg_.seed * 1000003 + trial;
 
+    const bool hammer = cfg_.disturb != DisturbScenario::None;
+    if (hammer) {
+        // The disturbance seed (weak cells, per-row HCfirst) depends on
+        // (campaign seed, trial) only -- never on the scheme -- so every
+        // scheme faces rows of identical vulnerability.
+        ecfg.dram.disturbEnabled = true;
+        ecfg.dram.disturbSeed = cfg_.seed * 131071 + trial;
+        ecfg.dram.preventiveRefreshEnabled =
+            s == CampaignScheme::BaselinePreventive;
+    }
+
     std::unique_ptr<CoherenceEngine> owner;
     DveEngine *dve = nullptr;
     if (isDve(s)) {
@@ -237,6 +325,55 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
     const unsigned linesPerPage = pageBytes / lineBytes;
     const unsigned actors = ecfg.sockets * ecfg.coresPerSocket;
 
+    // Hammer access list: aggressor rows of one bank, column-major and
+    // row-interleaved so consecutive hammer accesses conflict in the
+    // bank and each one costs a real activate.
+    std::vector<Addr> hammerLines;
+    std::vector<Addr> victimLines;
+    std::uint64_t hammerIdx = 0;
+    std::uint64_t victimIdx = 0;
+    constexpr double hammerFraction = 0.7;
+    // Share of hammer picks that probe the victim rows instead: real
+    // attackers read the victims to harvest flips, and the probes are
+    // what surfaces the corruption as SDC/DUE in the outcome columns.
+    constexpr double victimProbeFraction = 0.2;
+    if (hammer) {
+        const std::vector<std::uint64_t> aggressors =
+            cfg_.disturb == DisturbScenario::HammerSingle
+                ? std::vector<std::uint64_t>{2, 5}
+                // More aggressors than counter-table entries: the
+                // spillover floor carries the estimate.
+                : std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6};
+        std::vector<std::uint64_t> victims;
+        for (const std::uint64_t row : aggressors) {
+            for (const std::uint64_t v : {row - 1, row + 1}) {
+                // row 0's lower neighbor wraps and fails the bound.
+                if (v >= ecfg.dram.rowsPerBank())
+                    continue;
+                if (std::find(victims.begin(), victims.end(), v)
+                    == victims.end()) {
+                    victims.push_back(v);
+                }
+            }
+        }
+        const AddressMap amap(ecfg.dram);
+        for (unsigned col = 0; col < amap.linesPerRow(); ++col) {
+            DramCoord c;
+            c.channel = 0;
+            c.rank = 0;
+            c.bank = 0;
+            c.column = col;
+            for (const std::uint64_t row : aggressors) {
+                c.row = row;
+                hammerLines.push_back(amap.encode(c));
+            }
+            for (const std::uint64_t row : victims) {
+                c.row = row;
+                victimLines.push_back(amap.encode(c));
+            }
+        }
+    }
+
     TrialStats t;
     Tick clock = 0;
     Tick next_scrub = cfg_.scrubInterval;
@@ -246,10 +383,20 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
         flc.advanceTo(clock);
 
         const unsigned actor = static_cast<unsigned>(wl.next(actors));
-        const Addr page = wl.next(cfg_.footprintPages);
-        const Addr addr = page * pageBytes
-                          + wl.next(linesPerPage) * lineBytes;
-        const bool is_write = wl.chance(cfg_.writeFraction);
+        Addr addr;
+        bool is_write;
+        if (hammer && wl.chance(hammerFraction)) {
+            // Hammer reads cycle the aggressor rows; interleaved victim
+            // probes harvest the flips the activations induced.
+            addr = wl.chance(victimProbeFraction)
+                       ? victimLines[victimIdx++ % victimLines.size()]
+                       : hammerLines[hammerIdx++ % hammerLines.size()];
+            is_write = false;
+        } else {
+            const Addr page = wl.next(cfg_.footprintPages);
+            addr = page * pageBytes + wl.next(linesPerPage) * lineBytes;
+            is_write = wl.chance(cfg_.writeFraction);
+        }
         const std::uint64_t value = wl.engine()();
 
         const auto r =
@@ -328,6 +475,21 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
         t.degradedLinesEnd = dve->degradedLines();
         t.degradedResidencyTicks = dve->degradedResidency(clock);
         t.recoveryLatencies = dve->recoveryLatencies();
+    }
+    if (hammer) {
+        for (unsigned sock = 0; sock < ecfg.sockets; ++sock) {
+            auto &mc = eng.memory(sock);
+            for (unsigned c = 0; c < mc.copies(); ++c) {
+                t.disturbCrossings += mc.dram(c).disturbCrossings();
+                t.preventiveRefreshes +=
+                    mc.dram(c).preventiveRefreshes();
+                t.preventiveStallTicks +=
+                    mc.dram(c).preventiveStallTicks();
+            }
+            t.disturbFaults += mc.disturbFaultsInjected();
+        }
+        if (dve)
+            t.disturbRetirements = dve->disturbRetirements();
     }
     t.reqLatency = eng.requestLatency();
     if (eng.tracer().enabled()) {
@@ -418,7 +580,8 @@ fmtTicks(double v)
 }
 
 void
-writeTotals(const TrialStats &t, const char *indent, std::ostream &os)
+writeTotals(const TrialStats &t, bool disturb, const char *indent,
+            std::ostream &os)
 {
     os << indent << "\"reads\": " << t.reads << ",\n"
        << indent << "\"writes\": " << t.writes << ",\n"
@@ -455,7 +618,22 @@ writeTotals(const TrialStats &t, const char *indent, std::ostream &os)
        << indent << "\"fabric_demotions\": " << t.fabricDemotions << ",\n"
        << indent << "\"repair_deferrals\": " << t.repairDeferrals << ",\n"
        << indent << "\"dropped_messages\": " << t.droppedMessages << ",\n"
-       << indent << "\"failed_sends\": " << t.failedSends << "\n";
+       << indent << "\"failed_sends\": " << t.failedSends;
+    if (disturb) {
+        // Emitted only for hammer campaigns so disturbance-free reports
+        // stay byte-identical to earlier versions.
+        os << ",\n"
+           << indent << "\"disturb_crossings\": " << t.disturbCrossings
+           << ",\n"
+           << indent << "\"disturb_faults\": " << t.disturbFaults << ",\n"
+           << indent << "\"preventive_refreshes\": "
+           << t.preventiveRefreshes << ",\n"
+           << indent << "\"preventive_refresh_stall_ticks\": "
+           << t.preventiveStallTicks << ",\n"
+           << indent << "\"disturb_retirements\": "
+           << t.disturbRetirements;
+    }
+    os << "\n";
 }
 
 /** Fixed-width hex so digests line up and never parse as JSON floats. */
@@ -478,8 +656,12 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
        << "    \"trials\": " << c.trials << ",\n"
        << "    \"seed\": " << c.seed << ",\n"
        << "    \"scenario\": \"" << fabricScenarioName(c.scenario)
-       << "\",\n"
-       << "    \"ops_per_trial\": " << c.opsPerTrial << ",\n"
+       << "\",\n";
+    if (c.disturb != DisturbScenario::None) {
+        os << "    \"disturb_scenario\": \""
+           << disturbScenarioName(c.disturb) << "\",\n";
+    }
+    os << "    \"ops_per_trial\": " << c.opsPerTrial << ",\n"
        << "    \"footprint_pages\": " << c.footprintPages << ",\n"
        << "    \"scrub_interval_ticks\": " << c.scrubInterval << ",\n"
        << "    \"maintenance_interval_ticks\": " << c.maintenanceInterval
@@ -494,7 +676,8 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
            << "      \"scheme\": \"" << campaignSchemeName(sr.scheme)
            << "\",\n"
            << "      \"totals\": {\n";
-        writeTotals(sr.totals, "        ", os);
+        writeTotals(sr.totals, c.disturb != DisturbScenario::None,
+                    "        ", os);
         os << "      },\n"
            << "      \"recovery_latency\": {\n"
            << "        \"count\": " << sr.recovery.count << ",\n"

@@ -41,9 +41,10 @@ enum class CampaignScheme : std::uint8_t
     BaselineDetect, ///< detection-only DSD, no replication: DUEs
     DveAllow,       ///< Dvé allow protocol on detection-only TSD
     DveDeny,        ///< Dvé deny protocol on detection-only TSD
+    BaselinePreventive, ///< SEC-DED + preventive neighbor refresh
 };
 
-constexpr unsigned numCampaignSchemes = 5;
+constexpr unsigned numCampaignSchemes = 6;
 
 const char *campaignSchemeName(CampaignScheme s);
 
@@ -69,6 +70,31 @@ const char *fabricScenarioName(FabricScenario s);
 /** Inverse of fabricScenarioName; nullopt for unrecognized names. */
 std::optional<FabricScenario> parseFabricScenario(const char *name);
 
+/**
+ * Read-disturbance (RowHammer) scenario. Unlike fabric scenarios these
+ * are workload-driven: the trial hammers a fixed set of aggressor rows
+ * in one bank while the DRAM activation counters decide when the
+ * adjacent victim rows flip. `hammer-single` hammers an aggressor pair
+ * that the top-K tables track exactly; `hammer-manysided` rotates more
+ * aggressors than the tables have entries, exercising the spillover
+ * floor; `hammer-under-refresh-pressure` shortens tREFI on top so
+ * counter resets and refresh blackouts interleave with the attack.
+ */
+enum class DisturbScenario : std::uint8_t
+{
+    None,
+    HammerSingle,
+    HammerManySided,
+    HammerUnderRefreshPressure,
+};
+
+constexpr unsigned numDisturbScenarios = 4;
+
+const char *disturbScenarioName(DisturbScenario s);
+
+/** Inverse of disturbScenarioName; nullopt for unrecognized names. */
+std::optional<DisturbScenario> parseDisturbScenario(const char *name);
+
 /** Campaign shape. */
 struct CampaignConfig
 {
@@ -89,6 +115,8 @@ struct CampaignConfig
     unsigned jobs = 0;
     /** Fabric-fault scenario layered on the lifecycle rates per trial. */
     FabricScenario scenario = FabricScenario::None;
+    /** Read-disturbance scenario (None = no hammering, no extra keys). */
+    DisturbScenario disturb = DisturbScenario::None;
     LifecycleConfig lifecycle; ///< rates/shape; geometry + seed per trial
     EngineConfig engine;       ///< base system; scheme set per campaign
     DveConfig dve;             ///< Dvé knobs; protocol set per scheme
@@ -96,6 +124,18 @@ struct CampaignConfig
     /** Small, fast, high-fault-pressure shape for tests and CI. */
     static CampaignConfig quickDefaults();
 };
+
+/**
+ * Shape @p cfg for a hammer scenario: arm the DRAM disturbance model,
+ * shrink the caches so the attack actually reaches DRAM, widen the
+ * footprint over the aggressor bank's rows, zero the ambient classical
+ * fault rates (the disturbance story is measured in isolation) and
+ * enable aggressor-aware frame retirement for the Dvé schemes.
+ */
+void applyDisturbPreset(CampaignConfig &cfg, DisturbScenario sc);
+
+/** Scheme list a hammer campaign compares (adds preventive refresh). */
+std::vector<CampaignScheme> disturbSchemes();
 
 /** Everything one trial observed. */
 struct TrialStats
@@ -129,6 +169,13 @@ struct TrialStats
     std::uint64_t repairDeferrals = 0;
     std::uint64_t droppedMessages = 0;
     std::uint64_t failedSends = 0;
+    // Read-disturbance pipeline (hammer campaigns only; their JSON keys
+    // are emitted only when a disturb scenario is active).
+    std::uint64_t disturbCrossings = 0;
+    std::uint64_t preventiveRefreshes = 0;
+    std::uint64_t preventiveStallTicks = 0;
+    std::uint64_t disturbFaults = 0;
+    std::uint64_t disturbRetirements = 0;
     // Replay identity: the derived seeds this trial ran with and a digest
     // of the fault-event log. Together with the campaign config block the
     // trial is reproducible standalone from the report alone. Not

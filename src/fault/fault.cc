@@ -21,6 +21,7 @@ faultScopeName(FaultScope s)
       case FaultScope::Chip: return "chip";
       case FaultScope::Channel: return "channel";
       case FaultScope::Controller: return "controller";
+      case FaultScope::RowDisturb: return "row-disturb";
       case FaultScope::LinkDown: return "link-down";
       case FaultScope::LinkLossy: return "link-lossy";
       case FaultScope::SocketOffline: return "socket-offline";
@@ -255,6 +256,14 @@ formatFaultSpec(const FaultDescriptor &in)
         field("bank", f.bank);
         field("row", f.row);
         break;
+      case FaultScope::RowDisturb:
+        field("channel", f.channel);
+        field("rank", f.rank);
+        field("chip", f.chip);
+        field("bank", f.bank);
+        field("row", f.row);
+        field("bit", f.bit);
+        break;
       case FaultScope::Column:
         field("channel", f.channel);
         field("rank", f.rank);
@@ -352,6 +361,7 @@ FaultRegistry::normalized(FaultDescriptor f)
         f.column = 0;
         break;
       case FaultScope::Row:
+      case FaultScope::RowDisturb: // flips anywhere in the victim row
         f.column = 0;
         break;
       case FaultScope::Column:
@@ -364,7 +374,7 @@ FaultRegistry::normalized(FaultDescriptor f)
       case FaultScope::SocketOffline:
         break; // fabric scopes returned above
     }
-    if (f.scope != FaultScope::Cell)
+    if (f.scope != FaultScope::Cell && f.scope != FaultScope::RowDisturb)
         f.bit = 0;
     return f;
 }
@@ -401,6 +411,8 @@ FaultRegistry::inBounds(const FaultDescriptor &f) const
         return f.bank < geom_.banks;
       case FaultScope::Row:
         return f.bank < geom_.banks && f.row < geom_.rows;
+      case FaultScope::RowDisturb:
+        return f.bank < geom_.banks && f.row < geom_.rows && f.bit < 8;
       case FaultScope::Column:
         return f.bank < geom_.banks && f.column < geom_.columns;
       case FaultScope::Cell:
@@ -477,6 +489,7 @@ FaultRegistry::matches(const FaultDescriptor &f, unsigned socket,
       case FaultScope::Bank:
         return f.bank == coord.bank;
       case FaultScope::Row:
+      case FaultScope::RowDisturb:
         return f.bank == coord.bank && f.row == coord.row;
       case FaultScope::Column:
         return f.bank == coord.bank && f.column == coord.column;
@@ -503,6 +516,7 @@ FaultRegistry::impact(unsigned socket, unsigned channel,
             imp.pathFailed = true;
             break;
           case FaultScope::Cell:
+          case FaultScope::RowDisturb:
             imp.bitFlips.emplace_back(f.chip, f.bit);
             break;
           default:
@@ -554,6 +568,19 @@ FaultRegistry::lossyLink(unsigned a, unsigned b) const
             return &f;
     }
     return nullptr;
+}
+
+bool
+FaultRegistry::rowDisturbAt(unsigned socket, unsigned channel,
+                            const DramCoord &coord) const
+{
+    for (const auto &f : faults_) {
+        if (f.scope == FaultScope::RowDisturb
+            && matches(f, socket, channel, coord)) {
+            return true;
+        }
+    }
+    return false;
 }
 
 unsigned

@@ -41,9 +41,10 @@ enum class FaultScope : std::uint8_t
     LinkDown,      ///< inter-socket link (socket, peer) delivers nothing
     LinkLossy,     ///< inter-socket link drops/delays messages
     SocketOffline, ///< socket's memory domain + link endpoint are gone
+    RowDisturb,    ///< read-disturbance bit flip across a victim row
 };
 
-constexpr unsigned numFaultScopes = 10;
+constexpr unsigned numFaultScopes = 11;
 
 /** First fabric-domain scope (everything below is a DRAM-path scope). */
 constexpr bool
@@ -67,9 +68,9 @@ struct FaultDescriptor
     unsigned rank = 0;
     unsigned chip = 0;          ///< device index within the codeword group
     unsigned bank = 0;
-    std::uint64_t row = 0;
+    std::uint64_t row = 0;      ///< RowDisturb: the *victim* row
     unsigned column = 0;        ///< line slot within the row
-    unsigned bit = 0;           ///< for Cell scope: bit within the byte
+    unsigned bit = 0;           ///< Cell/RowDisturb: bit within the byte
     bool transient = false;     ///< curable by a repair write
     // Fabric-scope coordinates/shape (link scopes only).
     unsigned peer = 0;          ///< other endpoint of the link
@@ -185,6 +186,11 @@ class FaultRegistry
      */
     unsigned repairAt(unsigned socket, unsigned channel,
                       const DramCoord &coord);
+
+    /** Is an active read-disturbance fault matching this access? Lets
+     *  the Dvé engine retire frames whose failures are hammer-driven. */
+    bool rowDisturbAt(unsigned socket, unsigned channel,
+                      const DramCoord &coord) const;
 
     const std::vector<FaultDescriptor> &active() const { return faults_; }
 

@@ -33,6 +33,10 @@ LifecycleConfig::fieldDefaults()
     c.rates[unsigned(FaultScope::Chip)] = {2.0, 0.10, 0.20};
     c.rates[unsigned(FaultScope::Channel)] = {0.6, 0.05, 0.15};
     c.rates[unsigned(FaultScope::Controller)] = {0.3, 0.0, 0.0};
+    // RowDisturb stays at rate 0: read disturbance is workload-driven
+    // (DramModule activation counters inject the victims), not an ambient
+    // Poisson process. Campaigns may still set a rate to model background
+    // hammering; arrivals then place a transient victim-row flip.
     return c;
 }
 

@@ -64,6 +64,28 @@ generateScenario(const GeneratorConfig &cfg)
         hot.push_back(line * lineBytes);
     }
 
+    // Hammer mode: the access stream cycles a double-sided aggressor
+    // pair (rows 1 and 2 of bank 0, every column, channels interleaved)
+    // and the inject steps below become RowDisturb faults on the
+    // adjacent victim rows 0 and 3. All rows sit inside a >= 32-page
+    // footprint, so the uniform rest of the stream observes the victims.
+    std::vector<Addr> aggressor;
+    std::uint64_t aggIdx = 0;
+    if (cfg.hammerMode) {
+        const std::uint64_t aggRows[2] = {1, 2};
+        for (unsigned col = 0; col < amap.linesPerRow(); ++col) {
+            for (const std::uint64_t row : aggRows) {
+                DramCoord c;
+                c.channel = col % dram.channels;
+                c.rank = 0;
+                c.bank = 0;
+                c.row = row;
+                c.column = col;
+                aggressor.push_back(amap.encode(c));
+            }
+        }
+    }
+
     // Safety bound state: at most 2 concurrent DRAM faults per socket,
     // at most 1 fabric fault system-wide (see file comment).
     std::vector<unsigned> dramActive(cfg.sockets, 0);
@@ -90,8 +112,11 @@ generateScenario(const GeneratorConfig &cfg)
                 st.fault =
                     removeOutstanding(rng.next(outstanding.size())).desc;
             } else {
-                const bool fabric =
-                    rng.chance(cfg.fabricShare) && cfg.sockets >= 2;
+                // Hammer mode measures the disturbance story alone:
+                // no fabric episodes muddying the victim accounting.
+                const bool fabric = !cfg.hammerMode
+                                    && rng.chance(cfg.fabricShare)
+                                    && cfg.sockets >= 2;
                 FaultDescriptor d;
                 bool ok = false;
                 if (fabric) {
@@ -129,16 +154,30 @@ generateScenario(const GeneratorConfig &cfg)
                         d.column = c.column;
                         d.chip =
                             static_cast<unsigned>(rng.next(chips));
-                        const double shape = rng.uniform();
-                        if (shape < 0.4) {
-                            d.scope = FaultScope::Cell;
+                        if (cfg.hammerMode) {
+                            // Scripted disturbance outcome: a single
+                            // (chip, bit) flip in a victim row flanking
+                            // the hammered aggressor pair. Stays within
+                            // the <= 2-faults-per-socket bound like any
+                            // other DRAM inject.
+                            d.scope = FaultScope::RowDisturb;
+                            d.bank = 0;
+                            d.row = rng.chance(0.5) ? 0 : 3;
                             d.bit = static_cast<unsigned>(rng.next(8));
-                        } else if (shape < 0.7) {
-                            d.scope = FaultScope::Row;
+                            d.transient = true;
                         } else {
-                            d.scope = FaultScope::Chip;
+                            const double shape = rng.uniform();
+                            if (shape < 0.4) {
+                                d.scope = FaultScope::Cell;
+                                d.bit =
+                                    static_cast<unsigned>(rng.next(8));
+                            } else if (shape < 0.7) {
+                                d.scope = FaultScope::Row;
+                            } else {
+                                d.scope = FaultScope::Chip;
+                            }
+                            d.transient = rng.chance(0.5);
                         }
-                        d.transient = rng.chance(0.5);
                         ok = true;
                     }
                 }
@@ -165,16 +204,21 @@ generateScenario(const GeneratorConfig &cfg)
         }
 
         if (st.op == FuzzOp::Read) {
-            // Access: conflict-heavy by construction.
-            if (rng.chance(cfg.writeFraction))
+            // Access: conflict-heavy by construction. Hammer accesses
+            // are reads (the attack is activation pressure, not data).
+            const bool hammered = cfg.hammerMode && !aggressor.empty()
+                                  && rng.chance(cfg.hammerFraction);
+            if (!hammered && rng.chance(cfg.writeFraction))
                 st.op = FuzzOp::Write;
             st.socket =
                 static_cast<unsigned>(rng.next(cfg.sockets));
             st.core =
                 static_cast<unsigned>(rng.next(cfg.coresPerSocket));
-            st.addr = rng.chance(cfg.hotFraction) && !hot.empty()
-                          ? hot[rng.next(hot.size())]
-                          : rng.next(footprintLines) * lineBytes;
+            st.addr = hammered
+                          ? aggressor[aggIdx++ % aggressor.size()]
+                          : (rng.chance(cfg.hotFraction) && !hot.empty()
+                                 ? hot[rng.next(hot.size())]
+                                 : rng.next(footprintLines) * lineBytes);
             if (st.op == FuzzOp::Write)
                 st.value = rng.engine()();
         }

@@ -15,7 +15,14 @@
  *  - lifecycle chaos woven into the same stream: DUE bursts (chip/row
  *    faults on the footprint), link-flap and socket-offline episodes,
  *    heals, and scrub/maintenance passes that run repair while lines are
- *    still degraded.
+ *    still degraded;
+ *  - aggressor-pattern hammering (hammerMode): most accesses cycle the
+ *    rows of a fixed aggressor pair in one bank while the fault steps
+ *    become scripted RowDisturb injections on the adjacent victim rows,
+ *    so the invariant monitors run against a read-disturbance attack
+ *    (the runner drives the fault registry directly, so the generator
+ *    scripts the disturbance outcome instead of replaying activation
+ *    counters).
  *
  * Safety bound: at most two concurrent DRAM-scope faults per socket.
  * The Dvé campaign codec (TSD) detects up to three failed chips per
@@ -59,6 +66,11 @@ struct GeneratorConfig
     double maintFraction = 0.02;     ///< steps that run maintenance
     bool bugRmMarkerRefresh = false;     ///< arm the deep seeded bug
     bool bugSkipDenyInvalidate = false;  ///< arm the shallow seeded bug
+    /** Aggressor-pattern mode: accesses hammer one bank's aggressor
+     *  rows and injects become RowDisturb faults on the victim rows.
+     *  Wants footprintPages >= 32 so the victim rows are observable. */
+    bool hammerMode = false;
+    double hammerFraction = 0.7; ///< accesses landing on aggressor rows
 };
 
 /** Generate one scenario (deterministic in @p cfg). */

@@ -91,6 +91,85 @@ MemoryController::MemoryController(std::string name, unsigned socket,
     stats_.add("silent_corruptions_observed", sdcObserved_);
     stats_.add("mirror_failovers", mirrorFailovers_);
     stats_.add("read_latency", readLatency_);
+    if (cfg.disturbEnabled)
+        stats_.add("disturb_faults_injected", disturbInjected_);
+}
+
+void
+MemoryController::drainDisturb(unsigned copy)
+{
+    if (!faults_ || !modules_[copy]->disturbPending())
+        return;
+    const DramConfig &dcfg = modules_[copy]->config();
+    const std::uint64_t rows = dcfg.rowsPerBank();
+    for (const auto &ev : modules_[copy]->drainDisturbEvents()) {
+        const unsigned global_channel =
+            faultChannelBase_
+            + (mode_ == MirrorMode::None ? ev.coord.channel : copy);
+        for (const int d : {-1, +1}) {
+            // Victims are the rows adjacent to the aggressor; edge rows
+            // have a single neighbor.
+            if ((d < 0 && ev.coord.row == 0)
+                || (d > 0 && ev.coord.row + 1 >= rows)) {
+                continue;
+            }
+            const std::uint64_t victim =
+                d < 0 ? ev.coord.row - 1 : ev.coord.row + 1;
+            // A row's weak cells are a fixed property of the row: the
+            // same (seed, coords) always flip the same chips/bits, so
+            // repeated crossings dedup in the registry and a victim
+            // never accumulates more corrupt chips than TSD detects.
+            const std::uint64_t key =
+                mix(victim ^ (std::uint64_t(ev.coord.bank) << 40)
+                    ^ (std::uint64_t(ev.coord.rank) << 48)
+                    ^ (std::uint64_t(global_channel) << 52)
+                    ^ (std::uint64_t(socket_) << 58));
+            const std::uint64_t h = mix(dcfg.disturbSeed ^ key);
+
+            FaultDescriptor f;
+            f.scope = FaultScope::RowDisturb;
+            f.socket = socket_;
+            f.channel = global_channel;
+            f.rank = ev.coord.rank;
+            f.bank = ev.coord.bank;
+            f.row = victim;
+            f.transient = true; // a rewrite restores the victim's charge
+            f.chip = static_cast<unsigned>((h >> 8) % codec_.chips());
+            f.bit = static_cast<unsigned>((h >> 16) % 8);
+            if (faults_->inject(f))
+                ++disturbInjected_;
+            if (h & 1) {
+                // Second weak cell in a different chip: enough to defeat
+                // SEC-DED yet still within TSD's detection capability.
+                f.chip = static_cast<unsigned>(
+                    (f.chip + 1 + (h >> 24) % (codec_.chips() - 1))
+                    % codec_.chips());
+                f.bit = static_cast<unsigned>((h >> 32) % 8);
+                if (faults_->inject(f))
+                    ++disturbInjected_;
+            }
+        }
+    }
+}
+
+bool
+MemoryController::rowDisturbedAt(Addr addr) const
+{
+    if (!faults_)
+        return false;
+    for (unsigned c = 0; c < modules_.size(); ++c) {
+        const Addr probe = mode_ == MirrorMode::Raim
+                                   && c == raimDataChannels
+                               ? raimParityAddr(addr)
+                               : addr;
+        const auto coord = modules_[c]->map().decode(probe);
+        const unsigned global_channel =
+            faultChannelBase_
+            + (mode_ == MirrorMode::None ? coord.channel : c);
+        if (faults_->rowDisturbAt(socket_, global_channel, coord))
+            return true;
+    }
+    return false;
 }
 
 std::uint64_t
@@ -166,6 +245,7 @@ MemoryController::raimRead(Addr addr, Tick now)
                            ? raimParityAddr(addr)
                            : (base + m) << lineShift;
         ready = std::max(ready, modules_[m]->access(a, false, now).readyAt);
+        drainDisturb(m);
     }
     res.readyAt = ready;
 
@@ -233,6 +313,7 @@ MemoryController::read(Addr addr, Tick now)
             : 0;
 
     const auto timing = modules_[first]->access(addr, false, now);
+    drainDisturb(first);
     res.readyAt = timing.readyAt;
 
     CopyRead r = readCopy(first, addr, timing.coord);
@@ -242,6 +323,7 @@ MemoryController::read(Addr addr, Tick now)
         const unsigned other = first ^ 1u;
         const auto timing2 =
             modules_[other]->access(addr, false, res.readyAt);
+        drainDisturb(other);
         res.readyAt = timing2.readyAt;
         const CopyRead r2 = readCopy(other, addr, timing2.coord);
         if (r2.status != EccStatus::Detected) {
@@ -287,14 +369,17 @@ MemoryController::write(Addr addr, std::uint64_t value, Tick now)
         const Addr pa = raimParityAddr(addr);
         contents_[raimDataChannels][lineNum(pa)] = parity;
         const Tick t1 = modules_[c]->access(addr, true, now).readyAt;
+        drainDisturb(c);
         const Tick t2 =
             modules_[raimDataChannels]->access(pa, true, now).readyAt;
+        drainDisturb(raimDataChannels);
         return std::max(t1, t2);
     }
     Tick done = now;
     for (unsigned c = 0; c < modules_.size(); ++c) {
         contents_[c][lineNum(addr)] = value;
         const auto t = modules_[c]->access(addr, true, now);
+        drainDisturb(c);
         done = std::max(done, t.readyAt);
     }
     return done;
@@ -336,7 +421,9 @@ MemoryController::metadataAccess(Addr, Tick now)
 Tick
 MemoryController::timingRead(Addr addr, Tick now)
 {
-    return modules_[0]->access(addr, false, now).readyAt;
+    const Tick t = modules_[0]->access(addr, false, now).readyAt;
+    drainDisturb(0);
+    return t;
 }
 
 std::uint64_t

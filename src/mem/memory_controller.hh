@@ -108,6 +108,16 @@ class MemoryController
     /** Direct content override (tests). */
     void poke(Addr addr, std::uint64_t value);
 
+    /** Any active read-disturbance fault matching @p addr on any copy?
+     *  Recovery uses this to attribute failures to hammering. */
+    bool rowDisturbedAt(Addr addr) const;
+
+    /** Victim-row faults injected from HCfirst crossings. */
+    std::uint64_t disturbFaultsInjected() const
+    {
+        return disturbInjected_.value();
+    }
+
     unsigned socket() const { return socket_; }
     Scheme scheme() const { return scheme_; }
     MirrorMode mirrorMode() const { return mode_; }
@@ -144,6 +154,9 @@ class MemoryController
 
     /** Apply faults + codec to one copy's stored line. */
     CopyRead readCopy(unsigned copy, Addr addr, const DramCoord &coord);
+
+    /** Turn queued HCfirst crossings into victim-row faults. */
+    void drainDisturb(unsigned copy);
 
     std::uint64_t storedValue(unsigned copy, Addr addr) const;
 
@@ -182,6 +195,7 @@ class MemoryController
     Counter detectedFail_;
     Counter sdcObserved_;
     Counter mirrorFailovers_;
+    Counter disturbInjected_;
     Histogram readLatency_;
     StatGroup stats_;
 };

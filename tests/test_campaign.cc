@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "fault/campaign.hh"
@@ -37,6 +38,25 @@ TEST(Campaign, SchemeNamesAreStable)
                  "baseline-dsd-detect");
     EXPECT_STREQ(campaignSchemeName(CampaignScheme::DveAllow), "dve-allow");
     EXPECT_STREQ(campaignSchemeName(CampaignScheme::DveDeny), "dve-deny");
+    EXPECT_STREQ(campaignSchemeName(CampaignScheme::BaselinePreventive),
+                 "baseline-preventive");
+}
+
+TEST(Campaign, DisturbScenarioNamesRoundTrip)
+{
+    for (unsigned i = 0; i < numDisturbScenarios; ++i) {
+        const auto s = static_cast<DisturbScenario>(i);
+        const auto parsed = parseDisturbScenario(disturbScenarioName(s));
+        ASSERT_TRUE(parsed.has_value()) << disturbScenarioName(s);
+        EXPECT_EQ(*parsed, s);
+    }
+    EXPECT_FALSE(parseDisturbScenario("hammer").has_value());
+    // Hammer campaigns add the preventive-refresh scheme to the mix.
+    const auto schemes = disturbSchemes();
+    EXPECT_EQ(schemes.size(), 6u);
+    EXPECT_NE(std::find(schemes.begin(), schemes.end(),
+                        CampaignScheme::BaselinePreventive),
+              schemes.end());
 }
 
 TEST(Campaign, LatencySummaryOrderStatistics)
@@ -158,6 +178,106 @@ TEST(Campaign, ReportIsByteIdenticalAcrossJobCounts)
                   s4.trials[i].recoveryLatencies)
             << "trial " << i;
     }
+}
+
+CampaignConfig
+hammerCampaign(DisturbScenario sc)
+{
+    CampaignConfig c = CampaignConfig::quickDefaults();
+    c.trials = 4;
+    c.opsPerTrial = 1200;
+    applyDisturbPreset(c, sc);
+    return c;
+}
+
+TEST(Campaign, HammerBaselinesCorruptWhileDveStaysClean)
+{
+    const CampaignRunner runner(
+        hammerCampaign(DisturbScenario::HammerSingle));
+    const auto none = runner.runScheme(CampaignScheme::BaselineNone);
+    // The preset zeroes the ambient rates: every corruption observed
+    // below is a victim-row flip from the hammering workload.
+    EXPECT_EQ(none.totals.faultArrivals, 0u);
+    EXPECT_GT(none.totals.disturbCrossings, 0u);
+    EXPECT_GT(none.totals.disturbFaults, 0u);
+    EXPECT_GT(none.totals.sdc, 0u);
+
+    // Detection-only ECC converts the flips into DUEs, never SDCs.
+    const auto detect = runner.runScheme(CampaignScheme::BaselineDetect);
+    EXPECT_GT(detect.totals.due, 0u);
+    EXPECT_EQ(detect.totals.sdc, 0u);
+
+    // Dvé detects via TSD and recovers from the replica: zero SDC.
+    const auto deny = runner.runScheme(CampaignScheme::DveDeny);
+    const auto allow = runner.runScheme(CampaignScheme::DveAllow);
+    EXPECT_EQ(deny.totals.sdc, 0u);
+    EXPECT_EQ(allow.totals.sdc, 0u);
+    EXPECT_GT(deny.totals.replicaRecoveries, 0u);
+}
+
+TEST(Campaign, PreventiveRefreshMitigatesHammer)
+{
+    const CampaignRunner runner(
+        hammerCampaign(DisturbScenario::HammerSingle));
+    const auto secded = runner.runScheme(CampaignScheme::BaselineSecDed);
+    const auto prev =
+        runner.runScheme(CampaignScheme::BaselinePreventive);
+    // Only the preventive scheme arms the mitigation...
+    EXPECT_EQ(secded.totals.preventiveRefreshes, 0u);
+    EXPECT_GT(prev.totals.preventiveRefreshes, 0u);
+    EXPECT_GT(prev.totals.preventiveStallTicks, 0u);
+    // ...and relieving aggressor pressure below HCfirst means fewer
+    // victim flips than the same ECC without it.
+    EXPECT_LT(prev.totals.disturbFaults, secded.totals.disturbFaults);
+}
+
+TEST(Campaign, ManySidedHammerCrossesViaSpilloverFloor)
+{
+    // More aggressors than counter-table entries: crossings must still
+    // occur through the Misra-Gries floor.
+    const CampaignRunner runner(
+        hammerCampaign(DisturbScenario::HammerManySided));
+    const auto none = runner.runScheme(CampaignScheme::BaselineNone);
+    EXPECT_GT(none.totals.disturbCrossings, 0u);
+    EXPECT_GT(none.totals.disturbFaults, 0u);
+}
+
+TEST(Campaign, HammerReportDeterministicAcrossJobCounts)
+{
+    CampaignConfig cfg =
+        hammerCampaign(DisturbScenario::HammerUnderRefreshPressure);
+    cfg.trials = 3;
+    const auto schemes = disturbSchemes();
+
+    cfg.jobs = 1;
+    std::ostringstream serial;
+    writeJsonReport(CampaignRunner(cfg).run(schemes), serial);
+    cfg.jobs = 4;
+    std::ostringstream parallel;
+    writeJsonReport(CampaignRunner(cfg).run(schemes), parallel);
+    EXPECT_EQ(serial.str(), parallel.str());
+
+    // Hammer reports carry the scenario and the disturbance block.
+    EXPECT_NE(serial.str().find("\"disturb_scenario\": "
+                                "\"hammer-under-refresh-pressure\""),
+              std::string::npos);
+    EXPECT_NE(serial.str().find("\"disturb_crossings\""),
+              std::string::npos);
+    EXPECT_NE(serial.str().find("\"baseline-preventive\""),
+              std::string::npos);
+}
+
+TEST(Campaign, DisturbFreeReportHasNoDisturbKeys)
+{
+    // Byte-identity contract: campaigns that never arm the disturbance
+    // model must serialize exactly as before the feature existed.
+    CampaignConfig cfg = tinyCampaign();
+    cfg.trials = 2;
+    std::ostringstream os;
+    writeJsonReport(
+        CampaignRunner(cfg).run({CampaignScheme::BaselineNone}), os);
+    EXPECT_EQ(os.str().find("disturb"), std::string::npos);
+    EXPECT_EQ(os.str().find("preventive"), std::string::npos);
 }
 
 TEST(Campaign, TransientOnlyCampaignSelfHealsToDualCopy)

@@ -143,5 +143,250 @@ TEST(DramConfigTest, RowsPerBankSane)
     EXPECT_EQ(cfg.devicesPerRank(), 9u);
 }
 
+TEST_F(DramTimingTest, WriteUsesTcwlWhenConfigured)
+{
+    DramConfig c;
+    c.refreshEnabled = false;
+    c.tCWL = nsToTicks(10.0);
+    DramModule wr("cwl-w", c);
+    EXPECT_EQ(wr.access(0, true, 0).readyAt,
+              c.tRCD + c.tCWL + c.tBURST);
+    // Reads keep tCL.
+    DramModule rd("cwl-r", c);
+    EXPECT_EQ(rd.access(0, false, 0).readyAt,
+              c.tRCD + c.tCL + c.tBURST);
+}
+
+TEST_F(DramTimingTest, TcwlZeroKeepsLegacyWriteLatency)
+{
+    DramConfig c;
+    c.refreshEnabled = false;
+    ASSERT_EQ(c.tCWL, 0u);
+    DramModule m("cwl-0", c);
+    EXPECT_EQ(m.access(0, true, 0).readyAt, c.tRCD + c.tCL + c.tBURST);
+}
+
+TEST_F(DramTimingTest, FawDelaysFifthActivate)
+{
+    DramConfig c;
+    c.refreshEnabled = false;
+    c.tFAW = nsToTicks(100.0);
+    DramModule faw("faw", c);
+    DramConfig base = c;
+    base.tFAW = 0;
+    DramModule free_("faw-off", base);
+
+    // Back-to-back activates to five different banks, all issued at 0.
+    Tick faw5 = 0, free5 = 0;
+    for (unsigned b = 0; b < 5; ++b) {
+        const Tick with = faw.access(Addr(64) * b, false, 0).readyAt;
+        const Tick without = free_.access(Addr(64) * b, false, 0).readyAt;
+        if (b < 4) {
+            // The first four activates fit in one tFAW window untouched.
+            EXPECT_EQ(with, without) << "bank " << b;
+        }
+        faw5 = with;
+        free5 = without;
+    }
+    // The fifth activate must wait out the window: its CAS starts at
+    // tFAW + tRCD instead of riding the data bus right behind #4.
+    EXPECT_EQ(faw5, c.tFAW + c.tRCD + c.tCL + c.tBURST);
+    EXPECT_LT(free5, faw5);
+}
+
+TEST_F(DramTimingTest, RefreshBoundaryAtExactlyLastPlusTrfc)
+{
+    // An access landing exactly at (refresh start + tRFC) clears the
+    // blackout with zero stall; one tick earlier stalls exactly one.
+    DramConfig c;
+    DramModule at("ref-at", c);
+    const auto r = at.access(0, false, c.tREFI + c.tRFC);
+    EXPECT_EQ(r.readyAt, c.tREFI + c.tRFC + c.tRCD + c.tCL + c.tBURST);
+    EXPECT_EQ(at.stats().get("refresh_stall_ticks"), 0.0);
+    EXPECT_EQ(at.refreshes(), 1u);
+
+    DramModule before("ref-before", c);
+    const auto s = before.access(0, false, c.tREFI + c.tRFC - 1);
+    EXPECT_EQ(s.readyAt, c.tREFI + c.tRFC + c.tRCD + c.tCL + c.tBURST);
+    EXPECT_EQ(before.stats().get("refresh_stall_ticks"), 1.0);
+}
+
+TEST_F(DramTimingTest, RefreshCatchUpCountsEveryElapsedPeriod)
+{
+    // First access long after several tREFI periods: the model retires
+    // all elapsed refreshes and only the last blackout can still stall.
+    DramConfig c;
+    DramModule m("ref-catchup", c);
+    const Tick now = 3 * c.tREFI + 10;
+    const auto r = m.access(0, false, now);
+    EXPECT_EQ(m.refreshes(), 3u);
+    EXPECT_EQ(m.stats().get("refresh_stall_ticks"),
+              static_cast<double>(c.tRFC - 10));
+    EXPECT_EQ(r.readyAt,
+              3 * c.tREFI + c.tRFC + c.tRCD + c.tCL + c.tBURST);
+}
+
+/** Hammer helper: byte address of (bank 0, row, column 0). */
+Addr
+rowAddr(const DramModule &m, std::uint64_t row)
+{
+    DramCoord c;
+    c.row = row;
+    return m.map().encode(c);
+}
+
+TEST_F(DramTimingTest, DisturbCrossingEmitsDeterministicEvents)
+{
+    DramConfig c;
+    c.refreshEnabled = false;
+    c.disturbEnabled = true;
+    c.disturbThreshold = 8;
+    c.disturbThresholdSpread = 0;
+    DramModule m("dist", c);
+
+    EXPECT_TRUE(m.disturbActive());
+    EXPECT_FALSE(m.disturbPending());
+
+    // Alternate two rows of bank 0: every access conflicts, so every
+    // access is one activate of its row.
+    Tick now = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        now = m.access(rowAddr(m, 2 + 3 * (i % 2)), false, now).readyAt;
+
+    ASSERT_TRUE(m.disturbPending());
+    const auto events = m.drainDisturbEvents();
+    EXPECT_FALSE(m.disturbPending());
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].coord.row, 2u);
+    EXPECT_EQ(events[0].count, 8u);
+    EXPECT_EQ(events[0].ordinal, 1u);
+    EXPECT_EQ(events[1].coord.row, 5u);
+    EXPECT_EQ(events[1].ordinal, 2u);
+    EXPECT_EQ(m.disturbCrossings(), 2u);
+    EXPECT_EQ(m.stats().get("disturb_crossings"), 2.0);
+
+    // A crossing resets the aggressor's count: 8 more activates per row
+    // are needed before the next event.
+    for (unsigned i = 0; i < 14; ++i)
+        now = m.access(rowAddr(m, 2 + 3 * (i % 2)), false, now).readyAt;
+    EXPECT_FALSE(m.disturbPending());
+    now = m.access(rowAddr(m, 2), false, now).readyAt;
+    now = m.access(rowAddr(m, 5), false, now).readyAt;
+    EXPECT_EQ(m.drainDisturbEvents().size(), 2u);
+}
+
+TEST_F(DramTimingTest, DisturbThresholdSeededPerRow)
+{
+    DramConfig c;
+    c.disturbEnabled = true;
+    c.disturbThreshold = 24;
+    c.disturbThresholdSpread = 8;
+    c.disturbSeed = 7;
+    DramModule a("dist-a", c);
+    DramModule b("dist-b", c);
+    c.disturbSeed = 8;
+    DramModule d("dist-c", c);
+
+    bool differs = false;
+    for (std::uint64_t row = 0; row < 64; ++row) {
+        DramCoord coord;
+        coord.row = row;
+        const std::uint64_t ta = a.disturbThresholdFor(coord);
+        EXPECT_GE(ta, c.disturbThreshold);
+        EXPECT_LE(ta, c.disturbThreshold + c.disturbThresholdSpread);
+        // Same seed -> same per-row HCfirst in every module instance.
+        EXPECT_EQ(ta, b.disturbThresholdFor(coord));
+        differs |= ta != d.disturbThresholdFor(coord);
+    }
+    EXPECT_TRUE(differs); // a different seed reshuffles weak rows
+}
+
+TEST_F(DramTimingTest, DisturbSpilloverFloorCatchesManySided)
+{
+    // More aggressors than table entries: untracked rows ride the
+    // Misra-Gries floor, so a many-sided pattern still crosses.
+    DramConfig c;
+    c.refreshEnabled = false;
+    c.disturbEnabled = true;
+    c.disturbTableEntries = 2;
+    c.disturbThreshold = 8;
+    c.disturbThresholdSpread = 0;
+    DramModule m("dist-many", c);
+
+    Tick now = 0;
+    for (unsigned i = 0; i < 64; ++i)
+        now = m.access(rowAddr(m, 1 + (i % 4)), false, now).readyAt;
+    EXPECT_GT(m.disturbCrossings(), 0u);
+    EXPECT_TRUE(m.disturbPending());
+}
+
+TEST_F(DramTimingTest, PreventiveRefreshRelievesAggressorPressure)
+{
+    DramConfig c;
+    c.refreshEnabled = false;
+    c.disturbEnabled = true;
+    c.disturbThreshold = 100; // never reached: mitigation fires first
+    c.disturbThresholdSpread = 0;
+    c.preventiveRefreshEnabled = true;
+    c.preventiveRefreshThreshold = 4;
+    DramModule m("dist-prev", c);
+
+    Tick now = 0;
+    for (unsigned i = 0; i < 24; ++i)
+        now = m.access(rowAddr(m, 2 + 3 * (i % 2)), false, now).readyAt;
+
+    // Both victim neighbors are refreshed at each trigger, the bank
+    // pays a real blackout, and no crossing ever fires.
+    EXPECT_GT(m.preventiveRefreshes(), 0u);
+    EXPECT_EQ(m.preventiveRefreshes() % 2, 0u);
+    EXPECT_GT(m.preventiveStallTicks(), 0u);
+    EXPECT_EQ(m.preventiveStall().count(), m.preventiveRefreshes() / 2);
+    EXPECT_EQ(m.disturbCrossings(), 0u);
+    EXPECT_FALSE(m.disturbPending());
+
+    m.resetStats();
+    EXPECT_EQ(m.preventiveRefreshes(), 0u);
+    EXPECT_EQ(m.preventiveStallTicks(), 0u);
+    EXPECT_EQ(m.preventiveStall().count(), 0u);
+}
+
+TEST_F(DramTimingTest, RefreshResetsDisturbCounters)
+{
+    DramConfig c;
+    c.disturbEnabled = true;
+    c.disturbThreshold = 8;
+    c.disturbThresholdSpread = 0;
+    DramModule m("dist-refresh", c);
+
+    // Seven activates per aggressor, then jump past the next refresh:
+    // the tables reset, so seven more per interval never cross.
+    Tick now = 0;
+    for (unsigned i = 0; i < 14; ++i)
+        now = m.access(rowAddr(m, 2 + 3 * (i % 2)), false, now).readyAt;
+    ASSERT_LT(now, c.tREFI);
+    now = c.tREFI + c.tRFC;
+    for (unsigned i = 0; i < 14; ++i)
+        now = m.access(rowAddr(m, 2 + 3 * (i % 2)), false, now).readyAt;
+    EXPECT_EQ(m.disturbCrossings(), 0u);
+
+    // The same 28 activates without the intervening refresh do cross.
+    DramConfig nc = c;
+    nc.refreshEnabled = false;
+    DramModule n("dist-norefresh", nc);
+    now = 0;
+    for (unsigned i = 0; i < 28; ++i)
+        now = n.access(rowAddr(n, 2 + 3 * (i % 2)), false, now).readyAt;
+    EXPECT_GT(n.disturbCrossings(), 0u);
+}
+
+TEST_F(DramTimingTest, DisturbDisabledRegistersNoStats)
+{
+    DramConfig c;
+    DramModule m("plain", c);
+    EXPECT_FALSE(m.disturbActive());
+    EXPECT_FALSE(m.stats().has("disturb_crossings"));
+    EXPECT_FALSE(m.stats().has("preventive_refreshes"));
+}
+
 } // namespace
 } // namespace dve

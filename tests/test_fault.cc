@@ -472,6 +472,8 @@ TEST(ParseFaultSpec, FormatRoundTrips)
     const std::vector<const char *> specs = {
         "scope=chip,socket=1,chip=3",
         "scope=cell,row=5,column=2,bit=7,transient=1",
+        "scope=row-disturb,socket=1,chip=2,bank=3,row=6,bit=4,"
+        "transient=1",
         "link:1-0",
         "socket:1",
         "lossy:0-1,drop=0.5,delay=200",
@@ -498,6 +500,87 @@ TEST(ParseFaultSpec, FormatRoundTrips)
         EXPECT_DOUBLE_EQ(a.dropProb, b.dropProb) << spec;
         EXPECT_EQ(a.delayTicks, b.delayTicks) << spec;
     }
+}
+
+TEST(FaultRegistry, RowDisturbFlipsOneBitAnywhereInVictimRow)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::RowDisturb;
+    f.chip = 2;
+    f.bank = 1;
+    f.row = 6;
+    f.column = 9; // ignored: normalization widens to the whole row
+    f.bit = 5;
+    f.transient = true;
+    reg.inject(f);
+
+    // Every column of the victim row sees the same (chip, bit) flip --
+    // a weak cell is a property of the row, not of one word.
+    for (unsigned col : {0u, 3u, 9u}) {
+        const auto imp = reg.impact(0, 0, coord(0, 0, 1, 6, col));
+        EXPECT_TRUE(imp.corruptChips.empty());
+        ASSERT_EQ(imp.bitFlips.size(), 1u) << col;
+        EXPECT_EQ(imp.bitFlips[0].first, 2u);
+        EXPECT_EQ(imp.bitFlips[0].second, 5u);
+    }
+    // Neighboring rows and other banks are untouched.
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 0, 1, 5, 0)).any());
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 0, 1, 7, 0)).any());
+    EXPECT_FALSE(reg.impact(0, 0, coord(0, 0, 2, 6, 0)).any());
+}
+
+TEST(FaultRegistry, RowDisturbNormalizationKeepsBitDropsColumn)
+{
+    FaultDescriptor f;
+    f.scope = FaultScope::RowDisturb;
+    f.column = 9;
+    f.bit = 5;
+    const auto n = FaultRegistry::normalized(f);
+    EXPECT_EQ(n.column, 0u);
+    EXPECT_EQ(n.bit, 5u); // unlike Row, the flip targets one bit
+}
+
+TEST(FaultRegistry, RowDisturbQueryAndRepair)
+{
+    FaultRegistry reg;
+    FaultDescriptor f;
+    f.scope = FaultScope::RowDisturb;
+    f.bank = 1;
+    f.row = 6;
+    f.transient = true; // disturbance flips cure on rewrite/scrub
+    reg.inject(f);
+
+    EXPECT_TRUE(reg.rowDisturbAt(0, 0, coord(0, 0, 1, 6, 3)));
+    EXPECT_FALSE(reg.rowDisturbAt(0, 0, coord(0, 0, 1, 7, 3)));
+    EXPECT_FALSE(reg.rowDisturbAt(1, 0, coord(0, 0, 1, 6, 3)));
+
+    EXPECT_EQ(reg.repairAt(0, 0, coord(0, 0, 1, 6, 0)), 1u);
+    EXPECT_FALSE(reg.rowDisturbAt(0, 0, coord(0, 0, 1, 6, 3)));
+}
+
+TEST(FaultRegistry, RowDisturbBoundsChecked)
+{
+    FaultRegistry reg;
+    reg.setGeometry(
+        FaultGeometry::from(2, 2, 19, DramConfig::ddr4Baseline()));
+
+    FaultDescriptor f;
+    f.scope = FaultScope::RowDisturb;
+    f.bank = 15;
+    f.row = DramConfig::ddr4Baseline().rowsPerBank() - 1;
+    f.bit = 7;
+    EXPECT_NE(reg.inject(f), 0u);
+
+    FaultDescriptor bad = f;
+    bad.bank = 16;
+    EXPECT_EQ(reg.inject(bad), 0u);
+    bad = f;
+    bad.row = DramConfig::ddr4Baseline().rowsPerBank();
+    EXPECT_EQ(reg.inject(bad), 0u);
+    bad = f;
+    bad.bit = 8;
+    EXPECT_EQ(reg.inject(bad), 0u);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "dram/address_map.hh"
 #include "fuzz/generator.hh"
 #include "fuzz/minimizer.hh"
 #include "fuzz/runner.hh"
@@ -119,6 +120,67 @@ TEST(FuzzGenerator, StepsStayInsideTheFootprint)
         EXPECT_LT(st.addr, limit);
         EXPECT_LT(st.socket, cfg.sockets);
         EXPECT_LT(st.core, cfg.coresPerSocket);
+    }
+}
+
+TEST(FuzzGenerator, HammerModeShapesAttackAndVictims)
+{
+    GeneratorConfig cfg;
+    cfg.seed = 13;
+    cfg.ops = 400;
+    cfg.hammerMode = true;
+    cfg.footprintPages = 32; // victim rows 0..3 inside the footprint
+    const FuzzScenario sc = generateScenario(cfg);
+
+    // Pure function of the config, serializable round-trip included
+    // (RowDisturb specs must survive the text format).
+    EXPECT_EQ(sc.serialize(), generateScenario(cfg).serialize());
+    std::string err;
+    const auto back = FuzzScenario::parse(sc.serialize(), &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(back->serialize(), sc.serialize());
+
+    // Every inject is a scripted RowDisturb flip on a victim row of the
+    // hammered bank, and the access stream leans on the aggressors.
+    std::uint64_t injects = 0, aggressorReads = 0;
+    const AddressMap amap(DramConfig::ddr4Replicated());
+    for (const auto &st : sc.steps) {
+        if (st.op == FuzzOp::Inject) {
+            ++injects;
+            EXPECT_EQ(st.fault.scope, FaultScope::RowDisturb);
+            EXPECT_EQ(st.fault.bank, 0u);
+            EXPECT_TRUE(st.fault.row == 0 || st.fault.row == 3)
+                << st.fault.row;
+            EXPECT_TRUE(st.fault.transient);
+        } else if (st.op == FuzzOp::Read) {
+            const auto c = amap.decode(st.addr);
+            if (c.bank == 0 && (c.row == 1 || c.row == 2))
+                ++aggressorReads;
+        }
+    }
+    EXPECT_GT(injects, 0u);
+    EXPECT_GT(aggressorReads, cfg.ops / 2);
+}
+
+TEST(FuzzRunner, HammerScenariosStayCleanUnderMonitors)
+{
+    // The invariant monitors must hold against a read-disturbance
+    // attack exactly as they do for the classical chaos mix.
+    for (const auto proto : {DveProtocol::Allow, DveProtocol::Deny,
+                             DveProtocol::Dynamic}) {
+        GeneratorConfig cfg;
+        cfg.seed = 33;
+        cfg.ops = 300;
+        cfg.protocol = proto;
+        cfg.hammerMode = true;
+        cfg.footprintPages = 32;
+        const FuzzRunResult r = runScenario(generateScenario(cfg));
+        EXPECT_FALSE(r.violated)
+            << dveProtocolName(proto) << ": "
+            << (r.violations.empty()
+                    ? std::string("?")
+                    : formatViolation(r.violations.front()));
+        EXPECT_EQ(r.stepsRun, 300u);
     }
 }
 
