@@ -8,14 +8,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "cache/assoc_lru.hh"
 #include "cache/sa_cache.hh"
+#include "coherence/directory.hh"
+#include "common/flat_map.hh"
 #include "common/rng.hh"
 #include "core/replica_directory.hh"
 #include "ecc/line_codec.hh"
 #include "mem/memory_controller.hh"
 #include "noc/mesh.hh"
 #include "sim/event_queue.hh"
+#include "sys/system.hh"
+#include "trace/workloads.hh"
 
 namespace
 {
@@ -96,6 +102,63 @@ BM_EventQueueChurn(benchmark::State &state)
 BENCHMARK(BM_EventQueueChurn);
 
 void
+BM_EventQueueReplayPattern(benchmark::State &state)
+{
+    // The replay CPU's dominant pattern: schedule one event, run it,
+    // schedule the next -- the queue oscillates around empty, which the
+    // calendar queue turns into an O(1) re-anchor per event.
+    EventQueue q;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        q.scheduleIn(300 + (fired % 64), [&] { ++fired; });
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueReplayPattern);
+
+void
+BM_EventQueueSteadyState(benchmark::State &state)
+{
+    // Steady-state kernel: 64 self-rescheduling chains with staggered
+    // periods, the shape of a many-core simulation's event population.
+    EventQueue q;
+    std::uint64_t fired = 0;
+    std::function<void(Tick)> chain = [&](Tick period) {
+        ++fired;
+        q.scheduleIn(period, [&chain, period] { chain(period); });
+    };
+    for (Tick c = 0; c < 64; ++c)
+        q.schedule(c, [&chain, c] { chain(97 + c * 13); });
+    for (auto _ : state) {
+        q.run(256);
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueSteadyState);
+
+void
+BM_EventQueueSparseFar(benchmark::State &state)
+{
+    // Sparse population, long spans: 8 in-flight chains rescheduling
+    // ~100 ns (1e5 ticks) ahead, the shape of a small-core simulation
+    // waiting on memory. Stresses the calendar's bucket-skip path.
+    EventQueue q;
+    std::uint64_t fired = 0;
+    std::function<void(Tick)> chain = [&](Tick period) {
+        ++fired;
+        q.scheduleIn(period, [&chain, period] { chain(period); });
+    };
+    for (Tick c = 0; c < 8; ++c)
+        q.schedule(c, [&chain, c] { chain(100000 + c * 1367); });
+    for (auto _ : state) {
+        q.run(64);
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueSparseFar);
+
+void
 BM_MeshTraverse(benchmark::State &state)
 {
     Mesh m(4, 2);
@@ -136,6 +199,57 @@ BM_ReplicaDirLookup(benchmark::State &state)
 BENCHMARK(BM_ReplicaDirLookup);
 
 void
+BM_DirectoryChurn(benchmark::State &state)
+{
+    // The coherence hot path against the home directory: lookup + bank
+    // acquire/release + entry mutation over a strided line set.
+    HomeDirectory dir(0);
+    for (Addr l = 0; l < 4096; ++l)
+        dir.lookup(l << 6).sharers = 1;
+    Tick t = 0;
+    Addr probe = 0;
+    for (auto _ : state) {
+        const Addr line = (probe * 613 % 4096) << 6;
+        t = dir.acquire(line, t) + 10;
+        DirEntry &e = dir.lookup(line);
+        e.sharers |= 2;
+        dir.release(line, t);
+        benchmark::DoNotOptimize(dir.find(line));
+        ++probe;
+    }
+}
+BENCHMARK(BM_DirectoryChurn);
+
+void
+BM_MapFindFlatVsUnordered(benchmark::State &state)
+{
+    // Arg(0): 0 = std::unordered_map, 1 = FlatMap. Same strided key
+    // population the directories see (line addresses, 64 B apart).
+    constexpr Addr lines = 16384;
+    std::unordered_map<Addr, std::uint64_t> um;
+    FlatMap<Addr, std::uint64_t> fm;
+    fm.reserve(lines);
+    um.reserve(lines);
+    for (Addr l = 0; l < lines; ++l) {
+        um[l << 6] = l;
+        fm[l << 6] = l;
+    }
+    Addr probe = 0;
+    if (state.range(0)) {
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(fm.find((probe * 613 % lines) << 6));
+            ++probe;
+        }
+    } else {
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(um.find((probe * 613 % lines) << 6));
+            ++probe;
+        }
+    }
+}
+BENCHMARK(BM_MapFindFlatVsUnordered)->Arg(0)->Arg(1);
+
+void
 BM_MemoryControllerRead(benchmark::State &state)
 {
     FaultRegistry faults;
@@ -150,6 +264,31 @@ BM_MemoryControllerRead(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MemoryControllerRead);
+
+void
+BM_Fig6SliceEndToEnd(benchmark::State &state)
+{
+    // End-to-end throughput on a thin slice of the Fig 6 sweep: one
+    // Table III workload through a full system. Arg(0): 0 = baseline
+    // NUMA, 1 = dve-dynamic. Reported rate = simulated memory ops/sec.
+    const auto &wl = table3Workloads().front();
+    const SchemeKind scheme = state.range(0)
+                                  ? SchemeKind::DveDynamic
+                                  : SchemeKind::BaselineNuma;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.scheme = scheme;
+        System sys(cfg);
+        const RunResult r = sys.run(wl, 0.02);
+        ops += r.memOps;
+        benchmark::DoNotOptimize(r.roiTime);
+    }
+    state.counters["mem_ops_per_sec"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig6SliceEndToEnd)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -12,7 +12,6 @@
 #define DVE_CACHE_SA_CACHE_HH
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -134,11 +133,27 @@ class SetAssocCache
         return n;
     }
 
-    /** Visit every resident line. */
+    /**
+     * Visit every resident line. Takes the callable by deduced type so
+     * per-sweep invariant lambdas inline instead of paying a
+     * std::function construction per call.
+     */
+    template <typename Fn>
     void
-    forEach(const std::function<void(Addr, EntryT &)> &fn)
+    forEach(Fn &&fn)
     {
         for (auto &s : ways_store_) {
+            if (s.valid)
+                fn(s.line.lineNum, s.line.entry);
+        }
+    }
+
+    /** Const traversal (inspection only). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &s : ways_store_) {
             if (s.valid)
                 fn(s.line.lineNum, s.line.entry);
         }

@@ -13,8 +13,8 @@
 #define DVE_COHERENCE_DIRECTORY_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -40,7 +40,14 @@ struct DirEntry
 class HomeDirectory
 {
   public:
+    // No construction-time reserve: short-lived engines (fuzz and
+    // campaign scenarios build one per trial) would pay mmap + zero +
+    // munmap for tables they barely fill; the doubling rehash ladder
+    // amortizes to less than one slot copy per insert.
     explicit HomeDirectory(unsigned socket) : socket_(socket) {}
+
+    /** Pre-size the entry table (also used by layout-variance tests). */
+    void reserve(std::size_t lines) { entries_.reserve(lines); }
 
     /** Entry lookup without creation; nullptr means state I. */
     DirEntry *
@@ -67,13 +74,13 @@ class HomeDirectory
     Tick
     acquire(Addr line, Tick arrival)
     {
+        // Expired clocks are left in place rather than erased: every
+        // release() on the line overwrites them (completion ticks are
+        // monotone per line), so erase-then-reinsert would only churn
+        // the table. The map tops out at the tracked-line count.
         const auto it = busyUntil_.find(line);
-        if (it == busyUntil_.end())
-            return arrival;
-        const Tick start = std::max(arrival, it->second);
-        if (it->second <= arrival)
-            busyUntil_.erase(it);
-        return start;
+        return it == busyUntil_.end() ? arrival
+                                      : std::max(arrival, it->second);
     }
 
     /** Mark the line busy until @p until. */
@@ -88,7 +95,11 @@ class HomeDirectory
 
     std::size_t trackedLines() const { return entries_.size(); }
 
-    /** Visit every tracked entry (protocol-switch warmup, invariants). */
+    /**
+     * Visit every tracked entry (protocol-switch warmup, invariants).
+     * Table order, which depends on capacity history: callers that
+     * feed any output or recency-ordered structure must sort.
+     */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
@@ -99,8 +110,8 @@ class HomeDirectory
 
   private:
     unsigned socket_;
-    std::unordered_map<Addr, DirEntry> entries_;
-    std::unordered_map<Addr, Tick> busyUntil_;
+    FlatMap<Addr, DirEntry> entries_;
+    FlatMap<Addr, Tick> busyUntil_;
 };
 
 } // namespace dve

@@ -162,7 +162,26 @@ CoherenceEngine::classify(bool is_write, LineState state)
         c = state == LineState::I ? ReqClass::PrivateReadWrite
                                   : ReqClass::ReadWrite;
     }
-    ++classCount_[static_cast<unsigned>(c)];
+    ++pend_.cls[static_cast<unsigned>(c)];
+}
+
+void
+CoherenceEngine::flushPending() const
+{
+    reads_ += pend_.reads;
+    writes_ += pend_.writes;
+    l1Hits_ += pend_.l1Hits;
+    llcHits_ += pend_.llcHits;
+    llcMisses_ += pend_.llcMisses;
+    writebacks_ += pend_.writebacks;
+    for (unsigned i = 0; i < numReadOutcomes; ++i)
+        outcomeCount_[i] += pend_.outcome[i];
+    for (unsigned i = 0; i < numReqClasses; ++i)
+        classCount_[i] += pend_.cls[i];
+    missLatencySum_ += pend_.missLatency;
+    for (unsigned i = 0; i < pend_.nLat; ++i)
+        reqLatency_.record(pend_.lat[i]);
+    pend_ = PendingStats{};
 }
 
 void
@@ -200,21 +219,29 @@ void
 CoherenceEngine::checkInvariants(Tick now)
 {
     // Home-directory entry sanity: M/O needs a registered owner; M is
-    // exclusive by definition.
+    // exclusive by definition. The directory iterates in layout order,
+    // so collect and sort by line to keep reports deterministic.
     for (unsigned h = 0; h < cfg_.sockets; ++h) {
+        std::vector<std::pair<Addr, const char *>> bad;
         sockets_[h].dir.forEach([&](Addr line, const DirEntry &e) {
             if ((e.state == LineState::M || e.state == LineState::O)
                 && (e.owner < 0
                     || !e.hasSharer(static_cast<unsigned>(e.owner)))) {
-                reportViolation(InvariantMonitor::Swmr, now, line,
-                                "M/O home entry without registered owner");
+                bad.emplace_back(line,
+                                 "M/O home entry without registered owner");
             }
             if (e.state == LineState::M && e.sharerCount() > 1) {
-                reportViolation(InvariantMonitor::Swmr, now, line,
-                                "exclusive home entry with multiple "
-                                "sharers");
+                bad.emplace_back(line,
+                                 "exclusive home entry with multiple "
+                                 "sharers");
             }
         });
+        std::stable_sort(bad.begin(), bad.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        for (const auto &[line, msg] : bad)
+            reportViolation(InvariantMonitor::Swmr, now, line, msg);
     }
 
     // One writable copy system-wide, and LLC/L1 inclusion bookkeeping.
@@ -286,12 +313,12 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
     const Addr line = lineNum(addr);
 
     if (is_write) {
-        ++writes_;
+        ++pend_.writes;
         // Transactions serialize in processing order, which is also the
         // order writes gain ownership, so the logical image updates here.
         logicalMem_[line] = write_value;
     } else {
-        ++reads_;
+        ++pend_.reads;
     }
 
     auto &l1 = sockets_[socket].l1[core];
@@ -304,7 +331,7 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
 
     if (L1Entry *e = l1.find(line)) {
         if (!is_write) {
-            ++l1Hits_;
+            ++pend_.l1Hits;
             ReadOutcome out = ReadOutcome::Clean;
             if (e->value != logicalValue(line)) {
                 out = ReadOutcome::Sdc;
@@ -313,27 +340,33 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
                     dve_panic("L1 read value mismatch on line ", line);
                 }
             }
-            ++outcomeCount_[static_cast<unsigned>(out)];
+            ++pend_.outcome[static_cast<unsigned>(out)];
             noteCompletion(t_l1);
-            reqLatency_.record(t_l1 - now);
-            tracer_.record({now, t_l1 - now, TraceKind::Request,
-                            TraceComp::Core,
-                            static_cast<std::uint8_t>(socket), line, 0});
+            noteLatency(t_l1 - now);
+            if (tracer_.enabled()) {
+                tracer_.record({now, t_l1 - now, TraceKind::Request,
+                                TraceComp::Core,
+                                static_cast<std::uint8_t>(socket), line,
+                                0});
+            }
             const AccessResult res{t_l1, e->value, out};
             if (cfg_.invariantChecks)
                 auditAccess(line, res, now);
             return res;
         }
         if (e->writable) {
-            ++l1Hits_;
+            ++pend_.l1Hits;
             e->value = write_value;
             e->dirty = true;
-            ++outcomeCount_[static_cast<unsigned>(ReadOutcome::Clean)];
+            ++pend_.outcome[static_cast<unsigned>(ReadOutcome::Clean)];
             noteCompletion(t_l1);
-            reqLatency_.record(t_l1 - now);
-            tracer_.record({now, t_l1 - now, TraceKind::Request,
-                            TraceComp::Core,
-                            static_cast<std::uint8_t>(socket), line, 1});
+            noteLatency(t_l1 - now);
+            if (tracer_.enabled()) {
+                tracer_.record({now, t_l1 - now, TraceKind::Request,
+                                TraceComp::Core,
+                                static_cast<std::uint8_t>(socket), line,
+                                1});
+            }
             const AccessResult res{t_l1, write_value, ReadOutcome::Clean};
             if (cfg_.invariantChecks)
                 auditAccess(line, res, now);
@@ -354,12 +387,15 @@ CoherenceEngine::access(unsigned socket, unsigned core, Addr addr,
     } else if (sysCe_.value() > ce0) {
         r.outcome = ReadOutcome::Corrected;
     }
-    ++outcomeCount_[static_cast<unsigned>(r.outcome)];
+    ++pend_.outcome[static_cast<unsigned>(r.outcome)];
     noteCompletion(r.done);
-    reqLatency_.record(r.done - now);
-    tracer_.record({now, r.done - now, TraceKind::Request, TraceComp::Core,
-                    static_cast<std::uint8_t>(socket), line,
-                    is_write ? 1u : 0u});
+    noteLatency(r.done - now);
+    if (tracer_.enabled()) {
+        tracer_.record({now, r.done - now, TraceKind::Request,
+                        TraceComp::Core,
+                        static_cast<std::uint8_t>(socket), line,
+                        is_write ? 1u : 0u});
+    }
     if (cfg_.invariantChecks)
         auditAccess(line, r, now);
     return r;
@@ -452,7 +488,7 @@ CoherenceEngine::evictLlcVictim(unsigned socket, Addr line, LlcEntry entry,
         }
     }
     if (entry.state == LineState::M || entry.state == LineState::O) {
-        ++writebacks_;
+        ++pend_.writebacks;
         putM(socket, line, entry.value, when);
     }
     // Shared clean lines drop silently; home sharer bits go stale, which
@@ -646,7 +682,7 @@ CoherenceEngine::accessLlc(unsigned socket, unsigned core, Addr line,
     LlcEntry *e = sk.llc.find(line);
 
     if (e && (!is_write || e->state == LineState::M)) {
-        ++llcHits_;
+        ++pend_.llcHits;
         if (e->l1Owner >= 0 && static_cast<unsigned>(e->l1Owner) != core)
             t = recallL1Owner(socket, line, *e, t);
 
@@ -682,11 +718,11 @@ CoherenceEngine::accessLlc(unsigned socket, unsigned core, Addr line,
     }
 
     // LLC miss (no entry) or upgrade (entry without write permission).
-    ++llcMisses_;
+    ++pend_.llcMisses;
     const bool upgrade = e != nullptr;
 
     const MissResult m = serviceLlcMiss(socket, line, is_write, t);
-    missLatencySum_ += static_cast<double>(m.done - t0);
+    pend_.missLatency += static_cast<double>(m.done - t0);
 
     if (upgrade) {
         e = sk.llc.find(line);
@@ -770,6 +806,7 @@ CoherenceEngine::retainSharerAfterWriteback(unsigned, Addr, unsigned)
 void
 CoherenceEngine::dumpStats(std::ostream &os) const
 {
+    flushPending();
     stats_.dump(os);
     ic_.stats().dump(os);
     for (const auto &sk : sockets_) {

@@ -24,12 +24,12 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/sa_cache.hh"
 #include "coherence/directory.hh"
 #include "coherence/types.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/tracer.hh"
 #include "mem/memory_controller.hh"
@@ -167,26 +167,54 @@ class CoherenceEngine
     /** Completion tick of the latest-finishing access so far. */
     Tick lastCompletion() const { return lastCompletion_; }
 
-    // Aggregate statistics.
-    std::uint64_t l1Hits() const { return l1Hits_.value(); }
-    std::uint64_t llcHits() const { return llcHits_.value(); }
-    std::uint64_t llcMisses() const { return llcMisses_.value(); }
+    // Aggregate statistics. Accessors of batched stats fold the hot-path
+    // staging block in first (see flushPending).
+    std::uint64_t
+    l1Hits() const
+    {
+        flushPending();
+        return l1Hits_.value();
+    }
+    std::uint64_t
+    llcHits() const
+    {
+        flushPending();
+        return llcHits_.value();
+    }
+    std::uint64_t
+    llcMisses() const
+    {
+        flushPending();
+        return llcMisses_.value();
+    }
     std::uint64_t machineCheckExceptions() const { return due_.value(); }
     std::uint64_t systemCorrectedErrors() const { return sysCe_.value(); }
     std::uint64_t sdcReadsObserved() const { return sdcReads_.value(); }
     std::uint64_t readOutcomeCount(ReadOutcome o) const
     {
+        flushPending();
         return outcomeCount_[static_cast<unsigned>(o)].value();
     }
     std::uint64_t classCount(ReqClass c) const
     {
+        flushPending();
         return classCount_[static_cast<unsigned>(c)].value();
     }
 
-    const StatGroup &stats() const { return stats_; }
+    const StatGroup &
+    stats() const
+    {
+        flushPending();
+        return stats_;
+    }
 
     /** End-to-end request latency distribution (ticks). */
-    const Histogram &requestLatency() const { return reqLatency_; }
+    const Histogram &
+    requestLatency() const
+    {
+        flushPending();
+        return reqLatency_;
+    }
 
     /** Event tracer (enabled iff EngineConfig::traceCapacity > 0). */
     EventTracer &tracer() { return tracer_; }
@@ -347,7 +375,7 @@ class CoherenceEngine
     FaultRegistry faults_;
     Interconnect ic_;
     std::vector<SocketState> sockets_;
-    std::unordered_map<Addr, std::uint64_t> logicalMem_;
+    FlatMap<Addr, std::uint64_t> logicalMem_;
     Tick lastCompletion_ = 0;
 
     // Fault access for harnesses.
@@ -372,19 +400,59 @@ class CoherenceEngine
         lastCompletion_ = std::max(lastCompletion_, t);
     }
 
-    Counter reads_;
-    Counter writes_;
-    Counter l1Hits_;
-    Counter llcHits_;
-    Counter llcMisses_;
-    Counter writebacks_;
+    /**
+     * Hot-path stat staging. The request path bumps this one POD block
+     * instead of the registered Counter/Histogram objects scattered
+     * across the engine; every read-side accessor calls flushPending()
+     * first, so observable values are always exact. Latency samples
+     * stage in a small buffer and fold into the histogram in bursts
+     * (bucket adds commute, so totals and percentiles are unchanged).
+     */
+    struct PendingStats
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t llcHits = 0;
+        std::uint64_t llcMisses = 0;
+        std::uint64_t writebacks = 0;
+        std::array<std::uint64_t, numReadOutcomes> outcome{};
+        std::array<std::uint64_t, numReqClasses> cls{};
+        /** Integral tick sums stay exact in double far past any run. */
+        double missLatency = 0.0;
+        unsigned nLat = 0;
+        std::array<Tick, 64> lat;
+    };
+
+    /** Fold the staging block into the registered stats. */
+    void flushPending() const;
+
+    /** Stage one end-to-end latency sample. */
+    void
+    noteLatency(Tick d) const
+    {
+        if (pend_.nLat == pend_.lat.size())
+            flushPending();
+        pend_.lat[pend_.nLat++] = d;
+    }
+
+    mutable PendingStats pend_;
+
+    // Batched stats are mutable: flushPending() folds the staging block
+    // in from const accessors.
+    mutable Counter reads_;
+    mutable Counter writes_;
+    mutable Counter l1Hits_;
+    mutable Counter llcHits_;
+    mutable Counter llcMisses_;
+    mutable Counter writebacks_;
     Counter due_;     ///< machine-check exceptions (data loss)
     Counter sysCe_;   ///< system-level corrected errors
     Counter sdcReads_;
-    std::array<Counter, numReadOutcomes> outcomeCount_;
-    std::array<Counter, numReqClasses> classCount_;
-    ScalarStat missLatencySum_; ///< ticks summed over LLC misses
-    Histogram reqLatency_;      ///< end-to-end latency of every access
+    mutable std::array<Counter, numReadOutcomes> outcomeCount_;
+    mutable std::array<Counter, numReqClasses> classCount_;
+    mutable ScalarStat missLatencySum_; ///< ticks summed over LLC misses
+    mutable Histogram reqLatency_; ///< end-to-end latency of every access
     StatGroup stats_;
     EventTracer tracer_;
     std::vector<InvariantViolation> violations_;

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Open-addressing hash map for the simulator hot path.
+ *
+ * Replaces std::unordered_map for the per-access lookup structures
+ * (home directory, replica-directory backing, memory contents, golden
+ * image). Design choices, in order of importance:
+ *
+ *  - Linear probing over a power-of-two table: one cache line per
+ *    probe, no per-node allocation, no pointer chasing.
+ *  - Fibonacci multiply + xor-shift hash: line/page addresses are
+ *    strided, and an identity hash (libstdc++'s default for integers)
+ *    would cluster entire probe ranges onto a few buckets. One
+ *    multiply plus one fold keeps the (serial) hash latency well under
+ *    a full-avalanche finalizer while still spreading the high
+ *    product bits into the masked low bits.
+ *  - Backward-shift deletion: no tombstones, so the load factor bound
+ *    (3/4) holds under heavy insert/erase churn (busy-until clocks
+ *    erase on every transaction retirement).
+ *  - Keys and values must be trivially copyable: slots relocate with
+ *    plain assignment during rehash and backward-shift.
+ *
+ * Iteration order is deterministic for a fixed insertion/erase/rehash
+ * history but depends on table capacity; output paths must sort
+ * whatever they collect (enforced by tools/check_iteration_order.py).
+ */
+
+#ifndef DVE_COMMON_FLAT_MAP_HH
+#define DVE_COMMON_FLAT_MAP_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace dve
+{
+
+/**
+ * Fibonacci multiply + xor-shift fold of a 64-bit key.
+ *
+ * The golden-ratio multiply pushes entropy toward the high product
+ * bits; the fold brings it back down so `mix & (pow2 - 1)` bucket
+ * selection sees it. Not full-avalanche, but low-bit-clean for the
+ * strided keys the simulator uses (line addresses, 64 B apart), and
+ * half the latency of splitmix64 on the dependent lookup path.
+ */
+inline std::uint64_t
+flatMapMix(std::uint64_t x)
+{
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    return x;
+}
+
+template <typename K, typename V>
+class FlatMap
+{
+    static_assert(std::is_trivially_copyable_v<K>,
+                  "FlatMap keys relocate by assignment");
+    static_assert(std::is_trivially_copyable_v<V>,
+                  "FlatMap values relocate by assignment");
+    static_assert(sizeof(K) <= sizeof(std::uint64_t) &&
+                      (std::is_integral_v<K> || std::is_enum_v<K>),
+                  "FlatMap hashes keys as 64-bit integers");
+
+  public:
+    /** Public slot layout; supports structured bindings like pair. */
+    struct Slot
+    {
+        K first;
+        V second;
+    };
+
+    template <bool Const>
+    class Iter
+    {
+        using MapT = std::conditional_t<Const, const FlatMap, FlatMap>;
+        using SlotT = std::conditional_t<Const, const Slot, Slot>;
+
+      public:
+        Iter() = default;
+
+        template <bool C = Const, typename = std::enable_if_t<C>>
+        Iter(const Iter<false> &o) : m_(o.m_), i_(o.i_)
+        {
+        }
+
+        SlotT &operator*() const { return m_->slots_[i_]; }
+        SlotT *operator->() const { return &m_->slots_[i_]; }
+
+        Iter &
+        operator++()
+        {
+            i_ = m_->nextUsed(i_ + 1);
+            return *this;
+        }
+
+        friend bool
+        operator==(const Iter &a, const Iter &b)
+        {
+            return a.i_ == b.i_;
+        }
+        friend bool
+        operator!=(const Iter &a, const Iter &b)
+        {
+            return a.i_ != b.i_;
+        }
+
+      private:
+        friend class FlatMap;
+        template <bool>
+        friend class Iter;
+
+        Iter(MapT *m, std::size_t i) : m_(m), i_(i) {}
+
+        MapT *m_ = nullptr;
+        std::size_t i_ = 0;
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    FlatMap() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Grow so @p n entries fit without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t want = 16;
+        while (want * 3 < n * 4) // keep load factor under 3/4
+            want *= 2;
+        if (want > capacity())
+            rehash(want);
+    }
+
+    void
+    clear()
+    {
+        std::fill(used_.begin(), used_.end(), std::uint8_t(0));
+        size_ = 0;
+    }
+
+    iterator begin() { return {this, nextUsed(0)}; }
+    iterator end() { return {this, capacity()}; }
+    const_iterator begin() const { return {this, nextUsed(0)}; }
+    const_iterator end() const { return {this, capacity()}; }
+
+    iterator find(K key) { return {this, findSlot(key)}; }
+    const_iterator find(K key) const { return {this, findSlot(key)}; }
+
+    bool contains(K key) const { return findSlot(key) != capacity(); }
+    std::size_t count(K key) const { return contains(key) ? 1 : 0; }
+
+    /** Value for @p key, value-initializing a fresh entry (like
+     *  unordered_map::operator[]). */
+    V &
+    operator[](K key)
+    {
+        return slots_[insertSlot(key)].second;
+    }
+
+    bool
+    erase(K key)
+    {
+        const std::size_t i = findSlot(key);
+        if (i == capacity())
+            return false;
+        eraseSlot(i);
+        return true;
+    }
+
+    /** Erase by iterator (from find); invalidates iterators. */
+    void erase(iterator it) { eraseSlot(it.i_); }
+
+  private:
+    std::size_t
+    bucketFor(K key) const
+    {
+        return flatMapMix(static_cast<std::uint64_t>(key)) & mask_;
+    }
+
+    std::size_t
+    nextUsed(std::size_t i) const
+    {
+        const std::size_t cap = capacity();
+        while (i < cap && !used_[i])
+            ++i;
+        return i;
+    }
+
+    /** Slot index of @p key, or capacity() when absent. */
+    std::size_t
+    findSlot(K key) const
+    {
+        if (slots_.empty())
+            return 0;
+        for (std::size_t i = bucketFor(key);; i = (i + 1) & mask_) {
+            if (!used_[i])
+                return capacity();
+            if (slots_[i].first == key)
+                return i;
+        }
+    }
+
+    /** Slot index of @p key, inserting a value-initialized entry. */
+    std::size_t
+    insertSlot(K key)
+    {
+        if ((size_ + 1) * 4 > capacity() * 3)
+            rehash(capacity() ? capacity() * 2 : 16);
+        for (std::size_t i = bucketFor(key);; i = (i + 1) & mask_) {
+            if (!used_[i]) {
+                used_[i] = 1;
+                slots_[i].first = key;
+                slots_[i].second = V{};
+                ++size_;
+                return i;
+            }
+            if (slots_[i].first == key)
+                return i;
+        }
+    }
+
+    void
+    eraseSlot(std::size_t i)
+    {
+        // Backward-shift deletion: walk the probe chain after the hole
+        // and pull back any entry whose home bucket precedes the hole.
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask_;
+            if (!used_[j])
+                break;
+            const std::size_t h = bucketFor(slots_[j].first);
+            if (((j - h) & mask_) >= ((j - i) & mask_)) {
+                slots_[i] = slots_[j];
+                i = j;
+            }
+        }
+        used_[i] = 0;
+        --size_;
+    }
+
+    void
+    rehash(std::size_t newCap)
+    {
+        std::vector<Slot> oldSlots = std::move(slots_);
+        std::vector<std::uint8_t> oldUsed = std::move(used_);
+        slots_.assign(newCap, Slot{});
+        used_.assign(newCap, 0);
+        mask_ = newCap - 1;
+        size_ = 0;
+        for (std::size_t i = 0; i < oldSlots.size(); ++i) {
+            if (!oldUsed[i])
+                continue;
+            for (std::size_t j = bucketFor(oldSlots[i].first);;
+                 j = (j + 1) & mask_) {
+                if (!used_[j]) {
+                    used_[j] = 1;
+                    slots_[j] = oldSlots[i];
+                    ++size_;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint8_t> used_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace dve
+
+#endif // DVE_COMMON_FLAT_MAP_HH

@@ -1263,20 +1263,30 @@ void
 DveEngine::rebuildDenyBacking()
 {
     // Warmup: bring RM markers au courant for every line that is dirty
-    // in a home-side LLC.
+    // in a home-side LLC. Installs touch the on-chip LRU, so order them
+    // by line rather than by directory layout.
     for (unsigned h = 0; h < cfg_.sockets; ++h) {
+        std::vector<std::pair<Addr, ReplicaDirectory::Entry>> marks;
         directory(h).forEach([&](Addr line, const DirEntry &e) {
             if (e.state != LineState::M && e.state != LineState::O)
                 return;
             const auto rs = rmap_.replicaSocket(line, h);
             if (!rs || !effectiveDeny(line))
                 return;
-            if (e.owner == static_cast<int>(*rs)) {
-                rdirs_[*rs]->install(line, {RepState::M, e.owner});
-            } else {
-                rdirs_[*rs]->install(line, {RepState::RM, e.owner});
-            }
+            const RepState st = e.owner == static_cast<int>(*rs)
+                                    ? RepState::M
+                                    : RepState::RM;
+            marks.emplace_back(line,
+                               ReplicaDirectory::Entry{st, e.owner});
         });
+        std::sort(marks.begin(), marks.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (const auto &[line, entry] : marks) {
+            const auto rs = rmap_.replicaSocket(line, h);
+            rdirs_[*rs]->install(line, entry);
+        }
     }
 }
 
@@ -1300,6 +1310,9 @@ DveEngine::enableReplication(Addr page, unsigned replica_socket)
                       dataAddr(h, line)));
     }
     // Seed deny markers for lines currently dirty in home-side LLCs.
+    // Installs touch the on-chip LRU, so order them by line rather than
+    // by directory layout.
+    std::vector<std::pair<Addr, ReplicaDirectory::Entry>> marks;
     directory(h).forEach([&](Addr line, const DirEntry &e) {
         if (line < first || line >= last)
             return;
@@ -1307,13 +1320,17 @@ DveEngine::enableReplication(Addr page, unsigned replica_socket)
             return;
         if (!effectiveDeny(line))
             return;
-        if (e.owner == static_cast<int>(replica_socket)) {
-            rdirs_[replica_socket]->install(line, {RepState::M, e.owner});
-        } else {
-            rdirs_[replica_socket]->install(line,
-                                            {RepState::RM, e.owner});
-        }
+        const RepState st = e.owner == static_cast<int>(replica_socket)
+                                ? RepState::M
+                                : RepState::RM;
+        marks.emplace_back(line, ReplicaDirectory::Entry{st, e.owner});
     });
+    std::sort(marks.begin(), marks.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[line, entry] : marks)
+        rdirs_[replica_socket]->install(line, entry);
 }
 
 void

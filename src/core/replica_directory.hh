@@ -26,9 +26,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
 #include "cache/assoc_lru.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -114,8 +114,8 @@ class ReplicaDirectory
     }
 
     /**
-     * Visit every authoritative backing entry. Unordered-map order:
-     * callers that need determinism must sort what they collect.
+     * Visit every authoritative backing entry. Open-addressing table
+     * order: callers that need determinism must sort what they collect.
      */
     template <typename Fn>
     void
@@ -131,17 +131,15 @@ class ReplicaDirectory
      */
     void drainPermissions();
 
-    /** Transaction serialization (MSHR-equivalent busy clock). */
+    /** Transaction serialization (MSHR-equivalent busy clock).
+     *  Expired clocks stay in place (release() overwrites them); see
+     *  HomeDirectory::acquire. */
     Tick
     acquire(Addr line, Tick arrival)
     {
         const auto it = busyUntil_.find(line);
-        if (it == busyUntil_.end())
-            return arrival;
-        const Tick start = std::max(arrival, it->second);
-        if (it->second <= arrival)
-            busyUntil_.erase(it);
-        return start;
+        return it == busyUntil_.end() ? arrival
+                                      : std::max(arrival, it->second);
     }
 
     void
@@ -175,8 +173,8 @@ class ReplicaDirectory
     unsigned regionLines_;
     AssocLru<Addr, OnChip> onChip_;
     /** Authoritative backing state (deny RM/M; allow M for safety). */
-    std::unordered_map<Addr, Entry> backing_;
-    std::unordered_map<Addr, Tick> busyUntil_;
+    FlatMap<Addr, Entry> backing_;
+    FlatMap<Addr, Tick> busyUntil_;
 
     Counter hits_;
     Counter misses_;

@@ -18,6 +18,7 @@
 #define DVE_CPU_REPLAY_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 

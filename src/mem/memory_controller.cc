@@ -96,6 +96,16 @@ MemoryController::MemoryController(std::string name, unsigned socket,
 }
 
 void
+MemoryController::flushPending() const
+{
+    reads_ += pend_.reads;
+    writes_ += pend_.writes;
+    for (unsigned i = 0; i < pend_.nLat; ++i)
+        readLatency_.record(pend_.lat[i]);
+    pend_ = PendingMem{};
+}
+
+void
 MemoryController::drainDisturb(unsigned copy)
 {
     if (!faults_ || !modules_[copy]->disturbPending())
@@ -299,10 +309,10 @@ MemoryController::raimRead(Addr addr, Tick now)
 MemReadResult
 MemoryController::read(Addr addr, Tick now)
 {
-    ++reads_;
+    ++pend_.reads;
     if (mode_ == MirrorMode::Raim) {
         MemReadResult rr = raimRead(addr, now);
-        readLatency_.record(rr.readyAt - now);
+        noteLatency(rr.readyAt - now);
         return rr;
     }
     MemReadResult res;
@@ -346,14 +356,14 @@ MemoryController::read(Addr addr, Tick now)
     }
     if (r.silentlyWrong)
         ++sdcObserved_;
-    readLatency_.record(res.readyAt - now);
+    noteLatency(res.readyAt - now);
     return res;
 }
 
 Tick
 MemoryController::write(Addr addr, std::uint64_t value, Tick now)
 {
-    ++writes_;
+    ++pend_.writes;
     if (mode_ == MirrorMode::Raim) {
         const unsigned c = raimChannelOf(addr);
         const Addr line = lineNum(addr);

@@ -26,12 +26,13 @@
 #ifndef DVE_MEM_MEMORY_CONTROLLER_HH
 #define DVE_MEM_MEMORY_CONTROLLER_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -138,10 +139,18 @@ class MemoryController
     std::uint64_t detectedFailures() const { return detectedFail_.value(); }
     std::uint64_t silentCorruptions() const { return sdcObserved_.value(); }
 
-    const StatGroup &stats() const { return stats_; }
+    const StatGroup &stats() const
+    {
+        flushPending();
+        return stats_;
+    }
 
     /** Distribution of read() service latencies (ticks). */
-    const Histogram &readLatency() const { return readLatency_; }
+    const Histogram &readLatency() const
+    {
+        flushPending();
+        return readLatency_;
+    }
 
   private:
     struct CopyRead
@@ -187,16 +196,40 @@ class MemoryController
     }
 
     std::vector<std::unique_ptr<DramModule>> modules_;
-    std::vector<std::unordered_map<Addr, std::uint64_t>> contents_;
+    /** Line tokens per copy; looked up by key only, never iterated. */
+    std::vector<FlatMap<Addr, std::uint64_t>> contents_;
 
-    Counter reads_;
-    Counter writes_;
+    /**
+     * Access-path stat staging: read()/write() bump this block and the
+     * counters absorb it when any accessor exposes them. Error counters
+     * stay unbatched -- recovery code reads their deltas mid-request.
+     */
+    struct PendingMem
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        unsigned nLat = 0;
+        std::array<Tick, 64> lat;
+    };
+
+    void flushPending() const;
+
+    void noteLatency(Tick lat)
+    {
+        if (pend_.nLat == pend_.lat.size())
+            flushPending();
+        pend_.lat[pend_.nLat++] = lat;
+    }
+
+    mutable PendingMem pend_;
+    mutable Counter reads_;
+    mutable Counter writes_;
     Counter ce_;
     Counter detectedFail_;
     Counter sdcObserved_;
     Counter mirrorFailovers_;
     Counter disturbInjected_;
-    Histogram readLatency_;
+    mutable Histogram readLatency_;
     StatGroup stats_;
 };
 

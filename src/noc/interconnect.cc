@@ -66,20 +66,34 @@ Interconnect::send(NodeId src, NodeId dst, MsgClass cls)
 {
     const Tick lat = latency(src, dst);
     if (src.socket == dst.socket) {
-        ++intraMsgs_;
-        intraHops_ += meshes_[src.socket].traverse(src.tile, dst.tile);
+        ++pend_.intraMsgs;
+        pend_.intraHops += meshes_[src.socket].traverse(src.tile, dst.tile);
     } else {
         meshes_[src.socket].traverse(src.tile, cfg_.gatewayTile);
         meshes_[dst.socket].traverse(cfg_.gatewayTile, dst.tile);
-        ++interSocketMsgs_;
-        interSocketBytes_ += bytesFor(cls);
+        ++pend_.interMsgs;
+        pend_.interBytes += bytesFor(cls);
         if (cls == MsgClass::Data)
-            ++interSocketDataMsgs_;
+            ++pend_.interData;
         else
-            ++interSocketCtrlMsgs_;
+            ++pend_.interCtrl;
     }
-    hopLatency_.record(lat);
+    noteLatency(lat);
     return lat;
+}
+
+void
+Interconnect::flushPending() const
+{
+    intraMsgs_ += pend_.intraMsgs;
+    intraHops_ += pend_.intraHops;
+    interSocketMsgs_ += pend_.interMsgs;
+    interSocketBytes_ += pend_.interBytes;
+    interSocketCtrlMsgs_ += pend_.interCtrl;
+    interSocketDataMsgs_ += pend_.interData;
+    for (unsigned i = 0; i < pend_.nLat; ++i)
+        hopLatency_.record(pend_.lat[i]);
+    pend_ = PendingTraffic{};
 }
 
 SendResult
@@ -109,6 +123,7 @@ Interconnect::trySend(NodeId src, NodeId dst, MsgClass cls)
 void
 Interconnect::resetTraffic()
 {
+    pend_ = PendingTraffic{};
     droppedMsgs_.reset();
     failedSends_.reset();
     delayedMsgs_.reset();

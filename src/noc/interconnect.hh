@@ -15,6 +15,7 @@
 #ifndef DVE_NOC_INTERCONNECT_HH
 #define DVE_NOC_INTERCONNECT_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -117,12 +118,14 @@ class Interconnect
     /** Inter-socket messages sent so far. */
     std::uint64_t interSocketMessages() const
     {
+        flushPending();
         return interSocketMsgs_.value();
     }
 
     /** Inter-socket bytes sent so far (the Fig 8 metric). */
     std::uint64_t interSocketBytes() const
     {
+        flushPending();
         return interSocketBytes_.value();
     }
 
@@ -142,10 +145,18 @@ class Interconnect
     void resetTraffic();
 
     /** Stats registered under "noc". */
-    const StatGroup &stats() const { return stats_; }
+    const StatGroup &stats() const
+    {
+        flushPending();
+        return stats_;
+    }
 
     /** Per-message delivery latency distribution (ticks). */
-    const Histogram &hopLatency() const { return hopLatency_; }
+    const Histogram &hopLatency() const
+    {
+        flushPending();
+        return hopLatency_;
+    }
 
   private:
     unsigned bytesFor(MsgClass cls) const
@@ -153,21 +164,48 @@ class Interconnect
         return cls == MsgClass::Data ? cfg_.dataBytes : cfg_.controlBytes;
     }
 
+    /**
+     * Send-path traffic staging: send() bumps this POD block and the
+     * counters/histogram absorb it lazily. Every accessor that exposes
+     * the counters flushes first, so readers never see a stale view.
+     */
+    struct PendingTraffic
+    {
+        std::uint64_t intraMsgs = 0;
+        std::uint64_t intraHops = 0;
+        std::uint64_t interMsgs = 0;
+        std::uint64_t interBytes = 0;
+        std::uint64_t interCtrl = 0;
+        std::uint64_t interData = 0;
+        unsigned nLat = 0;
+        std::array<Tick, 64> lat;
+    };
+
+    void flushPending() const;
+
+    void noteLatency(Tick lat)
+    {
+        if (pend_.nLat == pend_.lat.size())
+            flushPending();
+        pend_.lat[pend_.nLat++] = lat;
+    }
+
     NocConfig cfg_;
     std::vector<Mesh> meshes_;
     const FaultRegistry *faults_ = nullptr;
     Rng lossyRng_{0};
 
-    Counter intraMsgs_;
-    Counter intraHops_;
-    Counter interSocketMsgs_;
-    Counter interSocketBytes_;
-    Counter interSocketCtrlMsgs_;
-    Counter interSocketDataMsgs_;
+    mutable PendingTraffic pend_;
+    mutable Counter intraMsgs_;
+    mutable Counter intraHops_;
+    mutable Counter interSocketMsgs_;
+    mutable Counter interSocketBytes_;
+    mutable Counter interSocketCtrlMsgs_;
+    mutable Counter interSocketDataMsgs_;
     Counter droppedMsgs_;
     Counter failedSends_;
     Counter delayedMsgs_;
-    Histogram hopLatency_;
+    mutable Histogram hopLatency_;
     StatGroup stats_;
 };
 

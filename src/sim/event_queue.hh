@@ -5,14 +5,34 @@
  * A single EventQueue orders callbacks by (tick, insertion sequence) so
  * same-tick events execute in deterministic FIFO order. All simulator
  * components schedule through the queue; nothing observes wall-clock time.
+ *
+ * Internals (the simulator inner loop — see DESIGN.md "Hot path"):
+ *
+ *  - Callbacks live in pooled Records recycled through an intrusive
+ *    free list; callables up to 48 bytes are stored inline (the replay
+ *    engine's step closures are 16), larger ones fall back to one heap
+ *    allocation. No std::function, no per-event allocation.
+ *  - Priority order comes from a two-level calendar (ladder) queue: a
+ *    ring of 256 buckets each spanning 2^14 ticks (16 ns) with a
+ *    non-empty bitmap for O(1) bucket skip; the current bucket is
+ *    subdivided into 1024 rung slots of 2^4 ticks each; only the
+ *    current rung slot's events sit in a small 4-ary min-heap, and
+ *    events beyond the ring's day (~4.2 us) wait in an overflow 4-ary
+ *    min-heap. Every sorted structure compares (when, seq) with the
+ *    same lexicographic rule, so execution order is exactly the old
+ *    binary-heap order regardless of which structures an event
+ *    transits.
  */
 
 #ifndef DVE_SIM_EVENT_QUEUE_HH
 #define DVE_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -31,41 +51,113 @@ namespace dve
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
-
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue()
+    {
+        // Destroy pending callbacks without invoking them. Records
+        // themselves are owned by the chunk vector.
+        for (const auto &e : near_.ents)
+            e.rec->destroy(e.rec);
+        for (const auto &e : overflow_.ents)
+            e.rec->destroy(e.rec);
+        for (Record *head : rung_)
+            for (Record *r = head; r; r = r->next)
+                r->destroy(r);
+        for (Record *head : buckets_)
+            for (Record *r = head; r; r = r->next)
+                r->destroy(r);
+    }
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /** Schedule @p fn to run at absolute tick @p when (>= now). */
+    template <typename F>
     void
-    schedule(Tick when, Callback fn)
+    schedule(Tick when, F &&fn)
     {
         dve_assert(when >= now_, "scheduling into the past: ", when,
                    " < ", now_);
-        heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+        using Fn = std::decay_t<F>;
+        Record *r = allocRecord();
+        if constexpr (sizeof(Fn) <= inlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(r->storage))
+                Fn(std::forward<F>(fn));
+            r->invoke = [](Record *rec) {
+                (*std::launder(reinterpret_cast<Fn *>(rec->storage)))();
+            };
+            r->destroy = [](Record *rec) {
+                std::launder(reinterpret_cast<Fn *>(rec->storage))->~Fn();
+            };
+        } else {
+            ::new (static_cast<void *>(r->storage))
+                Fn *(new Fn(std::forward<F>(fn)));
+            r->invoke = [](Record *rec) {
+                (**std::launder(
+                    reinterpret_cast<Fn **>(rec->storage)))();
+            };
+            r->destroy = [](Record *rec) {
+                delete *std::launder(
+                    reinterpret_cast<Fn **>(rec->storage));
+            };
+        }
+        r->when = when;
+        r->seq = nextSeq_++;
+        place(r);
+        ++size_;
     }
 
     /** Schedule @p fn to run @p delay ticks from now. */
-    void scheduleIn(Tick delay, Callback fn)
+    template <typename F>
+    void
+    scheduleIn(Tick delay, F &&fn)
     {
-        schedule(now_ + delay, std::move(fn));
+        schedule(now_ + delay, std::forward<F>(fn));
     }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return size_; }
 
     /** Tick of the next event; maxTick if none. */
     Tick
     nextEventTick() const
     {
-        return heap_.empty() ? maxTick : heap_.top().when;
+        if (!near_.ents.empty())
+            return near_.ents.front().when;
+        if (rungCount_ > 0) {
+            // Peek the next non-empty rung slot; its list is unsorted,
+            // so scan it (slot occupancy is small by construction).
+            const std::uint64_t base = curBid_ << subPerBucketShift;
+            for (std::uint64_t s = nextSub_ - base; s < subSlots; ++s) {
+                if (!rungTest(s))
+                    continue;
+                Tick best = maxTick;
+                for (Record *r = rung_[s]; r; r = r->next)
+                    best = r->when < best ? r->when : best;
+                return best;
+            }
+        }
+        if (ringCount_ > 0) {
+            for (std::uint64_t k = 1; k < numBuckets; ++k) {
+                const std::uint64_t idx = (curBid_ + k) & bucketMask;
+                if (!bitmapTest(idx))
+                    continue;
+                Tick best = maxTick;
+                for (Record *r = buckets_[idx]; r; r = r->next)
+                    best = r->when < best ? r->when : best;
+                return best;
+            }
+        }
+        if (!overflow_.ents.empty())
+            return overflow_.ents.front().when;
+        return maxTick;
     }
 
     /**
@@ -76,7 +168,7 @@ class EventQueue
     run(std::uint64_t limit = ~std::uint64_t(0))
     {
         std::uint64_t executed = 0;
-        while (!heap_.empty() && executed < limit) {
+        while (size_ > 0 && executed < limit) {
             step();
             ++executed;
         }
@@ -91,7 +183,7 @@ class EventQueue
     runUntil(Tick until)
     {
         std::uint64_t executed = 0;
-        while (!heap_.empty() && heap_.top().when <= until) {
+        while (size_ > 0 && nextReady() && near_.ents.front().when <= until) {
             step();
             ++executed;
         }
@@ -104,32 +196,316 @@ class EventQueue
     std::uint64_t executedEvents() const { return executed_; }
 
   private:
-    struct Entry
+    static constexpr std::size_t inlineBytes = 48;
+    static constexpr unsigned bucketShift = 14;         ///< 16 ns span
+    static constexpr std::uint64_t numBuckets = 256;    ///< 4.2 us day
+    static constexpr std::uint64_t bucketMask = numBuckets - 1;
+    static constexpr unsigned subShift = 4;             ///< 16-tick slot
+    static constexpr unsigned subPerBucketShift = bucketShift - subShift;
+    static constexpr std::uint64_t subSlots = 1ull << subPerBucketShift;
+    static constexpr std::uint64_t subMask = subSlots - 1;
+
+    struct Record
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        Record *next = nullptr; ///< bucket chain / free list
+        void (*invoke)(Record *) = nullptr;
+        void (*destroy)(Record *) = nullptr;
+        alignas(std::max_align_t) unsigned char storage[inlineBytes];
+    };
+
+    /** POD entry of the near/overflow heaps. */
+    struct HeapEnt
     {
         Tick when;
         std::uint64_t seq;
-        Callback fn;
+        Record *rec;
 
         bool
-        operator>(const Entry &o) const
+        before(const HeapEnt &o) const
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return when != o.when ? when < o.when : seq < o.seq;
         }
     };
+
+    /** 4-ary min-heap on (when, seq): shallower than binary, and the
+     *  four children share a cache line pair. */
+    struct MinHeap
+    {
+        std::vector<HeapEnt> ents;
+
+        void
+        push(HeapEnt e)
+        {
+            std::size_t i = ents.size();
+            ents.push_back(e);
+            while (i > 0) {
+                const std::size_t p = (i - 1) / 4;
+                if (!e.before(ents[p]))
+                    break;
+                ents[i] = ents[p];
+                i = p;
+            }
+            ents[i] = e;
+        }
+
+        HeapEnt
+        pop()
+        {
+            const HeapEnt top = ents.front();
+            const HeapEnt last = ents.back();
+            ents.pop_back();
+            if (!ents.empty()) {
+                std::size_t i = 0;
+                const std::size_t n = ents.size();
+                for (;;) {
+                    std::size_t best = i;
+                    HeapEnt bestEnt = last;
+                    const std::size_t c0 = i * 4 + 1;
+                    const std::size_t cEnd = c0 + 4 < n ? c0 + 4 : n;
+                    for (std::size_t c = c0; c < cEnd; ++c) {
+                        if (ents[c].before(bestEnt)) {
+                            best = c;
+                            bestEnt = ents[c];
+                        }
+                    }
+                    if (best == i)
+                        break;
+                    ents[i] = bestEnt;
+                    i = best;
+                }
+                ents[i] = last;
+            }
+            return top;
+        }
+    };
+
+    /** File a record into its rung slot (current bucket only). */
+    void
+    rungPlace(Record *r)
+    {
+        const std::uint64_t idx = (r->when >> subShift) & subMask;
+        r->next = rung_[idx];
+        rung_[idx] = r;
+        rungSet(idx);
+        ++rungCount_;
+    }
+
+    /**
+     * Route a record to the near heap, rung, ring, or overflow.
+     *
+     * The ring only accepts buckets below ringEndBid_, which is FIXED
+     * between re-anchors: if it slid with curBid_, a later schedule
+     * could ring-file an event beyond the overflow minimum and the
+     * bucket scan would execute it first. Likewise the rung only
+     * accepts slots at or above nextSub_ -- earlier slots were already
+     * drained into the near heap, which is the catch-all for
+     * stragglers.
+     */
+    void
+    place(Record *r)
+    {
+        const std::uint64_t bid = r->when >> bucketShift;
+        if (size_ == 0) {
+            // Empty queue: re-anchor the day on this event so the
+            // schedule-one/run-one replay pattern stays heap-only.
+            curBid_ = bid;
+            ringEndBid_ = bid + numBuckets;
+            nextSub_ = (r->when >> subShift) + 1;
+            near_.push({r->when, r->seq, r});
+            return;
+        }
+        if (bid == curBid_) {
+            if ((r->when >> subShift) < nextSub_)
+                near_.push({r->when, r->seq, r});
+            else
+                rungPlace(r);
+        } else if (bid < curBid_) {
+            near_.push({r->when, r->seq, r});
+        } else if (bid < ringEndBid_) {
+            const std::uint64_t idx = bid & bucketMask;
+            r->next = buckets_[idx];
+            buckets_[idx] = r;
+            bitmapSet(idx);
+            ++ringCount_;
+        } else {
+            overflow_.push({r->when, r->seq, r});
+        }
+    }
+
+    /** Drain the next non-empty rung slot into the near heap.
+     *  Pre: rungCount_ > 0 and every rung record is in a slot at or
+     *  above nextSub_. */
+    void
+    drainRungSlot()
+    {
+        std::uint64_t s = nextSub_ - (curBid_ << subPerBucketShift);
+        for (std::uint64_t w = s >> 6; w < subSlots / 64; ++w) {
+            std::uint64_t word = rungBitmap_[w];
+            if (w == s >> 6)
+                word &= ~std::uint64_t(0) << (s & 63);
+            if (!word)
+                continue;
+            const std::uint64_t idx =
+                (w << 6) + static_cast<std::uint64_t>(
+                               __builtin_ctzll(word));
+            Record *r = rung_[idx];
+            rung_[idx] = nullptr;
+            rungBitmap_[w] &= ~(std::uint64_t(1) << (idx & 63));
+            nextSub_ = (curBid_ << subPerBucketShift) + idx + 1;
+            for (; r; r = r->next) {
+                near_.push({r->when, r->seq, r});
+                --rungCount_;
+            }
+            return;
+        }
+        dve_panic("rung bitmap inconsistent with rungCount_");
+    }
+
+    /** Ensure the overall minimum event sits at near_.front().
+     *  @return false when the queue is empty. */
+    bool
+    nextReady()
+    {
+        if (!near_.ents.empty())
+            return true;
+        if (rungCount_ > 0) {
+            drainRungSlot();
+            return true;
+        }
+        if (ringCount_ > 0) {
+            for (std::uint64_t k = 1;; ++k) {
+                const std::uint64_t idx = (curBid_ + k) & bucketMask;
+                if (!bitmapTest(idx))
+                    continue;
+                curBid_ += k;
+                nextSub_ = curBid_ << subPerBucketShift;
+                Record *r = buckets_[idx];
+                buckets_[idx] = nullptr;
+                bitmapClear(idx);
+                while (r) {
+                    Record *next = r->next;
+                    rungPlace(r);
+                    --ringCount_;
+                    r = next;
+                }
+                drainRungSlot();
+                return true;
+            }
+        }
+        if (overflow_.ents.empty())
+            return false;
+        // Re-anchor the ring at the overflow minimum's day and migrate
+        // everything that now fits. Migrated events move at most once:
+        // overflow pops come out in (when, seq) order, so the loop
+        // stops at the first event beyond the new day.
+        curBid_ = overflow_.ents.front().when >> bucketShift;
+        ringEndBid_ = curBid_ + numBuckets;
+        nextSub_ = curBid_ << subPerBucketShift;
+        while (!overflow_.ents.empty()) {
+            const HeapEnt &top = overflow_.ents.front();
+            const std::uint64_t bid = top.when >> bucketShift;
+            if (bid >= ringEndBid_)
+                break;
+            const HeapEnt e = overflow_.pop();
+            if (bid == curBid_) {
+                rungPlace(e.rec);
+            } else {
+                const std::uint64_t idx = bid & bucketMask;
+                e.rec->next = buckets_[idx];
+                buckets_[idx] = e.rec;
+                bitmapSet(idx);
+                ++ringCount_;
+            }
+        }
+        drainRungSlot();
+        return true;
+    }
 
     void
     step()
     {
-        // Move the entry out before invoking: the callback may schedule.
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
+        nextReady();
+        const HeapEnt e = near_.pop();
+        Record *r = e.rec;
         now_ = e.when;
         ++executed_;
-        e.fn();
+        --size_;
+        // Free on scope exit even if the callback throws (fuzz
+        // monitors abort runs by throwing through run()).
+        struct Reclaim
+        {
+            EventQueue *q;
+            Record *r;
+            ~Reclaim()
+            {
+                r->destroy(r);
+                r->next = q->freeList_;
+                q->freeList_ = r;
+            }
+        } reclaim{this, r};
+        r->invoke(r);
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Record *
+    allocRecord()
+    {
+        if (!freeList_) {
+            constexpr std::size_t chunkRecords = 64;
+            chunks_.push_back(std::make_unique<Record[]>(chunkRecords));
+            Record *chunk = chunks_.back().get();
+            for (std::size_t i = 0; i < chunkRecords; ++i) {
+                chunk[i].next = freeList_;
+                freeList_ = &chunk[i];
+            }
+        }
+        Record *r = freeList_;
+        freeList_ = r->next;
+        r->next = nullptr;
+        return r;
+    }
+
+    bool
+    bitmapTest(std::uint64_t idx) const
+    {
+        return bitmap_[idx >> 6] >> (idx & 63) & 1;
+    }
+    void bitmapSet(std::uint64_t idx)
+    {
+        bitmap_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+    }
+    void bitmapClear(std::uint64_t idx)
+    {
+        bitmap_[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+    }
+
+    bool
+    rungTest(std::uint64_t idx) const
+    {
+        return rungBitmap_[idx >> 6] >> (idx & 63) & 1;
+    }
+    void rungSet(std::uint64_t idx)
+    {
+        rungBitmap_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+    }
+
+    MinHeap near_;     ///< events in the current rung slot (sorted source)
+    MinHeap overflow_; ///< events beyond the ring's day
+    Record *buckets_[numBuckets] = {};
+    std::uint64_t bitmap_[numBuckets / 64] = {};
+    Record *rung_[subSlots] = {};   ///< current bucket, by 16-tick slot
+    std::uint64_t rungBitmap_[subSlots / 64] = {};
+    std::uint64_t curBid_ = 0;   ///< absolute bucket id of the rung's span
+    std::uint64_t ringEndBid_ = numBuckets; ///< day end (fixed per anchor)
+    std::uint64_t nextSub_ = 0;  ///< first undrained absolute sub-slot id
+    std::uint64_t ringCount_ = 0;
+    std::uint64_t rungCount_ = 0;
+    Record *freeList_ = nullptr;
+    std::vector<std::unique_ptr<Record[]>> chunks_;
+
     Tick now_ = 0;
+    std::size_t size_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
 };

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <sstream>
 
 #include "coherence/engine.hh"
 #include "common/rng.hh"
@@ -294,6 +295,41 @@ TEST(Engine, StressIsDeterministic)
                           e.interconnect().interSocketBytes()};
     };
     EXPECT_EQ(run(), run());
+}
+
+TEST(Engine, StatsDumpIsDirectoryLayoutIndependent)
+{
+    // The home directory sits on a flat map whose iteration order
+    // depends on its physical capacity. Force two very different
+    // capacities, run the same workload with invariant sweeps armed,
+    // and require byte-identical stat dumps: no output path may leak
+    // map layout.
+    auto run = [](std::size_t reserve_hint) {
+        EngineConfig cfg = smallConfig();
+        cfg.invariantChecks = true;
+        CoherenceEngine e(cfg);
+        if (reserve_hint) {
+            for (unsigned s = 0; s < cfg.sockets; ++s)
+                e.directory(s).reserve(reserve_hint);
+        }
+        Rng rng(11);
+        Tick t = 0;
+        for (int op = 0; op < 3000; ++op) {
+            const unsigned c = static_cast<unsigned>(rng.next(16));
+            const Addr a = addrAt(rng.next(6), rng.next(4));
+            t = e.access(c / 8, c % 8, a, rng.chance(0.3),
+                         rng.engine()(), t)
+                    .done;
+        }
+        std::ostringstream os;
+        e.dumpStats(os);
+        return std::pair{os.str(), e.invariantViolations().size()};
+    };
+    const auto small = run(0);
+    const auto big = run(1 << 15);
+    EXPECT_EQ(small.first, big.first);
+    EXPECT_EQ(small.second, big.second);
+    EXPECT_EQ(small.second, 0u);
 }
 
 TEST(Engine, MirroredMemoryConfigRuns)

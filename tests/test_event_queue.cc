@@ -5,8 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <queue>
 #include <vector>
 
+#include "common/rng.hh"
 #include "sim/event_queue.hh"
 
 namespace dve
@@ -103,6 +108,191 @@ TEST(EventQueue, ExecutedEventsAccumulates)
         q.schedule(i, [] {});
     q.run();
     EXPECT_EQ(q.executedEvents(), 5u);
+}
+
+TEST(EventQueue, SameTickFifoSurvivesDispatchTimeScheduling)
+{
+    // Regression: the old heap-based queue moved the callback out of
+    // the top entry via const_cast before popping; a callback that
+    // scheduled MORE work for the current tick could reallocate under
+    // the moved-from entry. The pooled design must keep FIFO order for
+    // events scheduled both before and during dispatch of a tick.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(0);
+        // Same-tick events scheduled mid-dispatch run after everything
+        // already queued for this tick, in scheduling order.
+        q.schedule(10, [&] { order.push_back(3); });
+        q.schedule(10, [&] { order.push_back(4); });
+    });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(10, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, DispatchTimeSchedulingBurst)
+{
+    // Each event at tick t schedules several more while the pool is
+    // recycling records; ordering must stay (tick, seq)-exact even as
+    // chunks are allocated mid-dispatch.
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> order;
+    int id = 0;
+    std::function<void(Tick, int)> fan = [&](Tick base, int depth) {
+        order.emplace_back(q.now(), id++);
+        if (depth == 0)
+            return;
+        for (int k = 1; k <= 3; ++k) {
+            q.schedule(base + k, [&, base, depth, k] {
+                fan(base + k, depth - 1);
+            });
+        }
+    };
+    q.schedule(0, [&] { fan(0, 4); });
+    q.run();
+    ASSERT_FALSE(order.empty());
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_LE(order[i - 1].first, order[i].first);
+}
+
+TEST(EventQueue, LargeCallableUsesHeapFallbackCorrectly)
+{
+    // A callable bigger than the record's inline buffer takes the
+    // heap-allocated path; behaviour must be identical.
+    EventQueue q;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    q.schedule(5, [payload, &sum] {
+        for (auto v : payload)
+            sum += v;
+    });
+    static_assert(sizeof(payload) + sizeof(void *) > 48,
+                  "capture no longer exercises the fallback path");
+    q.run();
+    EXPECT_EQ(sum, 376u); // sum of 3i+1 for i in [0, 16)
+}
+
+TEST(EventQueue, FarFutureEventsCrossCalendarDays)
+{
+    // Events far beyond the calendar ring land in the overflow heap
+    // and must still run in exact order across multiple re-anchors.
+    EventQueue q;
+    std::vector<Tick> fired;
+    const Tick day = Tick(1) << 22; // well past one ring span
+    for (int rep = 0; rep < 4; ++rep) {
+        for (Tick off : {Tick(0), Tick(17), Tick(123456)})
+            q.schedule(Tick(rep) * day + off,
+                       [&fired, &q] { fired.push_back(q.now()); });
+    }
+    q.run();
+    ASSERT_EQ(fired.size(), 12u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(EventQueue, NearThenFarInterleavingStaysOrdered)
+{
+    // Regression for the ring/overflow boundary: a far event filed to
+    // overflow must not be overtaken by a later-scheduled nearer event
+    // that lands in the ring after a re-anchor.
+    EventQueue q;
+    std::vector<Tick> fired;
+    const Tick far1 = (Tick(300) << 14) + 5; // beyond the first day
+    const Tick far2 = (Tick(350) << 14) + 9;
+    q.schedule(far2, [&] { fired.push_back(q.now()); });
+    q.schedule(far1, [&] { fired.push_back(q.now()); });
+    q.schedule(3, [&] {
+        fired.push_back(q.now());
+        // After the queue re-anchors past the first day, schedule
+        // something between the two far events.
+        q.schedule(far1 + 1, [&] { fired.push_back(q.now()); });
+    });
+    q.run();
+    ASSERT_EQ(fired.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    EXPECT_EQ(fired.back(), far2);
+}
+
+TEST(EventQueue, DifferentialVsReferenceHeap)
+{
+    // Random schedule/run interleavings executed against a textbook
+    // (tick, seq) binary heap must match event for event.
+    struct RefEv
+    {
+        Tick when;
+        std::uint64_t seq;
+        int id;
+        bool operator>(const RefEv &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+    Rng rng(0xD5E5EED5u);
+    for (int trial = 0; trial < 20; ++trial) {
+        EventQueue q;
+        std::priority_queue<RefEv, std::vector<RefEv>, std::greater<>>
+            ref;
+        std::uint64_t seq = 0;
+        std::vector<int> got, want;
+        int id = 0;
+        Tick horizon = 0;
+        for (int step = 0; step < 400; ++step) {
+            if (rng.next(4) != 0 || q.empty()) {
+                // Schedule 1-4 events at assorted distances, some far
+                // enough to exercise the overflow heap.
+                const int n = static_cast<int>(1 + rng.next(4));
+                for (int k = 0; k < n; ++k) {
+                    const Tick delta = rng.next(3) == 0
+                                           ? rng.next(1u << 20)
+                                           : rng.next(512);
+                    const Tick when = q.now() + delta;
+                    const int this_id = id++;
+                    q.schedule(when,
+                               [&got, this_id] {
+                                   got.push_back(this_id);
+                               });
+                    ref.push({when, seq++, this_id});
+                }
+            } else {
+                // Drain a random number of events from both queues.
+                const std::uint64_t burst = 1 + rng.next(8);
+                const std::uint64_t ran = q.run(burst);
+                for (std::uint64_t i = 0; i < ran; ++i) {
+                    want.push_back(ref.top().id);
+                    horizon = ref.top().when;
+                    ref.pop();
+                }
+                if (ran)
+                    ASSERT_EQ(q.now(), horizon);
+            }
+        }
+        q.run();
+        while (!ref.empty()) {
+            want.push_back(ref.top().id);
+            ref.pop();
+        }
+        ASSERT_EQ(got, want) << "trial " << trial;
+    }
+}
+
+TEST(EventQueue, PoolRecyclesRecordsAcrossBursts)
+{
+    // Alternating fill/drain phases must not grow allocation without
+    // bound; indirectly verified by executed-event accounting and the
+    // queue returning to empty.
+    EventQueue q;
+    std::uint64_t fired = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 200; ++i)
+            q.scheduleIn(1 + (i % 7), [&] { ++fired; });
+        q.run();
+        EXPECT_TRUE(q.empty());
+    }
+    EXPECT_EQ(fired, 50u * 200u);
+    EXPECT_EQ(q.executedEvents(), fired);
 }
 
 TEST(EventQueue, HeavyChurnDeterministic)

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Static check: no output path iterates a hash container unsorted.
+
+The simulator's hot lookup structures (common/flat_map.hh and the few
+remaining std::unordered_map members) iterate in physical-layout order,
+which depends on capacity and insertion history. Any code that walks one
+of these containers and lets the visit order reach an observable output
+(stats dump, JSON export, violation reports, LRU install order) would
+make output bytes depend on map layout.
+
+This script enumerates every iteration over a layout-ordered container
+in src/ and fails unless the site is in the vetted allowlist below. Each
+allowlist entry records WHY the site is order-safe. Adding a new
+iteration site therefore forces a determinism review here.
+
+Run from the repo root (or pass it as argv[1]):
+    python3 tools/check_iteration_order.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Members backed by FlatMap or std::unordered_map/set, with the files
+# they live in (so unrelated members of the same name elsewhere --
+# e.g. the vector StatGroup::entries_ -- are not flagged).
+HASH_MEMBERS = {
+    "entries_": ["src/coherence/directory.hh"],
+    "busyUntil_": ["src/coherence/directory.hh",
+                   "src/core/replica_directory.hh",
+                   "src/core/replica_directory.cc"],
+    "backing_": ["src/core/replica_directory.hh",
+                 "src/core/replica_directory.cc"],
+    "logicalMem_": ["src/coherence/engine.cc", "src/coherence/engine.hh",
+                    "src/core/dve_engine.cc", "src/core/dve_engine.hh"],
+    "degradedHome_": ["src/core/dve_engine.cc", "src/core/dve_engine.hh"],
+    "degradedReplica_": ["src/core/dve_engine.cc",
+                         "src/core/dve_engine.hh"],
+    "disturbRepairs_": ["src/core/dve_engine.cc",
+                        "src/core/dve_engine.hh"],
+    "fenceUntil_": ["src/core/dve_engine.cc", "src/core/dve_engine.hh"],
+    "regionGrants_": ["src/core/dve_engine.cc", "src/core/dve_engine.hh"],
+    "pages_": ["src/core/replica_map.hh"],
+    "barriers_": ["src/cpu/replay.hh", "src/cpu/replay.cc"],
+    "locks_": ["src/cpu/replay.hh", "src/cpu/replay.cc"],
+}
+
+# Methods whose traversal order is flat-map layout order. SetAssocCache
+# and AssocLru also expose forEach-style walks, but those iterate a
+# plain vector / LRU list whose order is part of simulation semantics,
+# not hash layout, so they are not matched here.
+LAYOUT_FOREACH = re.compile(
+    r"(?:\bdir\.forEach\(|\bdirectory\([^)]*\)\.forEach\(|"
+    r"\bforEachBacking\()"
+)
+
+RANGE_FOR = re.compile(r"for\s*\(.*:\s*&?(\w+)\s*\)")
+
+# (file, line-content regex) -> justification. Every detected site must
+# match exactly one entry; every entry must match at least one site.
+ALLOWLIST = [
+    # -- primitives: the iteration IS the container implementation -----
+    ("src/common/flat_map.hh", r".*",
+     "FlatMap implementation itself"),
+    ("src/coherence/directory.hh", r"for \(const auto &\[line, e\] : entries_\)",
+     "forEach primitive; API contract requires callers to sort"),
+    ("src/core/replica_directory.hh", r"for \(const auto &kv : backing_\)",
+     "forEachBacking primitive; API contract requires callers to sort"),
+    ("src/core/replica_directory.hh", r"forEachBacking\(Fn &&fn\)",
+     "forEachBacking declaration, not a traversal"),
+    # -- vetted callers ------------------------------------------------
+    ("src/coherence/engine.cc", r"sockets_\[h\]\.dir\.forEach",
+     "checkInvariants home sweep: collects into `bad`, stable_sorts by "
+     "line before reportViolation"),
+    ("src/core/dve_engine.cc", r"directory\(h\)\.forEach.*line, const DirEntry &de",
+     "checkInvariants deny sweep: collects into `bad`, sorts before "
+     "reporting"),
+    ("src/core/dve_engine.cc", r"directory\(h\)\.forEach.*line, const DirEntry &e",
+     "rebuildDenyBacking / enableReplication: collect into `marks`, "
+     "sort by line before LRU-visible installs"),
+    ("src/core/dve_engine.cc", r"for \(const auto &\[line, value\] : logicalMem_\)",
+     "patrolScrub: collects line numbers then sorts before scrubbing"),
+    ("src/core/dve_engine.cc", r"for \(const auto &\[line, since\] : degradedHome_\)",
+     "degradedResidency: order-independent sum of exact integer-valued "
+     "doubles"),
+    ("src/core/dve_engine.cc", r"for \(const auto &\[line, since\] : degradedReplica_\)",
+     "degradedResidency: order-independent sum of exact integer-valued "
+     "doubles"),
+]
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    src = root / "src"
+    if not src.is_dir():
+        print(f"error: {src} not found (run from the repo root)")
+        return 2
+
+    sites = []  # (relpath, lineno, text)
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".cc", ".hh"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            stripped = line.strip()
+            if stripped.startswith("*") or stripped.startswith("//"):
+                continue
+            if LAYOUT_FOREACH.search(line):
+                sites.append((rel, lineno, stripped))
+                continue
+            m = RANGE_FOR.search(line)
+            if m and m.group(1) in HASH_MEMBERS \
+                    and rel in HASH_MEMBERS[m.group(1)]:
+                sites.append((rel, lineno, stripped))
+
+    failures = []
+    used = [False] * len(ALLOWLIST)
+    for rel, lineno, text in sites:
+        for i, (f, pat, _why) in enumerate(ALLOWLIST):
+            if rel == f and re.search(pat, text):
+                used[i] = True
+                break
+        else:
+            failures.append(
+                f"{rel}:{lineno}: unvetted layout-order iteration:\n"
+                f"    {text}\n"
+                f"  Sort (or otherwise canonicalize) before anything\n"
+                f"  observable, then allowlist it here with the reason.")
+
+    for i, (f, pat, why) in enumerate(ALLOWLIST):
+        if not used[i] and pat != r".*":
+            failures.append(
+                f"stale allowlist entry (no matching site): {f} "
+                f"/{pat}/ ({why})")
+
+    if failures:
+        print(f"check_iteration_order: {len(failures)} problem(s)")
+        for msg in failures:
+            print(msg)
+        return 1
+    print(f"check_iteration_order: OK "
+          f"({len(sites)} vetted iteration sites)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Perf smoke: compare a micro_components run against the committed
+baseline and fail on localized regressions.
+
+Usage:
+    python3 tools/check_perf.py bench/baselines/BENCH_micro.json \
+        current.json [tolerance]
+
+Both files are google-benchmark JSON (--benchmark_out_format=json).
+
+Absolute cpu_time comparison across different machines is meaningless,
+so the check is self-calibrating: for every benchmark present in both
+files it computes the ratio current/baseline, takes the MEDIAN ratio as
+the machine-speed factor, and fails only if some benchmark's ratio
+exceeds median * tolerance (default 1.30, i.e. >30% regression relative
+to how the machine runs everything else). A uniformly slower machine
+moves every ratio equally and passes; one data structure or subsystem
+getting 30% slower sticks out and fails.
+
+Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import json
+import statistics
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_perf: cannot read {path}: {e}")
+        raise SystemExit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = float(b["cpu_time"])
+    if not out:
+        print(f"check_perf: no benchmarks in {path}")
+        raise SystemExit(2)
+    return out
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    tolerance = float(argv[3]) if len(argv) > 3 else 1.30
+    base = load(argv[1])
+    cur = load(argv[2])
+
+    common = sorted(set(base) & set(cur))
+    if len(common) < 3:
+        print(f"check_perf: only {len(common)} common benchmarks; "
+              "baseline and run do not match")
+        return 2
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"check_perf: note: {len(missing)} baseline benchmark(s) "
+              f"absent from this run: {', '.join(missing)}")
+
+    ratios = {n: cur[n] / base[n] for n in common}
+    machine = statistics.median(ratios.values())
+
+    print(f"check_perf: {len(common)} benchmarks, machine-speed factor "
+          f"{machine:.2f}x, tolerance {tolerance:.2f}x")
+    failures = []
+    for n in common:
+        rel = ratios[n] / machine
+        flag = ""
+        if rel > tolerance:
+            failures.append(n)
+            flag = "  <-- REGRESSION"
+        print(f"  {n:<44} {base[n]:>12.1f} -> {cur[n]:>12.1f}  "
+              f"rel {rel:5.2f}x{flag}")
+
+    if failures:
+        print(f"check_perf: FAIL: {len(failures)} benchmark(s) regressed "
+              f">{(tolerance - 1) * 100:.0f}% relative to the rest of "
+              "this machine's run")
+        return 1
+    print("check_perf: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
