@@ -18,6 +18,10 @@
  *
  * --scenario layers a fabric-fault process on top of the DRAM mix:
  *   none (default), link-flap, lossy-link, socket-offline.
+ * Pool names provision the far-memory tier (applyPoolPreset) and swap
+ * the comparison to the pool scheme list (local-chipkill,
+ * baseline-detect, dve-deny, two-tier):
+ *   pool-node-offline, fabric-partition.
  * Hammer names select a read-disturbance preset instead (aggressor
  * workload + activation counters, ambient fault rates zeroed, and a
  * sixth scheme -- baseline-preventive -- joins the comparison):
@@ -94,15 +98,21 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "unknown scenario '%s' (expected none, "
                              "link-flap, lossy-link, socket-offline, "
+                             "pool-node-offline, fabric-partition, "
                              "hammer-single, hammer-manysided or "
                              "hammer-under-refresh-pressure)\n",
                              argv[i]);
                 return 1;
             }
-            if (sc)
+            if (sc) {
                 cfg.scenario = *sc;
-            else
+                if (*sc == FabricScenario::PoolOffline
+                    || *sc == FabricScenario::Partition) {
+                    applyPoolPreset(cfg);
+                }
+            } else {
                 applyDisturbPreset(cfg, *dsc);
+            }
         } else if (std::strcmp(argv[i], "--json") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--json needs a path\n");
@@ -179,8 +189,10 @@ main(int argc, char **argv)
     }
 
     const bool hammer = cfg.disturb != DisturbScenario::None;
+    const bool pool = cfg.poolNodes > 0;
     const std::vector<CampaignScheme> schemes =
         hammer ? disturbSchemes()
+        : pool ? poolSchemes()
                : std::vector<CampaignScheme>{
                      CampaignScheme::BaselineNone,
                      CampaignScheme::BaselineSecDed,
@@ -232,6 +244,27 @@ main(int argc, char **argv)
                                 t.preventiveRefreshes),
                             static_cast<unsigned long long>(
                                 t.disturbRetirements));
+            }
+        } else if (pool) {
+            std::printf("%-20s %10s %10s %10s %10s %9s %9s %8s\n",
+                        "scheme", "corrected", "due", "sdc", "recovered",
+                        "pool-rd", "retarget", "re-repl");
+            for (const auto &sr : report.schemes) {
+                const auto &t = sr.totals;
+                std::printf("%-20s %10llu %10llu %10llu %10llu %9llu "
+                            "%9llu %8llu\n",
+                            campaignSchemeName(sr.scheme),
+                            static_cast<unsigned long long>(t.corrected),
+                            static_cast<unsigned long long>(t.due),
+                            static_cast<unsigned long long>(t.sdc),
+                            static_cast<unsigned long long>(
+                                t.replicaRecoveries),
+                            static_cast<unsigned long long>(
+                                t.poolReplicaReads),
+                            static_cast<unsigned long long>(
+                                t.poolRetargets),
+                            static_cast<unsigned long long>(
+                                t.reReplications));
             }
         } else {
             std::printf("%-20s %10s %10s %10s %10s %8s %8s %8s\n",

@@ -6,7 +6,7 @@
  *
  * Usage:
  *   fuzz_campaign [--scenarios N] [--seed S] [--ops N] [--jobs N]
- *                 [--bug NAME] [--hammer] [--json FILE]
+ *                 [--bug NAME] [--hammer] [--pool] [--json FILE]
  *                 [--repro-dir DIR] [--skip-protocol-checks] [--quiet]
  *
  * Scenario i rotates the protocol family (allow/deny/dynamic by i % 3)
@@ -14,9 +14,10 @@
  * is a pure function of its flags: same flags -> byte-identical JSON at
  * any --jobs / DVE_BENCH_JOBS value (results merge by scenario index).
  *
- * --bug arms a seeded protocol bug (rm-marker-refresh or
- * skip-deny-invalidate) in every scenario -- the self-test mode CI uses
- * to prove the monitors catch a real bug within the smoke budget.
+ * --bug arms a seeded protocol bug (rm-marker-refresh,
+ * skip-deny-invalidate or skip-demotion-on-partition) in every scenario
+ * -- the self-test mode CI uses to prove the monitors catch a real bug
+ * within the smoke budget.
  *
  * --hammer switches every scenario to the generator's aggressor-pattern
  * mode: accesses hammer one bank's aggressor rows, faults become
@@ -24,6 +25,12 @@
  * widens to 32 pages so the victim rows stay observable. The monitors
  * must hold under a read-disturbance attack exactly as they do under
  * the classical chaos mix.
+ *
+ * --pool switches every scenario to the generator's far-memory mode:
+ * the engine replicates onto pool nodes and the fabric share of the
+ * chaos mix becomes pool-scale episodes (pool-node-offline /
+ * fabric-partition), so the monitors exercise the two-tier degradation
+ * ladder and heal-back path.
  *
  * Failing scenarios are delta-debugged to locally-minimal repros and
  * written to --repro-dir as fuzz_repro_<i>.scn with an `expect` header,
@@ -79,7 +86,7 @@ struct ScenarioOutcome
 GeneratorConfig
 scenarioConfig(std::uint64_t base_seed, std::size_t index,
                std::uint64_t ops, const GeneratorConfig &bugs,
-               bool hammer)
+               bool hammer, bool pool)
 {
     GeneratorConfig gc;
     // Same derivation family as the reliability campaign: streams depend
@@ -93,11 +100,14 @@ scenarioConfig(std::uint64_t base_seed, std::size_t index,
     }
     gc.bugRmMarkerRefresh = bugs.bugRmMarkerRefresh;
     gc.bugSkipDenyInvalidate = bugs.bugSkipDenyInvalidate;
+    gc.bugSkipDemotionOnPartition = bugs.bugSkipDemotionOnPartition;
     if (hammer) {
         gc.hammerMode = true;
         // Victim rows 0..3 need 32 pages to sit inside the footprint.
         gc.footprintPages = 32;
     }
+    if (pool)
+        gc.poolMode = true;
     return gc;
 }
 
@@ -113,6 +123,7 @@ main(int argc, char **argv)
     GeneratorConfig bugs;
     bool bug_armed = false;
     bool hammer = false;
+    bool pool = false;
     const char *json_path = nullptr;
     const char *repro_dir = nullptr;
     bool protocol_checks = true;
@@ -140,15 +151,21 @@ main(int argc, char **argv)
                 bugs.bugRmMarkerRefresh = true;
             } else if (std::strcmp(v, "skip-deny-invalidate") == 0) {
                 bugs.bugSkipDenyInvalidate = true;
+            } else if (std::strcmp(v, "skip-demotion-on-partition")
+                       == 0) {
+                bugs.bugSkipDemotionOnPartition = true;
             } else {
                 std::fprintf(stderr,
-                             "--bug wants rm-marker-refresh or "
-                             "skip-deny-invalidate\n");
+                             "--bug wants rm-marker-refresh, "
+                             "skip-deny-invalidate or "
+                             "skip-demotion-on-partition\n");
                 return 1;
             }
             bug_armed = true;
         } else if (std::strcmp(argv[i], "--hammer") == 0) {
             hammer = true;
+        } else if (std::strcmp(argv[i], "--pool") == 0) {
+            pool = true;
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
         } else if (std::strcmp(argv[i], "--repro-dir") == 0
@@ -172,7 +189,7 @@ main(int argc, char **argv)
         static_cast<std::size_t>(scenarios),
         [&](std::size_t i) {
             const GeneratorConfig gc =
-                scenarioConfig(base_seed, i, ops, bugs, hammer);
+                scenarioConfig(base_seed, i, ops, bugs, hammer, pool);
             const FuzzScenario sc = generateScenario(gc);
             FuzzRunOptions opt; // checks on, stop at first violation
             const FuzzRunResult r = runScenario(sc, opt);
@@ -260,10 +277,14 @@ main(int argc, char **argv)
          << (bugs.bugRmMarkerRefresh ? "true" : "false")
          << ",\n\"bug_skip_deny_invalidate\": "
          << (bugs.bugSkipDenyInvalidate ? "true" : "false");
-    // Emitted only when armed so hammer-free reports stay byte-identical
-    // to earlier versions.
+    // Emitted only when armed so hammer-free (and pool-free) reports
+    // stay byte-identical to earlier versions.
+    if (bugs.bugSkipDemotionOnPartition)
+        json << ",\n\"bug_skip_demotion_on_partition\": true";
     if (hammer)
         json << ",\n\"hammer\": true";
+    if (pool)
+        json << ",\n\"pool\": true";
     json << ",\n\"violated\": " << violated
          << ",\n\"violations_by_monitor\": {";
     bool firstMon = true;
@@ -323,12 +344,13 @@ main(int argc, char **argv)
 
     if (!quiet) {
         std::printf("Fuzz campaign: %llu scenarios x %llu ops, seed "
-                    "%llu%s%s\n",
+                    "%llu%s%s%s\n",
                     static_cast<unsigned long long>(scenarios),
                     static_cast<unsigned long long>(ops),
                     static_cast<unsigned long long>(base_seed),
                     bug_armed ? " (seeded bug armed)" : "",
-                    hammer ? " (hammer mode)" : "");
+                    hammer ? " (hammer mode)" : "",
+                    pool ? " (pool mode)" : "");
         std::printf("violations: %llu/%llu\n",
                     static_cast<unsigned long long>(violated),
                     static_cast<unsigned long long>(scenarios));

@@ -16,14 +16,16 @@
  *                   scope=cell,socket=1,row=12,column=3,bit=5,transient=1
  *
  * Keys: scope (cell|row|column|bank|chip|channel|controller|row-disturb|
- * link-down|link-lossy|socket-offline), socket, peer, channel, rank,
- * chip, bank, row, column, bit, transient, drop, delay. A row-disturb
- * spec names the *victim* row: it behaves like a row-wide single-bit
- * flip, the shape the DRAM disturbance model injects when an aggressor
- * row's activation count crosses its HCfirst threshold. Fabric faults
- * also accept the shorthands
+ * link-down|link-lossy|socket-offline|pool-node-offline|
+ * fabric-partition), socket, peer, channel, rank, chip, bank, row,
+ * column, bit, transient, drop, delay. A row-disturb spec names the
+ * *victim* row: it behaves like a row-wide single-bit flip, the shape
+ * the DRAM disturbance model injects when an aggressor row's activation
+ * count crosses its HCfirst threshold. For the pool-scale scopes,
+ * socket names the far-memory pool node (pool-node-offline) or is
+ * ignored (fabric-partition). Fabric faults also accept the shorthands
  *
- *   fault_injection link:0-1 lossy:0-1,drop=0.5 socket:1
+ *   fault_injection link:0-1 lossy:0-1,drop=0.5 socket:1 pool:2 partition
  *
  * Each spec is injected in turn and a read of line 0 reports what the
  * system observed. Malformed specs are rejected with a diagnostic.
@@ -185,6 +187,47 @@ main(int argc, char **argv)
     e.faultRegistry().inject(mc2);
     flushLine(e, addr, clock);
     probe(e, addr, clock, "both copies gone (DUE)");
+
+    // --- 5: far-memory pool tier: node loss demotes, heals back. -----
+    std::printf("\n5) two-tier protection: replica lives on a far-memory "
+                "pool node:\n");
+    EngineConfig pcfg = cfg;
+    DveConfig pdcfg;
+    pdcfg.poolNodes = 3;
+    DveEngine ep(pcfg, pdcfg);
+    Tick pclock = 0;
+    pclock = ep.access(0, 0, addr, true, 42, pclock).done;
+    flushLine(ep, addr, pclock);
+    const unsigned node = ep.poolNodeOf(lineNum(addr));
+    std::printf("  line 0's replica sits on pool node %u of %u\n", node,
+                pdcfg.poolNodes);
+    FaultDescriptor off;
+    off.scope = FaultScope::PoolNodeOffline;
+    off.socket = node;
+    ep.faultRegistry().inject(off);
+    // A replica-side read finds the pool path dead: the line demotes to
+    // local-ECC-only service and the home copy answers.
+    const auto r1 = ep.access(1, 0, addr, false, 0, pclock);
+    pclock = r1.done;
+    std::printf("  replica-side read during the outage -> value %llu "
+                "(home copy), degraded lines %llu\n",
+                static_cast<unsigned long long>(r1.value),
+                static_cast<unsigned long long>(ep.degradedLines()));
+    // Give the repair task's retry backoff time to expire, then let the
+    // self-healing pass move the page onto a surviving node.
+    pclock += 10 * ticksPerUs;
+    pclock = ep.runMaintenance(pclock).finishedAt;
+    const auto r2 = ep.access(1, 0, addr, false, 0, pclock);
+    pclock = r2.done;
+    std::printf("  after heal-back onto a surviving node -> value %llu, "
+                "degraded lines %llu\n",
+                static_cast<unsigned long long>(r2.value),
+                static_cast<unsigned long long>(ep.degradedLines()));
+    std::printf("  pool reads %llu, retargets %llu, degraded lines "
+                "%llu\n",
+                static_cast<unsigned long long>(ep.poolReplicaReads()),
+                static_cast<unsigned long long>(ep.poolRetargets()),
+                static_cast<unsigned long long>(ep.degradedLines()));
 
     std::printf("\nEvery step was detected; data was lost only when "
                 "both independent\ncontrollers had failed -- the "

@@ -3,7 +3,7 @@
  * Chaos-fuzz workbench: generate, run, shrink and replay scenarios.
  *
  *   $ fuzz_tool gen [--seed N] [--ops N] [--protocol P] [--pages N]
- *                   [--bug NAME] [--out FILE]
+ *                   [--pool] [--bug NAME] [--out FILE]
  *   $ fuzz_tool run FILE [--checks 0|1] [--trace FILE] [--log]
  *   $ fuzz_tool shrink FILE --out FILE
  *   $ fuzz_tool replay FILE
@@ -50,7 +50,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: fuzz_tool gen [--seed N] [--ops N] [--protocol P]\n"
-        "                     [--pages N] [--bug NAME] [--out FILE]\n"
+        "                     [--pages N] [--pool] [--bug NAME]\n"
+        "                     [--out FILE]\n"
         "       fuzz_tool run FILE [--checks 0|1] [--trace FILE] "
         "[--log]\n"
         "       fuzz_tool shrink FILE --out FILE\n"
@@ -168,12 +169,19 @@ cmdGen(int argc, char **argv)
             } else if (v
                        && std::strcmp(v, "skip-deny-invalidate") == 0) {
                 gc.bugSkipDenyInvalidate = true;
+            } else if (v
+                       && std::strcmp(v, "skip-demotion-on-partition")
+                              == 0) {
+                gc.bugSkipDemotionOnPartition = true;
             } else {
                 std::fprintf(stderr,
-                             "fuzz_tool: --bug wants rm-marker-refresh "
-                             "or skip-deny-invalidate\n");
+                             "fuzz_tool: --bug wants rm-marker-refresh, "
+                             "skip-deny-invalidate or "
+                             "skip-demotion-on-partition\n");
                 return 2;
             }
+        } else if (a == "--pool") {
+            gc.poolMode = true;
         } else if (a == "--out") {
             const char *v = val();
             if (!v)

@@ -30,8 +30,18 @@ DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
             s, dve.replicaDirEntries, dve.oracular, dve.regionLines));
     }
     regionGrants_.resize(cfg.sockets);
-    frameRemap_.resize(cfg.sockets);
+    frameRemap_.resize(cfg.sockets + dve.poolNodes);
     nextSparePage_ = dve.sparePageBase;
+
+    if (dve.poolNodes > 0) {
+        poolRemap_ = std::make_unique<PoolRemap>(dve.poolNodes);
+        for (unsigned p = 0; p < dve.poolNodes; ++p) {
+            poolMems_.push_back(std::make_unique<MemoryController>(
+                "pool" + std::to_string(p), cfg.sockets + p, cfg.dram,
+                cfg.scheme, MirrorMode::None, &faults_,
+                cfg.seed * 7919 + cfg.sockets + p));
+        }
+    }
 
     dveStats_.add("replica_local_reads", replicaLocalReads_);
     dveStats_.add("balanced_home_reads", balancedHomeReads_);
@@ -54,6 +64,11 @@ DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
     dveStats_.add("repair_deferrals", repairDeferrals_);
     if (dcfg_.disturbRetireAfter > 0)
         dveStats_.add("disturb_retirements", disturbRetirements_);
+    if (dcfg_.poolNodes > 0) {
+        dveStats_.add("pool_replica_reads", poolReads_);
+        dveStats_.add("pool_replica_writes", poolWrites_);
+        dveStats_.add("pool_retargets", poolRetargets_);
+    }
     dveStats_.add("slow_control_messages", slowControlMsgs_);
     dveStats_.add("fenced_fast_fails", fencedFastFails_);
     dveStats_.add("degraded_ticks", degradedTicks_);
@@ -119,6 +134,72 @@ DveEngine::controlSend(NodeId src, NodeId dst, Tick when)
     return r.at + dcfg_.linkTimeout;
 }
 
+unsigned
+DveEngine::replicaMemIndex(unsigned rsock, Addr line) const
+{
+    if (!poolActive())
+        return rsock;
+    return cfg_.sockets + poolNodeOf(line);
+}
+
+MemoryController &
+DveEngine::memAt(unsigned idx)
+{
+    return idx < cfg_.sockets ? memory(idx) : *poolMems_[idx - cfg_.sockets];
+}
+
+DveEngine::FabricOutcome
+DveEngine::poolSend(unsigned socket, unsigned node, MsgClass cls, Tick when)
+{
+    // Pool-node ids live above the socket ids, so the fence key space is
+    // disjoint from the socket-pair keys fabricSend uses.
+    const std::uint64_t key = fenceKey(socket, cfg_.sockets + node);
+    Tick t = when;
+    const auto fence = fenceUntil_.find(key);
+    if (fence != fenceUntil_.end() && t < fence->second) {
+        ++fencedFastFails_;
+        return {false, t};
+    }
+
+    for (unsigned attempt = 0;; ++attempt) {
+        const SendResult r = ic_.trySendPool(dirNode(socket), node, cls);
+        if (r.ok()) {
+            fenceUntil_.erase(key);
+            if (t > when) {
+                retryWait_.record(t - when);
+                tracer_.record({when, t - when, TraceKind::Retry,
+                                TraceComp::Fabric,
+                                static_cast<std::uint8_t>(socket),
+                                cfg_.sockets + node, attempt});
+            }
+            return {true, t + r.latency};
+        }
+        t += dcfg_.linkTimeout;
+        if (attempt >= dcfg_.linkRetryMax)
+            break;
+        ++linkRetries_;
+        t += dcfg_.linkRetryBackoff << attempt;
+    }
+
+    fenceUntil_[key] = t + dcfg_.fenceProbeInterval;
+    retryWait_.record(t - when);
+    tracer_.record({t, 0, TraceKind::Fence, TraceComp::Fabric,
+                    static_cast<std::uint8_t>(socket), cfg_.sockets + node,
+                    dcfg_.linkRetryMax});
+    return {false, t};
+}
+
+DveEngine::FabricOutcome
+DveEngine::replicaPathSend(unsigned host, unsigned rsock, Addr line,
+                           MsgClass cls, Tick when, bool to_replica)
+{
+    if (poolActive())
+        return poolSend(host, poolNodeOf(line), cls, when);
+    return to_replica
+               ? fabricSend(dirNode(host), dirNode(rsock), cls, when)
+               : fabricSend(dirNode(rsock), dirNode(host), cls, when);
+}
+
 void
 DveEngine::dumpStats(std::ostream &os) const
 {
@@ -126,6 +207,11 @@ DveEngine::dumpStats(std::ostream &os) const
     dveStats_.dump(os);
     for (const auto &rd : rdirs_)
         rd->stats().dump(os);
+    for (const auto &pm : poolMems_) {
+        pm->stats().dump(os);
+        for (unsigned c = 0; c < pm->copies(); ++c)
+            pm->dram(c).stats().dump(os);
+    }
 }
 
 const char *
@@ -236,16 +322,69 @@ DveEngine::degradedResidency(Tick now) const
 }
 
 CoherenceEngine::MemRead
+DveEngine::readHomeDivert(unsigned rsock, unsigned home, Addr line,
+                          Tick when)
+{
+    const FabricOutcome go = fabricSend(dirNode(rsock), dirNode(home),
+                                        MsgClass::Control, when);
+    if (!go.delivered) {
+        ++due_;
+        ++unavailableReqs_;
+        return {go.at, logicalValue(line)};
+    }
+    const auto m = memory(home).read(dataAddr(home, line), go.at);
+    if (m.status == EccStatus::Corrected)
+        ++sysCe_;
+    if (m.failed) {
+        ++due_; // the single surviving copy is lost: machine check
+        return {m.readyAt, logicalValue(line)};
+    }
+    const FabricOutcome ret = fabricSend(dirNode(home), dirNode(rsock),
+                                         MsgClass::Data, m.readyAt);
+    if (!ret.delivered) {
+        ++due_;
+        ++unavailableReqs_;
+        return {ret.at, logicalValue(line)};
+    }
+    return {ret.at, m.value};
+}
+
+CoherenceEngine::MemRead
 DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
                               Tick when)
 {
-    auto &replica_mc = memory(rsock);
+    if (poolActive()) {
+        // The replica copy lives on a far-memory pool node: the request
+        // must cross the host-to-pool link first. An unreachable node
+        // (offline, or the fabric partitioned) demotes the line to
+        // local-ECC-only service off the home copy.
+        const FabricOutcome req =
+            poolSend(rsock, poolNodeOf(line), MsgClass::Control, when);
+        if (!req.delivered) {
+            markDegraded(false, line, req.at);
+            return readHomeDivert(rsock, home, line, req.at);
+        }
+        when = req.at;
+    }
 
-    const auto m = replica_mc.read(dataAddr(rsock, line), when);
+    const unsigned ridx = replicaMemIndex(rsock, line);
+    auto &replica_mc = memAt(ridx);
+
+    const auto m = replica_mc.read(dataAddr(ridx, line), when);
     if (m.status == EccStatus::Corrected)
         ++sysCe_;
-    if (!m.failed)
-        return {m.readyAt, m.value};
+    if (!m.failed) {
+        if (!poolActive())
+            return {m.readyAt, m.value};
+        ++poolReads_;
+        const FabricOutcome back =
+            poolSend(rsock, poolNodeOf(line), MsgClass::Data, m.readyAt);
+        if (back.delivered)
+            return {back.at, m.value};
+        // Partition arrived under the read: the data never made it back.
+        markDegraded(false, line, back.at);
+        return readHomeDivert(rsock, home, line, back.at);
+    }
 
     // Replica read failed: divert to home memory. This path only runs
     // when the replica was readable, which implies both memories are in
@@ -303,16 +442,16 @@ DveEngine::readReplicaChecked(unsigned rsock, unsigned home, Addr line,
     // frame counts toward aggressor-aware retirement.
     const bool disturbed =
         dcfg_.disturbRetireAfter > 0
-        && replica_mc.rowDisturbedAt(dataAddr(rsock, line));
+        && replica_mc.rowDisturbedAt(dataAddr(ridx, line));
     const auto rep =
-        replica_mc.repairAndVerify(dataAddr(rsock, line), m2.value, back);
+        replica_mc.repairAndVerify(dataAddr(ridx, line), m2.value, back);
     if (rep.failed) {
         markDegraded(false, line, back);
     } else {
         ++repaired_;
         clearDegraded(false, line, back);
         Tick bg = back; // retirement runs off the critical path
-        noteDisturbRepair(rsock, line, false, disturbed, bg);
+        noteDisturbRepair(ridx, line, false, disturbed, bg);
     }
     return {back, m2.value};
 }
@@ -373,20 +512,21 @@ DveEngine::patrolScrub(Tick now, std::size_t max_lines)
     // Scrub one copy: a corrected error is rewritten in place (curing
     // transients before they can pair into a DUE); a detected-
     // uncorrectable error goes through the cross-copy recovery path.
-    auto scrubCopy = [&](unsigned socket, Addr line, bool is_home) {
-        const Addr addr = dataAddr(socket, line);
-        const auto m = memory(socket).read(addr, t);
+    auto scrubCopy = [&](unsigned mem_idx, unsigned sock, Addr line,
+                         bool is_home) {
+        const Addr addr = dataAddr(mem_idx, line);
+        const auto m = memAt(mem_idx).read(addr, t);
         t = m.readyAt;
         if (m.status == EccStatus::Corrected) {
             ++sysCe_;
             const auto rewritten =
-                memory(socket).repairAndVerify(addr, m.value, t);
+                memAt(mem_idx).repairAndVerify(addr, m.value, t);
             t = rewritten.readyAt;
         } else if (m.failed) {
             const unsigned h = homeSocket(line);
             const MemRead rec = is_home
                                     ? readMemoryChecked(h, line, t)
-                                    : readReplicaChecked(socket, h,
+                                    : readReplicaChecked(sock, h,
                                                          line, t);
             t = rec.ready;
         }
@@ -396,15 +536,18 @@ DveEngine::patrolScrub(Tick now, std::size_t max_lines)
         const Addr line = lines[(scrubCursor_ + i) % lines.size()];
         const unsigned h = homeSocket(line);
         if (!degradedHome_.count(line))
-            scrubCopy(h, line, true);
+            scrubCopy(h, h, line, true);
 
         const auto rs = rmap_.replicaSocket(line, h);
-        if (rs && !degradedReplica_.count(line)) {
+        if (rs && !degradedReplica_.count(line)
+            && (!poolActive() || ic_.poolPathUp(poolNodeOf(line)))) {
             // Skip a known-stale (RM) replica: it is unreadable and the
-            // next writeback refreshes it anyway.
+            // next writeback refreshes it anyway. An unreachable pool
+            // copy is skipped too -- the scrubber cannot reach it, and
+            // demand demotion / heal-back own that case.
             const auto backing = rdirs_[*rs]->peekBacking(line);
             if (!(backing && backing->state == RepState::RM))
-                scrubCopy(*rs, line, false);
+                scrubCopy(replicaMemIndex(*rs, line), *rs, line, false);
         }
         ++scrubbedLines_;
         ++rep.linesScanned;
@@ -464,16 +607,47 @@ DveEngine::runRepairTask(RepairTask task, Tick now, Tick &t,
         noteRepairDone(task, now, 0);
         return;
     }
-    const unsigned fail_sock = task.homeSide ? h : *rs;
-    const unsigned surv_sock = task.homeSide ? *rs : h;
+    const unsigned fail_sock =
+        task.homeSide ? h : replicaMemIndex(*rs, task.line);
+    const unsigned surv_sock =
+        task.homeSide ? replicaMemIndex(*rs, task.line) : h;
 
-    // Fabric-aware deferral: while the surviving copy is behind a dead
-    // link, or the failing side's whole socket is offline, a repair
-    // attempt cannot succeed. Requeue WITHOUT consuming a retry -- fabric
-    // faults must never retire frames -- so the line heals back to
-    // dual-copy as soon as the lifecycle heals the path.
-    if (!ic_.pathUp(h, *rs) || faults_.socketOffline(fail_sock)
-        || faults_.socketOffline(surv_sock)) {
+    if (poolActive()) {
+        const unsigned node = poolNodeOf(task.line);
+        if (!task.homeSide && !ic_.poolPathUp(node)) {
+            // The node hosting the degraded replica is unreachable. A
+            // lost node heals back NOW: move the page onto a surviving
+            // node and re-replicate it from the home copies. Under a
+            // full partition there is nowhere to go; defer WITHOUT
+            // consuming a retry -- fabric faults must never retire
+            // frames -- until the lifecycle heals the fabric.
+            if (healBackPage(task.line, t)) {
+                ++rep.tasksRun;
+                if (!dmap.count(task.line))
+                    ++rep.healed;
+                noteRepairDone(task, t, 1);
+            } else {
+                ++repairDeferrals_;
+                task.notBefore = now + dcfg_.repairRetryBackoff;
+                repairQueue_.push_back(task);
+            }
+            return;
+        }
+        if (!ic_.poolPathUp(node) || faults_.socketOffline(h)) {
+            // Healing the home side needs the pool replica (the
+            // surviving copy) reachable, and a live home socket.
+            ++repairDeferrals_;
+            task.notBefore = now + dcfg_.repairRetryBackoff;
+            repairQueue_.push_back(task);
+            return;
+        }
+    } else if (!ic_.pathUp(h, *rs) || faults_.socketOffline(fail_sock)
+               || faults_.socketOffline(surv_sock)) {
+        // Fabric-aware deferral: while the surviving copy is behind a
+        // dead link, or the failing side's whole socket is offline, a
+        // repair attempt cannot succeed. Requeue WITHOUT consuming a
+        // retry so the line heals back to dual-copy as soon as the
+        // lifecycle heals the path.
         ++repairDeferrals_;
         task.notBefore = now + dcfg_.repairRetryBackoff;
         repairQueue_.push_back(task);
@@ -486,7 +660,7 @@ DveEngine::runRepairTask(RepairTask task, Tick now, Tick &t,
     // crossing, so after a few such repairs move the page to a spare
     // frame whose rows escape the aggressors.
     if (dcfg_.disturbRetireAfter > 0
-        && memory(fail_sock).rowDisturbedAt(
+        && memAt(fail_sock).rowDisturbedAt(
                dataAddr(fail_sock, task.line))
         && ++disturbRepairs_[task.line] >= dcfg_.disturbRetireAfter) {
         disturbRepairs_.erase(task.line);
@@ -508,10 +682,10 @@ DveEngine::runRepairTask(RepairTask task, Tick now, Tick &t,
     bool healed = false;
     if (!other.count(task.line)) {
         const auto src =
-            memory(surv_sock).read(dataAddr(surv_sock, task.line), t);
+            memAt(surv_sock).read(dataAddr(surv_sock, task.line), t);
         t = src.readyAt;
         if (!src.failed) {
-            const auto fixed = memory(fail_sock).repairAndVerify(
+            const auto fixed = memAt(fail_sock).repairAndVerify(
                 dataAddr(fail_sock, task.line), src.value, t);
             t = fixed.readyAt;
             healed = !fixed.failed;
@@ -556,6 +730,44 @@ DveEngine::noteRepairDone(const RepairTask &task, Tick at,
                     task.line, outcome});
 }
 
+bool
+DveEngine::healBackPage(Addr line, Tick &t)
+{
+    const Addr page = line >> (pageShift - lineShift);
+    const auto moved = poolRemap_->retarget(
+        page, [&](unsigned cand) { return ic_.poolPathUp(cand); });
+    if (!moved)
+        return false;
+    ++poolRetargets_;
+
+    const unsigned h = homeSocket(line);
+    const unsigned new_idx = cfg_.sockets + *moved;
+    const Addr first = page << (pageShift - lineShift);
+    const Addr last = first + pageBytes / lineBytes;
+
+    // Re-replicate the page's written lines from the home copies onto
+    // the new node, then return cleanly-reading degraded lines to
+    // dual-copy service.
+    for (Addr l = first; l < last; ++l) {
+        if (!logicalMem_.count(l))
+            continue;
+        memAt(new_idx).poke(dataAddr(new_idx, l),
+                            memory(homeSocket(l)).peek(
+                                dataAddr(homeSocket(l), l)));
+    }
+    for (Addr l = first; l < last; ++l) {
+        if (!degradedReplica_.count(l))
+            continue;
+        const auto m = memAt(new_idx).read(dataAddr(new_idx, l), t);
+        t = m.readyAt;
+        if (m.failed)
+            continue;
+        clearDegraded(false, l, t);
+        ++reReplications_;
+    }
+    return true;
+}
+
 void
 DveEngine::retireFrame(unsigned socket, Addr line, bool home_side, Tick &t)
 {
@@ -563,7 +775,8 @@ DveEngine::retireFrame(unsigned socket, Addr line, bool home_side, Tick &t)
     const unsigned h = homeSocket(line);
     const auto rs = rmap_.replicaSocket(line, h);
     dve_assert(rs, "retiring a frame of an unreplicated line");
-    const unsigned other_sock = socket == h ? *rs : h;
+    const unsigned other_sock =
+        home_side ? replicaMemIndex(*rs, line) : h;
 
     // Map the page to a spare frame that demonstrably escapes the fault.
     // Row indices recur modulo rowsPerBank, so a candidate spare can alias
@@ -577,10 +790,10 @@ DveEngine::retireFrame(unsigned socket, Addr line, bool home_side, Tick &t)
     Addr spare = nextSparePage_++;
     for (unsigned cand = 0; cand < 32; ++cand) {
         const Addr probe = (spare << pageShift) | in_page;
-        memory(socket).poke(probe,
-                            memory(other_sock).peek(
-                                dataAddr(other_sock, line)));
-        const auto m = memory(socket).read(probe, t);
+        memAt(socket).poke(probe,
+                           memAt(other_sock).peek(
+                               dataAddr(other_sock, line)));
+        const auto m = memAt(socket).read(probe, t);
         t = m.readyAt;
         if (!m.failed)
             break;
@@ -596,9 +809,9 @@ DveEngine::retireFrame(unsigned socket, Addr line, bool home_side, Tick &t)
     for (Addr l = first; l < last; ++l) {
         if (!logicalMem_.count(l))
             continue;
-        memory(socket).poke(dataAddr(socket, l),
-                            memory(other_sock).peek(
-                                dataAddr(other_sock, l)));
+        memAt(socket).poke(dataAddr(socket, l),
+                           memAt(other_sock).peek(
+                               dataAddr(other_sock, l)));
     }
 
     // Verify: degraded lines of this page that now read cleanly from the
@@ -609,7 +822,7 @@ DveEngine::retireFrame(unsigned socket, Addr line, bool home_side, Tick &t)
     for (Addr l = first; l < last; ++l) {
         if (!dmap.count(l))
             continue;
-        const auto m = memory(socket).read(dataAddr(socket, l), t);
+        const auto m = memAt(socket).read(dataAddr(socket, l), t);
         t = m.readyAt;
         if (m.failed)
             continue;
@@ -641,19 +854,21 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
     // A line already degraded on the home side funnels straight to the
     // replica (paper Sec. V-E).
     if (rs && degradedHome_.count(line) && !degradedReplica_.count(line)) {
-        const FabricOutcome go = fabricSend(dirNode(home), dirNode(*rs),
-                                            MsgClass::Control, when);
+        const FabricOutcome go = replicaPathSend(
+            home, *rs, line, MsgClass::Control, when, true);
         if (!go.delivered) {
             // Single-copy service and the surviving copy is unreachable.
             ++due_;
             ++unavailableReqs_;
             return {go.at, logicalValue(line)};
         }
-        const auto m = memory(*rs).read(dataAddr(*rs, line), go.at);
+        const unsigned ridx = replicaMemIndex(*rs, line);
+        const auto m = memAt(ridx).read(dataAddr(ridx, line), go.at);
         if (!m.failed) {
-            const FabricOutcome ret =
-                fabricSend(dirNode(*rs), dirNode(home), MsgClass::Data,
-                           m.readyAt);
+            if (poolActive())
+                ++poolReads_;
+            const FabricOutcome ret = replicaPathSend(
+                home, *rs, line, MsgClass::Data, m.readyAt, false);
             if (ret.delivered)
                 return {ret.at, m.value};
             ++due_;
@@ -679,8 +894,8 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
 
     // Divert to the replica memory controller (paper Sec. V-B2). The
     // home/replica are in sync whenever memory is the data source.
-    const FabricOutcome go = fabricSend(dirNode(home), dirNode(*rs),
-                                        MsgClass::Control, m.readyAt);
+    const FabricOutcome go = replicaPathSend(
+        home, *rs, line, MsgClass::Control, m.readyAt, true);
     if (!go.delivered) {
         // Home copy failed and the replica is unreachable: unavailable.
         // Demote to single-copy and queue a repair of the home side for
@@ -690,7 +905,8 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
         markDegraded(true, line, go.at);
         return {go.at, logicalValue(line)};
     }
-    const auto m2 = memory(*rs).read(dataAddr(*rs, line), go.at);
+    const unsigned ridx = replicaMemIndex(*rs, line);
+    const auto m2 = memAt(ridx).read(dataAddr(ridx, line), go.at);
     if (m2.status == EccStatus::Corrected)
         ++sysCe_;
     if (m2.failed) {
@@ -703,8 +919,10 @@ DveEngine::readMemoryChecked(unsigned home, Addr line, Tick when)
         }
         return {m2.readyAt, logicalValue(line)};
     }
-    const FabricOutcome ret = fabricSend(dirNode(*rs), dirNode(home),
-                                         MsgClass::Data, m2.readyAt);
+    if (poolActive())
+        ++poolReads_;
+    const FabricOutcome ret = replicaPathSend(
+        home, *rs, line, MsgClass::Data, m2.readyAt, false);
     if (!ret.delivered) {
         ++due_;
         ++unavailableReqs_;
@@ -748,10 +966,10 @@ DveEngine::writebackToMemory(unsigned home, Addr line, std::uint64_t value,
     // Synchronous replica update: the writeback completes only after
     // both copies are written (paper Sec. V-B1).
     ++replicaWrites_;
-    const FabricOutcome arrive = fabricSend(dirNode(home), dirNode(*rs),
-                                            MsgClass::Data, when);
+    const FabricOutcome arrive = replicaPathSend(
+        home, *rs, line, MsgClass::Data, when, true);
     auto &rd = *rdirs_[*rs];
-    if (!arrive.delivered) {
+    if (!arrive.delivered && !dcfg_.bugSkipDemotionOnPartition) {
         // The replica missed this update and is now stale: fence it
         // (single-copy mode) before any read could observe it, and let
         // the background repair re-replicate once the fabric heals.
@@ -760,8 +978,18 @@ DveEngine::writebackToMemory(unsigned home, Addr line, std::uint64_t value,
         markDegraded(false, line, arrive.at);
         return std::max(t_home, arrive.at);
     }
-    const Tick t_rep =
-        memory(*rs).write(dataAddr(*rs, line), value, arrive.at);
+    // With the seeded skip-demotion bug a lost update falls through
+    // here as if it had been delivered: the marker maintenance below
+    // re-mints readability over the stale copy, and a later
+    // replica-side read commits stale data (an SDC the monitors must
+    // catch).
+    Tick t_rep = arrive.at;
+    if (arrive.delivered) {
+        const unsigned ridx = replicaMemIndex(*rs, line);
+        if (poolActive())
+            ++poolWrites_;
+        t_rep = memAt(ridx).write(dataAddr(ridx, line), value, arrive.at);
+    }
 
     // Both memories are now current: clear deny markers / refresh allow
     // ownership entries.
@@ -1114,9 +1342,30 @@ DveEngine::replicaSideGets(unsigned req_socket, unsigned rsock, Addr line,
                 // Write the fresh data through to the replica memory and
                 // keep a Readable permission: the home registered us as
                 // a sharer, so a later GETX will invalidate it.
-                memory(rsock).write(dataAddr(rsock, line), hr.value,
-                                    hr.done);
-                rd.install(line, {RepState::Readable, -1});
+                bool thru_ok = true;
+                if (poolActive()) {
+                    const FabricOutcome thru = poolSend(
+                        rsock, poolNodeOf(line), MsgClass::Data, hr.done);
+                    thru_ok = thru.delivered
+                              || dcfg_.bugSkipDemotionOnPartition;
+                    if (thru.delivered) {
+                        ++poolWrites_;
+                        const unsigned ridx = replicaMemIndex(rsock, line);
+                        memAt(ridx).write(dataAddr(ridx, line), hr.value,
+                                          thru.at);
+                    } else if (!thru_ok) {
+                        // The pool replica missed the write-through:
+                        // fence it rather than minting a permission
+                        // over a stale far-memory copy.
+                        ++fabricDemotions_;
+                        markDegraded(false, line, thru.at);
+                    }
+                } else {
+                    memory(rsock).write(dataAddr(rsock, line), hr.value,
+                                        hr.done);
+                }
+                if (thru_ok)
+                    rd.install(line, {RepState::Readable, -1});
                 res = hr;
             }
         }
@@ -1305,9 +1554,9 @@ DveEngine::enableReplication(Addr page, unsigned replica_socket)
     // Seed replica memory with the home memory image; lines dirty in
     // caches will reach both copies at writeback time.
     for (Addr line = first; line < last; ++line) {
-        memory(replica_socket)
-            .poke(dataAddr(replica_socket, line), memory(h).peek(
-                      dataAddr(h, line)));
+        const unsigned ridx = replicaMemIndex(replica_socket, line);
+        memAt(ridx).poke(dataAddr(ridx, line), memory(h).peek(
+                             dataAddr(h, line)));
     }
     // Seed deny markers for lines currently dirty in home-side LLCs.
     // Installs touch the on-chip LRU, so order them by line rather than
@@ -1349,7 +1598,7 @@ DveEngine::disableReplication(Addr page)
         degradedHome_.erase(line);
         degradedReplica_.erase(line);
     }
-    frameRemap_[*rs].erase(page);
+    frameRemap_[replicaMemIndex(*rs, first)].erase(page);
     rmap_.unmapPage(page);
 }
 

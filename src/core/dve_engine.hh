@@ -37,6 +37,7 @@
 #include "coherence/engine.hh"
 #include "core/replica_directory.hh"
 #include "core/replica_map.hh"
+#include "mem/pool_remap.hh"
 
 namespace dve
 {
@@ -110,6 +111,20 @@ struct DveConfig
      *  the link (circuit breaker). */
     Tick fenceProbeInterval = 25 * ticksPerUs;
 
+    // ---- Far-memory pool tier (two-tier disaggregated protection) ------
+    /**
+     * Far-memory pool nodes holding the replica copies. 0 (the default)
+     * disables the pool tier: replicas stay in the replica socket's
+     * local DRAM exactly as before. With N > 0 nodes, every replica
+     * page is hash-spread across the pool; reads/writes of the replica
+     * copy traverse the (slower) host-to-pool link and ride the same
+     * timeout/retry/backoff/fencing ladder as cross-socket transfers.
+     * A partitioned fabric or an offline node demotes affected lines to
+     * local-ECC-only service; heal-back re-replicates pages of a lost
+     * node onto survivors.
+     */
+    unsigned poolNodes = 0;
+
     // ---- Seeded-bug switches (chaos-fuzz harness only) -----------------
     /**
      * Re-introduce the pre-fix writeback-refresh bug: a dirty eviction's
@@ -133,6 +148,15 @@ struct DveConfig
      * harness only.
      */
     bool bugSkipDenyInvalidate = false;
+    /**
+     * Skip the demotion that fences a pool replica whose synchronous
+     * update was lost to a fabric partition or an offline node. The
+     * stale far-memory copy keeps its readability, so a replica-side
+     * read after the fabric heals commits stale data (an SDC). Exists
+     * so the fuzz harness can prove the monitors catch a missing rung
+     * of the pool degradation ladder; never enable otherwise.
+     */
+    bool bugSkipDemotionOnPartition = false;
 };
 
 /** The Dvé engine: baseline NUMA + coherent replication. */
@@ -213,6 +237,29 @@ class DveEngine : public CoherenceEngine
     {
         return frameRemap_[socket].count(page) > 0;
     }
+
+    // ---- Far-memory pool tier ------------------------------------------
+
+    /** Is the far-memory pool tier holding the replica copies? */
+    bool poolActive() const { return !poolMems_.empty(); }
+
+    /** Pool node currently holding @p line's replica (pool mode only). */
+    unsigned
+    poolNodeOf(Addr line) const
+    {
+        return poolRemap_->nodeFor(line >> (pageShift - lineShift));
+    }
+
+    /** The page -> pool-node placement map (pool mode only). */
+    PoolRemap &poolRemap() { return *poolRemap_; }
+
+    /** Memory controller of pool node @p node (pool mode only). */
+    MemoryController &poolMemory(unsigned node) { return *poolMems_[node]; }
+
+    std::uint64_t poolReplicaReads() const { return poolReads_.value(); }
+    std::uint64_t poolReplicaWrites() const { return poolWrites_.value(); }
+    /** Pages healed back onto a surviving node after a node loss. */
+    std::uint64_t poolRetargets() const { return poolRetargets_.value(); }
 
     // Dvé-specific statistics.
     std::uint64_t replicaLocalReads() const
@@ -356,6 +403,49 @@ class DveEngine : public CoherenceEngine
                                Tick when);
 
     /**
+     * Serve a replica-side read from the home copy: the demotion path a
+     * line rides once its pool replica is unreachable (local-ECC-only
+     * service -- a lost leg or a failed home read is an honest DUE).
+     */
+    MemRead readHomeDivert(unsigned rsock, unsigned home, Addr line,
+                           Tick when);
+
+    /**
+     * Index of the memory bank holding @p line's replica copy in the
+     * unified bank table: the replica socket itself, or, in pool mode,
+     * sockets + the line's pool node.
+     */
+    unsigned replicaMemIndex(unsigned rsock, Addr line) const;
+
+    /** Bank @p idx of the unified table (sockets, then pool nodes). */
+    MemoryController &memAt(unsigned idx);
+
+    /**
+     * Fault-aware transfer between @p host and @p line's replica memory
+     * (sitting with socket @p rsock locally, or on a pool node in pool
+     * mode). @p to_replica gives the direction; it only affects the
+     * local-mode trace endpoints -- the pool link is symmetric.
+     */
+    FabricOutcome replicaPathSend(unsigned host, unsigned rsock,
+                                  Addr line, MsgClass cls, Tick when,
+                                  bool to_replica);
+
+    /**
+     * Host-to-pool transfer with the same timeout-retry-backoff-fence
+     * ladder as fabricSend, keyed on the (socket, pool node) pair.
+     */
+    FabricOutcome poolSend(unsigned socket, unsigned node, MsgClass cls,
+                           Tick when);
+
+    /**
+     * Heal-back after a pool-node loss: move @p line's page onto a
+     * surviving node, re-replicate it from the home copies, and return
+     * its lines to dual-copy service. @return false when no other node
+     * is reachable (partition: the caller defers the repair instead).
+     */
+    bool healBackPage(Addr line, Tick &t);
+
+    /**
      * Fault-free read of a readable line, optionally alternating between
      * the replica and home copies (row-hammer load balancing).
      */
@@ -438,6 +528,12 @@ class DveEngine : public CoherenceEngine
     DveConfig dcfg_;
     ReplicaMap rmap_;
     std::vector<std::unique_ptr<ReplicaDirectory>> rdirs_;
+    /** Far-memory pool controllers (pool mode only), index = node id.
+     *  Owned here, not by the base engine: the lifecycle never places
+     *  DRAM faults at bank ids >= sockets, so pool DRAM fails only
+     *  through pool-scale fault scopes (node offline, partition). */
+    std::vector<std::unique_ptr<MemoryController>> poolMems_;
+    std::unique_ptr<PoolRemap> poolRemap_;
     /** Degraded copies, keyed by line; value is when it degraded. */
     std::unordered_map<Addr, Tick> degradedHome_;
     std::unordered_map<Addr, Tick> degradedReplica_;
@@ -492,6 +588,9 @@ class DveEngine : public CoherenceEngine
     Counter fabricDemotions_; ///< replicas fenced by a missed update
     Counter repairDeferrals_; ///< repairs requeued while the path is down
     Counter disturbRetirements_; ///< frames retired under hammering
+    Counter poolReads_;      ///< replica reads served by the pool tier
+    Counter poolWrites_;     ///< replica updates landed on the pool tier
+    Counter poolRetargets_;  ///< pages healed back onto surviving nodes
     Counter slowControlMsgs_; ///< metadata routed around a fenced link
     Counter fencedFastFails_;
     Counter dynamicSwitches_;

@@ -25,6 +25,8 @@ campaignSchemeName(CampaignScheme s)
       case CampaignScheme::DveDeny: return "dve-deny";
       case CampaignScheme::BaselinePreventive:
         return "baseline-preventive";
+      case CampaignScheme::LocalChipkill: return "local-chipkill";
+      case CampaignScheme::TwoTier: return "two-tier";
     }
     return "?";
 }
@@ -37,6 +39,8 @@ fabricScenarioName(FabricScenario s)
       case FabricScenario::LinkFlap: return "link-flap";
       case FabricScenario::LossyLink: return "lossy-link";
       case FabricScenario::SocketOffline: return "socket-offline";
+      case FabricScenario::PoolOffline: return "pool-node-offline";
+      case FabricScenario::Partition: return "fabric-partition";
     }
     return "?";
 }
@@ -121,6 +125,21 @@ disturbSchemes()
             CampaignScheme::DveDeny};
 }
 
+void
+applyPoolPreset(CampaignConfig &cfg)
+{
+    // Three nodes: a single node loss leaves two heal-back targets, so
+    // the retarget path (not just demotion) is exercised every trial.
+    cfg.poolNodes = 3;
+}
+
+std::vector<CampaignScheme>
+poolSchemes()
+{
+    return {CampaignScheme::LocalChipkill, CampaignScheme::BaselineDetect,
+            CampaignScheme::DveDeny, CampaignScheme::TwoTier};
+}
+
 CampaignConfig
 CampaignConfig::quickDefaults()
 {
@@ -174,6 +193,9 @@ TrialStats::accumulate(const TrialStats &t)
     preventiveStallTicks += t.preventiveStallTicks;
     disturbFaults += t.disturbFaults;
     disturbRetirements += t.disturbRetirements;
+    poolReplicaReads += t.poolReplicaReads;
+    poolReplicaWrites += t.poolReplicaWrites;
+    poolRetargets += t.poolRetargets;
     // engineSeed/faultSeed/workloadSeed/faultLogDigest/traceJson
     // identify one trial; they are deliberately not summed into totals.
     recoveryLatencies.insert(recoveryLatencies.end(),
@@ -202,7 +224,8 @@ namespace
 bool
 isDve(CampaignScheme s)
 {
-    return s == CampaignScheme::DveAllow || s == CampaignScheme::DveDeny;
+    return s == CampaignScheme::DveAllow || s == CampaignScheme::DveDeny
+           || s == CampaignScheme::TwoTier;
 }
 
 Scheme
@@ -217,6 +240,10 @@ codecFor(CampaignScheme s)
       // the paper's Dvé+TSD configuration (detects 3-chip failures).
       case CampaignScheme::DveAllow:
       case CampaignScheme::DveDeny: return Scheme::TsdDetect;
+      // The pool comparison pair: strong self-sufficient local ECC vs
+      // the two-tier split (weak local detect, far replica recovers).
+      case CampaignScheme::LocalChipkill: return Scheme::ChipkillSscDsd;
+      case CampaignScheme::TwoTier: return Scheme::DsdDetect;
     }
     return Scheme::ChipkillSscDsd;
 }
@@ -243,6 +270,16 @@ applyScenario(LifecycleConfig &lc, FabricScenario sc)
         break;
       case FabricScenario::SocketOffline:
         lc.rates[unsigned(FaultScope::SocketOffline)] = {6.0, 0.0, 0.0};
+        break;
+      case FabricScenario::PoolOffline:
+        // Pure-permanent: a lost pool node stays lost; the two-tier
+        // scheme must heal back onto the survivors.
+        lc.rates[unsigned(FaultScope::PoolNodeOffline)] = {6.0, 0.0, 0.0};
+        break;
+      case FabricScenario::Partition:
+        // Pure-intermittent: partitions heal, so demotion-then-heal-back
+        // cycles are exercised alongside honest DUE accounting.
+        lc.rates[unsigned(FaultScope::FabricPartition)] = {12.0, 0.0, 1.0};
         break;
     }
 }
@@ -296,6 +333,11 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
         DveConfig d = cfg_.dve;
         d.protocol = s == CampaignScheme::DveAllow ? DveProtocol::Allow
                                                    : DveProtocol::Deny;
+        // Only the two-tier scheme puts its replicas on the pool;
+        // classic Dvé keeps them in the replica socket's DRAM even in
+        // pool campaigns (that contrast is the Table-I comparison).
+        if (s == CampaignScheme::TwoTier)
+            d.poolNodes = cfg_.poolNodes;
         auto e = std::make_unique<DveEngine>(ecfg, d);
         dve = e.get();
         owner = std::move(e);
@@ -313,6 +355,9 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
     lc.footprintLines =
         Addr(cfg_.footprintPages) * (pageBytes / lineBytes);
     lc.seed = cfg_.seed * 7919 + trial;
+    // Scheme-independent: pool-scope arrivals fire for every scheme;
+    // schemes without a pool tier simply have nothing there to lose.
+    lc.poolNodes = cfg_.poolNodes;
     applyScenario(lc, cfg_.scenario);
     FaultLifecycleEngine flc(lc, eng.faultRegistry());
     // When the campaign config enabled tracing, fault arrivals/heals
@@ -475,6 +520,11 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
         t.degradedLinesEnd = dve->degradedLines();
         t.degradedResidencyTicks = dve->degradedResidency(clock);
         t.recoveryLatencies = dve->recoveryLatencies();
+        if (dve->poolActive()) {
+            t.poolReplicaReads = dve->poolReplicaReads();
+            t.poolReplicaWrites = dve->poolReplicaWrites();
+            t.poolRetargets = dve->poolRetargets();
+        }
     }
     if (hammer) {
         for (unsigned sock = 0; sock < ecfg.sockets; ++sock) {
@@ -580,8 +630,8 @@ fmtTicks(double v)
 }
 
 void
-writeTotals(const TrialStats &t, bool disturb, const char *indent,
-            std::ostream &os)
+writeTotals(const TrialStats &t, bool disturb, bool pool,
+            const char *indent, std::ostream &os)
 {
     os << indent << "\"reads\": " << t.reads << ",\n"
        << indent << "\"writes\": " << t.writes << ",\n"
@@ -633,6 +683,16 @@ writeTotals(const TrialStats &t, bool disturb, const char *indent,
            << indent << "\"disturb_retirements\": "
            << t.disturbRetirements;
     }
+    if (pool) {
+        // Emitted only for pool campaigns so pool-free reports stay
+        // byte-identical to earlier versions.
+        os << ",\n"
+           << indent << "\"pool_replica_reads\": " << t.poolReplicaReads
+           << ",\n"
+           << indent << "\"pool_replica_writes\": " << t.poolReplicaWrites
+           << ",\n"
+           << indent << "\"pool_retargets\": " << t.poolRetargets;
+    }
     os << "\n";
 }
 
@@ -661,6 +721,8 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
         os << "    \"disturb_scenario\": \""
            << disturbScenarioName(c.disturb) << "\",\n";
     }
+    if (c.poolNodes > 0)
+        os << "    \"pool_nodes\": " << c.poolNodes << ",\n";
     os << "    \"ops_per_trial\": " << c.opsPerTrial << ",\n"
        << "    \"footprint_pages\": " << c.footprintPages << ",\n"
        << "    \"scrub_interval_ticks\": " << c.scrubInterval << ",\n"
@@ -677,7 +739,7 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
            << "\",\n"
            << "      \"totals\": {\n";
         writeTotals(sr.totals, c.disturb != DisturbScenario::None,
-                    "        ", os);
+                    c.poolNodes > 0, "        ", os);
         os << "      },\n"
            << "      \"recovery_latency\": {\n"
            << "        \"count\": " << sr.recovery.count << ",\n"

@@ -42,9 +42,13 @@ enum class CampaignScheme : std::uint8_t
     DveAllow,       ///< Dvé allow protocol on detection-only TSD
     DveDeny,        ///< Dvé deny protocol on detection-only TSD
     BaselinePreventive, ///< SEC-DED + preventive neighbor refresh
+    // Appended (pool campaigns compare against the above without
+    // renumbering the existing schemes in older reports):
+    LocalChipkill,  ///< strong local Chipkill ECC, no replication
+    TwoTier,        ///< weak local detect + far-memory pool replica
 };
 
-constexpr unsigned numCampaignSchemes = 6;
+constexpr unsigned numCampaignSchemes = 8;
 
 const char *campaignSchemeName(CampaignScheme s);
 
@@ -61,9 +65,11 @@ enum class FabricScenario : std::uint8_t
     LinkFlap,      ///< intermittent LinkDown episodes (link heals back)
     LossyLink,     ///< intermittent LinkLossy episodes (drops + delays)
     SocketOffline, ///< permanent whole-socket loss mid-campaign
+    PoolOffline,   ///< permanent far-memory pool-node loss (heal-back)
+    Partition,     ///< intermittent pool-fabric partition episodes
 };
 
-constexpr unsigned numFabricScenarios = 4;
+constexpr unsigned numFabricScenarios = 6;
 
 const char *fabricScenarioName(FabricScenario s);
 
@@ -117,6 +123,10 @@ struct CampaignConfig
     FabricScenario scenario = FabricScenario::None;
     /** Read-disturbance scenario (None = no hammering, no extra keys). */
     DisturbScenario disturb = DisturbScenario::None;
+    /** Far-memory pool nodes for the two-tier scheme and the pool-scale
+     *  fault scenarios. 0 = no pool tier: pool scopes never fire, the
+     *  two-tier scheme degenerates, and no pool JSON keys are emitted. */
+    unsigned poolNodes = 0;
     LifecycleConfig lifecycle; ///< rates/shape; geometry + seed per trial
     EngineConfig engine;       ///< base system; scheme set per campaign
     DveConfig dve;             ///< Dvé knobs; protocol set per scheme
@@ -136,6 +146,18 @@ void applyDisturbPreset(CampaignConfig &cfg, DisturbScenario sc);
 
 /** Scheme list a hammer campaign compares (adds preventive refresh). */
 std::vector<CampaignScheme> disturbSchemes();
+
+/**
+ * Shape @p cfg for a pool-scale fault scenario: provision the far-memory
+ * pool the two-tier scheme replicates onto. The fault mix itself comes
+ * from applyScenario (PoolOffline / Partition arrival processes).
+ */
+void applyPoolPreset(CampaignConfig &cfg);
+
+/** Scheme list a pool campaign compares: strong-local-ECC-only vs weak
+ *  detect-only vs classic socket-replicated Dvé vs the two-tier
+ *  disaggregated configuration. */
+std::vector<CampaignScheme> poolSchemes();
 
 /** Everything one trial observed. */
 struct TrialStats
@@ -176,6 +198,11 @@ struct TrialStats
     std::uint64_t preventiveStallTicks = 0;
     std::uint64_t disturbFaults = 0;
     std::uint64_t disturbRetirements = 0;
+    // Far-memory pool tier (pool campaigns only; their JSON keys are
+    // likewise emitted only when poolNodes > 0).
+    std::uint64_t poolReplicaReads = 0;
+    std::uint64_t poolReplicaWrites = 0;
+    std::uint64_t poolRetargets = 0;
     // Replay identity: the derived seeds this trial ran with and a digest
     // of the fault-event log. Together with the campaign config block the
     // trial is reproducible standalone from the report alone. Not

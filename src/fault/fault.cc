@@ -25,6 +25,8 @@ faultScopeName(FaultScope s)
       case FaultScope::LinkDown: return "link-down";
       case FaultScope::LinkLossy: return "link-lossy";
       case FaultScope::SocketOffline: return "socket-offline";
+      case FaultScope::PoolNodeOffline: return "pool-node-offline";
+      case FaultScope::FabricPartition: return "fabric-partition";
     }
     return "?";
 }
@@ -103,7 +105,16 @@ parseFaultSpec(const std::string &spec, std::string *err)
     std::string rest = spec;
     bool scopeSet = false;
 
-    // Fabric shorthands: "link:A-B", "socket:S", "lossy:A-B[,drop=P,...]".
+    // Bare "partition" shorthand: the whole host<->pool fabric splits.
+    if (spec == "partition"
+        || spec.rfind("partition,", 0) == 0) {
+        f.scope = FaultScope::FabricPartition;
+        scopeSet = true;
+        rest = spec.size() > 10 ? spec.substr(10) : "";
+    }
+
+    // Fabric shorthands: "link:A-B", "socket:S", "lossy:A-B[,drop=P,...]",
+    // "pool:N".
     const auto colon = spec.find(':');
     if (colon != std::string::npos && spec.find('=') > colon) {
         const std::string head = spec.substr(0, colon);
@@ -127,6 +138,12 @@ parseFaultSpec(const std::string &spec, std::string *err)
             f.scope = FaultScope::SocketOffline;
             if (!parseUnsigned(arg, f.socket)) {
                 setErr(err, "bad socket id '" + arg + "'");
+                return std::nullopt;
+            }
+        } else if (head == "pool") {
+            f.scope = FaultScope::PoolNodeOffline;
+            if (!parseUnsigned(arg, f.socket)) {
+                setErr(err, "bad pool node id '" + arg + "'");
                 return std::nullopt;
             }
         } else {
@@ -161,7 +178,14 @@ parseFaultSpec(const std::string &spec, std::string *err)
             }
             const auto s = parseFaultScope(val.c_str());
             if (!s) {
-                setErr(err, "unknown fault scope '" + val + "'");
+                std::string known;
+                for (unsigned i = 0; i < numFaultScopes; ++i) {
+                    if (i)
+                        known += i + 1 == numFaultScopes ? " or " : ", ";
+                    known += faultScopeName(static_cast<FaultScope>(i));
+                }
+                setErr(err, "unknown fault scope '" + val + "' (valid: "
+                            + known + ")");
                 return std::nullopt;
             }
             f.scope = *s;
@@ -287,6 +311,8 @@ formatFaultSpec(const FaultDescriptor &in)
         break;
       case FaultScope::Controller:
       case FaultScope::SocketOffline:
+      case FaultScope::PoolNodeOffline:
+      case FaultScope::FabricPartition:
         break;
       case FaultScope::LinkDown:
         field("peer", f.peer);
@@ -331,8 +357,12 @@ FaultRegistry::normalized(FaultDescriptor f)
     if (isFabricScope(f.scope)) {
         f.channel = f.rank = f.chip = f.bank = f.column = f.bit = 0;
         f.row = 0;
-        if (f.scope == FaultScope::SocketOffline) {
+        if (f.scope == FaultScope::SocketOffline
+            || f.scope == FaultScope::PoolNodeOffline) {
+            f.peer = 0; // socket field: socket id / pool-node id
+        } else if (f.scope == FaultScope::FabricPartition) {
             f.peer = 0;
+            f.socket = 0; // partitions the whole pool fabric
         } else if (f.peer < f.socket) {
             std::swap(f.socket, f.peer); // links are unordered pairs
         }
@@ -372,6 +402,8 @@ FaultRegistry::normalized(FaultDescriptor f)
       case FaultScope::LinkDown:
       case FaultScope::LinkLossy:
       case FaultScope::SocketOffline:
+      case FaultScope::PoolNodeOffline:
+      case FaultScope::FabricPartition:
         break; // fabric scopes returned above
     }
     if (f.scope != FaultScope::Cell && f.scope != FaultScope::RowDisturb)
@@ -384,6 +416,13 @@ FaultRegistry::inBounds(const FaultDescriptor &f) const
 {
     if (geom_.sockets == 0)
         return true; // no geometry configured: accept anything
+    // Pool scopes use the socket field as a pool-node id, which the DRAM
+    // geometry knows nothing about -- the engine validates reachability
+    // at the access site instead.
+    if (f.scope == FaultScope::PoolNodeOffline
+        || f.scope == FaultScope::FabricPartition) {
+        return true;
+    }
     if (f.socket >= geom_.sockets)
         return false;
     if (isFabricScope(f.scope)) {
@@ -468,8 +507,13 @@ FaultRegistry::matches(const FaultDescriptor &f, unsigned socket,
 {
     // Link faults never touch the DRAM path; an offline socket behaves
     // like a controller failure for every access it would have served.
-    if (f.scope == FaultScope::LinkDown || f.scope == FaultScope::LinkLossy)
+    // Pool-scope faults cut reachability, which the engine checks at the
+    // access site -- the pool DRAM itself stays clean.
+    if (f.scope == FaultScope::LinkDown || f.scope == FaultScope::LinkLossy
+        || f.scope == FaultScope::PoolNodeOffline
+        || f.scope == FaultScope::FabricPartition) {
         return false;
+    }
     if (f.socket != socket)
         return false;
     if (f.scope == FaultScope::SocketOffline)
@@ -536,6 +580,26 @@ FaultRegistry::socketOffline(unsigned socket) const
 {
     for (const auto &f : faults_) {
         if (f.scope == FaultScope::SocketOffline && f.socket == socket)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultRegistry::poolNodeOffline(unsigned node) const
+{
+    for (const auto &f : faults_) {
+        if (f.scope == FaultScope::PoolNodeOffline && f.socket == node)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultRegistry::fabricPartition() const
+{
+    for (const auto &f : faults_) {
+        if (f.scope == FaultScope::FabricPartition)
             return true;
     }
     return false;

@@ -42,16 +42,22 @@ enum class FaultScope : std::uint8_t
     LinkLossy,     ///< inter-socket link drops/delays messages
     SocketOffline, ///< socket's memory domain + link endpoint are gone
     RowDisturb,    ///< read-disturbance bit flip across a victim row
+    // Far-memory pool scopes (appended: fault_log_digests over pre-pool
+    // runs must stay byte-identical across this enum growing).
+    PoolNodeOffline, ///< one far-memory pool node unreachable/gone
+    FabricPartition, ///< hosts partitioned from the whole pool fabric
 };
 
-constexpr unsigned numFaultScopes = 11;
+constexpr unsigned numFaultScopes = 13;
 
 /** First fabric-domain scope (everything below is a DRAM-path scope). */
 constexpr bool
 isFabricScope(FaultScope s)
 {
     return s == FaultScope::LinkDown || s == FaultScope::LinkLossy
-           || s == FaultScope::SocketOffline;
+           || s == FaultScope::SocketOffline
+           || s == FaultScope::PoolNodeOffline
+           || s == FaultScope::FabricPartition;
 }
 
 const char *faultScopeName(FaultScope s);
@@ -82,8 +88,9 @@ struct FaultDescriptor
 /**
  * Parse a comma-separated key=value fault spec, e.g.
  * "scope=chip,socket=0,chip=3". Also accepts the fabric shorthands
- * "link:A-B" (LinkDown), "socket:S" (SocketOffline) and
- * "lossy:A-B,drop=P[,delay=T]" (LinkLossy; T in ticks).
+ * "link:A-B" (LinkDown), "socket:S" (SocketOffline),
+ * "lossy:A-B,drop=P[,delay=T]" (LinkLossy; T in ticks),
+ * "pool:N" (PoolNodeOffline) and "partition" (FabricPartition).
  * On failure returns nullopt and, when @p err is non-null, a message.
  */
 std::optional<FaultDescriptor> parseFaultSpec(const std::string &spec,
@@ -173,6 +180,12 @@ class FaultRegistry
 
     /** Is the whole socket's memory domain + link endpoint offline? */
     bool socketOffline(unsigned socket) const;
+
+    /** Is far-memory pool node @p node offline? (socket field = node id) */
+    bool poolNodeOffline(unsigned node) const;
+
+    /** Is the host<->pool fabric partitioned (every pool node cut off)? */
+    bool fabricPartition() const;
 
     /** Is the inter-socket link between @p a and @p b hard-down? */
     bool linkDown(unsigned a, unsigned b) const;

@@ -137,7 +137,19 @@ FaultLifecycleEngine::processArrival(const Pending &p)
         // Fabric faults are placed on sockets/links, not DRAM coordinates.
         // Writes cannot cure a link, so none of them is marked transient;
         // flapping links are modeled as intermittent arrivals.
-        if (p.scope != FaultScope::SocketOffline) {
+        if (p.scope == FaultScope::PoolNodeOffline) {
+            if (cfg_.poolNodes == 0)
+                return; // no pool tier configured
+            // socket field carries the pool-node id (overrides the draw
+            // above; pool presets are the only source of nonzero rates).
+            f.socket = static_cast<unsigned>(rng_.next(cfg_.poolNodes));
+            f.peer = 0;
+        } else if (p.scope == FaultScope::FabricPartition) {
+            if (cfg_.poolNodes == 0)
+                return; // nothing to partition from
+            f.socket = 0;
+            f.peer = 0;
+        } else if (p.scope != FaultScope::SocketOffline) {
             if (cfg_.sockets < 2)
                 return; // no inter-socket link to fail
             f.peer = (f.socket + 1

@@ -66,6 +66,9 @@ struct ScopeRate
 struct LifecycleConfig
 {
     unsigned sockets = 2;
+    /** Far-memory pool nodes (0: no pool tier; pool-scope arrivals are
+     *  dropped even if their rates are nonzero). */
+    unsigned poolNodes = 0;
     DramConfig dram;
     /** Symbol positions the line codec spans (chip-coordinate bound). */
     unsigned chips = 19;

@@ -32,6 +32,8 @@ generateScenario(const GeneratorConfig &cfg)
     sc.sampleGroups = cfg.sampleGroups;
     sc.bugRmMarkerRefresh = cfg.bugRmMarkerRefresh;
     sc.bugSkipDenyInvalidate = cfg.bugSkipDenyInvalidate;
+    sc.bugSkipDemotionOnPartition = cfg.bugSkipDemotionOnPartition;
+    sc.poolNodes = cfg.poolMode ? cfg.poolNodes : 0;
 
     Rng rng(cfg.seed);
     const unsigned linesPerPage = pageBytes / lineBytes;
@@ -121,11 +123,22 @@ generateScenario(const GeneratorConfig &cfg)
                 bool ok = false;
                 if (fabric) {
                     // One fabric episode at a time: a second link/socket
-                    // fault would leave no service path at all.
+                    // (or pool) fault would leave no service path at all.
                     bool fabricActive = false;
                     for (const auto &a : outstanding)
                         fabricActive |= a.fabric;
-                    if (!fabricActive) {
+                    if (!fabricActive && sc.poolNodes > 0) {
+                        // Pool mode: fabric chaos is pool-scale, the
+                        // tier the two-tier replicas actually live on.
+                        if (rng.chance(0.4)) {
+                            d.scope = FaultScope::FabricPartition;
+                        } else {
+                            d.scope = FaultScope::PoolNodeOffline;
+                            d.socket = static_cast<unsigned>(
+                                rng.next(sc.poolNodes));
+                        }
+                        ok = true;
+                    } else if (!fabricActive) {
                         const unsigned a = static_cast<unsigned>(
                             rng.next(cfg.sockets));
                         const unsigned b = (a + 1) % cfg.sockets;

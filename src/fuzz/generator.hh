@@ -66,6 +66,14 @@ struct GeneratorConfig
     double maintFraction = 0.02;     ///< steps that run maintenance
     bool bugRmMarkerRefresh = false;     ///< arm the deep seeded bug
     bool bugSkipDenyInvalidate = false;  ///< arm the shallow seeded bug
+    /** Arm the pool seeded bug (lost write-through demotion skipped). */
+    bool bugSkipDemotionOnPartition = false;
+    /** Far-memory pool mode: the engine replicates onto poolNodes pool
+     *  nodes and the fabric share of injects becomes pool-scale episodes
+     *  (PoolNodeOffline on a random node, or FabricPartition), still
+     *  bounded to one concurrent fabric fault system-wide. */
+    bool poolMode = false;
+    unsigned poolNodes = 3;
     /** Aggressor-pattern mode: accesses hammer one bank's aggressor
      *  rows and injects become RowDisturb faults on the victim rows.
      *  Wants footprintPages >= 32 so the victim rows are observable. */

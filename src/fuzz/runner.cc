@@ -101,6 +101,8 @@ runScenario(const FuzzScenario &sc, const FuzzRunOptions &opt)
     dcfg.sampleGroups = sc.sampleGroups;
     dcfg.bugRmMarkerRefresh = sc.bugRmMarkerRefresh;
     dcfg.bugSkipDenyInvalidate = sc.bugSkipDenyInvalidate;
+    dcfg.bugSkipDemotionOnPartition = sc.bugSkipDemotionOnPartition;
+    dcfg.poolNodes = sc.poolNodes;
     dcfg.repairRetryBackoff = 10 * ticksPerUs;
 
     DveEngine eng(ecfg, dcfg);

@@ -91,10 +91,14 @@ FuzzScenario::serialize() const
     os << "pages " << footprintPages << '\n';
     os << "epoch-ops " << epochOps << '\n';
     os << "sample-groups " << sampleGroups << '\n';
+    if (poolNodes > 0)
+        os << "pool " << poolNodes << '\n';
     if (bugRmMarkerRefresh)
         os << "bug rm-marker-refresh\n";
     if (bugSkipDenyInvalidate)
         os << "bug skip-deny-invalidate\n";
+    if (bugSkipDemotionOnPartition)
+        os << "bug skip-demotion-on-partition\n";
     if (watchdogBudget > 0)
         os << "watchdog " << watchdogBudget << '\n';
     if (expect.monitor) {
@@ -182,11 +186,19 @@ FuzzScenario::parse(std::istream &in, std::string *err)
                 || sc.sampleGroups < 2) {
                 return fail("bad sample-groups (want >= 2)");
             }
+        } else if (key == "pool") {
+            std::uint64_t v = 0;
+            if (f.size() != 2 || !parseU64(f[1], v) || v > 64)
+                return fail("bad pool (want 0..64 nodes)");
+            sc.poolNodes = static_cast<unsigned>(v);
         } else if (key == "bug") {
             if (f.size() == 2 && f[1] == "rm-marker-refresh")
                 sc.bugRmMarkerRefresh = true;
             else if (f.size() == 2 && f[1] == "skip-deny-invalidate")
                 sc.bugSkipDenyInvalidate = true;
+            else if (f.size() == 2
+                     && f[1] == "skip-demotion-on-partition")
+                sc.bugSkipDemotionOnPartition = true;
             else
                 return fail("unknown bug name");
         } else if (key == "watchdog") {

@@ -20,8 +20,10 @@
  *     pages 8                   # footprint, 4 KB pages
  *     epoch-ops 40              # dynamic-protocol epoch length
  *     sample-groups 4           # set-dueling groups
+ *     pool 3                    # optional: far-memory pool nodes (0 = off)
  *     bug rm-marker-refresh     # optional: arm a seeded protocol bug
  *     bug skip-deny-invalidate  # (one line per armed bug)
+ *     bug skip-demotion-on-partition  # pool writeback demotion bug
  *     expect violation replica-dir  # optional: replay must fire this
  *     watchdog 2000000          # optional: liveness budget override
  *     step r 0 3 0x1040         # read:  socket core addr
@@ -92,10 +94,16 @@ struct FuzzScenario
     unsigned footprintPages = 8;
     std::uint64_t epochOps = 40;
     std::uint64_t sampleGroups = 4;
+    /** Far-memory pool nodes replica data spreads over; 0 = no pool
+     *  tier (serialized only when set, so pre-pool corpus files and
+     *  their byte-identical round trips are unchanged). */
+    unsigned poolNodes = 0;
     /** Arm DveConfig::bugRmMarkerRefresh (seeded-bug experiments). */
     bool bugRmMarkerRefresh = false;
     /** Arm DveConfig::bugSkipDenyInvalidate (seeded-bug experiments). */
     bool bugSkipDenyInvalidate = false;
+    /** Arm DveConfig::bugSkipDemotionOnPartition (pool seeded bug). */
+    bool bugSkipDemotionOnPartition = false;
     /** Liveness watchdog budget override; 0 keeps the engine default. */
     Tick watchdogBudget = 0;
     FuzzExpectation expect;

@@ -1,0 +1,28 @@
+#include "mem/pool_remap.hh"
+
+#include "common/logging.hh"
+
+namespace dve
+{
+
+PoolRemap::PoolRemap(unsigned nodes) : nodes_(nodes)
+{
+    dve_assert(nodes_ > 0, "pool remap needs at least one node");
+}
+
+unsigned
+PoolRemap::spreadNodeFor(Addr page) const
+{
+    // Pure function of the page number: the same page lands on the same
+    // node in every run, every scheme, at every job count.
+    return static_cast<unsigned>(flatMapMix(page) % nodes_);
+}
+
+unsigned
+PoolRemap::nodeFor(Addr page) const
+{
+    const auto it = override_.find(page);
+    return it == override_.end() ? spreadNodeFor(page) : it->second;
+}
+
+} // namespace dve

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Replica placement across far-memory pool nodes.
+ *
+ * The pool tier spreads replica pages over the configured pool nodes so
+ * one node failing takes out only ~1/N of the replicas. Placement must
+ * be a pure function of the page address (byte-determinism contract:
+ * no RNG, no iteration-order dependence), so the default spread is a
+ * hash of the page number; heal-back retargeting installs explicit
+ * per-page overrides that survive until the page is re-spread.
+ */
+
+#ifndef DVE_MEM_POOL_REMAP_HH
+#define DVE_MEM_POOL_REMAP_HH
+
+#include <optional>
+
+#include "common/flat_map.hh"
+#include "common/types.hh"
+
+namespace dve
+{
+
+/** Deterministic page -> pool-node placement with retarget overrides. */
+class PoolRemap
+{
+  public:
+    explicit PoolRemap(unsigned nodes);
+
+    unsigned nodes() const { return nodes_; }
+
+    /** Default (hash-spread) node of a page, ignoring overrides. */
+    unsigned spreadNodeFor(Addr page) const;
+
+    /** Current node of a page (override wins over the default spread). */
+    unsigned nodeFor(Addr page) const;
+
+    /**
+     * Move @p page off its current node onto the first reachable node in
+     * deterministic scan order (@p up says whether a node is usable).
+     * @return the new node, or nullopt when no other node is up (the
+     * page stays where it was; the caller keeps it degraded).
+     */
+    template <typename Up>
+    std::optional<unsigned>
+    retarget(Addr page, Up &&up)
+    {
+        const unsigned cur = nodeFor(page);
+        for (unsigned k = 1; k < nodes_; ++k) {
+            const unsigned cand = (cur + k) % nodes_;
+            if (up(cand)) {
+                override_[page] = cand;
+                return cand;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Drop the override: the page returns to the default spread. */
+    void clearOverride(Addr page) { override_.erase(page); }
+
+    std::size_t overrides() const { return override_.size(); }
+
+  private:
+    unsigned nodes_;
+    FlatMap<Addr, unsigned> override_;
+};
+
+} // namespace dve
+
+#endif // DVE_MEM_POOL_REMAP_HH

@@ -120,6 +120,35 @@ Interconnect::trySend(NodeId src, NodeId dst, MsgClass cls)
     return {SendStatus::Ok, lat};
 }
 
+bool
+Interconnect::poolPathUp(unsigned node) const
+{
+    if (!faults_)
+        return true;
+    return !faults_->fabricPartition() && !faults_->poolNodeOffline(node);
+}
+
+SendResult
+Interconnect::trySendPool(NodeId src, unsigned pool_node, MsgClass cls)
+{
+    if (!poolPathUp(pool_node)) {
+        ++failedSends_;
+        return {SendStatus::LinkFailed, 0};
+    }
+    const Tick lat = meshes_[src.socket].hops(src.tile, cfg_.gatewayTile)
+                         * cfg_.hopLatency
+                     + cfg_.poolLinkLatency;
+    meshes_[src.socket].traverse(src.tile, cfg_.gatewayTile);
+    ++pend_.interMsgs;
+    pend_.interBytes += bytesFor(cls);
+    if (cls == MsgClass::Data)
+        ++pend_.interData;
+    else
+        ++pend_.interCtrl;
+    noteLatency(lat);
+    return {SendStatus::Ok, lat};
+}
+
 void
 Interconnect::resetTraffic()
 {

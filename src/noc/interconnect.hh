@@ -72,6 +72,9 @@ struct NocConfig
     unsigned gatewayTile = 0;                ///< link attach point
     unsigned controlBytes = 8;
     unsigned dataBytes = 72;                 ///< 64B line + header
+    /** Host-to-far-memory-pool link traversal (CXL-style: noticeably
+     *  slower than the socket-to-socket link). */
+    Tick poolLinkLatency = 400 * ticksPerNs;
 };
 
 /**
@@ -114,6 +117,18 @@ class Interconnect
 
     /** Is the (possibly degraded) path between two sockets usable? */
     bool pathUp(unsigned a, unsigned b) const;
+
+    /**
+     * Fault-aware send from a host tile to far-memory pool node
+     * @p pool_node. Fails fast (LinkFailed, no traffic accounted) when
+     * the node is offline or the pool fabric is partitioned; a delivery
+     * is accounted as inter-socket traffic and pays the mesh walk to the
+     * gateway plus the (slower) pool link traversal.
+     */
+    SendResult trySendPool(NodeId src, unsigned pool_node, MsgClass cls);
+
+    /** Is far-memory pool node @p node reachable right now? */
+    bool poolPathUp(unsigned node) const;
 
     /** Inter-socket messages sent so far. */
     std::uint64_t interSocketMessages() const

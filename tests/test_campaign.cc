@@ -59,6 +59,82 @@ TEST(Campaign, DisturbScenarioNamesRoundTrip)
               schemes.end());
 }
 
+TEST(CampaignPool, PresetAndSchemeNamesAreStable)
+{
+    EXPECT_STREQ(campaignSchemeName(CampaignScheme::LocalChipkill),
+                 "local-chipkill");
+    EXPECT_STREQ(campaignSchemeName(CampaignScheme::TwoTier), "two-tier");
+    EXPECT_STREQ(fabricScenarioName(FabricScenario::PoolOffline),
+                 "pool-node-offline");
+    EXPECT_STREQ(fabricScenarioName(FabricScenario::Partition),
+                 "fabric-partition");
+
+    const auto schemes = poolSchemes();
+    EXPECT_EQ(schemes.size(), 4u);
+    EXPECT_NE(std::find(schemes.begin(), schemes.end(),
+                        CampaignScheme::TwoTier),
+              schemes.end());
+
+    CampaignConfig cfg = CampaignConfig::quickDefaults();
+    EXPECT_EQ(cfg.poolNodes, 0u);
+    applyPoolPreset(cfg);
+    EXPECT_GT(cfg.poolNodes, 0u);
+}
+
+TEST(CampaignPool, TwoTierZeroSdcWithHonestDueUnderPoolFaults)
+{
+    for (const auto scenario :
+         {FabricScenario::PoolOffline, FabricScenario::Partition}) {
+        CampaignConfig cfg = tinyCampaign();
+        cfg.scenario = scenario;
+        applyPoolPreset(cfg);
+        const CampaignRunner runner(cfg);
+
+        // Two-tier: weak local ECC detects, the pool replica recovers;
+        // lost pool copies demote to honest local service -- DUEs are
+        // possible (both tiers gone), silent corruption never is.
+        const auto two = runner.runScheme(CampaignScheme::TwoTier);
+        EXPECT_EQ(two.totals.sdc, 0u) << fabricScenarioName(scenario);
+        EXPECT_GT(two.totals.poolReplicaReads, 0u);
+
+        // Detection-only local ECC with no second tier pays in DUEs.
+        const auto detect =
+            runner.runScheme(CampaignScheme::BaselineDetect);
+        EXPECT_GT(detect.totals.due, 0u);
+        EXPECT_EQ(detect.totals.poolReplicaReads, 0u);
+
+        if (scenario == FabricScenario::PoolOffline) {
+            // Node loss heals back onto survivors.
+            EXPECT_GT(two.totals.poolRetargets, 0u);
+        } else {
+            // A partition leaves no reachable node: repairs defer, no
+            // retargets happen, and residency in degraded mode accrues.
+            EXPECT_EQ(two.totals.poolRetargets, 0u);
+            EXPECT_GT(two.totals.repairDeferrals, 0u);
+            EXPECT_GT(two.totals.degradedResidencyTicks, 0.0);
+        }
+    }
+}
+
+TEST(CampaignPool, PoolFreeReportHasNoPoolKeys)
+{
+    // A campaign without a pool tier must not grow pool JSON keys
+    // (pre-pool report consumers see byte-identical shapes).
+    CampaignConfig cfg = tinyCampaign();
+    cfg.trials = 2;
+    std::ostringstream plain;
+    writeJsonReport(
+        CampaignRunner(cfg).run({CampaignScheme::DveDeny}), plain);
+    EXPECT_EQ(plain.str().find("pool"), std::string::npos);
+
+    applyPoolPreset(cfg);
+    cfg.scenario = FabricScenario::PoolOffline;
+    std::ostringstream pooled;
+    writeJsonReport(
+        CampaignRunner(cfg).run({CampaignScheme::TwoTier}), pooled);
+    EXPECT_NE(pooled.str().find("pool_replica_reads"), std::string::npos);
+}
+
 TEST(Campaign, LatencySummaryOrderStatistics)
 {
     EXPECT_EQ(summarizeLatencies({}).count, 0u);

@@ -103,6 +103,47 @@ TEST(FabricSend, FenceClosesAfterProbeIntervalAndHeal)
         e.fabricSend({0, 0}, {1, 0}, MsgClass::Data, ok.at).delivered);
 }
 
+TEST(FabricSend, ProbeAtExactFenceDeadlineResumesWithoutRetries)
+{
+    // Boundary regression: the fence window is [fail.at, deadline) --
+    // a probe arriving at exactly deadline = fail.at + fenceProbeInterval
+    // is the first allowed attempt. When the link has healed it must
+    // deliver, close the breaker, and burn zero retry budget.
+    DveConfig d;
+    d.linkTimeout = 2 * ticksPerUs;
+    d.linkRetryMax = 2;
+    d.linkRetryBackoff = 1 * ticksPerUs;
+    d.fenceProbeInterval = 10 * ticksPerUs;
+    FabricProbe e(smallEngine(), d);
+    const auto id = injectLinkDown(e.faultRegistry(), 0, 1);
+
+    const auto fail = e.fabricSend({0, 0}, {1, 0}, MsgClass::Data, 0);
+    ASSERT_FALSE(fail.delivered);
+    const auto retries_after_ladder = e.linkRetries();
+
+    // One tick before the deadline the breaker still fails fast.
+    e.faultRegistry().clear(id);
+    const Tick deadline = fail.at + d.fenceProbeInterval;
+    const auto early =
+        e.fabricSend({0, 0}, {1, 0}, MsgClass::Data, deadline - 1);
+    EXPECT_FALSE(early.delivered);
+    EXPECT_EQ(early.at, deadline - 1); // fast-fail: no ladder run
+    EXPECT_EQ(e.linkRetries(), retries_after_ladder);
+
+    // Exactly at the deadline the probe goes through first try.
+    const auto ok =
+        e.fabricSend({0, 0}, {1, 0}, MsgClass::Data, deadline);
+    EXPECT_TRUE(ok.delivered);
+    EXPECT_EQ(e.linkRetries(), retries_after_ladder);
+
+    // And the fence is erased, not merely slid: an immediate follow-up
+    // send succeeds at ordinary latency.
+    const auto next =
+        e.fabricSend({0, 0}, {1, 0}, MsgClass::Data, ok.at);
+    EXPECT_TRUE(next.delivered);
+    EXPECT_EQ(e.linkRetries(), retries_after_ladder);
+}
+
 TEST(FabricSend, SameSocketTrafficIgnoresFabricFaults)
 {
     FabricProbe e(smallEngine(), DveConfig{});

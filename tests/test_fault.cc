@@ -583,5 +583,98 @@ TEST(FaultRegistry, RowDisturbBoundsChecked)
     EXPECT_EQ(reg.inject(bad), 0u);
 }
 
+TEST(ParseFaultSpec, UnknownScopeListsEveryValidName)
+{
+    // Pinned diagnostic: an unknown scope must enumerate every valid
+    // scope name -- including the appended pool scopes -- so a typo'd
+    // campaign flag tells the operator exactly what the CLI accepts.
+    std::string err;
+    EXPECT_FALSE(parseFaultSpec("scope=warp-core", &err));
+    EXPECT_EQ(err,
+              "unknown fault scope 'warp-core' (valid: cell, row, "
+              "column, bank, chip, channel, controller, link-down, "
+              "link-lossy, socket-offline, row-disturb, "
+              "pool-node-offline or fabric-partition)");
+}
+
+TEST(ParseFaultSpec, PoolScopesParseFormatAndNormalize)
+{
+    // Shorthand: "pool:N" names the pool node in the socket field.
+    const auto pool = parseFaultSpec("pool:2");
+    ASSERT_TRUE(pool);
+    EXPECT_EQ(pool->scope, FaultScope::PoolNodeOffline);
+    EXPECT_EQ(pool->socket, 2u);
+
+    // Bare "partition" shorthand, with and without extra keys.
+    const auto part = parseFaultSpec("partition");
+    ASSERT_TRUE(part);
+    EXPECT_EQ(part->scope, FaultScope::FabricPartition);
+    const auto part_t = parseFaultSpec("partition,transient=1");
+    ASSERT_TRUE(part_t);
+    EXPECT_TRUE(part_t->transient);
+
+    // Key=value forms round-trip through formatFaultSpec.
+    for (const char *spec :
+         {"scope=pool-node-offline,socket=1", "scope=fabric-partition"}) {
+        const auto f = parseFaultSpec(spec);
+        ASSERT_TRUE(f) << spec;
+        const auto back = parseFaultSpec(formatFaultSpec(*f));
+        ASSERT_TRUE(back) << formatFaultSpec(*f);
+        EXPECT_EQ(back->scope, f->scope) << spec;
+        EXPECT_EQ(back->socket, f->socket) << spec;
+    }
+
+    // Normalization: partition ignores every coordinate; node-offline
+    // keeps only the node id.
+    FaultDescriptor d;
+    d.scope = FaultScope::FabricPartition;
+    d.socket = 3;
+    d.peer = 1;
+    d.chip = 4;
+    const auto n = FaultRegistry::normalized(d);
+    EXPECT_EQ(n.socket, 0u);
+    EXPECT_EQ(n.peer, 0u);
+    EXPECT_EQ(n.chip, 0u);
+    FaultDescriptor p;
+    p.scope = FaultScope::PoolNodeOffline;
+    p.socket = 2;
+    p.peer = 7;
+    const auto np = FaultRegistry::normalized(p);
+    EXPECT_EQ(np.socket, 2u);
+    EXPECT_EQ(np.peer, 0u);
+}
+
+TEST(FaultRegistry, PoolScopeQueriesAndGeometry)
+{
+    FaultRegistry reg;
+    // Pool-node ids live outside the DRAM geometry: a 2-socket geometry
+    // must not reject node 5.
+    reg.setGeometry(
+        FaultGeometry::from(2, 2, 19, DramConfig::ddr4Baseline()));
+
+    EXPECT_FALSE(reg.poolNodeOffline(0));
+    EXPECT_FALSE(reg.fabricPartition());
+
+    FaultDescriptor off;
+    off.scope = FaultScope::PoolNodeOffline;
+    off.socket = 5;
+    const auto id = reg.inject(off);
+    ASSERT_NE(id, 0u);
+    EXPECT_TRUE(reg.poolNodeOffline(5));
+    EXPECT_FALSE(reg.poolNodeOffline(4));
+    EXPECT_FALSE(reg.fabricPartition());
+
+    FaultDescriptor part;
+    part.scope = FaultScope::FabricPartition;
+    const auto pid = reg.inject(part);
+    ASSERT_NE(pid, 0u);
+    EXPECT_TRUE(reg.fabricPartition());
+
+    EXPECT_TRUE(reg.clear(id));
+    EXPECT_FALSE(reg.poolNodeOffline(5));
+    EXPECT_TRUE(reg.clear(pid));
+    EXPECT_FALSE(reg.fabricPartition());
+}
+
 } // namespace
 } // namespace dve

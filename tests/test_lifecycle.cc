@@ -154,6 +154,55 @@ TEST(Lifecycle, CoordinatesRespectGeometry)
     }
 }
 
+TEST(LifecyclePool, PoolScopeArrivalsStayInsideThePool)
+{
+    LifecycleConfig cfg = pressureCfg();
+    cfg.poolNodes = 3;
+    cfg.rates = {};
+    cfg.rates[unsigned(FaultScope::PoolNodeOffline)].fit = 40.0;
+    cfg.rates[unsigned(FaultScope::FabricPartition)].fit = 40.0;
+    FaultRegistry reg;
+    FaultLifecycleEngine e(cfg, reg);
+    e.advanceTo(20 * ticksPerMs);
+
+    std::uint64_t offline = 0, partition = 0;
+    for (const auto &ev : e.log()) {
+        if (ev.type != FaultLifecycleEngine::Event::Type::Arrive)
+            continue;
+        if (ev.scope == FaultScope::PoolNodeOffline)
+            ++offline;
+        else if (ev.scope == FaultScope::FabricPartition)
+            ++partition;
+        else
+            ADD_FAILURE() << faultScopeName(ev.scope);
+    }
+    ASSERT_GT(offline, 0u);
+    ASSERT_GT(partition, 0u);
+    // Node ids drawn inside [0, poolNodes); partitions are global.
+    for (const auto &f : reg.active()) {
+        if (f.scope == FaultScope::PoolNodeOffline)
+            EXPECT_LT(f.socket, cfg.poolNodes);
+        else
+            EXPECT_EQ(f.socket, 0u);
+    }
+}
+
+TEST(LifecyclePool, NoPoolMeansPoolRatesAreInert)
+{
+    // Pool-scope rates configured but poolNodes == 0: arrivals are
+    // dropped before injection, so the registry and stats stay silent
+    // (a non-pool campaign can share a rate table with a pool one).
+    LifecycleConfig cfg = pressureCfg();
+    cfg.rates = {};
+    cfg.rates[unsigned(FaultScope::PoolNodeOffline)].fit = 40.0;
+    cfg.rates[unsigned(FaultScope::FabricPartition)].fit = 40.0;
+    FaultRegistry reg;
+    FaultLifecycleEngine e(cfg, reg);
+    e.advanceTo(20 * ticksPerMs);
+    EXPECT_EQ(reg.activeCount(), 0u);
+    EXPECT_EQ(e.stats().arrivals, 0u);
+}
+
 TEST(Lifecycle, EventTimesAreMonotonic)
 {
     const LifecycleConfig cfg = pressureCfg();

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Far-memory pool tier tests: deterministic replica placement
+ * (PoolRemap), the two-tier degradation ladder (pool-node loss demotes
+ * to local-ECC-only service, heal-back re-replicates onto a surviving
+ * node), honest DUE accounting when the home copy fails too, and the
+ * no-pool byte-identity gate (zero pool nodes emits zero pool stats).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/dve_engine.hh"
+#include "mem/pool_remap.hh"
+
+namespace dve
+{
+namespace
+{
+
+EngineConfig
+smallEngine()
+{
+    EngineConfig cfg;
+    cfg.llcBytes = 1024 * 1024;
+    cfg.dram = DramConfig::ddr4Replicated();
+    cfg.scheme = Scheme::ChipkillSscDsd;
+    return cfg;
+}
+
+DveConfig
+poolConfig(unsigned nodes)
+{
+    DveConfig d;
+    d.poolNodes = nodes;
+    return d;
+}
+
+/** Push the cached line out so the next access hits DRAM again. */
+void
+flushLine(DveEngine &e, Addr addr, Tick &clock)
+{
+    const auto w =
+        e.access(1, 0, addr, true, e.logicalValue(lineNum(addr)), clock);
+    clock = w.done;
+    for (unsigned i = 1; i <= 40; ++i) {
+        const Addr a = addr + Addr(i) * 16384 * 64;
+        if (lineNum(a) % 256 != lineNum(addr) % 256)
+            continue;
+        clock = e.access(1, 0, a, false, 0, clock).done;
+    }
+}
+
+std::uint64_t
+injectPoolOffline(FaultRegistry &reg, unsigned node)
+{
+    FaultDescriptor f;
+    f.scope = FaultScope::PoolNodeOffline;
+    f.socket = node;
+    return reg.inject(f);
+}
+
+TEST(PoolRemap, SpreadIsAPureFunctionOfThePage)
+{
+    PoolRemap a(3), b(3);
+    for (Addr page = 0; page < 512; ++page) {
+        EXPECT_EQ(a.spreadNodeFor(page), b.spreadNodeFor(page));
+        EXPECT_EQ(a.nodeFor(page), a.spreadNodeFor(page));
+        EXPECT_LT(a.nodeFor(page), 3u);
+    }
+    // The hash spread actually uses every node (one node lost must not
+    // take out all replicas).
+    std::vector<unsigned> hits(3, 0);
+    for (Addr page = 0; page < 512; ++page)
+        ++hits[a.nodeFor(page)];
+    for (unsigned n = 0; n < 3; ++n)
+        EXPECT_GT(hits[n], 0u) << "node " << n << " never used";
+}
+
+TEST(PoolRemap, RetargetMovesToFirstReachableNodeDeterministically)
+{
+    PoolRemap r(4);
+    const Addr page = 7;
+    const unsigned cur = r.nodeFor(page);
+
+    // Scan order is (cur+1, cur+2, ...) mod nodes: with only cur+2 up,
+    // the page lands there.
+    const unsigned expect = (cur + 2) % 4;
+    const auto moved =
+        r.retarget(page, [&](unsigned n) { return n == expect; });
+    ASSERT_TRUE(moved.has_value());
+    EXPECT_EQ(*moved, expect);
+    EXPECT_EQ(r.nodeFor(page), expect);
+    EXPECT_EQ(r.overrides(), 1u);
+
+    // No node up: the page stays put and no override is installed.
+    PoolRemap dead(4);
+    EXPECT_FALSE(
+        dead.retarget(page, [](unsigned) { return false; }).has_value());
+    EXPECT_EQ(dead.nodeFor(page), dead.spreadNodeFor(page));
+    EXPECT_EQ(dead.overrides(), 0u);
+
+    // Clearing the override returns to the default spread.
+    r.clearOverride(page);
+    EXPECT_EQ(r.nodeFor(page), cur);
+}
+
+TEST(PoolRemap, PlacementIsIndependentOfRetargetOrder)
+{
+    // Iteration-order independence: retargeting a set of distinct pages
+    // must yield the same final placement regardless of the order the
+    // overrides were installed (the engine's repair queue drains in
+    // arbitrary churn order).
+    std::vector<Addr> pages;
+    for (Addr p = 0; p < 64; ++p)
+        pages.push_back(p * 3 + 1);
+
+    PoolRemap fwd(5), rev(5);
+    const auto up = [](unsigned n) { return n != 2; }; // node 2 down
+    for (const Addr p : pages)
+        fwd.retarget(p, up);
+    std::vector<Addr> reversed(pages.rbegin(), pages.rend());
+    for (const Addr p : reversed)
+        rev.retarget(p, up);
+
+    for (const Addr p : pages) {
+        EXPECT_EQ(fwd.nodeFor(p), rev.nodeFor(p)) << "page " << p;
+        EXPECT_NE(fwd.nodeFor(p), 2u);
+    }
+    EXPECT_EQ(fwd.overrides(), rev.overrides());
+}
+
+TEST(FarMemory, ReplicaTrafficLandsOnThePool)
+{
+    DveEngine e(smallEngine(), poolConfig(3));
+    ASSERT_TRUE(e.poolActive());
+
+    const Addr addr = 0;
+    Tick clock = 0;
+    clock = e.access(0, 0, addr, true, 42, clock).done;
+    flushLine(e, addr, clock);
+
+    // Replica-side reads are served from the far-memory node, counted
+    // separately from socket-local replica reads.
+    const auto r = e.access(1, 0, addr, false, 0, clock);
+    EXPECT_EQ(r.value, 42u);
+    EXPECT_EQ(r.outcome, ReadOutcome::Clean);
+    EXPECT_GT(e.poolReplicaReads(), 0u);
+    EXPECT_GT(e.poolReplicaWrites(), 0u);
+}
+
+TEST(FarMemory, NodeLossDemotesThenHealsBackToSurvivingNode)
+{
+    DveEngine e(smallEngine(), poolConfig(3));
+    const Addr addr = 0;
+    Tick clock = 0;
+    clock = e.access(0, 0, addr, true, 42, clock).done;
+    flushLine(e, addr, clock);
+
+    const unsigned node = e.poolNodeOf(lineNum(addr));
+    injectPoolOffline(e.faultRegistry(), node);
+
+    // Demote: the replica-side read finds the pool path dead, fences the
+    // line to local-ECC-only service and answers from the home copy --
+    // clean data, no machine check, no silent corruption.
+    const auto r1 = e.access(1, 0, addr, false, 0, clock);
+    clock = r1.done;
+    EXPECT_EQ(r1.value, 42u);
+    EXPECT_EQ(r1.outcome, ReadOutcome::Clean);
+    EXPECT_EQ(e.degradedLines(), 1u);
+    EXPECT_EQ(e.machineCheckExceptions(), 0u);
+
+    // Heal-back: after the repair backoff the maintenance pass moves the
+    // page onto a surviving node and re-replicates it from home.
+    clock += 10 * ticksPerUs;
+    clock = e.runMaintenance(clock).finishedAt;
+    EXPECT_EQ(e.degradedLines(), 0u);
+    EXPECT_EQ(e.poolRetargets(), 1u);
+    EXPECT_GT(e.reReplications(), 0u);
+    const unsigned moved = e.poolNodeOf(lineNum(addr));
+    EXPECT_NE(moved, node);
+
+    // And the replica path serves again from the new node.
+    const auto r2 = e.access(1, 0, addr, false, 0, clock);
+    EXPECT_EQ(r2.value, 42u);
+    EXPECT_EQ(r2.outcome, ReadOutcome::Clean);
+}
+
+TEST(FarMemory, PartitionDefersRepairThenReReplicatesInPlace)
+{
+    DveEngine e(smallEngine(), poolConfig(3));
+    const Addr addr = 0;
+    Tick clock = 0;
+    clock = e.access(0, 0, addr, true, 7, clock).done;
+    flushLine(e, addr, clock);
+
+    FaultDescriptor part;
+    part.scope = FaultScope::FabricPartition;
+    const auto pid = e.faultRegistry().inject(part);
+    ASSERT_NE(pid, 0u);
+
+    const auto r1 = e.access(1, 0, addr, false, 0, clock);
+    clock = r1.done;
+    EXPECT_EQ(r1.value, 7u);
+    EXPECT_EQ(r1.outcome, ReadOutcome::Clean);
+    EXPECT_EQ(e.degradedLines(), 1u);
+
+    // Under a full partition there is no surviving node to heal onto:
+    // the repair defers without consuming a retry or retiring a frame.
+    clock += 10 * ticksPerUs;
+    clock = e.runMaintenance(clock).finishedAt;
+    EXPECT_GT(e.repairDeferrals(), 0u);
+    EXPECT_EQ(e.degradedLines(), 1u);
+    EXPECT_EQ(e.poolRetargets(), 0u);
+    EXPECT_EQ(e.retiredPages(), 0u);
+
+    // The fabric heals: the deferred repair re-replicates in place (no
+    // retarget needed -- the node itself never died).
+    e.faultRegistry().clear(pid);
+    clock += 10 * ticksPerUs;
+    clock = e.runMaintenance(clock).finishedAt;
+    EXPECT_EQ(e.degradedLines(), 0u);
+    EXPECT_EQ(e.poolRetargets(), 0u);
+    EXPECT_GT(e.reReplications(), 0u);
+
+    const auto r2 = e.access(1, 0, addr, false, 0, clock);
+    EXPECT_EQ(r2.value, 7u);
+    EXPECT_EQ(r2.outcome, ReadOutcome::Clean);
+}
+
+TEST(FarMemory, HonestDueWhenHomeFailsWhileDemoted)
+{
+    DveEngine e(smallEngine(), poolConfig(3));
+    const Addr addr = 0;
+    Tick clock = 0;
+    clock = e.access(0, 0, addr, true, 9, clock).done;
+    flushLine(e, addr, clock);
+
+    // Lose the pool node: the line demotes to home-copy-only service.
+    injectPoolOffline(e.faultRegistry(), e.poolNodeOf(lineNum(addr)));
+    clock = e.access(1, 0, addr, false, 0, clock).done;
+    ASSERT_EQ(e.degradedLines(), 1u);
+    flushLine(e, addr, clock);
+
+    // Now the home controller fails too: both copies are gone. The read
+    // must raise a machine check -- honest data loss, never silence.
+    FaultDescriptor mc;
+    mc.scope = FaultScope::Controller;
+    mc.socket = 0;
+    e.faultRegistry().inject(mc);
+    const auto r = e.access(1, 0, addr, false, 0, clock);
+    EXPECT_EQ(r.outcome, ReadOutcome::Due);
+    EXPECT_GT(e.machineCheckExceptions(), 0u);
+}
+
+TEST(FarMemory, NoPoolMeansNoPoolStats)
+{
+    // The byte-identity gate: with zero pool nodes the engine must not
+    // register any pool stat (pre-pool stat dumps stay byte-identical).
+    DveEngine off(smallEngine(), DveConfig{});
+    EXPECT_FALSE(off.poolActive());
+    std::ostringstream so;
+    off.dumpStats(so);
+    EXPECT_EQ(so.str().find("pool"), std::string::npos);
+
+    DveEngine on(smallEngine(), poolConfig(2));
+    std::ostringstream son;
+    on.dumpStats(son);
+    EXPECT_NE(son.str().find("pool_replica_reads"), std::string::npos);
+}
+
+} // namespace
+} // namespace dve

@@ -172,5 +172,64 @@ TEST(ReplicaDirectory, StateNames)
     EXPECT_STREQ(repStateName(RepState::M), "M");
 }
 
+TEST(ReplicaDirectory, BackingSurvivesRetireReReplicateChurn)
+{
+    // Frame retirement removes a page's line entries and re-replication
+    // re-installs the same keys; the backing FlatMap's backshift erase
+    // must not orphan or corrupt neighbouring entries across that churn.
+    constexpr unsigned kPages = 16;
+    constexpr unsigned kLinesPerPage = 64;
+    const auto key = [](unsigned page, unsigned line) {
+        return Addr(page) * kLinesPerPage + line;
+    };
+
+    ReplicaDirectory rd(1, 8, false); // tiny on-chip: exercise backing
+    for (unsigned round = 0; round < 3; ++round) {
+        for (unsigned p = 0; p < kPages; ++p)
+            for (unsigned l = 0; l < kLinesPerPage; ++l)
+                rd.install(key(p, l), {RepState::RM, int(round % 2)});
+        ASSERT_EQ(rd.backingEntries(), std::size_t(kPages) * kLinesPerPage);
+
+        // Retire alternating pages (remove their lines one by one, in
+        // the hash-bucket-hostile low-to-high key order).
+        for (unsigned p = 0; p < kPages; p += 2)
+            for (unsigned l = 0; l < kLinesPerPage; ++l)
+                rd.remove(key(p, l));
+        ASSERT_EQ(rd.backingEntries(),
+                  std::size_t(kPages) / 2 * kLinesPerPage);
+
+        // Every survivor is intact, every removed key is really gone.
+        for (unsigned p = 0; p < kPages; ++p) {
+            for (unsigned l = 0; l < kLinesPerPage; ++l) {
+                const auto e = rd.peekBacking(key(p, l));
+                if (p % 2 == 0) {
+                    EXPECT_FALSE(e.has_value()) << "page " << p;
+                } else {
+                    ASSERT_TRUE(e.has_value()) << "page " << p;
+                    EXPECT_EQ(e->state, RepState::RM);
+                    EXPECT_EQ(e->owner, int(round % 2));
+                }
+            }
+        }
+
+        // Re-replicate: the same page keys come back with a new owner.
+        for (unsigned p = 0; p < kPages; p += 2)
+            for (unsigned l = 0; l < kLinesPerPage; ++l)
+                rd.install(key(p, l), {RepState::RM, 1 - int(round % 2)});
+        ASSERT_EQ(rd.backingEntries(), std::size_t(kPages) * kLinesPerPage);
+        for (unsigned p = 0; p < kPages; p += 2) {
+            const auto e = rd.peekBacking(key(p, 0));
+            ASSERT_TRUE(e.has_value());
+            EXPECT_EQ(e->owner, 1 - int(round % 2));
+        }
+
+        // Full drain for the next round starts from a clean directory.
+        for (unsigned p = 0; p < kPages; ++p)
+            for (unsigned l = 0; l < kLinesPerPage; ++l)
+                rd.remove(key(p, l));
+        ASSERT_EQ(rd.backingEntries(), 0u);
+    }
+}
+
 } // namespace
 } // namespace dve
