@@ -92,15 +92,20 @@ main(int argc, char **argv)
             }
             const auto sc = parseFabricScenario(argv[++i]);
             std::optional<DisturbScenario> dsc;
+            std::optional<PolicyScenario> psc;
             if (!sc)
                 dsc = parseDisturbScenario(argv[i]);
-            if (!sc && !dsc) {
+            if (!sc && !dsc)
+                psc = parsePolicyScenario(argv[i]);
+            if (!sc && !dsc && !psc) {
                 std::fprintf(stderr,
                              "unknown scenario '%s' (expected none, "
                              "link-flap, lossy-link, socket-offline, "
                              "pool-node-offline, fabric-partition, "
-                             "hammer-single, hammer-manysided or "
-                             "hammer-under-refresh-pressure)\n",
+                             "hammer-single, hammer-manysided, "
+                             "hammer-under-refresh-pressure, "
+                             "policy-diurnal, policy-flash-crowd or "
+                             "policy-budget-squeeze)\n",
                              argv[i]);
                 return 1;
             }
@@ -110,8 +115,10 @@ main(int argc, char **argv)
                     || *sc == FabricScenario::Partition) {
                     applyPoolPreset(cfg);
                 }
-            } else {
+            } else if (dsc) {
                 applyDisturbPreset(cfg, *dsc);
+            } else {
+                applyPolicyPreset(cfg, *psc);
             }
         } else if (std::strcmp(argv[i], "--json") == 0) {
             if (i + 1 >= argc) {
@@ -190,9 +197,11 @@ main(int argc, char **argv)
 
     const bool hammer = cfg.disturb != DisturbScenario::None;
     const bool pool = cfg.poolNodes > 0;
+    const bool policy = cfg.policyScenario != PolicyScenario::None;
     const std::vector<CampaignScheme> schemes =
         hammer ? disturbSchemes()
         : pool ? poolSchemes()
+        : policy ? policySchemes()
                : std::vector<CampaignScheme>{
                      CampaignScheme::BaselineNone,
                      CampaignScheme::BaselineSecDed,
@@ -222,7 +231,8 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(cfg.opsPerTrial),
                     static_cast<unsigned long long>(cfg.seed),
                     hammer ? disturbScenarioName(cfg.disturb)
-                           : fabricScenarioName(cfg.scenario),
+                    : policy ? policyScenarioName(cfg.policyScenario)
+                             : fabricScenarioName(cfg.scenario),
                     cfg.jobs ? cfg.jobs : jobsFromEnv());
         if (hammer) {
             std::printf("%-20s %10s %10s %10s %10s %9s %9s %8s\n",
@@ -244,6 +254,28 @@ main(int argc, char **argv)
                                 t.preventiveRefreshes),
                             static_cast<unsigned long long>(
                                 t.disturbRetirements));
+            }
+        } else if (policy) {
+            std::printf("%-20s %8s %8s %8s %9s %9s %9s %9s\n",
+                        "scheme", "due", "sdc", "epochs", "promoted",
+                        "demoted", "deferred", "demo-wb");
+            for (const auto &sr : report.schemes) {
+                const auto &t = sr.totals;
+                std::printf("%-20s %8llu %8llu %8llu %9llu %9llu %9llu "
+                            "%9llu\n",
+                            campaignSchemeName(sr.scheme),
+                            static_cast<unsigned long long>(t.due),
+                            static_cast<unsigned long long>(t.sdc),
+                            static_cast<unsigned long long>(
+                                t.policyEpochs),
+                            static_cast<unsigned long long>(
+                                t.policyPromotions),
+                            static_cast<unsigned long long>(
+                                t.policyDemotions),
+                            static_cast<unsigned long long>(
+                                t.policyDemotionsDeferred),
+                            static_cast<unsigned long long>(
+                                t.policyDemotionWritebacks));
             }
         } else if (pool) {
             std::printf("%-20s %10s %10s %10s %10s %9s %9s %8s\n",

@@ -6,8 +6,9 @@
  *
  * Usage:
  *   fuzz_campaign [--scenarios N] [--seed S] [--ops N] [--jobs N]
- *                 [--bug NAME] [--hammer] [--pool] [--json FILE]
- *                 [--repro-dir DIR] [--skip-protocol-checks] [--quiet]
+ *                 [--bug NAME] [--hammer] [--pool] [--policy]
+ *                 [--json FILE] [--repro-dir DIR]
+ *                 [--skip-protocol-checks] [--quiet]
  *
  * Scenario i rotates the protocol family (allow/deny/dynamic by i % 3)
  * and derives its generator seed only from (--seed, i), so the campaign
@@ -31,6 +32,14 @@
  * chaos mix becomes pool-scale episodes (pool-node-offline /
  * fabric-partition), so the monitors exercise the two-tier degradation
  * ladder and heal-back path.
+ *
+ * --policy switches every scenario to the generator's replication-policy
+ * mode: the engine starts with nothing replicated and a finite replica
+ * budget, the conflict set marches across the footprint phase by phase,
+ * and `step b` budget retunes land at each phase boundary -- so the
+ * monitors hold while the policy engine promotes and demotes pages
+ * mid-stream. Composes with --pool (replicas live on pool nodes under a
+ * per-node cap).
  *
  * Failing scenarios are delta-debugged to locally-minimal repros and
  * written to --repro-dir as fuzz_repro_<i>.scn with an `expect` header,
@@ -86,7 +95,7 @@ struct ScenarioOutcome
 GeneratorConfig
 scenarioConfig(std::uint64_t base_seed, std::size_t index,
                std::uint64_t ops, const GeneratorConfig &bugs,
-               bool hammer, bool pool)
+               bool hammer, bool pool, bool policy)
 {
     GeneratorConfig gc;
     // Same derivation family as the reliability campaign: streams depend
@@ -108,6 +117,15 @@ scenarioConfig(std::uint64_t base_seed, std::size_t index,
     }
     if (pool)
         gc.poolMode = true;
+    if (policy) {
+        gc.policyMode = true;
+        // A 16-page footprint gives the phase window 4 pages against a
+        // 4-page budget, so every phase shift forces real demotions.
+        if (gc.footprintPages < 16)
+            gc.footprintPages = 16;
+        if (pool)
+            gc.policyNodeBudget = 2;
+    }
     return gc;
 }
 
@@ -124,6 +142,7 @@ main(int argc, char **argv)
     bool bug_armed = false;
     bool hammer = false;
     bool pool = false;
+    bool policy = false;
     const char *json_path = nullptr;
     const char *repro_dir = nullptr;
     bool protocol_checks = true;
@@ -166,6 +185,8 @@ main(int argc, char **argv)
             hammer = true;
         } else if (std::strcmp(argv[i], "--pool") == 0) {
             pool = true;
+        } else if (std::strcmp(argv[i], "--policy") == 0) {
+            policy = true;
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
         } else if (std::strcmp(argv[i], "--repro-dir") == 0
@@ -188,8 +209,8 @@ main(int argc, char **argv)
     const auto results = parallelMap(
         static_cast<std::size_t>(scenarios),
         [&](std::size_t i) {
-            const GeneratorConfig gc =
-                scenarioConfig(base_seed, i, ops, bugs, hammer, pool);
+            const GeneratorConfig gc = scenarioConfig(
+                base_seed, i, ops, bugs, hammer, pool, policy);
             const FuzzScenario sc = generateScenario(gc);
             FuzzRunOptions opt; // checks on, stop at first violation
             const FuzzRunResult r = runScenario(sc, opt);
@@ -285,6 +306,8 @@ main(int argc, char **argv)
         json << ",\n\"hammer\": true";
     if (pool)
         json << ",\n\"pool\": true";
+    if (policy)
+        json << ",\n\"policy\": true";
     json << ",\n\"violated\": " << violated
          << ",\n\"violations_by_monitor\": {";
     bool firstMon = true;
@@ -344,13 +367,14 @@ main(int argc, char **argv)
 
     if (!quiet) {
         std::printf("Fuzz campaign: %llu scenarios x %llu ops, seed "
-                    "%llu%s%s%s\n",
+                    "%llu%s%s%s%s\n",
                     static_cast<unsigned long long>(scenarios),
                     static_cast<unsigned long long>(ops),
                     static_cast<unsigned long long>(base_seed),
                     bug_armed ? " (seeded bug armed)" : "",
                     hammer ? " (hammer mode)" : "",
-                    pool ? " (pool mode)" : "");
+                    pool ? " (pool mode)" : "",
+                    policy ? " (policy mode)" : "");
         std::printf("violations: %llu/%llu\n",
                     static_cast<unsigned long long>(violated),
                     static_cast<unsigned long long>(scenarios));

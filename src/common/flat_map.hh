@@ -29,8 +29,11 @@
 #define DVE_COMMON_FLAT_MAP_HH
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
 #include <type_traits>
 #include <vector>
 
@@ -100,12 +103,16 @@ class FlatMap
         friend bool
         operator==(const Iter &a, const Iter &b)
         {
-            return a.i_ == b.i_;
+            // The map pointer matters: end() of one map must not
+            // compare equal to a slot of a different same-capacity
+            // map, and a default-constructed iterator is equal only
+            // to another default-constructed one.
+            return a.m_ == b.m_ && a.i_ == b.i_;
         }
         friend bool
         operator!=(const Iter &a, const Iter &b)
         {
-            return a.i_ != b.i_;
+            return !(a == b);
         }
 
       private:
@@ -132,8 +139,15 @@ class FlatMap
     void
     reserve(std::size_t n)
     {
+        if (n == 0)
+            return; // an intentionally-empty map stays unallocated
+        // A table for anything near SIZE_MAX entries cannot exist
+        // (each slot is at least two bytes), and the doubling loop
+        // below would wrap around and spin forever; fail loudly.
+        if (n > std::numeric_limits<std::size_t>::max() / 8)
+            throw std::length_error("FlatMap::reserve: n too large");
         std::size_t want = 16;
-        while (want * 3 < n * 4) // keep load factor under 3/4
+        while (want / 4 * 3 < n) // keep load factor under 3/4
             want *= 2;
         if (want > capacity())
             rehash(want);
@@ -175,8 +189,16 @@ class FlatMap
         return true;
     }
 
-    /** Erase by iterator (from find); invalidates iterators. */
-    void erase(iterator it) { eraseSlot(it.i_); }
+    /** Erase by iterator (from find); invalidates iterators.
+     *  Erasing end() (or any past-the-end iterator) is a no-op. */
+    void
+    erase(iterator it)
+    {
+        assert(it.m_ == this && "iterator from a different FlatMap");
+        if (it.i_ >= capacity())
+            return;
+        eraseSlot(it.i_);
+    }
 
   private:
     std::size_t

@@ -75,6 +75,24 @@ DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
     dveStats_.add("dynamic_switches", dynamicSwitches_);
     dveStats_.add("retry_wait", retryWait_);
     dveStats_.add("repair_sojourn", repairSojourn_);
+
+    if (dcfg_.policy.enabled) {
+        dve_assert(!dcfg_.replicateAll,
+                   "on-demand policy needs the RMT path (replicateAll "
+                   "covers every page; there is nothing to promote)");
+        policy_ = std::make_unique<ReplicationPolicy>(dcfg_.policy);
+        // Registered only when armed: a disarmed engine's stat
+        // snapshots -- and therefore every JSON report -- stay
+        // byte-identical to a build without the policy.
+        dveStats_.add("policy_epochs", policyEpochs_);
+        dveStats_.add("policy_promotions", policyPromotions_);
+        dveStats_.add("policy_demotions", policyDemotions_);
+        dveStats_.add("policy_demotions_deferred", policyDemotionsDeferred_);
+        dveStats_.add("policy_demotion_writebacks",
+                      policyDemotionWritebacks_);
+        dveStats_.add("policy_promotion_lag", policyPromotionLag_);
+        dveStats_.add("policy_demotion_wb_wait", policyDemotionWbWait_);
+    }
 }
 
 DveEngine::FabricOutcome
@@ -566,19 +584,50 @@ DveEngine::runMaintenance(Tick now)
 {
     MaintenanceReport rep;
     rep.finishedAt = now;
-    if (!dcfg_.selfHeal || repairQueue_.empty())
+    if ((!dcfg_.selfHeal || repairQueue_.empty()) &&
+        (!policy_ || promotePending_.empty()))
         return rep;
 
     Tick t = now;
     // One pass over the tasks present at entry; retries requeued by this
     // pass wait for the next maintenance window.
-    const std::size_t n = repairQueue_.size();
+    const std::size_t n = dcfg_.selfHeal ? repairQueue_.size() : 0;
     for (std::size_t i = 0; i < n; ++i) {
         const RepairTask task = repairQueue_.front();
         repairQueue_.pop_front();
         runRepairTask(task, now, t, rep);
     }
     rep.finishedAt = t;
+
+    // Policy promotions seed their replica through the repair pipeline
+    // above; a promotion completes once no line of its page is still
+    // replica-degraded. Checked here (sorted, so the record order is
+    // layout-independent) and scored as decision-to-healed lag.
+    if (policy_ && !promotePending_.empty()) {
+        std::vector<std::pair<Addr, Tick>> pending;
+        pending.reserve(promotePending_.size());
+        for (const auto &[page, started] : promotePending_)
+            pending.emplace_back(page, started);
+        std::sort(pending.begin(), pending.end());
+        for (const auto &[page, started] : pending) {
+            const unsigned h = homeSocket(page << (pageShift - lineShift));
+            if (!rmap_.replicaSocket(page << (pageShift - lineShift), h)) {
+                // Demoted (or unplugged) before it finished healing:
+                // the promotion never completed; drop it unscored.
+                promotePending_.erase(page);
+                continue;
+            }
+            const Addr first = page << (pageShift - lineShift);
+            const Addr last = first + pageBytes / lineBytes;
+            bool healing = false;
+            for (Addr line = first; line < last && !healing; ++line)
+                healing = degradedReplica_.count(line) > 0;
+            if (healing)
+                continue;
+            policyPromotionLag_.record(t > started ? t - started : 0);
+            promotePending_.erase(page);
+        }
+    }
     return rep;
 }
 
@@ -1380,6 +1429,14 @@ CoherenceEngine::MissResult
 DveEngine::serviceLlcMiss(unsigned socket, Addr line, bool is_write,
                           Tick t_slice)
 {
+    if (policy_) {
+        // The policy hook runs before the home/replica routing below:
+        // an epoch boundary here can promote or demote this very page,
+        // and demotion writebacks are foreground work the triggering
+        // access waits out (the storm lands in the latency histogram).
+        t_slice = policyTick(line, t_slice);
+    }
+
     const unsigned h = homeSocket(line);
     const auto rs = rmap_.replicaSocket(line, h);
 
@@ -1600,6 +1657,207 @@ DveEngine::disableReplication(Addr page)
     }
     frameRemap_[replicaMemIndex(*rs, first)].erase(page);
     rmap_.unmapPage(page);
+}
+
+// ---- On-demand replication policy --------------------------------------
+
+void
+DveEngine::setPolicyGlobalBudget(std::size_t pages)
+{
+    if (policy_)
+        policy_->setGlobalBudget(pages);
+}
+
+unsigned
+DveEngine::policyNodeFor(Addr page) const
+{
+    // Budget accounting node: the pool node the replica occupies (pool
+    // tier), else the replica socket the fixed placement would pick.
+    if (poolActive())
+        return poolRemap_->nodeFor(page);
+    const unsigned h = homeSocket(page << (pageShift - lineShift));
+    return (h + 1) % cfg_.sockets;
+}
+
+Tick
+DveEngine::policyTick(Addr line, Tick now)
+{
+    const Addr page = line >> (pageShift - lineShift);
+    if (!policy_->observe(page))
+        return now;
+
+    ++policyEpochs_;
+    Tick t = now;
+    const ReplicationPolicy::NodeOf nodeOf = [this](Addr p) {
+        return policyNodeFor(p);
+    };
+    const auto batch = policy_->evaluate(nodeOf);
+
+    // Demotions first so their freed budget is visible to this epoch's
+    // promotions. A deferred demotion (degraded lines in flight) keeps
+    // its page in the policy's replicated set and retries next epoch.
+    for (const Addr p : batch.demote) {
+        if (demotePage(p, t))
+            policy_->noteDemoted(p);
+    }
+    for (const Addr p : batch.promote) {
+        // Re-checked per page: deferred demotions above mean the
+        // accounting evaluate() simulated may not have materialized.
+        if (!policy_->canPromote(p, nodeOf))
+            continue;
+        promotePage(p, t);
+        policy_->notePromoted(p);
+    }
+    return t;
+}
+
+void
+DveEngine::promotePage(Addr page, Tick now)
+{
+    const Addr first = page << (pageShift - lineShift);
+    const Addr last = first + pageBytes / lineBytes;
+    const unsigned h = homeSocket(first);
+    const unsigned rsock = (h + 1) % cfg_.sockets;
+
+    if (rmap_.replicaSocket(first, h)) {
+        // Already replicated outside policy control (a manual
+        // enableReplication call): adopt it as-is, nothing to heal.
+        ++policyPromotions_;
+        policyPromotionLag_.record(0);
+        return;
+    }
+
+    rmap_.mapPage(page, rsock);
+
+    // Seed deny markers for lines currently dirty in home-side LLCs
+    // (same ordering discipline as enableReplication: installs touch
+    // the on-chip LRU, so sort by line).
+    std::vector<std::pair<Addr, ReplicaDirectory::Entry>> marks;
+    directory(h).forEach([&](Addr line, const DirEntry &e) {
+        if (line < first || line >= last)
+            return;
+        if (e.state != LineState::M && e.state != LineState::O)
+            return;
+        if (!effectiveDeny(line))
+            return;
+        const RepState st = e.owner == static_cast<int>(rsock)
+                                ? RepState::M
+                                : RepState::RM;
+        marks.emplace_back(line, ReplicaDirectory::Entry{st, e.owner});
+    });
+    std::sort(marks.begin(), marks.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &[l, entry] : marks)
+        rdirs_[rsock]->install(l, entry);
+
+    // Unlike enableReplication, the replica data is NOT poked into
+    // place: every written line starts replica-degraded and the timed
+    // repair pipeline performs the copy (reads divert to home until
+    // each line heals). That makes promotion lag a real, measurable
+    // quantity instead of a free instantaneous memcpy. Unwritten lines
+    // read zero on both sides already.
+    ++policyPromotions_;
+    bool seeding = false;
+    for (Addr l = first; l < last; ++l) {
+        if (!logicalMem_.count(l))
+            continue;
+        markDegraded(false, l, now);
+        seeding = true;
+    }
+    if (seeding)
+        promotePending_[page] = now;
+    else
+        policyPromotionLag_.record(0); // nothing to copy: born healed
+}
+
+bool
+DveEngine::demotePage(Addr page, Tick &t)
+{
+    const Addr first = page << (pageShift - lineShift);
+    const Addr last = first + pageBytes / lineBytes;
+    const unsigned h = homeSocket(first);
+    const auto rs = rmap_.replicaSocket(first, h);
+    if (!rs)
+        return true; // mapping already gone: demotion is a no-op
+
+    // Demotion funnels through the degradation ladder: while any line
+    // of the page is degraded, tearing the mapping down would erase the
+    // degraded record while the cells stay corrupted -- a later DUE
+    // would have no recorded cause and the honesty monitors would
+    // fire. Defer; the repair pipeline heals (or retires) the line and
+    // the next epoch retries.
+    for (Addr l = first; l < last; ++l) {
+        if (degradedHome_.count(l) || degradedReplica_.count(l)) {
+            ++policyDemotionsDeferred_;
+            return false;
+        }
+    }
+
+    const Tick start = t;
+
+    // Replica-side caches may hold deny-served (or region-served)
+    // copies the home directory never registered; after the unmap no
+    // invalidation could reach them, so flush them first.
+    flushUntrackedPageCopies(*rs, first, last);
+
+    // Timed writeback flush of the replica copy into the home copy:
+    // the capacity being reclaimed holds the only ECC-protected image
+    // of any update the home may have missed, so a real demotion pays
+    // a read+write per written line. The storm is charged to the
+    // triggering access and shows up in the latency histograms.
+    const bool replica_reachable =
+        !poolActive() || ic_.poolPathUp(poolNodeOf(first));
+    for (Addr l = first; l < last; ++l) {
+        if (!logicalMem_.count(l))
+            continue;
+        if (!replica_reachable)
+            continue; // unreachable pool leg: home stays authoritative
+        const unsigned ridx = replicaMemIndex(*rs, l);
+        const auto m = memAt(ridx).read(dataAddr(ridx, l), t);
+        t = m.readyAt;
+        if (m.status == EccStatus::Corrected)
+            ++sysCe_;
+        if (m.failed)
+            continue; // home copy is authoritative; nothing to salvage
+        t = memory(h).write(dataAddr(h, l), m.value, t);
+        ++policyDemotionWritebacks_;
+    }
+    policyDemotionWbWait_.record(t > start ? t - start : 0);
+
+    ++policyDemotions_;
+    promotePending_.erase(page); // a still-healing promotion is void
+    disableReplication(page);
+    return true;
+}
+
+void
+DveEngine::flushUntrackedPageCopies(unsigned rsock, Addr first_line,
+                                    Addr last_line)
+{
+    std::vector<Addr> victims;
+    llc(rsock).forEach([&](Addr line, LlcEntry &e) {
+        if (line < first_line || line >= last_line)
+            return;
+        if (e.state != LineState::S)
+            return; // M/O lines are registered as owner at home
+        const unsigned h = homeSocket(line);
+        if (h == rsock)
+            return; // home-side copies are always tracked
+        const DirEntry *de = directory(h).find(line);
+        if (!de || !de->hasSharer(rsock))
+            victims.push_back(line);
+    });
+    std::sort(victims.begin(), victims.end());
+    for (Addr line : victims) {
+        LlcEntry *e = llc(rsock).find(line);
+        if (!e)
+            continue;
+        for (unsigned c = 0; c < cfg_.coresPerSocket; ++c) {
+            if (e->l1Sharers & (1u << c))
+                sockets_[rsock].l1[c].erase(line);
+        }
+        llc(rsock).erase(line);
+    }
 }
 
 } // namespace dve

@@ -38,6 +38,7 @@
 #include "core/replica_directory.hh"
 #include "core/replica_map.hh"
 #include "mem/pool_remap.hh"
+#include "policy/replication_policy.hh"
 
 namespace dve
 {
@@ -124,6 +125,19 @@ struct DveConfig
      * node onto survivors.
      */
     unsigned poolNodes = 0;
+
+    // ---- On-demand replication policy (capacity-pressure tier) ---------
+    /**
+     * Epoch-driven promotion/demotion of pages under an explicit
+     * replication-capacity budget (paper Sec. V: replication on
+     * demand). Requires replicateAll == false (the RMT path); promotion
+     * seeds a replica through the timed repair pipeline, demotion
+     * funnels through the single-copy degradation ladder (it defers
+     * while any line of the page is degraded) and issues real replica
+     * writebacks. Disabled by default; a disabled policy leaves every
+     * observable output byte-identical.
+     */
+    PolicyConfig policy;
 
     // ---- Seeded-bug switches (chaos-fuzz harness only) -----------------
     /**
@@ -260,6 +274,50 @@ class DveEngine : public CoherenceEngine
     std::uint64_t poolReplicaWrites() const { return poolWrites_.value(); }
     /** Pages healed back onto a surviving node after a node loss. */
     std::uint64_t poolRetargets() const { return poolRetargets_.value(); }
+
+    // ---- On-demand replication policy ----------------------------------
+
+    /** Is the epoch-driven replication policy armed? */
+    bool policyActive() const { return policy_ != nullptr; }
+
+    /**
+     * Retune the policy's global replication budget mid-run (operator
+     * capacity reclaim). Demotions to the new budget happen at the
+     * next epoch boundary. No-op when the policy is disarmed.
+     */
+    void setPolicyGlobalBudget(std::size_t pages);
+
+    std::uint64_t policyEpochs() const { return policyEpochs_.value(); }
+    std::uint64_t policyPromotions() const
+    {
+        return policyPromotions_.value();
+    }
+    std::uint64_t policyDemotions() const
+    {
+        return policyDemotions_.value();
+    }
+    /** Demotions pushed to a later epoch by in-flight degraded lines. */
+    std::uint64_t policyDemotionsDeferred() const
+    {
+        return policyDemotionsDeferred_.value();
+    }
+    /** Replica-line writebacks issued by demotions. */
+    std::uint64_t policyDemotionWritebacks() const
+    {
+        return policyDemotionWritebacks_.value();
+    }
+
+    /** Promotion-decision-to-replica-healed latency distribution. */
+    const Histogram &policyPromotionLag() const
+    {
+        return policyPromotionLag_;
+    }
+
+    /** Per-demotion writeback-storm latency distribution. */
+    const Histogram &policyDemotionWbWait() const
+    {
+        return policyDemotionWbWait_;
+    }
 
     // Dvé-specific statistics.
     std::uint64_t replicaLocalReads() const
@@ -525,6 +583,49 @@ class DveEngine : public CoherenceEngine
      */
     void flushUntrackedReplicaCopies();
 
+    // ---- On-demand replication policy machinery ------------------------
+
+    /**
+     * Policy hook on the demand path: observe the touched page and, at
+     * an epoch boundary, apply the decision batch. @return ticks of
+     * foreground work (demotion writebacks) charged to the triggering
+     * access -- the storm shows up in the request-latency histogram.
+     */
+    Tick policyTick(Addr line, Tick now);
+
+    /** Replica socket / pool node a policy replica of @p page uses. */
+    unsigned policyNodeFor(Addr page) const;
+
+    /**
+     * Promote @p page to replicated service. The replica is NOT seeded
+     * synchronously: every written line is marked replica-degraded and
+     * queued for repair, so the timed repair pipeline performs the
+     * actual copy and reads divert to home until each line heals.
+     * Promotion lag (decision to fully healed) lands in
+     * policyPromotionLag_ via the runMaintenance completion check.
+     */
+    void promotePage(Addr page, Tick now);
+
+    /**
+     * Demote @p page to single-copy service: flush untracked replica-
+     * side cached copies, write every written replica line back to the
+     * home copy (timed -- the demotion storm is visible in latency),
+     * then tear down the mapping. @return false (deferred) while any
+     * line of the page is degraded: tearing down the mapping would
+     * erase the degraded record while the cells stay corrupted, turning
+     * an honest DUE into an unexplained one. The caller retries at the
+     * next epoch boundary.
+     */
+    bool demotePage(Addr page, Tick &t);
+
+    /**
+     * Scoped version of flushUntrackedReplicaCopies for one page's
+     * lines: invalidate replica-side cached copies the home directory
+     * does not track, ahead of the replica mapping teardown.
+     */
+    void flushUntrackedPageCopies(unsigned rsock, Addr first_line,
+                                  Addr last_line);
+
     DveConfig dcfg_;
     ReplicaMap rmap_;
     std::vector<std::unique_ptr<ReplicaDirectory>> rdirs_;
@@ -594,10 +695,25 @@ class DveEngine : public CoherenceEngine
     Counter slowControlMsgs_; ///< metadata routed around a fenced link
     Counter fencedFastFails_;
     Counter dynamicSwitches_;
+    Counter policyEpochs_;
+    Counter policyPromotions_;
+    Counter policyDemotions_;
+    Counter policyDemotionsDeferred_;
+    Counter policyDemotionWritebacks_;
     ScalarStat degradedTicks_; ///< closed degraded intervals only
     Histogram retryWait_;      ///< per-ladder wait on lost transfers
     Histogram repairSojourn_;  ///< repair-task queue residency
+    Histogram policyPromotionLag_;  ///< decision to replica healed
+    Histogram policyDemotionWbWait_; ///< per-demotion writeback storm
     StatGroup dveStats_;
+
+    /** Armed only when dcfg_.policy.enabled (null otherwise, so the
+     *  demand path pays nothing and stats stay unregistered). */
+    std::unique_ptr<ReplicationPolicy> policy_;
+
+    /** Policy promotions whose repair-path seeding is still healing:
+     *  page -> decision tick. Drained (sorted) after runMaintenance. */
+    FlatMap<Addr, Tick> promotePending_;
 
     /** Record one finished repair task in the sojourn histogram. */
     void noteRepairDone(const RepairTask &task, Tick at,

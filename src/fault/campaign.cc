@@ -80,6 +80,29 @@ parseDisturbScenario(const char *name)
     return std::nullopt;
 }
 
+const char *
+policyScenarioName(PolicyScenario s)
+{
+    switch (s) {
+      case PolicyScenario::None: return "none";
+      case PolicyScenario::Diurnal: return "policy-diurnal";
+      case PolicyScenario::FlashCrowd: return "policy-flash-crowd";
+      case PolicyScenario::BudgetSqueeze: return "policy-budget-squeeze";
+    }
+    return "?";
+}
+
+std::optional<PolicyScenario>
+parsePolicyScenario(const char *name)
+{
+    for (unsigned i = 0; i < numPolicyScenarios; ++i) {
+        const auto s = static_cast<PolicyScenario>(i);
+        if (std::strcmp(name, policyScenarioName(s)) == 0)
+            return s;
+    }
+    return std::nullopt;
+}
+
 void
 applyDisturbPreset(CampaignConfig &cfg, DisturbScenario sc)
 {
@@ -140,6 +163,40 @@ poolSchemes()
             CampaignScheme::DveDeny, CampaignScheme::TwoTier};
 }
 
+void
+applyPolicyPreset(CampaignConfig &cfg, PolicyScenario sc)
+{
+    cfg.policyScenario = sc;
+    if (sc == PolicyScenario::None)
+        return;
+    // RMT path: nothing is replicated until the policy promotes it, so
+    // every replica in the trial was earned by observed hotness.
+    cfg.dve.replicateAll = false;
+    cfg.dve.policy.enabled = true;
+    // Short epochs relative to the trial: each workload phase spans
+    // several epochs, so the policy visibly chases the hot set rather
+    // than reacting once.
+    cfg.dve.policy.epochOps = 200;
+    cfg.dve.policy.promoteThreshold = 3;
+    cfg.dve.policy.maxPromotionsPerEpoch = 4;
+    cfg.dve.policy.maxDemotionsPerEpoch = 8;
+    // Budget half the footprint (or a bit more for the squeeze start),
+    // so the hot set fits but the whole footprint never does --
+    // capacity pressure forces real demotion decisions.
+    cfg.footprintPages = 16;
+    cfg.dve.policy.globalBudget =
+        sc == PolicyScenario::BudgetSqueeze ? 12 : 8;
+    // Long enough for several phase transitions x several epochs each.
+    cfg.opsPerTrial = 4000;
+}
+
+std::vector<CampaignScheme>
+policySchemes()
+{
+    return {CampaignScheme::BaselineDetect, CampaignScheme::DveAllow,
+            CampaignScheme::DveDeny};
+}
+
 CampaignConfig
 CampaignConfig::quickDefaults()
 {
@@ -196,6 +253,13 @@ TrialStats::accumulate(const TrialStats &t)
     poolReplicaReads += t.poolReplicaReads;
     poolReplicaWrites += t.poolReplicaWrites;
     poolRetargets += t.poolRetargets;
+    policyEpochs += t.policyEpochs;
+    policyPromotions += t.policyPromotions;
+    policyDemotions += t.policyDemotions;
+    policyDemotionsDeferred += t.policyDemotionsDeferred;
+    policyDemotionWritebacks += t.policyDemotionWritebacks;
+    policyPromotionLag.merge(t.policyPromotionLag);
+    policyDemotionWbWait.merge(t.policyDemotionWbWait);
     // engineSeed/faultSeed/workloadSeed/faultLogDigest/traceJson
     // identify one trial; they are deliberately not summed into totals.
     recoveryLatencies.insert(recoveryLatencies.end(),
@@ -419,6 +483,13 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
         }
     }
 
+    // Policy scenarios phase the workload's hot set by op index (never
+    // by scheme or engine state), so every scheme -- baseline included
+    // -- faces the identical access stream and RNG draw sequence.
+    const bool policyRun = cfg_.policyScenario != PolicyScenario::None;
+    const unsigned hotPages = std::max(1u, cfg_.footprintPages / 4);
+    constexpr double hotFraction = 0.8;
+
     TrialStats t;
     Tick clock = 0;
     Tick next_scrub = cfg_.scrubInterval;
@@ -426,6 +497,14 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
 
     for (std::uint64_t op = 0; op < cfg_.opsPerTrial; ++op) {
         flc.advanceTo(clock);
+
+        if (policyRun && cfg_.policyScenario == PolicyScenario::BudgetSqueeze
+            && op == cfg_.opsPerTrial / 2 && dve && dve->policyActive()) {
+            // Mid-run capacity crunch: the operator reclaims most of
+            // the replication budget; the policy must shed pages (real
+            // writeback storms) and keep honesty intact throughout.
+            dve->setPolicyGlobalBudget(2);
+        }
 
         const unsigned actor = static_cast<unsigned>(wl.next(actors));
         Addr addr;
@@ -437,6 +516,33 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
                        ? victimLines[victimIdx++ % victimLines.size()]
                        : hammerLines[hammerIdx++ % hammerLines.size()];
             is_write = false;
+        } else if (policyRun) {
+            // Phased hot set: most accesses hit a quarter-footprint hot
+            // window whose base shifts with the scenario's schedule.
+            Addr hotBase = 0;
+            switch (cfg_.policyScenario) {
+              case PolicyScenario::Diurnal:
+                // Alternate halves every quarter-trial (4 phases).
+                hotBase = ((op / std::max<std::uint64_t>(
+                                1, cfg_.opsPerTrial / 4)) % 2)
+                              ? cfg_.footprintPages / 2
+                              : 0;
+                break;
+              case PolicyScenario::FlashCrowd:
+                // One abrupt jump onto fresh pages at half-run.
+                hotBase = op >= cfg_.opsPerTrial / 2
+                              ? cfg_.footprintPages / 2
+                              : 0;
+                break;
+              case PolicyScenario::BudgetSqueeze:
+              case PolicyScenario::None:
+                break; // stable hot set; the squeeze is the event
+            }
+            const Addr page = wl.chance(hotFraction)
+                                  ? hotBase + wl.next(hotPages)
+                                  : wl.next(cfg_.footprintPages);
+            addr = page * pageBytes + wl.next(linesPerPage) * lineBytes;
+            is_write = wl.chance(cfg_.writeFraction);
         } else {
             const Addr page = wl.next(cfg_.footprintPages);
             addr = page * pageBytes + wl.next(linesPerPage) * lineBytes;
@@ -524,6 +630,15 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
             t.poolReplicaReads = dve->poolReplicaReads();
             t.poolReplicaWrites = dve->poolReplicaWrites();
             t.poolRetargets = dve->poolRetargets();
+        }
+        if (dve->policyActive()) {
+            t.policyEpochs = dve->policyEpochs();
+            t.policyPromotions = dve->policyPromotions();
+            t.policyDemotions = dve->policyDemotions();
+            t.policyDemotionsDeferred = dve->policyDemotionsDeferred();
+            t.policyDemotionWritebacks = dve->policyDemotionWritebacks();
+            t.policyPromotionLag = dve->policyPromotionLag();
+            t.policyDemotionWbWait = dve->policyDemotionWbWait();
         }
     }
     if (hammer) {
@@ -630,7 +745,7 @@ fmtTicks(double v)
 }
 
 void
-writeTotals(const TrialStats &t, bool disturb, bool pool,
+writeTotals(const TrialStats &t, bool disturb, bool pool, bool policy,
             const char *indent, std::ostream &os)
 {
     os << indent << "\"reads\": " << t.reads << ",\n"
@@ -693,6 +808,20 @@ writeTotals(const TrialStats &t, bool disturb, bool pool,
            << ",\n"
            << indent << "\"pool_retargets\": " << t.poolRetargets;
     }
+    if (policy) {
+        // Emitted only for policy campaigns so policy-free reports stay
+        // byte-identical to earlier versions.
+        os << ",\n"
+           << indent << "\"policy_epochs\": " << t.policyEpochs << ",\n"
+           << indent << "\"policy_promotions\": " << t.policyPromotions
+           << ",\n"
+           << indent << "\"policy_demotions\": " << t.policyDemotions
+           << ",\n"
+           << indent << "\"policy_demotions_deferred\": "
+           << t.policyDemotionsDeferred << ",\n"
+           << indent << "\"policy_demotion_writebacks\": "
+           << t.policyDemotionWritebacks;
+    }
     os << "\n";
 }
 
@@ -723,6 +852,10 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
     }
     if (c.poolNodes > 0)
         os << "    \"pool_nodes\": " << c.poolNodes << ",\n";
+    if (c.policyScenario != PolicyScenario::None) {
+        os << "    \"policy_scenario\": \""
+           << policyScenarioName(c.policyScenario) << "\",\n";
+    }
     os << "    \"ops_per_trial\": " << c.opsPerTrial << ",\n"
        << "    \"footprint_pages\": " << c.footprintPages << ",\n"
        << "    \"scrub_interval_ticks\": " << c.scrubInterval << ",\n"
@@ -739,7 +872,9 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
            << "\",\n"
            << "      \"totals\": {\n";
         writeTotals(sr.totals, c.disturb != DisturbScenario::None,
-                    c.poolNodes > 0, "        ", os);
+                    c.poolNodes > 0,
+                    c.policyScenario != PolicyScenario::None,
+                    "        ", os);
         os << "      },\n"
            << "      \"recovery_latency\": {\n"
            << "        \"count\": " << sr.recovery.count << ",\n"
@@ -769,8 +904,16 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
                << ", \"unavailable\": " << t.unavailableRequests
                << ",\n         \"req_p50\": " << lat.p50
                << ", \"req_p95\": " << lat.p95
-               << ", \"req_p99\": " << lat.p99
-               << ",\n         \"engine_seed\": " << t.engineSeed
+               << ", \"req_p99\": " << lat.p99;
+            if (c.policyScenario != PolicyScenario::None) {
+                os << ",\n         \"promotions\": " << t.policyPromotions
+                   << ", \"demotions\": " << t.policyDemotions
+                   << ", \"demotions_deferred\": "
+                   << t.policyDemotionsDeferred
+                   << ", \"demotion_writebacks\": "
+                   << t.policyDemotionWritebacks;
+            }
+            os << ",\n         \"engine_seed\": " << t.engineSeed
                << ", \"fault_seed\": " << t.faultSeed
                << ", \"workload_seed\": " << t.workloadSeed
                << ", \"fault_log_digest\": \""

@@ -101,6 +101,28 @@ const char *disturbScenarioName(DisturbScenario s);
 /** Inverse of disturbScenarioName; nullopt for unrecognized names. */
 std::optional<DisturbScenario> parseDisturbScenario(const char *name);
 
+/**
+ * On-demand replication-policy scenario: the workload shifts its hot
+ * set (or the operator shrinks the replication budget) mid-trial and
+ * the epoch-driven policy engine must chase it -- promoting the new hot
+ * pages through the timed repair path and demoting cold pages with real
+ * writeback storms -- without ever compromising honesty (SDC stays 0).
+ */
+enum class PolicyScenario : std::uint8_t
+{
+    None,          ///< policy disarmed: byte-identical legacy behaviour
+    Diurnal,       ///< hot set alternates between two halves (4 phases)
+    FlashCrowd,    ///< hot set jumps to fresh pages at half-run
+    BudgetSqueeze, ///< global budget collapses mid-run (capacity crunch)
+};
+
+constexpr unsigned numPolicyScenarios = 4;
+
+const char *policyScenarioName(PolicyScenario s);
+
+/** Inverse of policyScenarioName; nullopt for unrecognized names. */
+std::optional<PolicyScenario> parsePolicyScenario(const char *name);
+
 /** Campaign shape. */
 struct CampaignConfig
 {
@@ -127,6 +149,9 @@ struct CampaignConfig
      *  fault scenarios. 0 = no pool tier: pool scopes never fire, the
      *  two-tier scheme degenerates, and no pool JSON keys are emitted. */
     unsigned poolNodes = 0;
+    /** Replication-policy scenario (None = policy disarmed, no phased
+     *  workload, no extra JSON keys). */
+    PolicyScenario policyScenario = PolicyScenario::None;
     LifecycleConfig lifecycle; ///< rates/shape; geometry + seed per trial
     EngineConfig engine;       ///< base system; scheme set per campaign
     DveConfig dve;             ///< Dvé knobs; protocol set per scheme
@@ -158,6 +183,20 @@ void applyPoolPreset(CampaignConfig &cfg);
  *  detect-only vs classic socket-replicated Dvé vs the two-tier
  *  disaggregated configuration. */
 std::vector<CampaignScheme> poolSchemes();
+
+/**
+ * Shape @p cfg for a replication-policy scenario: switch the Dvé
+ * schemes onto the RMT path (replicateAll off), arm the epoch-driven
+ * policy with a budget smaller than the workload footprint, and run
+ * long enough for several promotion/demotion epochs per phase. The
+ * BudgetSqueeze preset starts with a roomier budget that runTrial
+ * collapses at half-run.
+ */
+void applyPolicyPreset(CampaignConfig &cfg, PolicyScenario sc);
+
+/** Scheme list a policy campaign compares: detection-only baseline vs
+ *  policy-driven on-demand Dvé under both protocol families. */
+std::vector<CampaignScheme> policySchemes();
 
 /** Everything one trial observed. */
 struct TrialStats
@@ -203,6 +242,18 @@ struct TrialStats
     std::uint64_t poolReplicaReads = 0;
     std::uint64_t poolReplicaWrites = 0;
     std::uint64_t poolRetargets = 0;
+    // On-demand replication policy (policy campaigns only; their JSON
+    // keys are emitted only when a policy scenario is active).
+    std::uint64_t policyEpochs = 0;
+    std::uint64_t policyPromotions = 0;
+    std::uint64_t policyDemotions = 0;
+    std::uint64_t policyDemotionsDeferred = 0;
+    std::uint64_t policyDemotionWritebacks = 0;
+    /** Promotion request-to-healed lag and per-demotion writeback-storm
+     *  duration; merged bucket-wise like reqLatency so scheme totals are
+     *  byte-identical at any job count. Empty unless the policy ran. */
+    Histogram policyPromotionLag;
+    Histogram policyDemotionWbWait;
     // Replay identity: the derived seeds this trial ran with and a digest
     // of the fault-event log. Together with the campaign config block the
     // trial is reproducible standalone from the report alone. Not

@@ -34,6 +34,11 @@ generateScenario(const GeneratorConfig &cfg)
     sc.bugSkipDenyInvalidate = cfg.bugSkipDenyInvalidate;
     sc.bugSkipDemotionOnPartition = cfg.bugSkipDemotionOnPartition;
     sc.poolNodes = cfg.poolMode ? cfg.poolNodes : 0;
+    if (cfg.policyMode) {
+        sc.policyBudget = cfg.policyBudget;
+        sc.policyNodeBudget = cfg.policyNodeBudget;
+        sc.policyEpochOps = cfg.policyEpochOps;
+    }
 
     Rng rng(cfg.seed);
     const unsigned linesPerPage = pageBytes / lineBytes;
@@ -88,6 +93,18 @@ generateScenario(const GeneratorConfig &cfg)
         }
     }
 
+    // Policy mode: the conflict set becomes a phase-local page window
+    // that marches across the footprint, so each phase's hot pages must
+    // be promoted afresh while the previous phase's replicas turn into
+    // demotion fodder. Phase boundaries also retune the global budget.
+    const std::uint64_t phaseLen =
+        cfg.policyMode && cfg.policyPhases > 0
+            ? (cfg.ops / cfg.policyPhases ? cfg.ops / cfg.policyPhases
+                                          : 1)
+            : 0;
+    const unsigned policyHotPages =
+        cfg.footprintPages / 4 ? cfg.footprintPages / 4 : 1;
+
     // Safety bound state: at most 2 concurrent DRAM faults per socket,
     // at most 1 fabric fault system-wide (see file comment).
     std::vector<unsigned> dramActive(cfg.sockets, 0);
@@ -103,6 +120,15 @@ generateScenario(const GeneratorConfig &cfg)
     };
 
     for (std::uint64_t op = 0; op < cfg.ops; ++op) {
+        if (phaseLen > 0 && op > 0 && op % phaseLen == 0) {
+            // Phase boundary: retune the budget so the policy has to
+            // shed replicas (squeeze) or refill (relax) mid-run.
+            FuzzStep bs;
+            bs.op = FuzzOp::Budget;
+            bs.value = 1 + rng.next(2 * cfg.policyBudget);
+            sc.steps.push_back(bs);
+            continue;
+        }
         const double roll = rng.uniform();
         FuzzStep st;
 
@@ -227,11 +253,28 @@ generateScenario(const GeneratorConfig &cfg)
                 static_cast<unsigned>(rng.next(cfg.sockets));
             st.core =
                 static_cast<unsigned>(rng.next(cfg.coresPerSocket));
-            st.addr = hammered
-                          ? aggressor[aggIdx++ % aggressor.size()]
-                          : (rng.chance(cfg.hotFraction) && !hot.empty()
-                                 ? hot[rng.next(hot.size())]
-                                 : rng.next(footprintLines) * lineBytes);
+            if (hammered) {
+                st.addr = aggressor[aggIdx++ % aggressor.size()];
+            } else if (cfg.policyMode) {
+                const Addr base =
+                    phaseLen > 0
+                        ? Addr((op / phaseLen) % cfg.policyPhases)
+                              * policyHotPages % cfg.footprintPages
+                              * linesPerPage
+                        : 0;
+                st.addr =
+                    rng.chance(cfg.hotFraction)
+                        ? (base
+                           + rng.next(Addr(policyHotPages)
+                                      * linesPerPage))
+                              % footprintLines * lineBytes
+                        : rng.next(footprintLines) * lineBytes;
+            } else {
+                st.addr =
+                    rng.chance(cfg.hotFraction) && !hot.empty()
+                        ? hot[rng.next(hot.size())]
+                        : rng.next(footprintLines) * lineBytes;
+            }
             if (st.op == FuzzOp::Write)
                 st.value = rng.engine()();
         }

@@ -79,6 +79,16 @@ struct GeneratorConfig
      *  Wants footprintPages >= 32 so the victim rows are observable. */
     bool hammerMode = false;
     double hammerFraction = 0.7; ///< accesses landing on aggressor rows
+    /** Replication-policy mode: arms the on-demand policy with a finite
+     *  global budget (the engine starts with nothing replicated), walks
+     *  the conflict set across the footprint phase by phase so
+     *  promotion/demotion churn never settles, and retunes the budget
+     *  with a `step b` at each phase boundary. */
+    bool policyMode = false;
+    std::uint64_t policyBudget = 4;     ///< global replica budget (pages)
+    std::uint64_t policyNodeBudget = 0; ///< per-pool-node cap (0 = off)
+    std::uint64_t policyEpochOps = 48;  ///< policy epoch length
+    unsigned policyPhases = 4;          ///< hot-window shifts per run
 };
 
 /** Generate one scenario (deterministic in @p cfg). */

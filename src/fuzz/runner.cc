@@ -104,6 +104,20 @@ runScenario(const FuzzScenario &sc, const FuzzRunOptions &opt)
     dcfg.bugSkipDemotionOnPartition = sc.bugSkipDemotionOnPartition;
     dcfg.poolNodes = sc.poolNodes;
     dcfg.repairRetryBackoff = 10 * ticksPerUs;
+    if (sc.policyBudget > 0) {
+        // Armed policy runs start cold: nothing replicated until the
+        // policy engine promotes pages, so budget churn is observable.
+        dcfg.replicateAll = false;
+        dcfg.policy.enabled = true;
+        dcfg.policy.globalBudget =
+            static_cast<std::size_t>(sc.policyBudget);
+        if (sc.policyNodeBudget > 0) {
+            dcfg.policy.nodeBudget =
+                static_cast<std::size_t>(sc.policyNodeBudget);
+        }
+        if (sc.policyEpochOps > 0)
+            dcfg.policy.epochOps = sc.policyEpochOps;
+    }
 
     DveEngine eng(ecfg, dcfg);
     auto &reg = eng.faultRegistry();
@@ -219,6 +233,17 @@ runScenario(const FuzzScenario &sc, const FuzzRunOptions &opt)
                           " healed=%" PRIu64 " done=%" PRIu64 "\n",
                           res.stepsRun, rep.tasksRun, rep.healed,
                           rep.finishedAt);
+            log << buf;
+            break;
+          }
+          case FuzzOp::Budget: {
+            // No-op when the scenario never armed the policy: the step
+            // still logs and digests so shrinking stays deterministic.
+            eng.setPolicyGlobalBudget(static_cast<std::size_t>(st.value));
+            digest.mix(st.value);
+            std::snprintf(buf, sizeof(buf),
+                          "%" PRIu64 " budget -> %" PRIu64 "\n",
+                          res.stepsRun, st.value);
             log << buf;
             break;
           }

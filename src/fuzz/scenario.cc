@@ -19,6 +19,7 @@ fuzzOpName(FuzzOp op)
       case FuzzOp::Heal: return "h";
       case FuzzOp::Scrub: return "s";
       case FuzzOp::Maintain: return "m";
+      case FuzzOp::Budget: return "b";
     }
     return "?";
 }
@@ -93,6 +94,12 @@ FuzzScenario::serialize() const
     os << "sample-groups " << sampleGroups << '\n';
     if (poolNodes > 0)
         os << "pool " << poolNodes << '\n';
+    if (policyBudget > 0)
+        os << "policy-budget " << policyBudget << '\n';
+    if (policyNodeBudget > 0)
+        os << "policy-node-budget " << policyNodeBudget << '\n';
+    if (policyEpochOps > 0)
+        os << "policy-epoch-ops " << policyEpochOps << '\n';
     if (bugRmMarkerRefresh)
         os << "bug rm-marker-refresh\n";
     if (bugSkipDenyInvalidate)
@@ -118,6 +125,9 @@ FuzzScenario::serialize() const
           case FuzzOp::Inject:
           case FuzzOp::Heal:
             os << ' ' << formatFaultSpec(s.fault);
+            break;
+          case FuzzOp::Budget:
+            os << ' ' << s.value;
             break;
           case FuzzOp::Scrub:
           case FuzzOp::Maintain:
@@ -191,6 +201,21 @@ FuzzScenario::parse(std::istream &in, std::string *err)
             if (f.size() != 2 || !parseU64(f[1], v) || v > 64)
                 return fail("bad pool (want 0..64 nodes)");
             sc.poolNodes = static_cast<unsigned>(v);
+        } else if (key == "policy-budget") {
+            if (f.size() != 2 || !parseU64(f[1], sc.policyBudget)
+                || sc.policyBudget == 0) {
+                return fail("bad policy-budget (want >= 1)");
+            }
+        } else if (key == "policy-node-budget") {
+            if (f.size() != 2 || !parseU64(f[1], sc.policyNodeBudget)
+                || sc.policyNodeBudget == 0) {
+                return fail("bad policy-node-budget (want >= 1)");
+            }
+        } else if (key == "policy-epoch-ops") {
+            if (f.size() != 2 || !parseU64(f[1], sc.policyEpochOps)
+                || sc.policyEpochOps == 0) {
+                return fail("bad policy-epoch-ops");
+            }
         } else if (key == "bug") {
             if (f.size() == 2 && f[1] == "rm-marker-refresh")
                 sc.bugRmMarkerRefresh = true;
@@ -248,6 +273,10 @@ FuzzScenario::parse(std::istream &in, std::string *err)
                 st.op = op == "s" ? FuzzOp::Scrub : FuzzOp::Maintain;
                 if (f.size() != 2)
                     return fail("scrub/maintenance step takes no args");
+            } else if (op == "b") {
+                st.op = FuzzOp::Budget;
+                if (f.size() != 3 || !parseU64(f[2], st.value))
+                    return fail("bad budget step (want one page count)");
             } else {
                 return fail("unknown step op '" + op + "'");
             }

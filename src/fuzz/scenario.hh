@@ -21,6 +21,9 @@
  *     epoch-ops 40              # dynamic-protocol epoch length
  *     sample-groups 4           # set-dueling groups
  *     pool 3                    # optional: far-memory pool nodes (0 = off)
+ *     policy-budget 4           # optional: arm the replication policy
+ *     policy-node-budget 2      # optional: per-pool-node replica cap
+ *     policy-epoch-ops 64       # optional: policy epoch length
  *     bug rm-marker-refresh     # optional: arm a seeded protocol bug
  *     bug skip-deny-invalidate  # (one line per armed bug)
  *     bug skip-demotion-on-partition  # pool writeback demotion bug
@@ -32,6 +35,7 @@
  *     step h scope=chip,...     # heal the matching active fault
  *     step s                    # patrol scrub
  *     step m                    # maintenance (self-heal) pass
+ *     step b 2                  # retune the policy's global budget
  *
  * Minimized repros in tests/corpus/ use exactly this format, with an
  * `expect` header recording the monitor the replay must reproduce.
@@ -63,6 +67,7 @@ enum class FuzzOp : std::uint8_t
     Heal,     ///< deactivate the matching active fault
     Scrub,    ///< Dvé patrol-scrub sweep
     Maintain, ///< Dvé self-healing maintenance pass
+    Budget,   ///< retune the replication policy's global budget
 };
 
 const char *fuzzOpName(FuzzOp op);
@@ -74,7 +79,7 @@ struct FuzzStep
     unsigned socket = 0;       ///< Read/Write actor socket
     unsigned core = 0;         ///< Read/Write actor core
     Addr addr = 0;             ///< Read/Write byte address
-    std::uint64_t value = 0;   ///< Write payload
+    std::uint64_t value = 0;   ///< Write payload / Budget page count
     FaultDescriptor fault;     ///< Inject/Heal descriptor
 };
 
@@ -98,6 +103,17 @@ struct FuzzScenario
      *  tier (serialized only when set, so pre-pool corpus files and
      *  their byte-identical round trips are unchanged). */
     unsigned poolNodes = 0;
+    /** Replication-policy global budget; 0 = policy disarmed (pages are
+     *  replicated up front as before).  Armed runs start with no pages
+     *  replicated and let the policy engine promote/demote on demand.
+     *  Serialized only when armed, so pre-policy corpus files and their
+     *  byte-identical round trips are unchanged. */
+    std::uint64_t policyBudget = 0;
+    /** Per-pool-node replica cap; 0 = unlimited (only meaningful when
+     *  policyBudget arms the policy). */
+    std::uint64_t policyNodeBudget = 0;
+    /** Policy epoch length in observed ops; 0 keeps the engine default. */
+    std::uint64_t policyEpochOps = 0;
     /** Arm DveConfig::bugRmMarkerRefresh (seeded-bug experiments). */
     bool bugRmMarkerRefresh = false;
     /** Arm DveConfig::bugSkipDenyInvalidate (seeded-bug experiments). */

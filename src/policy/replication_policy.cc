@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Epoch-driven promote/demote decisions under a replication budget.
+ */
+
+#include "policy/replication_policy.hh"
+
+#include <algorithm>
+
+namespace dve
+{
+
+ReplicationPolicy::ReplicationPolicy(const PolicyConfig &cfg)
+    : cfg_(cfg), globalBudget_(cfg.globalBudget)
+{
+}
+
+bool
+ReplicationPolicy::observe(Addr page)
+{
+    ++heat_[page];
+    if (++opsInEpoch_ < cfg_.epochOps)
+        return false;
+    opsInEpoch_ = 0;
+    return true;
+}
+
+std::vector<std::pair<std::uint32_t, Addr>>
+ReplicationPolicy::replicatedByHeat() const
+{
+    std::vector<std::pair<std::uint32_t, Addr>> v;
+    v.reserve(replicated_.size());
+    for (const auto &[page, unused] : replicated_) {
+        (void)unused;
+        const auto it = heat_.find(page);
+        v.emplace_back(it == heat_.end() ? 0u : it->second, page);
+    }
+    // Coldest first; equal heat resolves by page id so the order is
+    // independent of FlatMap layout.
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+ReplicationPolicy::Decision
+ReplicationPolicy::evaluate(const NodeOf &nodeOf)
+{
+    ++epochs_;
+    Decision d;
+
+    // --- Demotions: shed budget overflow, coldest pages first. -----
+    //
+    // The per-node counts are recomputed from scratch each epoch (via
+    // nodeOf) rather than tracked incrementally: pool heal-back can
+    // retarget a replica to a different node without telling us, so a
+    // cached count would drift.
+    const auto byHeat = replicatedByHeat();
+    std::size_t globalExcess =
+        replicated_.size() > globalBudget_ ? replicated_.size() - globalBudget_
+                                           : 0;
+    FlatMap<std::uint64_t, std::uint64_t> nodeCount;
+    for (const auto &[heat, page] : byHeat) {
+        (void)heat;
+        ++nodeCount[nodeOf(page)];
+    }
+    // Simulated accounting: walk coldest-first, evicting while any
+    // budget is exceeded. `drop` marks pages already chosen so the
+    // promotion pass below sees the post-demotion state.
+    FlatMap<Addr, std::uint8_t> drop;
+    for (const auto &[heat, page] : byHeat) {
+        (void)heat;
+        if (d.demote.size() >= cfg_.maxDemotionsPerEpoch)
+            break;
+        const std::uint64_t node = nodeOf(page);
+        const bool nodeOver = nodeCount[node] > cfg_.nodeBudget;
+        if (globalExcess == 0 && !nodeOver)
+            continue;
+        d.demote.push_back(page);
+        drop[page] = 1;
+        if (globalExcess > 0)
+            --globalExcess;
+        --nodeCount[node];
+    }
+
+    // --- Promotions: hottest unreplicated pages over threshold. -----
+    std::vector<std::pair<std::uint32_t, Addr>> candidates;
+    for (const auto &[page, heat] : heat_) {
+        if (heat < cfg_.promoteThreshold || replicated_.contains(page))
+            continue;
+        candidates.emplace_back(heat, page);
+    }
+    // Hottest first, page-id tie-break (compare pages ascending within
+    // equal heat so the order is layout-independent).
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    std::size_t replicatedAfter = replicated_.size() - d.demote.size();
+    std::size_t coldIdx = 0; // next make-room victim in byHeat order
+    for (const auto &[heat, page] : candidates) {
+        if (d.promote.size() >= cfg_.maxPromotionsPerEpoch)
+            break;
+        const std::uint64_t node = nodeOf(page);
+        if (nodeCount[node] >= cfg_.nodeBudget)
+            continue; // node full; a colder page there may leave later
+        if (replicatedAfter >= globalBudget_) {
+            // Make room by demoting the coldest replicated page --
+            // but only when it is genuinely colder than the
+            // candidate; otherwise churn would swap equals forever.
+            bool made = false;
+            while (coldIdx < byHeat.size() &&
+                   d.demote.size() < cfg_.maxDemotionsPerEpoch) {
+                const auto &[vheat, victim] = byHeat[coldIdx];
+                ++coldIdx;
+                if (drop.contains(victim))
+                    continue;
+                if (vheat >= heat)
+                    break; // byHeat is sorted; no colder victim exists
+                d.demote.push_back(victim);
+                drop[victim] = 1;
+                --nodeCount[nodeOf(victim)];
+                --replicatedAfter;
+                made = true;
+                break;
+            }
+            if (!made)
+                continue;
+        }
+        d.promote.push_back(page);
+        ++replicatedAfter;
+        ++nodeCount[node];
+    }
+
+    // --- Decay: halve all heat so stale hotness ages out. -----------
+    // Collect keys first: FlatMap::erase backward-shifts slots, which
+    // would break in-place iteration.
+    std::vector<Addr> dead;
+    for (auto &[page, heat] : heat_) {
+        heat >>= 1;
+        if (heat == 0)
+            dead.push_back(page);
+    }
+    for (const Addr page : dead)
+        heat_.erase(page);
+
+    return d;
+}
+
+bool
+ReplicationPolicy::canPromote(Addr page, const NodeOf &nodeOf) const
+{
+    if (replicated_.contains(page))
+        return false;
+    if (replicated_.size() >= globalBudget_)
+        return false;
+    if (cfg_.nodeBudget == std::numeric_limits<std::size_t>::max())
+        return true;
+    // Count this node's current occupancy. The replicated set is
+    // budget-bounded, so the scan is small and always current even
+    // after pool retargets.
+    const std::uint64_t node = nodeOf(page);
+    std::size_t onNode = 0;
+    for (const auto &[p, unused] : replicated_) {
+        (void)unused;
+        if (nodeOf(p) == node)
+            ++onNode;
+    }
+    return onNode < cfg_.nodeBudget;
+}
+
+void
+ReplicationPolicy::notePromoted(Addr page)
+{
+    replicated_[page] = 1;
+}
+
+void
+ReplicationPolicy::noteDemoted(Addr page)
+{
+    replicated_.erase(page);
+}
+
+} // namespace dve

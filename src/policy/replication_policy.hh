@@ -1,0 +1,167 @@
+/**
+ * @file
+ * On-demand replication policy engine (Dvé §V: replication on demand).
+ *
+ * Dvé replicates memory *on demand*: pages earn a second copy when the
+ * access stream says the reliability/performance benefit is worth the
+ * capacity, and lose it again when the replication budget tightens or
+ * the page goes cold. This module is the decision kernel for that
+ * loop. It is deliberately mechanism-free: it observes page touches,
+ * keeps per-page hotness counters, and at every epoch boundary emits a
+ * list of pages to demote (coldest first) and promote (hottest first)
+ * under an explicit capacity budget. The engine (DveEngine) owns the
+ * mechanisms -- promotion seeds a replica through the timed repair
+ * path, demotion writes dirty replica lines back and tears the mapping
+ * down -- so the policy stays a pure, deterministic function of the
+ * observed access sequence.
+ *
+ * Budgets come in two flavours:
+ *  - a global budget: total pages allowed to hold a replica, and
+ *  - a per-node budget: pages whose replica lives on one backing node
+ *    (a remote socket, or a far-memory pool node).
+ * The global budget can change mid-run (operators reclaim capacity);
+ * the policy reacts at the next epoch boundary by demoting the
+ * coldest pages over budget.
+ *
+ * Determinism contract: every decision is a function of (config,
+ * observed page sequence, replicated-set contents). Candidate sorts
+ * tie-break by page id, the heat table is drained into sorted vectors
+ * before any ordering-sensitive step, and no wall-clock or RNG state
+ * is consulted. Two runs with identical access streams make identical
+ * decisions -- the byte-determinism the campaign and fuzz harnesses
+ * assert end-to-end extends through this module.
+ */
+
+#ifndef DVE_POLICY_REPLICATION_POLICY_HH
+#define DVE_POLICY_REPLICATION_POLICY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/types.hh"
+
+namespace dve
+{
+
+/** Knobs for the on-demand replication policy. Disabled by default:
+ *  an engine with `enabled == false` never constructs the policy and
+ *  its output (stats, JSON, traces) is byte-identical to a build
+ *  without this module. */
+struct PolicyConfig
+{
+    /** Master switch; off keeps the legacy always-replicate /
+     *  manual-region behaviour untouched. */
+    bool enabled = false;
+
+    /** Demand accesses per policy epoch (promotion/demotion decisions
+     *  fire on epoch boundaries only). */
+    std::uint64_t epochOps = 500;
+
+    /** Minimum per-epoch touches before a page is a promotion
+     *  candidate. */
+    std::uint32_t promoteThreshold = 4;
+
+    /** Total pages allowed to hold a replica. SIZE_MAX = unlimited. */
+    std::size_t globalBudget = std::numeric_limits<std::size_t>::max();
+
+    /** Pages per backing node allowed to hold a replica.
+     *  SIZE_MAX = unlimited. */
+    std::size_t nodeBudget = std::numeric_limits<std::size_t>::max();
+
+    /** Cap on promotions per epoch (bounds the re-replication burst
+     *  the repair queue absorbs). */
+    std::size_t maxPromotionsPerEpoch = 4;
+
+    /** Cap on demotions per epoch (bounds the writeback storm). */
+    std::size_t maxDemotionsPerEpoch = 8;
+};
+
+/**
+ * Epoch-driven promote/demote decision kernel.
+ *
+ * The owner calls observe() once per demand access, and when it
+ * returns true (epoch boundary) calls evaluate() for the decision
+ * batch. The owner applies decisions through its own mechanisms and
+ * reports outcomes back via notePromoted()/noteDemoted() -- the policy
+ * never assumes a decision succeeded (the engine may defer a demotion
+ * while the page has degraded lines in flight).
+ */
+class ReplicationPolicy
+{
+  public:
+    /** Maps a page to the node its replica occupies (or would occupy):
+     *  a socket index, or a pool-node index under far-memory pooling.
+     *  Queried fresh on every evaluation because pool heal-back can
+     *  retarget replicas between nodes behind the policy's back. */
+    using NodeOf = std::function<unsigned(Addr)>;
+
+    /** One epoch's decision batch. Demotions are ordered coldest
+     *  first, promotions hottest first; both tie-break by page id. */
+    struct Decision
+    {
+        std::vector<Addr> demote;
+        std::vector<Addr> promote;
+    };
+
+    explicit ReplicationPolicy(const PolicyConfig &cfg);
+
+    /** Record one demand access to @p page. Returns true when this
+     *  access closes an epoch (caller should evaluate()). */
+    bool observe(Addr page);
+
+    /** Compute this epoch's decision batch. Decays the heat table.
+     *  Call exactly once per observe()==true. */
+    Decision evaluate(const NodeOf &nodeOf);
+
+    /** True when @p page could be promoted right now without busting
+     *  the global or per-node budget. The engine re-checks this per
+     *  promotion because earlier promotions/deferred demotions in the
+     *  same batch change the accounting. */
+    bool canPromote(Addr page, const NodeOf &nodeOf) const;
+
+    /** The owner reports a successful promotion/demotion so the
+     *  replicated set stays in sync with the engine's RMT. */
+    void notePromoted(Addr page);
+    void noteDemoted(Addr page);
+
+    /** Pages currently holding a replica under policy control. */
+    std::size_t replicatedPages() const { return replicated_.size(); }
+
+    bool isReplicated(Addr page) const { return replicated_.contains(page); }
+
+    /** Retune the global budget mid-run (capacity reclaim). Takes
+     *  effect at the next epoch boundary. */
+    void setGlobalBudget(std::size_t pages) { globalBudget_ = pages; }
+
+    std::size_t globalBudget() const { return globalBudget_; }
+
+    std::uint64_t epochsCompleted() const { return epochs_; }
+
+  private:
+    /** (heat, page) pairs for the currently-replicated set, coldest
+     *  first; the demotion candidate order. */
+    std::vector<std::pair<std::uint32_t, Addr>> replicatedByHeat() const;
+
+    PolicyConfig cfg_;
+    std::size_t globalBudget_ = 0;
+
+    /** Per-page touch counts for the current epoch window (halved at
+     *  each boundary so history decays geometrically). */
+    FlatMap<Addr, std::uint32_t> heat_;
+
+    /** Pages holding a policy-granted replica (value unused; FlatMap
+     *  as a set). */
+    FlatMap<Addr, std::uint8_t> replicated_;
+
+    std::uint64_t opsInEpoch_ = 0;
+    std::uint64_t epochs_ = 0;
+};
+
+} // namespace dve
+
+#endif // DVE_POLICY_REPLICATION_POLICY_HH

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -207,6 +209,92 @@ TEST(FlatMap, RandomizedDifferentialVsUnorderedMap)
         ++n;
     }
     ASSERT_EQ(n, ref.size());
+}
+
+TEST(FlatMap, EraseEndIteratorIsNoOp)
+{
+    // Regression: erase(end()) used to run eraseSlot(capacity()),
+    // writing used_[capacity()] out of bounds and decrementing size_.
+    FlatMap<Addr, int> m;
+    for (Addr k = 0; k < 8; ++k)
+        m[k] = static_cast<int>(k);
+    const std::size_t size = m.size();
+
+    m.erase(m.end());
+    m.erase(m.find(12345)); // absent key: find() returns end()
+    EXPECT_EQ(m.size(), size);
+    for (Addr k = 0; k < 8; ++k) {
+        ASSERT_TRUE(m.contains(k));
+        EXPECT_EQ(m.find(k)->second, static_cast<int>(k));
+    }
+}
+
+TEST(FlatMap, IteratorEqualityComparesMapIdentity)
+{
+    // Regression: iterator equality used to compare only the slot
+    // index, so end() of one map equaled iterators into a different
+    // same-capacity map and a default-constructed iterator equaled
+    // begin() of an empty map.
+    FlatMap<Addr, int> a, b;
+    for (Addr k = 0; k < 8; ++k) {
+        a[k] = 1;
+        b[k] = 2;
+    }
+    ASSERT_EQ(a.capacity(), b.capacity());
+    EXPECT_NE(a.end(), b.end());
+    EXPECT_NE(a.find(99999), b.end()); // both past-the-end, different maps
+    EXPECT_NE(a.begin(), b.begin());
+
+    FlatMap<Addr, int> empty;
+    using It = FlatMap<Addr, int>::iterator;
+    It def{};
+    EXPECT_EQ(def, It{});
+    EXPECT_NE(def, empty.begin()); // both at index 0
+    EXPECT_EQ(empty.begin(), empty.end()); // same empty map: still equal
+
+    // Within one map the usual identities hold.
+    EXPECT_EQ(a.find(3), a.find(3));
+    EXPECT_EQ(a.find(99999), a.end());
+}
+
+TEST(FlatMap, ReserveZeroDoesNotAllocate)
+{
+    // Regression: reserve(0) used to allocate 16 slots on an
+    // intentionally-empty map.
+    FlatMap<Addr, int> m;
+    m.reserve(0);
+    EXPECT_EQ(m.capacity(), 0u);
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(1), m.end());
+}
+
+TEST(FlatMap, ReserveAfterClearNeverShrinks)
+{
+    FlatMap<Addr, int> m;
+    for (Addr k = 0; k < 100; ++k)
+        m[k] = 1;
+    const std::size_t cap = m.capacity();
+    m.clear();
+    m.reserve(0);
+    EXPECT_EQ(m.capacity(), cap);
+    m.reserve(8); // smaller than current capacity: no-op
+    EXPECT_EQ(m.capacity(), cap);
+    m[7] = 9;
+    EXPECT_EQ(m.find(7)->second, 9);
+}
+
+TEST(FlatMap, ReserveHugeThrowsInsteadOfSpinning)
+{
+    // Regression: `want * 3 < n * 4` overflowed for huge n and the
+    // doubling loop wrapped want around to zero, spinning forever.
+    FlatMap<Addr, int> m;
+    constexpr std::size_t kHuge = std::numeric_limits<std::size_t>::max() / 4;
+    EXPECT_THROW(m.reserve(kHuge), std::length_error);
+    EXPECT_THROW(m.reserve(std::numeric_limits<std::size_t>::max()),
+                 std::length_error);
+    EXPECT_EQ(m.capacity(), 0u); // strong guarantee: untouched
+    m[1] = 2; // still usable afterwards
+    EXPECT_EQ(m.find(1)->second, 2);
 }
 
 TEST(FlatMap, LayoutVarianceDoesNotChangeContents)

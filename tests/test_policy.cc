@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tests for the on-demand replication policy: epoch-boundary decision
+ * batches, budget accounting (global, per-node, mid-epoch retune),
+ * deterministic ordering, heat decay, and the DveEngine wiring --
+ * promotion through the timed repair path, demotion deferral while the
+ * page still has seeding copies in the repair queue, and the disarmed
+ * byte-identity contract. Also pins the fuzz scenario codec's policy
+ * headers and `step b` budget retunes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/dve_engine.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/runner.hh"
+#include "fuzz/scenario.hh"
+#include "policy/replication_policy.hh"
+
+namespace dve
+{
+namespace
+{
+
+PolicyConfig
+quickPolicy(std::uint64_t epoch_ops = 4, std::uint32_t threshold = 2)
+{
+    PolicyConfig p;
+    p.enabled = true;
+    p.epochOps = epoch_ops;
+    p.promoteThreshold = threshold;
+    return p;
+}
+
+/** Everything on one node: the global budget is the only constraint. */
+const ReplicationPolicy::NodeOf oneNode = [](Addr) { return 0u; };
+
+/** Page parity picks the node: exercises the per-node budget. */
+const ReplicationPolicy::NodeOf parityNode = [](Addr page) {
+    return static_cast<unsigned>(page % 2);
+};
+
+TEST(Policy, EpochBoundaryFiresOnExactTick)
+{
+    ReplicationPolicy pol(quickPolicy(4));
+    EXPECT_FALSE(pol.observe(1));
+    EXPECT_FALSE(pol.observe(1));
+    EXPECT_FALSE(pol.observe(2));
+    EXPECT_TRUE(pol.observe(2)); // 4th access closes the epoch
+    (void)pol.evaluate(oneNode);
+    EXPECT_EQ(pol.epochsCompleted(), 1u);
+    // The counter restarts: the very next access is op 1 of epoch 2.
+    EXPECT_FALSE(pol.observe(1));
+}
+
+TEST(Policy, PromotionAtBoundaryHottestFirstPageTieBreak)
+{
+    ReplicationPolicy pol(quickPolicy(7));
+    // Page 9 is hottest; pages 3 and 5 tie and must resolve by id.
+    pol.observe(9);
+    pol.observe(9);
+    pol.observe(9);
+    pol.observe(5);
+    pol.observe(5);
+    pol.observe(3);
+    EXPECT_TRUE(pol.observe(3));
+    const auto d = pol.evaluate(oneNode);
+    EXPECT_TRUE(d.demote.empty());
+    ASSERT_EQ(d.promote.size(), 3u);
+    EXPECT_EQ(d.promote[0], 9u); // heat 3: hottest first
+    EXPECT_EQ(d.promote[1], 3u); // tie at heat 2: lower page id first
+    EXPECT_EQ(d.promote[2], 5u);
+}
+
+TEST(Policy, BudgetOverflowShedsColdestFirstAndMakesRoom)
+{
+    ReplicationPolicy pol(quickPolicy(4, 2));
+    for (const Addr p : {1, 2, 3, 4})
+        pol.notePromoted(p);
+    EXPECT_EQ(pol.replicatedPages(), 4u);
+    // Operator reclaims capacity mid-epoch; the policy reacts at the
+    // next boundary.
+    pol.setGlobalBudget(2);
+    pol.observe(9);
+    pol.observe(9);
+    pol.observe(9);
+    EXPECT_TRUE(pol.observe(9));
+    const auto d = pol.evaluate(oneNode);
+    // Two pages over budget shed coldest-first (all heat 0 -> page-id
+    // order), and page 9's promotion demotes one more to make room.
+    ASSERT_EQ(d.demote.size(), 3u);
+    EXPECT_EQ(d.demote[0], 1u);
+    EXPECT_EQ(d.demote[1], 2u);
+    EXPECT_EQ(d.demote[2], 3u);
+    ASSERT_EQ(d.promote.size(), 1u);
+    EXPECT_EQ(d.promote[0], 9u);
+}
+
+TEST(Policy, BudgetZeroMidEpochDemotesAllAndBlocksPromotion)
+{
+    ReplicationPolicy pol(quickPolicy(4, 2));
+    pol.notePromoted(1);
+    pol.notePromoted(2);
+    pol.setGlobalBudget(0);
+    pol.observe(7);
+    pol.observe(7);
+    pol.observe(7);
+    EXPECT_TRUE(pol.observe(7));
+    EXPECT_FALSE(pol.canPromote(7, oneNode));
+    const auto d = pol.evaluate(oneNode);
+    ASSERT_EQ(d.demote.size(), 2u);
+    EXPECT_EQ(d.demote[0], 1u);
+    EXPECT_EQ(d.demote[1], 2u);
+    EXPECT_TRUE(d.promote.empty());
+}
+
+TEST(Policy, PerNodeBudgetCapsPlacement)
+{
+    PolicyConfig cfg = quickPolicy(8, 2);
+    cfg.nodeBudget = 1;
+    ReplicationPolicy pol(cfg);
+    pol.notePromoted(2); // node 0 is now full
+    for (int i = 0; i < 4; ++i)
+        pol.observe(4); // node 0 candidate
+    for (int i = 0; i < 3; ++i)
+        pol.observe(5); // node 1 candidate
+    EXPECT_TRUE(pol.observe(5));
+    EXPECT_FALSE(pol.canPromote(4, parityNode));
+    EXPECT_TRUE(pol.canPromote(5, parityNode));
+    const auto d = pol.evaluate(parityNode);
+    // Page 4 is hotter but its node is full; page 5 lands on node 1.
+    ASSERT_EQ(d.promote.size(), 1u);
+    EXPECT_EQ(d.promote[0], 5u);
+    EXPECT_TRUE(d.demote.empty());
+}
+
+TEST(Policy, MakeRoomNeverSwapsEqualHeatPages)
+{
+    PolicyConfig cfg = quickPolicy(4, 2);
+    cfg.globalBudget = 1;
+    ReplicationPolicy pol(cfg);
+    pol.notePromoted(10);
+    // Pages 10 and 20 are equally hot: swapping them would churn
+    // forever, so the batch must be empty.
+    pol.observe(10);
+    pol.observe(20);
+    pol.observe(10);
+    EXPECT_TRUE(pol.observe(20));
+    const auto d = pol.evaluate(oneNode);
+    EXPECT_TRUE(d.demote.empty());
+    EXPECT_TRUE(d.promote.empty());
+}
+
+TEST(Policy, HeatDecayTurnsStaleReplicasIntoVictims)
+{
+    PolicyConfig cfg = quickPolicy(2, 2);
+    cfg.globalBudget = 1;
+    ReplicationPolicy pol(cfg);
+    // Epoch 1: page 1 earns the only slot.
+    pol.observe(1);
+    EXPECT_TRUE(pol.observe(1));
+    auto d = pol.evaluate(oneNode);
+    ASSERT_EQ(d.promote.size(), 1u);
+    EXPECT_EQ(d.promote[0], 1u);
+    pol.notePromoted(1);
+    // Epoch 2: page 1 goes silent (heat decays 2 -> 1) while page 2
+    // heats to 2, so the stale replica is evicted for the hotter page.
+    pol.observe(2);
+    EXPECT_TRUE(pol.observe(2));
+    d = pol.evaluate(oneNode);
+    ASSERT_EQ(d.demote.size(), 1u);
+    EXPECT_EQ(d.demote[0], 1u);
+    ASSERT_EQ(d.promote.size(), 1u);
+    EXPECT_EQ(d.promote[0], 2u);
+}
+
+TEST(Policy, IdenticalStreamsMakeIdenticalDecisions)
+{
+    PolicyConfig cfg = quickPolicy(8, 2);
+    cfg.globalBudget = 3;
+    ReplicationPolicy a(cfg), b(cfg);
+    const auto drive = [](ReplicationPolicy &pol) {
+        std::vector<ReplicationPolicy::Decision> out;
+        for (std::uint64_t i = 0; i < 64; ++i) {
+            // Deterministic pseudo-stream with shifting hot pages.
+            const Addr page = (i * 7 + i / 16) % 12;
+            if (pol.observe(page)) {
+                auto d = pol.evaluate(parityNode);
+                for (const Addr p : d.promote)
+                    pol.notePromoted(p);
+                for (const Addr p : d.demote)
+                    pol.noteDemoted(p);
+                out.push_back(std::move(d));
+            }
+        }
+        return out;
+    };
+    const auto da = drive(a);
+    const auto db = drive(b);
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) {
+        EXPECT_EQ(da[i].promote, db[i].promote);
+        EXPECT_EQ(da[i].demote, db[i].demote);
+    }
+}
+
+// --- DveEngine wiring -------------------------------------------------
+
+EngineConfig
+missyConfig()
+{
+    EngineConfig cfg;
+    cfg.dram = DramConfig::ddr4Replicated();
+    // Caches far smaller than a page's 64 lines so every access in the
+    // drive loop reaches serviceLlcMiss -- the policy's observation
+    // point.
+    cfg.l1Bytes = 1024;
+    cfg.llcBytes = 2 * 1024;
+    return cfg;
+}
+
+DveConfig
+armedConfig()
+{
+    DveConfig d;
+    d.protocol = DveProtocol::Deny;
+    d.replicateAll = false;
+    d.policy.enabled = true;
+    d.policy.epochOps = 8;
+    d.policy.promoteThreshold = 2;
+    return d;
+}
+
+/** Write @p ops lines of @p page starting at @p line_offset. Distinct
+ *  offsets per call keep every access an LLC miss (the policy's
+ *  observation point) even when earlier lines are still cached. */
+Tick
+drivePage(DveEngine &e, Addr page, unsigned ops, Tick t,
+          unsigned line_offset = 0)
+{
+    const unsigned lines = pageBytes / lineBytes;
+    for (unsigned i = 0; i < ops; ++i) {
+        const Addr addr = page * pageBytes
+                          + Addr((line_offset + i) % lines) * lineBytes;
+        t = e.access(0, 0, addr, true, i + 1, t).done;
+    }
+    return t;
+}
+
+/** Maintenance until the pending promotion heals (bounded). */
+Tick
+healPromotions(DveEngine &e, Tick t)
+{
+    for (int i = 0; i < 16 && e.policyPromotionLag().count() == 0; ++i) {
+        const auto rep = e.runMaintenance(t);
+        t = rep.finishedAt + 500 * ticksPerUs;
+    }
+    return t;
+}
+
+TEST(PolicyEngine, DisarmedEngineHasNoPolicyStats)
+{
+    DveConfig d;
+    d.protocol = DveProtocol::Deny;
+    DveEngine e(missyConfig(), d);
+    EXPECT_FALSE(e.policyActive());
+    EXPECT_FALSE(e.dveStats().has("policy_epochs"));
+    EXPECT_FALSE(e.dveStats().has("policy_promotions"));
+    Tick t = drivePage(e, 2, 16, 0);
+    (void)e.runMaintenance(t);
+    EXPECT_EQ(e.policyEpochs(), 0u);
+}
+
+TEST(PolicyEngine, PromotesHotPageThroughRepairPath)
+{
+    DveEngine e(missyConfig(), armedConfig());
+    EXPECT_TRUE(e.policyActive());
+    EXPECT_TRUE(e.dveStats().has("policy_promotions"));
+
+    Tick t = drivePage(e, 2, 8, 0); // exactly one epoch of misses
+    EXPECT_EQ(e.policyEpochs(), 1u);
+    EXPECT_GE(e.policyPromotions(), 1u);
+    EXPECT_GE(e.replicaMap().mappedPages(), 1u);
+    // The seeding copy rides the repair queue: no lag scored until
+    // maintenance heals the page.
+    EXPECT_EQ(e.policyPromotionLag().count(), 0u);
+
+    t = healPromotions(e, t);
+    EXPECT_GE(e.policyPromotionLag().count(), 1u);
+}
+
+TEST(PolicyEngine, DemotionDefersWhileSeedingThenCompletes)
+{
+    DveEngine e(missyConfig(), armedConfig());
+    Tick t = drivePage(e, 2, 8, 0);
+    ASSERT_GE(e.policyPromotions(), 1u);
+    ASSERT_GE(e.replicaMap().mappedPages(), 1u);
+
+    // Capacity crunch lands while the promotion's seeding copies are
+    // still in the repair queue: the demotion must defer (erasing the
+    // degraded records would orphan corrupt replica cells as future
+    // unexplained DUEs), not race the re-replication.
+    e.setPolicyGlobalBudget(0);
+    t = drivePage(e, 2, 8, t, 8); // next epoch boundary: demote attempt
+    EXPECT_GE(e.policyDemotionsDeferred(), 1u);
+    EXPECT_EQ(e.policyDemotions(), 0u);
+    EXPECT_GE(e.replicaMap().mappedPages(), 1u); // still mapped
+
+    // Heal the seeding copies, then the next boundary demotes for
+    // real: dirty replica lines write back and the mapping tears down.
+    // Fresh lines again so the epoch actually ticks over.
+    t = healPromotions(e, t);
+    t = drivePage(e, 2, 8, t, 16);
+    EXPECT_GE(e.policyDemotions(), 1u);
+    EXPECT_EQ(e.replicaMap().mappedPages(), 0u);
+    EXPECT_GE(e.policyDemotionWritebacks(), 1u);
+    EXPECT_GE(e.policyDemotionWbWait().count(), 1u);
+}
+
+// --- Fuzz codec + generator coverage ----------------------------------
+
+TEST(PolicyFuzz, ScenarioRoundTripsPolicyHeadersAndBudgetSteps)
+{
+    FuzzScenario sc;
+    sc.policyBudget = 4;
+    sc.policyNodeBudget = 2;
+    sc.policyEpochOps = 32;
+    FuzzStep b;
+    b.op = FuzzOp::Budget;
+    b.value = 2;
+    sc.steps.push_back(b);
+
+    const std::string text = sc.serialize();
+    EXPECT_NE(text.find("policy-budget 4"), std::string::npos);
+    EXPECT_NE(text.find("policy-node-budget 2"), std::string::npos);
+    EXPECT_NE(text.find("policy-epoch-ops 32"), std::string::npos);
+    EXPECT_NE(text.find("step b 2"), std::string::npos);
+
+    std::string err;
+    const auto parsed = FuzzScenario::parse(text, &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    EXPECT_EQ(parsed->policyBudget, 4u);
+    EXPECT_EQ(parsed->policyNodeBudget, 2u);
+    EXPECT_EQ(parsed->policyEpochOps, 32u);
+    ASSERT_EQ(parsed->steps.size(), 1u);
+    EXPECT_EQ(parsed->steps[0].op, FuzzOp::Budget);
+    EXPECT_EQ(parsed->steps[0].value, 2u);
+    EXPECT_EQ(parsed->serialize(), text);
+
+    // Disarmed scenarios serialize no policy keys at all, keeping
+    // pre-policy corpus files byte-identical through round trips.
+    EXPECT_EQ(FuzzScenario().serialize().find("policy"),
+              std::string::npos);
+}
+
+TEST(PolicyFuzz, GeneratedPolicyScenarioRunsDeterministically)
+{
+    GeneratorConfig gc;
+    gc.seed = 7;
+    gc.ops = 200;
+    gc.footprintPages = 16;
+    gc.policyMode = true;
+    const FuzzScenario sc = generateScenario(gc);
+    EXPECT_GT(sc.policyBudget, 0u);
+    bool saw_budget = false;
+    for (const auto &st : sc.steps)
+        saw_budget |= st.op == FuzzOp::Budget;
+    EXPECT_TRUE(saw_budget);
+
+    FuzzRunOptions opt;
+    const auto r1 = runScenario(sc, opt);
+    const auto r2 = runScenario(sc, opt);
+    EXPECT_FALSE(r1.violated);
+    EXPECT_EQ(r1.digest, r2.digest);
+    EXPECT_EQ(r1.sdc, 0u);
+}
+
+} // namespace
+} // namespace dve

@@ -76,8 +76,8 @@ ALLOWLIST = [
      "checkInvariants deny sweep: collects into `bad`, sorts before "
      "reporting"),
     ("src/core/dve_engine.cc", r"directory\(h\)\.forEach.*line, const DirEntry &e",
-     "rebuildDenyBacking / enableReplication: collect into `marks`, "
-     "sort by line before LRU-visible installs"),
+     "rebuildDenyBacking / enableReplication / promotePage: collect "
+     "into `marks`, sort by line before LRU-visible installs"),
     ("src/core/dve_engine.cc", r"for \(const auto &\[line, value\] : logicalMem_\)",
      "patrolScrub: collects line numbers then sorts before scrubbing"),
     ("src/core/dve_engine.cc", r"for \(const auto &\[line, since\] : degradedHome_\)",
