@@ -13,6 +13,7 @@
  * Usage:
  *   campaign_reliability [--trials N] [--seed S] [--ops N]
  *                        [--jobs N] [--scenario NAME] [--json FILE]
+ *                        [--trial-timeout-ms N]
  *                        [--trace SCHEME:TRIAL] [--trace-out FILE]
  *                        [--quiet]
  *
@@ -26,6 +27,15 @@
  * workload + activation counters, ambient fault rates zeroed, and a
  * sixth scheme -- baseline-preventive -- joins the comparison):
  *   hammer-single, hammer-manysided, hammer-under-refresh-pressure.
+ * Metadata names corrupt the control plane (home directory, replica-
+ * directory backing, RMT) and compare the three metadata protection
+ * tiers (dve-meta-none / -parity / -ecc) against baseline-detect:
+ *   metadata-storm (ambient rates zeroed), metadata-under-load.
+ *
+ * --trial-timeout-ms arms a per-trial wall-clock watchdog: a trial that
+ * exceeds the budget stops early, is marked "timed_out" in the JSON,
+ * and the harness exits nonzero. Off by default (0): no clock reads,
+ * byte-identical reports.
  *
  * --trace replays ONE trial serially with the event tracer enabled and
  * writes a Chrome trace_event JSON timeline (viewable in
@@ -93,19 +103,23 @@ main(int argc, char **argv)
             const auto sc = parseFabricScenario(argv[++i]);
             std::optional<DisturbScenario> dsc;
             std::optional<PolicyScenario> psc;
+            std::optional<MetadataScenario> msc;
             if (!sc)
                 dsc = parseDisturbScenario(argv[i]);
             if (!sc && !dsc)
                 psc = parsePolicyScenario(argv[i]);
-            if (!sc && !dsc && !psc) {
+            if (!sc && !dsc && !psc)
+                msc = parseMetadataScenario(argv[i]);
+            if (!sc && !dsc && !psc && !msc) {
                 std::fprintf(stderr,
                              "unknown scenario '%s' (expected none, "
                              "link-flap, lossy-link, socket-offline, "
                              "pool-node-offline, fabric-partition, "
                              "hammer-single, hammer-manysided, "
                              "hammer-under-refresh-pressure, "
-                             "policy-diurnal, policy-flash-crowd or "
-                             "policy-budget-squeeze)\n",
+                             "policy-diurnal, policy-flash-crowd, "
+                             "policy-budget-squeeze, metadata-storm or "
+                             "metadata-under-load)\n",
                              argv[i]);
                 return 1;
             }
@@ -117,9 +131,13 @@ main(int argc, char **argv)
                 }
             } else if (dsc) {
                 applyDisturbPreset(cfg, *dsc);
-            } else {
+            } else if (psc) {
                 applyPolicyPreset(cfg, *psc);
+            } else {
+                applyMetadataPreset(cfg, *msc);
             }
+        } else if (std::strcmp(argv[i], "--trial-timeout-ms") == 0) {
+            cfg.trialTimeoutMs = num("--trial-timeout-ms");
         } else if (std::strcmp(argv[i], "--json") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--json needs a path\n");
@@ -198,10 +216,12 @@ main(int argc, char **argv)
     const bool hammer = cfg.disturb != DisturbScenario::None;
     const bool pool = cfg.poolNodes > 0;
     const bool policy = cfg.policyScenario != PolicyScenario::None;
+    const bool metadata = cfg.metadataScenario != MetadataScenario::None;
     const std::vector<CampaignScheme> schemes =
         hammer ? disturbSchemes()
         : pool ? poolSchemes()
         : policy ? policySchemes()
+        : metadata ? metadataSchemes()
                : std::vector<CampaignScheme>{
                      CampaignScheme::BaselineNone,
                      CampaignScheme::BaselineSecDed,
@@ -232,7 +252,9 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(cfg.seed),
                     hammer ? disturbScenarioName(cfg.disturb)
                     : policy ? policyScenarioName(cfg.policyScenario)
-                             : fabricScenarioName(cfg.scenario),
+                    : metadata
+                        ? metadataScenarioName(cfg.metadataScenario)
+                        : fabricScenarioName(cfg.scenario),
                     cfg.jobs ? cfg.jobs : jobsFromEnv());
         if (hammer) {
             std::printf("%-20s %10s %10s %10s %10s %9s %9s %8s\n",
@@ -276,6 +298,27 @@ main(int argc, char **argv)
                                 t.policyDemotionsDeferred),
                             static_cast<unsigned long long>(
                                 t.policyDemotionWritebacks));
+            }
+        } else if (metadata) {
+            std::printf("%-20s %8s %8s %9s %9s %8s %9s %9s\n", "scheme",
+                        "due", "sdc", "detected", "corrected", "lies",
+                        "rebuilds", "demoted");
+            for (const auto &sr : report.schemes) {
+                const auto &t = sr.totals;
+                std::printf("%-20s %8llu %8llu %9llu %9llu %8llu %9llu "
+                            "%9llu\n",
+                            campaignSchemeName(sr.scheme),
+                            static_cast<unsigned long long>(t.due),
+                            static_cast<unsigned long long>(t.sdc),
+                            static_cast<unsigned long long>(
+                                t.metaDetected),
+                            static_cast<unsigned long long>(
+                                t.metaCorrected),
+                            static_cast<unsigned long long>(t.metaLies),
+                            static_cast<unsigned long long>(
+                                t.metaRebuilds),
+                            static_cast<unsigned long long>(
+                                t.metaDemotions));
             }
         } else if (pool) {
             std::printf("%-20s %10s %10s %10s %10s %9s %9s %8s\n",
@@ -346,5 +389,20 @@ main(int argc, char **argv)
 
     if (!json_path && quiet)
         std::fputs(json.str().c_str(), stdout);
+
+    if (cfg.trialTimeoutMs > 0) {
+        std::uint64_t timed_out = 0;
+        for (const auto &sr : report.schemes)
+            timed_out += sr.totals.timedOut;
+        if (timed_out > 0) {
+            std::fprintf(stderr,
+                         "watchdog: %llu trial(s) exceeded "
+                         "--trial-timeout-ms %llu\n",
+                         static_cast<unsigned long long>(timed_out),
+                         static_cast<unsigned long long>(
+                             cfg.trialTimeoutMs));
+            return 3;
+        }
+    }
     return 0;
 }

@@ -7,7 +7,7 @@
  * Usage:
  *   fuzz_campaign [--scenarios N] [--seed S] [--ops N] [--jobs N]
  *                 [--bug NAME] [--hammer] [--pool] [--policy]
- *                 [--json FILE] [--repro-dir DIR]
+ *                 [--metadata] [--json FILE] [--repro-dir DIR]
  *                 [--skip-protocol-checks] [--quiet]
  *
  * Scenario i rotates the protocol family (allow/deny/dynamic by i % 3)
@@ -16,9 +16,11 @@
  * any --jobs / DVE_BENCH_JOBS value (results merge by scenario index).
  *
  * --bug arms a seeded protocol bug (rm-marker-refresh,
- * skip-deny-invalidate or skip-demotion-on-partition) in every scenario
- * -- the self-test mode CI uses to prove the monitors catch a real bug
- * within the smoke budget.
+ * skip-deny-invalidate, skip-demotion-on-partition or
+ * skip-rebuild-on-scrub) in every scenario -- the self-test mode CI
+ * uses to prove the monitors catch a real bug within the smoke budget.
+ * skip-rebuild-on-scrub implies --metadata (the bug lives in the
+ * metadata rebuild path and needs the domain armed to matter).
  *
  * --hammer switches every scenario to the generator's aggressor-pattern
  * mode: accesses hammer one bank's aggressor rows, faults become
@@ -40,6 +42,13 @@
  * monitors hold while the policy engine promotes and demotes pages
  * mid-stream. Composes with --pool (replicas live on pool nodes under a
  * per-node cap).
+ *
+ * --metadata switches every scenario to the generator's metadata-fault
+ * mode: half the chaos mix's injects corrupt control structures (home
+ * directory, replica directory backing, replica map) instead of data,
+ * under the parity tier -- detected losses route around and rebuild, so
+ * a clean sweep must stay violation-free while scrubs, cross-rebuilds
+ * and honest demotions run mid-stream.
  *
  * Failing scenarios are delta-debugged to locally-minimal repros and
  * written to --repro-dir as fuzz_repro_<i>.scn with an `expect` header,
@@ -95,7 +104,7 @@ struct ScenarioOutcome
 GeneratorConfig
 scenarioConfig(std::uint64_t base_seed, std::size_t index,
                std::uint64_t ops, const GeneratorConfig &bugs,
-               bool hammer, bool pool, bool policy)
+               bool hammer, bool pool, bool policy, bool metadata)
 {
     GeneratorConfig gc;
     // Same derivation family as the reliability campaign: streams depend
@@ -110,6 +119,9 @@ scenarioConfig(std::uint64_t base_seed, std::size_t index,
     gc.bugRmMarkerRefresh = bugs.bugRmMarkerRefresh;
     gc.bugSkipDenyInvalidate = bugs.bugSkipDenyInvalidate;
     gc.bugSkipDemotionOnPartition = bugs.bugSkipDemotionOnPartition;
+    gc.bugSkipRebuildOnScrub = bugs.bugSkipRebuildOnScrub;
+    if (metadata)
+        gc.metadataMode = true; // parity tier: honest sweeps stay clean
     if (hammer) {
         gc.hammerMode = true;
         // Victim rows 0..3 need 32 pages to sit inside the footprint.
@@ -143,6 +155,7 @@ main(int argc, char **argv)
     bool hammer = false;
     bool pool = false;
     bool policy = false;
+    bool metadata = false;
     const char *json_path = nullptr;
     const char *repro_dir = nullptr;
     bool protocol_checks = true;
@@ -173,11 +186,15 @@ main(int argc, char **argv)
             } else if (std::strcmp(v, "skip-demotion-on-partition")
                        == 0) {
                 bugs.bugSkipDemotionOnPartition = true;
+            } else if (std::strcmp(v, "skip-rebuild-on-scrub") == 0) {
+                bugs.bugSkipRebuildOnScrub = true;
+                metadata = true; // the bug needs the domain armed
             } else {
                 std::fprintf(stderr,
                              "--bug wants rm-marker-refresh, "
-                             "skip-deny-invalidate or "
-                             "skip-demotion-on-partition\n");
+                             "skip-deny-invalidate, "
+                             "skip-demotion-on-partition or "
+                             "skip-rebuild-on-scrub\n");
                 return 1;
             }
             bug_armed = true;
@@ -187,6 +204,8 @@ main(int argc, char **argv)
             pool = true;
         } else if (std::strcmp(argv[i], "--policy") == 0) {
             policy = true;
+        } else if (std::strcmp(argv[i], "--metadata") == 0) {
+            metadata = true;
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
         } else if (std::strcmp(argv[i], "--repro-dir") == 0
@@ -210,7 +229,7 @@ main(int argc, char **argv)
         static_cast<std::size_t>(scenarios),
         [&](std::size_t i) {
             const GeneratorConfig gc = scenarioConfig(
-                base_seed, i, ops, bugs, hammer, pool, policy);
+                base_seed, i, ops, bugs, hammer, pool, policy, metadata);
             const FuzzScenario sc = generateScenario(gc);
             FuzzRunOptions opt; // checks on, stop at first violation
             const FuzzRunResult r = runScenario(sc, opt);
@@ -302,12 +321,16 @@ main(int argc, char **argv)
     // stay byte-identical to earlier versions.
     if (bugs.bugSkipDemotionOnPartition)
         json << ",\n\"bug_skip_demotion_on_partition\": true";
+    if (bugs.bugSkipRebuildOnScrub)
+        json << ",\n\"bug_skip_rebuild_on_scrub\": true";
     if (hammer)
         json << ",\n\"hammer\": true";
     if (pool)
         json << ",\n\"pool\": true";
     if (policy)
         json << ",\n\"policy\": true";
+    if (metadata)
+        json << ",\n\"metadata\": true";
     json << ",\n\"violated\": " << violated
          << ",\n\"violations_by_monitor\": {";
     bool firstMon = true;
@@ -367,14 +390,15 @@ main(int argc, char **argv)
 
     if (!quiet) {
         std::printf("Fuzz campaign: %llu scenarios x %llu ops, seed "
-                    "%llu%s%s%s%s\n",
+                    "%llu%s%s%s%s%s\n",
                     static_cast<unsigned long long>(scenarios),
                     static_cast<unsigned long long>(ops),
                     static_cast<unsigned long long>(base_seed),
                     bug_armed ? " (seeded bug armed)" : "",
                     hammer ? " (hammer mode)" : "",
                     pool ? " (pool mode)" : "",
-                    policy ? " (policy mode)" : "");
+                    policy ? " (policy mode)" : "",
+                    metadata ? " (metadata mode)" : "");
         std::printf("violations: %llu/%llu\n",
                     static_cast<unsigned long long>(violated),
                     static_cast<unsigned long long>(scenarios));

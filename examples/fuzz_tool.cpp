@@ -3,7 +3,7 @@
  * Chaos-fuzz workbench: generate, run, shrink and replay scenarios.
  *
  *   $ fuzz_tool gen [--seed N] [--ops N] [--protocol P] [--pages N]
- *                   [--pool] [--bug NAME] [--out FILE]
+ *                   [--pool] [--metadata] [--bug NAME] [--out FILE]
  *   $ fuzz_tool run FILE [--checks 0|1] [--trace FILE] [--log]
  *   $ fuzz_tool shrink FILE --out FILE
  *   $ fuzz_tool replay FILE
@@ -50,8 +50,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: fuzz_tool gen [--seed N] [--ops N] [--protocol P]\n"
-        "                     [--pages N] [--pool] [--bug NAME]\n"
-        "                     [--out FILE]\n"
+        "                     [--pages N] [--pool] [--metadata]\n"
+        "                     [--bug NAME] [--out FILE]\n"
         "       fuzz_tool run FILE [--checks 0|1] [--trace FILE] "
         "[--log]\n"
         "       fuzz_tool shrink FILE --out FILE\n"
@@ -173,15 +173,22 @@ cmdGen(int argc, char **argv)
                        && std::strcmp(v, "skip-demotion-on-partition")
                               == 0) {
                 gc.bugSkipDemotionOnPartition = true;
+            } else if (v
+                       && std::strcmp(v, "skip-rebuild-on-scrub") == 0) {
+                gc.bugSkipRebuildOnScrub = true;
+                gc.metadataMode = true; // the bug needs the domain armed
             } else {
                 std::fprintf(stderr,
                              "fuzz_tool: --bug wants rm-marker-refresh, "
-                             "skip-deny-invalidate or "
-                             "skip-demotion-on-partition\n");
+                             "skip-deny-invalidate, "
+                             "skip-demotion-on-partition or "
+                             "skip-rebuild-on-scrub\n");
                 return 2;
             }
         } else if (a == "--pool") {
             gc.poolMode = true;
+        } else if (a == "--metadata") {
+            gc.metadataMode = true;
         } else if (a == "--out") {
             const char *v = val();
             if (!v)

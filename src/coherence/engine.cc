@@ -42,6 +42,7 @@ invariantMonitorName(InvariantMonitor m)
       case InvariantMonitor::ReplicaDir: return "replica-dir";
       case InvariantMonitor::DegradedHonesty: return "degraded-honesty";
       case InvariantMonitor::Liveness: return "liveness";
+      case InvariantMonitor::Metadata: return "metadata";
     }
     return "?";
 }

@@ -94,9 +94,11 @@ enum class InvariantMonitor : std::uint8_t
     ReplicaDir,      ///< replica-directory coherence vs. home permissions
     DegradedHonesty, ///< no SDC ever; DUE only with an actual cause
     Liveness,        ///< no-wedge watchdog on per-access latency
+    // Appended (PR ordering is part of the report format's stability).
+    Metadata,        ///< replica-dir backing state vs. a golden shadow
 };
 
-constexpr unsigned numInvariantMonitors = 5;
+constexpr unsigned numInvariantMonitors = 6;
 
 const char *invariantMonitorName(InvariantMonitor m);
 

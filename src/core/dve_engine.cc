@@ -1,6 +1,8 @@
 #include "core/dve_engine.hh"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -16,6 +18,30 @@ dveProtocolName(DveProtocol p)
       case DveProtocol::Dynamic: return "dynamic";
     }
     return "?";
+}
+
+const char *
+metadataProtectionName(MetadataProtection p)
+{
+    switch (p) {
+      case MetadataProtection::None: return "none";
+      case MetadataProtection::Parity: return "parity";
+      case MetadataProtection::Ecc: return "ecc";
+    }
+    return "?";
+}
+
+std::optional<MetadataProtection>
+parseMetadataProtection(const char *name)
+{
+    if (!name)
+        return std::nullopt;
+    for (unsigned i = 0; i < numMetadataProtections; ++i) {
+        const auto p = static_cast<MetadataProtection>(i);
+        if (std::strcmp(name, metadataProtectionName(p)) == 0)
+            return p;
+    }
+    return std::nullopt;
 }
 
 DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
@@ -75,6 +101,18 @@ DveEngine::DveEngine(const EngineConfig &cfg, const DveConfig &dve)
     dveStats_.add("dynamic_switches", dynamicSwitches_);
     dveStats_.add("retry_wait", retryWait_);
     dveStats_.add("repair_sojourn", repairSojourn_);
+
+    if (dcfg_.metadataFaults) {
+        // Registered only when armed: a disarmed engine's stat snapshots
+        // -- and therefore every JSON report -- stay byte-identical to a
+        // build without the metadata fault domain.
+        dveStats_.add("meta_detected", metaDetected_);
+        dveStats_.add("meta_corrected", metaCorrected_);
+        dveStats_.add("meta_lies", metaLies_);
+        dveStats_.add("meta_rebuilds", metaRebuilds_);
+        dveStats_.add("meta_demotions", metaDemotions_);
+        dveStats_.add("meta_forwards", metaForwards_);
+    }
 
     if (dcfg_.policy.enabled) {
         dve_assert(!dcfg_.replicateAll,
@@ -506,11 +544,220 @@ DveEngine::readReadableCopy(unsigned rsock, unsigned home, Addr line,
     return readReplicaChecked(rsock, home, line, when);
 }
 
+// ---- Metadata fault domain ---------------------------------------------
+
+DveEngine::MetaVerdict
+DveEngine::metaCheck(unsigned socket, unsigned structure, Addr page,
+                     Tick now)
+{
+    if (metaLost_.count(metaKey(socket, structure, page)))
+        return MetaVerdict::Lost;
+    if (!faults_.metadataFaultAt(socket, structure, page))
+        return MetaVerdict::Clean;
+    switch (dcfg_.metaProtection) {
+      case MetadataProtection::None:
+        ++metaLies_;
+        return MetaVerdict::Lying;
+      case MetadataProtection::Parity:
+        ++metaDetected_;
+        metaLost_[metaKey(socket, structure, page)] = now;
+        return MetaVerdict::Lost;
+      case MetadataProtection::Ecc:
+        ++metaCorrected_;
+        return MetaVerdict::Clean;
+    }
+    return MetaVerdict::Clean;
+}
+
+bool
+DveEngine::metaCompromised(unsigned socket, unsigned structure,
+                           Addr page) const
+{
+    if (metaLost_.count(metaKey(socket, structure, page)))
+        return true;
+    if (dcfg_.metaProtection == MetadataProtection::Ecc)
+        return false; // corrected on every consult: usable as a source
+    return faults_.metadataFaultAt(socket, structure, page) != nullptr;
+}
+
+bool
+DveEngine::metaRdLost(unsigned rsock, Addr line) const
+{
+    return dcfg_.metadataFaults
+           && metaLost_.count(
+               metaKey(rsock, unsigned(MetaStructure::ReplicaDir),
+                       line >> (pageShift - lineShift)));
+}
+
+void
+DveEngine::rdInstall(unsigned rsock, Addr line,
+                     const ReplicaDirectory::Entry &e)
+{
+    if (metaRdLost(rsock, line)) {
+        // The DRAM backing page is unreadable: journal the write for
+        // the rebuild. The on-chip SRAM cache is a separate structure
+        // and must not keep serving a permission this transition
+        // revokes.
+        metaJournal_[line] = {1, e.state, e.owner};
+        rdirs_[rsock]->invalidateOnChip(line);
+        return;
+    }
+    rdirs_[rsock]->install(line, e);
+}
+
+void
+DveEngine::rdRemove(unsigned rsock, Addr line)
+{
+    if (metaRdLost(rsock, line)) {
+        metaJournal_[line] = {0, RepState::Readable, -1};
+        rdirs_[rsock]->invalidateOnChip(line);
+        return;
+    }
+    rdirs_[rsock]->remove(line);
+}
+
+void
+DveEngine::metaFlushJournal(unsigned rsock, Addr page)
+{
+    const Addr first = page << (pageShift - lineShift);
+    const Addr last = first + pageBytes / lineBytes;
+    for (Addr line = first; line < last; ++line) {
+        const auto it = metaJournal_.find(line);
+        if (it == metaJournal_.end())
+            continue;
+        // Readable is the authoritative "no entry" default, and a
+        // replayed install() would also mint an on-chip permission the
+        // home may no longer be able to revoke: the rebuild
+        // conservatively drops it (the next read re-earns readability
+        // through the protocol).
+        if (it->second.present && it->second.state != RepState::Readable)
+            rdirs_[rsock]->install(line,
+                                   {it->second.state, it->second.owner});
+        else
+            rdirs_[rsock]->remove(line);
+        metaJournal_.erase(line);
+    }
+}
+
+bool
+DveEngine::metaTryRebuild(unsigned socket, unsigned structure, Addr page,
+                          bool flush_journal)
+{
+    faults_.repairMetadataAt(socket, structure, page);
+    if (faults_.metadataFaultAt(socket, structure, page))
+        return false; // permanent fault: the rebuilt entry corrupts again
+    if (structure == unsigned(MetaStructure::ReplicaDir) && flush_journal)
+        metaFlushJournal(socket, page);
+    metaLost_.erase(metaKey(socket, structure, page));
+    ++metaRebuilds_;
+    return true;
+}
+
+void
+DveEngine::metaDropPage(unsigned rsock, unsigned h, Addr page)
+{
+    metaLost_.erase(
+        metaKey(rsock, unsigned(MetaStructure::ReplicaDir), page));
+    metaLost_.erase(metaKey(h, unsigned(MetaStructure::Rmt), page));
+    const Addr first = page << (pageShift - lineShift);
+    const Addr last = first + pageBytes / lineBytes;
+    for (Addr line = first; line < last; ++line)
+        metaJournal_.erase(line);
+}
+
+Tick
+DveEngine::metaScrubPass(Tick t)
+{
+    // Detection sweep: read every faulted entry under the tier. Parity
+    // flags it lost; ECC rewrites it in place (curing transients); an
+    // unprotected array scrubs "clean" by definition -- the corruption
+    // is invisible to the scrubber too.
+    std::vector<std::array<std::uint64_t, 3>> found;
+    for (const auto &f : faults_.active()) {
+        if (f.scope == FaultScope::Metadata)
+            found.push_back({f.socket, f.chip, f.row});
+    }
+    std::sort(found.begin(), found.end());
+    for (const auto &c : found) {
+        const unsigned socket = static_cast<unsigned>(c[0]);
+        const unsigned structure = static_cast<unsigned>(c[1]);
+        const Addr page = c[2];
+        t += cycles(cfg_.dirLatency); // the metadata read itself
+        switch (dcfg_.metaProtection) {
+          case MetadataProtection::None:
+            break;
+          case MetadataProtection::Parity:
+            if (!metaLost_.count(metaKey(socket, structure, page))) {
+                ++metaDetected_;
+                metaLost_[metaKey(socket, structure, page)] = t;
+            }
+            break;
+          case MetadataProtection::Ecc:
+            ++metaCorrected_;
+            faults_.repairMetadataAt(socket, structure, page);
+            break;
+        }
+    }
+
+    // Cross-rebuild sweep over the lost set (sorted copy: the FlatMap
+    // iterates in slot order). A lost home-directory entry reconstructs
+    // from the replica directory plus sharer probes; lost replica-side
+    // entries reconstruct from the home side. When the source side is
+    // itself compromised the entry stays lost -- single-copy service
+    // with honest DUEs continues until a later sweep can rebuild.
+    std::vector<std::uint64_t> lost;
+    lost.reserve(metaLost_.size());
+    for (const auto &[key, since] : metaLost_)
+        lost.push_back(key);
+    std::sort(lost.begin(), lost.end());
+    for (const std::uint64_t key : lost) {
+        const unsigned socket =
+            static_cast<unsigned>((key >> 48) / numMetaStructures);
+        const unsigned structure =
+            static_cast<unsigned>((key >> 48) % numMetaStructures);
+        const Addr page = key & ((Addr(1) << 48) - 1);
+        const Addr first = page << (pageShift - lineShift);
+        const unsigned h = homeSocket(first);
+        const auto rs = rmap_.replicaSocket(first, h);
+        if (structure == unsigned(MetaStructure::HomeDir)) {
+            if (rs
+                && (metaCompromised(
+                        *rs, unsigned(MetaStructure::ReplicaDir), page)
+                    || metaCompromised(h, unsigned(MetaStructure::Rmt),
+                                       page))) {
+                continue; // replica side unreadable: both sides lost
+            }
+            if (rs && *rs != h) {
+                t = controlSend(dirNode(h), dirNode(*rs), t);
+                t = controlSend(dirNode(*rs), dirNode(h), t);
+            }
+            metaTryRebuild(socket, structure, page, true);
+        } else {
+            if (metaCompromised(h, unsigned(MetaStructure::HomeDir),
+                                page)) {
+                continue; // home side unreadable: both sides lost
+            }
+            if (rs && *rs != h) {
+                t = controlSend(dirNode(*rs), dirNode(h), t);
+                t = controlSend(dirNode(h), dirNode(*rs), t);
+            }
+            metaTryRebuild(socket, structure, page,
+                           !dcfg_.bugSkipRebuildOnScrub);
+        }
+    }
+    return t;
+}
+
 DveEngine::ScrubReport
 DveEngine::patrolScrub(Tick now, std::size_t max_lines)
 {
     ScrubReport rep;
-    rep.finishedAt = now;
+    Tick t = now;
+    // Metadata leg first: a rebuilt directory entry lets the data sweep
+    // below trust its RM markers again.
+    if (dcfg_.metadataFaults)
+        t = metaScrubPass(t);
+    rep.finishedAt = t;
     if (logicalMem_.empty())
         return rep;
 
@@ -523,8 +770,6 @@ DveEngine::patrolScrub(Tick now, std::size_t max_lines)
     const std::uint64_t ce0 = sysCe_.value();
     const std::uint64_t rec0 = replicaRecoveries_.value();
     const std::uint64_t due0 = due_.value();
-
-    Tick t = now;
     const std::size_t n = std::min(max_lines, lines.size());
 
     // Scrub one copy: a corrected error is rewritten in place (curing
@@ -1023,7 +1268,7 @@ DveEngine::writebackToMemory(unsigned home, Addr line, std::uint64_t value,
         // (single-copy mode) before any read could observe it, and let
         // the background repair re-replicate once the fabric heals.
         ++fabricDemotions_;
-        rd.remove(line);
+        rdRemove(*rs, line);
         markDegraded(false, line, arrive.at);
         return std::max(t_home, arrive.at);
     }
@@ -1043,7 +1288,7 @@ DveEngine::writebackToMemory(unsigned home, Addr line, std::uint64_t value,
     // Both memories are now current: clear deny markers / refresh allow
     // ownership entries.
     if (effectiveDeny(line)) {
-        rd.remove(line);
+        rdRemove(*rs, line);
     } else if (rd.hasLineEntry(line)) {
         // Refresh to Readable only when the home can still route an
         // invalidation here: a replica-side ownership entry (the home
@@ -1058,9 +1303,9 @@ DveEngine::writebackToMemory(unsigned home, Addr line, std::uint64_t value,
             || (backing->state == RepState::M
                 && backing->owner == static_cast<int>(*rs));
         if (invalidatable)
-            rd.install(line, {RepState::Readable, -1});
+            rdInstall(*rs, line, {RepState::Readable, -1});
         else
-            rd.remove(line);
+            rdRemove(*rs, line);
     }
     return std::max(t_home, t_rep);
 }
@@ -1087,7 +1332,7 @@ DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
 
     if (to_socket == *rs) {
         // Replica-side writer: the replica directory tracks the owner.
-        rd.install(line, {RepState::M, static_cast<int>(to_socket)});
+        rdInstall(*rs, line, {RepState::M, static_cast<int>(to_socket)});
         if (dcfg_.coarseGrain)
             rd.removeRegion(line);
         return start;
@@ -1102,7 +1347,7 @@ DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
         ++rmPushes_;
         Tick t = controlSend(dirNode(home), dirNode(*rs), start);
         t += cycles(cfg_.dirLatency);
-        rd.install(line, {RepState::RM, static_cast<int>(to_socket)});
+        rdInstall(*rs, line, {RepState::RM, static_cast<int>(to_socket)});
         if (dcfg_.coarseGrain)
             rd.removeRegion(line);
         if (!dcfg_.bugSkipDenyInvalidate)
@@ -1130,7 +1375,7 @@ DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
             reportViolation(InvariantMonitor::ReplicaDir, start, line,
                             "exclusive grant found a Readable replica "
                             "permission the home never registered");
-            rd.remove(line);
+            rdRemove(*rs, line);
             return start;
         }
         dve_assert(!rd.hasReadablePermission(line),
@@ -1139,7 +1384,7 @@ DveEngine::grantedExclusive(unsigned home, Addr line, unsigned to_socket,
     }
     Tick t = controlSend(dirNode(home), dirNode(*rs), start);
     t += cycles(cfg_.dirLatency);
-    rd.remove(line);
+    rdRemove(*rs, line);
     if (region_held) {
         // Losing a region permission invalidates the whole region's
         // readability (the overhead Fig 9 attributes to coarse grain).
@@ -1210,6 +1455,11 @@ DveEngine::checkInvariants(Tick now)
                 return;
             if (degradedReplica_.count(line) || degradedHome_.count(line))
                 return;
+            // While the replica-directory page is lost, the RM marker
+            // lives in the rebuild journal, not the backing store (and
+            // reads route to home anyway).
+            if (metaRdLost(*rs, line))
+                return;
             const auto backing = rdirs_[*rs]->peekBacking(line);
             if (!backing || backing->state == RepState::Readable)
                 bad.push_back(line);
@@ -1220,6 +1470,51 @@ DveEngine::checkInvariants(Tick now)
                             "remotely modified line without a deny (RM) "
                             "marker at the replica directory");
     }
+
+    // Metadata golden shadow: once a lost replica-directory page has
+    // been rebuilt, every write journaled during the outage must be
+    // reflected in the backing store. A rebuild that skipped the replay
+    // (the seeded skip-rebuild-on-scrub bug) leaves the shadow diverged
+    // here.
+    if (dcfg_.metadataFaults) {
+        std::vector<Addr> lines;
+        for (const auto &kv : metaJournal_)
+            lines.push_back(kv.first);
+        std::sort(lines.begin(), lines.end());
+        for (const Addr line : lines) {
+            const unsigned h = homeSocket(line);
+            const auto rs = rmap_.replicaSocket(line, h);
+            if (!rs) {
+                metaJournal_.erase(line); // page left replication
+                continue;
+            }
+            if (metaRdLost(*rs, line))
+                continue; // still lost: divergence is expected
+            const MetaShadow sh = metaJournal_.find(line)->second;
+            const auto backing = rdirs_[*rs]->peekBacking(line);
+            // Readable journals as authoritative absence (the backing
+            // store never holds Readable entries).
+            const bool expectAbsent =
+                !sh.present || sh.state == RepState::Readable;
+            const bool match =
+                expectAbsent ? !backing
+                             : (backing && backing->state == sh.state
+                                && backing->owner == sh.owner);
+            if (!match) {
+                reportViolation(InvariantMonitor::Metadata, now, line,
+                                "replica-directory backing state "
+                                "diverges from the journaled golden "
+                                "shadow after a metadata rebuild");
+                // Cure: apply the journaled write so the run stays
+                // well-defined past the detection point.
+                if (expectAbsent)
+                    rdirs_[*rs]->remove(line);
+                else
+                    rdirs_[*rs]->install(line, {sh.state, sh.owner});
+            }
+            metaJournal_.erase(line);
+        }
+    }
 }
 
 bool
@@ -1227,7 +1522,8 @@ DveEngine::dueHasCause(Addr line) const
 {
     return CoherenceEngine::dueHasCause(line)
            || degradedHome_.count(line) > 0
-           || degradedReplica_.count(line) > 0 || !fenceUntil_.empty();
+           || degradedReplica_.count(line) > 0 || !fenceUntil_.empty()
+           || (dcfg_.metadataFaults && !metaLost_.empty());
 }
 
 CoherenceEngine::MissResult
@@ -1275,6 +1571,32 @@ DveEngine::replicaSideGets(unsigned req_socket, unsigned rsock, Addr line,
         rd.release(line, res.done);
         dynamicObserve(line, res.done - t_slice);
         return res;
+    }
+
+    if (dcfg_.metadataFaults) {
+        const Addr page = line >> (pageShift - lineShift);
+        const MetaVerdict v = metaCheck(
+            rsock, unsigned(MetaStructure::ReplicaDir), page, start);
+        if (v == MetaVerdict::Lost) {
+            // The backing entry is unreadable: the home copy is the only
+            // state that can be trusted until the scrubber rebuilds.
+            ++metaForwards_;
+            res = forwardGetsToHome(rsock, line, start);
+            rd.release(line, res.done);
+            dynamicObserve(line, res.done - t_slice);
+            return res;
+        }
+        if (v == MetaVerdict::Lying) {
+            // Unprotected corruption reads as a valid Readable
+            // permission: the (possibly remotely-modified, stale)
+            // replica copy is served without consulting home.
+            const MemRead m = readReplicaChecked(rsock, h, line, start);
+            res.value = m.value;
+            res.done = m.ready + ic_.send(rdn, dest, MsgClass::Data);
+            rd.release(line, res.done);
+            dynamicObserve(line, res.done - t_slice);
+            return res;
+        }
     }
 
     auto look = rd.lookup(line);
@@ -1438,7 +1760,76 @@ DveEngine::serviceLlcMiss(unsigned socket, Addr line, bool is_write,
     }
 
     const unsigned h = homeSocket(line);
-    const auto rs = rmap_.replicaSocket(line, h);
+    const auto rs0 = rmap_.replicaSocket(line, h);
+    auto rs = rs0;
+    bool rmtLying = false;
+
+    if (dcfg_.metadataFaults && rs0) {
+        const Addr page = line >> (pageShift - lineShift);
+        // RMT consult: where does this line's replica live?
+        const MetaVerdict rv =
+            metaCheck(h, unsigned(MetaStructure::Rmt), page, t_slice);
+        if (rv == MetaVerdict::Lost) {
+            // The placement entry is unreadable: only the home copy can
+            // be trusted until the scrubber rebuilds the RMT.
+            ++metaForwards_;
+            rs = std::nullopt;
+        } else if (rv == MetaVerdict::Lying) {
+            rmtLying = true;
+        }
+
+        // Home-directory consult for every access that serializes at
+        // the home: home-side requests, writes, and anything the RMT
+        // loss just rerouted there.
+        if (!rs || socket == h || is_write) {
+            const MetaVerdict hv = metaCheck(
+                h, unsigned(MetaStructure::HomeDir), page, t_slice);
+            if (hv == MetaVerdict::Lost) {
+                bool rebuilt = false;
+                if (is_write) {
+                    // The GETX re-allocates the directory entry: a
+                    // write is its own rebuild.
+                    rebuilt = metaTryRebuild(
+                        h, unsigned(MetaStructure::HomeDir), page, true);
+                } else if (!metaCompromised(
+                               *rs0,
+                               unsigned(MetaStructure::ReplicaDir), page)
+                           && !metaCompromised(
+                               h, unsigned(MetaStructure::Rmt), page)) {
+                    // Cross-rebuild from the replica directory plus
+                    // sharer probes (one control round trip).
+                    t_slice =
+                        controlSend(dirNode(h), dirNode(*rs0), t_slice);
+                    t_slice =
+                        controlSend(dirNode(*rs0), dirNode(h), t_slice);
+                    rebuilt = metaTryRebuild(
+                        h, unsigned(MetaStructure::HomeDir), page, true);
+                }
+                if (!rebuilt && !is_write) {
+                    // Both metadata sides are lost: the response is
+                    // poisoned -- an honest machine check, never a
+                    // silent lie -- and the access eats the probe
+                    // timeout. The directory transaction below still
+                    // completes, so sharer bookkeeping stays coherent
+                    // for the caches this response fills.
+                    ++due_;
+                    ++metaDemotions_;
+                    t_slice += dcfg_.linkTimeout;
+                }
+                // A write proceeds regardless: the grant rewrites the
+                // entry (a permanent fault just corrupts it again).
+            } else if (hv == MetaVerdict::Lying && !is_write
+                       && socket == h) {
+                // The corrupt entry claims the memory copy is current:
+                // serve the home frame without the owner recall the
+                // true entry would have forced (stale data whenever a
+                // remote cache owns the line dirty).
+                const auto m =
+                    memory(h).read(dataAddr(h, line), t_slice);
+                return {m.readyAt, m.value, false};
+            }
+        }
+    }
 
     if (!rs || socket == h) {
         // Unreplicated line, or the requester is on the home side: the
@@ -1451,6 +1842,21 @@ DveEngine::serviceLlcMiss(unsigned socket, Addr line, bool is_write,
         if (rs)
             dynamicObserve(line, r.done - t_slice);
         return r;
+    }
+
+    if (rmtLying && !is_write) {
+        // The corrupt placement points at a phantom frame: the read
+        // lands on another page's replica slot and commits its data.
+        const unsigned ridx = replicaMemIndex(*rs, line);
+        const Addr phantom = line + pageBytes / lineBytes;
+        const Tick arrival =
+            t_slice + ic_.send(sliceNode(socket, line), dirNode(*rs),
+                               MsgClass::Control);
+        const auto m = memAt(ridx).read(dataAddr(ridx, phantom), arrival);
+        return {m.readyAt + ic_.send(dirNode(*rs),
+                                     sliceNode(socket, line),
+                                     MsgClass::Data),
+                m.value, false};
     }
 
     if (is_write) {
@@ -1591,7 +1997,7 @@ DveEngine::rebuildDenyBacking()
                   });
         for (const auto &[line, entry] : marks) {
             const auto rs = rmap_.replicaSocket(line, h);
-            rdirs_[*rs]->install(line, entry);
+            rdInstall(*rs, line, entry);
         }
     }
 }
@@ -1636,7 +2042,7 @@ DveEngine::enableReplication(Addr page, unsigned replica_socket)
                   return a.first < b.first;
               });
     for (const auto &[line, entry] : marks)
-        rdirs_[replica_socket]->install(line, entry);
+        rdInstall(replica_socket, line, entry);
 }
 
 void
@@ -1648,6 +2054,11 @@ DveEngine::disableReplication(Addr page)
     const auto rs = rmap_.replicaSocket(first, h);
     if (!rs)
         return;
+    // Unmapping retires this page's control-plane state wholesale: lost
+    // markers and journaled shadow writes describe structures that no
+    // longer back anything.
+    if (dcfg_.metadataFaults)
+        metaDropPage(*rs, h, page);
     for (Addr line = first; line < last; ++line) {
         rdirs_[*rs]->remove(line);
         // Unplugging the replica forfeits its degraded bookkeeping
@@ -1748,7 +2159,7 @@ DveEngine::promotePage(Addr page, Tick now)
     std::sort(marks.begin(), marks.end(),
               [](const auto &a, const auto &b) { return a.first < b.first; });
     for (const auto &[l, entry] : marks)
-        rdirs_[rsock]->install(l, entry);
+        rdInstall(rsock, l, entry);
 
     // Unlike enableReplication, the replica data is NOT poked into
     // place: every written line starts replica-degraded and the timed

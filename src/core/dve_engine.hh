@@ -53,6 +53,26 @@ enum class DveProtocol : std::uint8_t
 
 const char *dveProtocolName(DveProtocol p);
 
+/**
+ * Protection tier of the directory/RMT metadata arrays (the metadata
+ * fault domain's analogue of the per-scheme data codecs). Metadata lives
+ * in the same failure-prone DRAM as the data it describes; the tier
+ * decides what a consult of a corrupted entry observes.
+ */
+enum class MetadataProtection : std::uint8_t
+{
+    None,   ///< the corrupted entry silently lies (wrong owner/permission)
+    Parity, ///< corruption is detected; the entry is treated as lost
+    Ecc,    ///< corruption is corrected in place
+};
+
+constexpr unsigned numMetadataProtections = 3;
+
+const char *metadataProtectionName(MetadataProtection p);
+
+/** Inverse of metadataProtectionName; nullopt for unrecognized names. */
+std::optional<MetadataProtection> parseMetadataProtection(const char *name);
+
 /** Dvé-specific configuration (defaults follow Sec. VI). */
 struct DveConfig
 {
@@ -139,6 +159,21 @@ struct DveConfig
      */
     PolicyConfig policy;
 
+    // ---- Metadata fault domain (control-plane protection) --------------
+    /**
+     * Arm the metadata fault domain: FaultScope::Metadata descriptors on
+     * (socket, structure, page) coordinates are consulted wherever the
+     * engine reads a home-directory entry, the replica directory's
+     * backing state, or the replica-map table, and the periodic scrubber
+     * grows a metadata pass (detection, cross-rebuild, journal flush).
+     * Disarmed (the default), no consult, stat registration, or scrub
+     * work happens and every observable output stays byte-identical to
+     * a build without the domain.
+     */
+    bool metadataFaults = false;
+    /** Protection tier the metadata arrays carry when armed. */
+    MetadataProtection metaProtection = MetadataProtection::Ecc;
+
     // ---- Seeded-bug switches (chaos-fuzz harness only) -----------------
     /**
      * Re-introduce the pre-fix writeback-refresh bug: a dirty eviction's
@@ -171,6 +206,20 @@ struct DveConfig
      * of the pool degradation ladder; never enable otherwise.
      */
     bool bugSkipDemotionOnPartition = false;
+    /**
+     * Skip the journal flush that a metadata scrub's replica-directory
+     * rebuild must perform. While a page's backing metadata is lost
+     * (parity tier), deny-protocol RM pushes are journaled instead of
+     * written to the corrupt structure; the rebuild replays that journal
+     * so the markers exist again. With the bug the scrub declares the
+     * entry rebuilt (clearing the lost record and curing the transient)
+     * WITHOUT replaying the journal: the replica directory then reads
+     * absence-means-readable over a remotely-modified line, and the next
+     * local replica read commits stale data (an SDC). The metadata
+     * invariant monitor catches the divergence against the journal's
+     * golden shadow. Fuzz harness only; never enable otherwise.
+     */
+    bool bugSkipRebuildOnScrub = false;
 };
 
 /** The Dvé engine: baseline NUMA + coherent replication. */
@@ -318,6 +367,32 @@ class DveEngine : public CoherenceEngine
     {
         return policyDemotionWbWait_;
     }
+
+    // ---- Metadata fault domain -----------------------------------------
+
+    /** Is the metadata fault domain armed? */
+    bool metadataArmed() const { return dcfg_.metadataFaults; }
+
+    /** Parity detections that marked an entry lost. */
+    std::uint64_t metadataDetected() const { return metaDetected_.value(); }
+    /** ECC-corrected metadata consults/scrubs. */
+    std::uint64_t metadataCorrected() const
+    {
+        return metaCorrected_.value();
+    }
+    /** Consults served by a silently-corrupt (unprotected) entry. */
+    std::uint64_t metadataLies() const { return metaLies_.value(); }
+    /** Lost entries reconstructed (cross-rebuild or write re-alloc). */
+    std::uint64_t metadataRebuilds() const { return metaRebuilds_.value(); }
+    /** Reads demoted to an honest DUE because both sides were lost. */
+    std::uint64_t metadataDemotions() const
+    {
+        return metaDemotions_.value();
+    }
+    /** Requests rerouted to the home copy while an entry was lost. */
+    std::uint64_t metadataForwards() const { return metaForwards_.value(); }
+    /** Entries currently marked lost and awaiting rebuild. */
+    std::size_t metadataLostEntries() const { return metaLost_.size(); }
 
     // Dvé-specific statistics.
     std::uint64_t replicaLocalReads() const
@@ -568,6 +643,69 @@ class DveEngine : public CoherenceEngine
     void noteDisturbRepair(unsigned fail_sock, Addr line, bool home_side,
                            bool was_disturbed, Tick &t);
 
+    // ---- Metadata fault domain machinery -------------------------------
+
+    /** What one consult of a metadata entry observes under the tier. */
+    enum class MetaVerdict : std::uint8_t
+    {
+        Clean, ///< no fault, or the tier corrected it
+        Lying, ///< unprotected corruption: the entry misleads the consult
+        Lost,  ///< parity detection: the entry is unreadable until rebuilt
+    };
+
+    /** Key of one (socket, structure, page) metadata coordinate. */
+    static std::uint64_t
+    metaKey(unsigned socket, unsigned structure, Addr page)
+    {
+        return ((std::uint64_t(socket) * numMetaStructures + structure)
+                << 48)
+               | page;
+    }
+
+    /**
+     * Consult the metadata entry at (socket, structure, page): applies
+     * the protection tier to any active fault there, marking parity
+     * detections lost (and counting) as a side effect.
+     */
+    MetaVerdict metaCheck(unsigned socket, unsigned structure, Addr page,
+                          Tick now);
+
+    /** Is the entry unusable as a rebuild source (lost, or faulted
+     *  beyond what the tier corrects)? */
+    bool metaCompromised(unsigned socket, unsigned structure,
+                         Addr page) const;
+
+    /** Is @p line's replica-directory backing page currently lost? */
+    bool metaRdLost(unsigned rsock, Addr line) const;
+
+    /**
+     * Replica-directory write that honours a lost backing page: journal
+     * the intended state (the golden shadow the rebuild replays and the
+     * metadata monitor audits) instead of writing the corrupt structure.
+     */
+    void rdInstall(unsigned rsock, Addr line,
+                   const ReplicaDirectory::Entry &e);
+    void rdRemove(unsigned rsock, Addr line);
+
+    /**
+     * Reconstruct one lost entry in place: cure the transient fault and
+     * clear the lost record. @return false (entry stays lost) when the
+     * fault is permanent -- the rebuilt entry would corrupt again.
+     * @p flush_journal replays journaled replica-directory writes; the
+     * seeded bugSkipRebuildOnScrub passes false here.
+     */
+    bool metaTryRebuild(unsigned socket, unsigned structure, Addr page,
+                        bool flush_journal);
+
+    /** Replay (and drop) journaled writes for @p page's lines. */
+    void metaFlushJournal(unsigned rsock, Addr page);
+
+    /** Metadata leg of the patrol scrub: detection then rebuild. */
+    Tick metaScrubPass(Tick t);
+
+    /** Drop metadata bookkeeping tied to a torn-down replica mapping. */
+    void metaDropPage(unsigned rsock, unsigned h, Addr page);
+
     /** Dynamic protocol bookkeeping per replica-side transaction. */
     void dynamicObserve(Addr line, Tick latency);
 
@@ -669,6 +807,21 @@ class DveEngine : public CoherenceEngine
     std::uint64_t balanceCounter_ = 0;
     std::size_t scrubCursor_ = 0;
 
+    /** Journaled replica-directory write: install of {state, owner}
+     *  (present) or a remove. POD so FlatMap can hold it. */
+    struct MetaShadow
+    {
+        std::uint8_t present = 0;
+        RepState state = RepState::Readable;
+        int owner = -1;
+    };
+
+    /** Lost metadata entries awaiting rebuild: metaKey -> detect tick. */
+    FlatMap<std::uint64_t, Tick> metaLost_;
+    /** Golden shadow of replica-directory writes dropped while the
+     *  backing page was lost, keyed by line. */
+    FlatMap<Addr, MetaShadow> metaJournal_;
+
     Counter replicaLocalReads_;
     Counter balancedHomeReads_;
     Counter scrubbedLines_;
@@ -695,6 +848,12 @@ class DveEngine : public CoherenceEngine
     Counter slowControlMsgs_; ///< metadata routed around a fenced link
     Counter fencedFastFails_;
     Counter dynamicSwitches_;
+    Counter metaDetected_;   ///< parity detections marking entries lost
+    Counter metaCorrected_;  ///< ECC-corrected metadata consults/scrubs
+    Counter metaLies_;       ///< consults misled by unprotected corruption
+    Counter metaRebuilds_;   ///< entries reconstructed from the other side
+    Counter metaDemotions_;  ///< honest DUEs: both metadata sides lost
+    Counter metaForwards_;   ///< requests rerouted home past a lost entry
     Counter policyEpochs_;
     Counter policyPromotions_;
     Counter policyDemotions_;

@@ -81,6 +81,12 @@ ReplicaDirectory::remove(Addr line)
 }
 
 void
+ReplicaDirectory::invalidateOnChip(Addr line)
+{
+    onChip_.erase(line);
+}
+
+void
 ReplicaDirectory::installRegion(Addr line)
 {
     ++regionInstalls_;

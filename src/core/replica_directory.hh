@@ -79,6 +79,13 @@ class ReplicaDirectory
     /** Remove a line entry everywhere. */
     void remove(Addr line);
 
+    /** Drop only the on-chip cached entry for @p line, leaving the
+     *  backing state untouched. Metadata fault domain: while the DRAM
+     *  backing page is unreadable (writes are journaled for the
+     *  rebuild), the SRAM cache stays writable and must not keep
+     *  serving permissions the journaled transition revoked. */
+    void invalidateOnChip(Addr line);
+
     /** Install a coarse-grain Readable permission for a whole region. */
     void installRegion(Addr line);
 

@@ -1,6 +1,7 @@
 #include "fault/campaign.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -27,6 +28,9 @@ campaignSchemeName(CampaignScheme s)
         return "baseline-preventive";
       case CampaignScheme::LocalChipkill: return "local-chipkill";
       case CampaignScheme::TwoTier: return "two-tier";
+      case CampaignScheme::DveMetaNone: return "dve-meta-none";
+      case CampaignScheme::DveMetaParity: return "dve-meta-parity";
+      case CampaignScheme::DveMetaEcc: return "dve-meta-ecc";
     }
     return "?";
 }
@@ -98,6 +102,29 @@ parsePolicyScenario(const char *name)
     for (unsigned i = 0; i < numPolicyScenarios; ++i) {
         const auto s = static_cast<PolicyScenario>(i);
         if (std::strcmp(name, policyScenarioName(s)) == 0)
+            return s;
+    }
+    return std::nullopt;
+}
+
+const char *
+metadataScenarioName(MetadataScenario s)
+{
+    switch (s) {
+      case MetadataScenario::None: return "none";
+      case MetadataScenario::MetadataStorm: return "metadata-storm";
+      case MetadataScenario::MetadataUnderLoad:
+        return "metadata-under-load";
+    }
+    return "?";
+}
+
+std::optional<MetadataScenario>
+parseMetadataScenario(const char *name)
+{
+    for (unsigned i = 0; i < numMetadataScenarios; ++i) {
+        const auto s = static_cast<MetadataScenario>(i);
+        if (std::strcmp(name, metadataScenarioName(s)) == 0)
             return s;
     }
     return std::nullopt;
@@ -197,6 +224,39 @@ policySchemes()
             CampaignScheme::DveDeny};
 }
 
+void
+applyMetadataPreset(CampaignConfig &cfg, MetadataScenario sc)
+{
+    cfg.metadataScenario = sc;
+    if (sc == MetadataScenario::None)
+        return;
+    // The storm isolates the control-plane story: every DUE or SDC in
+    // the report traces back to a corrupted directory/RMT entry, not to
+    // an ambient data fault the codec happened to miss.
+    if (sc == MetadataScenario::MetadataStorm) {
+        for (auto &r : cfg.lifecycle.rates)
+            r.fit = 0.0;
+    }
+    // Directory entries don't flap: a corrupted word is either cured by
+    // the next rewrite (transient) or wrong until rebuilt from the other
+    // side (permanent). Half-and-half exercises both scrub outcomes --
+    // repair-in-place and cross-rebuild -- plus the both-sides-lost DUE
+    // tail. The storm doubles the pressure so several pages are lost at
+    // once and rebuilds queue up behind each other.
+    const double fit = sc == MetadataScenario::MetadataStorm ? 30.0 : 12.0;
+    cfg.lifecycle.rates[unsigned(FaultScope::Metadata)] = {fit, 0.5, 0.0};
+}
+
+std::vector<CampaignScheme>
+metadataSchemes()
+{
+    // baseline-detect has no replication metadata to corrupt: it shows
+    // what the same fault process costs a scheme without a control
+    // plane, anchoring the meta-none SDCs to Dvé's added structures.
+    return {CampaignScheme::BaselineDetect, CampaignScheme::DveMetaNone,
+            CampaignScheme::DveMetaParity, CampaignScheme::DveMetaEcc};
+}
+
 CampaignConfig
 CampaignConfig::quickDefaults()
 {
@@ -250,6 +310,13 @@ TrialStats::accumulate(const TrialStats &t)
     preventiveStallTicks += t.preventiveStallTicks;
     disturbFaults += t.disturbFaults;
     disturbRetirements += t.disturbRetirements;
+    metaDetected += t.metaDetected;
+    metaCorrected += t.metaCorrected;
+    metaLies += t.metaLies;
+    metaRebuilds += t.metaRebuilds;
+    metaDemotions += t.metaDemotions;
+    metaForwards += t.metaForwards;
+    timedOut += t.timedOut;
     poolReplicaReads += t.poolReplicaReads;
     poolReplicaWrites += t.poolReplicaWrites;
     poolRetargets += t.poolRetargets;
@@ -286,10 +353,29 @@ namespace
 {
 
 bool
+isMetaScheme(CampaignScheme s)
+{
+    return s == CampaignScheme::DveMetaNone
+           || s == CampaignScheme::DveMetaParity
+           || s == CampaignScheme::DveMetaEcc;
+}
+
+MetadataProtection
+metaTierOf(CampaignScheme s)
+{
+    switch (s) {
+      case CampaignScheme::DveMetaNone: return MetadataProtection::None;
+      case CampaignScheme::DveMetaParity:
+        return MetadataProtection::Parity;
+      default: return MetadataProtection::Ecc;
+    }
+}
+
+bool
 isDve(CampaignScheme s)
 {
     return s == CampaignScheme::DveAllow || s == CampaignScheme::DveDeny
-           || s == CampaignScheme::TwoTier;
+           || s == CampaignScheme::TwoTier || isMetaScheme(s);
 }
 
 Scheme
@@ -302,8 +388,13 @@ codecFor(CampaignScheme s)
       case CampaignScheme::BaselineDetect: return Scheme::DsdDetect;
       // Dvé pairs detection-only codes with cross-copy recovery; TSD is
       // the paper's Dvé+TSD configuration (detects 3-chip failures).
+      // The metadata tiers share it: only the control-plane protection
+      // differs between them, never the data codec.
       case CampaignScheme::DveAllow:
-      case CampaignScheme::DveDeny: return Scheme::TsdDetect;
+      case CampaignScheme::DveDeny:
+      case CampaignScheme::DveMetaNone:
+      case CampaignScheme::DveMetaParity:
+      case CampaignScheme::DveMetaEcc: return Scheme::TsdDetect;
       // The pool comparison pair: strong self-sufficient local ECC vs
       // the two-tier split (weak local detect, far replica recovers).
       case CampaignScheme::LocalChipkill: return Scheme::ChipkillSscDsd;
@@ -397,6 +488,12 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
         DveConfig d = cfg_.dve;
         d.protocol = s == CampaignScheme::DveAllow ? DveProtocol::Allow
                                                    : DveProtocol::Deny;
+        // Metadata tiers: same deny engine, same data codec; the only
+        // degree of freedom is how the control-plane words are encoded.
+        if (isMetaScheme(s)) {
+            d.metadataFaults = true;
+            d.metaProtection = metaTierOf(s);
+        }
         // Only the two-tier scheme puts its replicas on the pool;
         // classic Dvé keeps them in the replica socket's DRAM even in
         // pool campaigns (that contrast is the Table-I comparison).
@@ -495,7 +592,23 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
     Tick next_scrub = cfg_.scrubInterval;
     Tick next_maint = cfg_.maintenanceInterval;
 
+    // Wall-clock watchdog: when armed, a runaway trial stops issuing
+    // ops (and skips the drain) instead of hanging the campaign. The
+    // clock is never read when the watchdog is off, so default-config
+    // reports stay byte-identical and fully deterministic.
+    const bool watchdog = cfg_.trialTimeoutMs > 0;
+    const auto started = watchdog ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point();
+    const auto expired = [&]() {
+        return std::chrono::steady_clock::now() - started
+               >= std::chrono::milliseconds(cfg_.trialTimeoutMs);
+    };
+
     for (std::uint64_t op = 0; op < cfg_.opsPerTrial; ++op) {
+        if (watchdog && op != 0 && (op & 255u) == 0 && expired()) {
+            t.timedOut = 1;
+            break;
+        }
         flc.advanceTo(clock);
 
         if (policyRun && cfg_.policyScenario == PolicyScenario::BudgetSqueeze
@@ -585,6 +698,10 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
     if (dve) {
         flc.stopArrivals();
         for (unsigned round = 0; round < cfg_.drainRounds; ++round) {
+            if (watchdog && (t.timedOut || expired())) {
+                t.timedOut = 1;
+                break;
+            }
             if (dve->degradedLines() == 0 && dve->pendingRepairs() == 0)
                 break;
             clock += cfg_.maintenanceInterval;
@@ -630,6 +747,14 @@ CampaignRunner::runTrial(CampaignScheme s, unsigned trial) const
             t.poolReplicaReads = dve->poolReplicaReads();
             t.poolReplicaWrites = dve->poolReplicaWrites();
             t.poolRetargets = dve->poolRetargets();
+        }
+        if (dve->metadataArmed()) {
+            t.metaDetected = dve->metadataDetected();
+            t.metaCorrected = dve->metadataCorrected();
+            t.metaLies = dve->metadataLies();
+            t.metaRebuilds = dve->metadataRebuilds();
+            t.metaDemotions = dve->metadataDemotions();
+            t.metaForwards = dve->metadataForwards();
         }
         if (dve->policyActive()) {
             t.policyEpochs = dve->policyEpochs();
@@ -746,7 +871,8 @@ fmtTicks(double v)
 
 void
 writeTotals(const TrialStats &t, bool disturb, bool pool, bool policy,
-            const char *indent, std::ostream &os)
+            bool metadata, bool timeout, const char *indent,
+            std::ostream &os)
 {
     os << indent << "\"reads\": " << t.reads << ",\n"
        << indent << "\"writes\": " << t.writes << ",\n"
@@ -822,6 +948,23 @@ writeTotals(const TrialStats &t, bool disturb, bool pool, bool policy,
            << indent << "\"policy_demotion_writebacks\": "
            << t.policyDemotionWritebacks;
     }
+    if (metadata) {
+        // Emitted only for metadata campaigns so metadata-free reports
+        // stay byte-identical to earlier versions.
+        os << ",\n"
+           << indent << "\"meta_detected\": " << t.metaDetected << ",\n"
+           << indent << "\"meta_corrected\": " << t.metaCorrected << ",\n"
+           << indent << "\"meta_lies\": " << t.metaLies << ",\n"
+           << indent << "\"meta_rebuilds\": " << t.metaRebuilds << ",\n"
+           << indent << "\"meta_demotions\": " << t.metaDemotions << ",\n"
+           << indent << "\"meta_forwards\": " << t.metaForwards;
+    }
+    if (timeout) {
+        // Emitted only when the watchdog is armed; counts timed-out
+        // trials in totals.
+        os << ",\n"
+           << indent << "\"timed_out\": " << t.timedOut;
+    }
     os << "\n";
 }
 
@@ -856,6 +999,12 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
         os << "    \"policy_scenario\": \""
            << policyScenarioName(c.policyScenario) << "\",\n";
     }
+    if (c.metadataScenario != MetadataScenario::None) {
+        os << "    \"metadata_scenario\": \""
+           << metadataScenarioName(c.metadataScenario) << "\",\n";
+    }
+    if (c.trialTimeoutMs > 0)
+        os << "    \"trial_timeout_ms\": " << c.trialTimeoutMs << ",\n";
     os << "    \"ops_per_trial\": " << c.opsPerTrial << ",\n"
        << "    \"footprint_pages\": " << c.footprintPages << ",\n"
        << "    \"scrub_interval_ticks\": " << c.scrubInterval << ",\n"
@@ -874,7 +1023,8 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
         writeTotals(sr.totals, c.disturb != DisturbScenario::None,
                     c.poolNodes > 0,
                     c.policyScenario != PolicyScenario::None,
-                    "        ", os);
+                    c.metadataScenario != MetadataScenario::None,
+                    c.trialTimeoutMs > 0, "        ", os);
         os << "      },\n"
            << "      \"recovery_latency\": {\n"
            << "        \"count\": " << sr.recovery.count << ",\n"
@@ -913,6 +1063,14 @@ writeJsonReport(const CampaignReport &report, std::ostream &os)
                    << ", \"demotion_writebacks\": "
                    << t.policyDemotionWritebacks;
             }
+            if (c.metadataScenario != MetadataScenario::None) {
+                os << ",\n         \"meta_detected\": " << t.metaDetected
+                   << ", \"meta_lies\": " << t.metaLies
+                   << ", \"meta_rebuilds\": " << t.metaRebuilds
+                   << ", \"meta_demotions\": " << t.metaDemotions;
+            }
+            if (c.trialTimeoutMs > 0)
+                os << ",\n         \"timed_out\": " << t.timedOut;
             os << ",\n         \"engine_seed\": " << t.engineSeed
                << ", \"fault_seed\": " << t.faultSeed
                << ", \"workload_seed\": " << t.workloadSeed

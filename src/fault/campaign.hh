@@ -46,9 +46,14 @@ enum class CampaignScheme : std::uint8_t
     // renumbering the existing schemes in older reports):
     LocalChipkill,  ///< strong local Chipkill ECC, no replication
     TwoTier,        ///< weak local detect + far-memory pool replica
+    // Appended for metadata-fault campaigns: the same Dvé deny engine
+    // under the three metadata protection tiers.
+    DveMetaNone,    ///< unprotected directory/RMT state: silent lies
+    DveMetaParity,  ///< parity-detected metadata: lost entries, honesty
+    DveMetaEcc,     ///< ECC-corrected metadata: consults self-heal
 };
 
-constexpr unsigned numCampaignSchemes = 8;
+constexpr unsigned numCampaignSchemes = 11;
 
 const char *campaignSchemeName(CampaignScheme s);
 
@@ -123,6 +128,28 @@ const char *policyScenarioName(PolicyScenario s);
 /** Inverse of policyScenarioName; nullopt for unrecognized names. */
 std::optional<PolicyScenario> parsePolicyScenario(const char *name);
 
+/**
+ * Metadata-fault scenario: the fault process targets the control plane
+ * (home directory, replica-directory backing, RMT) instead of -- or on
+ * top of -- the data arrays. The storm preset measures the metadata
+ * story in isolation (ambient DRAM rates zeroed); the under-load preset
+ * layers metadata corruption on the full field mix so scrub, rebuild
+ * and data recovery compete for the same maintenance windows.
+ */
+enum class MetadataScenario : std::uint8_t
+{
+    None,              ///< metadata domain disarmed: legacy behaviour
+    MetadataStorm,     ///< metadata arrivals only, high pressure
+    MetadataUnderLoad, ///< metadata arrivals on top of the field mix
+};
+
+constexpr unsigned numMetadataScenarios = 3;
+
+const char *metadataScenarioName(MetadataScenario s);
+
+/** Inverse of metadataScenarioName; nullopt for unrecognized names. */
+std::optional<MetadataScenario> parseMetadataScenario(const char *name);
+
 /** Campaign shape. */
 struct CampaignConfig
 {
@@ -152,6 +179,17 @@ struct CampaignConfig
     /** Replication-policy scenario (None = policy disarmed, no phased
      *  workload, no extra JSON keys). */
     PolicyScenario policyScenario = PolicyScenario::None;
+    /** Metadata-fault scenario (None = metadata domain disarmed, no
+     *  Metadata-scope arrivals, no extra JSON keys). */
+    MetadataScenario metadataScenario = MetadataScenario::None;
+    /** Per-trial wall-clock watchdog in milliseconds. 0 (default)
+     *  disables the watchdog entirely -- no clock reads, reports stay
+     *  byte-identical to earlier versions. When set, a trial that
+     *  exceeds the budget stops issuing ops, is marked timed_out in the
+     *  report, and the harness exits nonzero. A fired watchdog trades
+     *  determinism for liveness by design: its results depend on
+     *  wall-clock speed and must not be used as goldens. */
+    std::uint64_t trialTimeoutMs = 0;
     LifecycleConfig lifecycle; ///< rates/shape; geometry + seed per trial
     EngineConfig engine;       ///< base system; scheme set per campaign
     DveConfig dve;             ///< Dvé knobs; protocol set per scheme
@@ -198,6 +236,20 @@ void applyPolicyPreset(CampaignConfig &cfg, PolicyScenario sc);
  *  policy-driven on-demand Dvé under both protocol families. */
 std::vector<CampaignScheme> policySchemes();
 
+/**
+ * Shape @p cfg for a metadata-fault scenario: turn on the Metadata-scope
+ * arrival process (storm additionally zeroes the ambient DRAM mix so
+ * every observed outcome traces back to control-plane corruption). The
+ * protection tier itself is per scheme, not per preset: the same fault
+ * process hits meta-none, meta-parity and meta-ecc.
+ */
+void applyMetadataPreset(CampaignConfig &cfg, MetadataScenario sc);
+
+/** Scheme list a metadata campaign compares: detection-only baseline
+ *  (no metadata structures to corrupt) vs Dvé deny under the three
+ *  metadata protection tiers. */
+std::vector<CampaignScheme> metadataSchemes();
+
 /** Everything one trial observed. */
 struct TrialStats
 {
@@ -242,6 +294,18 @@ struct TrialStats
     std::uint64_t poolReplicaReads = 0;
     std::uint64_t poolReplicaWrites = 0;
     std::uint64_t poolRetargets = 0;
+    // Metadata fault domain (metadata campaigns only; their JSON keys
+    // are emitted only when a metadata scenario is active).
+    std::uint64_t metaDetected = 0;
+    std::uint64_t metaCorrected = 0;
+    std::uint64_t metaLies = 0;
+    std::uint64_t metaRebuilds = 0;
+    std::uint64_t metaDemotions = 0;
+    std::uint64_t metaForwards = 0;
+    /** 1 when the wall-clock watchdog stopped this trial early; summed
+     *  into totals as a timed-out trial count. Emitted (and possible)
+     *  only when CampaignConfig::trialTimeoutMs > 0. */
+    std::uint64_t timedOut = 0;
     // On-demand replication policy (policy campaigns only; their JSON
     // keys are emitted only when a policy scenario is active).
     std::uint64_t policyEpochs = 0;

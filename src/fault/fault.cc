@@ -27,6 +27,18 @@ faultScopeName(FaultScope s)
       case FaultScope::SocketOffline: return "socket-offline";
       case FaultScope::PoolNodeOffline: return "pool-node-offline";
       case FaultScope::FabricPartition: return "fabric-partition";
+      case FaultScope::Metadata: return "metadata";
+    }
+    return "?";
+}
+
+const char *
+metaStructureName(unsigned structure)
+{
+    switch (static_cast<MetaStructure>(structure)) {
+      case MetaStructure::HomeDir: return "home-dir";
+      case MetaStructure::ReplicaDir: return "replica-dir";
+      case MetaStructure::Rmt: return "rmt";
     }
     return "?";
 }
@@ -82,6 +94,36 @@ parseDouble(const std::string &v, double &out)
     char *end = nullptr;
     out = std::strtod(v.c_str(), &end);
     return end && *end == '\0';
+}
+
+/// Parse the "S-STRUCT-P" triple of the "meta:" shorthand. STRUCT may be
+/// a structure name ("home-dir" -- which itself contains a dash -- or
+/// "replica-dir"/"rmt") or an index, so split on the first and *last*
+/// dash rather than tokenizing.
+bool
+parseMetaTriple(const std::string &v, FaultDescriptor &f)
+{
+    const auto first = v.find('-');
+    const auto last = v.rfind('-');
+    if (first == std::string::npos || last == first)
+        return false;
+    if (!parseUnsigned(v.substr(0, first), f.socket))
+        return false;
+    const std::string structure = v.substr(first + 1, last - first - 1);
+    bool structOk = false;
+    for (unsigned i = 0; i < numMetaStructures; ++i) {
+        if (structure == metaStructureName(i)) {
+            f.chip = i;
+            structOk = true;
+            break;
+        }
+    }
+    if (!structOk
+        && !(parseUnsigned(structure, f.chip)
+             && f.chip < numMetaStructures)) {
+        return false;
+    }
+    return parseU64(v.substr(last + 1), f.row);
 }
 
 /// Parse the "A-B" socket pair of a link shorthand into f.socket/f.peer.
@@ -144,6 +186,14 @@ parseFaultSpec(const std::string &spec, std::string *err)
             f.scope = FaultScope::PoolNodeOffline;
             if (!parseUnsigned(arg, f.socket)) {
                 setErr(err, "bad pool node id '" + arg + "'");
+                return std::nullopt;
+            }
+        } else if (head == "meta") {
+            f.scope = FaultScope::Metadata;
+            if (!parseMetaTriple(arg, f)) {
+                setErr(err, "bad metadata coordinate '" + arg
+                            + "' (want SOCKET-STRUCT-PAGE with STRUCT"
+                              " home-dir, replica-dir, rmt or 0..2)");
                 return std::nullopt;
             }
         } else {
@@ -328,6 +378,10 @@ formatFaultSpec(const FaultDescriptor &in)
         }
         field("delay", f.delayTicks);
         break;
+      case FaultScope::Metadata:
+        field("chip", f.chip); // structure index (home-dir/replica-dir/rmt)
+        field("row", f.row);   // page number
+        break;
     }
     if (f.transient)
         s += ",transient=1";
@@ -399,6 +453,10 @@ FaultRegistry::normalized(FaultDescriptor f)
         break;
       case FaultScope::Cell:
         break;
+      case FaultScope::Metadata:
+        // (socket, structure=chip, page=row) is the whole coordinate.
+        f.channel = f.rank = f.bank = f.column = 0;
+        break;
       case FaultScope::LinkDown:
       case FaultScope::LinkLossy:
       case FaultScope::SocketOffline:
@@ -435,6 +493,11 @@ FaultRegistry::inBounds(const FaultDescriptor &f) const
             return f.dropProb >= 0.0 && f.dropProb <= 1.0;
         return true;
     }
+    // Metadata structures are per-socket logical tables; the page (row
+    // field) is a logical page number the DRAM geometry knows nothing
+    // about, so only the socket and structure index are validated.
+    if (f.scope == FaultScope::Metadata)
+        return f.chip < numMetaStructures;
     if (f.scope == FaultScope::Controller)
         return true;
     if (f.channel >= geom_.channels)
@@ -508,10 +571,13 @@ FaultRegistry::matches(const FaultDescriptor &f, unsigned socket,
     // Link faults never touch the DRAM path; an offline socket behaves
     // like a controller failure for every access it would have served.
     // Pool-scope faults cut reachability, which the engine checks at the
-    // access site -- the pool DRAM itself stays clean.
+    // access site -- the pool DRAM itself stays clean. Metadata faults
+    // corrupt the replication control plane, consulted only through the
+    // explicit metadataFaultAt() query -- data accesses never see them.
     if (f.scope == FaultScope::LinkDown || f.scope == FaultScope::LinkLossy
         || f.scope == FaultScope::PoolNodeOffline
-        || f.scope == FaultScope::FabricPartition) {
+        || f.scope == FaultScope::FabricPartition
+        || f.scope == FaultScope::Metadata) {
         return false;
     }
     if (f.socket != socket)
@@ -645,6 +711,47 @@ FaultRegistry::rowDisturbAt(unsigned socket, unsigned channel,
         }
     }
     return false;
+}
+
+const FaultDescriptor *
+FaultRegistry::metadataFaultAt(unsigned socket, unsigned structure,
+                               std::uint64_t page) const
+{
+    for (const auto &f : faults_) {
+        if (f.scope == FaultScope::Metadata && f.socket == socket
+            && f.chip == structure && f.row == page) {
+            return &f;
+        }
+    }
+    return nullptr;
+}
+
+bool
+FaultRegistry::anyMetadataFault() const
+{
+    for (const auto &f : faults_) {
+        if (f.scope == FaultScope::Metadata)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+FaultRegistry::repairMetadataAt(unsigned socket, unsigned structure,
+                                std::uint64_t page)
+{
+    unsigned cured = 0;
+    for (auto it = faults_.begin(); it != faults_.end();) {
+        if (it->scope == FaultScope::Metadata && it->transient
+            && it->socket == socket && it->chip == structure
+            && it->row == page) {
+            it = faults_.erase(it);
+            ++cured;
+        } else {
+            ++it;
+        }
+    }
+    return cured;
 }
 
 unsigned

@@ -46,9 +46,26 @@ enum class FaultScope : std::uint8_t
     // runs must stay byte-identical across this enum growing).
     PoolNodeOffline, ///< one far-memory pool node unreachable/gone
     FabricPartition, ///< hosts partitioned from the whole pool fabric
+    // Metadata fault domain (appended for the same digest-stability
+    // reason): corrupts the replication control plane -- a home-directory
+    // entry, the replica directory's backing state, or the replica-map
+    // table -- never the DRAM data path itself.
+    Metadata,        ///< directory/RMT state at (socket, structure, page)
 };
 
-constexpr unsigned numFaultScopes = 13;
+constexpr unsigned numFaultScopes = 14;
+
+/** Structures a Metadata-scope fault can land on (the chip field). */
+enum class MetaStructure : unsigned
+{
+    HomeDir = 0,    ///< home-directory entries of the page's lines
+    ReplicaDir = 1, ///< replica-directory backing state
+    Rmt = 2,        ///< replica-map table (page -> replica placement)
+};
+
+constexpr unsigned numMetaStructures = 3;
+
+const char *metaStructureName(unsigned structure);
 
 /** First fabric-domain scope (everything below is a DRAM-path scope). */
 constexpr bool
@@ -90,7 +107,9 @@ struct FaultDescriptor
  * "scope=chip,socket=0,chip=3". Also accepts the fabric shorthands
  * "link:A-B" (LinkDown), "socket:S" (SocketOffline),
  * "lossy:A-B,drop=P[,delay=T]" (LinkLossy; T in ticks),
- * "pool:N" (PoolNodeOffline) and "partition" (FabricPartition).
+ * "pool:N" (PoolNodeOffline), "partition" (FabricPartition) and
+ * "meta:S-STRUCT-P" (Metadata on socket S, structure STRUCT -- a name
+ * ("home-dir"/"replica-dir"/"rmt") or index 0..2 -- page P).
  * On failure returns nullopt and, when @p err is non-null, a message.
  */
 std::optional<FaultDescriptor> parseFaultSpec(const std::string &spec,
@@ -204,6 +223,27 @@ class FaultRegistry
      *  the Dvé engine retire frames whose failures are hammer-driven. */
     bool rowDisturbAt(unsigned socket, unsigned channel,
                       const DramCoord &coord) const;
+
+    // ---- Metadata-domain queries (consulted by the Dvé control plane) --
+
+    /**
+     * Active Metadata fault on (socket, structure, page), or nullptr.
+     * Metadata faults never match DRAM data accesses (impact()/repairAt()
+     * ignore them); only these explicit control-plane consults see them.
+     */
+    const FaultDescriptor *metadataFaultAt(unsigned socket,
+                                           unsigned structure,
+                                           std::uint64_t page) const;
+
+    /** Any active Metadata-scope fault at all? (cheap arming check) */
+    bool anyMetadataFault() const;
+
+    /**
+     * A metadata rebuild rewrote (socket, structure, page): cure matching
+     * *transient* Metadata faults. @return number of faults cured.
+     */
+    unsigned repairMetadataAt(unsigned socket, unsigned structure,
+                              std::uint64_t page);
 
     const std::vector<FaultDescriptor> &active() const { return faults_; }
 

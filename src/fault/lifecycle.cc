@@ -160,6 +160,14 @@ FaultLifecycleEngine::processArrival(const Pending &p)
                 f.delayTicks = cfg_.lossyExtraDelay;
             }
         }
+    } else if (p.scope == FaultScope::Metadata) {
+        // Control-plane fault: (socket, structure, page), with the page
+        // drawn from the same footprint the workload touches so the
+        // corrupted directory/RMT entries get consulted.
+        f.chip = static_cast<unsigned>(rng_.next(numMetaStructures));
+        const Addr pages = cfg_.footprintLines >> (pageShift - lineShift);
+        f.row = rng_.next(pages > 0 ? pages : 1);
+        f.transient = kind == FaultKind::Transient;
     } else {
         // Place the fault at coordinates a workload line actually decodes
         // to, so campaign footprints observe the faults they're charged

@@ -33,7 +33,12 @@ generateScenario(const GeneratorConfig &cfg)
     sc.bugRmMarkerRefresh = cfg.bugRmMarkerRefresh;
     sc.bugSkipDenyInvalidate = cfg.bugSkipDenyInvalidate;
     sc.bugSkipDemotionOnPartition = cfg.bugSkipDemotionOnPartition;
+    sc.bugSkipRebuildOnScrub = cfg.bugSkipRebuildOnScrub;
     sc.poolNodes = cfg.poolMode ? cfg.poolNodes : 0;
+    if (cfg.metadataMode) {
+        sc.metadataFaults = true;
+        sc.metaProtection = cfg.metaProtection;
+    }
     if (cfg.policyMode) {
         sc.policyBudget = cfg.policyBudget;
         sc.policyNodeBudget = cfg.policyNodeBudget;
@@ -112,7 +117,7 @@ generateScenario(const GeneratorConfig &cfg)
 
     const auto removeOutstanding = [&](std::size_t idx) {
         const ActiveFault f = outstanding[idx];
-        if (!f.fabric)
+        if (!f.fabric && f.desc.scope != FaultScope::Metadata)
             --dramActive[f.desc.socket];
         outstanding.erase(outstanding.begin()
                           + static_cast<std::ptrdiff_t>(idx));
@@ -178,6 +183,21 @@ generateScenario(const GeneratorConfig &cfg)
                         }
                         ok = true;
                     }
+                } else if (cfg.metadataMode
+                           && rng.chance(cfg.metaShare)) {
+                    // Control-plane inject: corrupt one structure's
+                    // entry for a footprint page the access stream will
+                    // consult. Sits outside the codeword-aliasing
+                    // bound, so no dramActive accounting (see the file
+                    // comment in generator.hh).
+                    d.scope = FaultScope::Metadata;
+                    d.socket =
+                        static_cast<unsigned>(rng.next(cfg.sockets));
+                    d.chip = static_cast<unsigned>(
+                        rng.next(numMetaStructures));
+                    d.row = rng.next(cfg.footprintPages);
+                    d.transient = rng.chance(0.5);
+                    ok = true;
                 } else {
                     const unsigned socket = static_cast<unsigned>(
                         rng.next(cfg.sockets));
@@ -227,7 +247,8 @@ generateScenario(const GeneratorConfig &cfg)
                     st.op = FuzzOp::Inject;
                     st.fault = FaultRegistry::normalized(d);
                     const bool isFabric = isFabricScope(st.fault.scope);
-                    if (!isFabric)
+                    if (!isFabric
+                        && st.fault.scope != FaultScope::Metadata)
                         ++dramActive[st.fault.socket];
                     outstanding.push_back({st.fault, isFabric});
                 }

@@ -89,6 +89,21 @@ struct GeneratorConfig
     std::uint64_t policyNodeBudget = 0; ///< per-pool-node cap (0 = off)
     std::uint64_t policyEpochOps = 48;  ///< policy epoch length
     unsigned policyPhases = 4;          ///< hot-window shifts per run
+    /** Metadata-fault mode: a share of injects become Metadata-scope
+     *  faults on the control structures (home directory, replica
+     *  directory backing, replica map) over the same footprint the
+     *  access stream hammers, so corrupted entries actually get
+     *  consulted. Metadata faults sit outside the codeword-aliasing
+     *  bound (they corrupt control state, not data), so they are not
+     *  counted against the two-DRAM-faults-per-socket cap. */
+    bool metadataMode = false;
+    /** Tier the metadata arrays run under. Parity is the honest default
+     *  (clean sweeps must stay violation-free); none is the SDC story
+     *  and legitimately fires the data-value monitor. */
+    MetadataProtection metaProtection = MetadataProtection::Parity;
+    double metaShare = 0.5; ///< of (non-fabric) injects that hit metadata
+    /** Arm the metadata seeded bug (journal replay skipped on scrub). */
+    bool bugSkipRebuildOnScrub = false;
 };
 
 /** Generate one scenario (deterministic in @p cfg). */

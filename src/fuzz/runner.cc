@@ -102,6 +102,9 @@ runScenario(const FuzzScenario &sc, const FuzzRunOptions &opt)
     dcfg.bugRmMarkerRefresh = sc.bugRmMarkerRefresh;
     dcfg.bugSkipDenyInvalidate = sc.bugSkipDenyInvalidate;
     dcfg.bugSkipDemotionOnPartition = sc.bugSkipDemotionOnPartition;
+    dcfg.bugSkipRebuildOnScrub = sc.bugSkipRebuildOnScrub;
+    dcfg.metadataFaults = sc.metadataFaults;
+    dcfg.metaProtection = sc.metaProtection;
     dcfg.poolNodes = sc.poolNodes;
     dcfg.repairRetryBackoff = 10 * ticksPerUs;
     if (sc.policyBudget > 0) {

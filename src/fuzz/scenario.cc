@@ -100,12 +100,18 @@ FuzzScenario::serialize() const
         os << "policy-node-budget " << policyNodeBudget << '\n';
     if (policyEpochOps > 0)
         os << "policy-epoch-ops " << policyEpochOps << '\n';
+    if (metadataFaults) {
+        os << "meta-protection " << metadataProtectionName(metaProtection)
+           << '\n';
+    }
     if (bugRmMarkerRefresh)
         os << "bug rm-marker-refresh\n";
     if (bugSkipDenyInvalidate)
         os << "bug skip-deny-invalidate\n";
     if (bugSkipDemotionOnPartition)
         os << "bug skip-demotion-on-partition\n";
+    if (bugSkipRebuildOnScrub)
+        os << "bug skip-rebuild-on-scrub\n";
     if (watchdogBudget > 0)
         os << "watchdog " << watchdogBudget << '\n';
     if (expect.monitor) {
@@ -216,6 +222,14 @@ FuzzScenario::parse(std::istream &in, std::string *err)
                 || sc.policyEpochOps == 0) {
                 return fail("bad policy-epoch-ops");
             }
+        } else if (key == "meta-protection") {
+            const auto p = f.size() == 2
+                               ? parseMetadataProtection(f[1].c_str())
+                               : std::nullopt;
+            if (!p)
+                return fail("bad meta-protection (want none|parity|ecc)");
+            sc.metadataFaults = true;
+            sc.metaProtection = *p;
         } else if (key == "bug") {
             if (f.size() == 2 && f[1] == "rm-marker-refresh")
                 sc.bugRmMarkerRefresh = true;
@@ -224,6 +238,8 @@ FuzzScenario::parse(std::istream &in, std::string *err)
             else if (f.size() == 2
                      && f[1] == "skip-demotion-on-partition")
                 sc.bugSkipDemotionOnPartition = true;
+            else if (f.size() == 2 && f[1] == "skip-rebuild-on-scrub")
+                sc.bugSkipRebuildOnScrub = true;
             else
                 return fail("unknown bug name");
         } else if (key == "watchdog") {

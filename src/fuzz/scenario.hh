@@ -24,9 +24,12 @@
  *     policy-budget 4           # optional: arm the replication policy
  *     policy-node-budget 2      # optional: per-pool-node replica cap
  *     policy-epoch-ops 64       # optional: policy epoch length
+ *     meta-protection parity    # optional: arm metadata faults under a
+ *                               # protection tier (none | parity | ecc)
  *     bug rm-marker-refresh     # optional: arm a seeded protocol bug
  *     bug skip-deny-invalidate  # (one line per armed bug)
  *     bug skip-demotion-on-partition  # pool writeback demotion bug
+ *     bug skip-rebuild-on-scrub # metadata journal-replay bug
  *     expect violation replica-dir  # optional: replay must fire this
  *     watchdog 2000000          # optional: liveness budget override
  *     step r 0 3 0x1040         # read:  socket core addr
@@ -114,12 +117,21 @@ struct FuzzScenario
     std::uint64_t policyNodeBudget = 0;
     /** Policy epoch length in observed ops; 0 keeps the engine default. */
     std::uint64_t policyEpochOps = 0;
+    /** Arm the metadata fault domain (directory/RMT corruption becomes
+     *  consultable). Serialized only when armed, so pre-metadata corpus
+     *  files and their byte-identical round trips are unchanged. */
+    bool metadataFaults = false;
+    /** Protection tier the metadata structures run under (only
+     *  meaningful when metadataFaults arms the domain). */
+    MetadataProtection metaProtection = MetadataProtection::Ecc;
     /** Arm DveConfig::bugRmMarkerRefresh (seeded-bug experiments). */
     bool bugRmMarkerRefresh = false;
     /** Arm DveConfig::bugSkipDenyInvalidate (seeded-bug experiments). */
     bool bugSkipDenyInvalidate = false;
     /** Arm DveConfig::bugSkipDemotionOnPartition (pool seeded bug). */
     bool bugSkipDemotionOnPartition = false;
+    /** Arm DveConfig::bugSkipRebuildOnScrub (metadata seeded bug). */
+    bool bugSkipRebuildOnScrub = false;
     /** Liveness watchdog budget override; 0 keeps the engine default. */
     Tick watchdogBudget = 0;
     FuzzExpectation expect;

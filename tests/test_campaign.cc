@@ -135,6 +135,130 @@ TEST(CampaignPool, PoolFreeReportHasNoPoolKeys)
     EXPECT_NE(pooled.str().find("pool_replica_reads"), std::string::npos);
 }
 
+TEST(CampaignMetadata, PresetAndSchemeNamesAreStable)
+{
+    EXPECT_EQ(numCampaignSchemes, 11u);
+    EXPECT_STREQ(campaignSchemeName(CampaignScheme::DveMetaNone),
+                 "dve-meta-none");
+    EXPECT_STREQ(campaignSchemeName(CampaignScheme::DveMetaParity),
+                 "dve-meta-parity");
+    EXPECT_STREQ(campaignSchemeName(CampaignScheme::DveMetaEcc),
+                 "dve-meta-ecc");
+    EXPECT_STREQ(metadataScenarioName(MetadataScenario::MetadataStorm),
+                 "metadata-storm");
+    EXPECT_STREQ(metadataScenarioName(MetadataScenario::MetadataUnderLoad),
+                 "metadata-under-load");
+    for (unsigned i = 0; i < numMetadataScenarios; ++i) {
+        const auto s = MetadataScenario(i);
+        const auto parsed = parseMetadataScenario(metadataScenarioName(s));
+        ASSERT_TRUE(parsed) << metadataScenarioName(s);
+        EXPECT_EQ(*parsed, s);
+    }
+    EXPECT_FALSE(parseMetadataScenario("metadata-sleet"));
+
+    const auto schemes = metadataSchemes();
+    EXPECT_EQ(schemes.size(), 4u);
+    EXPECT_NE(std::find(schemes.begin(), schemes.end(),
+                        CampaignScheme::DveMetaParity),
+              schemes.end());
+
+    // The storm preset isolates the metadata fault process: every other
+    // scope's arrival rate is zeroed, metadata's is not.
+    CampaignConfig cfg = CampaignConfig::quickDefaults();
+    applyMetadataPreset(cfg, MetadataScenario::MetadataStorm);
+    EXPECT_EQ(cfg.metadataScenario, MetadataScenario::MetadataStorm);
+    for (unsigned i = 0; i < numFaultScopes; ++i) {
+        const double fit = cfg.lifecycle.rates[i].fit;
+        if (i == unsigned(FaultScope::Metadata))
+            EXPECT_GT(fit, 0.0);
+        else
+            EXPECT_EQ(fit, 0.0) << faultScopeName(FaultScope(i));
+    }
+    // Under-load keeps the ambient data-fault process running.
+    CampaignConfig mixed = CampaignConfig::quickDefaults();
+    applyMetadataPreset(mixed, MetadataScenario::MetadataUnderLoad);
+    EXPECT_GT(mixed.lifecycle.rates[unsigned(FaultScope::Metadata)].fit,
+              0.0);
+    EXPECT_GT(mixed.lifecycle.rates[unsigned(FaultScope::Chip)].fit, 0.0);
+}
+
+TEST(CampaignMetadata, ProtectionTiersOrderOutcomesUnderStorm)
+{
+    CampaignConfig cfg = tinyCampaign();
+    cfg.trials = 12;
+    cfg.opsPerTrial = 4000;
+    applyMetadataPreset(cfg, MetadataScenario::MetadataStorm);
+    const CampaignRunner runner(cfg);
+
+    // Unprotected metadata lies: directory consults silently serve
+    // stale routing and silent corruption escapes.
+    const auto none = runner.runScheme(CampaignScheme::DveMetaNone);
+    EXPECT_GT(none.totals.metaLies, 0u);
+    EXPECT_GT(none.totals.sdc, 0u);
+
+    // Parity detects every corrupt consult: entries go lost, service
+    // degrades honestly (DUE at worst), silent corruption never escapes.
+    const auto parity = runner.runScheme(CampaignScheme::DveMetaParity);
+    EXPECT_EQ(parity.totals.sdc, 0u);
+    EXPECT_GT(parity.totals.metaDetected, 0u);
+    EXPECT_EQ(parity.totals.metaLies, 0u);
+
+    // ECC corrects in place: neither lies nor loss.
+    const auto ecc = runner.runScheme(CampaignScheme::DveMetaEcc);
+    EXPECT_EQ(ecc.totals.sdc, 0u);
+    EXPECT_EQ(ecc.totals.due, 0u);
+    EXPECT_GT(ecc.totals.metaCorrected, 0u);
+    EXPECT_EQ(ecc.totals.metaLies, 0u);
+}
+
+TEST(CampaignMetadata, MetadataFreeReportHasNoMetadataKeys)
+{
+    // Reports only grow metadata/watchdog keys when those features are
+    // armed (pre-metadata report consumers see byte-identical shapes).
+    CampaignConfig cfg = tinyCampaign();
+    cfg.trials = 2;
+    std::ostringstream plain;
+    writeJsonReport(
+        CampaignRunner(cfg).run({CampaignScheme::DveDeny}), plain);
+    EXPECT_EQ(plain.str().find("meta_"), std::string::npos);
+    EXPECT_EQ(plain.str().find("timed_out"), std::string::npos);
+    EXPECT_EQ(plain.str().find("metadata_scenario"), std::string::npos);
+
+    CampaignConfig armed = tinyCampaign();
+    armed.trials = 2;
+    applyMetadataPreset(armed, MetadataScenario::MetadataStorm);
+    std::ostringstream meta;
+    writeJsonReport(
+        CampaignRunner(armed).run({CampaignScheme::DveMetaParity}), meta);
+    EXPECT_NE(meta.str().find("\"metadata_scenario\": \"metadata-storm\""),
+              std::string::npos);
+    EXPECT_NE(meta.str().find("meta_detected"), std::string::npos);
+    EXPECT_NE(meta.str().find("meta_rebuilds"), std::string::npos);
+}
+
+TEST(CampaignMetadata, TrialWatchdogMarksTimedOutTrials)
+{
+    // A 1 ms budget against deliberately huge trials: every trial trips
+    // the watchdog, is reported, and the campaign still completes.
+    CampaignConfig cfg = tinyCampaign();
+    cfg.trials = 2;
+    cfg.opsPerTrial = 400000;
+    cfg.trialTimeoutMs = 1;
+    const auto r = CampaignRunner(cfg).runScheme(CampaignScheme::DveDeny);
+    EXPECT_EQ(r.totals.timedOut, 2u);
+
+    std::ostringstream os;
+    writeJsonReport(CampaignRunner(cfg).run({CampaignScheme::DveDeny}), os);
+    EXPECT_NE(os.str().find("\"trial_timeout_ms\": 1"), std::string::npos);
+    EXPECT_NE(os.str().find("\"timed_out\": 1"), std::string::npos);
+
+    // A generous budget never trips (the common CI configuration).
+    cfg.opsPerTrial = 800;
+    cfg.trialTimeoutMs = 60000;
+    const auto ok = CampaignRunner(cfg).runScheme(CampaignScheme::DveDeny);
+    EXPECT_EQ(ok.totals.timedOut, 0u);
+}
+
 TEST(Campaign, LatencySummaryOrderStatistics)
 {
     EXPECT_EQ(summarizeLatencies({}).count, 0u);

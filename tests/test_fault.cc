@@ -586,15 +586,17 @@ TEST(FaultRegistry, RowDisturbBoundsChecked)
 TEST(ParseFaultSpec, UnknownScopeListsEveryValidName)
 {
     // Pinned diagnostic: an unknown scope must enumerate every valid
-    // scope name -- including the appended pool scopes -- so a typo'd
-    // campaign flag tells the operator exactly what the CLI accepts.
+    // scope name -- including the appended pool and metadata scopes --
+    // so a typo'd campaign flag tells the operator exactly what the CLI
+    // accepts. The list is generated from the enum, so this pin drifts
+    // (and must be re-pinned) whenever a scope is appended.
     std::string err;
     EXPECT_FALSE(parseFaultSpec("scope=warp-core", &err));
     EXPECT_EQ(err,
               "unknown fault scope 'warp-core' (valid: cell, row, "
               "column, bank, chip, channel, controller, link-down, "
               "link-lossy, socket-offline, row-disturb, "
-              "pool-node-offline or fabric-partition)");
+              "pool-node-offline, fabric-partition or metadata)");
 }
 
 TEST(ParseFaultSpec, PoolScopesParseFormatAndNormalize)
@@ -642,6 +644,122 @@ TEST(ParseFaultSpec, PoolScopesParseFormatAndNormalize)
     const auto np = FaultRegistry::normalized(p);
     EXPECT_EQ(np.socket, 2u);
     EXPECT_EQ(np.peer, 0u);
+}
+
+TEST(ParseFaultSpec, MetadataScopeParsesFormatsAndNormalizes)
+{
+    // Shorthand: "meta:SOCKET-STRUCT-PAGE"; STRUCT splits on the LAST
+    // dash so the "home-dir" / "replica-dir" names themselves work.
+    const auto named = parseFaultSpec("meta:1-home-dir-3");
+    ASSERT_TRUE(named);
+    EXPECT_EQ(named->scope, FaultScope::Metadata);
+    EXPECT_EQ(named->socket, 1u);
+    EXPECT_EQ(named->chip, unsigned(MetaStructure::HomeDir));
+    EXPECT_EQ(named->row, 3u);
+
+    // STRUCT also accepts the bare index 0..2.
+    const auto indexed = parseFaultSpec("meta:0-2-7,transient=1");
+    ASSERT_TRUE(indexed);
+    EXPECT_EQ(indexed->chip, unsigned(MetaStructure::Rmt));
+    EXPECT_EQ(indexed->row, 7u);
+    EXPECT_TRUE(indexed->transient);
+
+    // Key=value form, and round-trip through formatFaultSpec.
+    const auto kv = parseFaultSpec("scope=metadata,socket=1,chip=1,row=5");
+    ASSERT_TRUE(kv);
+    EXPECT_EQ(kv->chip, unsigned(MetaStructure::ReplicaDir));
+    const auto back = parseFaultSpec(formatFaultSpec(*kv));
+    ASSERT_TRUE(back) << formatFaultSpec(*kv);
+    EXPECT_EQ(back->scope, FaultScope::Metadata);
+    EXPECT_EQ(back->socket, kv->socket);
+    EXPECT_EQ(back->chip, kv->chip);
+    EXPECT_EQ(back->row, kv->row);
+
+    // A malformed triple names the full coordinate contract.
+    std::string err;
+    EXPECT_FALSE(parseFaultSpec("meta:1-attic-3", &err));
+    EXPECT_EQ(err,
+              "bad metadata coordinate '1-attic-3' (want "
+              "SOCKET-STRUCT-PAGE with STRUCT home-dir, replica-dir, "
+              "rmt or 0..2)");
+
+    // Normalization keeps (socket, structure, page) and zeroes the DRAM
+    // coordinates a control-plane fault does not use.
+    FaultDescriptor d;
+    d.scope = FaultScope::Metadata;
+    d.socket = 1;
+    d.chip = 2;
+    d.row = 9;
+    d.channel = 3;
+    d.rank = 1;
+    d.bank = 4;
+    d.column = 6;
+    const auto n = FaultRegistry::normalized(d);
+    EXPECT_EQ(n.socket, 1u);
+    EXPECT_EQ(n.chip, 2u);
+    EXPECT_EQ(n.row, 9u);
+    EXPECT_EQ(n.channel, 0u);
+    EXPECT_EQ(n.rank, 0u);
+    EXPECT_EQ(n.bank, 0u);
+    EXPECT_EQ(n.column, 0u);
+}
+
+TEST(FaultRegistry, MetadataQueriesNeverTouchDataPathAndRepairCuresTransients)
+{
+    FaultRegistry reg;
+    // Metadata pages are logical: only the structure index is bounded.
+    reg.setGeometry(
+        FaultGeometry::from(2, 2, 19, DramConfig::ddr4Baseline()));
+
+    EXPECT_FALSE(reg.anyMetadataFault());
+
+    FaultDescriptor bad;
+    bad.scope = FaultScope::Metadata;
+    bad.socket = 0;
+    bad.chip = numMetaStructures; // structure out of range
+    EXPECT_EQ(reg.inject(bad), 0u);
+
+    FaultDescriptor perm;
+    perm.scope = FaultScope::Metadata;
+    perm.socket = 0;
+    perm.chip = unsigned(MetaStructure::HomeDir);
+    perm.row = 4;
+    const auto pid = reg.inject(perm);
+    ASSERT_NE(pid, 0u);
+    FaultDescriptor trans = perm;
+    trans.socket = 1;
+    trans.chip = unsigned(MetaStructure::ReplicaDir);
+    trans.transient = true;
+    const auto tid = reg.inject(trans);
+    ASSERT_NE(tid, 0u);
+
+    EXPECT_TRUE(reg.anyMetadataFault());
+    EXPECT_NE(reg.metadataFaultAt(0, unsigned(MetaStructure::HomeDir), 4),
+              nullptr);
+    EXPECT_EQ(reg.metadataFaultAt(0, unsigned(MetaStructure::HomeDir), 5),
+              nullptr);
+    EXPECT_EQ(reg.metadataFaultAt(0, unsigned(MetaStructure::Rmt), 4),
+              nullptr);
+
+    // Data-path queries never see control-plane faults.
+    DramCoord c;
+    c.row = 4;
+    EXPECT_FALSE(reg.impact(0, 0, c).any());
+
+    // Rebuild-driven repair cures transients only; the permanent fault
+    // stays (re-corrupting whatever the rebuild wrote).
+    EXPECT_EQ(reg.repairMetadataAt(1, unsigned(MetaStructure::ReplicaDir),
+                                   4),
+              1u);
+    EXPECT_EQ(reg.metadataFaultAt(1, unsigned(MetaStructure::ReplicaDir),
+                                  4),
+              nullptr);
+    EXPECT_EQ(reg.repairMetadataAt(0, unsigned(MetaStructure::HomeDir), 4),
+              0u);
+    EXPECT_NE(reg.metadataFaultAt(0, unsigned(MetaStructure::HomeDir), 4),
+              nullptr);
+    EXPECT_TRUE(reg.clear(pid));
+    EXPECT_FALSE(reg.anyMetadataFault());
 }
 
 TEST(FaultRegistry, PoolScopeQueriesAndGeometry)

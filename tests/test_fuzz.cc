@@ -399,6 +399,43 @@ TEST(FuzzScenarioPool, HeaderRoundTripsAndStaysAbsentWhenZero)
     EXPECT_FALSE(err.empty());
 }
 
+TEST(FuzzScenarioMetadata, HeaderRoundTripsAndStaysAbsentWhenDisarmed)
+{
+    // Metadata headers round-trip through the canonical text form.
+    const std::string text = "version 1\n"
+                             "seed 11\n"
+                             "protocol deny\n"
+                             "meta-protection parity\n"
+                             "bug skip-rebuild-on-scrub\n"
+                             "step r 0 0 0x40\n";
+    std::string err;
+    const auto sc = FuzzScenario::parse(text, &err);
+    ASSERT_TRUE(sc) << err;
+    EXPECT_TRUE(sc->metadataFaults);
+    EXPECT_EQ(sc->metaProtection, MetadataProtection::Parity);
+    EXPECT_TRUE(sc->bugSkipRebuildOnScrub);
+    const std::string canon = sc->serialize();
+    EXPECT_NE(canon.find("meta-protection parity\n"), std::string::npos);
+    EXPECT_NE(canon.find("bug skip-rebuild-on-scrub\n"),
+              std::string::npos);
+    const auto back = FuzzScenario::parse(canon, &err);
+    ASSERT_TRUE(back) << err;
+    EXPECT_EQ(back->serialize(), canon);
+
+    // Disarmed scenarios serialize with NO metadata lines at all:
+    // pre-metadata corpus files stay byte-identical.
+    FuzzScenario plain;
+    EXPECT_EQ(plain.serialize().find("meta-protection"),
+              std::string::npos);
+    EXPECT_EQ(plain.serialize().find("skip-rebuild-on-scrub"),
+              std::string::npos);
+
+    // Tier names are validated at parse time.
+    EXPECT_FALSE(
+        FuzzScenario::parse("version 1\nmeta-protection mirror\n", &err));
+    EXPECT_FALSE(err.empty());
+}
+
 TEST(FuzzGeneratorPool, PoolModeEmitsOnlyPoolScaleFabricFaults)
 {
     GeneratorConfig cfg;

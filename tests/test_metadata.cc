@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tests for the metadata fault domain: protection-tier semantics (an
+ * unprotected directory lies, parity marks entries lost, ECC corrects),
+ * consult-triggered and scrub-driven cross-rebuild, the write journal
+ * kept while a replica-directory backing page is unreadable, honest
+ * degradation when both metadata sides are lost, and the interactions
+ * with in-flight data repair and the on-demand replication policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dve_engine.hh"
+#include "fault/lifecycle.hh"
+
+namespace dve
+{
+namespace
+{
+
+EngineConfig
+smallConfig()
+{
+    EngineConfig cfg;
+    cfg.l1Bytes = 1024;
+    cfg.llcBytes = 16 * 1024;
+    cfg.dram = DramConfig::ddr4Replicated();
+    return cfg;
+}
+
+DveConfig
+metaCfg(MetadataProtection p)
+{
+    DveConfig d;
+    d.protocol = DveProtocol::Deny;
+    d.metadataFaults = true;
+    d.metaProtection = p;
+    return d;
+}
+
+Addr
+addrAt(unsigned page, unsigned line_in_page = 0)
+{
+    return Addr(page) * pageBytes + Addr(line_in_page) * lineBytes;
+}
+
+void
+inject(DveEngine &e, const std::string &spec)
+{
+    std::string err;
+    const auto f = parseFaultSpec(spec, &err);
+    ASSERT_TRUE(f) << spec << ": " << err;
+    ASSERT_NE(e.faultRegistry().inject(*f), 0u) << spec;
+}
+
+TEST(DveMetadata, TierNoneLiesIntoSilentCorruption)
+{
+    // An unprotected home-directory entry serves the home read directly,
+    // skipping sharer registration; the remote write then cannot find
+    // the stale cached copy, and the next home read silently returns it.
+    EngineConfig cfg = smallConfig();
+    cfg.validateValues = false; // SDC is the expected observation
+    DveEngine e(cfg, metaCfg(MetadataProtection::None));
+    inject(e, "meta:0-home-dir-0");
+
+    Tick t = e.access(0, 0, addrAt(0), false, 0, 0).done;
+    EXPECT_GT(e.metadataLies(), 0u);
+    t = e.access(1, 0, addrAt(0), true, 77, t).done;
+    const auto r = e.access(0, 0, addrAt(0), false, 0, t);
+    EXPECT_EQ(r.outcome, ReadOutcome::Sdc);
+    EXPECT_NE(r.value, 77u);
+    // The lie is silent: nothing was detected, nothing marked lost.
+    EXPECT_EQ(e.metadataDetected(), 0u);
+    EXPECT_EQ(e.metadataLostEntries(), 0u);
+}
+
+TEST(DveMetadata, TierParityDetectsThenRebuildsTransientOnConsult)
+{
+    DveEngine e(smallConfig(), metaCfg(MetadataProtection::Parity));
+    inject(e, "meta:0-home-dir-0,transient=1");
+
+    // The consult detects the corruption, marks the entry lost, and --
+    // with the replica side clean -- rebuilds it in the same access.
+    const auto r = e.access(0, 0, addrAt(0), false, 0, 0);
+    EXPECT_EQ(r.outcome, ReadOutcome::Clean);
+    EXPECT_GE(e.metadataDetected(), 1u);
+    EXPECT_GE(e.metadataRebuilds(), 1u);
+    EXPECT_EQ(e.metadataLostEntries(), 0u);
+    EXPECT_EQ(e.metadataDemotions(), 0u);
+    EXPECT_FALSE(e.faultRegistry().anyMetadataFault());
+
+    // Rebuilt means rebuilt: the next consult is clean.
+    const auto r2 = e.access(0, 0, addrAt(0), false, 0, r.done);
+    EXPECT_EQ(r2.outcome, ReadOutcome::Clean);
+}
+
+TEST(DveMetadata, TierParityBothSidesLostIsHonestDue)
+{
+    // Permanent corruption of the home directory AND the replica-side
+    // backing for the same page: no rebuild source exists. The read
+    // must degrade honestly -- a machine check, never silent data.
+    DveEngine e(smallConfig(), metaCfg(MetadataProtection::Parity));
+    inject(e, "meta:0-home-dir-0");
+    inject(e, "meta:1-replica-dir-0");
+
+    const auto r = e.access(0, 0, addrAt(0), false, 0, 0);
+    EXPECT_EQ(r.outcome, ReadOutcome::Due);
+    EXPECT_GE(e.metadataDemotions(), 1u);
+    EXPECT_EQ(e.readOutcomeCount(ReadOutcome::Sdc), 0u);
+
+    // The poisoned read still completes the directory transaction:
+    // a later remote write reaches the (registered) home-side copy.
+    Tick t = e.access(1, 0, addrAt(0), true, 55, r.done).done;
+    const auto r2 = e.access(0, 0, addrAt(0), false, 0, t);
+    EXPECT_EQ(r2.value, 55u);
+    EXPECT_NE(r2.outcome, ReadOutcome::Sdc);
+}
+
+TEST(DveMetadata, TierEccCorrectsEveryConsult)
+{
+    // ECC metadata never lies and never loses the entry: consults
+    // correct in place and service continues at full fidelity.
+    DveEngine e(smallConfig(), metaCfg(MetadataProtection::Ecc));
+    inject(e, "meta:0-home-dir-0");
+
+    Tick t = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        const auto r = e.access(i % 2, 0, addrAt(0), i % 3 == 0,
+                                1000 + i, t);
+        EXPECT_NE(r.outcome, ReadOutcome::Sdc);
+        EXPECT_NE(r.outcome, ReadOutcome::Due);
+        t = r.done;
+    }
+    EXPECT_GT(e.metadataCorrected(), 0u);
+    EXPECT_EQ(e.metadataLies(), 0u);
+    EXPECT_EQ(e.metadataLostEntries(), 0u);
+}
+
+TEST(DveMetadata, LostReplicaDirectoryForwardsToHome)
+{
+    // A lost replica-directory page cannot prove the local replica is
+    // current, so replica-side reads route around it to the home socket
+    // until the scrub rebuilds the backing state.
+    DveEngine e(smallConfig(), metaCfg(MetadataProtection::Parity));
+    inject(e, "meta:1-replica-dir-0,transient=1");
+
+    const auto r = e.access(1, 0, addrAt(0), false, 0, 0);
+    EXPECT_EQ(r.outcome, ReadOutcome::Clean);
+    EXPECT_GE(e.metadataForwards(), 1u);
+    EXPECT_GE(e.metadataLostEntries(), 1u);
+
+    const auto rep = e.patrolScrub(r.done);
+    EXPECT_GE(e.metadataRebuilds(), 1u);
+    EXPECT_EQ(e.metadataLostEntries(), 0u);
+    const auto r2 = e.access(1, 0, addrAt(0), false, 0, rep.finishedAt);
+    EXPECT_EQ(r2.outcome, ReadOutcome::Clean);
+}
+
+TEST(MetadataScrub, JournaledWritesFlushIntoRebuiltBacking)
+{
+    // While the replica-directory backing page is lost, directory
+    // transitions are journaled. The scrub's cross-rebuild replays them:
+    // the RM marker pushed by a home-side write must survive into the
+    // rebuilt backing state, or a stale replica read becomes possible.
+    DveEngine e(smallConfig(), metaCfg(MetadataProtection::Parity));
+    const Addr a = addrAt(0);
+    // Replicate the page via a *different* line so the consult below is
+    // a real LLC miss (a cache hit never reaches the directory).
+    Tick t = e.access(1, 0, addrAt(0, 3), false, 0, 0).done;
+
+    inject(e, "meta:1-replica-dir-0,transient=1");
+    t = e.access(1, 0, a, false, 0, t).done; // consult -> lost
+    ASSERT_GE(e.metadataLostEntries(), 1u);
+
+    // Home-side write under the lost page: the RM push is journaled.
+    t = e.access(0, 0, a, true, 91, t).done;
+    EXPECT_FALSE(e.replicaDirectory(1).peekBacking(lineNum(a)));
+
+    const auto rep = e.patrolScrub(t);
+    const auto entry = e.replicaDirectory(1).peekBacking(lineNum(a));
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->state, RepState::RM);
+
+    // The rebuilt marker routes the replica read to fresh data.
+    const auto r = e.access(1, 0, a, false, 0, rep.finishedAt);
+    EXPECT_EQ(r.value, 91u);
+    EXPECT_NE(r.outcome, ReadOutcome::Sdc);
+}
+
+TEST(MetadataScrub, SeededSkipRebuildBugDropsJournaledMarkers)
+{
+    // The seeded bug gates the journal flush out of the scrub rebuild:
+    // the backing page is declared healthy but the RM marker pushed
+    // while it was lost is gone. This is the engine-level face of the
+    // fuzz corpus repro (tests/corpus/metadata_skip_rebuild.scn).
+    EngineConfig cfg = smallConfig();
+    cfg.validateValues = false;
+    DveConfig d = metaCfg(MetadataProtection::Parity);
+    d.bugSkipRebuildOnScrub = true;
+    DveEngine e(cfg, d);
+    const Addr a = addrAt(0);
+    Tick t = e.access(1, 0, addrAt(0, 3), false, 0, 0).done; // replicate
+
+    inject(e, "meta:1-replica-dir-0,transient=1");
+    t = e.access(1, 0, a, false, 0, t).done; // consult -> lost
+    ASSERT_GE(e.metadataLostEntries(), 1u);
+    t = e.access(0, 0, a, true, 91, t).done; // journaled RM push
+
+    e.patrolScrub(t);
+    EXPECT_EQ(e.metadataLostEntries(), 0u); // "rebuilt"...
+    // ...but the journaled deny marker never made it into the backing.
+    EXPECT_FALSE(e.replicaDirectory(1).peekBacking(lineNum(a)));
+}
+
+TEST(MetadataRebuild, RebuildRacesInFlightDataRepair)
+{
+    // A page with BOTH a data fault (replica recovery + timed repair in
+    // flight) and a lost home-directory entry: the metadata rebuild and
+    // the data repair pipeline share the page without wedging each
+    // other, and the system returns to full dual-copy, clean-metadata
+    // service.
+    DveEngine e(smallConfig(), metaCfg(MetadataProtection::Parity));
+    inject(e, "meta:0-home-dir-0,transient=1");
+    inject(e, "scope=chip,socket=0,channel=0,rank=0,chip=2,transient=1");
+
+    Tick t = 0;
+    const auto r = e.access(0, 0, addrAt(0), false, 0, t);
+    t = r.done;
+    EXPECT_NE(r.outcome, ReadOutcome::Sdc);
+    EXPECT_NE(r.outcome, ReadOutcome::Due);
+    EXPECT_GE(e.metadataRebuilds(), 1u);
+
+    // Let the repair backoff expire, then scrub + maintain to drain.
+    for (unsigned round = 0; round < 12; ++round) {
+        if (e.degradedLines() == 0 && e.pendingRepairs() == 0)
+            break;
+        t += 100 * ticksPerUs;
+        const auto rep = e.patrolScrub(t);
+        t = e.runMaintenance(rep.finishedAt).finishedAt;
+    }
+    EXPECT_EQ(e.degradedLines(), 0u);
+    EXPECT_EQ(e.pendingRepairs(), 0u);
+    EXPECT_EQ(e.metadataLostEntries(), 0u);
+    const auto r2 = e.access(0, 0, addrAt(0), false, 0, t);
+    EXPECT_EQ(r2.outcome, ReadOutcome::Clean);
+}
+
+TEST(MetadataRebuild, ScrubFlushesJournalPastLazyExpiredBusyClocks)
+{
+    // Directory busy clocks expire lazily (stale entries stay in the
+    // map until overwritten). A scrub that replays the journal long
+    // after the transactions that serialized on those lines must not be
+    // confused by the leftover clocks.
+    DveEngine e(smallConfig(), metaCfg(MetadataProtection::Parity));
+    const Addr a = addrAt(0);
+    Tick t = 0;
+    // Several transactions on the page leave busy clocks behind.
+    for (unsigned i = 0; i < 4; ++i)
+        t = e.access(1, 0, addrAt(0, i), false, 0, t).done;
+
+    inject(e, "meta:1-replica-dir-0,transient=1");
+    t = e.access(1, 0, a, false, 0, t).done; // consult -> lost
+    t = e.access(0, 0, a, true, 33, t).done; // journaled RM push
+
+    // Scrub far in the future: every busy clock has lazily expired.
+    const auto rep = e.patrolScrub(t + 500 * ticksPerUs);
+    EXPECT_EQ(e.metadataLostEntries(), 0u);
+    const auto entry = e.replicaDirectory(1).peekBacking(lineNum(a));
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->state, RepState::RM);
+    const auto r = e.access(1, 0, a, false, 0, rep.finishedAt);
+    EXPECT_EQ(r.value, 33u);
+    EXPECT_NE(r.outcome, ReadOutcome::Sdc);
+}
+
+TEST(MetadataRebuild, PolicyDemotionDropsLostStateAndJournal)
+{
+    // A metadata fault lands mid-demotion: the policy engine demotes a
+    // page whose replica-directory backing is marked lost. Demotion
+    // must drop the lost marker and the journal with the replica --
+    // leaving them behind would block later re-promotion or flush stale
+    // journal entries into a future replica's directory.
+    EngineConfig cfg = smallConfig();
+    cfg.llcBytes = 2 * 1024; // far fewer lines than a page: every
+                             // drive-loop access is an observed miss
+    DveConfig d = metaCfg(MetadataProtection::Parity);
+    d.replicateAll = false;
+    d.policy.enabled = true;
+    d.policy.epochOps = 8;
+    d.policy.promoteThreshold = 2;
+    DveEngine e(cfg, d);
+    ASSERT_TRUE(e.policyActive());
+
+    // Promote page 2 with exactly one epoch of home-side misses.
+    const unsigned lines = pageBytes / lineBytes;
+    Tick t = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        t = e.access(0, 0, addrAt(2, i % lines), true, i + 1, t).done;
+    ASSERT_GE(e.policyPromotions(), 1u);
+    // Heal the seeding copies so the demotion below does not defer.
+    for (int i = 0; i < 16 && e.policyPromotionLag().count() == 0; ++i)
+        t = e.runMaintenance(t).finishedAt + 500 * ticksPerUs;
+
+    // Corrupt the replica-side backing and consult it (mark lost).
+    inject(e, "meta:1-replica-dir-2,transient=1");
+    t = e.access(1, 0, addrAt(2), false, 0, t).done;
+    ASSERT_GE(e.metadataLostEntries(), 1u);
+    // Journal a transition under the lost page.
+    t = e.access(0, 0, addrAt(2), true, 12, t).done;
+
+    // Collapse the budget so the next epoch boundary demotes page 2.
+    e.setPolicyGlobalBudget(0);
+    for (unsigned i = 0; i < 24; ++i)
+        t = e.access(0, 0, addrAt(2, (8 + i) % lines), true, 100 + i,
+                     t).done;
+    ASSERT_GE(e.policyDemotions(), 1u);
+
+    // Demotion dropped the lost marker (nothing left to rebuild).
+    EXPECT_EQ(e.metadataLostEntries(), 0u);
+    // The page still reads correctly from its single home copy.
+    const auto r = e.access(1, 0, addrAt(2), false, 0, t);
+    EXPECT_EQ(r.value, 12u);
+    EXPECT_NE(r.outcome, ReadOutcome::Sdc);
+}
+
+TEST(MetadataLifecycle, ArrivalsRespectStructureAndFootprintBounds)
+{
+    // Lifecycle-driven Metadata arrivals must land on valid control-
+    // plane coordinates: structure 0..2, page inside the footprint,
+    // socket inside the machine.
+    LifecycleConfig c;
+    c.sockets = 2;
+    c.dram = DramConfig::ddr4Replicated();
+    c.footprintLines = 512; // 8 pages
+    c.acceleration = 3e15;
+    c.seed = 17;
+    c.rates[unsigned(FaultScope::Metadata)] = {20.0, 0.5, 0.0};
+
+    FaultRegistry reg;
+    FaultLifecycleEngine flc(c, reg);
+    flc.advanceTo(10 * ticksPerMs);
+    ASSERT_GT(flc.stats().arrivals, 0u);
+    EXPECT_TRUE(reg.anyMetadataFault());
+    for (const auto &f : reg.active()) {
+        ASSERT_EQ(f.scope, FaultScope::Metadata);
+        EXPECT_LT(f.socket, 2u);
+        EXPECT_LT(f.chip, numMetaStructures);
+        EXPECT_LT(f.row, 8u);
+    }
+}
+
+TEST(MetadataLifecycle, ArrivalsStopAtTrialBoundaries)
+{
+    // The campaign drain calls stopArrivals() at the trial boundary:
+    // already-present metadata faults persist, new arrivals stop, and
+    // re-advancing to an already-reached tick is a no-op.
+    LifecycleConfig c;
+    c.sockets = 2;
+    c.dram = DramConfig::ddr4Replicated();
+    c.footprintLines = 512;
+    c.acceleration = 3e15;
+    c.seed = 17;
+    c.rates[unsigned(FaultScope::Metadata)] = {20.0, 0.3, 0.0};
+
+    FaultRegistry reg;
+    FaultLifecycleEngine flc(c, reg);
+    flc.advanceTo(5 * ticksPerMs);
+    const auto arrivals = flc.stats().arrivals;
+    ASSERT_GT(arrivals, 0u);
+    flc.advanceTo(5 * ticksPerMs); // boundary re-advance: no change
+    EXPECT_EQ(flc.stats().arrivals, arrivals);
+
+    flc.stopArrivals();
+    const auto active = reg.activeCount();
+    flc.advanceTo(50 * ticksPerMs);
+    EXPECT_EQ(flc.stats().arrivals, arrivals);
+    // Permanent metadata faults survive the boundary; nothing new came.
+    EXPECT_LE(reg.activeCount(), active);
+}
+
+} // namespace
+} // namespace dve
